@@ -1,0 +1,303 @@
+(* uhmc — the universal host machine driver.
+
+   Subcommands:
+     compile   parse, check and compile Algol-S to DIR; print the listing
+     run       execute a program under a chosen strategy and encoding
+     encode    show the program's size under every encoding
+     trace     locality statistics of the program's instruction trace
+     calibrate measure the paper's cost parameters from simulation
+     suite     list the built-in benchmark programs *)
+
+open Cmdliner
+module Table = Uhm_report.Table
+module Kind = Uhm_encoding.Kind
+module Codec = Uhm_encoding.Codec
+module Suite = Uhm_workload.Suite
+module Locality = Uhm_workload.Locality
+module Dtb = Uhm_core.Dtb
+module U = Uhm_core.Uhm
+module Machine = Uhm_machine.Machine
+module Asm = Uhm_machine.Asm
+
+(* -- program sources --------------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let source = really_input_string ic n in
+  close_in ic;
+  source
+
+(* Resolve to a compiled DIR program: an Algol-S or Fortran-S file, or a
+   built-in program from either suite (Fortran-S names start with ftn_). *)
+let load_dir ~file ~program ~fortran ~fuse =
+  match (file, program) with
+  | Some path, None ->
+      let name = Filename.basename path in
+      if fortran then Uhm_ftn.Codegen.compile_source ~name ~fuse (read_file path)
+      else
+        Uhm_compiler.Pipeline.compile ~fuse
+          (Uhm_hlr.Parser.parse ~name (read_file path))
+  | None, Some name -> (
+      match Suite.find name with
+      | entry -> Suite.compile ~fuse entry
+      | exception Not_found -> Uhm_ftn.Suite.compile ~fuse (Uhm_ftn.Suite.find name))
+  | _ ->
+      prerr_endline "exactly one of FILE or --program NAME is required";
+      exit 2
+
+let file_arg =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Algol-S source file.")
+
+let program_arg =
+  Arg.(value & opt (some string) None
+       & info [ "p"; "program" ] ~docv:"NAME"
+           ~doc:"Use a built-in suite program instead of a file.")
+
+let fortran_arg =
+  Arg.(value & flag
+       & info [ "fortran" ]
+           ~doc:"Treat FILE as Fortran-S instead of Algol-S (built-in \
+                 programs pick their language by name).")
+
+let fuse_arg =
+  Arg.(value & flag
+       & info [ "fuse" ] ~doc:"Apply superoperator fusion (raises the DIR's semantic level).")
+
+let kind_conv =
+  let parse s =
+    try Ok (Kind.of_name s)
+    with Invalid_argument _ ->
+      Error (`Msg (Printf.sprintf "unknown encoding %s" s))
+  in
+  Arg.conv (parse, fun fmt k -> Format.pp_print_string fmt (Kind.name k))
+
+let kind_arg =
+  Arg.(value & opt kind_conv Kind.Packed
+       & info [ "k"; "kind" ] ~docv:"KIND"
+           ~doc:"Static encoding: word16, packed, contextual, huffman, huffman-b1700, digram.")
+
+let strategy_conv =
+  let parse = function
+    | "interp" -> Ok U.Interp
+    | "cached" -> Ok (U.Cached 4096)
+    | "dtb" -> Ok (U.Dtb_strategy Dtb.paper_config)
+    | "dtb-blocks" ->
+        Ok
+          (U.Dtb_blocks
+             ( { Dtb.sets = 32; assoc = 4; unit_words = 16;
+                 overflow_blocks = 256 },
+               8 ))
+    | "dtb2" -> Ok (U.Dtb_two_level (Dtb.paper_config, 2048))
+    | "psder" -> Ok U.Psder_static
+    | "der" -> Ok (U.Der U.Der_level1)
+    | "der-l2" -> Ok (U.Der U.Der_level2)
+    | "der-cached" -> Ok (U.Der (U.Der_level2_cached 4096))
+    | s -> Error (`Msg (Printf.sprintf "unknown strategy %s" s))
+  in
+  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (U.strategy_name s))
+
+let strategy_arg =
+  Arg.(value & opt strategy_conv (U.Dtb_strategy Dtb.paper_config)
+       & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+           ~doc:"Execution strategy: interp, cached, dtb, dtb-blocks, dtb2, \
+                 psder, der, der-l2, der-cached.")
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print execution statistics.")
+
+(* -- compile ------------------------------------------------------------------ *)
+
+let compile_cmd =
+  let action file program fortran fuse =
+    let p = load_dir ~file ~program ~fortran ~fuse in
+    print_string (Uhm_dir.Program.listing p);
+    Printf.printf "\n%d instructions, %d contours\n"
+      (Uhm_dir.Program.size_instructions p)
+      (Array.length p.Uhm_dir.Program.contours)
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Compile Algol-S or Fortran-S to DIR and print the listing.")
+    Term.(const action $ file_arg $ program_arg $ fortran_arg $ fuse_arg)
+
+(* -- run ---------------------------------------------------------------------- *)
+
+let run_cmd =
+  let action file program fortran fuse kind strategy stats =
+    let p = load_dir ~file ~program ~fortran ~fuse in
+    let r = U.run ~strategy ~kind p in
+    print_string r.U.output;
+    (match r.U.status with
+    | Machine.Halted -> ()
+    | Machine.Trapped m ->
+        Printf.eprintf "trap: %s\n" m;
+        exit 1
+    | Machine.Out_of_fuel ->
+        prerr_endline "out of fuel";
+        exit 1
+    | Machine.Running -> assert false);
+    if stats then begin
+      let s = r.U.machine_stats in
+      let cat c = s.Machine.cat_cycles.(Machine.category_index c) in
+      Printf.eprintf
+        "strategy         %s\n\
+         encoding         %s\n\
+         dir instructions %d\n\
+         cycles           %d (%.2f per instruction)\n\
+         dir fetch        %d\n\
+         decode (d)       %d\n\
+         semantic (x)     %d\n\
+         translate (g)    %d\n\
+         static size      %d bits (%.1f bits/instr)\n"
+        (U.strategy_name strategy) (Kind.name kind) r.U.dir_steps r.U.cycles
+        (U.cycles_per_dir_instruction r)
+        s.Machine.dir_fetch_cycles (cat Asm.Decode) (cat Asm.Semantic)
+        (cat Asm.Translate) r.U.static_size_bits
+        (float_of_int r.U.static_size_bits /. float_of_int
+           (max 1 (Uhm_dir.Program.size_instructions p)));
+      match r.U.dtb_hit_ratio with
+      | Some h ->
+          Printf.eprintf "dtb hit ratio    %.4f (%d misses, %d evictions)\n" h
+            (Option.value ~default:0 r.U.dtb_misses)
+            (Option.value ~default:0 r.U.dtb_evictions)
+      | None -> ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run a program on the simulated universal host machine.")
+    Term.(
+      const action $ file_arg $ program_arg $ fortran_arg $ fuse_arg
+      $ kind_arg $ strategy_arg $ stats_arg)
+
+(* -- encode ------------------------------------------------------------------- *)
+
+let encode_cmd =
+  let action file program fortran fuse =
+    let p = load_dir ~file ~program ~fortran ~fuse in
+    let t =
+      Table.create
+        ~columns:
+          [ ("encoding", Table.Left); ("bits", Table.Right);
+            ("bits/instr", Table.Right); ("vs word16", Table.Right) ]
+        ()
+    in
+    let word16 = (Codec.encode Kind.Word16 p).Codec.size_bits in
+    List.iter
+      (fun kind ->
+        let e = Codec.encode kind p in
+        Table.add_row t
+          [ Kind.name kind;
+            Table.cell_int e.Codec.size_bits;
+            Table.cell_float (Codec.bits_per_instruction e);
+            Table.cell_pct ~decimals:1
+              (1. -. (float_of_int e.Codec.size_bits /. float_of_int word16)) ])
+      Kind.all;
+    Table.print t
+  in
+  Cmd.v
+    (Cmd.info "encode" ~doc:"Show the program's size under every encoding.")
+    Term.(const action $ file_arg $ program_arg $ fortran_arg $ fuse_arg)
+
+(* -- trace -------------------------------------------------------------------- *)
+
+let trace_cmd =
+  let action file program fortran fuse =
+    let p = load_dir ~file ~program ~fortran ~fuse in
+    let trace = Locality.trace_of_program p in
+    Printf.printf "references        %d\n" (Array.length trace);
+    Printf.printf "footprint         %d instructions\n" (Locality.footprint trace);
+    Printf.printf "avg working set   %.1f (window 1000)\n"
+      (Locality.average_working_set ~window:1000 trace);
+    List.iter
+      (fun cap ->
+        Printf.printf "LRU(%4d) hit     %.2f%%\n" cap
+          (100. *. Locality.hit_ratio_for_capacity ~capacity:cap trace))
+      [ 16; 64; 256; 1024 ]
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Locality statistics of the program's dynamic instruction trace.")
+    Term.(const action $ file_arg $ program_arg $ fortran_arg $ fuse_arg)
+
+(* -- calibrate ----------------------------------------------------------------- *)
+
+let calibrate_cmd =
+  let action file program fortran fuse kind =
+    let p = load_dir ~file ~program ~fortran ~fuse in
+    let m = Uhm_core.Experiment.measure ~kind ~name:"program" p in
+    let c = Uhm_core.Experiment.calibrate m in
+    let params = Uhm_core.Experiment.params_of c in
+    let module Model = Uhm_perfmodel.Model in
+    let module E = Uhm_core.Experiment in
+    Printf.printf
+      "measured parameters (per DIR instruction, %s encoding):\n\
+      \  d   (decode+dispatch)   %8.2f cycles\n\
+      \  x   (semantic routines) %8.2f cycles\n\
+      \  g   (generation/miss)   %8.2f cycles\n\
+      \  s1  (short words)       %8.2f\n\
+      \  s2  (DIR units fetched) %8.2f\n\
+      \  h_c (icache hit ratio)  %8.4f\n\
+      \  h_D (DTB hit ratio)     %8.4f\n\n"
+      (Kind.name kind) c.E.c_d c.E.c_x c.E.c_g c.E.c_s1 c.E.c_s2 c.E.c_h_c
+      c.E.c_h_d;
+    Printf.printf
+      "analytic model at these parameters vs simulation:\n\
+      \  T1 (interp)  model %8.2f   sim %8.2f\n\
+      \  T3 (icache)  model %8.2f   sim %8.2f\n\
+      \  T2 (DTB)     model %8.2f   sim %8.2f\n\
+      \  F2 = (T1-T2)/T2 = %.1f%%\n"
+      (Model.t1 params)
+      (U.cycles_per_dir_instruction m.E.interp)
+      (Model.t3 params)
+      (U.cycles_per_dir_instruction m.E.cached)
+      (Model.t2 params)
+      (U.cycles_per_dir_instruction m.E.dtb)
+      (Model.f2 params)
+  in
+  Cmd.v
+    (Cmd.info "calibrate"
+       ~doc:"Measure the paper's cost parameters (d, g, x, s1, s2, h_c, h_D)              from simulation and evaluate the analytic model with them.")
+    Term.(const action $ file_arg $ program_arg $ fortran_arg $ fuse_arg
+          $ kind_arg)
+
+(* -- suite -------------------------------------------------------------------- *)
+
+let suite_cmd =
+  let action () =
+    let t =
+      Table.create
+        ~columns:
+          [ ("name", Table.Left); ("class", Table.Left);
+            ("description", Table.Left) ]
+        ()
+    in
+    List.iter
+      (fun e ->
+        Table.add_row t
+          [ e.Suite.name;
+            (match e.Suite.loopiness with
+            | `Tight -> "tight"
+            | `Mixed -> "mixed"
+            | `Flat -> "flat");
+            e.Suite.description ])
+      Suite.all;
+    List.iter
+      (fun e ->
+        Table.add_row t
+          [ e.Uhm_ftn.Suite.name; "fortran"; e.Uhm_ftn.Suite.description ])
+      Uhm_ftn.Suite.all;
+    Table.print t
+  in
+  Cmd.v (Cmd.info "suite" ~doc:"List the built-in benchmark programs.")
+    Term.(const action $ const ())
+
+let () =
+  let doc = "universal host machine with dynamic translation (Rau 1978)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "uhmc" ~doc)
+          [ compile_cmd; run_cmd; encode_cmd; trace_cmd; calibrate_cmd;
+            suite_cmd ]))

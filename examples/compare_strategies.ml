@@ -1,0 +1,72 @@
+(* The paper's three machines, head to head (plus the two static extremes).
+
+   Runs a benchmark program under every execution strategy and prints the
+   comparison the paper's section 7 analyses:
+     - conventional interpreter          (T1)
+     - interpreter + instruction cache   (T3)
+     - UHM + dynamic translation buffer  (T2, the contribution)
+     - static PSDER in level-2 memory
+     - fully expanded machine code (DER), fast-store and level-2 resident
+
+   Run with:  dune exec examples/compare_strategies.exe [program-name] *)
+
+module Table = Uhm_report.Table
+module Kind = Uhm_encoding.Kind
+module U = Uhm_core.Uhm
+module Dtb = Uhm_core.Dtb
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "fib_rec" in
+  let program, description =
+    match Uhm_workload.Suite.find name with
+    | entry ->
+        ( Uhm_workload.Suite.compile ~fuse:true entry,
+          entry.Uhm_workload.Suite.description )
+    | exception Not_found ->
+        let entry = Uhm_ftn.Suite.find name in
+        (Uhm_ftn.Suite.compile ~fuse:true entry, entry.Uhm_ftn.Suite.description)
+  in
+  Printf.printf "program: %s — %s\n\n" name description;
+  let strategies =
+    [
+      ("conventional interpreter (T1)", U.Interp, Kind.Huffman);
+      ("interpreter + 4KiB icache (T3)", U.Cached 4096, Kind.Huffman);
+      ("UHM with DTB (T2)", U.Dtb_strategy Dtb.paper_config, Kind.Huffman);
+      ("static PSDER in level 2", U.Psder_static, Kind.Packed);
+      ("DER in the fast store", U.Der U.Der_level1, Kind.Packed);
+      ("DER in level 2", U.Der U.Der_level2, Kind.Packed);
+      ("DER + 4KiB icache", U.Der (U.Der_level2_cached 4096), Kind.Packed);
+    ]
+  in
+  let t =
+    Table.create
+      ~columns:
+        [ ("machine", Table.Left); ("cycles", Table.Right);
+          ("cycles/instr", Table.Right); ("static size", Table.Right);
+          ("hit ratio", Table.Right) ]
+      ()
+  in
+  let baseline = ref 0 in
+  List.iter
+    (fun (label, strategy, kind) ->
+      let r = U.run ~strategy ~kind program in
+      (match r.U.status with
+      | Uhm_machine.Machine.Halted -> ()
+      | _ -> failwith (label ^ ": did not halt"));
+      if !baseline = 0 then baseline := r.U.cycles;
+      let hit =
+        match (r.U.dtb_hit_ratio, r.U.icache_hit_ratio) with
+        | Some h, _ | None, Some h -> Table.cell_pct ~decimals:2 h
+        | None, None -> "-"
+      in
+      Table.add_row t
+        [ label; Table.cell_int r.U.cycles;
+          Table.cell_float (U.cycles_per_dir_instruction r);
+          Table.cell_bytes ((r.U.static_size_bits + 7) / 8); hit ])
+    strategies;
+  Table.print t;
+  print_endline
+    "\nThe DTB keeps the compact Huffman DIR in level-2 memory yet runs\n\
+     close to the expanded machine code — exactly the paper's claim that\n\
+     dynamic translation meets \"the conflicting requirements of a compact\n\
+     representation and low execution time\" simultaneously."

@@ -1,0 +1,86 @@
+(* Anatomy of a dynamic translation: what the translator emits, and where
+   the cycles go on the miss path versus the hit path.
+
+   Run with:  dune exec examples/jit_anatomy.exe *)
+
+module Table = Uhm_report.Table
+module Kind = Uhm_encoding.Kind
+module SF = Uhm_machine.Short_format
+module Machine = Uhm_machine.Machine
+module Asm = Uhm_machine.Asm
+module Isa = Uhm_dir.Isa
+module U = Uhm_core.Uhm
+module Dtb = Uhm_core.Dtb
+
+let source =
+  {|
+begin
+  integer i, s;
+  s := 0;
+  for i := 1 to 500 do s := (s + i * i) mod 10007;
+  print s;
+end
+|}
+
+let () =
+  let ast = Uhm_hlr.Check.check_exn (Uhm_hlr.Parser.parse ~name:"anatomy" source) in
+  let dir = Uhm_compiler.Pipeline.compile ~fuse:true ast in
+
+  print_endline "DIR program (the static, compact representation):";
+  print_string (Uhm_dir.Program.listing dir);
+
+  (* Show what the PSDER translations of the first instructions look like,
+     using the same templates the dynamic translator emits at run time. *)
+  let b = Asm.create () in
+  let layout = Uhm_psder.Layout.default in
+  let rt = Uhm_psder.Runtime.build b ~layout in
+  let static = Uhm_psder.Static_gen.build ~layout ~rt dir in
+  print_endline "\nPSDER translations (what lands in the DTB buffer):";
+  let words = static.Uhm_psder.Static_gen.words in
+  let addr0 = layout.Uhm_psder.Layout.psder_static_base in
+  Array.iteri
+    (fun i instr ->
+      if i < 8 then begin
+        Printf.printf "  %-24s =>" (Isa.to_string instr);
+        let start = static.Uhm_psder.Static_gen.addr_of_instr.(i) - addr0 in
+        let stop =
+          if i + 1 < Array.length static.Uhm_psder.Static_gen.addr_of_instr
+          then static.Uhm_psder.Static_gen.addr_of_instr.(i + 1) - addr0
+          else Array.length words
+        in
+        for k = start to stop - 1 do
+          Printf.printf "  %s;" (SF.to_string words.(k))
+        done;
+        print_newline ()
+      end)
+    dir.Uhm_dir.Program.code;
+
+  (* Now run for real with the DTB and dissect the cycles. *)
+  let r = U.run ~strategy:(U.Dtb_strategy Dtb.paper_config) ~kind:Kind.Digram dir in
+  let s = r.U.machine_stats in
+  let cat c = s.Machine.cat_cycles.(Machine.category_index c) in
+  let misses = Option.value ~default:0 r.U.dtb_misses in
+  Printf.printf "\noutput: %s" r.U.output;
+  Printf.printf "\nDTB execution (digram-encoded DIR, %d-bit static image):\n"
+    r.U.static_size_bits;
+  let t =
+    Table.create ~columns:[ ("component", Table.Left); ("value", Table.Right) ] ()
+  in
+  Table.add_row t [ "DIR instructions executed"; Table.cell_int r.U.dir_steps ];
+  Table.add_row t [ "INTERP lookups"; Table.cell_int s.Machine.interp_count ];
+  Table.add_row t [ "DTB misses (= translations)"; Table.cell_int misses ];
+  Table.add_row t
+    [ "hit ratio";
+      Table.cell_pct ~decimals:2 (Option.value ~default:0. r.U.dtb_hit_ratio) ];
+  Table.add_row t [ "total cycles"; Table.cell_int r.U.cycles ];
+  Table.add_row t [ "  decode (d, miss path only)"; Table.cell_int (cat Asm.Decode) ];
+  Table.add_row t [ "  generate (g, miss path only)"; Table.cell_int (cat Asm.Translate) ];
+  Table.add_row t [ "  semantic routines (x)"; Table.cell_int (cat Asm.Semantic) ];
+  Table.add_row t [ "  DIR fetch (miss path only)"; Table.cell_int s.Machine.dir_fetch_cycles ];
+  Table.print t;
+  Printf.printf
+    "\nEach of the %d translations was decoded and generated once, then\n\
+     executed ~%d times from the buffer — the binding persisted, which is\n\
+     the whole idea of the dynamic translator.\n"
+    misses
+    (if misses = 0 then 0 else r.U.dir_steps / misses)

@@ -1,0 +1,21 @@
+let max_width = 62
+
+let width_for n =
+  if n < 0 then invalid_arg "Bits.width_for: negative alternative count";
+  if n <= 1 then 0
+  else
+    let rec go width capacity =
+      if capacity >= n then width else go (width + 1) (capacity * 2)
+    in
+    go 1 2
+
+let width_of_value v =
+  if v < 0 then invalid_arg "Bits.width_of_value: negative value";
+  width_for (v + 1)
+
+let fits ~bits v =
+  if bits < 0 || bits > max_width then invalid_arg "Bits.fits: bad width";
+  v >= 0 && (bits >= max_width || v < 1 lsl bits)
+
+let zigzag v = if v >= 0 then v lsl 1 else ((-v) lsl 1) - 1
+let unzigzag u = if u land 1 = 0 then u lsr 1 else -((u + 1) lsr 1)

@@ -1,0 +1,23 @@
+(** Bit-width arithmetic shared by the packed and contextual encoders. *)
+
+val width_for : int -> int
+(** [width_for n] is the number of bits needed to distinguish [n] alternatives
+    (values [0 .. n-1]): [0] for [n <= 1], else [ceil (log2 n)].
+    Raises [Invalid_argument] for [n < 0]. *)
+
+val width_of_value : int -> int
+(** [width_of_value v] is the number of bits needed to represent the single
+    non-negative value [v]: [width_for (v + 1)]. *)
+
+val fits : bits:int -> int -> bool
+(** [fits ~bits v] is true iff [0 <= v < 2^bits] (with [2^0 = 1]). *)
+
+val max_width : int
+(** Largest supported field width, 62 bits (native [int] payload). *)
+
+val zigzag : int -> int
+(** [zigzag v] maps a signed integer to an unsigned one suitable for
+    variable-width encoding: [0, -1, 1, -2, 2, ...] become [0, 1, 2, 3, 4]. *)
+
+val unzigzag : int -> int
+(** Inverse of {!zigzag}. *)

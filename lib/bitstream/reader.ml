@@ -1,0 +1,44 @@
+type t = {
+  data : string;
+  mutable cursor : int;
+}
+
+exception Out_of_bits
+
+let of_string data = { data; cursor = 0 }
+let length_bits t = 8 * String.length t.data
+let pos t = t.cursor
+let remaining_bits t = length_bits t - t.cursor
+
+let seek t p =
+  if p < 0 || p > length_bits t then invalid_arg "Reader.seek: out of range";
+  t.cursor <- p
+
+let bit_at t p =
+  let byte = Char.code (String.unsafe_get t.data (p lsr 3)) in
+  byte land (0x80 lsr (p land 7)) <> 0
+
+let get_bool t =
+  if t.cursor >= length_bits t then raise Out_of_bits;
+  let b = bit_at t t.cursor in
+  t.cursor <- t.cursor + 1;
+  b
+
+let peek_bool t =
+  if t.cursor >= length_bits t then raise Out_of_bits;
+  bit_at t t.cursor
+
+let get t bits =
+  if bits < 0 || bits > Bits.max_width then
+    invalid_arg "Reader.get: width out of range";
+  if t.cursor + bits > length_bits t then raise Out_of_bits;
+  let v = ref 0 in
+  for _ = 1 to bits do
+    v := (!v lsl 1) lor (if bit_at t t.cursor then 1 else 0);
+    t.cursor <- t.cursor + 1
+  done;
+  !v
+
+let get_unary t =
+  let rec count n = if get_bool t then count (n + 1) else n in
+  count 0

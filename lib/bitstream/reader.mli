@@ -1,0 +1,41 @@
+(** MSB-first bit stream reader over an immutable string.
+
+    A reader carries an explicit bit cursor so that a DIR program counter can
+    be a bit address, as in the Burroughs B1700 whose memory is
+    bit-addressable (paper §6.1: "high memory resolution, i.e., the ability
+    to view the memory space as a bit string"). *)
+
+type t
+
+exception Out_of_bits
+(** Raised when a read runs past the end of the stream. *)
+
+val of_string : string -> t
+(** [of_string s] positions a fresh cursor at bit 0 of [s]. *)
+
+val get : t -> int -> int
+(** [get r bits] reads [bits] bits MSB-first and advances the cursor.
+    [bits] may be 0 (returns 0).  Raises {!Out_of_bits} past the end and
+    [Invalid_argument] on a bad width. *)
+
+val get_bool : t -> bool
+(** [get_bool r] reads one bit. *)
+
+val get_unary : t -> int
+(** [get_unary r] reads one-bits until a zero bit and returns their count. *)
+
+val peek_bool : t -> bool
+(** [peek_bool r] is the next bit without advancing. *)
+
+val pos : t -> int
+(** Current cursor, in bits from the start. *)
+
+val seek : t -> int -> unit
+(** [seek r p] moves the cursor to absolute bit position [p].
+    Raises [Invalid_argument] if [p] is outside the stream. *)
+
+val length_bits : t -> int
+(** Total stream length in bits (a multiple of 8). *)
+
+val remaining_bits : t -> int
+(** Bits left between the cursor and the end. *)

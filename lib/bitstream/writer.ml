@@ -1,0 +1,66 @@
+type t = {
+  mutable buf : Bytes.t;
+  mutable len_bits : int;
+}
+
+let create ?(initial_capacity_bytes = 64) () =
+  let capacity = max 1 initial_capacity_bytes in
+  { buf = Bytes.make capacity '\000'; len_bits = 0 }
+
+let ensure_capacity t extra_bits =
+  let needed_bytes = ((t.len_bits + extra_bits) + 7) / 8 in
+  if needed_bytes > Bytes.length t.buf then begin
+    let capacity = ref (Bytes.length t.buf) in
+    while !capacity < needed_bytes do
+      capacity := !capacity * 2
+    done;
+    let fresh = Bytes.make !capacity '\000' in
+    Bytes.blit t.buf 0 fresh 0 (Bytes.length t.buf);
+    t.buf <- fresh
+  end
+
+let put_bit t b =
+  let byte_index = t.len_bits lsr 3 and bit_index = t.len_bits land 7 in
+  if b then begin
+    let current = Char.code (Bytes.get t.buf byte_index) in
+    Bytes.set t.buf byte_index (Char.chr (current lor (0x80 lsr bit_index)))
+  end;
+  t.len_bits <- t.len_bits + 1
+
+let put t ~bits v =
+  if bits < 0 || bits > Bits.max_width then
+    invalid_arg "Writer.put: width out of range";
+  if not (Bits.fits ~bits v) then
+    invalid_arg
+      (Printf.sprintf "Writer.put: value %d does not fit in %d bits" v bits);
+  ensure_capacity t bits;
+  for i = bits - 1 downto 0 do
+    put_bit t ((v lsr i) land 1 = 1)
+  done
+
+let put_bool t b =
+  ensure_capacity t 1;
+  put_bit t b
+
+let put_unary t n =
+  if n < 0 then invalid_arg "Writer.put_unary: negative count";
+  ensure_capacity t (n + 1);
+  for _ = 1 to n do
+    put_bit t true
+  done;
+  put_bit t false
+
+let align t n =
+  if n <= 0 then invalid_arg "Writer.align: non-positive alignment";
+  let rem = t.len_bits mod n in
+  if rem <> 0 then begin
+    let padding = n - rem in
+    ensure_capacity t padding;
+    for _ = 1 to padding do
+      put_bit t false
+    done
+  end
+
+let length_bits t = t.len_bits
+let contents t = Bytes.sub t.buf 0 ((t.len_bits + 7) / 8)
+let to_reader_input t = Bytes.to_string (contents t)

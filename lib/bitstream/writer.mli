@@ -1,0 +1,37 @@
+(** Growable MSB-first bit stream writer.
+
+    The paper's packed encodings let fields "span the boundaries of the units
+    of memory access" (§3.2); this writer provides exactly that: fields of any
+    width from 0 to {!Bits.max_width} bits are appended back to back with no
+    implicit padding. *)
+
+type t
+
+val create : ?initial_capacity_bytes:int -> unit -> t
+
+val put : t -> bits:int -> int -> unit
+(** [put w ~bits v] appends the [bits] low-order bits of [v], most significant
+    bit first.  [bits] may be 0, in which case nothing is written.
+    Raises [Invalid_argument] if [v] does not fit in [bits] bits. *)
+
+val put_bool : t -> bool -> unit
+(** [put_bool w b] appends a single bit. *)
+
+val put_unary : t -> int -> unit
+(** [put_unary w n] appends [n] one-bits followed by a zero bit
+    (used by the Elias-gamma style operand fallback escape). *)
+
+val align : t -> int -> unit
+(** [align w n] pads with zero bits until the bit length is a multiple of
+    [n]. *)
+
+val length_bits : t -> int
+(** Number of bits written so far. *)
+
+val contents : t -> Bytes.t
+(** [contents w] is the stream padded with zero bits to a whole number of
+    bytes.  The writer remains usable afterwards. *)
+
+val to_reader_input : t -> string
+(** [to_reader_input w] is [contents w] as an immutable string, the form
+    accepted by {!Reader.of_string}. *)

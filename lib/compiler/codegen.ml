@@ -1,0 +1,354 @@
+open Uhm_hlr.Ast
+module Isa = Uhm_dir.Isa
+module Program = Uhm_dir.Program
+
+exception Codegen_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Codegen_error s)) fmt
+
+
+(* -- Scope environment ----------------------------------------------------- *)
+
+type binding =
+  | Scalar_slot of { depth : int; offset : int }
+  | Array_slot of { depth : int; offset : int; size : int }
+  | Proc_sym of proc_sym
+
+and proc_sym = {
+  label : int;
+  arity : int;
+  parent_depth : int;   (* static depth of the contour declaring the proc *)
+  ctx_id : int;
+}
+
+(* Per-contour emission state. *)
+type cstate = {
+  depth : int;
+  ctx_id : int;
+  cname : string;
+  n_args : int;
+  mutable next_offset : int;
+  mutable max_offset : int;
+}
+
+type st = {
+  em : Emitter.t;
+  mutable contours : (int * Program.contour) list; (* ctx_id -> record, rev *)
+  mutable n_contours : int;
+}
+
+let lookup scopes name =
+  let rec go = function
+    | [] -> error "undeclared name %s (checker should have caught this)" name
+    | scope :: outer -> (
+        match List.assoc_opt name scope with
+        | Some binding -> binding
+        | None -> go outer)
+  in
+  go scopes
+
+let alloc_slot cstate n =
+  let offset = cstate.next_offset in
+  cstate.next_offset <- offset + n;
+  cstate.max_offset <- max cstate.max_offset (cstate.next_offset - 1);
+  offset
+
+let touch_offset cstate offset =
+  cstate.max_offset <- max cstate.max_offset offset
+
+(* -- Expression compilation ------------------------------------------------ *)
+
+let rec compile_expr st scopes cstate e =
+  let em = st.em in
+  match e with
+  | Num n -> ignore (Emitter.emit em (Isa.instr ~a:n Isa.Lit))
+  | Var name -> (
+      match lookup scopes name with
+      | Scalar_slot { depth; offset } ->
+          touch_offset cstate offset;
+          ignore
+            (Emitter.emit em
+               (Isa.instr ~a:(cstate.depth - depth) ~b:offset Isa.Load))
+      | Array_slot _ -> error "array %s read as scalar" name
+      | Proc_sym _ -> error "procedure %s read as scalar" name)
+  | Subscript (name, index) -> (
+      match lookup scopes name with
+      | Array_slot { depth; offset; size = _ } ->
+          touch_offset cstate offset;
+          ignore
+            (Emitter.emit em
+               (Isa.instr ~a:(cstate.depth - depth) ~b:offset Isa.Addr));
+          compile_expr st scopes cstate index;
+          ignore (Emitter.emit em (Isa.instr Isa.Index));
+          ignore (Emitter.emit em (Isa.instr Isa.Loadi))
+      | Scalar_slot _ | Proc_sym _ -> error "%s is not an array" name)
+  | Call_expr (name, args) -> compile_call st scopes cstate name args
+  | Unop (Neg_op, inner) ->
+      compile_expr st scopes cstate inner;
+      ignore (Emitter.emit em (Isa.instr Isa.Neg))
+  | Unop (Not_op, inner) ->
+      compile_expr st scopes cstate inner;
+      ignore (Emitter.emit em (Isa.instr Isa.Not))
+  | Binop (op, lhs, rhs) ->
+      compile_expr st scopes cstate lhs;
+      compile_expr st scopes cstate rhs;
+      let opcode =
+        match op with
+        | Add_op -> Isa.Add
+        | Sub_op -> Isa.Sub
+        | Mul_op -> Isa.Mul
+        | Div_op -> Isa.Div
+        | Mod_op -> Isa.Mod
+        | Eq_op -> Isa.Eq
+        | Ne_op -> Isa.Ne
+        | Lt_op -> Isa.Lt
+        | Le_op -> Isa.Le
+        | Gt_op -> Isa.Gt
+        | Ge_op -> Isa.Ge
+        | And_op -> Isa.And
+        | Or_op -> Isa.Or
+      in
+      ignore (Emitter.emit em (Isa.instr opcode))
+
+and compile_call st scopes cstate name args =
+  match lookup scopes name with
+  | Proc_sym { label; arity; parent_depth; ctx_id = _ } ->
+      if List.length args <> arity then error "arity mismatch calling %s" name;
+      List.iter (compile_expr st scopes cstate) args;
+      Emitter.emit_ref st.em Isa.Call ~field:Emitter.Field_a
+        ~b:(cstate.depth - parent_depth) label
+  | Scalar_slot _ | Array_slot _ -> error "%s is not a procedure" name
+
+(* -- Statement compilation ------------------------------------------------- *)
+
+let store_scalar st scopes cstate name =
+  match lookup scopes name with
+  | Scalar_slot { depth; offset } ->
+      touch_offset cstate offset;
+      ignore
+        (Emitter.emit st.em
+           (Isa.instr ~a:(cstate.depth - depth) ~b:offset Isa.Store))
+  | Array_slot _ | Proc_sym _ -> error "%s is not a scalar" name
+
+let rec compile_stmt st scopes cstate s =
+  let em = st.em in
+  match s with
+  | Skip -> ()
+  | Assign (name, e) ->
+      compile_expr st scopes cstate e;
+      store_scalar st scopes cstate name
+  | Assign_sub (name, index, value) -> (
+      match lookup scopes name with
+      | Array_slot { depth; offset; size = _ } ->
+          touch_offset cstate offset;
+          ignore
+            (Emitter.emit em
+               (Isa.instr ~a:(cstate.depth - depth) ~b:offset Isa.Addr));
+          compile_expr st scopes cstate index;
+          ignore (Emitter.emit em (Isa.instr Isa.Index));
+          compile_expr st scopes cstate value;
+          ignore (Emitter.emit em (Isa.instr Isa.Storei))
+      | Scalar_slot _ | Proc_sym _ -> error "%s is not an array" name)
+  | If (cond, then_branch, None) ->
+      let l_end = Emitter.new_label em in
+      compile_expr st scopes cstate cond;
+      Emitter.emit_ref em Isa.Jz ~field:Emitter.Field_a l_end;
+      compile_stmt st scopes cstate then_branch;
+      Emitter.place_label em l_end
+  | If (cond, then_branch, Some else_branch) ->
+      let l_else = Emitter.new_label em in
+      let l_end = Emitter.new_label em in
+      compile_expr st scopes cstate cond;
+      Emitter.emit_ref em Isa.Jz ~field:Emitter.Field_a l_else;
+      compile_stmt st scopes cstate then_branch;
+      (if Emitter.reachable em then
+         Emitter.emit_ref em Isa.Jump ~field:Emitter.Field_a l_end);
+      Emitter.place_label em l_else;
+      compile_stmt st scopes cstate else_branch;
+      Emitter.place_label em l_end
+  | While (cond, body) ->
+      let l_cond = Emitter.new_label em in
+      let l_end = Emitter.new_label em in
+      Emitter.place_label em l_cond;
+      compile_expr st scopes cstate cond;
+      Emitter.emit_ref em Isa.Jz ~field:Emitter.Field_a l_end;
+      compile_stmt st scopes cstate body;
+      (if Emitter.reachable em then
+         Emitter.emit_ref em Isa.Jump ~field:Emitter.Field_a l_cond);
+      Emitter.place_label em l_end
+  | For (var, start, dir, stop, body) ->
+      (* bound evaluated once into a hidden frame slot of this contour *)
+      let bound = alloc_slot cstate 1 in
+      let l_cond = Emitter.new_label em in
+      let l_end = Emitter.new_label em in
+      compile_expr st scopes cstate start;
+      store_scalar st scopes cstate var;
+      compile_expr st scopes cstate stop;
+      ignore (Emitter.emit em (Isa.instr ~a:0 ~b:bound Isa.Store));
+      Emitter.place_label em l_cond;
+      compile_expr st scopes cstate (Var var);
+      ignore (Emitter.emit em (Isa.instr ~a:0 ~b:bound Isa.Load));
+      ignore
+        (Emitter.emit em
+           (Isa.instr (match dir with Upto -> Isa.Le | Downto -> Isa.Ge)));
+      Emitter.emit_ref em Isa.Jz ~field:Emitter.Field_a l_end;
+      compile_stmt st scopes cstate body;
+      compile_expr st scopes cstate (Var var);
+      ignore (Emitter.emit em (Isa.instr ~a:1 Isa.Lit));
+      ignore
+        (Emitter.emit em
+           (Isa.instr (match dir with Upto -> Isa.Add | Downto -> Isa.Sub)));
+      store_scalar st scopes cstate var;
+      (if Emitter.reachable em then
+         Emitter.emit_ref em Isa.Jump ~field:Emitter.Field_a l_cond);
+      Emitter.place_label em l_end
+  | Print e ->
+      compile_expr st scopes cstate e;
+      ignore (Emitter.emit em (Isa.instr Isa.Print))
+  | Printc e ->
+      compile_expr st scopes cstate e;
+      ignore (Emitter.emit em (Isa.instr Isa.Printc))
+  | Write s ->
+      String.iter
+        (fun ch ->
+          ignore (Emitter.emit em (Isa.instr ~a:(Char.code ch) Isa.Lit));
+          ignore (Emitter.emit em (Isa.instr Isa.Printc)))
+        s
+  | Call_stmt (name, args) ->
+      compile_call st scopes cstate name args;
+      ignore (Emitter.emit em (Isa.instr Isa.Drop))
+  | Return None ->
+      ignore (Emitter.emit em (Isa.instr ~a:0 Isa.Lit));
+      ignore (Emitter.emit em (Isa.instr Isa.Ret))
+  | Return (Some e) ->
+      compile_expr st scopes cstate e;
+      ignore (Emitter.emit em (Isa.instr Isa.Ret))
+  | Block b -> compile_block st scopes cstate b
+
+(* -- Blocks and procedures -------------------------------------------------- *)
+
+and compile_block st scopes cstate b =
+  let em = st.em in
+  (* Allocate frame slots and create procedure symbols for the whole block
+     first (letrec visibility). *)
+  let scope =
+    List.map
+      (function
+        | Var_decl (name, _) ->
+            (name, Scalar_slot { depth = cstate.depth; offset = alloc_slot cstate 1 })
+        | Array_decl (name, size) ->
+            ( name,
+              Array_slot
+                { depth = cstate.depth; offset = alloc_slot cstate size; size } )
+        | Proc_decl (name, params, _) ->
+            ( name,
+              Proc_sym
+                {
+                  label = Emitter.new_label em;
+                  arity = List.length params;
+                  parent_depth = cstate.depth;
+                  ctx_id = -1 (* assigned when the body is emitted *);
+                } ))
+      b.decls
+  in
+  let scopes = scope :: scopes in
+  (* Emit procedure bodies, guarded by a jump over them. *)
+  let procs =
+    List.filter_map
+      (function
+        | Proc_decl (name, params, body) -> (
+            match List.assoc name scope with
+            | Proc_sym sym -> Some (name, params, body, sym)
+            | _ -> None)
+        | Var_decl _ | Array_decl _ -> None)
+      b.decls
+  in
+  (if procs <> [] then begin
+     let l_skip = Emitter.new_label em in
+     if Emitter.reachable em then
+       Emitter.emit_ref em Isa.Jump ~field:Emitter.Field_a l_skip;
+     List.iter
+       (fun (name, params, body, sym) ->
+         compile_proc st scopes cstate name params body sym)
+       procs;
+     Emitter.place_label em l_skip
+   end);
+  (* Initialisers, in declaration order. *)
+  List.iter
+    (function
+      | Var_decl (name, Some init) ->
+          compile_expr st scopes cstate init;
+          store_scalar st scopes cstate name
+      | Var_decl (_, None) | Array_decl _ | Proc_decl _ -> ())
+    b.decls;
+  List.iter (compile_stmt st scopes cstate) b.stmts
+
+and compile_proc st scopes parent name params body sym =
+  let em = st.em in
+  let ctx_id = st.n_contours in
+  st.n_contours <- ctx_id + 1;
+  let cstate =
+    {
+      depth = parent.depth + 1;
+      ctx_id;
+      cname = name;
+      n_args = List.length params;
+      next_offset = List.length params;
+      max_offset = max 0 (List.length params - 1);
+    }
+  in
+  let param_scope =
+    List.mapi
+      (fun i p -> (p, Scalar_slot { depth = cstate.depth; offset = i }))
+      params
+  in
+  let saved_ctx = em.Emitter.current_ctx in
+  em.Emitter.current_ctx <- ctx_id;
+  Emitter.place_label em sym.label;
+  let enter_idx =
+    Emitter.emit em (Isa.instr ~a:cstate.n_args ~b:0 ~c:ctx_id Isa.Enter)
+  in
+  compile_block st (param_scope :: scopes) cstate body;
+  (if Emitter.reachable em then begin
+     ignore (Emitter.emit em (Isa.instr ~a:0 Isa.Lit));
+     ignore (Emitter.emit em (Isa.instr Isa.Ret))
+   end);
+  Emitter.patch_b em enter_idx (cstate.next_offset - cstate.n_args);
+  em.Emitter.current_ctx <- saved_ctx;
+  st.contours <-
+    ( ctx_id,
+      {
+        Program.id = ctx_id;
+        name = cstate.cname;
+        depth = cstate.depth;
+        n_args = cstate.n_args;
+        n_locals = cstate.next_offset - cstate.n_args;
+        max_offset = cstate.max_offset;
+      } )
+    :: st.contours
+
+let compile (p : program) =
+  let em = Emitter.create () in
+  let st = { em; contours = []; n_contours = 1 } in
+  let main_cstate =
+    { depth = 0; ctx_id = 0; cname = "<main>"; n_args = 0; next_offset = 0;
+      max_offset = 0 }
+  in
+  compile_block st [] main_cstate p.body;
+  ignore (Emitter.emit em (Isa.instr Isa.Halt));
+  st.contours <-
+    ( 0,
+      {
+        Program.id = 0;
+        name = "<main>";
+        depth = 0;
+        n_args = 0;
+        n_locals = main_cstate.next_offset;
+        max_offset = main_cstate.max_offset;
+      } )
+    :: st.contours;
+  let code, contour_map = Emitter.finish em in
+  let contours = Array.make st.n_contours (List.assoc 0 st.contours) in
+  List.iter (fun (id, c) -> contours.(id) <- c) st.contours;
+  Program.validate_exn
+    (Program.make ~contour_map ~name:p.name ~code ~entry:0 ~contours ())

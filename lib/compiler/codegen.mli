@@ -1,0 +1,22 @@
+(** Code generation: checked Algol-S AST → DIR program.
+
+    Binding work done here, once, at compile time (paper §2.3): names become
+    contour-relative (static-hops, frame-offset) pairs, removing the need for
+    an associative memory; the block structure is flattened to a sequential
+    stack code; string redundancy is gone.
+
+    Layout discipline: {e no label is ever entered by falling through} — the
+    emitter inserts an explicit [Jump] whenever code would otherwise run into
+    a branch target.  This makes predecessor-conditioned (digram) decoding
+    well-defined at every control transfer, which the dynamic translator
+    relies on (see DESIGN.md).
+
+    Procedure bodies are emitted inline at their declaration point, guarded
+    by a jump over them; the program entry is always instruction 0. *)
+
+exception Codegen_error of string
+
+val compile : Uhm_hlr.Ast.program -> Uhm_dir.Program.t
+(** [compile p] translates a program that passed {!Uhm_hlr.Check.check};
+    raises {!Codegen_error} on programs that violate the checker's
+    invariants. *)

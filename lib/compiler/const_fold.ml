@@ -1,0 +1,59 @@
+open Uhm_hlr.Ast
+
+let of_bool b = if b then 1 else 0
+
+let rec expr e =
+  match e with
+  | Num _ | Var _ -> e
+  | Subscript (name, index) -> Subscript (name, expr index)
+  | Call_expr (name, args) -> Call_expr (name, List.map expr args)
+  | Unop (op, inner) -> (
+      match (op, expr inner) with
+      | Neg_op, Num n -> Num (-n)
+      | Not_op, Num n -> Num (of_bool (n = 0))
+      | op, folded -> Unop (op, folded))
+  | Binop (op, lhs, rhs) -> (
+      match (op, expr lhs, expr rhs) with
+      | Add_op, Num x, Num y -> Num (x + y)
+      | Sub_op, Num x, Num y -> Num (x - y)
+      | Mul_op, Num x, Num y -> Num (x * y)
+      | Div_op, Num x, Num y when y <> 0 -> Num (x / y)
+      | Mod_op, Num x, Num y when y <> 0 -> Num (x mod y)
+      | Eq_op, Num x, Num y -> Num (of_bool (x = y))
+      | Ne_op, Num x, Num y -> Num (of_bool (x <> y))
+      | Lt_op, Num x, Num y -> Num (of_bool (x < y))
+      | Le_op, Num x, Num y -> Num (of_bool (x <= y))
+      | Gt_op, Num x, Num y -> Num (of_bool (x > y))
+      | Ge_op, Num x, Num y -> Num (of_bool (x >= y))
+      | And_op, Num x, Num y -> Num (of_bool (x <> 0 && y <> 0))
+      | Or_op, Num x, Num y -> Num (of_bool (x <> 0 || y <> 0))
+      (* algebraic identities that cannot change trap behaviour *)
+      | Add_op, folded, Num 0 -> folded
+      | Add_op, Num 0, folded -> folded
+      | Sub_op, folded, Num 0 -> folded
+      | Mul_op, folded, Num 1 -> folded
+      | Mul_op, Num 1, folded -> folded
+      | op, l, r -> Binop (op, l, r))
+
+let rec stmt = function
+  | Assign (name, e) -> Assign (name, expr e)
+  | Assign_sub (name, index, value) -> Assign_sub (name, expr index, expr value)
+  | If (cond, t, e) -> If (expr cond, stmt t, Option.map stmt e)
+  | While (cond, body) -> While (expr cond, stmt body)
+  | For (v, start, dir, stop, body) -> For (v, expr start, dir, expr stop, stmt body)
+  | Print e -> Print (expr e)
+  | Printc e -> Printc (expr e)
+  | Write _ as s -> s
+  | Call_stmt (name, args) -> Call_stmt (name, List.map expr args)
+  | Return e -> Return (Option.map expr e)
+  | Block b -> Block (block b)
+  | Skip -> Skip
+
+and decl = function
+  | Var_decl (name, init) -> Var_decl (name, Option.map expr init)
+  | Array_decl _ as d -> d
+  | Proc_decl (name, params, body) -> Proc_decl (name, params, block body)
+
+and block b = { decls = List.map decl b.decls; stmts = List.map stmt b.stmts }
+
+let program (p : program) = { p with body = block p.body }

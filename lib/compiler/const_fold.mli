@@ -1,0 +1,12 @@
+(** Constant folding over Algol-S expressions.
+
+    The paper notes (§3.1) that a compiler targeting a representation far
+    from the HLR tends to forgo local optimisation; this mild fold is the
+    "local optimisation" knob used by the ablation benches.  Folding
+    preserves run-time semantics exactly: division or modulus by a constant
+    zero is left unfolded so the trap still fires at the right moment, and
+    all arithmetic uses the same native [int] operations as the
+    interpreters. *)
+
+val expr : Uhm_hlr.Ast.expr -> Uhm_hlr.Ast.expr
+val program : Uhm_hlr.Ast.program -> Uhm_hlr.Ast.program

@@ -1,0 +1,107 @@
+(* Instruction emitter with labels and backpatching, shared by every
+   front end that targets the DIR (the Algol-S code generator and the
+   Fortran-S code generator).
+
+   It enforces the no-fall-through-into-labels discipline that makes
+   predecessor-conditioned (digram) decoding sound: placing a label while
+   control can flow into it from above inserts an explicit jump to the
+   label, so every arrival at a branch target is a control transfer. *)
+
+module Isa = Uhm_dir.Isa
+
+exception Emit_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Emit_error s)) fmt
+
+  type fixup_field = Field_a
+
+  type t = {
+    mutable code : Isa.instr array;
+    mutable ctxs : int array;      (* contour id per emitted instruction *)
+    mutable len : int;
+    mutable labels : int array;    (* label -> instruction index, -1 unplaced *)
+    mutable n_labels : int;
+    mutable fixups : (int * fixup_field * int) list; (* instr, field, label *)
+    mutable current_ctx : int;
+    (* whether control can flow into the next emitted instruction from the
+       previous one; drives end-jump/back-edge emission and the
+       no-fall-through-into-labels discipline *)
+    mutable reachable : bool;
+  }
+
+  let create () =
+    {
+      code = Array.make 64 (Isa.instr Isa.Halt);
+      ctxs = Array.make 64 0;
+      len = 0;
+      labels = Array.make 16 (-1);
+      n_labels = 0;
+      fixups = [];
+      current_ctx = 0;
+      reachable = true;
+    }
+
+  let emit t instr =
+    if t.len = Array.length t.code then begin
+      let grow a fill =
+        let fresh = Array.make (2 * Array.length a) fill in
+        Array.blit a 0 fresh 0 (Array.length a);
+        fresh
+      in
+      t.code <- grow t.code (Isa.instr Isa.Halt);
+      t.ctxs <- grow t.ctxs 0
+    end;
+    t.code.(t.len) <- instr;
+    t.ctxs.(t.len) <- t.current_ctx;
+    t.len <- t.len + 1;
+    if not (Isa.falls_through instr.Isa.op) then t.reachable <- false;
+    t.len - 1
+
+  let reachable t = t.reachable
+
+  let new_label t =
+    if t.n_labels = Array.length t.labels then begin
+      let fresh = Array.make (2 * t.n_labels) (-1) in
+      Array.blit t.labels 0 fresh 0 t.n_labels;
+      t.labels <- fresh
+    end;
+    t.n_labels <- t.n_labels + 1;
+    t.n_labels - 1
+
+  (* Emit [op] whose [field] will hold the label's final index. *)
+  let emit_ref t ?(a = 0) ?(b = 0) ?(c = 0) op ~field label =
+    let idx = emit t (Isa.instr ~a ~b ~c op) in
+    t.fixups <- (idx, field, label) :: t.fixups
+
+  (* Place [label] here, preserving the no-fall-through-into-labels
+     discipline: if control could flow into this spot from above, route that
+     flow through an explicit jump to the label itself, so that every
+     arrival at a label is a control transfer. *)
+  let place_label t label =
+    if t.labels.(label) <> -1 then error "label %d placed twice" label;
+    if t.reachable then emit_ref t Isa.Jump ~field:Field_a label;
+    t.labels.(label) <- t.len;
+    t.reachable <- true
+
+  (* Direct backpatching of an arbitrary field (used for Enter local counts). *)
+  let patch_b t idx value =
+    let i = t.code.(idx) in
+    t.code.(idx) <- { i with Isa.b = value }
+
+  (* Resolved address of a placed label, if any. *)
+  let resolve_label t label =
+    if label < 0 || label >= t.n_labels then None
+    else
+      let a = t.labels.(label) in
+      if a < 0 then None else Some a
+
+  let finish t =
+    List.iter
+      (fun (idx, field, label) ->
+        let target = t.labels.(label) in
+        if target < 0 then error "label %d never placed" label;
+        let i = t.code.(idx) in
+        t.code.(idx) <-
+          (match field with Field_a -> { i with Isa.a = target }))
+      t.fixups;
+    (Array.sub t.code 0 t.len, Array.sub t.ctxs 0 t.len)

@@ -1,0 +1,145 @@
+module Isa = Uhm_dir.Isa
+module Program = Uhm_dir.Program
+
+let rules_description =
+  [
+    ("load l,o; lit 1; add; store l,o", "incvar l,o");
+    ("load l,o; lit 1; sub; store l,o", "decvar l,o");
+    ("lit k; add", "litadd k");
+    ("lit k; sub", "litsub k");
+    ("lit k; mul", "litmul k");
+    ("load l,o; add", "loadadd l,o");
+    ("load l,o; sub", "loadsub l,o");
+    ("load l,o; mul", "loadmul l,o");
+    ("eq; jz t", "cjeq t");
+    ("ne; jz t", "cjne t");
+    ("lt; jz t", "cjlt t");
+    ("le; jz t", "cjle t");
+    ("gt; jz t", "cjgt t");
+    ("ge; jz t", "cjge t");
+  ]
+
+(* Try to match a fusion window starting at [i]; [targetable k] says whether
+   instruction [k] can be entered by a branch (fusion must not swallow it).
+   Returns the fused instruction and the window length. *)
+let match_at code targetable i =
+  let n = Array.length code in
+  let get k = code.(k) in
+  let free k = k < n && not (targetable k) in
+  let instr = get i in
+  (* incvar / decvar: load l,o; lit 1; add|sub; store l,o *)
+  let incdec () =
+    if
+      i + 3 < n
+      && free (i + 1) && free (i + 2) && free (i + 3)
+      && Isa.equal_opcode instr.Isa.op Isa.Load
+      && Isa.equal_opcode (get (i + 1)).Isa.op Isa.Lit
+      && (get (i + 1)).Isa.a = 1
+      && Isa.equal_opcode (get (i + 3)).Isa.op Isa.Store
+      && (get (i + 3)).Isa.a = instr.Isa.a
+      && (get (i + 3)).Isa.b = instr.Isa.b
+    then
+      match (get (i + 2)).Isa.op with
+      | Isa.Add -> Some (Isa.instr ~a:instr.Isa.a ~b:instr.Isa.b Isa.Incvar, 4)
+      | Isa.Sub -> Some (Isa.instr ~a:instr.Isa.a ~b:instr.Isa.b Isa.Decvar, 4)
+      | _ -> None
+    else None
+  in
+  let lit_arith () =
+    if
+      i + 1 < n && free (i + 1)
+      && Isa.equal_opcode instr.Isa.op Isa.Lit
+    then
+      match (get (i + 1)).Isa.op with
+      | Isa.Add -> Some (Isa.instr ~a:instr.Isa.a Isa.Litadd, 2)
+      | Isa.Sub -> Some (Isa.instr ~a:instr.Isa.a Isa.Litsub, 2)
+      | Isa.Mul -> Some (Isa.instr ~a:instr.Isa.a Isa.Litmul, 2)
+      | _ -> None
+    else None
+  in
+  let load_arith () =
+    if
+      i + 1 < n && free (i + 1)
+      && Isa.equal_opcode instr.Isa.op Isa.Load
+    then
+      match (get (i + 1)).Isa.op with
+      | Isa.Add -> Some (Isa.instr ~a:instr.Isa.a ~b:instr.Isa.b Isa.Loadadd, 2)
+      | Isa.Sub -> Some (Isa.instr ~a:instr.Isa.a ~b:instr.Isa.b Isa.Loadsub, 2)
+      | Isa.Mul -> Some (Isa.instr ~a:instr.Isa.a ~b:instr.Isa.b Isa.Loadmul, 2)
+      | _ -> None
+    else None
+  in
+  let cmp_branch () =
+    if i + 1 < n && free (i + 1)
+       && Isa.equal_opcode (get (i + 1)).Isa.op Isa.Jz
+    then
+      let target = (get (i + 1)).Isa.a in
+      match instr.Isa.op with
+      | Isa.Eq -> Some (Isa.instr ~a:target Isa.Cjeq, 2)
+      | Isa.Ne -> Some (Isa.instr ~a:target Isa.Cjne, 2)
+      | Isa.Lt -> Some (Isa.instr ~a:target Isa.Cjlt, 2)
+      | Isa.Le -> Some (Isa.instr ~a:target Isa.Cjle, 2)
+      | Isa.Gt -> Some (Isa.instr ~a:target Isa.Cjgt, 2)
+      | Isa.Ge -> Some (Isa.instr ~a:target Isa.Cjge, 2)
+      | _ -> None
+    else None
+  in
+  (* longest first *)
+  match incdec () with
+  | Some _ as r -> r
+  | None -> (
+      match cmp_branch () with
+      | Some _ as r -> r
+      | None -> (
+          match load_arith () with
+          | Some _ as r -> r
+          | None -> lit_arith ()))
+
+let fuse (p : Program.t) =
+  let code = p.Program.code in
+  let n = Array.length code in
+  let targetable = Array.make n false in
+  Array.iter
+    (fun { Isa.op; a; _ } ->
+      match Isa.shape op with
+      | Isa.Shape_target | Isa.Shape_call -> targetable.(a) <- true
+      | _ -> ())
+    code;
+  targetable.(p.Program.entry) <- true;
+  let contour_map = Program.contour_of_instr p in
+  let fused = ref [] in
+  let fused_ctx = ref [] in
+  let new_index = Array.make (n + 1) 0 in
+  let out = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    new_index.(!i) <- !out;
+    let instr, window =
+      match match_at code (fun k -> targetable.(k)) !i with
+      | Some (instr, window) -> (instr, window)
+      | None -> (code.(!i), 1)
+    in
+    (* indices swallowed by the window map to the fused instruction *)
+    for k = !i to !i + window - 1 do
+      new_index.(k) <- !out
+    done;
+    fused := instr :: !fused;
+    fused_ctx := contour_map.(!i) :: !fused_ctx;
+    incr out;
+    i := !i + window
+  done;
+  new_index.(n) <- !out;
+  let code' = Array.of_list (List.rev !fused) in
+  let ctx' = Array.of_list (List.rev !fused_ctx) in
+  (* remap branch and call targets *)
+  let code' =
+    Array.map
+      (fun ({ Isa.op; a; _ } as instr) ->
+        match Isa.shape op with
+        | Isa.Shape_target | Isa.Shape_call -> { instr with Isa.a = new_index.(a) }
+        | _ -> instr)
+      code'
+  in
+  Program.validate_exn
+    (Program.make ~contour_map:ctx' ~name:p.Program.name ~code:code'
+       ~entry:new_index.(p.Program.entry) ~contours:p.Program.contours ())

@@ -1,0 +1,19 @@
+(** Superoperator fusion — raising the semantic level of the DIR.
+
+    The paper (§3.1–3.2) describes raising a representation's level by
+    "increasing the complexity and variety of the opcodes".  This peephole
+    pass rewrites common base-opcode sequences into the fused superoperators
+    of {!Uhm_dir.Isa} ([Litadd], [Incvar], the compare-and-branch family,
+    ...), shortening the instruction stream at the price of a larger
+    semantic-routine set — exactly the trade the Figure-1 grid measures.
+
+    Fusion never crosses a branch target (an instruction that can be entered
+    from elsewhere keeps its identity), and all branch targets are remapped
+    to the rewritten indices. *)
+
+val fuse : Uhm_dir.Program.t -> Uhm_dir.Program.t
+(** [fuse p] is an observationally equivalent program using superoperators.
+    Idempotent: [fuse (fuse p)] = [fuse p]. *)
+
+val rules_description : (string * string) list
+(** [(pattern, replacement)] pairs for documentation and reports. *)

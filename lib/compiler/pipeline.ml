@@ -1,0 +1,8 @@
+let compile ?(fold = true) ?(fuse = false) ast =
+  let ast = Uhm_hlr.Check.check_exn ast in
+  let ast = if fold then Const_fold.program ast else ast in
+  let dir = Codegen.compile ast in
+  if fuse then Fusion.fuse dir else dir
+
+let compile_source ?(name = "<source>") ?fold ?fuse source =
+  compile ?fold ?fuse (Uhm_hlr.Parser.parse ~name source)

@@ -1,0 +1,10 @@
+(** Front-to-back compilation pipeline: source text or AST → DIR program. *)
+
+val compile : ?fold:bool -> ?fuse:bool -> Uhm_hlr.Ast.program -> Uhm_dir.Program.t
+(** [compile p] checks and compiles [p].  [fold] (default [true]) applies
+    constant folding; [fuse] (default [false]) applies superoperator fusion.
+    Raises {!Uhm_hlr.Check.Check_error} or {!Codegen.Codegen_error}. *)
+
+val compile_source : ?name:string -> ?fold:bool -> ?fuse:bool -> string
+  -> Uhm_dir.Program.t
+(** [compile_source src] parses, checks and compiles Algol-S source text. *)

@@ -1,0 +1,185 @@
+module SF = Uhm_machine.Short_format
+
+type config = {
+  sets : int;
+  assoc : int;
+  unit_words : int;
+  overflow_blocks : int;
+}
+
+let config_capacity_words c =
+  ((c.sets * c.assoc) + c.overflow_blocks) * c.unit_words
+
+(* 4096 bytes of buffer at 16 bits per short word = 2048 words; with 4-word
+   units and 4-way sets that is 96 sets of primaries + overflow, rounded to
+   the nearest power-of-two set count: 64 sets * 4 ways * 4 words = 1024
+   primary words + 256 overflow blocks * 4 = 1024 overflow words. *)
+let paper_config = { sets = 64; assoc = 4; unit_words = 4; overflow_blocks = 256 }
+
+type entry = {
+  mutable tag : int;          (* DIR address; -1 invalid *)
+  mutable lru : int;          (* 0 = most recent *)
+  mutable chain : int list;   (* overflow block addresses owned *)
+  unit_addr : int;            (* primary unit address *)
+}
+
+type t = {
+  cfg : config;
+  entries : entry array array; (* sets x ways *)
+  mutable free_blocks : int list;
+  (* open translation state *)
+  mutable open_entry : entry option;
+  mutable cursor : int;       (* next write address *)
+  mutable block_end : int;    (* first address past the current block's
+                                 payload (the reserved chain slot) *)
+  mutable start_addr : int;
+  (* statistics *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable overflow_allocs : int;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let create cfg ~buffer_base =
+  if not (is_power_of_two cfg.sets) then
+    invalid_arg "Dtb.create: set count must be a power of two";
+  if cfg.unit_words < 2 then invalid_arg "Dtb.create: unit too small";
+  let assoc = if cfg.assoc = 0 then cfg.sets else cfg.assoc in
+  let cfg = { cfg with assoc } in
+  let entries =
+    Array.init cfg.sets (fun s ->
+        Array.init cfg.assoc (fun w ->
+            {
+              tag = -1;
+              lru = w;
+              chain = [];
+              unit_addr =
+                buffer_base + (((s * cfg.assoc) + w) * cfg.unit_words);
+            }))
+  in
+  let overflow_base = buffer_base + (cfg.sets * cfg.assoc * cfg.unit_words) in
+  let free_blocks =
+    List.init cfg.overflow_blocks (fun i ->
+        overflow_base + (i * cfg.unit_words))
+  in
+  {
+    cfg;
+    entries;
+    free_blocks;
+    open_entry = None;
+    cursor = 0;
+    block_end = 0;
+    start_addr = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    overflow_allocs = 0;
+  }
+
+let buffer_words t = config_capacity_words t.cfg
+
+(* The set-selection hash of Figure 2.  DIR addresses are bit addresses, so
+   neighbouring instructions differ in the low bits; a simple shift-and-mask
+   spreads them well (the hash is a config point for ablations via [sets]). *)
+let set_of t tag = (tag lxor (tag lsr 7)) land (t.cfg.sets - 1)
+
+let touch t set way =
+  let ways = t.entries.(set) in
+  let old = ways.(way).lru in
+  Array.iter (fun e -> if e.lru < old then e.lru <- e.lru + 1) ways;
+  ways.(way).lru <- 0
+
+let lookup t ~tag =
+  let set = set_of t tag in
+  let ways = t.entries.(set) in
+  let rec find w =
+    if w >= Array.length ways then None
+    else if ways.(w).tag = tag then Some w
+    else find (w + 1)
+  in
+  match find 0 with
+  | Some w ->
+      t.hits <- t.hits + 1;
+      touch t set w;
+      `Hit ways.(w).unit_addr
+  | None ->
+      t.misses <- t.misses + 1;
+      `Miss
+
+let begin_translation t ~tag =
+  if t.open_entry <> None then failwith "Dtb: translation already open";
+  let set = set_of t tag in
+  let ways = t.entries.(set) in
+  let victim = ref 0 in
+  Array.iteri (fun w e -> if e.lru > ways.(!victim).lru then victim := w) ways;
+  let e = ways.(!victim) in
+  if e.tag >= 0 then begin
+    t.evictions <- t.evictions + 1;
+    (* the replacement logic releases the victim's overflow chain *)
+    t.free_blocks <- e.chain @ t.free_blocks;
+    e.chain <- []
+  end;
+  e.tag <- tag;
+  touch t set !victim;
+  t.open_entry <- Some e;
+  t.cursor <- e.unit_addr;
+  t.block_end <- e.unit_addr + t.cfg.unit_words - 1;
+  t.start_addr <- e.unit_addr
+
+let emit t _word =
+  let e =
+    match t.open_entry with
+    | Some e -> e
+    | None -> failwith "Dtb.emit: no open translation"
+  in
+  if t.cursor < t.block_end then begin
+    let addr = t.cursor in
+    t.cursor <- addr + 1;
+    (addr, [])
+  end
+  else begin
+    (* current block full: chain a fresh overflow block through the
+       reserved slot *)
+    match t.free_blocks with
+    | [] -> failwith "Dtb.emit: overflow area exhausted"
+    | block :: rest ->
+        t.free_blocks <- rest;
+        t.overflow_allocs <- t.overflow_allocs + 1;
+        e.chain <- block :: e.chain;
+        let goto_addr = t.block_end in
+        let goto_word = SF.pack SF.Goto block in
+        t.cursor <- block + 1;
+        t.block_end <- block + t.cfg.unit_words - 1;
+        (block, [ (goto_addr, goto_word) ])
+  end
+
+let end_translation t =
+  match t.open_entry with
+  | None -> failwith "Dtb.end_translation: no open translation"
+  | Some _ ->
+      t.open_entry <- None;
+      t.start_addr
+
+let hits t = t.hits
+let misses t = t.misses
+
+let hit_ratio t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0. else float_of_int t.hits /. float_of_int total
+
+let evictions t = t.evictions
+let overflow_allocations t = t.overflow_allocs
+
+let resident_entries t =
+  Array.fold_left
+    (fun acc ways ->
+      acc + Array.fold_left (fun a e -> if e.tag >= 0 then a + 1 else a) 0 ways)
+    0 t.entries
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0;
+  t.overflow_allocs <- 0

@@ -1,0 +1,70 @@
+(** The dynamic translation buffer (paper §5, Figure 2).
+
+    A set-associative structure mapping DIR instruction addresses to the
+    buffer-array locations of their PSDER translations:
+
+    - the {e associative tag array} holds DIR addresses;
+    - the {e address array} holds buffer pointers (kept explicit, as in the
+      paper, to allow variable allocation);
+    - the {e replacement array} keeps true-LRU order per set;
+    - the {e buffer array} is a region of the machine's level-1 memory.
+
+    Allocation is the paper's "variable allocation with fixed size
+    increments" (§5.1): each entry owns one primary unit of
+    [unit_words] words; a translation that outgrows it is chained through
+    GOTO words into blocks taken from an overflow area.  With
+    [unit_words - 1] no smaller than the longest translation the scheme
+    degenerates to the paper's simple fixed allocation. *)
+
+type t
+
+type config = {
+  sets : int;            (** power of two *)
+  assoc : int;           (** ways per set; 0 = fully associative *)
+  unit_words : int;      (** words per allocation unit, including the
+                             reserved chain slot; at least 2 *)
+  overflow_blocks : int; (** blocks available for chaining *)
+}
+
+val config_capacity_words : config -> int
+(** Total buffer words: primary units plus overflow area. *)
+
+val paper_config : config
+(** 4-way, 4-word units; capacity comparable to the paper's 4096-byte
+    instruction cache at 16 bits per short word. *)
+
+val create : config -> buffer_base:int -> t
+
+val buffer_words : t -> int
+
+val lookup : t -> tag:int -> [ `Hit of int | `Miss ]
+(** [lookup t ~tag] searches the set selected by hashing [tag].  On a hit,
+    returns the buffer address of the translation and promotes the entry to
+    most-recently-used.  On a miss, nothing is installed —
+    call {!begin_translation}. *)
+
+val begin_translation : t -> tag:int -> unit
+(** Choose the LRU victim of [tag]'s set, release its overflow chain, store
+    the new tag, and reset the emission cursor to the entry's primary
+    unit. *)
+
+val emit : t -> int -> int * (int * int) list
+(** [emit t word] appends [word] to the open translation and returns
+    [(address_written, chain_writes)] where [chain_writes] are
+    [(address, goto_word)] pairs the hardware wrote to link an overflow
+    block.  The caller pokes all the words into the buffer region and
+    charges their write time.  Raises [Failure] if the overflow area is
+    exhausted or no translation is open. *)
+
+val end_translation : t -> int
+(** Close the open translation and return its start address. *)
+
+(** {2 Statistics} *)
+
+val hits : t -> int
+val misses : t -> int
+val hit_ratio : t -> float
+val evictions : t -> int
+val overflow_allocations : t -> int
+val resident_entries : t -> int
+val reset_stats : t -> unit

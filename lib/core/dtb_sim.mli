@@ -1,0 +1,33 @@
+(** Trace-driven DTB simulation.
+
+    Geometry sweeps (capacity, associativity, allocation policy) need many
+    DTB configurations over the same instruction stream.  The DTB's hit/miss
+    behaviour depends only on the sequence of DIR addresses presented to
+    INTERP — exactly the reference interpreter's instruction trace — so this
+    module replays that trace against a {!Dtb.t} without building a machine.
+    [test/test_core.ml] checks that the replay matches the full machine's
+    hit ratios, miss counts and emitted-word counts exactly. *)
+
+val translation_words : Uhm_dir.Isa.instr -> int
+(** Short words the per-instruction dynamic translator emits for this
+    instruction (must agree with [Translate_gen]'s templates). *)
+
+type result = {
+  references : int;
+  hit_ratio : float;
+  misses : int;
+  evictions : int;
+  overflow_allocations : int;
+  words_emitted : int;
+}
+
+val replay : ?addr_of:(int -> int) -> config:Dtb.config -> Uhm_dir.Program.t
+  -> result
+(** [replay ~config p] drives a fresh DTB with [p]'s dynamic instruction
+    stream.  [addr_of] maps instruction indices to the DIR addresses used as
+    tags (default: the index itself).  Raises [Failure] if the program traps
+    or runs out of fuel. *)
+
+val replay_encoded : config:Dtb.config -> Uhm_encoding.Codec.encoded -> result
+(** [replay_encoded ~config e] tags with [e]'s bit addresses, matching what
+    the machine's INTERP sees for that encoding. *)

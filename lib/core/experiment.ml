@@ -1,0 +1,197 @@
+module Model = Uhm_perfmodel.Model
+module Kind = Uhm_encoding.Kind
+module Codec = Uhm_encoding.Codec
+module Program = Uhm_dir.Program
+module Machine = Uhm_machine.Machine
+module Timing = Uhm_machine.Timing
+module Asm = Uhm_machine.Asm
+
+type measured = {
+  program_name : string;
+  kind : Kind.t;
+  dir_steps : int;
+  interp : Uhm.result;
+  cached : Uhm.result;
+  dtb : Uhm.result;
+}
+
+let expect_halted what (r : Uhm.result) =
+  match r.Uhm.status with
+  | Machine.Halted -> r
+  | Machine.Trapped m -> failwith (Printf.sprintf "%s trapped: %s" what m)
+  | Machine.Out_of_fuel -> failwith (what ^ " ran out of fuel")
+  | Machine.Running -> assert false
+
+let measure ?timing ?(dtb_config = Dtb.paper_config) ?(icache_bytes = 4096)
+    ~kind ~name (p : Program.t) =
+  let encoded = Codec.encode kind p in
+  let run strategy =
+    expect_halted
+      (Printf.sprintf "%s/%s/%s" name (Kind.name kind)
+         (Uhm.strategy_name strategy))
+      (Uhm.run_encoded ?timing ~strategy encoded)
+  in
+  let interp = run Uhm.Interp in
+  let cached = run (Uhm.Cached icache_bytes) in
+  let dtb = run (Uhm.Dtb_strategy dtb_config) in
+  {
+    program_name = name;
+    kind;
+    dir_steps = interp.Uhm.dir_steps;
+    interp;
+    cached;
+    dtb;
+  }
+
+type calibration = {
+  c_d : float;
+  c_x : float;
+  c_g : float;
+  c_d_miss : float;
+  c_s1 : float;
+  c_s2 : float;
+  c_h_c : float;
+  c_h_d : float;
+}
+
+let cat (r : Uhm.result) category =
+  float_of_int
+    r.Uhm.machine_stats.Machine.cat_cycles.(Machine.category_index category)
+
+let calibrate (m : measured) =
+  let steps = float_of_int m.dir_steps in
+  let misses =
+    float_of_int (max 1 (Option.value ~default:1 m.dtb.Uhm.dtb_misses))
+  in
+  {
+    c_d = cat m.interp Asm.Decode /. steps;
+    c_x = cat m.interp Asm.Semantic /. steps;
+    c_g = cat m.dtb Asm.Translate /. misses;
+    c_d_miss = cat m.dtb Asm.Decode /. misses;
+    c_s1 =
+      float_of_int m.dtb.Uhm.machine_stats.Machine.short_instrs /. steps;
+    c_s2 =
+      float_of_int m.interp.Uhm.machine_stats.Machine.dir_units_fetched
+      /. steps;
+    c_h_c = Option.value ~default:0. m.cached.Uhm.icache_hit_ratio;
+    c_h_d = Option.value ~default:0. m.dtb.Uhm.dtb_hit_ratio;
+  }
+
+let params_of ?(timing = Timing.paper) (c : calibration) =
+  {
+    Model.tau1 = float_of_int timing.Timing.t1;
+    tau2 = float_of_int timing.Timing.t2;
+    tau_d = float_of_int timing.Timing.t_dtb;
+    d = c.c_d;
+    g = c.c_g;
+    x = c.c_x;
+    s1 = c.c_s1;
+    s2 = c.c_s2;
+    h_c = c.c_h_c;
+    h_d = c.c_h_d;
+  }
+
+(* -- Figure 1: the space of representations -------------------------------- *)
+
+type space_point = {
+  sp_label : string;
+  sp_semantic_level : string;
+  sp_encoding : string;
+  sp_size_bits : int;
+  sp_cycles_per_instr : float;
+  sp_total_cycles : int;
+}
+
+let point ~label ~level ~encoding (r : Uhm.result) =
+  {
+    sp_label = label;
+    sp_semantic_level = level;
+    sp_encoding = encoding;
+    sp_size_bits = r.Uhm.static_size_bits;
+    sp_cycles_per_instr = Uhm.cycles_per_dir_instruction r;
+    sp_total_cycles = r.Uhm.cycles;
+  }
+
+let figure1_points ?timing ~name ast =
+  let base = Uhm_compiler.Pipeline.compile ~fuse:false ast in
+  let fused = Uhm_compiler.Pipeline.compile ~fuse:true ast in
+  let run p strategy kind what =
+    expect_halted
+      (Printf.sprintf "%s/%s" name what)
+      (Uhm.run ?timing ~strategy ~kind p)
+  in
+  let der_l1 = run base (Uhm.Der Uhm.Der_level1) Kind.Packed "der-l1" in
+  let der_l2 = run base (Uhm.Der Uhm.Der_level2) Kind.Packed "der-l2" in
+  let psder = run base Uhm.Psder_static Kind.Packed "psder" in
+  let dir_points fuse p level =
+    List.map
+      (fun kind ->
+        let r =
+          run p Uhm.Interp kind
+            (Printf.sprintf "dir%s/%s" (if fuse then "+f" else "") (Kind.name kind))
+        in
+        point
+          ~label:(Printf.sprintf "%s/%s" level (Kind.name kind))
+          ~level ~encoding:(Kind.name kind) r)
+      Kind.all
+  in
+  [
+    point ~label:"der (fast store)" ~level:"der" ~encoding:"none" der_l1;
+    point ~label:"der (level 2)" ~level:"der" ~encoding:"none" der_l2;
+    point ~label:"psder-static" ~level:"psder" ~encoding:"none" psder;
+  ]
+  @ dir_points false base "dir"
+  @ dir_points true fused "dir+superops"
+
+(* -- DTB geometry sweeps ---------------------------------------------------- *)
+
+type dtb_point = {
+  dp_config : Dtb.config;
+  dp_capacity_words : int;
+  dp_hit_ratio : float;
+  dp_misses : int;
+  dp_evictions : int;
+  dp_overflow_allocations : int;
+}
+
+let dtb_sweep ~kind ~configs p =
+  let encoded = Codec.encode kind p in
+  List.map
+    (fun config ->
+      let r = Dtb_sim.replay_encoded ~config encoded in
+      {
+        dp_config = config;
+        dp_capacity_words = Dtb.config_capacity_words config;
+        dp_hit_ratio = r.Dtb_sim.hit_ratio;
+        dp_misses = r.Dtb_sim.misses;
+        dp_evictions = r.Dtb_sim.evictions;
+        dp_overflow_allocations = r.Dtb_sim.overflow_allocations;
+      })
+    configs
+
+let capacity_configs () =
+  (* one overflow block per entry: enough for the longest translation at
+     4-word units *)
+  List.map
+    (fun sets ->
+      { Dtb.paper_config with Dtb.sets; overflow_blocks = sets * 4 })
+    [ 8; 16; 32; 64; 128; 256 ]
+
+let assoc_configs () =
+  (* constant 256 entries; assoc 0 = fully associative *)
+  [
+    { Dtb.sets = 256; assoc = 1; unit_words = 4; overflow_blocks = 256 };
+    { Dtb.sets = 128; assoc = 2; unit_words = 4; overflow_blocks = 256 };
+    { Dtb.sets = 64; assoc = 4; unit_words = 4; overflow_blocks = 256 };
+    { Dtb.sets = 32; assoc = 8; unit_words = 4; overflow_blocks = 256 };
+    { Dtb.sets = 1; assoc = 256; unit_words = 4; overflow_blocks = 256 };
+  ]
+
+let alloc_configs () =
+  (* roughly constant buffer capacity; unit 3 chains often, unit 8 never *)
+  [
+    { Dtb.sets = 64; assoc = 4; unit_words = 3; overflow_blocks = 512 };
+    { Dtb.sets = 64; assoc = 4; unit_words = 4; overflow_blocks = 256 };
+    { Dtb.sets = 64; assoc = 4; unit_words = 6; overflow_blocks = 0 };
+    { Dtb.sets = 64; assoc = 4; unit_words = 8; overflow_blocks = 0 };
+  ]

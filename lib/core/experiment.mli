@@ -1,0 +1,79 @@
+(** The experiment harness: measured quantities behind every reproduced
+    table and figure (see DESIGN.md's experiment index).
+
+    All functions are deterministic and pure up to memoisation; bench
+    targets format the returned records with [Uhm_report.Table]. *)
+
+module Model := Uhm_perfmodel.Model
+module Kind := Uhm_encoding.Kind
+module Program := Uhm_dir.Program
+
+type measured = {
+  program_name : string;
+  kind : Kind.t;
+  dir_steps : int;
+  interp : Uhm.result;
+  cached : Uhm.result;
+  dtb : Uhm.result;
+}
+
+val measure : ?timing:Uhm_machine.Timing.t -> ?dtb_config:Dtb.config
+  -> ?icache_bytes:int -> kind:Kind.t -> name:string -> Program.t -> measured
+
+(** Per-DIR-instruction cost components extracted from simulation, the
+    measured counterparts of the paper's parameters. *)
+type calibration = {
+  c_d : float;       (** decode + dispatch cycles per instruction (interp) *)
+  c_x : float;       (** semantic cycles per instruction (interp) *)
+  c_g : float;       (** generation cycles per translated instruction *)
+  c_d_miss : float;  (** decode cycles per DTB miss *)
+  c_s1 : float;      (** short words executed per instruction (DTB) *)
+  c_s2 : float;      (** 16-bit DIR units fetched per instruction (interp) *)
+  c_h_c : float;     (** instruction-cache hit ratio *)
+  c_h_d : float;     (** DTB hit ratio *)
+}
+
+val calibrate : measured -> calibration
+
+val params_of : ?timing:Uhm_machine.Timing.t -> calibration -> Model.params
+(** Analytic-model parameters from measured values. *)
+
+(** One point of the Figure-1 representation space. *)
+type space_point = {
+  sp_label : string;          (** e.g. "dir/huffman", "psder", "der" *)
+  sp_semantic_level : string; (** "der" | "psder" | "dir" | "dir+superops" *)
+  sp_encoding : string;
+  sp_size_bits : int;
+  sp_cycles_per_instr : float;
+  sp_total_cycles : int;
+}
+
+val figure1_points : ?timing:Uhm_machine.Timing.t -> name:string
+  -> Uhm_hlr.Ast.program -> space_point list
+(** Size and interpretation time of one source program across the whole
+    representation space: DER (level-1 and level-2 resident), static PSDER,
+    and interpreted DIR at every encoding, both with and without superoperator
+    fusion. *)
+
+(** DTB geometry sweep (Figure 2 behavioural validation, ablations X2/X3). *)
+type dtb_point = {
+  dp_config : Dtb.config;
+  dp_capacity_words : int;
+  dp_hit_ratio : float;
+  dp_misses : int;
+  dp_evictions : int;
+  dp_overflow_allocations : int;
+}
+
+val dtb_sweep : kind:Kind.t -> configs:Dtb.config list -> Program.t
+  -> dtb_point list
+
+val capacity_configs : unit -> Dtb.config list
+(** Same geometry as {!Dtb.paper_config} at 1/8x .. 4x capacity. *)
+
+val assoc_configs : unit -> Dtb.config list
+(** Direct-mapped through fully-associative at the paper capacity. *)
+
+val alloc_configs : unit -> Dtb.config list
+(** Unit sizes from chained 3-word units to fixed 8-word units at roughly
+    constant capacity. *)

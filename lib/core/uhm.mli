@@ -1,0 +1,88 @@
+(** The universal host machine, assembled: one entry point that runs a DIR
+    program under each of the paper's machine configurations.
+
+    - {!Interp}: the conventional UHM (paper §7 case 1) — fetch from
+      level 2, decode, dispatch, execute; every instruction, every time.
+    - {!Cached}: case 3 — the same interpreter with an instruction cache
+      over the DIR stream.
+    - {!Dtb_strategy}: case 2, the paper's contribution — a dynamic
+      translation buffer holds PSDER translations of the working set;
+      hits skip fetch and decode entirely.
+    - {!Psder_static}: the whole program pre-translated to short-format
+      code resident in level-2 memory (a PSDER as the {e static}
+      representation; Figure 1's execution-time-optimal static point).
+    - {!Der}: the expanded-machine-language representation, optionally
+      level-2 resident (with or without an instruction cache) to model its
+      size exceeding the fast store.
+
+    All strategies execute the same semantic-routine library on the same
+    simulated machine and must produce identical output. *)
+
+module Machine := Uhm_machine.Machine
+module Timing := Uhm_machine.Timing
+
+type der_residence =
+  | Der_level1                 (** host code in the fast store (idealised) *)
+  | Der_level2                 (** every instruction fetch pays t2 *)
+  | Der_level2_cached of int   (** icache of given capacity (bytes) *)
+
+type strategy =
+  | Interp
+  | Cached of int              (** icache capacity in bytes *)
+  | Dtb_strategy of Dtb.config
+  | Dtb_blocks of Dtb.config * int
+      (** like {!Dtb_strategy}, but the translator translates straight-line
+          runs of up to the given number of DIR instructions into a single
+          buffer entry — basic-block translation, the modern-JIT refinement
+          of the paper's per-instruction units *)
+  | Dtb_two_level of Dtb.config * int
+      (** a fully-associative second-level decoded-instruction store of the
+          given capacity (entries) behind the DTB: a translation miss that
+          hits it skips the decode and pays only the generation cost —
+          the paper's §4 "number of levels of dynamic translation" *)
+  | Psder_static
+  | Der of der_residence
+
+val strategy_name : strategy -> string
+
+type result = {
+  strategy : strategy;
+  status : Machine.status;
+  output : string;
+  cycles : int;
+  machine_stats : Machine.stats;
+  dir_steps : int;             (** DIR instructions executed (from the
+                                   reference interpreter; all strategies
+                                   execute the same instruction stream) *)
+  dtb_hit_ratio : float option;
+  dtb_misses : int option;
+  dtb_evictions : int option;
+  dtb_overflow_allocations : int option;
+  dtb_emitted_words : int option;
+  dtb_l2_hit_ratio : float option;
+  icache_hit_ratio : float option;
+  static_size_bits : int;      (** the program representation itself *)
+  support_size_bits : int;     (** interpreter/translator code + decode
+                                   tables + DTB buffer *)
+}
+
+val cycles_per_dir_instruction : result -> float
+
+val run : ?timing:Timing.t -> ?fuel:int -> ?layout:Uhm_psder.Layout.t
+  -> ?decode_assist:bool -> ?compound_datapath:bool -> strategy:strategy
+  -> kind:Uhm_encoding.Kind.t -> Uhm_dir.Program.t -> result
+(** [run ~strategy ~kind p] encodes [p] with [kind] (ignored by
+    {!Psder_static} and {!Der}, which work from the decoded program) and
+    executes it to completion.
+
+    [decode_assist] (interpreted and DTB strategies only) replaces the
+    software decode routine with a single-instruction hardware decode unit —
+    the paper's §8 alternative to the DTB ("powerful hardware aids to the
+    decoding process", i.e. random logic instead of memory). *)
+
+val run_encoded : ?timing:Timing.t -> ?fuel:int -> ?layout:Uhm_psder.Layout.t
+  -> ?decode_assist:bool -> ?compound_datapath:bool -> strategy:strategy
+  -> Uhm_encoding.Codec.encoded -> result
+(** Like {!run} for a pre-encoded program (avoids re-encoding in sweeps).
+    Raises [Invalid_argument] for {!Psder_static}/{!Der}, which do not take
+    an encoding. *)

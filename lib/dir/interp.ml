@@ -1,0 +1,248 @@
+type status =
+  | Halted
+  | Trapped of string
+  | Out_of_fuel
+
+type result = {
+  status : status;
+  output : string;
+  steps : int;
+  opcode_counts : int array;
+  instr_counts : int array;
+  max_operand_depth : int;
+  max_frame_words : int;
+}
+
+exception Trap of string
+
+let trap fmt = Printf.ksprintf (fun s -> raise (Trap s)) fmt
+
+(* Growable data memory for frames; indices are word addresses. *)
+module Data = struct
+  type t = {
+    mutable cells : int array;
+    mutable top : int;       (* first free word *)
+    mutable high_water : int;
+  }
+
+  let create () = { cells = Array.make 1024 0; top = 0; high_water = 0 }
+
+  let grow_to t n =
+    if n > Array.length t.cells then begin
+      let capacity = ref (Array.length t.cells) in
+      while !capacity < n do
+        capacity := !capacity * 2
+      done;
+      let fresh = Array.make !capacity 0 in
+      Array.blit t.cells 0 fresh 0 t.top;
+      t.cells <- fresh
+    end
+
+  let set_top t n =
+    grow_to t n;
+    (* Zero newly exposed cells so reallocated frame space is clean. *)
+    if n > t.top then Array.fill t.cells t.top (n - t.top) 0;
+    t.top <- n;
+    if n > t.high_water then t.high_water <- n
+
+  let get t addr =
+    if addr < 0 || addr >= t.top then trap "data read out of range: %d" addr;
+    t.cells.(addr)
+
+  let set t addr v =
+    if addr < 0 || addr >= t.top then trap "data write out of range: %d" addr;
+    t.cells.(addr) <- v
+end
+
+let default_fuel = 200_000_000
+
+let run ?(fuel = default_fuel) ?on_step (p : Program.t) =
+  let code = p.Program.code in
+  let n = Array.length code in
+  let data = Data.create () in
+  let stack = ref [] in
+  let stack_depth = ref 0 in
+  let max_depth = ref 0 in
+  let fp = ref 0 in
+  let pc = ref p.Program.entry in
+  let steps = ref 0 in
+  let opcode_counts = Array.make Isa.opcode_count 0 in
+  let instr_counts = Array.make n 0 in
+  let out = Buffer.create 256 in
+  let push v =
+    stack := v :: !stack;
+    incr stack_depth;
+    if !stack_depth > !max_depth then max_depth := !stack_depth
+  in
+  let pop () =
+    match !stack with
+    | [] -> trap "operand stack underflow"
+    | v :: rest ->
+        stack := rest;
+        decr stack_depth;
+        v
+  in
+  let bool_of v = v <> 0 in
+  let of_bool b = if b then 1 else 0 in
+  (* Walk [hops] static links from the current frame. *)
+  let walk hops =
+    let base = ref !fp in
+    for _ = 1 to hops do
+      base := Data.get data !base
+    done;
+    !base
+  in
+  let var_addr hops off = walk hops + Isa.frame_header_size + off in
+  (* Establish the main frame: self static link, null dynamic link, a return
+     address that can never be reached, contour 0, then main's locals. *)
+  let main = p.Program.contours.(0) in
+  Data.set_top data (Isa.frame_header_size + main.Program.n_locals);
+  Data.set data 0 0;
+  Data.set data 1 0;
+  Data.set data 2 (-1);
+  Data.set data 3 0;
+  let status = ref Halted in
+  let binop f =
+    let y = pop () in
+    let x = pop () in
+    push (f x y)
+  in
+  let compare_and_jump cmp target =
+    let y = pop () in
+    let x = pop () in
+    if not (cmp x y) then pc := target
+  in
+  (try
+     let running = ref true in
+     while !running do
+       if !steps >= fuel then begin
+         status := Out_of_fuel;
+         running := false
+       end
+       else begin
+         if !pc < 0 || !pc >= n then trap "pc out of range: %d" !pc;
+         let i = code.(!pc) in
+         (match on_step with Some f -> f !pc i | None -> ());
+         incr steps;
+         opcode_counts.(Isa.opcode_to_enum i.Isa.op)
+         <- opcode_counts.(Isa.opcode_to_enum i.Isa.op) + 1;
+         instr_counts.(!pc) <- instr_counts.(!pc) + 1;
+         let next = !pc + 1 in
+         pc := next;
+         (match i.Isa.op with
+         | Isa.Lit -> push i.Isa.a
+         | Isa.Load -> push (Data.get data (var_addr i.Isa.a i.Isa.b))
+         | Isa.Store -> Data.set data (var_addr i.Isa.a i.Isa.b) (pop ())
+         | Isa.Addr -> push (var_addr i.Isa.a i.Isa.b)
+         | Isa.Loadi -> push (Data.get data (pop ()))
+         | Isa.Storei ->
+             let v = pop () in
+             let addr = pop () in
+             Data.set data addr v
+         | Isa.Index ->
+             let idx = pop () in
+             let base = pop () in
+             push (base + idx)
+         | Isa.Dup ->
+             let v = pop () in
+             push v;
+             push v
+         | Isa.Drop -> ignore (pop ())
+         | Isa.Swap ->
+             let y = pop () in
+             let x = pop () in
+             push y;
+             push x
+         | Isa.Add -> binop ( + )
+         | Isa.Sub -> binop ( - )
+         | Isa.Mul -> binop ( * )
+         | Isa.Div ->
+             binop (fun x y -> if y = 0 then trap "division by zero" else x / y)
+         | Isa.Mod ->
+             binop (fun x y -> if y = 0 then trap "division by zero" else x mod y)
+         | Isa.Neg -> push (-pop ())
+         | Isa.Eq -> binop (fun x y -> of_bool (x = y))
+         | Isa.Ne -> binop (fun x y -> of_bool (x <> y))
+         | Isa.Lt -> binop (fun x y -> of_bool (x < y))
+         | Isa.Le -> binop (fun x y -> of_bool (x <= y))
+         | Isa.Gt -> binop (fun x y -> of_bool (x > y))
+         | Isa.Ge -> binop (fun x y -> of_bool (x >= y))
+         | Isa.And -> binop (fun x y -> of_bool (bool_of x && bool_of y))
+         | Isa.Or -> binop (fun x y -> of_bool (bool_of x || bool_of y))
+         | Isa.Not -> push (of_bool (pop () = 0))
+         | Isa.Jump -> pc := i.Isa.a
+         | Isa.Jz -> if pop () = 0 then pc := i.Isa.a
+         | Isa.Call ->
+             let sl = walk i.Isa.b in
+             let base = data.Data.top in
+             Data.set_top data (base + Isa.frame_header_size);
+             Data.set data base sl;
+             Data.set data (base + 1) !fp;
+             Data.set data (base + 2) next;
+             Data.set data (base + 3) 0;
+             fp := base;
+             pc := i.Isa.a
+         | Isa.Enter ->
+             let nargs = i.Isa.a and nlocals = i.Isa.b in
+             let base = !fp in
+             Data.set_top data (base + Isa.frame_header_size + nargs + nlocals);
+             for k = nargs - 1 downto 0 do
+               Data.set data (base + Isa.frame_header_size + k) (pop ())
+             done
+         | Isa.Ret ->
+             let base = !fp in
+             let ret = Data.get data (base + 2) in
+             fp := Data.get data (base + 1);
+             Data.set_top data base;
+             pc := ret
+         | Isa.Print ->
+             Buffer.add_string out (string_of_int (pop ()));
+             Buffer.add_char out '\n'
+         | Isa.Printc ->
+             let v = pop () in
+             if v < 0 || v > 255 then trap "printc out of range: %d" v;
+             Buffer.add_char out (Char.chr v)
+         | Isa.Halt -> running := false
+         | Isa.Litadd -> push (pop () + i.Isa.a)
+         | Isa.Litsub -> push (pop () - i.Isa.a)
+         | Isa.Litmul -> push (pop () * i.Isa.a)
+         | Isa.Loadadd ->
+             let v = Data.get data (var_addr i.Isa.a i.Isa.b) in
+             push (pop () + v)
+         | Isa.Loadsub ->
+             let v = Data.get data (var_addr i.Isa.a i.Isa.b) in
+             push (pop () - v)
+         | Isa.Loadmul ->
+             let v = Data.get data (var_addr i.Isa.a i.Isa.b) in
+             push (pop () * v)
+         | Isa.Incvar ->
+             let addr = var_addr i.Isa.a i.Isa.b in
+             Data.set data addr (Data.get data addr + 1)
+         | Isa.Decvar ->
+             let addr = var_addr i.Isa.a i.Isa.b in
+             Data.set data addr (Data.get data addr - 1)
+         | Isa.Cjeq -> compare_and_jump ( = ) i.Isa.a
+         | Isa.Cjne -> compare_and_jump ( <> ) i.Isa.a
+         | Isa.Cjlt -> compare_and_jump ( < ) i.Isa.a
+         | Isa.Cjle -> compare_and_jump ( <= ) i.Isa.a
+         | Isa.Cjgt -> compare_and_jump ( > ) i.Isa.a
+         | Isa.Cjge -> compare_and_jump ( >= ) i.Isa.a)
+       end
+     done
+   with Trap msg -> status := Trapped msg);
+  {
+    status = !status;
+    output = Buffer.contents out;
+    steps = !steps;
+    opcode_counts;
+    instr_counts;
+    max_operand_depth = !max_depth;
+    max_frame_words = data.Data.high_water;
+  }
+
+let run_output ?fuel p =
+  let r = run ?fuel p in
+  match r.status with
+  | Halted -> r.output
+  | Trapped msg -> failwith (Printf.sprintf "%s: trapped: %s" p.Program.name msg)
+  | Out_of_fuel -> failwith (Printf.sprintf "%s: out of fuel" p.Program.name)

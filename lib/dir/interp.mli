@@ -1,0 +1,32 @@
+(** Reference interpreter for DIR programs.
+
+    A direct OCaml implementation of the DIR semantics, used as the oracle in
+    differential tests: the Algol-S tree interpreter, this interpreter, and
+    all four simulated-machine strategies must produce identical output for
+    the same program.  It also produces the dynamic statistics (opcode
+    mix, branch/call counts, per-instruction execution counts) that feed the
+    workload characterisation. *)
+
+type status =
+  | Halted
+  | Trapped of string    (** runtime error, e.g. division by zero *)
+  | Out_of_fuel          (** step budget exhausted *)
+
+type result = {
+  status : status;
+  output : string;               (** everything printed by the program *)
+  steps : int;                   (** DIR instructions executed *)
+  opcode_counts : int array;     (** dynamic count per {!Isa.opcode} enum *)
+  instr_counts : int array;      (** execution count per instruction index *)
+  max_operand_depth : int;       (** high-water mark of the operand stack *)
+  max_frame_words : int;         (** high-water mark of the data memory *)
+}
+
+val run : ?fuel:int -> ?on_step:(int -> Isa.instr -> unit) -> Program.t -> result
+(** [run p] executes [p] from its entry point.  [fuel] bounds the number of
+    instructions (default 200 million).  [on_step pc instr] is called before
+    each instruction executes — used to extract DIR reference traces. *)
+
+val run_output : ?fuel:int -> Program.t -> string
+(** [run_output p] is the output of a run that must halt cleanly;
+    raises [Failure] on a trap or fuel exhaustion. *)

@@ -1,0 +1,139 @@
+(* The DIR — directly interpretable representation (paper §2.3).
+
+   A stack-oriented intermediate instruction set with contour-relative
+   variable addressing, produced by the Algol-S compiler.  The base opcodes
+   form the low-semantic-level DIR; the [fused] superoperators are produced
+   by the peephole fusion pass and raise the semantic level (paper §3.1: the
+   level of a representation is raised "by increasing the complexity and
+   variety of the opcodes"). *)
+
+type opcode =
+  (* stack and constants *)
+  | Lit       (* push immediate [a] (signed) *)
+  | Load      (* push variable at [a] static hops, offset [b] *)
+  | Store     (* pop into variable ([a], [b]) *)
+  | Addr      (* push the address of variable ([a], [b]) *)
+  | Loadi     (* pop address, push its contents *)
+  | Storei    (* pop value, pop address, store value at address *)
+  | Index     (* pop index, pop base address, push base + index *)
+  | Dup
+  | Drop
+  | Swap
+  (* arithmetic and logic; binary ops pop y then x and push x op y *)
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Neg
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+  | Not
+  (* control: targets are instruction indices in the decoded form *)
+  | Jump      (* jump to [a] *)
+  | Jz        (* pop; jump to [a] if zero *)
+  | Call      (* call procedure at [a]; [b] = static hops to its parent frame *)
+  | Enter     (* procedure prologue: [a] args, [b] locals, [c] contour id *)
+  | Ret       (* procedure epilogue; a value, if any, stays on the stack *)
+  (* output *)
+  | Print     (* pop and print as a decimal number followed by a newline *)
+  | Printc    (* pop and print as a character *)
+  | Halt
+  (* superoperators (fusion pass) *)
+  | Litadd    (* push [a]; Add *)
+  | Litsub
+  | Litmul
+  | Loadadd   (* push variable ([a], [b]); Add *)
+  | Loadsub
+  | Loadmul
+  | Incvar    (* variable ([a], [b]) += 1 *)
+  | Decvar    (* variable ([a], [b]) -= 1 *)
+  | Cjeq      (* pop y, pop x; jump to [a] unless x = y *)
+  | Cjne
+  | Cjlt
+  | Cjle
+  | Cjgt
+  | Cjge
+[@@deriving eq, ord, show { with_path = false }, enum]
+
+let opcode_count = max_opcode + 1
+
+let all_opcodes =
+  Array.init opcode_count (fun i ->
+      match opcode_of_enum i with
+      | Some op -> op
+      | None -> assert false)
+
+(* Operand shape of each opcode: drives the interpreter, every encoder and
+   the PSDER translation templates. *)
+type shape =
+  | Shape_none
+  | Shape_imm          (* a: signed immediate *)
+  | Shape_var          (* a: static hop count, b: offset within frame *)
+  | Shape_target       (* a: branch target *)
+  | Shape_call         (* a: target, b: static hops for the static link *)
+  | Shape_enter        (* a: args, b: locals, c: contour id *)
+[@@deriving eq, show { with_path = false }]
+
+let shape = function
+  | Lit | Litadd | Litsub | Litmul -> Shape_imm
+  | Load | Store | Addr | Loadadd | Loadsub | Loadmul | Incvar | Decvar ->
+      Shape_var
+  | Jump | Jz | Cjeq | Cjne | Cjlt | Cjle | Cjgt | Cjge -> Shape_target
+  | Call -> Shape_call
+  | Enter -> Shape_enter
+  | Loadi | Storei | Index | Dup | Drop | Swap | Add | Sub | Mul | Div | Mod
+  | Neg | Eq | Ne | Lt | Le | Gt | Ge | And | Or | Not | Ret | Print | Printc
+  | Halt ->
+      Shape_none
+
+let is_superop = function
+  | Litadd | Litsub | Litmul | Loadadd | Loadsub | Loadmul | Incvar | Decvar
+  | Cjeq | Cjne | Cjlt | Cjle | Cjgt | Cjge ->
+      true
+  | Lit | Load | Store | Addr | Loadi | Storei | Index | Dup | Drop | Swap
+  | Add | Sub | Mul | Div | Mod | Neg | Eq | Ne | Lt | Le | Gt | Ge | And | Or
+  | Not | Jump | Jz | Call | Enter | Ret | Print | Printc | Halt ->
+      false
+
+(* Whether control can fall through to the next instruction. *)
+let falls_through = function
+  | Jump | Ret | Halt -> false
+  | _ -> true
+
+type instr = {
+  op : opcode;
+  a : int;
+  b : int;
+  c : int;
+}
+[@@deriving eq, ord, show { with_path = false }]
+
+let instr ?(a = 0) ?(b = 0) ?(c = 0) op = { op; a; b; c }
+
+let mnemonic op =
+  String.lowercase_ascii (show_opcode op)
+
+let to_string { op; a; b; c } =
+  match shape op with
+  | Shape_none -> mnemonic op
+  | Shape_imm -> Printf.sprintf "%s %d" (mnemonic op) a
+  | Shape_var -> Printf.sprintf "%s %d,%d" (mnemonic op) a b
+  | Shape_target -> Printf.sprintf "%s ->%d" (mnemonic op) a
+  | Shape_call -> Printf.sprintf "%s ->%d hops=%d" (mnemonic op) a b
+  | Shape_enter -> Printf.sprintf "%s args=%d locals=%d ctx=%d" (mnemonic op) a b c
+
+(* Frame layout used by every execution engine (reference interpreter, host
+   machine runtime, DER expansion):
+     slot 0: static link (base of the lexically enclosing frame)
+     slot 1: dynamic link (base of the caller's frame)
+     slot 2: return address
+     slot 3: caller's contour id (restored on Ret)
+     slot 4..: parameters, then locals (offsets are relative to slot 4) *)
+let frame_header_size = 4

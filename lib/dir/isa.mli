@@ -1,0 +1,111 @@
+(** The DIR — directly interpretable representation (paper §2.3).
+
+    A stack-oriented intermediate instruction set with contour-relative
+    variable addressing.  The base opcodes form the low-semantic-level DIR
+    that both front ends (Algol-S, Fortran-S) target; the superoperators are
+    produced by the fusion pass and raise the semantic level (paper §3.1:
+    "increasing the complexity and variety of the opcodes").
+
+    Execution model shared by every engine: a separate operand stack;
+    data memory holding a stack of frames, each with a
+    {!frame_header_size}-word header (static link, dynamic link, return
+    address, caller contour) followed by parameters and locals; variables
+    addressed by (static-hop count, frame offset); branch targets are
+    instruction indices in the decoded form and bit addresses once
+    encoded. *)
+
+type opcode =
+  | Lit       (** push immediate [a] (signed) *)
+  | Load      (** push variable at [a] static hops, offset [b] *)
+  | Store     (** pop into variable ([a], [b]) *)
+  | Addr      (** push the address of variable ([a], [b]) *)
+  | Loadi     (** pop address, push its contents *)
+  | Storei    (** pop value, pop address, store value at address *)
+  | Index     (** pop index, pop base address, push base + index *)
+  | Dup
+  | Drop
+  | Swap
+  | Add       (** binary ops pop y then x and push x op y *)
+  | Sub
+  | Mul
+  | Div       (** traps on a zero divisor; truncates toward zero *)
+  | Mod
+  | Neg
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And       (** logical: non-zero operands count as true; no short-circuit *)
+  | Or
+  | Not
+  | Jump      (** jump to [a] *)
+  | Jz        (** pop; jump to [a] if zero *)
+  | Call      (** call procedure at [a]; [b] = static hops to its parent *)
+  | Enter     (** prologue: [a] args, [b] locals, [c] contour id *)
+  | Ret       (** epilogue; a return value, if any, stays on the stack *)
+  | Print     (** pop and print as decimal followed by a newline *)
+  | Printc    (** pop and print as a character (traps outside 0..255) *)
+  | Halt
+  | Litadd    (** superoperators: push [a]; Add — etc. *)
+  | Litsub
+  | Litmul
+  | Loadadd   (** push variable ([a], [b]); Add — etc. *)
+  | Loadsub
+  | Loadmul
+  | Incvar    (** variable ([a], [b]) += 1 *)
+  | Decvar
+  | Cjeq      (** pop y, pop x; jump to [a] {e unless} x = y — etc. *)
+  | Cjne
+  | Cjlt
+  | Cjle
+  | Cjgt
+  | Cjge
+[@@deriving eq, ord, show, enum]
+
+val opcode_count : int
+(** Number of opcodes; enum values are [0 .. opcode_count - 1]. *)
+
+val all_opcodes : opcode array
+(** Indexed by enum value. *)
+
+(** Operand shape of an opcode: drives the interpreters, every encoder and
+    the PSDER translation templates. *)
+type shape =
+  | Shape_none
+  | Shape_imm          (** a: signed immediate *)
+  | Shape_var          (** a: static hop count, b: frame offset *)
+  | Shape_target       (** a: branch target *)
+  | Shape_call         (** a: target, b: static hops for the static link *)
+  | Shape_enter        (** a: args, b: locals, c: contour id *)
+[@@deriving eq, show]
+
+val shape : opcode -> shape
+
+val is_superop : opcode -> bool
+(** True for the fusion pass's products. *)
+
+val falls_through : opcode -> bool
+(** Whether control can reach the textual successor ([Jump], [Ret] and
+    [Halt] cannot fall through; [Call] can — via the return). *)
+
+type instr = {
+  op : opcode;
+  a : int;
+  b : int;
+  c : int;
+}
+[@@deriving eq, ord, show]
+
+val instr : ?a:int -> ?b:int -> ?c:int -> opcode -> instr
+
+val mnemonic : opcode -> string
+(** Lower-case name, e.g. ["loadadd"]. *)
+
+val to_string : instr -> string
+(** One-line disassembly. *)
+
+val frame_header_size : int
+(** Words in a frame header: static link, dynamic link, return address,
+    caller contour. *)

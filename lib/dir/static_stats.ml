@@ -1,0 +1,89 @@
+type t = {
+  opcode_counts : int array;
+  digram_counts : int array array;
+  imm_values : int list;
+  level_values : int list;
+  offset_values : int list;
+  target_values : int list;
+  n_instructions : int;
+}
+
+let start_context = Isa.opcode_count
+let n_contexts = Isa.opcode_count + 1
+
+(* The decoding context of instruction [i]: the textual predecessor's opcode
+   when [i] can only be reached by falling through; the distinguished start
+   context when [i] is ever entered by a control transfer.  A [Call]'s
+   successor is a return point, reached via [Ret], so it also gets the start
+   context.  The compiler's no-fall-through-into-labels discipline makes this
+   assignment sound for dynamic decoding. *)
+let context_at code is_target i =
+  if
+    i = 0 || is_target.(i)
+    || (not (Isa.falls_through code.(i - 1).Isa.op))
+    || Isa.equal_opcode code.(i - 1).Isa.op Isa.Call
+  then start_context
+  else Isa.opcode_to_enum code.(i - 1).Isa.op
+
+let target_set (p : Program.t) =
+  let code = p.Program.code in
+  let n = Array.length code in
+  let is_target = Array.make n false in
+  Array.iter
+    (fun { Isa.op; a; _ } ->
+      match Isa.shape op with
+      | Isa.Shape_target | Isa.Shape_call ->
+          if a >= 0 && a < n then is_target.(a) <- true
+      | _ -> ())
+    code;
+  if p.Program.entry < n then is_target.(p.Program.entry) <- true;
+  is_target
+
+let digram_contexts (p : Program.t) =
+  let is_target = target_set p in
+  Array.mapi (fun i _ -> context_at p.Program.code is_target i) p.Program.code
+
+let of_program (p : Program.t) =
+  let code = p.Program.code in
+  let n = Array.length code in
+  let opcode_counts = Array.make Isa.opcode_count 0 in
+  let digram_counts = Array.make_matrix n_contexts Isa.opcode_count 0 in
+  (* Instructions reachable only via a branch are decoded without a textual
+     predecessor, so every branch target is counted in the start context. *)
+  let is_target = target_set p in
+  let imm = ref [] and lev = ref [] and off = ref [] and tgt = ref [] in
+  Array.iteri
+    (fun i { Isa.op; a; b; c = _ } ->
+      let e = Isa.opcode_to_enum op in
+      opcode_counts.(e) <- opcode_counts.(e) + 1;
+      let ctx = context_at code is_target i in
+      digram_counts.(ctx).(e) <- digram_counts.(ctx).(e) + 1;
+      (match Isa.shape op with
+      | Isa.Shape_none -> ()
+      | Isa.Shape_imm -> imm := a :: !imm
+      | Isa.Shape_var ->
+          lev := a :: !lev;
+          off := b :: !off
+      | Isa.Shape_target -> tgt := a :: !tgt
+      | Isa.Shape_call ->
+          tgt := a :: !tgt;
+          lev := b :: !lev
+      | Isa.Shape_enter -> ()))
+    code;
+  {
+    opcode_counts;
+    digram_counts;
+    imm_values = List.rev !imm;
+    level_values = List.rev !lev;
+    offset_values = List.rev !off;
+    target_values = List.rev !tgt;
+    n_instructions = n;
+  }
+
+let opcode_entropy t = Uhm_huffman.Freq.entropy t.opcode_counts
+
+let max_of values = List.fold_left max 0 values
+let max_abs_imm t = List.fold_left (fun acc v -> max acc (abs v)) 0 t.imm_values
+let max_level t = max_of t.level_values
+let max_offset t = max_of t.offset_values
+let max_target t = max_of t.target_values

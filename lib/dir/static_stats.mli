@@ -1,0 +1,42 @@
+(** Static statistics of a DIR program.
+
+    These are the "frequency of occurrence of each operator and operand in
+    the static representation of the program" (paper §3.2) from which the
+    frequency-based encodings are constructed, plus summary numbers used in
+    reports. *)
+
+type t = {
+  opcode_counts : int array;     (** static count per {!Isa.opcode} enum *)
+  digram_counts : int array array;
+  (** [digram_counts.(prev).(op)]: count of [op] appearing textually after
+      [prev]; row [Isa.opcode_count] is the start-of-stream context used for
+      instruction 0 and for every branch target. *)
+  imm_values : int list;         (** all signed immediates, in order *)
+  level_values : int list;       (** all static hop counts *)
+  offset_values : int list;      (** all frame offsets *)
+  target_values : int list;      (** all branch/call targets (indices) *)
+  n_instructions : int;
+}
+
+val start_context : int
+(** The distinguished predecessor context, [Isa.opcode_count]. *)
+
+val n_contexts : int
+(** [Isa.opcode_count + 1]. *)
+
+val of_program : Program.t -> t
+
+val digram_contexts : Program.t -> int array
+(** The decoding context of every instruction: the textual predecessor's
+    opcode enum, or {!start_context} for instruction 0, branch/call targets,
+    return points (successors of [Call]) and successors of non-falling
+    instructions.  Sound for dynamic decoding thanks to the compiler's
+    no-fall-through-into-labels discipline. *)
+
+val opcode_entropy : t -> float
+(** First-order entropy of the static opcode distribution, bits/opcode. *)
+
+val max_abs_imm : t -> int
+val max_level : t -> int
+val max_offset : t -> int
+val max_target : t -> int

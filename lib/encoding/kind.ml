@@ -1,0 +1,40 @@
+(* The "degree of encoding" axis of paper Figure 1, from unencoded
+   word-aligned fields to predecessor-conditioned Huffman coding. *)
+
+type t =
+  | Word16       (* word-aligned fields, one or more 16-bit units *)
+  | Packed       (* bit-packed fixed-width fields, program-wide widths *)
+  | Contextual   (* packed, but name fields sized per contour (scope rules) *)
+  | Huffman      (* Huffman opcodes + nibble-chain variable-width operands *)
+  | Huffman_b1700
+                 (* Huffman restricted to codeword lengths {2,4,6,8,10}, as
+                    in the Burroughs B1700's variable-length opcodes *)
+  | Digram       (* Huffman conditioned on the predecessor opcode *)
+
+let all = [ Word16; Packed; Contextual; Huffman; Huffman_b1700; Digram ]
+
+let name = function
+  | Word16 -> "word16"
+  | Packed -> "packed"
+  | Contextual -> "contextual"
+  | Huffman -> "huffman"
+  | Huffman_b1700 -> "huffman-b1700"
+  | Digram -> "digram"
+
+let of_name = function
+  | "word16" -> Word16
+  | "packed" -> Packed
+  | "contextual" -> Contextual
+  | "huffman" -> Huffman
+  | "huffman-b1700" -> Huffman_b1700
+  | "digram" -> Digram
+  | other -> invalid_arg ("Kind.of_name: " ^ other)
+
+let description = function
+  | Word16 -> "word-aligned 16-bit fields (PDP-11-like; no encoding)"
+  | Packed -> "bit-packed fixed-width fields spanning unit boundaries"
+  | Contextual -> "packed with per-contour name-field widths (scope rules)"
+  | Huffman -> "canonical Huffman opcodes, variable-width operands"
+  | Huffman_b1700 ->
+      "length-restricted Huffman opcodes (B1700 profile, lengths 2-10)"
+  | Digram -> "per-predecessor Huffman opcodes (Foster-Gonter conditional)"

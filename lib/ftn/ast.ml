@@ -1,0 +1,108 @@
+(* Abstract syntax of Fortran-S, the second HLR of this reproduction.
+
+   The paper's premise (§1.2) is a host for an open-ended set of
+   {e dissimilar} languages; Fortran-S is deliberately unlike Algol-S:
+   flat program units instead of nested procedures, numeric statement
+   labels with GOTO instead of structured control only, counted DO loops
+   with a terminating label, 1-based arrays, and functions that return by
+   assigning to their own name.  Both front ends compile to the same DIR
+   and run unchanged on every machine strategy. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod      (* the MOD(a, b) intrinsic *)
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+[@@deriving eq, show { with_path = false }]
+
+type unop =
+  | Neg
+  | Not
+[@@deriving eq, show { with_path = false }]
+
+type expr =
+  | Num of int
+  | Var of string
+  | Element of string * expr        (* 1-based array element *)
+  | Funcall of string * expr list
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+[@@deriving eq, show { with_path = false }]
+
+type stmt =
+  | Assign of string * expr
+  | Assign_element of string * expr * expr
+  | Goto of int
+  | If_simple of expr * stmt            (* logical IF: IF (e) stmt *)
+  | If_block of expr * body * body      (* IF (e) THEN ... [ELSE ...] ENDIF *)
+  | Do of do_loop
+  | Continue
+  | Call of string * expr list
+  | Print of expr
+  | Print_string of string
+  | Return
+  | Stop
+
+and do_loop = {
+  terminal : int;       (* the DO label: the loop runs through the statement
+                           carrying this label, inclusive *)
+  var : string;
+  from_ : expr;
+  to_ : expr;
+  step : int;           (* a non-zero literal; defaults to 1 *)
+  body : body;          (* includes the terminal statement *)
+}
+
+and body = (int option * stmt) list   (* optional statement label *)
+[@@deriving eq, show { with_path = false }]
+
+type unit_kind =
+  | Program
+  | Subroutine
+  | Function
+[@@deriving eq, show { with_path = false }]
+
+type decl = {
+  dname : string;
+  dim : int option;     (* [Some n]: an array of n elements, indexed 1..n *)
+}
+[@@deriving eq, show { with_path = false }]
+
+type unit_ = {
+  kind : unit_kind;
+  uname : string;
+  params : string list;
+  decls : decl list;
+  body : body;
+}
+[@@deriving eq, show { with_path = false }]
+
+type program = {
+  pname : string;
+  units : unit_ list;
+}
+[@@deriving eq, show { with_path = false }]
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "MOD"
+  | Eq -> ".EQ."
+  | Ne -> ".NE."
+  | Lt -> ".LT."
+  | Le -> ".LE."
+  | Gt -> ".GT."
+  | Ge -> ".GE."
+  | And -> ".AND."
+  | Or -> ".OR."

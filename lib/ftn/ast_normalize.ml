@@ -1,0 +1,40 @@
+(* Structural normalisation for the parse/print round-trip property:
+   the printer renders negative literals as parenthesised negations (the
+   lexer has no signed literals) and the parser reads any one-argument
+   application as the [Element] form, so both spellings are identified
+   here. *)
+
+open Ast
+
+let rec expr e =
+  match e with
+  | Num _ | Var _ -> e
+  | Element (name, index) -> Element (name, expr index)
+  | Funcall (name, [ single ]) -> Element (name, expr single)
+  | Funcall (name, args) -> Funcall (name, List.map expr args)
+  | Unop (Neg, inner) -> (
+      match expr inner with
+      | Num n -> Num (-n)
+      | inner -> Unop (Neg, inner))
+  | Unop (op, inner) -> Unop (op, expr inner)
+  | Binop (op, a, b) -> Binop (op, expr a, expr b)
+
+let rec stmt = function
+  | Assign (name, e) -> Assign (name, expr e)
+  | Assign_element (name, i, v) -> Assign_element (name, expr i, expr v)
+  | Goto _ as s -> s
+  | If_simple (c, s) -> If_simple (expr c, stmt s)
+  | If_block (c, t, e) -> If_block (expr c, body t, body e)
+  | Do d ->
+      Do { d with from_ = expr d.from_; to_ = expr d.to_; body = body d.body }
+  | Continue -> Continue
+  | Call (name, args) -> Call (name, List.map expr args)
+  | Print e -> Print (expr e)
+  | Print_string _ as s -> s
+  | Return -> Return
+  | Stop -> Stop
+
+and body b = List.map (fun (label, s) -> (label, stmt s)) b
+
+let unit_ u = { u with body = body u.body }
+let normalize (p : program) = { p with units = List.map unit_ p.units }

@@ -1,0 +1,216 @@
+open Ast
+
+exception Check_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Check_error s)) fmt
+
+type sym =
+  | Scalar
+  | Array of int
+  | Unit_sym of unit_kind * int (* arity *)
+
+let max_dim = 1_000_000
+
+(* Symbols visible inside one unit.  Locals (params, declarations, a
+   FUNCTION's own result variable) shadow unit names for plain variable
+   references; applying a locally-scalar name that is globally a unary
+   FUNCTION is a call — the classic FORTRAN resolution, needed for
+   recursion through the function's own name. *)
+type tables = {
+  locals : (string, sym) Hashtbl.t;
+  globals : (string, sym) Hashtbl.t;
+}
+
+let unit_symbols (units : unit_ list) (u : unit_) =
+  let globals = Hashtbl.create 32 in
+  List.iter
+    (fun other ->
+      if Hashtbl.mem globals other.uname then
+        error "duplicate unit name %s" other.uname;
+      Hashtbl.replace globals other.uname
+        (Unit_sym (other.kind, List.length other.params)))
+    units;
+  let locals = Hashtbl.create 32 in
+  let declare name sym =
+    if Hashtbl.mem locals name then
+      error "%s: duplicate declaration of %s" u.uname name
+    else Hashtbl.replace locals name sym
+  in
+  List.iter (fun p -> declare p Scalar) u.params;
+  (if u.kind = Function && not (Hashtbl.mem locals u.uname) then
+     Hashtbl.replace locals u.uname Scalar);
+  List.iter
+    (fun d ->
+      match d.dim with
+      | None -> if not (Hashtbl.mem locals d.dname) then declare d.dname Scalar
+      | Some n ->
+          if n <= 0 || n > max_dim then
+            error "%s: array %s has invalid dimension %d" u.uname d.dname n;
+          declare d.dname (Array n))
+    u.decls;
+  { locals; globals }
+
+let find _u table name =
+  match Hashtbl.find_opt table.locals name with
+  | Some sym -> Some sym
+  | None -> Hashtbl.find_opt table.globals name
+
+let find_exn u table name =
+  match find u table name with
+  | Some sym -> sym
+  | None -> error "%s: undeclared name %s" u.uname name
+
+let find_unit_sym u table name =
+  match Hashtbl.find_opt table.globals name with
+  | Some (Unit_sym _ as sym) -> Some sym
+  | _ ->
+      ignore u;
+      None
+
+let rec check_expr u table = function
+  | Num _ -> ()
+  | Var name -> (
+      match find_exn u table name with
+      | Scalar -> ()
+      | Array _ -> error "%s: array %s used without a subscript" u.uname name
+      | Unit_sym _ -> error "%s: unit %s used as a variable" u.uname name)
+  | Element (name, index) -> (
+      (* one-argument form: a locally declared array wins; otherwise the
+         name must be a unary FUNCTION *)
+      check_expr u table index;
+      match Hashtbl.find_opt table.locals name with
+      | Some (Array _) -> ()
+      | Some Scalar | None -> (
+          match find_unit_sym u table name with
+          | Some (Unit_sym (Function, 1)) -> ()
+          | Some (Unit_sym (Function, arity)) ->
+              error "%s: function %s expects %d argument(s)" u.uname name arity
+          | Some (Unit_sym (Subroutine, _)) ->
+              error "%s: subroutine %s used in an expression" u.uname name
+          | Some (Unit_sym (Program, _)) | Some Scalar | Some (Array _) ->
+              error "%s: %s is neither an array nor a function" u.uname name
+          | None -> error "%s: undeclared name %s" u.uname name)
+      | Some (Unit_sym _) -> assert false)
+  | Funcall (name, args) -> (
+      List.iter (check_expr u table) args;
+      match find_unit_sym u table name with
+      | Some (Unit_sym (Function, arity)) ->
+          if List.length args <> arity then
+            error "%s: function %s expects %d argument(s), got %d" u.uname name
+              arity (List.length args)
+      | Some (Unit_sym (Subroutine, _)) ->
+          error "%s: subroutine %s used in an expression" u.uname name
+      | _ -> error "%s: %s is not a function" u.uname name)
+  | Unop (_, e) -> check_expr u table e
+  | Binop (_, a, b) ->
+      check_expr u table a;
+      check_expr u table b
+
+let check_scalar u table name what =
+  match find_exn u table name with
+  | Scalar -> ()
+  | Array _ -> error "%s: array %s used as %s" u.uname name what
+  | Unit_sym _ -> error "%s: unit %s used as %s" u.uname name what
+
+(* Collect all labels of a unit and detect duplicates. *)
+let rec collect_labels u seen (body : body) =
+  List.iter
+    (fun (label, stmt) ->
+      (match label with
+      | Some l ->
+          if List.mem l !seen then error "%s: duplicate label %d" u.uname l;
+          seen := l :: !seen
+      | None -> ());
+      match stmt with
+      | If_block (_, t, e) ->
+          collect_labels u seen t;
+          collect_labels u seen e
+      | Do d -> collect_labels u seen d.body
+      | If_simple (_, s) -> (
+          match s with
+          | Goto _ | Continue | Return | Stop | Call _ | Print _
+          | Print_string _ | Assign _ | Assign_element _ ->
+              ()
+          | If_simple _ | If_block _ | Do _ ->
+              error "%s: nested control in a logical IF" u.uname)
+      | _ -> ())
+    body
+
+(* GOTO may only target a label of its own block or an enclosing one. *)
+let rec check_stmts u table ~in_scope (body : body) =
+  let here = List.filter_map fst body in
+  let in_scope = here @ in_scope in
+  List.iter
+    (fun (_, stmt) -> check_stmt u table ~in_scope stmt)
+    body
+
+and check_stmt u table ~in_scope = function
+  | Assign (name, e) ->
+      check_scalar u table name "an assignment target";
+      check_expr u table e
+  | Assign_element (name, index, value) ->
+      (match find_exn u table name with
+      | Array _ -> ()
+      | Scalar -> error "%s: scalar %s subscripted" u.uname name
+      | Unit_sym _ -> error "%s: unit %s assigned" u.uname name);
+      check_expr u table index;
+      check_expr u table value
+  | Goto label ->
+      if not (List.mem label in_scope) then
+        error "%s: GOTO %d targets a label not visible from here" u.uname label
+  | If_simple (cond, s) ->
+      check_expr u table cond;
+      check_stmt u table ~in_scope s
+  | If_block (cond, t, e) ->
+      check_expr u table cond;
+      check_stmts u table ~in_scope t;
+      check_stmts u table ~in_scope e
+  | Do d ->
+      check_scalar u table d.var "a DO variable";
+      check_expr u table d.from_;
+      check_expr u table d.to_;
+      if d.step = 0 then error "%s: DO step is zero" u.uname;
+      check_stmts u table ~in_scope d.body;
+      let terminal_here = List.exists (fun (l, _) -> l = Some d.terminal) d.body in
+      if not terminal_here then
+        error "%s: DO %d body does not end at its terminal label" u.uname
+          d.terminal
+  | Continue -> ()
+  | Call (name, args) -> (
+      match find_exn u table name with
+      | Unit_sym (Subroutine, arity) ->
+          if List.length args <> arity then
+            error "%s: subroutine %s expects %d argument(s), got %d" u.uname
+              name arity (List.length args);
+          List.iter (check_expr u table) args
+      | Unit_sym (Function, _) ->
+          error "%s: CALL of function %s (use it in an expression)" u.uname name
+      | Unit_sym (Program, _) -> error "%s: CALL of PROGRAM %s" u.uname name
+      | Scalar | Array _ -> error "%s: %s is not a subroutine" u.uname name)
+  | Print e -> check_expr u table e
+  | Print_string _ -> ()
+  | Return ->
+      if u.kind = Program then
+        error "%s: RETURN in the PROGRAM unit (use STOP)" u.uname
+  | Stop -> ()
+
+let check_unit units u =
+  let table = unit_symbols units u in
+  collect_labels u (ref []) u.body;
+  check_stmts u table ~in_scope:[] u.body
+
+let check (p : program) =
+  try
+    let programs = List.filter (fun u -> u.kind = Program) p.units in
+    (match programs with
+    | [ _ ] -> ()
+    | [] -> error "no PROGRAM unit"
+    | _ -> error "more than one PROGRAM unit");
+    List.iter (check_unit p.units) p.units;
+    Ok ()
+  with Check_error msg -> Error msg
+
+let check_exn p =
+  match check p with
+  | Ok () -> p
+  | Error msg -> raise (Check_error (Printf.sprintf "%s: %s" p.pname msg))

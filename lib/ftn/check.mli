@@ -1,0 +1,17 @@
+(** Static checking for Fortran-S.
+
+    Enforced rules: exactly one [PROGRAM] unit; unit names unique;
+    every name is a parameter, a declared local, the enclosing
+    [FUNCTION]'s own name, or a visible unit; arrays are always
+    subscripted with exactly one subscript and never called; scalars are
+    never subscripted; [SUBROUTINE]s are only [CALL]ed and [FUNCTION]s only
+    used in expressions, both with matching arity; [RETURN] appears only in
+    subprograms; statement labels are unique within a unit; every [GOTO]
+    targets a label in its own statement block or an enclosing one (no
+    jumping {e into} a [DO] or [IF] body); [DO] variables are scalars;
+    array dimensions are in [1 .. 1_000_000]. *)
+
+exception Check_error of string
+
+val check : Ast.program -> (unit, string) result
+val check_exn : Ast.program -> Ast.program

@@ -1,0 +1,288 @@
+open Ast
+module Isa = Uhm_dir.Isa
+module Program = Uhm_dir.Program
+module Emitter = Uhm_compiler.Emitter
+
+exception Codegen_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Codegen_error s)) fmt
+
+type slot =
+  | S_scalar of int
+  | S_array of int * int (* offset, dimension *)
+
+type unit_state = {
+  u : unit_;
+  ctx_id : int;
+  depth : int;
+  entry : int;                       (* emitter label of the unit's entry *)
+  slots : (string, slot) Hashtbl.t;
+  labels : (int, int) Hashtbl.t;     (* FORTRAN label -> emitter label *)
+  mutable next_offset : int;
+}
+
+let emitter_label st em label =
+  match Hashtbl.find_opt st.labels label with
+  | Some l -> l
+  | None ->
+      let l = Emitter.new_label em in
+      Hashtbl.replace st.labels label l;
+      l
+
+let alloc st n =
+  let offset = st.next_offset in
+  st.next_offset <- offset + n;
+  offset
+
+let make_unit_state em ~ctx_id ~depth (u : unit_) =
+  let st =
+    {
+      u;
+      ctx_id;
+      depth;
+      entry = Emitter.new_label em;
+      slots = Hashtbl.create 16;
+      labels = Hashtbl.create 16;
+      next_offset = 0;
+    }
+  in
+  List.iter (fun p -> Hashtbl.replace st.slots p (S_scalar (alloc st 1))) u.params;
+  (if u.kind = Function then
+     Hashtbl.replace st.slots u.uname (S_scalar (alloc st 1)));
+  List.iter
+    (fun d ->
+      match d.dim with
+      | None ->
+          if not (Hashtbl.mem st.slots d.dname) then
+            Hashtbl.replace st.slots d.dname (S_scalar (alloc st 1))
+      | Some n -> Hashtbl.replace st.slots d.dname (S_array (alloc st n, n)))
+    u.decls;
+  st
+
+type st = {
+  em : Emitter.t;
+  units : (string, unit_state) Hashtbl.t;
+}
+
+let scalar_offset st name =
+  match Hashtbl.find_opt st.slots name with
+  | Some (S_scalar off) -> off
+  | Some (S_array _) -> error "%s: array %s used as a scalar" st.u.uname name
+  | None -> error "%s: no slot for %s" st.u.uname name
+
+let array_offset st name =
+  match Hashtbl.find_opt st.slots name with
+  | Some (S_array (off, _)) -> off
+  | Some (S_scalar _) -> error "%s: scalar %s subscripted" st.u.uname name
+  | None -> error "%s: no slot for %s" st.u.uname name
+
+let emit g i = ignore (Emitter.emit g.em i)
+
+let rec compile_expr g ust e =
+  match e with
+  | Num n -> emit g (Isa.instr ~a:n Isa.Lit)
+  | Var name -> emit g (Isa.instr ~a:0 ~b:(scalar_offset ust name) Isa.Load)
+  | Element (name, index) -> (
+      (* a locally declared array wins; otherwise a unary function call *)
+      match Hashtbl.find_opt ust.slots name with
+      | Some (S_array (off, _)) ->
+          (* 1-based array element: address = base + (index - 1) *)
+          emit g (Isa.instr ~a:0 ~b:off Isa.Addr);
+          compile_expr g ust index;
+          emit g (Isa.instr ~a:1 Isa.Lit);
+          emit g (Isa.instr Isa.Sub);
+          emit g (Isa.instr Isa.Index);
+          emit g (Isa.instr Isa.Loadi)
+      | Some (S_scalar _) | None -> compile_call g ust name [ index ])
+  | Funcall (name, args) -> compile_call g ust name args
+  | Unop (Neg, e) ->
+      compile_expr g ust e;
+      emit g (Isa.instr Isa.Neg)
+  | Unop (Not, e) ->
+      compile_expr g ust e;
+      emit g (Isa.instr Isa.Not)
+  | Binop (op, a, b) ->
+      compile_expr g ust a;
+      compile_expr g ust b;
+      let opcode =
+        match op with
+        | Add -> Isa.Add
+        | Sub -> Isa.Sub
+        | Mul -> Isa.Mul
+        | Div -> Isa.Div
+        | Mod -> Isa.Mod
+        | Eq -> Isa.Eq
+        | Ne -> Isa.Ne
+        | Lt -> Isa.Lt
+        | Le -> Isa.Le
+        | Gt -> Isa.Gt
+        | Ge -> Isa.Ge
+        | And -> Isa.And
+        | Or -> Isa.Or
+      in
+      emit g (Isa.instr opcode)
+
+and compile_call g ust name args =
+  let callee =
+    match Hashtbl.find_opt g.units name with
+    | Some callee -> callee
+    | None -> error "%s: unknown unit %s" ust.u.uname name
+  in
+  List.iter (compile_expr g ust) args;
+  (* subprograms belong to the program scope (depth 0): the static link is
+     the current frame from the main program, one hop from a subprogram *)
+  Emitter.emit_ref g.em Isa.Call ~field:Emitter.Field_a ~b:ust.depth
+    callee.entry
+
+let store_scalar g ust name =
+  emit g (Isa.instr ~a:0 ~b:(scalar_offset ust name) Isa.Store)
+
+let rec compile_stmt g ust stmt =
+  match stmt with
+  | Assign (name, e) ->
+      compile_expr g ust e;
+      store_scalar g ust name
+  | Assign_element (name, index, value) ->
+      emit g (Isa.instr ~a:0 ~b:(array_offset ust name) Isa.Addr);
+      compile_expr g ust index;
+      emit g (Isa.instr ~a:1 Isa.Lit);
+      emit g (Isa.instr Isa.Sub);
+      emit g (Isa.instr Isa.Index);
+      compile_expr g ust value;
+      emit g (Isa.instr Isa.Storei)
+  | Goto label ->
+      Emitter.emit_ref g.em Isa.Jump ~field:Emitter.Field_a
+        (emitter_label ust g.em label)
+  | If_simple (cond, s) ->
+      let skip = Emitter.new_label g.em in
+      compile_expr g ust cond;
+      Emitter.emit_ref g.em Isa.Jz ~field:Emitter.Field_a skip;
+      compile_stmt g ust s;
+      Emitter.place_label g.em skip
+  | If_block (cond, then_body, else_body) ->
+      let l_else = Emitter.new_label g.em in
+      compile_expr g ust cond;
+      Emitter.emit_ref g.em Isa.Jz ~field:Emitter.Field_a l_else;
+      compile_body g ust then_body;
+      if else_body = [] then Emitter.place_label g.em l_else
+      else begin
+        let l_end = Emitter.new_label g.em in
+        (if Emitter.reachable g.em then
+           Emitter.emit_ref g.em Isa.Jump ~field:Emitter.Field_a l_end);
+        Emitter.place_label g.em l_else;
+        compile_body g ust else_body;
+        Emitter.place_label g.em l_end
+      end
+  | Do d ->
+      let bound = alloc ust 1 in
+      let l_loop = Emitter.new_label g.em in
+      let l_end = Emitter.new_label g.em in
+      compile_expr g ust d.from_;
+      store_scalar g ust d.var;
+      compile_expr g ust d.to_;
+      emit g (Isa.instr ~a:0 ~b:bound Isa.Store);
+      Emitter.place_label g.em l_loop;
+      compile_expr g ust (Var d.var);
+      emit g (Isa.instr ~a:0 ~b:bound Isa.Load);
+      emit g (Isa.instr (if d.step > 0 then Isa.Le else Isa.Ge));
+      Emitter.emit_ref g.em Isa.Jz ~field:Emitter.Field_a l_end;
+      compile_body g ust d.body;
+      (if Emitter.reachable g.em then begin
+         compile_expr g ust (Var d.var);
+         emit g (Isa.instr ~a:d.step Isa.Lit);
+         emit g (Isa.instr Isa.Add);
+         store_scalar g ust d.var;
+         Emitter.emit_ref g.em Isa.Jump ~field:Emitter.Field_a l_loop
+       end);
+      Emitter.place_label g.em l_end
+  | Continue -> ()
+  | Call (name, args) ->
+      compile_call g ust name args;
+      emit g (Isa.instr Isa.Drop)
+  | Print e ->
+      compile_expr g ust e;
+      emit g (Isa.instr Isa.Print)
+  | Print_string text ->
+      String.iter
+        (fun ch ->
+          emit g (Isa.instr ~a:(Char.code ch) Isa.Lit);
+          emit g (Isa.instr Isa.Printc))
+        text;
+      emit g (Isa.instr ~a:10 Isa.Lit);
+      emit g (Isa.instr Isa.Printc)
+  | Return -> compile_return g ust
+  | Stop -> emit g (Isa.instr Isa.Halt)
+
+and compile_return g ust =
+  (match ust.u.kind with
+  | Function ->
+      emit g (Isa.instr ~a:0 ~b:(scalar_offset ust ust.u.uname) Isa.Load)
+  | Subroutine -> emit g (Isa.instr ~a:0 Isa.Lit)
+  | Program -> error "RETURN in the PROGRAM unit");
+  emit g (Isa.instr Isa.Ret)
+
+and compile_body g ust (body : body) =
+  List.iter
+    (fun (label, stmt) ->
+      (match label with
+      | Some l -> Emitter.place_label g.em (emitter_label ust g.em l)
+      | None -> ());
+      compile_stmt g ust stmt)
+    body
+
+let compile_subprogram g ust =
+  let em = g.em in
+  em.Emitter.current_ctx <- ust.ctx_id;
+  Emitter.place_label em ust.entry;
+  let nargs = List.length ust.u.params in
+  let enter_idx =
+    Emitter.emit em (Isa.instr ~a:nargs ~b:0 ~c:ust.ctx_id Isa.Enter)
+  in
+  compile_body g ust ust.u.body;
+  (if Emitter.reachable em then compile_return g ust);
+  Emitter.patch_b em enter_idx (ust.next_offset - nargs);
+  em.Emitter.current_ctx <- 0
+
+let compile (p : program) =
+  let em = Emitter.create () in
+  let g = { em; units = Hashtbl.create 8 } in
+  let subprograms = List.filter (fun u -> u.kind <> Program) p.units in
+  let main_unit = List.find (fun u -> u.kind = Program) p.units in
+  let states =
+    List.mapi
+      (fun i u -> make_unit_state em ~ctx_id:(i + 1) ~depth:1 u)
+      subprograms
+  in
+  let main_state = make_unit_state em ~ctx_id:0 ~depth:0 main_unit in
+  List.iter (fun ust -> Hashtbl.replace g.units ust.u.uname ust) states;
+  Hashtbl.replace g.units main_state.u.uname main_state;
+  List.iter (compile_subprogram g) states;
+  Emitter.place_label em main_state.entry;
+  compile_body g main_state main_state.u.body;
+  (if Emitter.reachable em then ignore (Emitter.emit em (Isa.instr Isa.Halt)));
+  let code, contour_map = Emitter.finish em in
+  let contour_of (ust : unit_state) =
+    {
+      Program.id = ust.ctx_id;
+      name = ust.u.uname;
+      depth = ust.depth;
+      n_args = List.length ust.u.params;
+      n_locals = ust.next_offset - List.length ust.u.params;
+      max_offset = max 0 (ust.next_offset - 1);
+    }
+  in
+  let contours = Array.make (List.length states + 1) (contour_of main_state) in
+  List.iter (fun ust -> contours.(ust.ctx_id) <- contour_of ust) states;
+  let entry =
+    (* the label resolves to the first main instruction *)
+    match Emitter.resolve_label em main_state.entry with
+    | Some a -> a
+    | None -> error "main entry label unresolved"
+  in
+  Program.validate_exn
+    (Program.make ~contour_map ~name:p.pname ~code ~entry ~contours ())
+
+let compile_source ?(name = "<fortran>") ?(fuse = false) source =
+  let ast = Check.check_exn (Parser.parse ~name source) in
+  let dir = compile ast in
+  if fuse then Uhm_compiler.Fusion.fuse dir else dir

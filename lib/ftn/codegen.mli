@@ -1,0 +1,23 @@
+(** Code generation: checked Fortran-S → DIR.
+
+    The same binding story as the Algol-S compiler (names to
+    contour-relative slots, structure to sequential stack code), but the
+    source shape is entirely different: the [PROGRAM] unit becomes contour
+    0, every subprogram a depth-1 contour (so static links are trivial —
+    exactly the "dissimilar language" contrast the paper's §1.1 discusses),
+    statement labels map to emitter labels, [GOTO] to [Jump], and 1-based
+    subscripts are rebased by emitted arithmetic (which the fusion pass
+    turns into [litsub]).  Functions return the value of their own name;
+    recursion is permitted (a deliberate extension of FORTRAN-77).
+
+    Shares {!Uhm_compiler.Emitter} with the Algol-S code generator, so the
+    no-fall-through-into-labels discipline holds here too. *)
+
+exception Codegen_error of string
+
+val compile : Ast.program -> Uhm_dir.Program.t
+(** [compile p] translates a program that passed {!Check.check}. *)
+
+val compile_source : ?name:string -> ?fuse:bool -> string -> Uhm_dir.Program.t
+(** Parse, check, compile, and optionally apply superoperator fusion
+    ([fuse] defaults to [false]). *)

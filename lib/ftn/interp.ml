@@ -1,0 +1,192 @@
+open Ast
+
+type status =
+  | Halted
+  | Trapped of string
+  | Out_of_fuel
+
+type result = {
+  status : status;
+  output : string;
+  steps : int;
+}
+
+exception Trap of string
+exception Fuel
+exception Goto_exc of int
+exception Return_exc
+exception Stop_exc
+
+let trap fmt = Printf.ksprintf (fun s -> raise (Trap s)) fmt
+
+type binding =
+  | Cell of int ref
+  | Arr of int array   (* index 1..n stored at slot i-1 *)
+
+let default_fuel = 200_000_000
+
+let run ?(fuel = default_fuel) (p : program) =
+  let steps = ref 0 in
+  let out = Buffer.create 256 in
+  let tick () =
+    incr steps;
+    if !steps > fuel then raise Fuel
+  in
+  let units = Hashtbl.create 8 in
+  List.iter (fun u -> Hashtbl.replace units u.uname u) p.units;
+  let find_unit name = Hashtbl.find units name in
+
+  let rec call_unit (u : unit_) (args : int list) =
+    let env = Hashtbl.create 16 in
+    (try List.iter2 (fun p v -> Hashtbl.replace env p (Cell (ref v))) u.params args
+     with Invalid_argument _ -> trap "arity mismatch calling %s" u.uname);
+    if u.kind = Function then Hashtbl.replace env u.uname (Cell (ref 0));
+    List.iter
+      (fun d ->
+        match d.dim with
+        | None ->
+            if not (Hashtbl.mem env d.dname) then
+              Hashtbl.replace env d.dname (Cell (ref 0))
+        | Some n -> Hashtbl.replace env d.dname (Arr (Array.make n 0)))
+      u.decls;
+    (try exec_body u env u.body with
+    | Return_exc -> ()
+    | Goto_exc label -> trap "%s: GOTO %d escaped its unit" u.uname label);
+    match u.kind with
+    | Function -> (
+        match Hashtbl.find env u.uname with
+        | Cell r -> !r
+        | Arr _ -> assert false)
+    | Subroutine | Program -> 0
+
+  and cell u env name =
+    match Hashtbl.find_opt env name with
+    | Some (Cell r) -> r
+    | Some (Arr _) -> trap "%s: array %s used as a scalar" u.uname name
+    | None -> trap "%s: undeclared %s" u.uname name
+
+  and element u env name index =
+    match Hashtbl.find_opt env name with
+    | Some (Arr a) ->
+        if index < 1 || index > Array.length a then
+          trap "%s: subscript %d out of bounds for %s(%d)" u.uname index name
+            (Array.length a);
+        (a, index - 1)
+    | Some (Cell _) | None -> trap "%s: %s is not an array" u.uname name
+
+  and eval u env e =
+    tick ();
+    match e with
+    | Num n -> n
+    | Var name -> !(cell u env name)
+    | Element (name, index_e) -> (
+        (* a locally declared array wins; otherwise a unary function call *)
+        match Hashtbl.find_opt env name with
+        | Some (Arr _) ->
+            let index = eval u env index_e in
+            let a, slot = element u env name index in
+            a.(slot)
+        | Some (Cell _) | None ->
+            call_unit (find_unit name) [ eval u env index_e ])
+    | Funcall (name, args) ->
+        call_unit (find_unit name) (List.map (eval u env) args)
+    | Unop (Neg, e) -> -eval u env e
+    | Unop (Not, e) -> if eval u env e = 0 then 1 else 0
+    | Binop (op, a, b) -> (
+        let x = eval u env a in
+        let y = eval u env b in
+        match op with
+        | Add -> x + y
+        | Sub -> x - y
+        | Mul -> x * y
+        | Div -> if y = 0 then trap "division by zero" else x / y
+        | Mod -> if y = 0 then trap "division by zero" else x mod y
+        | Eq -> if x = y then 1 else 0
+        | Ne -> if x <> y then 1 else 0
+        | Lt -> if x < y then 1 else 0
+        | Le -> if x <= y then 1 else 0
+        | Gt -> if x > y then 1 else 0
+        | Ge -> if x >= y then 1 else 0
+        | And -> if x <> 0 && y <> 0 then 1 else 0
+        | Or -> if x <> 0 || y <> 0 then 1 else 0)
+
+  (* Execute a statement list; a GOTO whose label lives in this list
+     continues from that position, anything else propagates. *)
+  and exec_body u env (body : body) =
+    let items = Array.of_list body in
+    let index_of label =
+      let rec find i =
+        if i >= Array.length items then None
+        else if fst items.(i) = Some label then Some i
+        else find (i + 1)
+      in
+      find 0
+    in
+    let i = ref 0 in
+    while !i < Array.length items do
+      let _, stmt = items.(!i) in
+      (try
+         exec u env stmt;
+         incr i
+       with Goto_exc label -> (
+         match index_of label with
+         | Some j -> i := j
+         | None -> raise (Goto_exc label)))
+    done
+
+  and exec u env stmt =
+    tick ();
+    match stmt with
+    | Assign (name, e) ->
+        let v = eval u env e in
+        cell u env name := v
+    | Assign_element (name, index_e, value_e) ->
+        let index = eval u env index_e in
+        let value = eval u env value_e in
+        let a, slot = element u env name index in
+        a.(slot) <- value
+    | Goto label -> raise (Goto_exc label)
+    | If_simple (cond, s) -> if eval u env cond <> 0 then exec u env s
+    | If_block (cond, t, e) ->
+        if eval u env cond <> 0 then exec_body u env t else exec_body u env e
+    | Do d ->
+        let var = cell u env d.var in
+        let from_ = eval u env d.from_ in
+        let stop = eval u env d.to_ in
+        var := from_;
+        let continue_ () = if d.step > 0 then !var <= stop else !var >= stop in
+        while continue_ () do
+          tick ();
+          exec_body u env d.body;
+          var := !var + d.step
+        done
+    | Continue -> ()
+    | Call (name, args) ->
+        ignore (call_unit (find_unit name) (List.map (eval u env) args))
+    | Print e ->
+        Buffer.add_string out (string_of_int (eval u env e));
+        Buffer.add_char out '\n'
+    | Print_string text ->
+        Buffer.add_string out text;
+        Buffer.add_char out '\n'
+    | Return -> raise Return_exc
+    | Stop -> raise Stop_exc
+  in
+  let main = List.find (fun u -> u.kind = Program) p.units in
+  let status =
+    try
+      ignore (call_unit main []);
+      Halted
+    with
+    | Stop_exc -> Halted
+    | Trap msg -> Trapped msg
+    | Fuel -> Out_of_fuel
+  in
+  { status; output = Buffer.contents out; steps = !steps }
+
+let run_output ?fuel p =
+  let r = run ?fuel p in
+  match r.status with
+  | Halted -> r.output
+  | Trapped msg -> failwith (Printf.sprintf "%s: trapped: %s" p.pname msg)
+  | Out_of_fuel -> failwith (Printf.sprintf "%s: out of fuel" p.pname)

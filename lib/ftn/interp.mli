@@ -1,0 +1,28 @@
+(** Reference interpreter for Fortran-S — the oracle for the differential
+    tests: the compiled DIR (under every machine strategy) must reproduce
+    this interpreter's output byte for byte.
+
+    Semantics mirror the code generator exactly: arrays are 1-based and
+    bounds-checked here (out-of-range subscripts are undefined at the DIR
+    level, as in Algol-S); integer division truncates toward zero; the
+    [MOD] intrinsic follows the dividend's sign; [DO] loops are pretest
+    with the terminal statement inside the body; a [FUNCTION] returns the
+    current value of its own name; [PRINT e] writes the decimal value and a
+    newline, [PRINT 'text'] the text and a newline. *)
+
+type status =
+  | Halted
+  | Trapped of string
+  | Out_of_fuel
+
+type result = {
+  status : status;
+  output : string;
+  steps : int;
+}
+
+val run : ?fuel:int -> Ast.program -> result
+(** Run a {e checked} program (default fuel: 200 million steps). *)
+
+val run_output : ?fuel:int -> Ast.program -> string
+(** Output of a clean run; raises [Failure] otherwise. *)

@@ -1,0 +1,132 @@
+type token =
+  | Int of int
+  | Name of string
+  | Str of string
+  | Dotted of string
+  | Punct of char
+
+type line = {
+  label : int option;
+  tokens : token list;
+  lineno : int;
+}
+
+exception Lex_error of string * int
+
+let token_to_string = function
+  | Int n -> string_of_int n
+  | Name s -> s
+  | Str s -> Printf.sprintf "'%s'" s
+  | Dotted s -> Printf.sprintf ".%s." s
+  | Punct c -> String.make 1 c
+
+let dotted_words =
+  [ "EQ"; "NE"; "LT"; "LE"; "GT"; "GE"; "AND"; "OR"; "NOT" ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || c = '_'
+
+let tokenize_line lineno text =
+  let error msg = raise (Lex_error (msg, lineno)) in
+  let n = String.length text in
+  let pos = ref 0 in
+  let tokens = ref [] in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  while !pos < n do
+    let c = text.[!pos] in
+    if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if c = '!' then pos := n (* trailing comment *)
+    else if is_digit c then begin
+      let start = !pos in
+      while (match peek () with Some d -> is_digit d | None -> false) do
+        incr pos
+      done;
+      match int_of_string_opt (String.sub text start (!pos - start)) with
+      | Some v -> tokens := Int v :: !tokens
+      | None -> error "integer literal too large"
+    end
+    else if is_alpha c then begin
+      let start = !pos in
+      while
+        (match peek () with
+        | Some d -> is_alpha d || is_digit d
+        | None -> false)
+      do
+        incr pos
+      done;
+      tokens :=
+        Name (String.uppercase_ascii (String.sub text start (!pos - start)))
+        :: !tokens
+    end
+    else if c = '.' then begin
+      (* .WORD. *)
+      let start = !pos + 1 in
+      let stop = ref start in
+      while (!stop < n && text.[!stop] <> '.') do
+        incr stop
+      done;
+      if !stop >= n then error "unterminated dotted operator";
+      let word = String.uppercase_ascii (String.sub text start (!stop - start)) in
+      if not (List.mem word dotted_words) then
+        error (Printf.sprintf "unknown operator .%s." word);
+      tokens := Dotted word :: !tokens;
+      pos := !stop + 1
+    end
+    else if c = '\'' then begin
+      incr pos;
+      let buf = Buffer.create 16 in
+      let rec scan () =
+        if !pos >= n then error "unterminated string"
+        else if text.[!pos] = '\'' then
+          if !pos + 1 < n && text.[!pos + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            pos := !pos + 2;
+            scan ()
+          end
+          else incr pos
+        else begin
+          Buffer.add_char buf text.[!pos];
+          incr pos;
+          scan ()
+        end
+      in
+      scan ();
+      tokens := Str (Buffer.contents buf) :: !tokens
+    end
+    else
+      match c with
+      | '=' | '+' | '-' | '*' | '/' | '(' | ')' | ',' ->
+          tokens := Punct c :: !tokens;
+          incr pos
+      | _ -> error (Printf.sprintf "unexpected character %C" c)
+  done;
+  List.rev !tokens
+
+let tokenize source =
+  let raw = String.split_on_char '\n' source in
+  let out = ref [] in
+  List.iteri
+    (fun i text ->
+      let lineno = i + 1 in
+      let trimmed = String.trim text in
+      let is_comment =
+        String.length text > 0
+        && (match text.[0] with 'C' | 'c' | '*' | '!' -> true | _ -> false)
+        (* a line starting with a name like CALL is not a comment; FORTRAN
+           fixed-form comments put the marker in column one followed by a
+           space or the rest of the marker line *)
+        && (String.length text = 1
+           || text.[1] = ' '
+           || text.[0] = '*'
+           || text.[0] = '!')
+      in
+      if String.length trimmed = 0 || is_comment then ()
+      else begin
+        match tokenize_line lineno text with
+        | [] -> ()
+        | Int label :: rest when rest <> [] ->
+            out := { label = Some label; tokens = rest; lineno } :: !out
+        | tokens -> out := { label = None; tokens; lineno } :: !out
+      end)
+    raw;
+  List.rev !out

@@ -1,0 +1,28 @@
+(** Line-oriented lexer for Fortran-S.
+
+    Fortran-S keeps FORTRAN's line discipline: one statement per line, an
+    optional numeric statement label at the start of the line, comment
+    lines introduced by [C], [*] or [!] in column one, and blank lines
+    ignored.  Names and keywords are case-insensitive (normalised to upper
+    case); string literals use single quotes with [''] as the escape. *)
+
+type token =
+  | Int of int
+  | Name of string            (** upper-cased identifier or keyword *)
+  | Str of string
+  | Dotted of string          (** relational/logical: EQ NE LT LE GT GE AND OR NOT *)
+  | Punct of char             (** one of = + - * / ( ) , *)
+
+type line = {
+  label : int option;
+  tokens : token list;
+  lineno : int;               (** 1-based source line *)
+}
+
+exception Lex_error of string * int
+(** [(message, line number)] *)
+
+val tokenize : string -> line list
+(** Comment and blank lines are dropped. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,389 @@
+open Ast
+
+exception Parse_error of string * int
+
+let error lineno fmt =
+  Printf.ksprintf (fun s -> raise (Parse_error (s, lineno))) fmt
+
+(* -- Expression parsing within one line ------------------------------------ *)
+
+type cursor = {
+  mutable toks : Lexer.token list;
+  lineno : int;
+}
+
+let peek c = match c.toks with [] -> None | t :: _ -> Some t
+let advance c = match c.toks with [] -> () | _ :: rest -> c.toks <- rest
+
+let expect_punct c ch =
+  match peek c with
+  | Some (Lexer.Punct p) when p = ch -> advance c
+  | Some t -> error c.lineno "expected '%c', found %s" ch (Lexer.token_to_string t)
+  | None -> error c.lineno "expected '%c' at end of line" ch
+
+let accept_punct c ch =
+  match peek c with
+  | Some (Lexer.Punct p) when p = ch ->
+      advance c;
+      true
+  | _ -> false
+
+let expect_name c =
+  match peek c with
+  | Some (Lexer.Name n) ->
+      advance c;
+      n
+  | Some t -> error c.lineno "expected a name, found %s" (Lexer.token_to_string t)
+  | None -> error c.lineno "expected a name at end of line"
+
+let expect_int c =
+  match peek c with
+  | Some (Lexer.Int v) ->
+      advance c;
+      v
+  | Some t -> error c.lineno "expected an integer, found %s" (Lexer.token_to_string t)
+  | None -> error c.lineno "expected an integer at end of line"
+
+let rec parse_or c =
+  let lhs = parse_and c in
+  match peek c with
+  | Some (Lexer.Dotted "OR") ->
+      advance c;
+      Binop (Or, lhs, parse_or c)
+  | _ -> lhs
+
+and parse_and c =
+  let lhs = parse_not c in
+  match peek c with
+  | Some (Lexer.Dotted "AND") ->
+      advance c;
+      Binop (And, lhs, parse_and c)
+  | _ -> lhs
+
+and parse_not c =
+  match peek c with
+  | Some (Lexer.Dotted "NOT") ->
+      advance c;
+      Unop (Not, parse_not c)
+  | _ -> parse_rel c
+
+and parse_rel c =
+  let lhs = parse_additive c in
+  let rel op =
+    advance c;
+    Binop (op, lhs, parse_additive c)
+  in
+  match peek c with
+  | Some (Lexer.Dotted "EQ") -> rel Eq
+  | Some (Lexer.Dotted "NE") -> rel Ne
+  | Some (Lexer.Dotted "LT") -> rel Lt
+  | Some (Lexer.Dotted "LE") -> rel Le
+  | Some (Lexer.Dotted "GT") -> rel Gt
+  | Some (Lexer.Dotted "GE") -> rel Ge
+  | _ -> lhs
+
+and parse_additive c =
+  let rec loop lhs =
+    if accept_punct c '+' then loop (Binop (Add, lhs, parse_multiplicative c))
+    else if accept_punct c '-' then loop (Binop (Sub, lhs, parse_multiplicative c))
+    else lhs
+  in
+  loop (parse_multiplicative c)
+
+and parse_multiplicative c =
+  let rec loop lhs =
+    if accept_punct c '*' then loop (Binop (Mul, lhs, parse_unary c))
+    else if accept_punct c '/' then loop (Binop (Div, lhs, parse_unary c))
+    else lhs
+  in
+  loop (parse_unary c)
+
+and parse_unary c =
+  if accept_punct c '-' then Unop (Neg, parse_unary c) else parse_primary c
+
+and parse_primary c =
+  match peek c with
+  | Some (Lexer.Int v) ->
+      advance c;
+      Num v
+  | Some (Lexer.Punct '(') ->
+      advance c;
+      let e = parse_or c in
+      expect_punct c ')';
+      e
+  | Some (Lexer.Name "MOD") ->
+      advance c;
+      expect_punct c '(';
+      let a = parse_or c in
+      expect_punct c ',';
+      let b = parse_or c in
+      expect_punct c ')';
+      Binop (Mod, a, b)
+  | Some (Lexer.Name name) ->
+      advance c;
+      if accept_punct c '(' then begin
+        let args = parse_args c in
+        match args with
+        | [ single ] -> Element (name, single)
+            (* single-argument form: array element or unary function call —
+               disambiguated by the checker/code generator *)
+        | args -> Funcall (name, args)
+      end
+      else Var name
+  | Some t -> error c.lineno "expected an expression, found %s" (Lexer.token_to_string t)
+  | None -> error c.lineno "expected an expression at end of line"
+
+and parse_args c =
+  if accept_punct c ')' then []
+  else
+    let rec loop acc =
+      let e = parse_or c in
+      if accept_punct c ',' then loop (e :: acc)
+      else begin
+        expect_punct c ')';
+        List.rev (e :: acc)
+      end
+    in
+    loop []
+
+let end_of_line c =
+  match peek c with
+  | None -> ()
+  | Some t -> error c.lineno "unexpected %s at end of statement" (Lexer.token_to_string t)
+
+(* -- Statement and unit parsing --------------------------------------------- *)
+
+type stream = {
+  mutable lines : Lexer.line list;
+}
+
+let peek_line s = match s.lines with [] -> None | l :: _ -> Some l
+
+let next_line s =
+  match s.lines with
+  | [] -> None
+  | l :: rest ->
+      s.lines <- rest;
+      Some l
+
+let line_starts_with (l : Lexer.line) word =
+  match l.Lexer.tokens with
+  | Lexer.Name w :: _ -> String.equal w word
+  | _ -> false
+
+(* Parse the in-line (simple) statement forms shared by full statements and
+   the logical IF. *)
+let rec parse_simple_stmt s c =
+  match peek c with
+  | Some (Lexer.Name "GOTO") ->
+      advance c;
+      let label = expect_int c in
+      end_of_line c;
+      Goto label
+  | Some (Lexer.Name "CONTINUE") ->
+      advance c;
+      end_of_line c;
+      Continue
+  | Some (Lexer.Name "RETURN") ->
+      advance c;
+      end_of_line c;
+      Return
+  | Some (Lexer.Name "STOP") ->
+      advance c;
+      end_of_line c;
+      Stop
+  | Some (Lexer.Name "CALL") ->
+      advance c;
+      let name = expect_name c in
+      let args = if accept_punct c '(' then parse_args c else [] in
+      end_of_line c;
+      Call (name, args)
+  | Some (Lexer.Name "PRINT") -> (
+      advance c;
+      match peek c with
+      | Some (Lexer.Str text) ->
+          advance c;
+          end_of_line c;
+          Print_string text
+      | _ ->
+          let e = parse_or c in
+          end_of_line c;
+          Print e)
+  | Some (Lexer.Name name) -> (
+      advance c;
+      ignore s;
+      if accept_punct c '(' then begin
+        let index = parse_or c in
+        expect_punct c ')';
+        expect_punct c '=';
+        let value = parse_or c in
+        end_of_line c;
+        Assign_element (name, index, value)
+      end
+      else begin
+        expect_punct c '=';
+        let value = parse_or c in
+        end_of_line c;
+        Assign (name, value)
+      end)
+  | Some t -> error c.lineno "expected a statement, found %s" (Lexer.token_to_string t)
+  | None -> error c.lineno "empty statement"
+
+(* A full statement may additionally be a logical IF, a block IF or a DO. *)
+and parse_stmt s (line : Lexer.line) =
+  let c = { toks = line.Lexer.tokens; lineno = line.Lexer.lineno } in
+  match peek c with
+  | Some (Lexer.Name "IF") -> (
+      advance c;
+      expect_punct c '(';
+      let cond = parse_or c in
+      expect_punct c ')';
+      match peek c with
+      | Some (Lexer.Name "THEN") ->
+          advance c;
+          end_of_line c;
+          let then_body =
+            parse_body s ~stop:(fun l ->
+                line_starts_with l "ELSE" || line_starts_with l "ENDIF")
+          in
+          let else_body =
+            match next_line s with
+            | Some l when line_starts_with l "ELSE" ->
+                let b =
+                  parse_body s ~stop:(fun l -> line_starts_with l "ENDIF")
+                in
+                (match next_line s with
+                | Some l when line_starts_with l "ENDIF" -> ()
+                | _ -> error line.Lexer.lineno "missing ENDIF");
+                b
+            | Some l when line_starts_with l "ENDIF" -> []
+            | _ -> error line.Lexer.lineno "missing ELSE or ENDIF"
+          in
+          If_block (cond, then_body, else_body)
+      | _ -> If_simple (cond, parse_simple_stmt s c))
+  | Some (Lexer.Name "DO") ->
+      advance c;
+      let terminal = expect_int c in
+      let var = expect_name c in
+      expect_punct c '=';
+      let from_ = parse_or c in
+      expect_punct c ',';
+      let to_ = parse_or c in
+      let step =
+        if accept_punct c ',' then
+          if accept_punct c '-' then -expect_int c else expect_int c
+        else 1
+      in
+      end_of_line c;
+      if step = 0 then error line.Lexer.lineno "DO step must be non-zero";
+      let body = parse_do_body s ~terminal ~lineno:line.Lexer.lineno in
+      Do { terminal; var; from_; to_; step; body }
+  | _ -> parse_simple_stmt s c
+
+(* Statements until (not consuming) a stop line. *)
+and parse_body s ~stop =
+  let rec loop acc =
+    match peek_line s with
+    | None -> List.rev acc
+    | Some l when stop l -> List.rev acc
+    | Some _ -> (
+        match next_line s with
+        | None -> List.rev acc
+        | Some l -> loop ((l.Lexer.label, parse_stmt s l) :: acc))
+  in
+  loop []
+
+(* Statements through the terminally labelled one, inclusive. *)
+and parse_do_body s ~terminal ~lineno =
+  let rec loop acc =
+    match next_line s with
+    | None -> error lineno "DO %d never terminated" terminal
+    | Some l ->
+        let stmt = parse_stmt s l in
+        let acc = (l.Lexer.label, stmt) :: acc in
+        if l.Lexer.label = Some terminal then List.rev acc else loop acc
+  in
+  loop []
+
+let parse_decls s =
+  let rec loop acc =
+    match peek_line s with
+    | Some l when line_starts_with l "INTEGER" -> (
+        match next_line s with
+        | None -> assert false
+        | Some l ->
+            let c = { toks = List.tl l.Lexer.tokens; lineno = l.Lexer.lineno } in
+            let rec names acc =
+              let dname = expect_name c in
+              let dim =
+                if accept_punct c '(' then begin
+                  let n = expect_int c in
+                  expect_punct c ')';
+                  Some n
+                end
+                else None
+              in
+              let acc = { dname; dim } :: acc in
+              if accept_punct c ',' then names acc
+              else begin
+                end_of_line c;
+                acc
+              end
+            in
+            loop (names acc))
+    | _ -> List.rev acc
+  in
+  loop []
+
+let parse_unit s (header : Lexer.line) =
+  let c = { toks = header.Lexer.tokens; lineno = header.Lexer.lineno } in
+  let kind =
+    match expect_name c with
+    | "PROGRAM" -> Program
+    | "SUBROUTINE" -> Subroutine
+    | "FUNCTION" -> Function
+    | other -> error header.Lexer.lineno "expected a unit header, found %s" other
+  in
+  let uname = expect_name c in
+  let params =
+    if accept_punct c '(' then
+      if accept_punct c ')' then []
+      else
+        let rec loop acc =
+          let p = expect_name c in
+          if accept_punct c ',' then loop (p :: acc)
+          else begin
+            expect_punct c ')';
+            List.rev (p :: acc)
+          end
+        in
+        loop []
+    else []
+  in
+  end_of_line c;
+  (match kind with
+  | Program when params <> [] ->
+      error header.Lexer.lineno "PROGRAM takes no parameters"
+  | _ -> ());
+  let decls = parse_decls s in
+  let body = parse_body s ~stop:(fun l -> line_starts_with l "END") in
+  (match next_line s with
+  | Some l
+    when line_starts_with l "END" && List.length l.Lexer.tokens = 1 ->
+      ()
+  | Some l -> error l.Lexer.lineno "expected END"
+  | None -> error header.Lexer.lineno "unit %s never ends" uname);
+  { kind; uname; params; decls; body }
+
+let parse ?(name = "<fortran>") source =
+  let s = { lines = Lexer.tokenize source } in
+  let rec units acc =
+    match next_line s with
+    | None -> List.rev acc
+    | Some header -> units (parse_unit s header :: acc)
+  in
+  let units = units [] in
+  (match units with
+  | [] -> raise (Parse_error ("empty program", 1))
+  | _ -> ());
+  { pname = name; units }

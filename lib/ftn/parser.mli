@@ -1,0 +1,25 @@
+(** Parser for Fortran-S.
+
+    A program is a sequence of units, each terminated by [END]:
+    {v
+    PROGRAM name | SUBROUTINE name(params) | FUNCTION name(params)
+      INTEGER decls                      declarations first
+      statements                         one per line, optional label
+    END
+    v}
+
+    Statements: assignment (scalar or array element), [GOTO label],
+    logical [IF (e) stmt], block [IF (e) THEN ... (ELSE ...) ENDIF],
+    [DO label var = e1, e2 (, step)] with a literal step, [CONTINUE],
+    [CALL name(args)], [PRINT e], [PRINT 'text'], [RETURN], [STOP].
+
+    Expressions use FORTRAN operators ([+ - * /], [.EQ.] .. [.GE.],
+    [.AND.], [.OR.], [.NOT.], unary [-]) plus the [MOD(a, b)] intrinsic;
+    [name(e)] is an array element or a function call, resolved by the
+    checker and code generator from the declarations. *)
+
+exception Parse_error of string * int
+(** [(message, line number)] *)
+
+val parse : ?name:string -> string -> Ast.program
+(** Raises {!Parse_error} or {!Lexer.Lex_error}. *)

@@ -1,0 +1,132 @@
+open Ast
+
+(* precedence levels: OR 1, AND 2, NOT 3, relational 4, additive 5,
+   multiplicative 6, unary minus 7, atoms 8 *)
+let prec_of = function
+  | Or -> 1
+  | And -> 2
+  | Eq | Ne | Lt | Le | Gt | Ge -> 4
+  | Add | Sub -> 5
+  | Mul | Div -> 6
+  | Mod -> 8 (* rendered as the MOD(a, b) intrinsic *)
+
+let rec expr_prec level e =
+  let atom = 8 in
+  let text, prec =
+    match e with
+    | Num n when n < 0 -> (Printf.sprintf "(-%d)" (-n), atom)
+    | Num n -> (string_of_int n, atom)
+    | Var name -> (name, atom)
+    | Element (name, index) ->
+        (Printf.sprintf "%s(%s)" name (expr_prec 0 index), atom)
+    | Funcall (name, args) ->
+        ( Printf.sprintf "%s(%s)" name
+            (String.concat ", " (List.map (expr_prec 0) args)),
+          atom )
+    | Binop (Mod, a, b) ->
+        (Printf.sprintf "MOD(%s, %s)" (expr_prec 0 a) (expr_prec 0 b), atom)
+    | Unop (Neg, e) -> (Printf.sprintf "-%s" (expr_prec 7 e), 7)
+    | Unop (Not, e) -> (Printf.sprintf ".NOT. %s" (expr_prec 3 e), 3)
+    | Binop (op, a, b) ->
+        let p = prec_of op in
+        let left, right =
+          match op with
+          | Or | And -> (p + 1, p)                     (* right-assoc parse *)
+          | Eq | Ne | Lt | Le | Gt | Ge -> (p + 1, p + 1) (* non-assoc *)
+          | _ -> (p, p + 1)                            (* left-assoc *)
+        in
+        ( Printf.sprintf "%s %s %s" (expr_prec left a) (binop_name op)
+            (expr_prec right b),
+          p )
+  in
+  if prec < level then "(" ^ text ^ ")" else text
+
+let expr_to_string e = expr_prec 0 e
+
+let quote_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '\'';
+  String.iter
+    (fun c ->
+      if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '\'';
+  Buffer.contents buf
+
+let line ?label text =
+  match label with
+  | Some l -> Printf.sprintf "%5d %s" l text
+  | None -> "      " ^ text
+
+let rec stmt_lines ?label s =
+  match s with
+  | Assign (name, e) -> [ line ?label (Printf.sprintf "%s = %s" name (expr_to_string e)) ]
+  | Assign_element (name, index, value) ->
+      [
+        line ?label
+          (Printf.sprintf "%s(%s) = %s" name (expr_to_string index)
+             (expr_to_string value));
+      ]
+  | Goto l -> [ line ?label (Printf.sprintf "GOTO %d" l) ]
+  | Continue -> [ line ?label "CONTINUE" ]
+  | Call (name, []) -> [ line ?label (Printf.sprintf "CALL %s" name) ]
+  | Call (name, args) ->
+      [
+        line ?label
+          (Printf.sprintf "CALL %s(%s)" name
+             (String.concat ", " (List.map expr_to_string args)));
+      ]
+  | Print e -> [ line ?label (Printf.sprintf "PRINT %s" (expr_to_string e)) ]
+  | Print_string s -> [ line ?label (Printf.sprintf "PRINT %s" (quote_string s)) ]
+  | Return -> [ line ?label "RETURN" ]
+  | Stop -> [ line ?label "STOP" ]
+  | If_simple (cond, inner) -> (
+      match stmt_lines inner with
+      | [ single ] ->
+          [
+            line ?label
+              (Printf.sprintf "IF (%s) %s" (expr_to_string cond)
+                 (String.trim single));
+          ]
+      | _ -> assert false (* the checker forbids nested control here *))
+  | If_block (cond, then_body, else_body) ->
+      [ line ?label (Printf.sprintf "IF (%s) THEN" (expr_to_string cond)) ]
+      @ body_lines then_body
+      @ (if else_body = [] then [] else (line "ELSE" :: body_lines else_body))
+      @ [ line "ENDIF" ]
+  | Do d ->
+      let header =
+        if d.step = 1 then
+          Printf.sprintf "DO %d %s = %s, %s" d.terminal d.var
+            (expr_to_string d.from_) (expr_to_string d.to_)
+        else
+          Printf.sprintf "DO %d %s = %s, %s, %d" d.terminal d.var
+            (expr_to_string d.from_) (expr_to_string d.to_) d.step
+      in
+      line ?label header :: body_lines d.body
+
+and body_lines (body : body) =
+  List.concat_map (fun (label, s) -> stmt_lines ?label s) body
+
+let decl_lines decls =
+  List.map
+    (fun d ->
+      match d.dim with
+      | None -> line (Printf.sprintf "INTEGER %s" d.dname)
+      | Some n -> line (Printf.sprintf "INTEGER %s(%d)" d.dname n))
+    decls
+
+let unit_lines (u : unit_) =
+  let header =
+    match (u.kind, u.params) with
+    | Program, _ -> Printf.sprintf "PROGRAM %s" u.uname
+    | Subroutine, [] -> Printf.sprintf "SUBROUTINE %s" u.uname
+    | Subroutine, ps ->
+        Printf.sprintf "SUBROUTINE %s(%s)" u.uname (String.concat ", " ps)
+    | Function, ps ->
+        Printf.sprintf "FUNCTION %s(%s)" u.uname (String.concat ", " ps)
+  in
+  (line header :: decl_lines u.decls) @ body_lines u.body @ [ line "END" ]
+
+let to_string (p : program) =
+  String.concat "\n" (List.concat_map unit_lines p.units) ^ "\n"

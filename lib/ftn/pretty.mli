@@ -1,0 +1,10 @@
+(** Pretty-printer for Fortran-S.
+
+    Emits reparseable fixed-ish-form source: statement labels in the label
+    field, six-space continuation-free statement lines, upper-case keywords.
+    For every checked program [p], [Parser.parse (to_string p)] equals [p]
+    up to {!Ast_normalize.normalize} (negative literals reparse as negated
+    positives, and one-argument calls as the [Element] form). *)
+
+val expr_to_string : Ast.expr -> string
+val to_string : Ast.program -> string

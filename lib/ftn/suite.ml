@@ -1,0 +1,156 @@
+(* Fortran-S benchmark programs: the second language running on the same
+   universal host.  Deliberately idiomatic FORTRAN — labels, GOTO, counted
+   DO loops — producing DIR profiles unlike the Algol-S suite's. *)
+
+type entry = {
+  name : string;
+  description : string;
+  source : string;
+}
+
+let euclid =
+  {
+    name = "ftn_euclid";
+    description = "GOTO-driven Euclid's algorithm over a grid of pairs";
+    source =
+      {|
+      PROGRAM EUCLID
+      INTEGER I, J, S
+      S = 0
+      DO 30 I = 1, 25
+      DO 20 J = 1, 25
+      S = S + IGCD(I * 12, J * 18)
+   20 CONTINUE
+   30 CONTINUE
+      PRINT S
+      PRINT IGCD(1071, 462)
+      STOP
+      END
+
+      FUNCTION IGCD(A, B)
+      INTEGER T
+   10 IF (B .EQ. 0) GOTO 20
+      T = MOD(A, B)
+      A = B
+      B = T
+      GOTO 10
+   20 IGCD = A
+      RETURN
+      END
+|};
+  }
+
+let sieve =
+  {
+    name = "ftn_sieve";
+    description = "sieve of Eratosthenes with DO loops and a logical IF";
+    source =
+      {|
+      PROGRAM SIEVE
+      INTEGER FLAGS(300)
+      INTEGER I, J, N
+      DO 10 I = 1, 300
+      FLAGS(I) = 1
+   10 CONTINUE
+      DO 30 I = 2, 17
+      IF (FLAGS(I) .EQ. 0) GOTO 30
+      J = I * I
+   20 IF (J .GT. 300) GOTO 30
+      FLAGS(J) = 0
+      J = J + I
+      GOTO 20
+   30 CONTINUE
+      N = 0
+      DO 40 I = 2, 300
+      IF (FLAGS(I) .EQ. 1) N = N + 1
+   40 CONTINUE
+      PRINT N
+      STOP
+      END
+|};
+  }
+
+let pascal =
+  {
+    name = "ftn_pascal";
+    description = "Pascal's triangle rows via an array, nested DO loops";
+    source =
+      {|
+      PROGRAM PASCAL
+      INTEGER ROW(16)
+      INTEGER I, J, N
+      N = 14
+      ROW(1) = 1
+      DO 30 I = 1, N
+      J = I + 1
+   10 IF (J .LT. 2) GOTO 20
+      ROW(J) = ROW(J) + ROW(J - 1)
+      J = J - 1
+      GOTO 10
+   20 PRINT ROW(I + 1)
+   30 CONTINUE
+      STOP
+      END
+|};
+  }
+
+let fib =
+  {
+    name = "ftn_fib";
+    description = "recursive Fibonacci function (an extension of F77)";
+    source =
+      {|
+      PROGRAM FIBM
+      INTEGER I
+      DO 10 I = 0, 16
+      PRINT IFIB(I)
+   10 CONTINUE
+      STOP
+      END
+
+      FUNCTION IFIB(N)
+      IF (N .LT. 2) THEN
+        IFIB = N
+      ELSE
+        IFIB = IFIB(N - 1) + IFIB(N - 2)
+      ENDIF
+      RETURN
+      END
+|};
+  }
+
+let banner =
+  {
+    name = "ftn_banner";
+    description = "subroutine calls and string output";
+    source =
+      {|
+      PROGRAM BANNER
+      INTEGER I
+      PRINT 'FORTRAN-S ON THE UHM'
+      DO 10 I = 1, 5
+      CALL LINE(I)
+   10 CONTINUE
+      STOP
+      END
+
+      SUBROUTINE LINE(N)
+      INTEGER K
+      PRINT 'COUNTDOWN'
+      DO 10 K = N, 1, -1
+      PRINT K * K
+   10 CONTINUE
+      RETURN
+      END
+|};
+  }
+
+let all = [ euclid; sieve; pascal; fib; banner ]
+
+let find name = List.find (fun e -> String.equal e.name name) all
+
+let parse e = Check.check_exn (Parser.parse ~name:e.name e.source)
+
+let compile ?(fuse = false) e =
+  let dir = Codegen.compile (parse e) in
+  if fuse then Uhm_compiler.Fusion.fuse dir else dir

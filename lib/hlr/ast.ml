@@ -1,0 +1,90 @@
+(* Abstract syntax of Algol-S, the block-structured HLR of this
+   reproduction (paper §2.2).  The language is deliberately ALGOL-shaped:
+   nested procedures with static scoping, blocks with local declarations,
+   recursion, arrays — enough to make name binding genuinely dynamic for a
+   direct interpreter and contour-relative for the compiler. *)
+
+type unop =
+  | Neg_op
+  | Not_op
+[@@deriving eq, show { with_path = false }]
+
+type binop =
+  | Add_op
+  | Sub_op
+  | Mul_op
+  | Div_op
+  | Mod_op
+  | Eq_op
+  | Ne_op
+  | Lt_op
+  | Le_op
+  | Gt_op
+  | Ge_op
+  | And_op
+  | Or_op
+[@@deriving eq, show { with_path = false }]
+
+type expr =
+  | Num of int
+  | Var of string
+  | Subscript of string * expr
+  | Call_expr of string * expr list
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+[@@deriving eq, show { with_path = false }]
+
+type direction =
+  | Upto
+  | Downto
+[@@deriving eq, show { with_path = false }]
+
+type stmt =
+  | Assign of string * expr
+  | Assign_sub of string * expr * expr   (* name[index] := value *)
+  | If of expr * stmt * stmt option
+  | While of expr * stmt
+  | For of string * expr * direction * expr * stmt
+  | Print of expr
+  | Printc of expr
+  | Write of string                      (* emit a string literal *)
+  | Call_stmt of string * expr list
+  | Return of expr option
+  | Block of block
+  | Skip
+
+and decl =
+  | Var_decl of string * expr option
+  | Array_decl of string * int
+  | Proc_decl of string * string list * block
+
+and block = {
+  decls : decl list;
+  stmts : stmt list;
+}
+[@@deriving eq, show { with_path = false }]
+
+type program = {
+  name : string;
+  body : block;
+}
+[@@deriving eq, show { with_path = false }]
+
+let binop_name = function
+  | Add_op -> "+"
+  | Sub_op -> "-"
+  | Mul_op -> "*"
+  | Div_op -> "div"
+  | Mod_op -> "mod"
+  | Eq_op -> "="
+  | Ne_op -> "<>"
+  | Lt_op -> "<"
+  | Le_op -> "<="
+  | Gt_op -> ">"
+  | Ge_op -> ">="
+  | And_op -> "and"
+  | Or_op -> "or"
+
+let unop_name = function
+  | Neg_op -> "-"
+  | Not_op -> "not"

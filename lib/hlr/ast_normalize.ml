@@ -1,0 +1,25 @@
+(* Structural normalisation used by the parse/print round-trip property:
+   a declaration-free block with zero or one statement is the same program
+   as the statement itself, and the printer sometimes inserts such blocks
+   to pin down the dangling [else]. *)
+
+open Ast
+
+let rec stmt = function
+  | Block { decls = []; stmts = [] } -> Skip
+  | Block { decls = []; stmts = [ s ] } -> stmt s
+  | Block b -> Block (block b)
+  | If (c, t, e) -> If (c, stmt t, Option.map stmt e)
+  | While (c, body) -> While (c, stmt body)
+  | For (v, a, d, b, body) -> For (v, a, d, b, stmt body)
+  | (Assign _ | Assign_sub _ | Print _ | Printc _ | Write _ | Call_stmt _
+    | Return _ | Skip) as s ->
+      s
+
+and decl = function
+  | Proc_decl (name, params, body) -> Proc_decl (name, params, block body)
+  | (Var_decl _ | Array_decl _) as d -> d
+
+and block b = { decls = List.map decl b.decls; stmts = List.map stmt b.stmts }
+
+let normalize (p : program) = { p with body = block p.body }

@@ -1,0 +1,140 @@
+open Ast
+
+exception Check_error of string
+
+type kind =
+  | Scalar
+  | Array of int
+  | Proc of int (* arity *)
+
+let error fmt = Printf.ksprintf (fun s -> raise (Check_error s)) fmt
+
+let lookup scopes name =
+  let rec go = function
+    | [] -> error "undeclared name: %s" name
+    | scope :: outer -> (
+        match List.assoc_opt name scope with
+        | Some kind -> kind
+        | None -> go outer)
+  in
+  go scopes
+
+let max_array_size = 1_000_000
+
+let scope_of_block b =
+  let add scope (name, kind) =
+    if List.mem_assoc name scope then
+      error "duplicate declaration of %s in the same block" name
+    else (name, kind) :: scope
+  in
+  List.fold_left
+    (fun scope d ->
+      match d with
+      | Var_decl (name, _) -> add scope (name, Scalar)
+      | Array_decl (name, size) ->
+          if size <= 0 || size > max_array_size then
+            error "array %s has invalid size %d" name size;
+          add scope (name, Array size)
+      | Proc_decl (name, params, _) ->
+          let rec dup = function
+            | [] -> ()
+            | p :: rest ->
+                if List.mem p rest then
+                  error "duplicate parameter %s of procedure %s" p name;
+                dup rest
+          in
+          dup params;
+          add scope (name, Proc (List.length params)))
+    [] b.decls
+
+let rec check_expr scopes = function
+  | Num _ -> ()
+  | Var name -> (
+      match lookup scopes name with
+      | Scalar -> ()
+      | Array _ -> error "array %s used without a subscript" name
+      | Proc _ -> error "procedure %s used as a variable" name)
+  | Subscript (name, index) ->
+      (match lookup scopes name with
+      | Array _ -> ()
+      | Scalar -> error "scalar %s subscripted" name
+      | Proc _ -> error "procedure %s subscripted" name);
+      check_expr scopes index
+  | Call_expr (name, args) ->
+      check_call scopes name args
+  | Unop (_, e) -> check_expr scopes e
+  | Binop (_, lhs, rhs) ->
+      check_expr scopes lhs;
+      check_expr scopes rhs
+
+and check_call scopes name args =
+  (match lookup scopes name with
+  | Proc arity ->
+      if List.length args <> arity then
+        error "procedure %s expects %d argument(s), got %d" name arity
+          (List.length args)
+  | Scalar | Array _ -> error "%s is not a procedure" name);
+  List.iter (check_expr scopes) args
+
+let rec check_stmt scopes ~in_proc = function
+  | Skip -> ()
+  | Assign (name, e) ->
+      (match lookup scopes name with
+      | Scalar -> ()
+      | Array _ -> error "array %s assigned without a subscript" name
+      | Proc _ -> error "procedure %s assigned" name);
+      check_expr scopes e
+  | Assign_sub (name, index, value) ->
+      (match lookup scopes name with
+      | Array _ -> ()
+      | Scalar -> error "scalar %s subscripted" name
+      | Proc _ -> error "procedure %s subscripted" name);
+      check_expr scopes index;
+      check_expr scopes value
+  | If (cond, t, e) ->
+      check_expr scopes cond;
+      check_stmt scopes ~in_proc t;
+      Option.iter (check_stmt scopes ~in_proc) e
+  | While (cond, body) ->
+      check_expr scopes cond;
+      check_stmt scopes ~in_proc body
+  | For (var, start, _, stop, body) ->
+      (match lookup scopes var with
+      | Scalar -> ()
+      | Array _ | Proc _ -> error "for-loop variable %s is not a scalar" var);
+      check_expr scopes start;
+      check_expr scopes stop;
+      check_stmt scopes ~in_proc body
+  | Print e | Printc e -> check_expr scopes e
+  | Write _ -> ()
+  | Call_stmt (name, args) -> check_call scopes name args
+  | Return e ->
+      if not in_proc then error "return outside a procedure";
+      Option.iter (check_expr scopes) e
+  | Block b -> check_block scopes ~in_proc b
+
+and check_block scopes ~in_proc b =
+  let scope = scope_of_block b in
+  let scopes = scope :: scopes in
+  List.iter
+    (function
+      | Var_decl (_, init) -> Option.iter (check_expr scopes) init
+      | Array_decl _ -> ()
+      | Proc_decl (_, params, body) ->
+          let param_scope = List.map (fun p -> (p, Scalar)) params in
+          (* Parameters shadowing a sibling declaration are fine; duplicates
+             among themselves were rejected above. *)
+          check_block (param_scope :: scopes) ~in_proc:true body)
+    b.decls;
+  List.iter (check_stmt scopes ~in_proc) b.stmts
+
+let check (p : program) =
+  try
+    check_block [] ~in_proc:false p.body;
+    Ok ()
+  with Check_error msg -> Error msg
+
+let check_exn p =
+  match check p with
+  | Ok () -> p
+  | Error msg -> raise (Check_error (Printf.sprintf "%s: %s" p.name msg))

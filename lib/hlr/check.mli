@@ -1,0 +1,18 @@
+(** Static semantic checking of Algol-S programs.
+
+    Scope rules: all declarations of a block are visible throughout that
+    block, including inside procedure bodies declared in it (so mutually
+    recursive procedures work); inner declarations shadow outer ones;
+    duplicate names within one block are rejected.
+
+    Checks performed: every name is declared; procedures are called (with the
+    right arity), never read or assigned; arrays are always subscripted and
+    never called or assigned wholesale; scalars are never subscripted or
+    called; [for]-loop variables are scalars; array sizes are in
+    [1 .. 1_000_000]; [return] appears only inside a procedure. *)
+
+exception Check_error of string
+
+val check : Ast.program -> (unit, string) result
+val check_exn : Ast.program -> Ast.program
+(** [check_exn p] is [p] if well formed; raises {!Check_error} otherwise. *)

@@ -1,0 +1,240 @@
+open Ast
+
+type status =
+  | Halted
+  | Trapped of string
+  | Out_of_fuel
+
+type result = {
+  status : status;
+  output : string;
+  steps : int;
+  name_lookups : int;
+  name_comparisons : int;
+}
+
+exception Trap of string
+exception Fuel_exhausted
+
+let trap fmt = Printf.ksprintf (fun s -> raise (Trap s)) fmt
+
+type value =
+  | Cell of int ref
+  | Arr of int array
+  | Procedure of proc
+
+and proc = {
+  params : string list;
+  body : block;
+  (* environment at declaration time (static scoping); a ref because the
+     chain contains the procedure's own scope — tied after construction *)
+  closure : scope list ref;
+}
+
+and scope = (string * value) list
+
+exception Return_exc of int
+
+let default_fuel = 200_000_000
+
+let run ?(fuel = default_fuel) (p : program) =
+  let steps = ref 0 in
+  let lookups = ref 0 in
+  let comparisons = ref 0 in
+  let out = Buffer.create 256 in
+  let tick () =
+    incr steps;
+    if !steps > fuel then raise Fuel_exhausted
+  in
+  (* The associative search the paper talks about: walk the scope chain,
+     comparing names one by one. *)
+  let lookup env name =
+    incr lookups;
+    let rec in_scope = function
+      | [] -> None
+      | (n, v) :: rest ->
+          incr comparisons;
+          if String.equal n name then Some v else in_scope rest
+    in
+    let rec in_chain = function
+      | [] -> trap "undeclared name %s" name
+      | scope :: outer -> (
+          match in_scope scope with Some v -> v | None -> in_chain outer)
+    in
+    in_chain env
+  in
+  let as_cell name = function
+    | Cell r -> r
+    | Arr _ -> trap "array %s used as a scalar" name
+    | Procedure _ -> trap "procedure %s used as a scalar" name
+  in
+  let as_array name = function
+    | Arr a -> a
+    | Cell _ -> trap "scalar %s used as an array" name
+    | Procedure _ -> trap "procedure %s used as an array" name
+  in
+  let as_proc name = function
+    | Procedure p -> p
+    | Cell _ | Arr _ -> trap "%s is not a procedure" name
+  in
+  let subscript name a index =
+    if index < 0 || index >= Array.length a then
+      trap "index %d out of bounds for %s[%d]" index name (Array.length a);
+    index
+  in
+  let rec eval env e =
+    tick ();
+    match e with
+    | Num n -> n
+    | Var name -> !(as_cell name (lookup env name))
+    | Subscript (name, index_e) ->
+        let a = as_array name (lookup env name) in
+        let index = eval env index_e in
+        a.(subscript name a index)
+    | Call_expr (name, args) -> call env name args
+    | Unop (Neg_op, e) -> -eval env e
+    | Unop (Not_op, e) -> if eval env e = 0 then 1 else 0
+    | Binop (And_op, lhs, rhs) ->
+        (* no short-circuiting: matches the compiled DIR, which evaluates
+           both operands *)
+        let x = eval env lhs in
+        let y = eval env rhs in
+        if x <> 0 && y <> 0 then 1 else 0
+    | Binop (Or_op, lhs, rhs) ->
+        let x = eval env lhs in
+        let y = eval env rhs in
+        if x <> 0 || y <> 0 then 1 else 0
+    | Binop (op, lhs, rhs) -> (
+        let x = eval env lhs in
+        let y = eval env rhs in
+        match op with
+        | Add_op -> x + y
+        | Sub_op -> x - y
+        | Mul_op -> x * y
+        | Div_op -> if y = 0 then trap "division by zero" else x / y
+        | Mod_op -> if y = 0 then trap "division by zero" else x mod y
+        | Eq_op -> if x = y then 1 else 0
+        | Ne_op -> if x <> y then 1 else 0
+        | Lt_op -> if x < y then 1 else 0
+        | Le_op -> if x <= y then 1 else 0
+        | Gt_op -> if x > y then 1 else 0
+        | Ge_op -> if x >= y then 1 else 0
+        | And_op | Or_op -> assert false)
+
+  and call env name args =
+    let proc = as_proc name (lookup env name) in
+    let arg_values = List.map (eval env) args in
+    if List.length arg_values <> List.length proc.params then
+      trap "arity mismatch calling %s" name;
+    let param_scope =
+      List.map2 (fun p v -> (p, Cell (ref v))) proc.params arg_values
+    in
+    (* Static scoping: the body runs in the declaration-time chain. *)
+    let body_env = param_scope :: !(proc.closure) in
+    try
+      exec_block body_env proc.body;
+      0 (* implicit "return 0" when control falls off the end *)
+    with Return_exc v -> v
+
+  and exec_block env b =
+    (* All declarations of the block are visible throughout it, so the scope
+       is built (with default values) before initialisers run. *)
+    let scope =
+      List.map
+        (function
+          | Var_decl (name, _) -> (name, Cell (ref 0))
+          | Array_decl (name, size) -> (name, Arr (Array.make size 0))
+          | Proc_decl (name, params, body) ->
+              (name, Procedure { params; body; closure = ref [] }))
+        b.decls
+    in
+    let env = scope :: env in
+    (* Tie the knot: each procedure's closure is the full chain including the
+       block's own scope, so siblings can call one another recursively. *)
+    List.iter
+      (function
+        | _, Procedure p -> p.closure := env
+        | _, (Cell _ | Arr _) -> ())
+      scope;
+    List.iter
+      (function
+        | Var_decl (name, Some init) ->
+            let v = eval env init in
+            (as_cell name (lookup env name)) := v
+        | Var_decl (_, None) | Array_decl _ | Proc_decl _ -> ())
+      b.decls;
+    List.iter (exec env) b.stmts
+
+  and exec env s =
+    tick ();
+    match s with
+    | Skip -> ()
+    | Assign (name, e) ->
+        let v = eval env e in
+        (as_cell name (lookup env name)) := v
+    | Assign_sub (name, index_e, value_e) ->
+        let a = as_array name (lookup env name) in
+        let index = eval env index_e in
+        let value = eval env value_e in
+        a.(subscript name a index) <- value
+    | If (cond, t, e) ->
+        if eval env cond <> 0 then exec env t
+        else Option.iter (exec env) e
+    | While (cond, body) ->
+        while eval env cond <> 0 do
+          exec env body
+        done
+    | For (var, start_e, dir, stop_e, body) ->
+        (* Same semantics the compiler emits: bounds evaluated once, loop
+           variable live after the loop with the overshot value. *)
+        let cell = as_cell var (lookup env var) in
+        let start = eval env start_e in
+        let stop = eval env stop_e in
+        cell := start;
+        let continue () =
+          match dir with Upto -> !cell <= stop | Downto -> !cell >= stop
+        in
+        let bump () =
+          match dir with Upto -> incr cell | Downto -> decr cell
+        in
+        while continue () do
+          tick ();
+          exec env body;
+          bump ()
+        done
+    | Print e ->
+        Buffer.add_string out (string_of_int (eval env e));
+        Buffer.add_char out '\n'
+    | Printc e ->
+        let v = eval env e in
+        if v < 0 || v > 255 then trap "printc out of range: %d" v;
+        Buffer.add_char out (Char.chr v)
+    | Write s -> Buffer.add_string out s
+    | Call_stmt (name, args) -> ignore (call env name args)
+    | Return None -> raise (Return_exc 0)
+    | Return (Some e) -> raise (Return_exc (eval env e))
+    | Block b -> exec_block env b
+  in
+  let status =
+    try
+      exec_block [] p.body;
+      Halted
+    with
+    | Trap msg -> Trapped msg
+    | Fuel_exhausted -> Out_of_fuel
+    | Return_exc _ -> Trapped "return outside a procedure"
+  in
+  {
+    status;
+    output = Buffer.contents out;
+    steps = !steps;
+    name_lookups = !lookups;
+    name_comparisons = !comparisons;
+  }
+
+let run_output ?fuel p =
+  let r = run ?fuel p in
+  match r.status with
+  | Halted -> r.output
+  | Trapped msg -> failwith (Printf.sprintf "%s: trapped: %s" p.name msg)
+  | Out_of_fuel -> failwith (Printf.sprintf "%s: out of fuel" p.name)

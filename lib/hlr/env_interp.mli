@@ -1,0 +1,35 @@
+(** Direct interpreter for Algol-S — execution at the HLR level.
+
+    The paper (§2.2) observes that a high-level representation "implicitly
+    assumes the existence of an associative memory; when the name of a
+    variable is encountered, the name must be associated with the
+    corresponding declaration" and that in real hardware this degenerates
+    into "time-consuming table searches".  This interpreter makes that cost
+    observable: environments are chains of association lists searched
+    linearly, and the result reports how many searches and how many
+    name-to-name comparisons were performed.
+
+    Its observable behaviour (output, trap conditions) must coincide with the
+    compiled DIR semantics on checked, in-bounds programs; this is enforced
+    by differential tests. *)
+
+type status =
+  | Halted
+  | Trapped of string
+  | Out_of_fuel
+
+type result = {
+  status : status;
+  output : string;
+  steps : int;            (** expression/statement evaluation steps *)
+  name_lookups : int;     (** associative searches performed *)
+  name_comparisons : int; (** individual name comparisons during searches *)
+}
+
+val run : ?fuel:int -> Ast.program -> result
+(** [run p] executes a {e checked} program (callers should run {!Check.check}
+    first; behaviour on unchecked programs may raise).  [fuel] bounds the
+    number of evaluation steps (default 200 million). *)
+
+val run_output : ?fuel:int -> Ast.program -> string
+(** Output of a clean run; raises [Failure] on trap or fuel exhaustion. *)

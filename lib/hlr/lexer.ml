@@ -1,0 +1,128 @@
+type token =
+  | Int of int
+  | Ident of string
+  | String of string
+  | Kw of string
+  | Punct of string
+  | Eof
+
+type located = {
+  token : token;
+  line : int;
+  col : int;
+}
+
+exception Lex_error of string * int * int
+
+let keywords =
+  [
+    "begin"; "end"; "integer"; "array"; "procedure"; "if"; "then"; "else";
+    "while"; "do"; "for"; "to"; "downto"; "print"; "printc"; "write"; "call";
+    "return"; "and"; "or"; "not"; "div"; "mod";
+  ]
+
+let is_keyword =
+  let table = Hashtbl.create 31 in
+  List.iter (fun k -> Hashtbl.replace table k ()) keywords;
+  fun s -> Hashtbl.mem table s
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let token_to_string = function
+  | Int n -> string_of_int n
+  | Ident s -> s
+  | String s -> Printf.sprintf "%S" s
+  | Kw s -> s
+  | Punct s -> s
+  | Eof -> "<eof>"
+
+let tokenize source =
+  let n = String.length source in
+  let line = ref 1 and col = ref 1 in
+  let pos = ref 0 in
+  let tokens = ref [] in
+  let error msg = raise (Lex_error (msg, !line, !col)) in
+  let peek () = if !pos < n then Some source.[!pos] else None in
+  let advance () =
+    (match source.[!pos] with
+    | '\n' ->
+        incr line;
+        col := 1
+    | _ -> incr col);
+    incr pos
+  in
+  let emit_at line col token = tokens := { token; line; col } :: !tokens in
+  let rec skip_comment depth_line depth_col =
+    match peek () with
+    | None ->
+        raise (Lex_error ("unterminated comment", depth_line, depth_col))
+    | Some '}' -> advance ()
+    | Some _ ->
+        advance ();
+        skip_comment depth_line depth_col
+  in
+  while !pos < n do
+    let start_line = !line and start_col = !col in
+    let c = source.[!pos] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '{' then begin
+      advance ();
+      skip_comment start_line start_col
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      while (match peek () with Some ch -> is_digit ch | None -> false) do
+        advance ()
+      done;
+      let text = String.sub source start (!pos - start) in
+      match int_of_string_opt text with
+      | Some v -> emit_at start_line start_col (Int v)
+      | None -> raise (Lex_error ("integer literal too large", start_line, start_col))
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while (match peek () with Some ch -> is_ident_char ch | None -> false) do
+        advance ()
+      done;
+      let text = String.lowercase_ascii (String.sub source start (!pos - start)) in
+      if is_keyword text then emit_at start_line start_col (Kw text)
+      else emit_at start_line start_col (Ident text)
+    end
+    else if c = '"' then begin
+      advance ();
+      let buf = Buffer.create 16 in
+      let rec scan () =
+        match peek () with
+        | None -> raise (Lex_error ("unterminated string", start_line, start_col))
+        | Some '"' -> advance ()
+        | Some '\n' -> raise (Lex_error ("newline in string", start_line, start_col))
+        | Some ch ->
+            Buffer.add_char buf ch;
+            advance ();
+            scan ()
+      in
+      scan ();
+      emit_at start_line start_col (String (Buffer.contents buf))
+    end
+    else begin
+      let two =
+        if !pos + 1 < n then Some (String.sub source !pos 2) else None
+      in
+      match two with
+      | Some ((":=" | "<=" | ">=" | "<>") as p) ->
+          advance ();
+          advance ();
+          emit_at start_line start_col (Punct p)
+      | _ -> (
+          match c with
+          | '(' | ')' | '[' | ']' | ',' | ';' | '=' | '<' | '>' | '+' | '-'
+          | '*' | '/' ->
+              advance ();
+              emit_at start_line start_col (Punct (String.make 1 c))
+          | _ -> error (Printf.sprintf "unexpected character %C" c))
+    end
+  done;
+  tokens := { token = Eof; line = !line; col = !col } :: !tokens;
+  List.rev !tokens

@@ -1,0 +1,30 @@
+(** Hand-written lexer for Algol-S.
+
+    Tokens carry their source position for error reporting.  Comments are
+    enclosed in braces [{ ... }] and do not nest. *)
+
+type token =
+  | Int of int
+  | Ident of string
+  | String of string           (** double-quoted, for [write] *)
+  | Kw of string               (** reserved word, lower case *)
+  | Punct of string            (** one of ( ) [ ] , ; := = <> < <= > >= + - * *)
+  | Eof
+
+type located = {
+  token : token;
+  line : int;                  (** 1-based *)
+  col : int;                   (** 1-based *)
+}
+
+exception Lex_error of string * int * int
+(** [(message, line, col)] *)
+
+val keywords : string list
+
+val tokenize : string -> located list
+(** [tokenize source] is the token stream ending in [Eof].
+    Raises {!Lex_error} on an unrecognised character, an unterminated string
+    or comment, or an integer literal that does not fit in an [int]. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,317 @@
+open Ast
+
+exception Parse_error of string * int * int
+
+type state = {
+  mutable tokens : Lexer.located list;
+}
+
+let peek st =
+  match st.tokens with
+  | [] -> { Lexer.token = Lexer.Eof; line = 0; col = 0 }
+  | t :: _ -> t
+
+let advance st =
+  match st.tokens with
+  | [] -> ()
+  | _ :: rest -> st.tokens <- rest
+
+let error_at (t : Lexer.located) fmt =
+  Printf.ksprintf (fun s -> raise (Parse_error (s, t.Lexer.line, t.Lexer.col))) fmt
+
+let expect st token =
+  let t = peek st in
+  if t.Lexer.token = token then advance st
+  else
+    error_at t "expected %s, found %s"
+      (Lexer.token_to_string token)
+      (Lexer.token_to_string t.Lexer.token)
+
+let expect_kw st kw = expect st (Lexer.Kw kw)
+let expect_punct st p = expect st (Lexer.Punct p)
+
+let accept_punct st p =
+  match (peek st).Lexer.token with
+  | Lexer.Punct q when q = p ->
+      advance st;
+      true
+  | _ -> false
+
+let accept_kw st kw =
+  match (peek st).Lexer.token with
+  | Lexer.Kw q when q = kw ->
+      advance st;
+      true
+  | _ -> false
+
+let expect_ident st =
+  let t = peek st in
+  match t.Lexer.token with
+  | Lexer.Ident name ->
+      advance st;
+      name
+  | other -> error_at t "expected identifier, found %s" (Lexer.token_to_string other)
+
+let expect_int st =
+  let t = peek st in
+  match t.Lexer.token with
+  | Lexer.Int v ->
+      advance st;
+      v
+  | other -> error_at t "expected integer, found %s" (Lexer.token_to_string other)
+
+(* -- Expressions ---------------------------------------------------------- *)
+
+let rec parse_or st =
+  let lhs = parse_and st in
+  if accept_kw st "or" then Binop (Or_op, lhs, parse_or st) else lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  if accept_kw st "and" then Binop (And_op, lhs, parse_and st) else lhs
+
+and parse_not st =
+  if accept_kw st "not" then Unop (Not_op, parse_not st) else parse_comparison st
+
+and parse_comparison st =
+  let lhs = parse_additive st in
+  let compare op =
+    advance st;
+    Binop (op, lhs, parse_additive st)
+  in
+  match (peek st).Lexer.token with
+  | Lexer.Punct "=" -> compare Eq_op
+  | Lexer.Punct "<>" -> compare Ne_op
+  | Lexer.Punct "<" -> compare Lt_op
+  | Lexer.Punct "<=" -> compare Le_op
+  | Lexer.Punct ">" -> compare Gt_op
+  | Lexer.Punct ">=" -> compare Ge_op
+  | _ -> lhs
+
+and parse_additive st =
+  let rec loop lhs =
+    if accept_punct st "+" then loop (Binop (Add_op, lhs, parse_multiplicative st))
+    else if accept_punct st "-" then loop (Binop (Sub_op, lhs, parse_multiplicative st))
+    else lhs
+  in
+  loop (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec loop lhs =
+    if accept_punct st "*" then loop (Binop (Mul_op, lhs, parse_unary st))
+    else if accept_punct st "/" then loop (Binop (Div_op, lhs, parse_unary st))
+    else if accept_kw st "div" then loop (Binop (Div_op, lhs, parse_unary st))
+    else if accept_kw st "mod" then loop (Binop (Mod_op, lhs, parse_unary st))
+    else lhs
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  if accept_punct st "-" then Unop (Neg_op, parse_unary st) else parse_primary st
+
+and parse_primary st =
+  let t = peek st in
+  match t.Lexer.token with
+  | Lexer.Int v ->
+      advance st;
+      Num v
+  | Lexer.Punct "(" ->
+      advance st;
+      let e = parse_or st in
+      expect_punct st ")";
+      e
+  | Lexer.Ident name ->
+      advance st;
+      if accept_punct st "[" then begin
+        let index = parse_or st in
+        expect_punct st "]";
+        Subscript (name, index)
+      end
+      else if accept_punct st "(" then Call_expr (name, parse_args st)
+      else Var name
+  | other -> error_at t "expected expression, found %s" (Lexer.token_to_string other)
+
+and parse_args st =
+  if accept_punct st ")" then []
+  else
+    let rec loop acc =
+      let e = parse_or st in
+      if accept_punct st "," then loop (e :: acc)
+      else begin
+        expect_punct st ")";
+        List.rev (e :: acc)
+      end
+    in
+    loop []
+
+let parse_expression st = parse_or st
+
+(* -- Declarations and statements ------------------------------------------ *)
+
+let rec parse_block st =
+  expect_kw st "begin";
+  let decls = parse_decls st [] in
+  let stmts = parse_stmts st [] in
+  expect_kw st "end";
+  { decls; stmts }
+
+and parse_decls st acc =
+  match (peek st).Lexer.token with
+  | Lexer.Kw "integer" ->
+      advance st;
+      if accept_kw st "array" then begin
+        let name = expect_ident st in
+        expect_punct st "[";
+        let size = expect_int st in
+        expect_punct st "]";
+        expect_punct st ";";
+        parse_decls st (Array_decl (name, size) :: acc)
+      end
+      else begin
+        let rec vars acc =
+          let name = expect_ident st in
+          let init = if accept_punct st ":=" then Some (parse_expression st) else None in
+          let acc = Var_decl (name, init) :: acc in
+          if accept_punct st "," then vars acc
+          else begin
+            expect_punct st ";";
+            acc
+          end
+        in
+        parse_decls st (vars acc)
+      end
+  | Lexer.Kw "procedure" ->
+      advance st;
+      let name = expect_ident st in
+      let params =
+        if accept_punct st "(" then begin
+          if accept_punct st ")" then []
+          else
+            let rec loop acc =
+              let p = expect_ident st in
+              if accept_punct st "," then loop (p :: acc)
+              else begin
+                expect_punct st ")";
+                List.rev (p :: acc)
+              end
+            in
+            loop []
+        end
+        else []
+      in
+      expect_punct st ";";
+      let body = parse_block st in
+      expect_punct st ";";
+      parse_decls st (Proc_decl (name, params, body) :: acc)
+  | _ -> List.rev acc
+
+and parse_stmts st acc =
+  match (peek st).Lexer.token with
+  | Lexer.Kw "end" | Lexer.Eof -> List.rev acc
+  | _ ->
+      let s = parse_stmt st in
+      parse_stmts st (s :: acc)
+
+and parse_stmt st =
+  let t = peek st in
+  match t.Lexer.token with
+  | Lexer.Punct ";" ->
+      advance st;
+      Skip
+  | Lexer.Kw "begin" ->
+      let b = parse_block st in
+      ignore (accept_punct st ";");
+      Block b
+  | Lexer.Kw "if" ->
+      advance st;
+      let cond = parse_expression st in
+      expect_kw st "then";
+      let then_branch = parse_stmt st in
+      let else_branch = if accept_kw st "else" then Some (parse_stmt st) else None in
+      If (cond, then_branch, else_branch)
+  | Lexer.Kw "while" ->
+      advance st;
+      let cond = parse_expression st in
+      expect_kw st "do";
+      While (cond, parse_stmt st)
+  | Lexer.Kw "for" ->
+      advance st;
+      let var = expect_ident st in
+      expect_punct st ":=";
+      let start = parse_expression st in
+      let dir =
+        if accept_kw st "to" then Upto
+        else if accept_kw st "downto" then Downto
+        else error_at (peek st) "expected to or downto"
+      in
+      let stop = parse_expression st in
+      expect_kw st "do";
+      For (var, start, dir, stop, parse_stmt st)
+  | Lexer.Kw "print" ->
+      advance st;
+      let e = parse_expression st in
+      expect_punct st ";";
+      Print e
+  | Lexer.Kw "printc" ->
+      advance st;
+      let e = parse_expression st in
+      expect_punct st ";";
+      Printc e
+  | Lexer.Kw "write" ->
+      advance st;
+      let t = peek st in
+      (match t.Lexer.token with
+      | Lexer.String s ->
+          advance st;
+          expect_punct st ";";
+          Write s
+      | other -> error_at t "expected string literal, found %s" (Lexer.token_to_string other))
+  | Lexer.Kw "return" ->
+      advance st;
+      if accept_punct st ";" then Return None
+      else begin
+        let e = parse_expression st in
+        expect_punct st ";";
+        Return (Some e)
+      end
+  | Lexer.Kw "call" ->
+      advance st;
+      let name = expect_ident st in
+      let args = if accept_punct st "(" then parse_args st else [] in
+      expect_punct st ";";
+      Call_stmt (name, args)
+  | Lexer.Ident name ->
+      advance st;
+      if accept_punct st "[" then begin
+        let index = parse_expression st in
+        expect_punct st "]";
+        expect_punct st ":=";
+        let value = parse_expression st in
+        expect_punct st ";";
+        Assign_sub (name, index, value)
+      end
+      else if accept_punct st "(" then begin
+        let args = parse_args st in
+        expect_punct st ";";
+        Call_stmt (name, args)
+      end
+      else begin
+        expect_punct st ":=";
+        let value = parse_expression st in
+        expect_punct st ";";
+        Assign (name, value)
+      end
+  | other -> error_at t "expected statement, found %s" (Lexer.token_to_string other)
+
+let parse ?(name = "<program>") source =
+  let st = { tokens = Lexer.tokenize source } in
+  let body = parse_block st in
+  ignore (accept_punct st ";");
+  expect st Lexer.Eof;
+  { name; body }
+
+let parse_expr source =
+  let st = { tokens = Lexer.tokenize source } in
+  let e = parse_expression st in
+  expect st Lexer.Eof;
+  e

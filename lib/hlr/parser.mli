@@ -1,0 +1,34 @@
+(** Recursive-descent parser for Algol-S.
+
+    Grammar sketch (statement terminators are semicolons; [else] binds to the
+    nearest [if]; [/] is accepted as a synonym for [div]):
+
+    {v
+    program  ::= block
+    block    ::= "begin" decl... stmt... "end"
+    decl     ::= "integer" ident (":=" expr)? ("," ident (":=" expr)?)... ";"
+               | "integer" "array" ident "[" int "]" ";"
+               | "procedure" ident ("(" ident ("," ident)... ")")? ";" block ";"
+    stmt     ::= ident ":=" expr ";"
+               | ident "[" expr "]" ":=" expr ";"
+               | "call"? ident "(" (expr ("," expr)...)? ")" ";"
+               | "if" expr "then" stmt ("else" stmt)?
+               | "while" expr "do" stmt
+               | "for" ident ":=" expr ("to"|"downto") expr "do" stmt
+               | "print" expr ";" | "printc" expr ";" | "write" string ";"
+               | "return" expr? ";"
+               | block ";"?
+               | ";"
+    expr     ::= or-expr; precedence: or < and < not < comparison
+                 < additive < multiplicative < unary minus
+    v} *)
+
+exception Parse_error of string * int * int
+(** [(message, line, col)] *)
+
+val parse : ?name:string -> string -> Ast.program
+(** [parse ~name source] parses a whole program.
+    Raises {!Parse_error} or {!Lexer.Lex_error}. *)
+
+val parse_expr : string -> Ast.expr
+(** [parse_expr source] parses a single expression (used by tests). *)

@@ -1,0 +1,133 @@
+open Ast
+
+(* Expressions are printed with minimal parentheses using the parser's
+   precedence levels; correctness is property-tested by reparsing. *)
+
+let prec_of_binop = function
+  | Or_op -> 1
+  | And_op -> 2
+  | Eq_op | Ne_op | Lt_op | Le_op | Gt_op | Ge_op -> 4
+  | Add_op | Sub_op -> 5
+  | Mul_op | Div_op | Mod_op -> 6
+
+let rec expr_prec level e =
+  let atom = 8 in
+  let text, prec =
+    match e with
+    | Num n when n < 0 -> (Printf.sprintf "(%d)" n, atom)
+    | Num n -> (string_of_int n, atom)
+    | Var name -> (name, atom)
+    | Subscript (name, index) ->
+        (Printf.sprintf "%s[%s]" name (expr_prec 0 index), atom)
+    | Call_expr (name, args) ->
+        ( Printf.sprintf "%s(%s)" name
+            (String.concat ", " (List.map (expr_prec 0) args)),
+          atom )
+    | Unop (Neg_op, e) -> (Printf.sprintf "-%s" (expr_prec 7 e), 7)
+    | Unop (Not_op, e) -> (Printf.sprintf "not %s" (expr_prec 3 e), 3)
+    | Binop (op, lhs, rhs) ->
+        let p = prec_of_binop op in
+        (* All binary operators parse as right-associative chains at equal
+           precedence for [or]/[and], and left-associative for the others;
+           printing the left operand at [p] and the right at [p + 1] (or the
+           converse for the logical operators) keeps the tree intact. *)
+        let left_level, right_level =
+          match op with
+          | Or_op | And_op -> (p + 1, p)
+          | Eq_op | Ne_op | Lt_op | Le_op | Gt_op | Ge_op -> (p + 1, p + 1)
+          | _ -> (p, p + 1)
+        in
+        ( Printf.sprintf "%s %s %s" (expr_prec left_level lhs) (binop_name op)
+            (expr_prec right_level rhs),
+          p )
+  in
+  if prec < level then "(" ^ text ^ ")" else text
+
+let expr_to_string e = expr_prec 0 e
+
+let pad indent = String.make indent ' '
+
+(* An [if] inside a dangling-else position must be wrapped so the printed
+   program reparses with the same association. *)
+let rec dangles = function
+  | If (_, _, None) -> true
+  | If (_, _, Some e) -> dangles e
+  | While (_, body) | For (_, _, _, _, body) -> dangles body
+  | _ -> false
+
+let rec stmt_lines indent s =
+  let p = pad indent in
+  match s with
+  | Skip -> [ p ^ ";" ]
+  | Assign (name, e) -> [ Printf.sprintf "%s%s := %s;" p name (expr_to_string e) ]
+  | Assign_sub (name, index, value) ->
+      [
+        Printf.sprintf "%s%s[%s] := %s;" p name (expr_to_string index)
+          (expr_to_string value);
+      ]
+  | Print e -> [ Printf.sprintf "%sprint %s;" p (expr_to_string e) ]
+  | Printc e -> [ Printf.sprintf "%sprintc %s;" p (expr_to_string e) ]
+  | Write s -> [ Printf.sprintf "%swrite \"%s\";" p s ]
+  | Return None -> [ p ^ "return;" ]
+  | Return (Some e) -> [ Printf.sprintf "%sreturn %s;" p (expr_to_string e) ]
+  | Call_stmt (name, args) ->
+      [
+        Printf.sprintf "%scall %s(%s);" p name
+          (String.concat ", " (List.map expr_to_string args));
+      ]
+  | Block b -> (
+      (* the trailing [;] keeps a following empty statement unambiguous *)
+      match List.rev (block_lines indent b) with
+      | last :: rest -> List.rev ((last ^ ";") :: rest)
+      | [] -> [])
+  | While (cond, body) ->
+      (Printf.sprintf "%swhile %s do" p (expr_to_string cond))
+      :: stmt_lines (indent + 2) body
+  | For (var, start, dir, stop, body) ->
+      (Printf.sprintf "%sfor %s := %s %s %s do" p var (expr_to_string start)
+         (match dir with Upto -> "to" | Downto -> "downto")
+         (expr_to_string stop))
+      :: stmt_lines (indent + 2) body
+  | If (cond, then_branch, else_branch) -> (
+      let header = Printf.sprintf "%sif %s then" p (expr_to_string cond) in
+      match else_branch with
+      | None -> header :: stmt_lines (indent + 2) then_branch
+      | Some else_branch ->
+          let then_lines =
+            if dangles then_branch then
+              (pad (indent + 2) ^ "begin")
+              :: stmt_lines (indent + 4) then_branch
+              @ [ pad (indent + 2) ^ "end" ]
+            else stmt_lines (indent + 2) then_branch
+          in
+          (header :: then_lines)
+          @ [ p ^ "else" ]
+          @ stmt_lines (indent + 2) else_branch)
+
+and decl_lines indent d =
+  let p = pad indent in
+  match d with
+  | Var_decl (name, None) -> [ Printf.sprintf "%sinteger %s;" p name ]
+  | Var_decl (name, Some init) ->
+      [ Printf.sprintf "%sinteger %s := %s;" p name (expr_to_string init) ]
+  | Array_decl (name, size) ->
+      [ Printf.sprintf "%sinteger array %s[%d];" p name size ]
+  | Proc_decl (name, params, body) ->
+      (Printf.sprintf "%sprocedure %s(%s);" p name (String.concat ", " params))
+      :: (block_lines indent body @ [ "" ])
+      |> fun lines ->
+      (* the trailing separator [;] goes on the closing [end] *)
+      (match List.rev lines with
+      | "" :: last :: rest -> List.rev ((last ^ ";") :: rest)
+      | _ -> lines)
+
+and block_lines indent b =
+  let p = pad indent in
+  (p ^ "begin")
+  :: (List.concat_map (decl_lines (indent + 2)) b.decls
+     @ List.concat_map (stmt_lines (indent + 2)) b.stmts)
+  @ [ p ^ "end" ]
+
+let stmt_to_string ?(indent = 0) s = String.concat "\n" (stmt_lines indent s)
+let block_to_string ?(indent = 0) b = String.concat "\n" (block_lines indent b)
+let to_string (prog : program) = block_to_string prog.body ^ "\n"

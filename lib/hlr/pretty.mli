@@ -1,0 +1,11 @@
+(** Pretty-printer for Algol-S.
+
+    [to_string] emits parseable source: for every program [p],
+    [Parser.parse (to_string p)] equals [p] up to {!Ast_normalize.normalize}
+    (the printer inserts [begin .. end] around nested-[if] branches to pin
+    down the dangling [else], which reparses as a singleton block). *)
+
+val expr_to_string : Ast.expr -> string
+val stmt_to_string : ?indent:int -> Ast.stmt -> string
+val block_to_string : ?indent:int -> Ast.block -> string
+val to_string : Ast.program -> string

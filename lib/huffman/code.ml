@@ -1,0 +1,200 @@
+module Writer = Uhm_bitstream.Writer
+module Reader = Uhm_bitstream.Reader
+module Bits = Uhm_bitstream.Bits
+
+type t = {
+  lengths : int array;
+  (* codewords.(sym) is meaningful only when lengths.(sym) > 0 *)
+  codewords : int array;
+  (* flattened decoding trie, see decode_tree in the interface *)
+  tree : int array;
+}
+
+let no_prefix = min_int
+
+(* -- Huffman length computation ------------------------------------------ *)
+
+(* Two-queue Huffman construction: leaves sorted by ascending weight in one
+   queue, merged nodes appended (already in ascending order) to the other. *)
+let huffman_lengths counts =
+  let symbols =
+    Array.to_list (Array.mapi (fun sym c -> (sym, c)) counts)
+    |> List.filter (fun (_, c) -> c > 0)
+    |> List.sort (fun (s1, c1) (s2, c2) -> compare (c1, s1) (c2, s2))
+  in
+  let lengths = Array.make (Array.length counts) 0 in
+  match symbols with
+  | [] -> invalid_arg "Huffman.Code.of_frequencies: all counts are zero"
+  | [ (sym, _) ] ->
+      lengths.(sym) <- 1;
+      lengths
+  | _ ->
+      (* A tree node is (weight, member symbols); merging concatenates member
+         lists and deepens every member by one. *)
+      let depth = Array.make (Array.length counts) 0 in
+      let leaves = Queue.create () and merged = Queue.create () in
+      List.iter (fun (sym, c) -> Queue.add (c, [ sym ]) leaves) symbols;
+      let take_min () =
+        let from_leaves =
+          if Queue.is_empty leaves then None else Some (Queue.peek leaves)
+        and from_merged =
+          if Queue.is_empty merged then None else Some (Queue.peek merged)
+        in
+        match (from_leaves, from_merged) with
+        | None, None -> assert false
+        | Some _, None -> Queue.pop leaves
+        | None, Some _ -> Queue.pop merged
+        | Some (w1, _), Some (w2, _) ->
+            if w1 <= w2 then Queue.pop leaves else Queue.pop merged
+      in
+      let remaining () = Queue.length leaves + Queue.length merged in
+      while remaining () > 1 do
+        let w1, m1 = take_min () in
+        let w2, m2 = take_min () in
+        List.iter (fun sym -> depth.(sym) <- depth.(sym) + 1) m1;
+        List.iter (fun sym -> depth.(sym) <- depth.(sym) + 1) m2;
+        Queue.add (w1 + w2, m1 @ m2) merged
+      done;
+      List.iter (fun (sym, _) -> lengths.(sym) <- depth.(sym)) symbols;
+      lengths
+
+(* -- Canonical codeword assignment --------------------------------------- *)
+
+let check_kraft lengths =
+  let max_len = Array.fold_left max 0 lengths in
+  if max_len > Bits.max_width then
+    invalid_arg "Huffman.Code: codeword longer than the supported width";
+  if max_len > 0 then begin
+    let budget = 1 lsl max_len in
+    let used =
+      Array.fold_left
+        (fun acc l -> if l > 0 then acc + (1 lsl (max_len - l)) else acc)
+        0 lengths
+    in
+    if used > budget then
+      invalid_arg "Huffman.Code.of_lengths: lengths violate the Kraft inequality"
+  end
+
+let canonical_codewords lengths =
+  let codewords = Array.make (Array.length lengths) 0 in
+  let order =
+    Array.to_list (Array.mapi (fun sym l -> (l, sym)) lengths)
+    |> List.filter (fun (l, _) -> l > 0)
+    |> List.sort compare
+  in
+  let rec assign code prev_len = function
+    | [] -> ()
+    | (len, sym) :: rest ->
+        let code = code lsl (len - prev_len) in
+        codewords.(sym) <- code;
+        assign (code + 1) len rest
+  in
+  (match order with
+  | [] -> ()
+  | (len, sym) :: rest ->
+      codewords.(sym) <- 0;
+      assign 1 len rest);
+  codewords
+
+(* -- Decoding trie -------------------------------------------------------- *)
+
+let build_tree lengths codewords =
+  let nodes = ref 1 in
+  let capacity = ref 4 in
+  let tree = ref (Array.make !capacity no_prefix) in
+  let ensure idx =
+    while idx >= !capacity do
+      let fresh = Array.make (!capacity * 2) no_prefix in
+      Array.blit !tree 0 fresh 0 !capacity;
+      capacity := !capacity * 2;
+      tree := fresh
+    done
+  in
+  let new_node () =
+    let n = !nodes in
+    nodes := n + 1;
+    ensure ((2 * n) + 1);
+    n
+  in
+  ensure 1;
+  Array.iteri
+    (fun sym len ->
+      if len > 0 then begin
+        let code = codewords.(sym) in
+        let node = ref 0 in
+        for i = len - 1 downto 1 do
+          let bit = (code lsr i) land 1 in
+          let slot = (2 * !node) + bit in
+          ensure slot;
+          (match !tree.(slot) with
+          | v when v = no_prefix ->
+              let n = new_node () in
+              !tree.(slot) <- n;
+              node := n
+          | v when v >= 0 -> node := v
+          | _ -> invalid_arg "Huffman.Code: codeword set is not prefix-free");
+          ()
+        done;
+        let bit = code land 1 in
+        let slot = (2 * !node) + bit in
+        ensure slot;
+        if !tree.(slot) <> no_prefix then
+          invalid_arg "Huffman.Code: codeword set is not prefix-free";
+        !tree.(slot) <- -sym - 1
+      end)
+    lengths;
+  Array.sub !tree 0 (2 * !nodes)
+
+let make lengths =
+  check_kraft lengths;
+  let codewords = canonical_codewords lengths in
+  { lengths; codewords; tree = build_tree lengths codewords }
+
+let of_frequencies counts = make (huffman_lengths counts)
+let of_lengths lengths = make (Array.copy lengths)
+
+(* -- Accessors ------------------------------------------------------------ *)
+
+let lengths t = Array.copy t.lengths
+let alphabet_size t = Array.length t.lengths
+let max_code_length t = Array.fold_left max 0 t.lengths
+
+let codeword t sym =
+  if sym < 0 || sym >= Array.length t.lengths || t.lengths.(sym) = 0 then
+    raise Not_found;
+  (t.lengths.(sym), t.codewords.(sym))
+
+let encode t w sym =
+  let len, bits = codeword t sym in
+  Writer.put w ~bits:len bits
+
+let decode t r =
+  let rec walk node =
+    let bit = if Reader.get_bool r then 1 else 0 in
+    match t.tree.((2 * node) + bit) with
+    | v when v = no_prefix -> failwith "Huffman.Code.decode: invalid codeword"
+    | v when v >= 0 -> walk v
+    | v -> -v - 1
+  in
+  walk 0
+
+let total_bits t counts =
+  if Array.length counts <> Array.length t.lengths then
+    invalid_arg "Huffman.Code.total_bits: alphabet size mismatch";
+  let sum = ref 0 in
+  Array.iteri
+    (fun sym c ->
+      if c > 0 then begin
+        if t.lengths.(sym) = 0 then
+          invalid_arg "Huffman.Code.total_bits: symbol without codeword";
+        sum := !sum + (c * t.lengths.(sym))
+      end)
+    counts;
+  !sum
+
+let average_length t counts =
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then 0.
+  else float_of_int (total_bits t counts) /. float_of_int total
+
+let decode_tree t = Array.copy t.tree

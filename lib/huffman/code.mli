@@ -1,0 +1,57 @@
+(** Canonical Huffman codes.
+
+    A code assigns a prefix-free codeword to every symbol with non-zero
+    weight.  Codes are always stored in canonical form (codewords assigned in
+    increasing order of (length, symbol)), so a code is fully determined by
+    its length vector — which is also what the length-restricted construction
+    of {!Restricted} produces. *)
+
+type t
+
+val of_frequencies : int array -> t
+(** [of_frequencies counts] builds an optimal prefix code for the non-zero
+    entries of [counts] ([counts.(sym)] is the weight of [sym]).  A symbol
+    with zero count gets no codeword and cannot be encoded.  If exactly one
+    symbol has non-zero count it receives a one-bit codeword.
+    Raises [Invalid_argument] if all counts are zero. *)
+
+val of_lengths : int array -> t
+(** [of_lengths lengths] builds the canonical code with the given codeword
+    lengths (0 meaning "no codeword").  Raises [Invalid_argument] if the
+    lengths violate the Kraft inequality or exceed {!Uhm_bitstream.Bits.max_width}. *)
+
+val lengths : t -> int array
+(** Per-symbol codeword lengths; 0 for symbols without a codeword. *)
+
+val alphabet_size : t -> int
+
+val codeword : t -> int -> int * int
+(** [codeword t sym] is [(length, bits)].  Raises [Not_found] if [sym] has no
+    codeword. *)
+
+val encode : t -> Uhm_bitstream.Writer.t -> int -> unit
+(** [encode t w sym] appends [sym]'s codeword.  Raises [Not_found] if [sym]
+    has no codeword. *)
+
+val decode : t -> Uhm_bitstream.Reader.t -> int
+(** [decode t r] consumes one codeword and returns its symbol.
+    Raises [Failure] on a bit pattern that is no codeword prefix (possible
+    only when the code is not complete). *)
+
+val average_length : t -> int array -> float
+(** [average_length t counts] is the expected codeword length under the
+    empirical distribution [counts] (symbols with zero count ignored). *)
+
+val total_bits : t -> int array -> int
+(** [total_bits t counts] is [sum counts.(s) * length(s)]. *)
+
+val decode_tree : t -> int array
+(** [decode_tree t] flattens the decoding tree for consumption by the
+    simulated host machine's Huffman decoder routine.  Entry [2*i + b] of the
+    array is the transition of internal node [i] on bit [b]: a non-negative
+    value is the next internal node index; a negative value [v] other than
+    [min_int] is the leaf for symbol [-v - 1]; [min_int] marks a bit pattern
+    that is no codeword prefix (possible only for incomplete codes).
+    Node 0 is the root. *)
+
+val max_code_length : t -> int

@@ -1,0 +1,57 @@
+type t = {
+  codes : Code.t array;
+}
+
+let of_counts ?(smooth = true) counts =
+  if Array.length counts = 0 then
+    invalid_arg "Conditional.of_counts: no contexts";
+  let alphabet = Array.length counts.(0) in
+  Array.iter
+    (fun row ->
+      if Array.length row <> alphabet then
+        invalid_arg "Conditional.of_counts: ragged count table")
+    counts;
+  let codes =
+    Array.map
+      (fun row ->
+        let row = if smooth then Array.map (fun c -> c + 1) row else row in
+        Code.of_frequencies row)
+      counts
+  in
+  { codes }
+
+let of_table ?smooth table =
+  of_counts ?smooth (Freq.Conditioned.counts table)
+
+let contexts t = Array.length t.codes
+let alphabet_size t = Code.alphabet_size t.codes.(0)
+
+let code t ctx =
+  if ctx < 0 || ctx >= Array.length t.codes then
+    invalid_arg "Conditional.code: context out of range";
+  t.codes.(ctx)
+
+let encode t w ~ctx sym = Code.encode (code t ctx) w sym
+let decode t r ~ctx = Code.decode (code t ctx) r
+
+let total_bits t counts =
+  if Array.length counts <> contexts t then
+    invalid_arg "Conditional.total_bits: context count mismatch";
+  let sum = ref 0 in
+  Array.iteri
+    (fun ctx row ->
+      Array.iteri
+        (fun sym c ->
+          if c > 0 then
+            let len, _ = Code.codeword t.codes.(ctx) sym in
+            sum := !sum + (c * len))
+        row)
+    counts;
+  !sum
+
+let average_length t counts =
+  let total =
+    Array.fold_left (fun acc row -> acc + Array.fold_left ( + ) 0 row) 0 counts
+  in
+  if total = 0 then 0.
+  else float_of_int (total_bits t counts) /. float_of_int total

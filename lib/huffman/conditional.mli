@@ -1,0 +1,35 @@
+(** Predecessor-conditioned ("digram") prefix coding.
+
+    The paper generalises frequency-based encoding to "the frequency of
+    occurrence of pairs, triples, etc." (§3.2, citing Foster & Gonter and
+    Hehner): a separate decode tree is kept for each possible predecessor
+    context, and the decoder selects the tree using the previously decoded
+    symbol.  Laplace smoothing keeps every symbol encodable in every
+    context. *)
+
+type t
+
+val of_counts : ?smooth:bool -> int array array -> t
+(** [of_counts counts] builds one canonical Huffman code per context from
+    [counts.(ctx).(sym)].  With [smooth] (default [true]) every count is
+    incremented by one first.  Raises [Invalid_argument] on an empty or
+    ragged table, or if smoothing is disabled and some context has no
+    occurrences at all. *)
+
+val of_table : ?smooth:bool -> Freq.Conditioned.table -> t
+
+val contexts : t -> int
+val alphabet_size : t -> int
+
+val code : t -> int -> Code.t
+(** [code t ctx] is the per-context code. *)
+
+val encode : t -> Uhm_bitstream.Writer.t -> ctx:int -> int -> unit
+val decode : t -> Uhm_bitstream.Reader.t -> ctx:int -> int
+
+val total_bits : t -> int array array -> int
+(** [total_bits t counts] is the size in bits of a corpus with the given
+    per-context symbol counts. *)
+
+val average_length : t -> int array array -> float
+(** Corpus-weighted average codeword length in bits per symbol. *)

@@ -1,0 +1,70 @@
+type t = {
+  counts : int array;
+  mutable total : int;
+}
+
+let create ~alphabet_size =
+  if alphabet_size <= 0 then invalid_arg "Freq.create: empty alphabet";
+  { counts = Array.make alphabet_size 0; total = 0 }
+
+let alphabet_size t = Array.length t.counts
+
+let observe t sym =
+  if sym < 0 || sym >= Array.length t.counts then
+    invalid_arg "Freq.observe: symbol out of range";
+  t.counts.(sym) <- t.counts.(sym) + 1;
+  t.total <- t.total + 1
+
+let observe_many t syms = List.iter (observe t) syms
+let count t sym = t.counts.(sym)
+let total t = t.total
+let counts t = Array.copy t.counts
+
+let of_list ~alphabet_size syms =
+  let t = create ~alphabet_size in
+  observe_many t syms;
+  t
+
+let smoothed t = Array.map (fun c -> c + 1) t.counts
+
+let entropy counts =
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then 0.
+  else
+    Array.fold_left
+      (fun acc c ->
+        if c = 0 then acc
+        else
+          let p = float_of_int c /. float_of_int total in
+          acc -. (p *. (log p /. log 2.)))
+      0. counts
+
+module Conditioned = struct
+  type table = {
+    rows : t array;
+  }
+
+  let create ~contexts ~alphabet_size =
+    if contexts <= 0 then invalid_arg "Freq.Conditioned.create: no contexts";
+    { rows = Array.init contexts (fun _ -> create ~alphabet_size) }
+
+  let observe table ~ctx sym =
+    if ctx < 0 || ctx >= Array.length table.rows then
+      invalid_arg "Freq.Conditioned.observe: context out of range";
+    observe table.rows.(ctx) sym
+
+  let counts table = Array.map (fun row -> counts row) table.rows
+  let contexts table = Array.length table.rows
+  let alphabet_size table = alphabet_size table.rows.(0)
+
+  let of_sequence ~contexts ~alphabet_size ~ctx_of ~start_ctx syms =
+    let table = create ~contexts ~alphabet_size in
+    let rec go ctx = function
+      | [] -> ()
+      | sym :: rest ->
+          observe table ~ctx sym;
+          go (ctx_of sym) rest
+    in
+    go start_ctx syms;
+    table
+end

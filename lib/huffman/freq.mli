@@ -1,0 +1,51 @@
+(** Frequency statistics over small integer symbol alphabets.
+
+    The paper's frequency-based encodings (§3.2) are built from counts taken
+    over the *static* representation of a program: single-symbol counts for
+    plain Huffman coding and predecessor-conditioned counts for the
+    pair-frequency ("digram") generalisation of Foster and Gonter. *)
+
+type t
+(** Counts for symbols [0 .. alphabet_size - 1]. *)
+
+val create : alphabet_size:int -> t
+val alphabet_size : t -> int
+
+val observe : t -> int -> unit
+(** [observe t sym] increments the count of [sym].
+    Raises [Invalid_argument] if [sym] is out of range. *)
+
+val observe_many : t -> int list -> unit
+val count : t -> int -> int
+val total : t -> int
+val counts : t -> int array
+(** A fresh copy of the count array. *)
+
+val of_list : alphabet_size:int -> int list -> t
+
+val smoothed : t -> int array
+(** [smoothed t] is [counts t] with every entry incremented by one (Laplace
+    smoothing), so every symbol is encodable. *)
+
+val entropy : int array -> float
+(** [entropy counts] is the first-order entropy in bits per symbol of the
+    empirical distribution, ignoring zero-count symbols; 0 for an empty
+    table. *)
+
+(** Predecessor-conditioned counts: [contexts] rows, one per possible
+    predecessor symbol plus a distinguished start context. *)
+module Conditioned : sig
+  type table
+
+  val create : contexts:int -> alphabet_size:int -> table
+  val observe : table -> ctx:int -> int -> unit
+  val counts : table -> int array array
+  val contexts : table -> int
+  val alphabet_size : table -> int
+
+  val of_sequence : contexts:int -> alphabet_size:int -> ctx_of:(int -> int)
+    -> start_ctx:int -> int list -> table
+  (** [of_sequence ~contexts ~alphabet_size ~ctx_of ~start_ctx syms] counts
+      each symbol under the context derived from its predecessor via
+      [ctx_of]; the first symbol is counted under [start_ctx]. *)
+end

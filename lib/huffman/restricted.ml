@@ -1,0 +1,47 @@
+module Bits = Uhm_bitstream.Bits
+
+let b1700_lengths = [ 2; 4; 6; 8; 10 ]
+
+(* Kraft budgets are tracked as integers scaled by 2^max_allowed. *)
+let lengths ~allowed counts =
+  (match allowed with
+  | [] -> invalid_arg "Restricted.lengths: no allowed lengths"
+  | _ -> ());
+  List.iter
+    (fun l ->
+      if l <= 0 || l > Bits.max_width then
+        invalid_arg "Restricted.lengths: bad allowed length")
+    allowed;
+  let allowed = List.sort_uniq compare allowed in
+  let max_allowed = List.fold_left max 0 allowed in
+  let scale l = 1 lsl (max_allowed - l) in
+  let budget = 1 lsl max_allowed in
+  let symbols =
+    Array.to_list (Array.mapi (fun sym c -> (sym, c)) counts)
+    |> List.filter (fun (_, c) -> c > 0)
+    |> List.sort (fun (s1, c1) (s2, c2) -> compare (c2, s1) (c1, s2))
+  in
+  let lengths = Array.make (Array.length counts) 0 in
+  let used = ref 0 in
+  let min_cost = scale max_allowed in
+  List.iteri
+    (fun i (sym, _) ->
+      let still_to_place = List.length symbols - i - 1 in
+      (* Shortest allowed length that leaves room for the remaining symbols
+         even if they all take the longest allowed length. *)
+      let rec pick = function
+        | [] ->
+            invalid_arg
+              "Restricted.lengths: allowed lengths cannot accommodate the \
+               alphabet"
+        | l :: rest ->
+            if !used + scale l + (still_to_place * min_cost) <= budget then l
+            else pick rest
+      in
+      let l = pick allowed in
+      used := !used + scale l;
+      lengths.(sym) <- l)
+    symbols;
+  lengths
+
+let of_frequencies ~allowed counts = Code.of_lengths (lengths ~allowed counts)

@@ -1,0 +1,23 @@
+(** Length-restricted prefix codes.
+
+    The paper (§3.2, citing Wilner's B1700) notes that restricting codeword
+    lengths to "a small number of selected lengths ... simplifies the
+    decoding problem without sacrificing much by way of memory efficiency".
+    This module assigns each symbol one of the allowed lengths, shortest
+    lengths to the most frequent symbols, greedily subject to the Kraft
+    inequality, and returns the canonical code for the resulting lengths. *)
+
+val lengths : allowed:int list -> int array -> int array
+(** [lengths ~allowed counts] is a per-symbol length vector using only
+    lengths from [allowed] (zero-count symbols get length 0).
+    Raises [Invalid_argument] if [allowed] is empty, contains a non-positive
+    or over-wide length, or cannot accommodate the alphabet (too few long
+    codewords available). *)
+
+val of_frequencies : allowed:int list -> int array -> Code.t
+(** [of_frequencies ~allowed counts] is [Code.of_lengths (lengths ~allowed counts)]. *)
+
+val b1700_lengths : int list
+(** The allowed-length profile used throughout this reproduction for the
+    "restricted" variants: [[2; 4; 6; 8; 10]], echoing the B1700's short
+    variable-length opcode profile. *)

@@ -1,0 +1,95 @@
+type t = {
+  sets : int;
+  assoc : int;
+  block_words : int;
+  (* tags.(set).(way) = block address, or -1 when invalid *)
+  tags : int array array;
+  (* lru.(set).(way): 0 = most recent; the paper's "replacement array" *)
+  lru : int array array;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let create ?(assoc = 4) ?(block_words = 4) ~capacity_words () =
+  if capacity_words <= 0 || block_words <= 0 || assoc < 0 then
+    invalid_arg "Cache.create: non-positive parameter";
+  let blocks = capacity_words / block_words in
+  if blocks * block_words <> capacity_words then
+    invalid_arg "Cache.create: capacity not a multiple of the block size";
+  let assoc = if assoc = 0 then blocks else assoc in
+  if blocks mod assoc <> 0 then
+    invalid_arg "Cache.create: capacity not a multiple of assoc * block size";
+  let sets = blocks / assoc in
+  if not (is_power_of_two sets) then
+    invalid_arg "Cache.create: set count must be a power of two";
+  {
+    sets;
+    assoc;
+    block_words;
+    tags = Array.make_matrix sets assoc (-1);
+    lru = Array.init sets (fun _ -> Array.init assoc (fun w -> w));
+    hits = 0;
+    misses = 0;
+  }
+
+let set_of t block = block land (t.sets - 1)
+
+let touch t set way =
+  let order = t.lru.(set) in
+  let old = order.(way) in
+  for w = 0 to t.assoc - 1 do
+    if order.(w) < old then order.(w) <- order.(w) + 1
+  done;
+  order.(way) <- 0
+
+let find t set block =
+  let tags = t.tags.(set) in
+  let rec go w =
+    if w >= t.assoc then None else if tags.(w) = block then Some w else go (w + 1)
+  in
+  go 0
+
+let access t addr =
+  let block = addr / t.block_words in
+  let set = set_of t block in
+  match find t set block with
+  | Some way ->
+      t.hits <- t.hits + 1;
+      touch t set way;
+      `Hit
+  | None ->
+      t.misses <- t.misses + 1;
+      (* evict the least recently used way *)
+      let order = t.lru.(set) in
+      let victim = ref 0 in
+      for w = 1 to t.assoc - 1 do
+        if order.(w) > order.(!victim) then victim := w
+      done;
+      t.tags.(set).(!victim) <- block;
+      touch t set !victim;
+      `Miss
+
+let contains t addr =
+  let block = addr / t.block_words in
+  find t (set_of t block) block <> None
+
+let invalidate_all t =
+  Array.iter (fun tags -> Array.fill tags 0 (Array.length tags) (-1)) t.tags
+
+let hits t = t.hits
+let misses t = t.misses
+
+let hit_ratio t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0. else float_of_int t.hits /. float_of_int total
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0
+
+let sets t = t.sets
+let assoc t = t.assoc
+let block_words t = t.block_words
+let capacity_words t = t.sets * t.assoc * t.block_words

@@ -1,0 +1,35 @@
+(** A set-associative cache with true-LRU replacement, used as the
+    instruction cache of the paper's third configuration (§7, case 3) and as
+    the comparison point for DTB associativity ablations.
+
+    The cache is a timing model only — it tracks presence of block
+    addresses, not data. *)
+
+type t
+
+val create : ?assoc:int -> ?block_words:int -> capacity_words:int -> unit -> t
+(** [create ~capacity_words ()] builds a cache of the given total capacity,
+    4-way set-associative by default with 4-word blocks.  [assoc = 0] means
+    fully associative.  Capacity must be a multiple of [assoc * block_words]
+    and the resulting set count a power of two (fully-associative caches are
+    exempt).  Raises [Invalid_argument] otherwise. *)
+
+val access : t -> int -> [ `Hit | `Miss ]
+(** [access c addr] looks up the block containing word address [addr],
+    updates LRU state, and installs the block on a miss. *)
+
+val contains : t -> int -> bool
+(** [contains c addr] is true iff the block of [addr] is resident
+    (no LRU update — used by tests). *)
+
+val invalidate_all : t -> unit
+
+val hits : t -> int
+val misses : t -> int
+val hit_ratio : t -> float
+val reset_stats : t -> unit
+
+val sets : t -> int
+val assoc : t -> int
+val block_words : t -> int
+val capacity_words : t -> int

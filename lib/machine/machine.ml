@@ -1,0 +1,377 @@
+module H = Host_isa
+
+type pc =
+  | Long of int
+  | Short of int
+
+type status =
+  | Running
+  | Halted
+  | Trapped of string
+  | Out_of_fuel
+
+type region = {
+  rname : string;
+  base : int;
+  size : int;
+  cost : int;
+}
+
+type dir_fetch_mode =
+  | Dir_uncached
+  | Dir_cached of Cache.t
+
+type stats = {
+  mutable cycles : int;
+  mutable host_instrs : int;
+  mutable short_instrs : int;
+  cat_cycles : int array;
+  mutable dir_units_fetched : int;
+  mutable dir_fetch_cycles : int;
+  mutable short_fetch_cycles : int;
+  mutable code_fetch_cycles : int;
+  mutable stack_cycles : int;
+  mutable interp_count : int;
+}
+
+let category_index = function
+  | Asm.Startup -> 0
+  | Asm.Decode -> 1
+  | Asm.Semantic -> 2
+  | Asm.Translate -> 3
+  | Asm.Der -> 4
+
+type t = {
+  code : H.instr array;
+  code_cat : int array;
+  mem : int array;
+  regions : region array;
+  regs : int array;
+  timing : Timing.t;
+  fuel : int;
+  out : Buffer.t;
+  stats : stats;
+  mutable pc : pc;
+  mutable status : status;
+  mutable hooks : hooks option;
+  mutable dir_bits : string;
+  mutable dir_reader : Uhm_bitstream.Reader.t option;
+  mutable dir_mode : dir_fetch_mode;
+  mutable dir_buffered_unit : int;  (* IFU holds one 16-bit unit; -1 = empty *)
+  mutable code_fetch_hook : (int -> int) option;
+}
+
+and hooks = {
+  h_interp : t -> dir_addr:int -> dctx:int -> unit;
+  h_emit_short : t -> int -> unit;
+  h_end_trans : t -> unit;
+  h_decode_assist : t -> unit;
+}
+
+exception Machine_trap of string
+
+let trap fmt = Printf.ksprintf (fun s -> raise (Machine_trap s)) fmt
+
+(* The return stack distinguishes IU1 and IU2 resumption addresses with a
+   high tag bit. *)
+let short_tag = 1 lsl 40
+let short_mask = short_tag - 1
+
+let create ?(timing = Timing.paper) ?(fuel = 1_000_000_000) ~program ~mem_words
+    ~regions () =
+  let regions = Array.of_list regions in
+  Array.iter
+    (fun r ->
+      if r.base < 0 || r.size < 0 || r.base + r.size > mem_words then
+        invalid_arg (Printf.sprintf "Machine.create: region %s out of range" r.rname))
+    regions;
+  {
+    code = program.Asm.code;
+    code_cat = Array.map category_index program.Asm.categories;
+    mem = Array.make mem_words 0;
+    regions;
+    regs = Array.make H.Regs.n 0;
+    timing;
+    fuel;
+    out = Buffer.create 256;
+    stats =
+      {
+        cycles = 0;
+        host_instrs = 0;
+        short_instrs = 0;
+        cat_cycles = Array.make 5 0;
+        dir_units_fetched = 0;
+        dir_fetch_cycles = 0;
+        short_fetch_cycles = 0;
+        code_fetch_cycles = 0;
+        stack_cycles = 0;
+        interp_count = 0;
+      };
+    pc = Long 0;
+    status = Running;
+    hooks = None;
+    dir_bits = "";
+    dir_reader = None;
+    dir_mode = Dir_uncached;
+    dir_buffered_unit = -1;
+    code_fetch_hook = None;
+  }
+
+let set_hooks t hooks = t.hooks <- Some hooks
+
+let set_dir_stream t ~bits ~mode =
+  t.dir_bits <- bits;
+  t.dir_reader <- Some (Uhm_bitstream.Reader.of_string bits);
+  t.dir_mode <- mode;
+  t.dir_buffered_unit <- -1
+
+let set_code_fetch_hook t f = t.code_fetch_hook <- Some f
+let timing t = t.timing
+let reg t r = t.regs.(r)
+let set_reg t r v = t.regs.(r) <- v
+let peek t addr = t.mem.(addr)
+let poke t addr v = t.mem.(addr) <- v
+let set_pc t pc = t.pc <- pc
+let pc t = t.pc
+let status t = t.status
+let stats t = t.stats
+let output t = Buffer.contents t.out
+let add_cycles t n = t.stats.cycles <- t.stats.cycles + n
+
+let mem_cost t addr =
+  let rec go i =
+    if i >= Array.length t.regions then raise Not_found
+    else
+      let r = t.regions.(i) in
+      if addr >= r.base && addr < r.base + r.size then r.cost else go (i + 1)
+  in
+  go 0
+
+let charge_mem t addr =
+  match mem_cost t addr with
+  | cost -> add_cycles t cost
+  | exception Not_found -> trap "unmapped memory address %d" addr
+
+(* A memory access from executing code: charge its region cost and return /
+   store the value. *)
+let mem_read t addr =
+  if addr < 0 || addr >= Array.length t.mem then trap "memory read at %d" addr;
+  charge_mem t addr;
+  t.mem.(addr)
+
+let mem_write t addr v =
+  if addr < 0 || addr >= Array.length t.mem then trap "memory write at %d" addr;
+  charge_mem t addr;
+  t.mem.(addr) <- v
+
+(* Operand/return stack accesses are counted separately so the short-format
+   overhead is visible in reports. *)
+let stack_read t addr =
+  let v = mem_read t addr in
+  t.stats.stack_cycles <- t.stats.stack_cycles + t.timing.Timing.t1;
+  v
+
+let stack_write t addr v =
+  mem_write t addr v;
+  t.stats.stack_cycles <- t.stats.stack_cycles + t.timing.Timing.t1
+
+let push_op t v =
+  let sp = t.regs.(H.Regs.sp) in
+  stack_write t sp v;
+  t.regs.(H.Regs.sp) <- sp + 1
+
+let pop_op t =
+  let sp = t.regs.(H.Regs.sp) - 1 in
+  if sp < 0 then trap "operand stack underflow";
+  t.regs.(H.Regs.sp) <- sp;
+  stack_read t sp
+
+let push_ret t v =
+  let rsp = t.regs.(H.Regs.rsp) in
+  stack_write t rsp v;
+  t.regs.(H.Regs.rsp) <- rsp + 1
+
+let pop_ret t =
+  let rsp = t.regs.(H.Regs.rsp) - 1 in
+  if rsp < 0 then trap "return stack underflow";
+  t.regs.(H.Regs.rsp) <- rsp;
+  stack_read t rsp
+
+(* -- DIR stream fetch (the IFU) -------------------------------------------- *)
+
+let charge_dir_unit t unit_index =
+  if unit_index <> t.dir_buffered_unit then begin
+    t.dir_buffered_unit <- unit_index;
+    t.stats.dir_units_fetched <- t.stats.dir_units_fetched + 1;
+    let cost =
+      match t.dir_mode with
+      | Dir_uncached -> t.timing.Timing.t2
+      | Dir_cached cache -> (
+          match Cache.access cache unit_index with
+          | `Hit -> t.timing.Timing.t_dtb
+          | `Miss -> t.timing.Timing.t2)
+    in
+    t.stats.dir_fetch_cycles <- t.stats.dir_fetch_cycles + cost;
+    t.stats.cycles <- t.stats.cycles + cost
+  end
+
+(* Charge the IFU for every 16-bit unit in [first_bit, last_bit]; used by
+   the decode-assist hook, which reads the stream outside GetBits. *)
+let charge_dir_span t ~first_bit ~last_bit =
+  for u = first_bit / 16 to last_bit / 16 do
+    charge_dir_unit t u
+  done
+
+let get_bits t width =
+  let reader =
+    match t.dir_reader with
+    | Some r -> r
+    | None -> trap "GetBits with no DIR stream loaded"
+  in
+  let addr = t.regs.(H.Regs.dpc) in
+  if width < 0 then trap "GetBits with negative width";
+  let last = addr + width - 1 in
+  if addr < 0 || last >= Uhm_bitstream.Reader.length_bits reader then
+    trap "DIR fetch out of range at bit %d" addr;
+  (* charge each 16-bit unit the field touches *)
+  if width = 0 then 0
+  else begin
+    for u = addr / 16 to last / 16 do
+      charge_dir_unit t u
+    done;
+    Uhm_bitstream.Reader.seek reader addr;
+    let v = Uhm_bitstream.Reader.get reader width in
+    t.regs.(H.Regs.dpc) <- addr + width;
+    v
+  end
+
+(* -- Execution -------------------------------------------------------------- *)
+
+let hooks_exn t =
+  match t.hooks with
+  | Some h -> h
+  | None -> trap "IU2 feature used with no hooks installed"
+
+let exec_long t addr =
+  if addr < 0 || addr >= Array.length t.code then trap "host pc out of range: %d" addr;
+  (match t.code_fetch_hook with
+  | Some f ->
+      let extra = f addr in
+      t.stats.code_fetch_cycles <- t.stats.code_fetch_cycles + extra;
+      t.stats.cycles <- t.stats.cycles + extra
+  | None -> ());
+  let cat = t.code_cat.(addr) in
+  let before = t.stats.cycles in
+  let fetch_before = t.stats.dir_fetch_cycles in
+  t.stats.cycles <- t.stats.cycles + 1;
+  t.stats.host_instrs <- t.stats.host_instrs + 1;
+  let regs = t.regs in
+  let next = ref (Long (addr + 1)) in
+  (match t.code.(addr) with
+  | H.Li (rd, v) -> regs.(rd) <- v
+  | H.Mv (rd, rs) -> regs.(rd) <- regs.(rs)
+  | H.Alu (op, rd, rs1, rs2) -> (
+      try regs.(rd) <- H.eval_alu op regs.(rs1) regs.(rs2)
+      with Division_by_zero -> trap "division by zero")
+  | H.Alui (op, rd, rs, v) -> (
+      try regs.(rd) <- H.eval_alu op regs.(rs) v
+      with Division_by_zero -> trap "division by zero")
+  | H.Alu2i (op1, op2, rd, rs1, rs2, v) -> (
+      try regs.(rd) <- H.eval_alu op2 (H.eval_alu op1 regs.(rs1) regs.(rs2)) v
+      with Division_by_zero -> trap "division by zero")
+  | H.Load (rd, rs, off) -> regs.(rd) <- mem_read t (regs.(rs) + off)
+  | H.Store (rs, rbase, off) -> mem_write t (regs.(rbase) + off) regs.(rs)
+  | H.Jmp a -> next := Long a
+  | H.Jz (r, a) -> if regs.(r) = 0 then next := Long a
+  | H.Jnz (r, a) -> if regs.(r) <> 0 then next := Long a
+  | H.Jneg (r, a) -> if regs.(r) < 0 then next := Long a
+  | H.JmpR r -> next := Long regs.(r)
+  | H.CallL a ->
+      push_ret t (addr + 1);
+      next := Long a
+  | H.CallR r ->
+      push_ret t (addr + 1);
+      next := Long regs.(r)
+  | H.Ret ->
+      let v = pop_ret t in
+      if v land short_tag <> 0 then next := Short (v land short_mask)
+      else next := Long v
+  | H.PushOp r -> push_op t regs.(r)
+  | H.PopOp r -> regs.(r) <- pop_op t
+  | H.GetBits (rd, width) -> regs.(rd) <- get_bits t width
+  | H.GetBitsR (rd, rw) -> regs.(rd) <- get_bits t regs.(rw)
+  | H.DecodeAssist -> (hooks_exn t).h_decode_assist t
+  | H.EmitShort r -> (hooks_exn t).h_emit_short t regs.(r)
+  | H.EndTrans ->
+      (hooks_exn t).h_end_trans t;
+      next := t.pc
+  | H.Out r ->
+      Buffer.add_string t.out (string_of_int regs.(r));
+      Buffer.add_char t.out '\n'
+  | H.OutC r ->
+      let v = regs.(r) in
+      if v < 0 || v > 255 then trap "OutC out of range: %d" v;
+      Buffer.add_char t.out (Char.chr v)
+  | H.Halt ->
+      t.status <- Halted;
+      next := Long addr
+  | H.Break msg -> trap "%s" msg);
+  (* DIR-stream fetch time is accounted separately (the paper's s2*tau2
+     term), so it is excluded from the executing routine's category. *)
+  t.stats.cat_cycles.(cat) <-
+    t.stats.cat_cycles.(cat)
+    + (t.stats.cycles - before)
+    - (t.stats.dir_fetch_cycles - fetch_before);
+  (match t.code.(addr) with
+  | H.EndTrans -> () (* pc set by the hook *)
+  | _ -> t.pc <- !next)
+
+let exec_short t addr =
+  let before = t.stats.cycles in
+  t.stats.cycles <- t.stats.cycles + 1;
+  t.stats.short_instrs <- t.stats.short_instrs + 1;
+  let word = mem_read t addr in
+  t.stats.short_fetch_cycles <-
+    t.stats.short_fetch_cycles + (t.stats.cycles - before - 1);
+  let op, ctx, operand = Short_format.unpack word in
+  t.pc <- Short (addr + 1);
+  match op with
+  | Short_format.Push_imm -> push_op t operand
+  | Short_format.Push_dir -> push_op t (mem_read t operand)
+  | Short_format.Push_ind -> push_op t (mem_read t (mem_read t operand))
+  | Short_format.Pop_dir ->
+      let v = pop_op t in
+      mem_write t operand v
+  | Short_format.Call_long ->
+      push_ret t ((addr + 1) lor short_tag);
+      t.pc <- Long operand
+  | Short_format.Interp_imm ->
+      t.stats.interp_count <- t.stats.interp_count + 1;
+      (hooks_exn t).h_interp t ~dir_addr:operand ~dctx:ctx
+  | Short_format.Interp_stk ->
+      t.stats.interp_count <- t.stats.interp_count + 1;
+      let dir_addr = pop_op t in
+      let dctx = pop_op t in
+      (hooks_exn t).h_interp t ~dir_addr ~dctx
+  | Short_format.Goto -> t.pc <- Short operand
+  | Short_format.Goto_stk ->
+      let a = pop_op t in
+      t.pc <- Short a
+
+let step t =
+  match t.status with
+  | Running -> (
+      if t.stats.cycles >= t.fuel then t.status <- Out_of_fuel
+      else
+        try
+          match t.pc with
+          | Long addr -> exec_long t addr
+          | Short addr -> exec_short t addr
+        with Machine_trap msg -> t.status <- Trapped msg)
+  | Halted | Trapped _ | Out_of_fuel -> ()
+
+let run t =
+  while t.status = Running do
+    step t
+  done;
+  t.status

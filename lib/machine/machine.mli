@@ -1,0 +1,109 @@
+(** The universal host machine simulator.
+
+    Executes long-format host code (IU1) and short-format words (IU2) over a
+    single word-addressed memory with region-based access times, counting
+    cycles exactly as paper §7 does: one cycle per host instruction (the
+    level-1 access time is the time unit), plus memory access times by
+    region, plus DIR instruction-stream fetch charges per 16-bit unit
+    (optionally through an instruction cache).
+
+    The DTB itself lives outside (in [uhm_core]); the machine calls back
+    through {!hooks} on INTERP, EmitShort and EndTrans. *)
+
+type t
+
+type pc =
+  | Long of int    (** executing long-format code at this address (IU1) *)
+  | Short of int   (** executing short words at this memory address (IU2) *)
+
+type status =
+  | Running
+  | Halted
+  | Trapped of string
+  | Out_of_fuel
+
+type region = {
+  rname : string;
+  base : int;
+  size : int;
+  cost : int;     (** access time in cycles *)
+}
+
+type hooks = {
+  h_interp : t -> dir_addr:int -> dctx:int -> unit;
+  (** INTERP executed; must set the pc (hit) or arrange translation (miss)
+      and charge cycles via {!add_cycles}. *)
+  h_emit_short : t -> int -> unit;
+  (** EmitShort executed with the given word. *)
+  h_end_trans : t -> unit;
+  (** EndTrans executed. *)
+  h_decode_assist : t -> unit;
+  (** DecodeAssist executed: decode the DIR instruction at the dpc register
+      into r8-r11, advance dpc, and charge the assist-unit time plus
+      {!charge_dir_span} for the stream units touched. *)
+}
+
+type dir_fetch_mode =
+  | Dir_uncached          (** every 16-bit unit costs the level-2 time *)
+  | Dir_cached of Cache.t (** units go through an instruction cache *)
+
+type stats = {
+  mutable cycles : int;
+  mutable host_instrs : int;
+  mutable short_instrs : int;
+  cat_cycles : int array;          (** per {!Asm.category}, in declaration order *)
+  mutable dir_units_fetched : int;
+  mutable dir_fetch_cycles : int;
+  mutable short_fetch_cycles : int;(** cycles fetching short words *)
+  mutable code_fetch_cycles : int; (** extra host-code fetch cost (DER in level 2) *)
+  mutable stack_cycles : int;      (** operand/return stack traffic *)
+  mutable interp_count : int;      (** INTERP executions *)
+}
+
+val category_index : Asm.category -> int
+
+val create : ?timing:Timing.t -> ?fuel:int -> program:Asm.program
+  -> mem_words:int -> regions:region list -> unit -> t
+(** [fuel] bounds total cycles (default one billion).  Regions must be
+    disjoint and within [mem_words]; accesses outside any region trap. *)
+
+val set_hooks : t -> hooks -> unit
+val set_dir_stream : t -> bits:string -> mode:dir_fetch_mode -> unit
+val set_code_fetch_hook : t -> (int -> int) -> unit
+(** [set_code_fetch_hook m f] adds [f addr] cycles when fetching the long
+    instruction at [addr] (models DER code living in level-2 memory). *)
+
+val timing : t -> Timing.t
+val reg : t -> int -> int
+val set_reg : t -> int -> int -> unit
+val peek : t -> int -> int
+(** Read memory without charging cycles (setup/inspection). *)
+
+val poke : t -> int -> int -> unit
+(** Write memory without charging cycles (setup). *)
+
+val mem_cost : t -> int -> int
+(** The access time of an address; raises [Not_found] if unmapped. *)
+
+val add_cycles : t -> int -> unit
+(** Charge extra cycles (used by hooks for DTB lookup time). *)
+
+val charge_dir_span : t -> first_bit:int -> last_bit:int -> unit
+(** Charge the IFU for the 16-bit units covering the given bit range (used
+    by the decode-assist hook). *)
+
+val charge_mem : t -> int -> unit
+(** Charge a memory access to [stack_cycles]-independent bookkeeping: adds
+    [mem_cost] cycles (used by hooks when they touch memory on the
+    machine's behalf). *)
+
+val set_pc : t -> pc -> unit
+val pc : t -> pc
+val status : t -> status
+val stats : t -> stats
+val output : t -> string
+val run : t -> status
+(** Execute until halt, trap or fuel exhaustion. *)
+
+val step : t -> unit
+(** Execute one instruction (long or short); no-op unless [Running]. *)

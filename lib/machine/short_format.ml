@@ -1,0 +1,80 @@
+(* The short-format (vertical) instruction set executed by IU2 (paper §6.2).
+
+   A short instruction is one machine word: a 3-bit opcode, a 6-bit decoding
+   context (meaningful on the INTERP flavours, see DESIGN.md on digram
+   decoding), and a signed operand in the remaining bits.
+
+   The paper's set is CALL, PUSH (immediate / direct / indirect), POP and
+   INTERP; we add GOTO, the intra-buffer jump that links a translation's
+   overflow blocks (§5.1's "variable allocation with fixed size increments").
+
+   Size convention for the space axis of Figure 1: one short word occupies
+   16 bits. *)
+
+type op =
+  | Push_imm     (* push operand *)
+  | Push_dir     (* push mem[operand] *)
+  | Push_ind     (* push mem[mem[operand]] *)
+  | Pop_dir      (* mem[operand] <- pop *)
+  | Call_long    (* call the long-format routine at code address operand *)
+  | Interp_imm   (* exercise the DTB on DIR address operand *)
+  | Interp_stk   (* pop DIR address, then pop decode context *)
+  | Goto         (* jump to buffer address operand (overflow chaining) *)
+  | Goto_stk     (* pop a buffer address and jump to it (psder-static) *)
+[@@deriving eq, show { with_path = false }]
+
+let op_to_int = function
+  | Push_imm -> 0
+  | Push_dir -> 1
+  | Push_ind -> 2
+  | Pop_dir -> 3
+  | Call_long -> 4
+  | Interp_imm -> 5
+  | Interp_stk -> 6
+  | Goto -> 7
+  | Goto_stk -> 8
+
+let op_of_int = function
+  | 0 -> Push_imm
+  | 1 -> Push_dir
+  | 2 -> Push_ind
+  | 3 -> Pop_dir
+  | 4 -> Call_long
+  | 5 -> Interp_imm
+  | 6 -> Interp_stk
+  | 7 -> Goto
+  | 8 -> Goto_stk
+  | n -> invalid_arg (Printf.sprintf "Short_format.op_of_int: %d" n)
+
+let op_bits = 4
+let ctx_bits = 6
+let ctx_mask = (1 lsl ctx_bits) - 1
+let max_ctx = ctx_mask
+let operand_shift = op_bits + ctx_bits
+
+(* word = op | ctx << 4 | operand << 10, operand signed *)
+let pack ?(ctx = 0) op operand =
+  if ctx < 0 || ctx > max_ctx then
+    invalid_arg "Short_format.pack: context out of range";
+  op_to_int op lor (ctx lsl op_bits) lor (operand lsl operand_shift)
+
+let unpack word =
+  let op = op_of_int (word land ((1 lsl op_bits) - 1)) in
+  let ctx = (word lsr op_bits) land ctx_mask in
+  let operand = word asr operand_shift in
+  (op, ctx, operand)
+
+let to_string word =
+  let op, ctx, operand = unpack word in
+  match op with
+  | Interp_imm -> Printf.sprintf "interp %d ctx=%d" operand ctx
+  | Interp_stk -> "interp-stk"
+  | Push_imm -> Printf.sprintf "push #%d" operand
+  | Push_dir -> Printf.sprintf "push [%d]" operand
+  | Push_ind -> Printf.sprintf "push [[%d]]" operand
+  | Pop_dir -> Printf.sprintf "pop [%d]" operand
+  | Call_long -> Printf.sprintf "call @%d" operand
+  | Goto -> Printf.sprintf "goto %d" operand
+  | Goto_stk -> "goto-stk"
+
+let bits_per_word = 16

@@ -1,0 +1,15 @@
+(* Timing parameters of the two-level memory hierarchy (paper §7).
+
+   The unit of time is the level-1 access time, which the paper also takes
+   as one host-instruction execution time.  [t_dtb] is the access time of an
+   associative array (DTB or cache), nominally 2 * t1. *)
+
+type t = {
+  t1 : int;      (* level-1 access time *)
+  t2 : int;      (* level-2 access time *)
+  t_dtb : int;   (* DTB / cache associative access time *)
+}
+
+let paper = { t1 = 1; t2 = 10; t_dtb = 2 }
+
+let make ?(t1 = 1) ?(t2 = 10) ?(t_dtb = 2) () = { t1; t2; t_dtb }

@@ -1,0 +1,75 @@
+type params = {
+  tau1 : float;
+  tau2 : float;
+  tau_d : float;
+  d : float;
+  g : float;
+  x : float;
+  s1 : float;
+  s2 : float;
+  h_c : float;
+  h_d : float;
+}
+
+let paper_defaults ~d ~x =
+  {
+    tau1 = 1.;
+    tau2 = 10.;
+    tau_d = 2.;
+    d;
+    g = 1.5 *. d;
+    x;
+    s1 = 3.;
+    s2 = 1.;
+    h_c = 0.9;
+    h_d = 0.8;
+  }
+
+let t1 p = (p.s2 *. p.tau2) +. p.d +. p.x
+
+let t2 p =
+  (p.s1 *. p.tau_d)
+  +. ((1. -. p.h_d) *. p.s2 *. p.tau2)
+  +. ((1. -. p.h_d) *. (p.d +. p.g))
+  +. p.x
+
+let t3 p =
+  (p.h_c *. p.s2 *. p.tau_d) +. ((1. -. p.h_c) *. p.s2 *. p.tau2) +. p.d +. p.x
+
+let f1 p = (t3 p -. t2 p) /. t2 p *. 100.
+let f2 p = (t1 p -. t2 p) /. t2 p *. 100.
+
+module Printed = struct
+  let denominator ~d ~x = 8. +. (0.4 *. d) +. x
+  let f1 ~d ~x = (0.4 +. (0.6 *. d)) /. denominator ~d ~x *. 100.
+  let f2 ~d ~x = (7.4 +. (0.6 *. d)) /. denominator ~d ~x *. 100.
+end
+
+let table_rows = [ 10; 20; 30 ]
+let table_cols = [ 5; 10; 15; 20; 25; 30 ]
+
+let paper_table2 =
+  [|
+    [| 37.65; 29.09; 23.7; 20.; 17.3; 15.24 |];
+    [| 59.05; 47.69; 40.; 34.44; 30.24; 26.96 |];
+    [| 73.6; 61.33; 52.57; 46.; 40.89; 36.8 |];
+  |]
+
+let paper_table3 =
+  [|
+    [| 78.82; 60.91; 49.63; 41.88; 36.22; 31.90 |];
+    [| 92.38; 74.62; 62.58; 53.89; 47.32; 42.17 |];
+    [| 101.6; 84.67; 72.57; 63.5; 56.44; 50.8 |];
+  |]
+
+let grid f =
+  Array.of_list
+    (List.map
+       (fun d ->
+         Array.of_list
+           (List.map (fun x -> f ~d:(float_of_int d) ~x:(float_of_int x))
+              table_cols))
+       table_rows)
+
+let regenerate_table2 () = grid Printed.f1
+let regenerate_table3 () = grid Printed.f2

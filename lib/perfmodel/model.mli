@@ -1,0 +1,74 @@
+(** The analytic performance model of paper §7.
+
+    Average DIR-instruction interpretation time for the three machines:
+
+    - [t1]: conventional UHM —  {m T_1 = s_2 τ_2 + d + x }
+    - [t2]: UHM with a DTB —
+      {m T_2 = s_1 τ_D + (1 - h_D) s_2 τ_2 + (1 - h_D)(d + g) + x }
+    - [t3]: UHM with an instruction cache —
+      {m T_3 = h_c s_2 τ_D + (1 - h_c) s_2 τ_2 + d + x }
+
+    and the two figures of merit, both normalised by [t2]:
+    [f1 = (T_3 - T_2) / T_2] (cost of using the DTB's memory as a plain
+    instruction cache instead) and [f2 = (T_1 - T_2) / T_2] (cost of having
+    no DTB at all).
+
+    All quantities are in units of the level-1 access time. *)
+
+type params = {
+  tau1 : float;   (** level-1 access time (the time unit; normally 1) *)
+  tau2 : float;   (** level-2 access time *)
+  tau_d : float;  (** DTB / cache access time *)
+  d : float;      (** decode time per DIR instruction *)
+  g : float;      (** PSDER generation time per translated instruction *)
+  x : float;      (** semantic-routine time per DIR instruction *)
+  s1 : float;     (** level-1 references per PSDER version of one DIR instr *)
+  s2 : float;     (** level-2 references per DIR instruction fetch *)
+  h_c : float;    (** instruction-cache hit ratio *)
+  h_d : float;    (** DTB hit ratio *)
+}
+
+val paper_defaults : d:float -> x:float -> params
+(** The representative values of §7: τ₁ = 1, τ_D = 2, τ₂ = 10, g = 1.5 d,
+    s₁ = 3, s₂ = 1, h_c = 0.9, h_D = 0.8. *)
+
+val t1 : params -> float
+val t2 : params -> float
+val t3 : params -> float
+
+val f1 : params -> float
+(** Percentage increase in average interpretation time from using the DTB
+    store as an instruction cache: [(t3 - t2) / t2 * 100]. *)
+
+val f2 : params -> float
+(** Percentage increase from not using a DTB: [(t1 - t2) / t2 * 100]. *)
+
+(** The printed closed forms of the 1978 report, which regenerate its
+    Tables 2 and 3 exactly.  They correspond to the general model with
+    g = d (not the stated 1.5 d) and an effective s₂τ₂ of 15.4 in T₁; the
+    report's arithmetic is internally inconsistent with its stated
+    parameter list — see EXPERIMENTS.md. *)
+module Printed : sig
+  val f1 : d:float -> x:float -> float
+  (** [(0.4 + 0.6 d) / (8 + 0.4 d + x) * 100] *)
+
+  val f2 : d:float -> x:float -> float
+  (** [(7.4 + 0.6 d) / (8 + 0.4 d + x) * 100] *)
+end
+
+val table_rows : int list
+(** The d values of Tables 2-3: [10; 20; 30]. *)
+
+val table_cols : int list
+(** The x values of Tables 2-3: [5; 10; 15; 20; 25; 30]. *)
+
+val paper_table2 : float array array
+(** [paper_table2.(i).(j)] is Table 2's printed value at
+    [(List.nth table_rows i, List.nth table_cols j)]. *)
+
+val paper_table3 : float array array
+
+val regenerate_table2 : unit -> float array array
+(** {!Printed.f1} over the same grid. *)
+
+val regenerate_table3 : unit -> float array array

@@ -1,0 +1,239 @@
+(* Decoder generation: for each encoding kind, emit the host-code routine
+   that decodes one DIR instruction at the current DPC.
+
+   Contract (see DESIGN.md):
+     entry : dpc = bit address of the instruction; the ctx / dctx registers
+             hold the contour and digram decoding contexts
+     exit  : r8 = opcode enum, r9/r10/r11 = operand fields (branch targets
+             as bit addresses), dpc = bit address of the textual successor
+   The routine is tagged [Asm.Decode]; its measured cycles are the paper's
+   d.  Registers r12-r15 are scratch; r0-r7 are untouched. *)
+
+module Asm = Uhm_machine.Asm
+module H = Uhm_machine.Host_isa
+module R = Uhm_machine.Host_isa.Regs
+module Isa = Uhm_dir.Isa
+module Codec = Uhm_encoding.Codec
+module Kind = Uhm_encoding.Kind
+module Code = Uhm_huffman.Code
+module Conditional = Uhm_huffman.Conditional
+
+(* r12 holds a zigzag value; replace it with the signed original.
+   Clobbers r13. *)
+let emit_unzigzag b =
+  let negative = Asm.new_label b and done_ = Asm.new_label b in
+  Asm.alui b H.And 13 12 1;
+  Asm.alui b H.Shr 12 12 1;
+  Asm.jnz b 13 negative;
+  Asm.jmp b done_;
+  Asm.place b negative;
+  Asm.alui b H.Xor 12 12 (-1);
+  Asm.place b done_
+
+(* nibble-chain decode into r12 (clobbers r13). *)
+let emit_get_nibble b =
+  let uloop = Asm.new_label b and udone = Asm.new_label b in
+  Asm.li b 12 0;
+  Asm.place b uloop;
+  Asm.get_bits b 13 1;
+  Asm.jz b 13 udone;
+  Asm.alui b H.Add 12 12 1;
+  Asm.jmp b uloop;
+  Asm.place b udone;
+  Asm.alui b H.Add 12 12 1;
+  Asm.alui b H.Shl 12 12 2;
+  Asm.get_bits_r b 12 12
+
+(* word16 operand field into [dest]: one 16-bit unit, or an escaped
+   five-unit wide operand (see the codec).  Clobbers r12, r13. *)
+let emit_get_u16_field b ~dest =
+  let plain = Asm.new_label b in
+  Asm.get_bits b dest 16;
+  Asm.alui b H.Sne 13 dest 0xFFFF;
+  Asm.jnz b 13 plain;
+  Asm.li b dest 0;
+  for _ = 1 to 4 do
+    Asm.alui b H.Shl dest dest 16;
+    Asm.get_bits b 13 16;
+    Asm.alu b H.Or dest dest 13
+  done;
+  Asm.place b plain
+
+(* Huffman decode-tree walk with the tree base in [tree_base_reg]; leaves
+   the symbol in [result].  Clobbers r12, r13. *)
+let emit_tree_walk b ~tree_base_reg ~result =
+  let loop = Asm.new_label b and leaf = Asm.new_label b in
+  Asm.li b result 0;
+  Asm.place b loop;
+  Asm.get_bits b 12 1;
+  Asm.alu b H.Add 13 result result;
+  Asm.alu b H.Add 13 13 12;
+  Asm.alu b H.Add 13 13 tree_base_reg;
+  Asm.load b 13 13 0;
+  Asm.jneg b 13 leaf;
+  Asm.mv b result 13;
+  Asm.jmp b loop;
+  Asm.place b leaf;
+  Asm.alui b H.Xor result 13 (-1)
+
+(* Hardware-assisted decode (paper section 8's alternative to the DTB):
+   the whole decode is one DecodeAssist instruction handled by a hardware
+   unit (the machine's decode-assist hook). *)
+let build_assist b =
+  Asm.routine b Asm.Decode (fun () ->
+      Asm.decode_assist b;
+      Asm.ret b)
+
+let build b ~tables ~(encoded : Codec.encoded) =
+  let widths, contour_tab, huff_code, digram_code =
+    match encoded.Codec.tables with
+    | Codec.T_word16 w -> (w, None, None, None)
+    | Codec.T_packed w -> (w, None, None, None)
+    | Codec.T_contextual (w, tab) -> (w, Some tab, None, None)
+    | Codec.T_huffman (w, code) -> (w, None, Some code, None)
+    | Codec.T_digram (w, cond) -> (w, None, None, Some cond)
+  in
+  let contour_tab_addr =
+    Option.map
+      (fun tab ->
+        Table_image.add tables
+          (Array.concat
+             (Array.to_list
+                (Array.map
+                   (fun cw -> [| cw.Codec.cw_level; cw.Codec.cw_offset |])
+                   tab))))
+      contour_tab
+  in
+  let huff_tree_addr =
+    Option.map (fun code -> Table_image.add tables (Code.decode_tree code))
+      huff_code
+  in
+  let digram_base_addr =
+    Option.map
+      (fun cond ->
+        let n = Conditional.contexts cond in
+        let bases =
+          Array.init n (fun ctx ->
+              (* unused contexts still get their (dummy) tree *)
+              Table_image.add tables
+                (Code.decode_tree (Conditional.code cond ctx)))
+        in
+        Table_image.add tables bases)
+      digram_code
+  in
+  let kind = encoded.Codec.kind in
+  let variable_operands =
+    match kind with
+    | Kind.Huffman | Kind.Huffman_b1700 | Kind.Digram -> true
+    | _ -> false
+  in
+  let w = widths in
+  let shape_table_addr = Table_image.reserve tables Isa.opcode_count in
+  Asm.routine b Asm.Decode (fun () ->
+      (* ---- opcode field ---- *)
+      (match kind with
+      | Kind.Word16 ->
+          Asm.get_bits b 8 16;
+          Asm.alui b H.Shr 8 8 10
+      | Kind.Packed | Kind.Contextual -> Asm.get_bits b 8 w.Codec.w_opcode
+      | Kind.Huffman | Kind.Huffman_b1700 ->
+          Asm.li b 14 (Option.get huff_tree_addr);
+          emit_tree_walk b ~tree_base_reg:14 ~result:8
+      | Kind.Digram ->
+          Asm.alui b H.Add 14 R.dctx (Option.get digram_base_addr);
+          Asm.load b 14 14 0;
+          emit_tree_walk b ~tree_base_reg:14 ~result:8);
+      (* ---- operand fields, via the per-opcode shape table ---- *)
+      Asm.alui b H.Add 12 8 shape_table_addr;
+      Asm.load b 12 12 0;
+      Asm.jmp_r b 12;
+
+      let load_name_widths () =
+        (* r14 = level width, r15 = offset width *)
+        match contour_tab_addr with
+        | Some addr ->
+            Asm.alu b H.Add 12 R.ctx R.ctx;
+            Asm.alui b H.Add 12 12 addr;
+            Asm.load b 14 12 0;
+            Asm.load b 15 12 1
+        | None ->
+            Asm.li b 14 w.Codec.w_level;
+            Asm.li b 15 w.Codec.w_offset
+      in
+
+      let arm shape body =
+        let addr = Asm.here b in
+        body ();
+        Asm.ret b;
+        (* route every opcode of this shape to the arm *)
+        Array.iter
+          (fun op ->
+            if Isa.equal_shape (Isa.shape op) shape then
+              Table_image.patch tables ~addr:shape_table_addr
+                ~index:(Isa.opcode_to_enum op) addr)
+          Isa.all_opcodes
+      in
+
+      arm Isa.Shape_none (fun () -> ());
+
+      arm Isa.Shape_imm (fun () ->
+          (match kind with
+          | Kind.Word16 -> emit_get_u16_field b ~dest:12
+          | Kind.Packed | Kind.Contextual -> Asm.get_bits b 12 w.Codec.w_imm
+          | Kind.Huffman | Kind.Huffman_b1700 | Kind.Digram -> emit_get_nibble b);
+          emit_unzigzag b;
+          Asm.mv b 9 12);
+
+      arm Isa.Shape_var (fun () ->
+          match kind with
+          | Kind.Word16 ->
+              emit_get_u16_field b ~dest:9;
+              emit_get_u16_field b ~dest:10
+          | Kind.Packed | Kind.Contextual ->
+              load_name_widths ();
+              Asm.get_bits_r b 9 14;
+              Asm.get_bits_r b 10 15
+          | Kind.Huffman | Kind.Huffman_b1700 | Kind.Digram ->
+              Asm.get_bits b 9 w.Codec.w_level;
+              emit_get_nibble b;
+              Asm.mv b 10 12);
+
+      arm Isa.Shape_target (fun () ->
+          match kind with
+          | Kind.Word16 ->
+              Asm.get_bits b 9 16;
+              Asm.alui b H.Shl 9 9 4
+          | _ -> Asm.get_bits b 9 w.Codec.w_target);
+
+      arm Isa.Shape_call (fun () ->
+          match kind with
+          | Kind.Word16 ->
+              Asm.get_bits b 9 16;
+              Asm.alui b H.Shl 9 9 4;
+              emit_get_u16_field b ~dest:10
+          | Kind.Packed | Kind.Contextual ->
+              Asm.get_bits b 9 w.Codec.w_target;
+              load_name_widths ();
+              Asm.get_bits_r b 10 14
+          | Kind.Huffman | Kind.Huffman_b1700 | Kind.Digram ->
+              Asm.get_bits b 9 w.Codec.w_target;
+              Asm.get_bits b 10 w.Codec.w_level);
+
+      arm Isa.Shape_enter (fun () ->
+          (if variable_operands then begin
+             emit_get_nibble b;
+             Asm.mv b 9 12;
+             emit_get_nibble b;
+             Asm.mv b 10 12
+           end
+           else
+             match kind with
+             | Kind.Word16 ->
+                 emit_get_u16_field b ~dest:9;
+                 emit_get_u16_field b ~dest:10
+             | _ ->
+                 Asm.get_bits b 9 w.Codec.w_args;
+                 Asm.get_bits b 10 w.Codec.w_locals);
+          match kind with
+          | Kind.Word16 -> emit_get_u16_field b ~dest:11
+          | _ -> Asm.get_bits b 11 w.Codec.w_ctx))

@@ -1,0 +1,24 @@
+(** Decoder generation: the host-code routine that decodes one DIR
+    instruction of a given encoding at the current DPC.
+
+    Contract (registers per {!Uhm_machine.Host_isa.Regs}):
+    - entry: [dpc] = bit address of the instruction; the [ctx]/[dctx]
+      registers hold the contour and digram decoding contexts;
+    - exit: r8 = opcode enum, r9/r10/r11 = operand fields (branch targets as
+      bit addresses), [dpc] = bit address of the textual successor;
+    - r12-r15 are scratch, r0-r7 untouched.
+
+    The routine is tagged {!Uhm_machine.Asm.Decode}; its measured cycles
+    are the paper's d.  Decoder tables (contour widths, Huffman trees,
+    per-context tree bases, the per-opcode shape dispatch table) are
+    serialised into the given table image. *)
+
+module Asm := Uhm_machine.Asm
+
+val build : Asm.t -> tables:Table_image.t -> encoded:Uhm_encoding.Codec.encoded
+  -> int
+(** Emits the routine; returns its entry address. *)
+
+val build_assist : Asm.t -> int
+(** The hardware-assisted variant: a single DecodeAssist instruction (the
+    machine's decode-assist hook does the work). *)

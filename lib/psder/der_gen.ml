@@ -1,0 +1,229 @@
+(* DER expansion: compile a DIR program directly into host machine code
+   ("the expanded machine language representation", paper §2.3/§3.1).
+
+   Every DIR instruction becomes the inlined body of its semantic routine
+   with the operand fields as immediates — no decoding, no dispatch, no
+   operand-field pushes.  Maximum speed, maximum size: the paper's argument
+   is that this representation is too large for the fast memory level, so
+   the strategy wiring can impose a level-2 fetch penalty via the machine's
+   code-fetch hook. *)
+
+module Asm = Uhm_machine.Asm
+module H = Uhm_machine.Host_isa
+module R = Uhm_machine.Host_isa.Regs
+module Isa = Uhm_dir.Isa
+module Program = Uhm_dir.Program
+
+type t = {
+  program : Asm.program;
+  entry : int;
+  code_instructions : int;  (* host instructions in the expansion *)
+}
+
+let frame_header = Isa.frame_header_size
+
+let build (p : Program.t) =
+  let b = Asm.create () in
+  Asm.set_category b Asm.Der;
+  let code = p.Program.code in
+  let n = Array.length code in
+  let labels = Array.init n (fun _ -> Asm.new_label b) in
+  (* r2 := frame base after [hops] static links, unrolled (hops is a
+     compile-time constant here) *)
+  let walk hops =
+    Asm.mv b 2 R.fp;
+    for _ = 1 to hops do
+      Asm.load b 2 2 0
+    done
+  in
+  let var_addr hops offset =
+    (* r2 := base; the caller reads/writes at offset [frame_header+offset] *)
+    walk hops;
+    ignore offset
+  in
+  let binop alu_op =
+    Asm.pop_op b 1;
+    Asm.pop_op b 0;
+    Asm.alu b alu_op 0 0 1;
+    Asm.push_op b 0
+  in
+  Array.iteri
+    (fun i { Isa.op; a; b = fb; c } ->
+      Asm.place b labels.(i);
+      match op with
+      | Isa.Lit ->
+          Asm.li b 0 a;
+          Asm.push_op b 0
+      | Isa.Load ->
+          var_addr a fb;
+          Asm.load b 0 2 (frame_header + fb);
+          Asm.push_op b 0
+      | Isa.Store ->
+          var_addr a fb;
+          Asm.pop_op b 0;
+          Asm.store b 0 2 (frame_header + fb)
+      | Isa.Addr ->
+          var_addr a fb;
+          Asm.alui b H.Add 0 2 (frame_header + fb);
+          Asm.push_op b 0
+      | Isa.Loadi ->
+          Asm.pop_op b 0;
+          Asm.load b 1 0 0;
+          Asm.push_op b 1
+      | Isa.Storei ->
+          Asm.pop_op b 1;
+          Asm.pop_op b 0;
+          Asm.store b 1 0 0
+      | Isa.Index -> binop H.Add
+      | Isa.Dup ->
+          Asm.pop_op b 0;
+          Asm.push_op b 0;
+          Asm.push_op b 0
+      | Isa.Drop -> Asm.pop_op b 0
+      | Isa.Swap ->
+          Asm.pop_op b 0;
+          Asm.pop_op b 1;
+          Asm.push_op b 0;
+          Asm.push_op b 1
+      | Isa.Add -> binop H.Add
+      | Isa.Sub -> binop H.Sub
+      | Isa.Mul -> binop H.Mul
+      | Isa.Div -> binop H.Div
+      | Isa.Mod -> binop H.Mod
+      | Isa.Neg ->
+          Asm.pop_op b 0;
+          Asm.li b 1 0;
+          Asm.alu b H.Sub 0 1 0;
+          Asm.push_op b 0
+      | Isa.Eq -> binop H.Seq
+      | Isa.Ne -> binop H.Sne
+      | Isa.Lt -> binop H.Slt
+      | Isa.Le -> binop H.Sle
+      | Isa.Gt -> binop H.Sgt
+      | Isa.Ge -> binop H.Sge
+      | Isa.And ->
+          Asm.pop_op b 1;
+          Asm.pop_op b 0;
+          Asm.alui b H.Sne 0 0 0;
+          Asm.alui b H.Sne 1 1 0;
+          Asm.alu b H.And 0 0 1;
+          Asm.push_op b 0
+      | Isa.Or ->
+          Asm.pop_op b 1;
+          Asm.pop_op b 0;
+          Asm.alu b H.Or 0 0 1;
+          Asm.alui b H.Sne 0 0 0;
+          Asm.push_op b 0
+      | Isa.Not ->
+          Asm.pop_op b 0;
+          Asm.alui b H.Seq 0 0 0;
+          Asm.push_op b 0
+      | Isa.Jump -> Asm.jmp b labels.(a)
+      | Isa.Jz ->
+          Asm.pop_op b 0;
+          Asm.jz b 0 labels.(a)
+      | Isa.Cjeq | Isa.Cjne | Isa.Cjlt | Isa.Cjle | Isa.Cjgt | Isa.Cjge ->
+          let cmp =
+            match op with
+            | Isa.Cjeq -> H.Seq
+            | Isa.Cjne -> H.Sne
+            | Isa.Cjlt -> H.Slt
+            | Isa.Cjle -> H.Sle
+            | Isa.Cjgt -> H.Sgt
+            | _ -> H.Sge
+          in
+          Asm.pop_op b 1;
+          Asm.pop_op b 0;
+          Asm.alu b cmp 0 0 1;
+          Asm.jz b 0 labels.(a)
+      | Isa.Call ->
+          (* ret := host address of the continuation *)
+          let continuation = Asm.new_label b in
+          walk fb;
+          Asm.mv b 3 R.dtop;
+          Asm.store b 2 3 0;
+          Asm.store b R.fp 3 1;
+          Asm.li_lbl b 1 continuation;
+          Asm.store b 1 3 2;
+          Asm.store b R.ctx 3 3;
+          Asm.mv b R.fp 3;
+          Asm.alui b H.Add R.dtop 3 frame_header;
+          Asm.jmp b labels.(a);
+          Asm.place b continuation
+      | Isa.Enter ->
+          Asm.li b R.ctx c;
+          (* pop the args into their slots, last argument on top *)
+          for k = a - 1 downto 0 do
+            Asm.pop_op b 0;
+            Asm.store b 0 R.fp (frame_header + k)
+          done;
+          (* zero the locals *)
+          (if fb > 0 then begin
+             Asm.li b 3 fb;
+             Asm.li b 4 0;
+             Asm.alui b H.Add 5 R.fp (frame_header + a);
+             let loop = Asm.new_label b and done_ = Asm.new_label b in
+             Asm.place b loop;
+             Asm.jz b 3 done_;
+             Asm.store b 4 5 0;
+             Asm.alui b H.Add 5 5 1;
+             Asm.alui b H.Sub 3 3 1;
+             Asm.jmp b loop;
+             Asm.place b done_
+           end);
+          Asm.alui b H.Add R.dtop R.fp (frame_header + a + fb)
+      | Isa.Ret ->
+          Asm.load b 0 R.fp 2;
+          Asm.load b 1 R.fp 3;
+          Asm.mv b R.ctx 1;
+          Asm.load b 2 R.fp 1;
+          Asm.mv b R.dtop R.fp;
+          Asm.mv b R.fp 2;
+          Asm.jmp_r b 0
+      | Isa.Print ->
+          Asm.pop_op b 0;
+          Asm.out b 0
+      | Isa.Printc ->
+          Asm.pop_op b 0;
+          Asm.out_c b 0
+      | Isa.Halt -> Asm.halt b
+      | Isa.Litadd ->
+          Asm.pop_op b 0;
+          Asm.alui b H.Add 0 0 a;
+          Asm.push_op b 0
+      | Isa.Litsub ->
+          Asm.pop_op b 0;
+          Asm.alui b H.Sub 0 0 a;
+          Asm.push_op b 0
+      | Isa.Litmul ->
+          Asm.pop_op b 0;
+          Asm.alui b H.Mul 0 0 a;
+          Asm.push_op b 0
+      | Isa.Loadadd | Isa.Loadsub | Isa.Loadmul ->
+          let alu_op =
+            match op with
+            | Isa.Loadadd -> H.Add
+            | Isa.Loadsub -> H.Sub
+            | _ -> H.Mul
+          in
+          var_addr a fb;
+          Asm.load b 1 2 (frame_header + fb);
+          Asm.pop_op b 0;
+          Asm.alu b alu_op 0 0 1;
+          Asm.push_op b 0
+      | Isa.Incvar | Isa.Decvar ->
+          let delta = match op with Isa.Incvar -> 1 | _ -> -1 in
+          var_addr a fb;
+          Asm.load b 0 2 (frame_header + fb);
+          Asm.alui b H.Add 0 0 delta;
+          Asm.store b 0 2 (frame_header + fb))
+    code;
+  (* guard against running off the end (validation forbids it, but a DER
+     image should be self-contained) *)
+  Asm.break b "fell off the end of the DER code";
+  let program = Asm.finish b in
+  {
+    program;
+    entry = Asm.resolve b labels.(p.Program.entry);
+    code_instructions = Array.length program.Asm.code;
+  }

@@ -1,0 +1,14 @@
+(** DER expansion: a DIR program compiled directly into host machine code
+    ("the expanded machine language representation", paper §2.3/§3.1) —
+    every instruction is the inlined body of its semantic routine with the
+    operand fields as immediates.  Maximum speed, maximum size; the strategy
+    wiring can impose a level-2 fetch penalty to model the image exceeding
+    the fast store. *)
+
+type t = {
+  program : Uhm_machine.Asm.program;
+  entry : int;              (** host address of the DIR entry instruction *)
+  code_instructions : int;  (** size of the expansion, host instructions *)
+}
+
+val build : Uhm_dir.Program.t -> t

@@ -1,0 +1,132 @@
+(* Interpreter generation (the conventional UHM, paper §7 cases 1 and 3).
+
+   The generated program is:  decode routine + semantic routines + one
+   dispatch arm per opcode + the fetch-decode-dispatch loop.  Every cycle in
+   the loop and the arms is tagged [Asm.Decode] (the paper's d includes
+   "fetch each instruction, isolate the opcode field, ... and activate [the
+   procedures] in the correct order"); cycles inside semantic routines are
+   tagged [Asm.Semantic] (the paper's x). *)
+
+module Asm = Uhm_machine.Asm
+module H = Uhm_machine.Host_isa
+module R = Uhm_machine.Host_isa.Regs
+module Isa = Uhm_dir.Isa
+module Stats = Uhm_dir.Static_stats
+module Codec = Uhm_encoding.Codec
+module Kind = Uhm_encoding.Kind
+
+type t = {
+  program : Asm.program;
+  entry : int;              (* address of the interpreter loop *)
+  table_image : int array;  (* to be poked at the table region base *)
+}
+
+let enum = Isa.opcode_to_enum
+
+let build ~compound ~assist ~layout ~(encoded : Codec.encoded) =
+  let b = Asm.create () in
+  let tables =
+    Table_image.create ~base:layout.Layout.table_base
+      ~capacity:layout.Layout.table_size
+  in
+  let decode =
+    if assist then Decode_gen.build_assist b
+    else Decode_gen.build b ~tables ~encoded
+  in
+  let rt = Runtime.build ~compound b ~layout in
+  (* digram decoding needs the dctx register maintained; other kinds skip
+     the bookkeeping *)
+  let track_dctx =
+    match encoded.Codec.kind with Kind.Digram -> true | _ -> false
+  in
+  let dispatch_table_addr = Table_image.reserve tables Isa.opcode_count in
+  let loop = Asm.new_label b in
+  (* ---- dispatch arms ---- *)
+  let set_dctx v = if track_dctx then Asm.li b R.dctx v in
+  let arm op body =
+    let addr =
+      Asm.routine b Asm.Decode (fun () ->
+          body ();
+          Asm.jmp b loop)
+    in
+    Table_image.patch tables ~addr:dispatch_table_addr ~index:(enum op) addr
+  in
+  let plain_call op =
+    arm op (fun () ->
+        (match Isa.shape op with
+        | Isa.Shape_none -> ()
+        | Isa.Shape_imm -> Asm.push_op b 9
+        | Isa.Shape_var ->
+            Asm.push_op b 9;
+            Asm.push_op b 10
+        | Isa.Shape_enter ->
+            Asm.push_op b 9;
+            Asm.push_op b 10;
+            Asm.push_op b 11
+        | Isa.Shape_target | Isa.Shape_call ->
+            invalid_arg "plain_call: control opcode");
+        Asm.call_addr b rt.Runtime.sem.(enum op);
+        set_dctx (enum op))
+  in
+  Array.iter
+    (fun op ->
+      match op with
+      (* opcodes with special arms below *)
+      | Isa.Lit | Isa.Jump | Isa.Jz | Isa.Call | Isa.Ret | Isa.Halt
+      | Isa.Cjeq | Isa.Cjne | Isa.Cjlt | Isa.Cjle | Isa.Cjgt | Isa.Cjge -> ()
+      | _ -> plain_call op)
+    Isa.all_opcodes;
+  arm Isa.Lit (fun () ->
+      Asm.push_op b 9;
+      set_dctx (enum Isa.Lit));
+  arm Isa.Jump (fun () ->
+      Asm.mv b R.dpc 9;
+      set_dctx Stats.start_context);
+  arm Isa.Jz (fun () ->
+      let taken = Asm.new_label b and join = Asm.new_label b in
+      Asm.pop_op b 0;
+      Asm.jz b 0 taken;
+      set_dctx (enum Isa.Jz);
+      Asm.jmp b join;
+      Asm.place b taken;
+      Asm.mv b R.dpc 9;
+      set_dctx Stats.start_context;
+      Asm.place b join);
+  List.iter
+    (fun (op, cmp) ->
+      arm op (fun () ->
+          let stay = Asm.new_label b and join = Asm.new_label b in
+          Asm.pop_op b 1;
+          Asm.pop_op b 0;
+          Asm.alu b cmp 0 0 1;
+          Asm.jnz b 0 stay;
+          Asm.mv b R.dpc 9;
+          set_dctx Stats.start_context;
+          Asm.jmp b join;
+          Asm.place b stay;
+          set_dctx (enum op);
+          Asm.place b join))
+    [ (Isa.Cjeq, H.Seq); (Isa.Cjne, H.Sne); (Isa.Cjlt, H.Slt);
+      (Isa.Cjle, H.Sle); (Isa.Cjgt, H.Sgt); (Isa.Cjge, H.Sge) ];
+  arm Isa.Call (fun () ->
+      (* dpc already points past the call: it is the return address *)
+      Asm.push_op b 10;
+      Asm.push_op b R.dpc;
+      Asm.call_addr b rt.Runtime.rt_call;
+      Asm.mv b R.dpc 9;
+      set_dctx Stats.start_context);
+  arm Isa.Ret (fun () ->
+      Asm.call_addr b rt.Runtime.rt_ret_core;
+      Asm.mv b R.dpc 0;
+      set_dctx Stats.start_context);
+  arm Isa.Halt (fun () -> Asm.halt b);
+  (* ---- the loop ---- *)
+  let entry =
+    Asm.routine b Asm.Decode (fun () ->
+        Asm.place b loop;
+        Asm.call_addr b decode;
+        Asm.alui b H.Add 12 8 dispatch_table_addr;
+        Asm.load b 12 12 0;
+        Asm.jmp_r b 12)
+  in
+  { program = Asm.finish b; entry; table_image = Table_image.image tables }

@@ -1,0 +1,24 @@
+(** Interpreter generation — the conventional UHM (paper §7 cases 1 and 3).
+
+    The generated long-format program contains the decode routine for the
+    given encoding, the full semantic-routine library, one dispatch arm per
+    opcode and the fetch-decode-dispatch loop.  Loop and arm cycles are
+    tagged {!Uhm_machine.Asm.Decode} (the paper's d: "fetch each
+    instruction, isolate the opcode field, ... and activate [the
+    procedures] in the correct order"); semantic-routine cycles are tagged
+    {!Uhm_machine.Asm.Semantic} (the paper's x). *)
+
+module Asm := Uhm_machine.Asm
+
+type t = {
+  program : Asm.program;
+  entry : int;              (** address of the interpreter loop *)
+  table_image : int array;  (** poke at [layout.table_base] before running *)
+}
+
+val build : compound:bool -> assist:bool -> layout:Layout.t
+  -> encoded:Uhm_encoding.Codec.encoded -> t
+(** [assist] replaces the software decode routine with the hardware
+    decode-assist unit (a single DecodeAssist instruction; the machine's
+    decode-assist hook must then be wired).  [compound] enables the
+    restructurable-datapath compound ALU in the semantic routines. *)

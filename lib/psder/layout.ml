@@ -1,0 +1,67 @@
+(* Memory map of the simulated universal host machine.
+
+   Level-1 memory (access time t1) holds everything the paper wants close to
+   the processor: the operand and return stacks, the DIR data area (frames),
+   the decoder tables, and the DTB's buffer array.  The static PSDER image
+   (used by the psder-static strategy) is level-2 resident, as is the DIR
+   bit stream itself (handled by the IFU, not by this map). *)
+
+type t = {
+  op_stack_base : int;
+  op_stack_size : int;
+  ret_stack_base : int;
+  ret_stack_size : int;
+  data_base : int;
+  data_size : int;
+  table_base : int;
+  table_size : int;
+  dtb_buffer_base : int;
+  dtb_buffer_size : int;
+  psder_static_base : int;
+  psder_static_size : int;
+  mem_words : int;
+}
+
+let default =
+  let op_stack_base = 0 and op_stack_size = 4 * 1024 in
+  let ret_stack_base = op_stack_base + op_stack_size in
+  let ret_stack_size = 4 * 1024 in
+  let data_base = ret_stack_base + ret_stack_size in
+  let data_size = 512 * 1024 in
+  let table_base = data_base + data_size in
+  let table_size = 64 * 1024 in
+  let dtb_buffer_base = table_base + table_size in
+  let dtb_buffer_size = 64 * 1024 in
+  let psder_static_base = dtb_buffer_base + dtb_buffer_size in
+  let psder_static_size = 512 * 1024 in
+  {
+    op_stack_base;
+    op_stack_size;
+    ret_stack_base;
+    ret_stack_size;
+    data_base;
+    data_size;
+    table_base;
+    table_size;
+    dtb_buffer_base;
+    dtb_buffer_size;
+    psder_static_base;
+    psder_static_size;
+    mem_words = psder_static_base + psder_static_size;
+  }
+
+let regions (tm : Uhm_machine.Timing.t) t =
+  let t1 = tm.Uhm_machine.Timing.t1 and t2 = tm.Uhm_machine.Timing.t2 in
+  let open Uhm_machine.Machine in
+  [
+    { rname = "op-stack"; base = t.op_stack_base; size = t.op_stack_size;
+      cost = t1 };
+    { rname = "ret-stack"; base = t.ret_stack_base; size = t.ret_stack_size;
+      cost = t1 };
+    { rname = "data"; base = t.data_base; size = t.data_size; cost = t1 };
+    { rname = "tables"; base = t.table_base; size = t.table_size; cost = t1 };
+    { rname = "dtb-buffer"; base = t.dtb_buffer_base; size = t.dtb_buffer_size;
+      cost = t1 };
+    { rname = "psder-static"; base = t.psder_static_base;
+      size = t.psder_static_size; cost = t2 };
+  ]

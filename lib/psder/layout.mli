@@ -1,0 +1,28 @@
+(** Memory map of the simulated universal host machine.
+
+    Level-1 memory (access time t1) holds what the paper wants close to the
+    processor: the operand and return stacks, the DIR data area (frames),
+    the decoder tables, and the DTB's buffer array.  The static PSDER image
+    is level-2 resident; the DIR bit stream itself is handled by the IFU,
+    not by this map. *)
+
+type t = {
+  op_stack_base : int;
+  op_stack_size : int;
+  ret_stack_base : int;
+  ret_stack_size : int;
+  data_base : int;
+  data_size : int;
+  table_base : int;
+  table_size : int;
+  dtb_buffer_base : int;
+  dtb_buffer_size : int;
+  psder_static_base : int;
+  psder_static_size : int;
+  mem_words : int;
+}
+
+val default : t
+
+val regions : Uhm_machine.Timing.t -> t -> Uhm_machine.Machine.region list
+(** Region list (with access costs) for {!Uhm_machine.Machine.create}. *)

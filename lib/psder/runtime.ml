@@ -1,0 +1,370 @@
+module Asm = Uhm_machine.Asm
+module H = Uhm_machine.Host_isa
+module R = Uhm_machine.Host_isa.Regs
+module Isa = Uhm_dir.Isa
+module Stats = Uhm_dir.Static_stats
+
+type t = {
+  sem : int array;
+  rt_call : int;
+  rt_ret_core : int;
+  rt_ret_dtb : int;
+  rt_ret_psder : int;
+  rt_halt : int;
+  cond_dtb : int array;
+  cond_psder : int array;
+}
+
+let frame_header = Isa.frame_header_size
+
+(* r2 := frame base after walking the static-link chain [r_hops] times.
+   Clobbers r_hops. *)
+let walk_links b ~hops ~result =
+  let loop = Asm.new_label b and done_ = Asm.new_label b in
+  Asm.mv b result R.fp;
+  Asm.place b loop;
+  Asm.jz b hops done_;
+  Asm.load b result result 0;
+  Asm.alui b H.Sub hops hops 1;
+  Asm.jmp b loop;
+  Asm.place b done_
+
+(* r3 := address of variable (hops in r0, offset in r1); clobbers r0, r2.
+   With the restructurable datapath, base + offset + header is a single
+   register-to-register transaction. *)
+let var_addr ?(compound = false) b =
+  walk_links b ~hops:0 ~result:2;
+  if compound then Asm.alu2i b H.Add H.Add 3 2 1 frame_header
+  else begin
+    Asm.alu b H.Add 3 2 1;
+    Asm.alui b H.Add 3 3 frame_header
+  end
+
+let enum = Isa.opcode_to_enum
+
+let build ?(compound = false) b ~layout:_ =
+  let var_addr b = var_addr ~compound b in
+  let sem = Array.make Isa.opcode_count (-1) in
+  let cond_dtb = Array.make Isa.opcode_count (-1) in
+  let cond_psder = Array.make Isa.opcode_count (-1) in
+  let routine body = Asm.routine b Asm.Semantic body in
+
+  (* -- data movement ------------------------------------------------------ *)
+  sem.(enum Isa.Load) <-
+    routine (fun () ->
+        Asm.pop_op b 1;              (* offset *)
+        Asm.pop_op b 0;              (* hops *)
+        var_addr b;
+        Asm.load b 4 3 0;
+        Asm.push_op b 4;
+        Asm.ret b);
+  sem.(enum Isa.Store) <-
+    routine (fun () ->
+        Asm.pop_op b 1;
+        Asm.pop_op b 0;
+        var_addr b;
+        Asm.pop_op b 4;              (* value *)
+        Asm.store b 4 3 0;
+        Asm.ret b);
+  sem.(enum Isa.Addr) <-
+    routine (fun () ->
+        Asm.pop_op b 1;
+        Asm.pop_op b 0;
+        var_addr b;
+        Asm.push_op b 3;
+        Asm.ret b);
+  sem.(enum Isa.Loadi) <-
+    routine (fun () ->
+        Asm.pop_op b 0;
+        Asm.load b 1 0 0;
+        Asm.push_op b 1;
+        Asm.ret b);
+  sem.(enum Isa.Storei) <-
+    routine (fun () ->
+        Asm.pop_op b 1;              (* value *)
+        Asm.pop_op b 0;              (* address *)
+        Asm.store b 1 0 0;
+        Asm.ret b);
+  sem.(enum Isa.Index) <-
+    routine (fun () ->
+        Asm.pop_op b 1;
+        Asm.pop_op b 0;
+        Asm.alu b H.Add 0 0 1;
+        Asm.push_op b 0;
+        Asm.ret b);
+  sem.(enum Isa.Dup) <-
+    routine (fun () ->
+        Asm.pop_op b 0;
+        Asm.push_op b 0;
+        Asm.push_op b 0;
+        Asm.ret b);
+  sem.(enum Isa.Drop) <-
+    routine (fun () ->
+        Asm.pop_op b 0;
+        Asm.ret b);
+  sem.(enum Isa.Swap) <-
+    routine (fun () ->
+        Asm.pop_op b 0;
+        Asm.pop_op b 1;
+        Asm.push_op b 0;
+        Asm.push_op b 1;
+        Asm.ret b);
+
+  (* -- arithmetic and comparisons ----------------------------------------- *)
+  let binop alu_op =
+    routine (fun () ->
+        Asm.pop_op b 1;
+        Asm.pop_op b 0;
+        Asm.alu b alu_op 0 0 1;
+        Asm.push_op b 0;
+        Asm.ret b)
+  in
+  sem.(enum Isa.Add) <- binop H.Add;
+  sem.(enum Isa.Sub) <- binop H.Sub;
+  sem.(enum Isa.Mul) <- binop H.Mul;
+  sem.(enum Isa.Div) <- binop H.Div;
+  sem.(enum Isa.Mod) <- binop H.Mod;
+  sem.(enum Isa.Eq) <- binop H.Seq;
+  sem.(enum Isa.Ne) <- binop H.Sne;
+  sem.(enum Isa.Lt) <- binop H.Slt;
+  sem.(enum Isa.Le) <- binop H.Sle;
+  sem.(enum Isa.Gt) <- binop H.Sgt;
+  sem.(enum Isa.Ge) <- binop H.Sge;
+  sem.(enum Isa.Neg) <-
+    routine (fun () ->
+        Asm.pop_op b 0;
+        Asm.li b 1 0;
+        Asm.alu b H.Sub 0 1 0;
+        Asm.push_op b 0;
+        Asm.ret b);
+  sem.(enum Isa.And) <-
+    routine (fun () ->
+        Asm.pop_op b 1;
+        Asm.pop_op b 0;
+        Asm.alui b H.Sne 0 0 0;
+        Asm.alui b H.Sne 1 1 0;
+        Asm.alu b H.And 0 0 1;
+        Asm.push_op b 0;
+        Asm.ret b);
+  sem.(enum Isa.Or) <-
+    routine (fun () ->
+        Asm.pop_op b 1;
+        Asm.pop_op b 0;
+        Asm.alu b H.Or 0 0 1;
+        Asm.alui b H.Sne 0 0 0;
+        Asm.push_op b 0;
+        Asm.ret b);
+  sem.(enum Isa.Not) <-
+    routine (fun () ->
+        Asm.pop_op b 0;
+        Asm.alui b H.Seq 0 0 0;
+        Asm.push_op b 0;
+        Asm.ret b);
+
+  (* -- superoperators ------------------------------------------------------ *)
+  let lit_arith alu_op =
+    routine (fun () ->
+        Asm.pop_op b 1;              (* immediate field *)
+        Asm.pop_op b 0;
+        Asm.alu b alu_op 0 0 1;
+        Asm.push_op b 0;
+        Asm.ret b)
+  in
+  sem.(enum Isa.Litadd) <- lit_arith H.Add;
+  sem.(enum Isa.Litsub) <- lit_arith H.Sub;
+  sem.(enum Isa.Litmul) <- lit_arith H.Mul;
+  let load_arith alu_op =
+    routine (fun () ->
+        Asm.pop_op b 1;
+        Asm.pop_op b 0;
+        var_addr b;
+        Asm.load b 4 3 0;
+        Asm.pop_op b 5;
+        Asm.alu b alu_op 5 5 4;
+        Asm.push_op b 5;
+        Asm.ret b)
+  in
+  sem.(enum Isa.Loadadd) <- load_arith H.Add;
+  sem.(enum Isa.Loadsub) <- load_arith H.Sub;
+  sem.(enum Isa.Loadmul) <- load_arith H.Mul;
+  let bump delta =
+    routine (fun () ->
+        Asm.pop_op b 1;
+        Asm.pop_op b 0;
+        var_addr b;
+        Asm.load b 4 3 0;
+        Asm.alui b H.Add 4 4 delta;
+        Asm.store b 4 3 0;
+        Asm.ret b)
+  in
+  sem.(enum Isa.Incvar) <- bump 1;
+  sem.(enum Isa.Decvar) <- bump (-1);
+
+  (* -- output -------------------------------------------------------------- *)
+  sem.(enum Isa.Print) <-
+    routine (fun () ->
+        Asm.pop_op b 0;
+        Asm.out b 0;
+        Asm.ret b);
+  sem.(enum Isa.Printc) <-
+    routine (fun () ->
+        Asm.pop_op b 0;
+        Asm.out_c b 0;
+        Asm.ret b);
+
+  (* -- frames --------------------------------------------------------------- *)
+  let rt_call =
+    routine (fun () ->
+        Asm.pop_op b 1;              (* return address *)
+        Asm.pop_op b 0;              (* static hops *)
+        walk_links b ~hops:0 ~result:2;
+        Asm.mv b 3 R.dtop;
+        Asm.store b 2 3 0;           (* static link *)
+        Asm.store b R.fp 3 1;        (* dynamic link *)
+        Asm.store b 1 3 2;           (* return address *)
+        Asm.store b R.ctx 3 3;       (* caller contour *)
+        Asm.mv b R.fp 3;
+        Asm.alui b H.Add R.dtop 3 frame_header;
+        Asm.ret b)
+  in
+  sem.(enum Isa.Enter) <-
+    routine (fun () ->
+        Asm.pop_op b 2;              (* contour id *)
+        Asm.pop_op b 1;              (* locals *)
+        Asm.pop_op b 0;              (* args *)
+        Asm.mv b R.ctx 2;
+        (* args arrive last-on-top: pop into offsets nargs-1 .. 0 *)
+        Asm.mv b 3 0;
+        (let loop = Asm.new_label b and done_ = Asm.new_label b in
+         Asm.place b loop;
+         Asm.jz b 3 done_;
+         Asm.alui b H.Sub 3 3 1;
+         Asm.pop_op b 4;
+         Asm.alu b H.Add 5 R.fp 3;
+         Asm.store b 4 5 frame_header;
+         Asm.jmp b loop;
+         Asm.place b done_);
+        (* zero the locals *)
+        Asm.alu b H.Add 5 R.fp 0;
+        Asm.alui b H.Add 5 5 frame_header;  (* first local address *)
+        Asm.mv b 3 1;
+        Asm.li b 4 0;
+        (let loop = Asm.new_label b and done_ = Asm.new_label b in
+         Asm.place b loop;
+         Asm.jz b 3 done_;
+         Asm.store b 4 5 0;
+         Asm.alui b H.Add 5 5 1;
+         Asm.alui b H.Sub 3 3 1;
+         Asm.jmp b loop;
+         Asm.place b done_);
+        Asm.alu b H.Add R.dtop 0 1;
+        Asm.alu b H.Add R.dtop R.dtop R.fp;
+        Asm.alui b H.Add R.dtop R.dtop frame_header;
+        Asm.ret b);
+  let rt_ret_core =
+    routine (fun () ->
+        Asm.load b 0 R.fp 2;         (* return address *)
+        Asm.load b 1 R.fp 3;
+        Asm.mv b R.ctx 1;            (* restore caller contour *)
+        Asm.load b 2 R.fp 1;         (* dynamic link *)
+        Asm.mv b R.dtop R.fp;
+        Asm.mv b R.fp 2;
+        Asm.ret b)
+  in
+  let rt_ret_dtb =
+    routine (fun () ->
+        Asm.call_addr b rt_ret_core;
+        Asm.li b 1 Stats.start_context;
+        Asm.push_op b 1;
+        Asm.push_op b 0;
+        Asm.ret b)
+  in
+  let rt_ret_psder =
+    routine (fun () ->
+        Asm.call_addr b rt_ret_core;
+        Asm.push_op b 0;
+        Asm.ret b)
+  in
+  let rt_halt = routine (fun () -> Asm.halt b) in
+
+  (* -- conditional transfers ------------------------------------------------ *)
+  (* DTB flavour: pops target, fall-through address and the governing
+     operand(s); pushes (context, successor DIR address) for INTERP-stack. *)
+  let finish_choice ~ctx_value target_reg =
+    Asm.li b 5 ctx_value;
+    Asm.push_op b 5;
+    Asm.push_op b target_reg;
+    Asm.ret b
+  in
+  let jz_dtb =
+    routine (fun () ->
+        let taken = Asm.new_label b in
+        Asm.pop_op b 1;              (* target *)
+        Asm.pop_op b 2;              (* fall-through *)
+        Asm.pop_op b 0;              (* condition *)
+        Asm.jz b 0 taken;
+        finish_choice ~ctx_value:(enum Isa.Jz) 2;
+        Asm.place b taken;
+        finish_choice ~ctx_value:Stats.start_context 1)
+  in
+  cond_dtb.(enum Isa.Jz) <- jz_dtb;
+  let cj_dtb op alu_cmp =
+    routine (fun () ->
+        let stay = Asm.new_label b in
+        Asm.pop_op b 1;              (* target *)
+        Asm.pop_op b 2;              (* fall-through *)
+        Asm.pop_op b 4;              (* y *)
+        Asm.pop_op b 3;              (* x *)
+        Asm.alu b alu_cmp 3 3 4;
+        Asm.jnz b 3 stay;
+        finish_choice ~ctx_value:Stats.start_context 1;
+        Asm.place b stay;
+        finish_choice ~ctx_value:(enum op) 2)
+  in
+  cond_dtb.(enum Isa.Cjeq) <- cj_dtb Isa.Cjeq H.Seq;
+  cond_dtb.(enum Isa.Cjne) <- cj_dtb Isa.Cjne H.Sne;
+  cond_dtb.(enum Isa.Cjlt) <- cj_dtb Isa.Cjlt H.Slt;
+  cond_dtb.(enum Isa.Cjle) <- cj_dtb Isa.Cjle H.Sle;
+  cond_dtb.(enum Isa.Cjgt) <- cj_dtb Isa.Cjgt H.Sgt;
+  cond_dtb.(enum Isa.Cjge) <- cj_dtb Isa.Cjge H.Sge;
+
+  (* psder-static flavour: same, but pushes a single translated address for
+     GOTO-stack. *)
+  let jz_psder =
+    routine (fun () ->
+        let taken = Asm.new_label b in
+        Asm.pop_op b 1;
+        Asm.pop_op b 2;
+        Asm.pop_op b 0;
+        Asm.jz b 0 taken;
+        Asm.push_op b 2;
+        Asm.ret b;
+        Asm.place b taken;
+        Asm.push_op b 1;
+        Asm.ret b)
+  in
+  cond_psder.(enum Isa.Jz) <- jz_psder;
+  let cj_psder alu_cmp =
+    routine (fun () ->
+        let stay = Asm.new_label b in
+        Asm.pop_op b 1;
+        Asm.pop_op b 2;
+        Asm.pop_op b 4;
+        Asm.pop_op b 3;
+        Asm.alu b alu_cmp 3 3 4;
+        Asm.jnz b 3 stay;
+        Asm.push_op b 1;
+        Asm.ret b;
+        Asm.place b stay;
+        Asm.push_op b 2;
+        Asm.ret b)
+  in
+  cond_psder.(enum Isa.Cjeq) <- cj_psder H.Seq;
+  cond_psder.(enum Isa.Cjne) <- cj_psder H.Sne;
+  cond_psder.(enum Isa.Cjlt) <- cj_psder H.Slt;
+  cond_psder.(enum Isa.Cjle) <- cj_psder H.Sle;
+  cond_psder.(enum Isa.Cjgt) <- cj_psder H.Sgt;
+  cond_psder.(enum Isa.Cjge) <- cj_psder H.Sge;
+
+  { sem; rt_call; rt_ret_core; rt_ret_dtb; rt_ret_psder; rt_halt; cond_dtb;
+    cond_psder }

@@ -1,0 +1,39 @@
+(** The semantic-routine library: every DIR opcode's semantics as a
+    long-format host routine (paper §3.1's "semantic procedures", the cost
+    component x of §7).
+
+    Calling convention: expression operands are on the operand stack in
+    evaluation order; the decoded instruction fields are pushed {e on top}
+    (level then offset, immediate, or args/locals/contour) by the caller —
+    the interpreter's dispatch arm, or PUSH short words in a PSDER
+    translation.  Routines use registers r0-r7 only, so the decoder's
+    outputs in r8-r11 survive across a call.
+
+    The conditional-branch and return routines come in two flavours:
+    [_dtb] variants leave (decode-context, successor DIR address) on the
+    stack for INTERP-stack, and [_psder] variants leave a single translated
+    buffer address for GOTO-stack (the psder-static strategy needs no
+    decode context because nothing is decoded at run time). *)
+
+module Asm := Uhm_machine.Asm
+
+type t = {
+  sem : int array;
+  (** semantic routine address per opcode enum; -1 for opcodes without a
+      plain routine ([Lit], [Jump], [Jz], [Call], [Ret], [Halt], [Cj...]) *)
+  rt_call : int;        (** builds a frame: pops return address, then hops *)
+  rt_ret_core : int;    (** tears down a frame; return address left in r0 *)
+  rt_ret_dtb : int;
+  rt_ret_psder : int;
+  rt_halt : int;
+  cond_dtb : int array;   (** per opcode enum: Jz and Cj* DTB variants *)
+  cond_psder : int array; (** per opcode enum: Jz and Cj* psder variants *)
+}
+
+val frame_header : int
+
+val build : ?compound:bool -> Asm.t -> layout:Layout.t -> t
+(** Emit all routines into the assembler (category [Semantic]) and return
+    their addresses.  [compound] (default false) uses the one-transaction
+    compound ALU of paper §6.1's restructurable datapath in the
+    address-calculation paths.  [Asm.t] is [Uhm_machine.Asm.t]. *)

@@ -1,0 +1,102 @@
+(* Static PSDER image: the whole program pre-translated to short-format
+   words, resident in level-2 memory.  This is the "PSDER as the static
+   representation" point of the Figure-1 space: no decoding at run time,
+   but a representation roughly three times the size of the packed DIR.
+
+   Control transfers use translated buffer addresses directly (GOTO /
+   GOTO-stack), so no DTB and no decode contexts are involved. *)
+
+module SF = Uhm_machine.Short_format
+module Isa = Uhm_dir.Isa
+module Program = Uhm_dir.Program
+
+type t = {
+  words : int array;      (* to be poked at the psder-static region base *)
+  addr_of_instr : int array; (* absolute memory address per DIR instruction *)
+  entry_addr : int;
+}
+
+let word_count (rt : Runtime.t) { Isa.op; _ } =
+  ignore rt;
+  match op with
+  | Isa.Lit -> 1
+  | Isa.Jump -> 1
+  | Isa.Halt -> 1
+  | Isa.Ret -> 2
+  | Isa.Jz | Isa.Cjeq | Isa.Cjne | Isa.Cjlt | Isa.Cjle | Isa.Cjgt | Isa.Cjge ->
+      4
+  | Isa.Call -> 4
+  | Isa.Enter -> 4
+  | _ -> (
+      match Isa.shape op with
+      | Isa.Shape_none -> 1
+      | Isa.Shape_imm -> 2
+      | Isa.Shape_var -> 3
+      | Isa.Shape_target | Isa.Shape_call | Isa.Shape_enter -> assert false)
+
+let build ~(layout : Layout.t) ~(rt : Runtime.t) (p : Program.t) =
+  let base = layout.Layout.psder_static_base in
+  let code = p.Program.code in
+  let n = Array.length code in
+  let addr_of_instr = Array.make n 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun i instr ->
+      addr_of_instr.(i) <- base + !total;
+      total := !total + word_count rt instr)
+    code;
+  if !total > layout.Layout.psder_static_size then
+    failwith "Static_gen.build: psder-static region exhausted";
+  let words = Array.make !total 0 in
+  let cursor = ref 0 in
+  let emit w =
+    words.(!cursor) <- w;
+    incr cursor
+  in
+  let sem op = rt.Runtime.sem.(Isa.opcode_to_enum op) in
+  Array.iteri
+    (fun i ({ Isa.op; a; b = fb; c } as instr) ->
+      assert (base + !cursor = addr_of_instr.(i));
+      let fall () = addr_of_instr.(i + 1) in
+      match op with
+      | Isa.Lit -> emit (SF.pack SF.Push_imm a)
+      | Isa.Jump -> emit (SF.pack SF.Goto addr_of_instr.(a))
+      | Isa.Halt -> emit (SF.pack SF.Call_long rt.Runtime.rt_halt)
+      | Isa.Ret ->
+          emit (SF.pack SF.Call_long rt.Runtime.rt_ret_psder);
+          emit (SF.pack SF.Goto_stk 0)
+      | Isa.Jz | Isa.Cjeq | Isa.Cjne | Isa.Cjlt | Isa.Cjle | Isa.Cjgt
+      | Isa.Cjge ->
+          emit (SF.pack SF.Push_imm (fall ()));
+          emit (SF.pack SF.Push_imm addr_of_instr.(a));
+          emit
+            (SF.pack SF.Call_long
+               rt.Runtime.cond_psder.(Isa.opcode_to_enum op));
+          emit (SF.pack SF.Goto_stk 0)
+      | Isa.Call ->
+          emit (SF.pack SF.Push_imm fb);          (* static hops *)
+          emit (SF.pack SF.Push_imm (fall ()));   (* return address *)
+          emit (SF.pack SF.Call_long rt.Runtime.rt_call);
+          emit (SF.pack SF.Goto addr_of_instr.(a))
+      | Isa.Enter ->
+          emit (SF.pack SF.Push_imm a);
+          emit (SF.pack SF.Push_imm fb);
+          emit (SF.pack SF.Push_imm c);
+          emit (SF.pack SF.Call_long (sem op))
+      | _ -> (
+          match Isa.shape op with
+          | Isa.Shape_none -> emit (SF.pack SF.Call_long (sem op))
+          | Isa.Shape_imm ->
+              emit (SF.pack SF.Push_imm a);
+              emit (SF.pack SF.Call_long (sem op))
+          | Isa.Shape_var ->
+              emit (SF.pack SF.Push_imm a);
+              emit (SF.pack SF.Push_imm fb);
+              emit (SF.pack SF.Call_long (sem op))
+          | Isa.Shape_target | Isa.Shape_call | Isa.Shape_enter ->
+              assert false);
+          ignore instr)
+    code;
+  { words; addr_of_instr; entry_addr = addr_of_instr.(p.Program.entry) }
+
+let size_bits t = Array.length t.words * SF.bits_per_word

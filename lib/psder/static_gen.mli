@@ -1,0 +1,19 @@
+(** Static PSDER image: the whole program pre-translated to short-format
+    words, resident in level-2 memory — the "PSDER as the static
+    representation" point of the paper's Figure-1 space.  Control transfers
+    use translated buffer addresses directly (GOTO / GOTO-stack); nothing is
+    decoded at run time. *)
+
+type t = {
+  words : int array;         (** poke at [layout.psder_static_base] *)
+  addr_of_instr : int array; (** absolute memory address per DIR instruction *)
+  entry_addr : int;
+}
+
+val word_count : Runtime.t -> Uhm_dir.Isa.instr -> int
+(** Words in one instruction's static translation. *)
+
+val build : layout:Layout.t -> rt:Runtime.t -> Uhm_dir.Program.t -> t
+(** Raises [Failure] if the image exceeds the psder-static region. *)
+
+val size_bits : t -> int

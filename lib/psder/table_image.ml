@@ -1,0 +1,45 @@
+(* Allocator for the level-1 decode-table region: dispatch tables, contour
+   width tables, Huffman decode trees.  The accumulated image is poked into
+   simulated memory by the strategy wiring in [uhm_core]. *)
+
+type t = {
+  base : int;
+  capacity : int;
+  mutable words : int array;
+  mutable len : int;
+}
+
+let create ~base ~capacity =
+  { base; capacity; words = Array.make 256 0; len = 0 }
+
+let ensure t n =
+  if t.len + n > Array.length t.words then begin
+    let size = ref (Array.length t.words) in
+    while !size < t.len + n do
+      size := !size * 2
+    done;
+    let fresh = Array.make !size 0 in
+    Array.blit t.words 0 fresh 0 t.len;
+    t.words <- fresh
+  end
+
+let add t values =
+  let n = Array.length values in
+  if t.len + n > t.capacity then
+    failwith "Table_image.add: decode-table region exhausted";
+  ensure t n;
+  let addr = t.base + t.len in
+  Array.blit values 0 t.words t.len n;
+  t.len <- t.len + n;
+  addr
+
+let reserve t n = add t (Array.make n 0)
+
+let patch t ~addr ~index v =
+  let pos = addr - t.base + index in
+  if pos < 0 || pos >= t.len then invalid_arg "Table_image.patch: out of range";
+  t.words.(pos) <- v
+
+let image t = Array.sub t.words 0 t.len
+let base t = t.base
+let length t = t.len

@@ -1,0 +1,22 @@
+(** Allocator for the level-1 decode-table region: dispatch tables, contour
+    width tables, Huffman decode trees.  The accumulated image is poked
+    into simulated memory (at [base]) by the strategy wiring. *)
+
+type t
+
+val create : base:int -> capacity:int -> t
+
+val add : t -> int array -> int
+(** [add t words] appends [words] and returns their absolute address.
+    Raises [Failure] when the region is exhausted. *)
+
+val reserve : t -> int -> int
+(** [reserve t n] appends [n] zero words (to be patched later). *)
+
+val patch : t -> addr:int -> index:int -> int -> unit
+(** [patch t ~addr ~index v] overwrites slot [index] of the block returned
+    by a previous {!add}/{!reserve} at [addr]. *)
+
+val image : t -> int array
+val base : t -> int
+val length : t -> int

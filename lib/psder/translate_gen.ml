@@ -1,0 +1,179 @@
+(* The dynamic translator (paper §6.2, Figure 4).
+
+   Host code entered on a DTB miss with the hardware having set:
+     dpc  := the missing DIR instruction's bit address
+     dctx := the decode context carried by the INTERP instruction
+   The translator decodes one DIR instruction (shared decode routine, cost
+   d), then its per-opcode arm constructs the PSDER translation word by word
+   and hands each to the hardware emission queue (EmitShort), finishing with
+   EndTrans, which installs the translation and transfers control into it.
+   Arm cycles are tagged [Asm.Translate]: the paper's g.
+
+   With [block = Some limit] the translator keeps decoding and emitting
+   across straight-line code (anything that falls through, including Enter)
+   until a control transfer or the limit, producing one buffer entry per
+   basic-block run — the modern-JIT refinement of the paper's
+   one-instruction translation units. *)
+
+module Asm = Uhm_machine.Asm
+module H = Uhm_machine.Host_isa
+module R = Uhm_machine.Host_isa.Regs
+module SF = Uhm_machine.Short_format
+module Isa = Uhm_dir.Isa
+module Stats = Uhm_dir.Static_stats
+module Codec = Uhm_encoding.Codec
+
+type t = {
+  program : Asm.program;
+  translator_entry : int;
+  dispatch_entry : int;
+  (* entry that skips the decode: r8-r11 and dpc already hold a decoded
+     instruction (the two-level translation path, paper section 4) *)
+  table_image : int array;
+}
+
+let enum = Isa.opcode_to_enum
+
+let build ~compound ~block ~assist ~layout ~(encoded : Codec.encoded) =
+  let b = Asm.create () in
+  let tables =
+    Table_image.create ~base:layout.Layout.table_base
+      ~capacity:layout.Layout.table_size
+  in
+  let decode =
+    if assist then Decode_gen.build_assist b
+    else Decode_gen.build b ~tables ~encoded
+  in
+  let rt = Runtime.build ~compound b ~layout in
+  let translate_table_addr = Table_image.reserve tables Isa.opcode_count in
+  (* block-mode bookkeeping: r7 counts instructions in the open block; r6
+     holds the decode context of the would-be successor; [loop] re-enters
+     the decode, [flush] emits INTERP(dpc, ctx=r6) and ends the block *)
+  let loop_label = Asm.new_label b in
+  let flush_label = Asm.new_label b in
+
+  (* Emit one short word whose operand is a compile-time constant. *)
+  let word_const w =
+    Asm.li b 0 w;
+    Asm.emit_short b 0
+  in
+  (* Emit one short word whose operand comes from a register. *)
+  let word_reg ?(ctx = 0) op reg =
+    Asm.li b 0 (SF.pack ~ctx op 0);
+    Asm.alui b H.Shl 1 reg SF.operand_shift;
+    Asm.alu b H.Or 0 0 1;
+    Asm.emit_short b 0
+  in
+  let sem op = rt.Runtime.sem.(enum op) in
+
+  (* A control arm always ends its translation. *)
+  let arm op body =
+    let addr =
+      Asm.routine b Asm.Translate (fun () ->
+          body ();
+          Asm.end_trans b)
+    in
+    Table_image.patch tables ~addr:translate_table_addr ~index:(enum op) addr
+  in
+  (* A falling arm either chains to INTERP(next) (per-instruction mode) or
+     continues the decode loop until the block limit. *)
+  let falling_arm op body =
+    match block with
+    | None ->
+        arm op (fun () ->
+            body ();
+            word_reg ~ctx:(enum op) SF.Interp_imm R.dpc)
+    | Some limit ->
+        let addr =
+          Asm.routine b Asm.Translate (fun () ->
+              body ();
+              Asm.alui b H.Add 7 7 1;
+              Asm.li b R.dctx (enum op);
+              Asm.li b 6 (enum op);
+              Asm.alui b H.Slt 12 7 limit;
+              Asm.jz b 12 flush_label;
+              Asm.jmp b loop_label)
+        in
+        Table_image.patch tables ~addr:translate_table_addr ~index:(enum op)
+          addr
+  in
+
+  Array.iter
+    (fun op ->
+      match op with
+      | Isa.Lit -> falling_arm op (fun () -> word_reg SF.Push_imm 9)
+      | Isa.Jump ->
+          arm op (fun () -> word_reg ~ctx:Stats.start_context SF.Interp_imm 9)
+      | Isa.Halt ->
+          arm op (fun () ->
+              word_const (SF.pack SF.Call_long rt.Runtime.rt_halt))
+      | Isa.Ret ->
+          arm op (fun () ->
+              word_const (SF.pack SF.Call_long rt.Runtime.rt_ret_dtb);
+              word_const (SF.pack SF.Interp_stk 0))
+      | Isa.Jz | Isa.Cjeq | Isa.Cjne | Isa.Cjlt | Isa.Cjle | Isa.Cjgt
+      | Isa.Cjge ->
+          arm op (fun () ->
+              word_reg SF.Push_imm R.dpc; (* fall-through DIR address *)
+              word_reg SF.Push_imm 9;     (* branch target *)
+              word_const (SF.pack SF.Call_long rt.Runtime.cond_dtb.(enum op));
+              word_const (SF.pack SF.Interp_stk 0))
+      | Isa.Call ->
+          arm op (fun () ->
+              word_reg SF.Push_imm 10;    (* static hops *)
+              word_reg SF.Push_imm R.dpc; (* return DIR address *)
+              word_const (SF.pack SF.Call_long rt.Runtime.rt_call);
+              word_reg ~ctx:Stats.start_context SF.Interp_imm 9)
+      | Isa.Enter ->
+          falling_arm op (fun () ->
+              word_reg SF.Push_imm 9;
+              word_reg SF.Push_imm 10;
+              word_reg SF.Push_imm 11;
+              word_const (SF.pack SF.Call_long (sem op)))
+      | _ ->
+          falling_arm op (fun () ->
+              (match Isa.shape op with
+              | Isa.Shape_none -> ()
+              | Isa.Shape_imm -> word_reg SF.Push_imm 9
+              | Isa.Shape_var ->
+                  word_reg SF.Push_imm 9;
+                  word_reg SF.Push_imm 10
+              | Isa.Shape_target | Isa.Shape_call | Isa.Shape_enter ->
+                  assert false);
+              word_const (SF.pack SF.Call_long (sem op))))
+    Isa.all_opcodes;
+
+  let dispatch_label = Asm.new_label b in
+  let translator_entry =
+    Asm.routine b Asm.Translate (fun () ->
+        (match block with Some _ -> Asm.li b 7 0 | None -> ());
+        Asm.place b loop_label;
+        Asm.call_addr b decode;
+        Asm.place b dispatch_label;
+        Asm.alui b H.Add 12 8 translate_table_addr;
+        Asm.load b 12 12 0;
+        Asm.jmp_r b 12;
+        (* shared block flush: INTERP to the fall-through successor with the
+           decode context left in r6 *)
+        Asm.place b flush_label;
+        match block with
+        | None ->
+            (* unreachable in per-instruction mode; labels must be placed *)
+            Asm.break b "translator flush reached in per-instruction mode"
+        | Some _ ->
+            (* word = Interp_imm | r6 << op_bits | dpc << operand_shift *)
+            Asm.li b 0 (SF.pack SF.Interp_imm 0);
+            Asm.alui b H.Shl 1 6 SF.op_bits;
+            Asm.alu b H.Or 0 0 1;
+            Asm.alui b H.Shl 1 R.dpc SF.operand_shift;
+            Asm.alu b H.Or 0 0 1;
+            Asm.emit_short b 0;
+            Asm.end_trans b)
+  in
+  let program = Asm.finish b in
+  {
+    program;
+    translator_entry;
+    dispatch_entry = Asm.resolve b dispatch_label;
+    table_image = Table_image.image tables;
+  }

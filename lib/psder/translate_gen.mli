@@ -1,0 +1,28 @@
+(** Dynamic-translator generation (paper §6.2, Figure 4).
+
+    The generated long-format program is entered on a DTB miss with the
+    hardware having set [dpc] to the missing DIR instruction's bit address
+    and [dctx] to the decode context carried by the INTERP word.  It decodes
+    (shared decode routine, cost d), then the per-opcode arm emits the PSDER
+    translation word by word through the hardware emission queue
+    (EmitShort), and finishes with EndTrans.  Arm cycles are tagged
+    {!Uhm_machine.Asm.Translate} — the paper's g. *)
+
+module Asm := Uhm_machine.Asm
+
+type t = {
+  program : Asm.program;
+  translator_entry : int;
+  dispatch_entry : int;
+  (** entry that skips the decode, for a hit in a second-level decoded
+      store: r8-r11 and the dpc register must already hold the decoded
+      instruction (multi-level translation, paper §4) *)
+  table_image : int array;  (** poke at [layout.table_base] before running *)
+}
+
+val build : compound:bool -> block:int option -> assist:bool
+  -> layout:Layout.t -> encoded:Uhm_encoding.Codec.encoded -> t
+(** [block = Some limit] translates straight-line runs of up to [limit] DIR
+    instructions into a single buffer entry (basic-block translation);
+    [None] reproduces the paper's one-instruction units.  [assist] as in
+    {!Interp_gen.build}. *)

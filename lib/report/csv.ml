@@ -1,0 +1,27 @@
+let needs_quoting s =
+  String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) s
+
+let escape_field s =
+  if not (needs_quoting s) then s
+  else
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+
+let row fields = String.concat "," (List.map escape_field fields)
+
+let render ~header rows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (row header);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (row r);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,14 @@
+(** Minimal CSV emission for experiment results.
+
+    Quoting follows RFC 4180: a field is quoted iff it contains a comma,
+    a double quote, or a newline; embedded quotes are doubled. *)
+
+val escape_field : string -> string
+(** [escape_field s] returns [s] quoted if necessary. *)
+
+val row : string list -> string
+(** [row fields] renders one CSV line (no trailing newline). *)
+
+val render : header:string list -> string list list -> string
+(** [render ~header rows] renders a header line plus one line per row,
+    newline-terminated. *)

@@ -1,0 +1,84 @@
+type align = Left | Right | Center
+
+type row =
+  | Cells of string list
+  | Rule
+
+type t = {
+  title : string option;
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title ~columns () =
+  let headers = List.map fst columns and aligns = List.map snd columns in
+  { title; headers; aligns; rows = [] }
+
+let n_columns t = List.length t.headers
+
+let add_row t cells =
+  if List.length cells <> n_columns t then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: expected %d cells, got %d" (n_columns t)
+         (List.length cells));
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let spare = width - n in
+    match align with
+    | Left -> s ^ String.make spare ' '
+    | Right -> String.make spare ' ' ^ s
+    | Center ->
+        let left = spare / 2 in
+        String.make left ' ' ^ s ^ String.make (spare - left) ' '
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let update cells =
+    List.iteri
+      (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c)
+      cells
+  in
+  List.iter (function Cells cs -> update cs | Rule -> ()) rows;
+  let buf = Buffer.create 256 in
+  let line cells =
+    let padded =
+      List.mapi (fun i (a, c) -> pad a widths.(i) c) (List.combine t.aligns cells)
+    in
+    Buffer.add_string buf (String.concat "  " padded);
+    Buffer.add_char buf '\n'
+  in
+  let rule () =
+    let segs = Array.to_list (Array.map (fun w -> String.make w '-') widths) in
+    Buffer.add_string buf (String.concat "  " segs);
+    Buffer.add_char buf '\n'
+  in
+  (match t.title with
+  | Some title ->
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make (String.length title) '=');
+      Buffer.add_char buf '\n'
+  | None -> ());
+  line t.headers;
+  rule ();
+  List.iter (function Cells cs -> line cs | Rule -> rule ()) rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_float ?(decimals = 2) v = Printf.sprintf "%.*f" decimals v
+let cell_int v = string_of_int v
+let cell_pct ?(decimals = 1) v = Printf.sprintf "%.*f%%" decimals (v *. 100.)
+
+let cell_bytes n =
+  if n < 1024 then Printf.sprintf "%d B" n
+  else if n < 1024 * 1024 then Printf.sprintf "%.1f KiB" (float_of_int n /. 1024.)
+  else Printf.sprintf "%.2f MiB" (float_of_int n /. (1024. *. 1024.))

@@ -1,0 +1,41 @@
+(** Fixed-width text tables.
+
+    Every bench target and example renders its results through this module so
+    that the output of [bench/main.exe] reads like the tables in the paper:
+    a title line, a header row, a rule, and right-aligned numeric cells. *)
+
+type align = Left | Right | Center
+
+type t
+(** A table under construction.  Rows are kept in insertion order. *)
+
+val create : ?title:string -> columns:(string * align) list -> unit -> t
+(** [create ~title ~columns ()] starts a table with one column per
+    [(header, alignment)] pair. *)
+
+val add_row : t -> string list -> unit
+(** [add_row t cells] appends a row.  Raises [Invalid_argument] if the number
+    of cells differs from the number of columns. *)
+
+val add_rule : t -> unit
+(** [add_rule t] appends a horizontal rule row, rendered as dashes. *)
+
+val render : t -> string
+(** [render t] lays the table out with every column as wide as its widest
+    cell and returns the whole table, newline-terminated. *)
+
+val print : t -> unit
+(** [print t] writes [render t] to standard output. *)
+
+val cell_float : ?decimals:int -> float -> string
+(** [cell_float ~decimals v] formats [v] with a fixed number of decimals
+    (default 2), matching the precision used in the paper's tables. *)
+
+val cell_int : int -> string
+(** [cell_int v] formats [v] in decimal. *)
+
+val cell_pct : ?decimals:int -> float -> string
+(** [cell_pct v] formats a ratio [v] as a percentage with a [%] suffix. *)
+
+val cell_bytes : int -> string
+(** [cell_bytes n] formats a byte count with a unit suffix (B, KiB, MiB). *)

@@ -1,0 +1,80 @@
+let footprint trace =
+  let seen = Hashtbl.create 256 in
+  Array.iter (fun a -> Hashtbl.replace seen a ()) trace;
+  Hashtbl.length seen
+
+let distinct_in trace lo hi =
+  let seen = Hashtbl.create 64 in
+  for i = lo to hi do
+    Hashtbl.replace seen trace.(i) ()
+  done;
+  Hashtbl.length seen
+
+let working_set_sizes ~window trace =
+  if window <= 0 then invalid_arg "Locality.working_set_sizes: bad window";
+  let n = Array.length trace in
+  let points = ref [] in
+  let t = ref window in
+  while !t <= n do
+    points := distinct_in trace (!t - window) (!t - 1) :: !points;
+    t := !t + window
+  done;
+  Array.of_list (List.rev !points)
+
+let average_working_set ~window trace =
+  let sizes = working_set_sizes ~window trace in
+  if Array.length sizes = 0 then 0.
+  else
+    float_of_int (Array.fold_left ( + ) 0 sizes)
+    /. float_of_int (Array.length sizes)
+
+(* LRU stack distances via a simple move-to-front list over distinct
+   addresses; adequate for traces in the hundreds of thousands with the
+   modest footprints of the suite. *)
+let reuse_distances trace =
+  let stack = ref [] in
+  let out = ref [] in
+  Array.iter
+    (fun a ->
+      let rec split depth acc = function
+        | [] -> None
+        | x :: rest when x = a -> Some (depth, List.rev_append acc rest)
+        | x :: rest -> split (depth + 1) (x :: acc) rest
+      in
+      match split 0 [] !stack with
+      | Some (depth, rest) ->
+          out := depth :: !out;
+          stack := a :: rest
+      | None -> stack := a :: !stack)
+    trace;
+  Array.of_list (List.rev !out)
+
+let hit_ratio_for_capacity ~capacity trace =
+  if Array.length trace = 0 then 0.
+  else begin
+    let distances = reuse_distances trace in
+    let hits =
+      Array.fold_left (fun acc d -> if d < capacity then acc + 1 else acc) 0
+        distances
+    in
+    float_of_int hits /. float_of_int (Array.length trace)
+  end
+
+let trace_of_program ?fuel p =
+  let out = ref [] in
+  let n = ref 0 in
+  let r =
+    Uhm_dir.Interp.run ?fuel
+      ~on_step:(fun pc _ ->
+        out := pc :: !out;
+        incr n)
+      p
+  in
+  (match r.Uhm_dir.Interp.status with
+  | Uhm_dir.Interp.Halted -> ()
+  | Uhm_dir.Interp.Trapped m -> failwith ("Locality.trace_of_program: " ^ m)
+  | Uhm_dir.Interp.Out_of_fuel ->
+      failwith "Locality.trace_of_program: out of fuel");
+  let arr = Array.make !n 0 in
+  List.iteri (fun i a -> arr.(!n - 1 - i) <- a) !out;
+  arr

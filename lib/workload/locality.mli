@@ -1,0 +1,32 @@
+(** Locality statistics over instruction-address traces.
+
+    The DTB's whole premise is Denning's principle of locality (paper §4):
+    "over any interval of time, the vast majority of memory references are
+    concentrated on a small subset of the address space".  These functions
+    quantify that for our workloads: working-set sizes, reuse distances and
+    footprints, which EXPERIMENTS.md reports alongside the hit ratios that
+    locality makes possible. *)
+
+val footprint : int array -> int
+(** Number of distinct addresses in the trace. *)
+
+val working_set_sizes : window:int -> int array -> int array
+(** [working_set_sizes ~window trace] is W(t, tau): for each position [t]
+    (stepping by [window] for tractability), the number of distinct
+    addresses among the previous [window] references. *)
+
+val average_working_set : window:int -> int array -> float
+
+val reuse_distances : int array -> int array
+(** For each reference after the first occurrence of its address, the LRU
+    stack distance (number of distinct addresses touched since the previous
+    reference to the same address); cold references are excluded. *)
+
+val hit_ratio_for_capacity : capacity:int -> int array -> float
+(** Fraction of references whose reuse distance is below [capacity] — the
+    hit ratio of a fully-associative LRU cache of that many entries (cold
+    misses count as misses). *)
+
+val trace_of_program : ?fuel:int -> Uhm_dir.Program.t -> int array
+(** The dynamic instruction-index trace from the reference interpreter.
+    Raises [Failure] if the program traps or exhausts [fuel]. *)

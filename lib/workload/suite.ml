@@ -1,0 +1,512 @@
+type entry = {
+  name : string;
+  description : string;
+  source : string;
+  loopiness : [ `Tight | `Mixed | `Flat ];
+}
+
+let fib_rec =
+  {
+    name = "fib_rec";
+    description = "naive recursive Fibonacci; call/return and frame traffic";
+    loopiness = `Mixed;
+    source =
+      {|
+begin
+  procedure fib(n);
+  begin
+    if n < 2 then return n;
+    return fib(n - 1) + fib(n - 2);
+  end;
+  integer i;
+  for i := 0 to 18 do print fib(i);
+end
+|};
+  }
+
+let fact_iter =
+  {
+    name = "fact_iter";
+    description = "iterative factorials; a single tight multiply loop";
+    loopiness = `Tight;
+    source =
+      {|
+begin
+  integer n, acc, i;
+  for n := 1 to 18 do
+  begin
+    acc := 1;
+    for i := 2 to n do acc := acc * i;
+    print acc;
+  end;
+end
+|};
+  }
+
+let sieve =
+  {
+    name = "sieve";
+    description = "sieve of Eratosthenes up to 400; array writes in nested loops";
+    loopiness = `Tight;
+    source =
+      {|
+begin
+  integer array flags[401];
+  integer i, j, count;
+  for i := 2 to 400 do flags[i] := 1;
+  i := 2;
+  while i * i <= 400 do
+  begin
+    if flags[i] = 1 then
+    begin
+      j := i * i;
+      while j <= 400 do
+      begin
+        flags[j] := 0;
+        j := j + i;
+      end;
+    end;
+    i := i + 1;
+  end;
+  count := 0;
+  for i := 2 to 400 do
+    if flags[i] = 1 then count := count + 1;
+  print count;
+  for i := 390 to 400 do
+    if flags[i] = 1 then print i;
+end
+|};
+  }
+
+let bubble_sort =
+  {
+    name = "bubble_sort";
+    description = "bubble sort of 48 LCG-generated values";
+    loopiness = `Tight;
+    source =
+      {|
+begin
+  integer array a[48];
+  integer i, j, t, seed;
+  seed := 1234;
+  for i := 0 to 47 do
+  begin
+    seed := (seed * 1103515245 + 12345) mod 32768;
+    a[i] := seed;
+  end;
+  for i := 47 downto 1 do
+    for j := 0 to i - 1 do
+      if a[j] > a[j + 1] then
+      begin
+        t := a[j];
+        a[j] := a[j + 1];
+        a[j + 1] := t;
+      end;
+  for i := 0 to 47 do print a[i];
+end
+|};
+  }
+
+let quicksort =
+  {
+    name = "quicksort";
+    description = "recursive quicksort over an outer-scope array; static links";
+    loopiness = `Mixed;
+    source =
+      {|
+begin
+  integer array a[64];
+  integer i, seed;
+  procedure sort(lo, hi);
+  begin
+    integer p, l, r, t;
+    if lo >= hi then return;
+    p := a[(lo + hi) div 2];
+    l := lo;
+    r := hi;
+    while l <= r do
+    begin
+      while a[l] < p do l := l + 1;
+      while a[r] > p do r := r - 1;
+      if l <= r then
+      begin
+        t := a[l]; a[l] := a[r]; a[r] := t;
+        l := l + 1;
+        r := r - 1;
+      end;
+    end;
+    call sort(lo, r);
+    call sort(l, hi);
+    return;
+  end;
+  seed := 99;
+  for i := 0 to 63 do
+  begin
+    seed := (seed * 1103515245 + 12345) mod 32768;
+    a[i] := seed;
+  end;
+  call sort(0, 63);
+  for i := 0 to 63 do print a[i];
+end
+|};
+  }
+
+let matmul =
+  {
+    name = "matmul";
+    description = "8x8 integer matrix multiply with manual 1-D indexing";
+    loopiness = `Tight;
+    source =
+      {|
+begin
+  integer array a[64];
+  integer array b[64];
+  integer array c[64];
+  integer i, j, k, s;
+  for i := 0 to 63 do
+  begin
+    a[i] := (i * 7) mod 13;
+    b[i] := (i * 11) mod 17;
+  end;
+  for i := 0 to 7 do
+    for j := 0 to 7 do
+    begin
+      s := 0;
+      for k := 0 to 7 do
+        s := s + a[i * 8 + k] * b[k * 8 + j];
+      c[i * 8 + j] := s;
+    end;
+  s := 0;
+  for i := 0 to 63 do s := s + c[i];
+  print s;
+  for i := 0 to 7 do print c[i * 9];
+end
+|};
+  }
+
+let gcd =
+  {
+    name = "gcd";
+    description = "Euclid's algorithm over a grid of operand pairs";
+    loopiness = `Tight;
+    source =
+      {|
+begin
+  procedure gcd(x, y);
+  begin
+    integer t;
+    while y <> 0 do
+    begin
+      t := x mod y;
+      x := y;
+      y := t;
+    end;
+    return x;
+  end;
+  integer i, j, s;
+  s := 0;
+  for i := 1 to 30 do
+    for j := 1 to 30 do
+      s := s + gcd(i * 12, j * 18);
+  print s;
+  print gcd(1071, 462);
+end
+|};
+  }
+
+let hanoi =
+  {
+    name = "hanoi";
+    description = "towers of Hanoi (10 discs); deep recursion, little data";
+    loopiness = `Mixed;
+    source =
+      {|
+begin
+  integer moves;
+  procedure move(n, src, dst, via);
+  begin
+    if n = 0 then return;
+    call move(n - 1, src, via, dst);
+    moves := moves + 1;
+    if moves mod 100 = 0 then print src * 10 + dst;
+    call move(n - 1, via, dst, src);
+    return;
+  end;
+  moves := 0;
+  call move(10, 1, 3, 2);
+  print moves;
+end
+|};
+  }
+
+let ackermann =
+  {
+    name = "ackermann";
+    description = "Ackermann(2, n); pathological call nesting";
+    loopiness = `Mixed;
+    source =
+      {|
+begin
+  procedure ack(m, n);
+  begin
+    if m = 0 then return n + 1;
+    if n = 0 then return ack(m - 1, 1);
+    return ack(m - 1, ack(m, n - 1));
+  end;
+  integer n;
+  for n := 0 to 5 do print ack(2, n);
+  print ack(3, 3);
+end
+|};
+  }
+
+let nested_scopes =
+  {
+    name = "nested_scopes";
+    description = "four levels of procedure nesting; static-link walks";
+    loopiness = `Mixed;
+    source =
+      {|
+begin
+  integer total := 0;
+  procedure level1(a);
+  begin
+    integer x1 := a * 2;
+    procedure level2(b);
+    begin
+      integer x2 := b + x1;
+      procedure level3(c);
+      begin
+        integer x3 := c + x2 + x1;
+        procedure level4(d);
+        begin
+          total := total + d + x3 + x2 + x1 + a;
+          return 0;
+        end;
+        call level4(x3);
+        return x3;
+      end;
+      return level3(x2) + level3(b);
+    end;
+    return level2(x1) + level2(a);
+  end;
+  integer i;
+  for i := 1 to 25 do total := total + level1(i);
+  print total;
+end
+|};
+  }
+
+let string_out =
+  {
+    name = "string_out";
+    description = "output-heavy: banners and decimal digit printing";
+    loopiness = `Mixed;
+    source =
+      {|
+begin
+  procedure digits(n);
+  begin
+    if n >= 10 then call digits(n div 10);
+    printc 48 + (n mod 10);
+    return 0;
+  end;
+  integer i;
+  for i := 1 to 40 do
+  begin
+    write "line ";
+    call digits(i);
+    write ": ";
+    call digits(i * i * i);
+    printc 10;
+  end;
+end
+|};
+  }
+
+let collatz =
+  {
+    name = "collatz";
+    description = "Collatz step counts for 1..80; data-dependent branching";
+    loopiness = `Tight;
+    source =
+      {|
+begin
+  integer n, x, steps;
+  for n := 1 to 80 do
+  begin
+    x := n;
+    steps := 0;
+    while x <> 1 do
+    begin
+      if x mod 2 = 0 then x := x div 2;
+      else x := 3 * x + 1;
+      steps := steps + 1;
+    end;
+    print steps;
+  end;
+end
+|};
+  }
+
+let binsearch =
+  {
+    name = "binsearch";
+    description = "binary search over a sorted table, 300 probes";
+    loopiness = `Tight;
+    source =
+      {|
+begin
+  integer array tab[128];
+  integer i, q, lo, hi, mid, hits;
+  for i := 0 to 127 do tab[i] := i * 3 + 1;
+  hits := 0;
+  for q := 0 to 299 do
+  begin
+    lo := 0;
+    hi := 127;
+    while lo <= hi do
+    begin
+      mid := (lo + hi) div 2;
+      if tab[mid] = q then
+      begin
+        hits := hits + 1;
+        lo := hi + 1;
+      end
+      else
+        if tab[mid] < q then lo := mid + 1;
+        else hi := mid - 1;
+    end;
+  end;
+  print hits;
+end
+|};
+  }
+
+let dispatch =
+  {
+    name = "dispatch";
+    description = "interpreter-like opcode dispatch loop over a code table";
+    loopiness = `Tight;
+    source =
+      {|
+begin
+  integer array codes[64];
+  integer i, pc, acc, op, fuel;
+  for i := 0 to 63 do codes[i] := (i * 37 + 11) mod 7;
+  acc := 1;
+  pc := 0;
+  fuel := 4000;
+  while fuel > 0 do
+  begin
+    op := codes[pc];
+    if op = 0 then acc := acc + 1;
+    else if op = 1 then acc := acc * 2;
+    else if op = 2 then acc := acc - 3;
+    else if op = 3 then acc := acc mod 8191;
+    else if op = 4 then pc := ((pc + acc) mod 64 + 64) mod 64;
+    else if op = 5 then acc := acc * acc mod 8191;
+    else acc := acc + op;
+    pc := (pc + 1) mod 64;
+    fuel := fuel - 1;
+    if fuel mod 500 = 0 then print acc;
+  end;
+  print acc;
+end
+|};
+  }
+
+let loop_tight =
+  {
+    name = "loop_tight";
+    description = "smallest possible hot loop; the DTB's best case";
+    loopiness = `Tight;
+    source =
+      {|
+begin
+  integer i, s;
+  s := 0;
+  for i := 1 to 20000 do s := (s + i) mod 999983;
+  print s;
+end
+|};
+  }
+
+let flat_straightline =
+  {
+    name = "flat_straightline";
+    description =
+      "long straight-line body executed twice; the DTB's worst case";
+    loopiness = `Flat;
+    source =
+      (let buf = Buffer.create 4096 in
+       Buffer.add_string buf "begin\n  integer pass, s;\n";
+       Buffer.add_string buf "  for pass := 1 to 2 do\n  begin\n    s := pass;\n";
+       for i = 0 to 199 do
+         Buffer.add_string buf
+           (Printf.sprintf "    s := (s * %d + %d) mod 65521;\n"
+              ((i * 7 mod 11) + 2)
+              ((i * 13 mod 97) + 1))
+       done;
+       Buffer.add_string buf "    print s;\n  end;\nend\n";
+       Buffer.contents buf);
+  }
+
+let queens =
+  {
+    name = "queens";
+    description = "count the 8-queens solutions by recursive backtracking";
+    loopiness = `Mixed;
+    source =
+      {|
+begin
+  integer array col[8];
+  integer solutions := 0;
+  procedure safe(row, c);
+  begin
+    integer i, ok;
+    ok := 1;
+    for i := 0 to row - 1 do
+    begin
+      if col[i] = c then ok := 0;
+      if col[i] - i = c - row then ok := 0;
+      if col[i] + i = c + row then ok := 0;
+    end;
+    return ok;
+  end;
+  procedure place(row);
+  begin
+    integer c;
+    if row = 8 then
+    begin
+      solutions := solutions + 1;
+      return;
+    end;
+    for c := 0 to 7 do
+      if safe(row, c) = 1 then
+      begin
+        col[row] := c;
+        call place(row + 1);
+      end;
+    return;
+  end;
+  call place(0);
+  print solutions;
+end
+|};
+  }
+
+let all =
+  [
+    fib_rec; fact_iter; sieve; bubble_sort; quicksort; matmul; gcd; hanoi;
+    ackermann; nested_scopes; string_out; collatz; binsearch; dispatch;
+    loop_tight; flat_straightline; queens;
+  ]
+
+let find name = List.find (fun e -> String.equal e.name name) all
+let names () = List.map (fun e -> e.name) all
+
+let parse e =
+  Uhm_hlr.Check.check_exn (Uhm_hlr.Parser.parse ~name:e.name e.source)
+
+let compile ?fuse e = Uhm_compiler.Pipeline.compile ?fuse (parse e)

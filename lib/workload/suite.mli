@@ -1,0 +1,31 @@
+(** The Algol-S benchmark suite.
+
+    Seventeen programs spanning the behaviours the paper's analysis depends
+    on: tight loops (high working-set locality, the DTB's best case), deep
+    recursion with static-link traffic, array/indexing code, output-heavy
+    code, branchy interpreter-like dispatch, and a deliberately low-locality
+    straight-line program (the DTB's worst case).
+
+    Every program is deterministic, self-contained (no input), terminates,
+    and produces non-trivial output — the output is the oracle for the
+    differential tests across all execution engines. *)
+
+type entry = {
+  name : string;
+  description : string;
+  source : string;
+  loopiness : [ `Tight | `Mixed | `Flat ];
+  (** qualitative locality class, used when reporting hit ratios *)
+}
+
+val all : entry list
+
+val find : string -> entry
+(** Raises [Not_found]. *)
+
+val parse : entry -> Uhm_hlr.Ast.program
+(** Parsed and checked. *)
+
+val compile : ?fuse:bool -> entry -> Uhm_dir.Program.t
+
+val names : unit -> string list

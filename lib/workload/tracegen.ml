@@ -1,0 +1,58 @@
+module Prng = struct
+  type t = { mutable state : int }
+
+  let create ~seed =
+    (* avoid the all-zero state *)
+    { state = (if seed = 0 then 0x1E3779B97F4A7C15 else seed) }
+
+  (* xorshift64* (Vigna); masked to a non-negative OCaml int *)
+  let next t =
+    let s = t.state in
+    let s = s lxor (s lsr 12) in
+    let s = s lxor (s lsl 25) in
+    let s = s lxor (s lsr 27) in
+    t.state <- s;
+    s * 0x2545F4914F6CDD1D land max_int
+
+  let below t n =
+    if n <= 0 then invalid_arg "Prng.below: non-positive bound";
+    next t mod n
+
+  let float t = float_of_int (next t) /. float_of_int max_int
+end
+
+type config = {
+  code_size : int;
+  loop_body : int;
+  locality : float;
+  length : int;
+  seed : int;
+}
+
+let default =
+  { code_size = 4096; loop_body = 12; locality = 0.95; length = 200_000;
+    seed = 42 }
+
+let generate cfg =
+  if cfg.code_size <= 0 || cfg.length < 0 || cfg.loop_body <= 0 then
+    invalid_arg "Tracegen.generate: bad config";
+  let rng = Prng.create ~seed:cfg.seed in
+  let trace = Array.make cfg.length 0 in
+  (* current loop: start and length; position within it *)
+  let loop_start = ref 0 in
+  let loop_len = ref (min cfg.code_size cfg.loop_body) in
+  let pos = ref 0 in
+  let fresh_loop () =
+    let len = 1 + Prng.below rng (2 * cfg.loop_body) in
+    let len = min len cfg.code_size in
+    loop_len := len;
+    loop_start := Prng.below rng (cfg.code_size - len + 1);
+    pos := 0
+  in
+  for i = 0 to cfg.length - 1 do
+    trace.(i) <- !loop_start + !pos;
+    if !pos + 1 < !loop_len then incr pos
+    else if Prng.float rng < cfg.locality then pos := 0 (* loop back *)
+    else fresh_loop ()
+  done;
+  trace

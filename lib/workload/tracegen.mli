@@ -1,0 +1,37 @@
+(** Synthetic instruction-address traces with tunable locality.
+
+    Used to chart DTB hit ratio against working-set size beyond what the
+    program suite exercises (paper §4/§7: the hit ratio depends on the
+    relation between DTB capacity and the working set).  The generator
+    simulates a program of [code_size] instruction slots executing nested
+    loops: at each step it either continues a loop body, re-enters the loop,
+    or jumps to a fresh region — the mix is set by [locality] in [0, 1]
+    (1 = a single tight loop, 0 = a uniform random walk).
+
+    The PRNG is a self-contained xorshift64*, so traces are reproducible
+    from the seed with no global state. *)
+
+type config = {
+  code_size : int;       (** distinct instruction addresses available *)
+  loop_body : int;       (** mean loop-body length, instructions *)
+  locality : float;      (** probability of staying in the current loop *)
+  length : int;          (** trace length *)
+  seed : int;
+}
+
+val default : config
+
+val generate : config -> int array
+(** Addresses in [0, code_size). *)
+
+module Prng : sig
+  type t
+
+  val create : seed:int -> t
+  val next : t -> int
+  (** 62-bit non-negative pseudo-random value. *)
+
+  val below : t -> int -> int
+  val float : t -> float
+  (** In [0, 1). *)
+end

@@ -1,0 +1,12 @@
+(* Substring search helper for assertions on error messages. *)
+
+let contains haystack needle =
+  let hn = String.length haystack and nn = String.length needle in
+  if nn = 0 then true
+  else
+    let rec at i =
+      if i + nn > hn then false
+      else if String.equal (String.sub haystack i nn) needle then true
+      else at (i + 1)
+    in
+    at 0

@@ -1,0 +1,315 @@
+(* QCheck generator for well-formed, terminating Fortran-S programs.
+
+   Termination and definedness by construction: DO loops over literal
+   bounds with protected loop variables, GOTOs only forward to a label that
+   terminates the same statement block, division/modulus by non-zero
+   literals, and array subscripts either literal in range or clamped with
+   MOD into 1..size.  Functions may call only previously generated units,
+   so call graphs are acyclic. *)
+
+open QCheck.Gen
+module A = Uhm_ftn.Ast
+
+type genv = {
+  scalars : string list;       (* assignable *)
+  loop_vars : string list;     (* readable only *)
+  arrays : (string * int) list;
+  funcs : (string * int) list; (* callable functions *)
+  subs : (string * int) list;  (* callable subroutines *)
+  fresh : int ref;
+  next_label : int ref;
+}
+
+let fresh_name env prefix =
+  let n = !(env.fresh) in
+  env.fresh := n + 1;
+  Printf.sprintf "%s%d" prefix n
+
+let fresh_label env =
+  let l = !(env.next_label) in
+  env.next_label := l + 10;
+  l
+
+let readable env = env.scalars @ env.loop_vars
+
+let rec expr env depth =
+  let literal = map (fun n -> A.Num n) (int_range (-50) 50) in
+  let base =
+    match readable env with
+    | [] -> [ (3, literal) ]
+    | vars -> [ (2, literal); (3, map (fun v -> A.Var v) (oneofl vars)) ]
+  in
+  let arrays =
+    match env.arrays with
+    | [] -> []
+    | arrays ->
+        [
+          ( 2,
+            oneofl arrays >>= fun (name, size) ->
+            map (fun i -> A.Element (name, i)) (safe_index env size) );
+        ]
+  in
+  let calls =
+    if depth <= 0 then []
+    else
+      match env.funcs with
+      | [] -> []
+      | funcs ->
+          [
+            ( 1,
+              oneofl funcs >>= fun (name, arity) ->
+              let args =
+                flatten_l (List.init arity (fun _ -> expr env (depth - 1)))
+              in
+              map
+                (fun args ->
+                  match args with
+                  | [ one ] -> A.Element (name, one)
+                  | args -> A.Funcall (name, args))
+                args );
+          ]
+  in
+  let compound =
+    if depth <= 0 then []
+    else
+      [
+        ( 3,
+          oneofl A.[ Add; Sub; Mul; Eq; Ne; Lt; Le; Gt; Ge; And; Or ]
+          >>= fun op ->
+          map2 (fun a b -> A.Binop (op, a, b)) (expr env (depth - 1))
+            (expr env (depth - 1)) );
+        ( 1,
+          oneofl A.[ Div; Mod ] >>= fun op ->
+          map2
+            (fun a d -> A.Binop (op, a, A.Num d))
+            (expr env (depth - 1))
+            (oneof [ int_range 1 9; int_range (-9) (-1) ]) );
+        (1, map (fun e -> A.Unop (A.Neg, e)) (expr env (depth - 1)));
+        (1, map (fun e -> A.Unop (A.Not, e)) (expr env (depth - 1)));
+      ]
+  in
+  frequency (base @ arrays @ calls @ compound)
+
+(* an index certain to be in 1..size *)
+and safe_index env size =
+  frequency
+    [
+      (3, map (fun i -> A.Num i) (int_range 1 size));
+      ( 1,
+        map
+          (fun e ->
+            (* MOD(MOD(e, size) + size, size) + 1 *)
+            A.Binop
+              ( A.Add,
+                A.Binop
+                  ( A.Mod,
+                    A.Binop
+                      (A.Add, A.Binop (A.Mod, e, A.Num size), A.Num size),
+                    A.Num size ),
+                A.Num 1 ))
+          (expr env 1) );
+    ]
+
+let simple_stmt env =
+  let assigns =
+    match env.scalars with
+    | [] -> []
+    | scalars ->
+        [ (4, map2 (fun v e -> A.Assign (v, e)) (oneofl scalars) (expr env 2)) ]
+  in
+  let array_writes =
+    match env.arrays with
+    | [] -> []
+    | arrays ->
+        [
+          ( 2,
+            oneofl arrays >>= fun (name, size) ->
+            map2
+              (fun i e -> A.Assign_element (name, i, e))
+              (safe_index env size) (expr env 2) );
+        ]
+  in
+  let io =
+    [
+      (2, map (fun e -> A.Print e) (expr env 2));
+      (1, map (fun s -> A.Print_string s) (oneofl [ "OUT"; "X ="; "#" ]));
+    ]
+  in
+  let calls =
+    match env.subs with
+    | [] -> []
+    | subs ->
+        [
+          ( 1,
+            oneofl subs >>= fun (name, arity) ->
+            map
+              (fun args -> A.Call (name, args))
+              (flatten_l (List.init arity (fun _ -> expr env 1))) );
+        ]
+  in
+  frequency (assigns @ array_writes @ io @ calls)
+
+let rec stmt env depth =
+  if depth <= 0 then map (fun s -> (None, s)) (simple_stmt env)
+  else
+    frequency
+      [
+        (4, map (fun s -> (None, s)) (simple_stmt env));
+        ( 1,
+          map2
+            (fun c s -> (None, A.If_simple (c, s)))
+            (expr env 2) (simple_stmt env) );
+        ( 1,
+          map3
+            (fun c t e -> (None, A.If_block (c, t, e)))
+            (expr env 2)
+            (body env (depth - 1))
+            (body env (depth - 1)) );
+        ( 2,
+          (* bounded DO over a protected fresh variable; the name and label
+             must be minted per sample, hence inside the bind *)
+          return () >>= fun () ->
+          let v = fresh_name env "I" in
+          let terminal = fresh_label env in
+          int_range 1 3 >>= fun from_ ->
+          int_range 0 4 >>= fun span ->
+          oneofl [ 1; 2; -1 ] >>= fun step ->
+          let from_, to_ =
+            if step > 0 then (from_, from_ + span) else (from_ + span, from_)
+          in
+          let inner = { env with loop_vars = v :: env.loop_vars } in
+          map
+            (fun inner_body ->
+              ( Some v (* marker replaced below *),
+                A.Do
+                  {
+                    A.terminal;
+                    var = v;
+                    from_ = A.Num from_;
+                    to_ = A.Num to_;
+                    step;
+                    body = inner_body @ [ (Some terminal, A.Continue) ];
+                  } )
+              |> fun (_, s) -> (None, s))
+            (body inner (depth - 1)) );
+        ( 1,
+          (* a guarded forward GOTO: IF (c) GOTO L ... L CONTINUE *)
+          return () >>= fun () ->
+          let label = fresh_label env in
+          map2
+            (fun c skipped ->
+              (None,
+               A.If_block
+                 ( A.Num 1,
+                   ((None, A.If_simple (c, A.Goto label)) :: skipped)
+                   @ [ (Some label, A.Continue) ],
+                   [] )))
+            (expr env 2)
+            (body env (depth - 1)) );
+      ]
+
+and body env depth = list_size (int_range 1 3) (stmt env depth)
+
+(* one program unit's scalars/arrays *)
+let unit_env base_env =
+  int_range 1 3 >>= fun n_scalars ->
+  int_range 0 1 >>= fun n_arrays ->
+  let scalars = List.init n_scalars (fun _ -> fresh_name base_env "V") in
+  (if n_arrays = 0 then return []
+   else map (fun size -> [ (fresh_name base_env "ARR", size) ]) (int_range 2 9))
+  >>= fun arrays ->
+  return
+    ( { base_env with scalars = scalars @ base_env.scalars;
+        arrays = arrays @ base_env.arrays },
+      List.map (fun v -> { A.dname = v; dim = None }) scalars
+      @ List.map (fun (a, n) -> { A.dname = a; dim = Some n }) arrays )
+
+(* DO-loop variables are created on the fly; declare them after the fact *)
+let rec do_vars acc (body : A.body) =
+  List.fold_left
+    (fun acc (_, stmt) ->
+      match stmt with
+      | A.Do d -> do_vars (d.A.var :: acc) d.A.body
+      | A.If_block (_, t, e) -> do_vars (do_vars acc t) e
+      | _ -> acc)
+    acc body
+
+let with_loop_var_decls (u : A.unit_) =
+  let known =
+    u.A.params
+    @ List.map (fun d -> d.A.dname) u.A.decls
+    @ (if u.A.kind = A.Function then [ u.A.uname ] else [])
+  in
+  let extra =
+    List.sort_uniq compare (do_vars [] u.A.body)
+    |> List.filter (fun v -> not (List.mem v known))
+    |> List.map (fun v -> { A.dname = v; dim = None })
+  in
+  { u with A.decls = u.A.decls @ extra }
+
+let gen_function base_env =
+  int_range 1 2 >>= fun arity ->
+  let name = fresh_name base_env "F" in
+  let params = List.init arity (fun k -> Printf.sprintf "%sP%d" name k) in
+  let env0 =
+    { base_env with scalars = name :: params; loop_vars = []; arrays = [] }
+  in
+  unit_env env0 >>= fun (env, decls) ->
+  map2
+    (fun stmts ret ->
+      ( (name, arity),
+        with_loop_var_decls
+          {
+            A.kind = A.Function;
+            uname = name;
+            params;
+            decls;
+            body = stmts @ [ (None, A.Assign (name, ret)); (None, A.Return) ];
+          } ))
+    (body env 1) (expr env 1)
+
+let program_gen =
+  let base =
+    {
+      scalars = [];
+      loop_vars = [];
+      arrays = [];
+      funcs = [];
+      subs = [];
+      fresh = ref 0;
+      next_label = ref 10;
+    }
+  in
+  int_range 0 2 >>= fun n_funcs ->
+  let rec gen_units n env acc =
+    if n = 0 then return (env, List.rev acc)
+    else
+      gen_function env >>= fun ((fname, arity), u) ->
+      gen_units (n - 1) { env with funcs = (fname, arity) :: env.funcs }
+        (u :: acc)
+  in
+  gen_units n_funcs base [] >>= fun (env, functions) ->
+  unit_env { env with scalars = []; loop_vars = []; arrays = [] }
+  >>= fun (main_env, decls) ->
+  int_range 1 3 >>= fun depth ->
+  map
+    (fun stmts ->
+      {
+        A.pname = "<gen-ftn>";
+        units =
+          with_loop_var_decls
+            {
+              A.kind = A.Program;
+              uname = "MAIN";
+              params = [];
+              decls;
+              body = stmts @ [ (None, A.Stop) ];
+            }
+          :: functions;
+      })
+    (body main_env depth)
+
+let valid_program =
+  QCheck.make
+    ~print:(fun p -> A.show_program p)
+    program_gen

@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "uhm"
+    [
+      Test_bitstream.suite;
+      Test_huffman.suite;
+      Test_hlr.suite;
+      Test_dir.suite;
+      Test_compiler.suite;
+      Test_ftn.suite;
+      Test_encoding.suite;
+      Test_machine.suite;
+      Test_psder.suite;
+      Test_core.suite;
+      Test_workload.suite;
+      Test_report.suite;
+    ]

@@ -1,0 +1,190 @@
+(* Unit and property tests for the bit-stream substrate. *)
+
+module Bits = Uhm_bitstream.Bits
+module Writer = Uhm_bitstream.Writer
+module Reader = Uhm_bitstream.Reader
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* -- Bits ------------------------------------------------------------------ *)
+
+let test_width_for () =
+  check_int "0 alternatives" 0 (Bits.width_for 0);
+  check_int "1 alternative" 0 (Bits.width_for 1);
+  check_int "2 alternatives" 1 (Bits.width_for 2);
+  check_int "3 alternatives" 2 (Bits.width_for 3);
+  check_int "4 alternatives" 2 (Bits.width_for 4);
+  check_int "5 alternatives" 3 (Bits.width_for 5);
+  check_int "256 alternatives" 8 (Bits.width_for 256);
+  check_int "257 alternatives" 9 (Bits.width_for 257)
+
+let test_width_of_value () =
+  check_int "value 0" 0 (Bits.width_of_value 0);
+  check_int "value 1" 1 (Bits.width_of_value 1);
+  check_int "value 2" 2 (Bits.width_of_value 2);
+  check_int "value 3" 2 (Bits.width_of_value 3);
+  check_int "value 4" 3 (Bits.width_of_value 4);
+  check_int "value 255" 8 (Bits.width_of_value 255)
+
+let test_fits () =
+  check_bool "0 in 0 bits" true (Bits.fits ~bits:0 0);
+  check_bool "1 not in 0 bits" false (Bits.fits ~bits:0 1);
+  check_bool "3 in 2 bits" true (Bits.fits ~bits:2 3);
+  check_bool "4 not in 2 bits" false (Bits.fits ~bits:2 4);
+  check_bool "negative never fits" false (Bits.fits ~bits:10 (-1))
+
+let test_zigzag_known () =
+  List.iter
+    (fun (v, expected) -> check_int (Printf.sprintf "zigzag %d" v) expected (Bits.zigzag v))
+    [ (0, 0); (-1, 1); (1, 2); (-2, 3); (2, 4); (-3, 5) ]
+
+let prop_zigzag_roundtrip =
+  QCheck.Test.make ~name:"unzigzag (zigzag v) = v" ~count:500
+    QCheck.(int_range (-1_000_000_000) 1_000_000_000)
+    (fun v -> Bits.unzigzag (Bits.zigzag v) = v)
+
+let prop_zigzag_nonneg =
+  QCheck.Test.make ~name:"zigzag is non-negative" ~count:500
+    QCheck.(int_range (-1_000_000_000) 1_000_000_000)
+    (fun v -> Bits.zigzag v >= 0)
+
+(* -- Writer / Reader ------------------------------------------------------- *)
+
+let test_write_read_simple () =
+  let w = Writer.create () in
+  Writer.put w ~bits:3 0b101;
+  Writer.put w ~bits:5 0b11011;
+  Writer.put w ~bits:0 0;
+  Writer.put w ~bits:13 4095;
+  let r = Reader.of_string (Writer.to_reader_input w) in
+  check_int "field 1" 0b101 (Reader.get r 3);
+  check_int "field 2" 0b11011 (Reader.get r 5);
+  check_int "zero-width field" 0 (Reader.get r 0);
+  check_int "field 3" 4095 (Reader.get r 13)
+
+let test_msb_first_layout () =
+  let w = Writer.create () in
+  Writer.put w ~bits:4 0b1010;
+  Writer.put w ~bits:4 0b0110;
+  let bytes = Writer.contents w in
+  check_int "byte layout" 0b10100110 (Char.code (Bytes.get bytes 0))
+
+let test_spanning_byte_boundary () =
+  let w = Writer.create () in
+  Writer.put w ~bits:6 0b111111;
+  Writer.put w ~bits:6 0b000011;
+  let r = Reader.of_string (Writer.to_reader_input w) in
+  check_int "first" 0b111111 (Reader.get r 6);
+  check_int "second" 0b000011 (Reader.get r 6)
+
+let test_unary () =
+  let w = Writer.create () in
+  Writer.put_unary w 0;
+  Writer.put_unary w 5;
+  Writer.put_unary w 1;
+  let r = Reader.of_string (Writer.to_reader_input w) in
+  check_int "unary 0" 0 (Reader.get_unary r);
+  check_int "unary 5" 5 (Reader.get_unary r);
+  check_int "unary 1" 1 (Reader.get_unary r)
+
+let test_align () =
+  let w = Writer.create () in
+  Writer.put w ~bits:3 0b111;
+  Writer.align w 8;
+  check_int "aligned length" 8 (Writer.length_bits w);
+  Writer.align w 8;
+  check_int "align is idempotent" 8 (Writer.length_bits w);
+  Writer.put w ~bits:1 1;
+  Writer.align w 16;
+  check_int "align to 16" 16 (Writer.length_bits w)
+
+let test_seek_and_pos () =
+  let w = Writer.create () in
+  Writer.put w ~bits:8 0xAB;
+  Writer.put w ~bits:8 0xCD;
+  let r = Reader.of_string (Writer.to_reader_input w) in
+  check_int "initial pos" 0 (Reader.pos r);
+  ignore (Reader.get r 8);
+  check_int "pos after 8" 8 (Reader.pos r);
+  Reader.seek r 4;
+  check_int "mid-byte seek" 0xBC (Reader.get r 8);
+  check_int "remaining" 4 (Reader.remaining_bits r)
+
+let test_out_of_bits () =
+  let w = Writer.create () in
+  Writer.put w ~bits:4 7;
+  let r = Reader.of_string (Writer.to_reader_input w) in
+  ignore (Reader.get r 8);
+  Alcotest.check_raises "reading past the end" Reader.Out_of_bits (fun () ->
+      ignore (Reader.get r 1))
+
+let test_put_overflow_rejected () =
+  let w = Writer.create () in
+  Alcotest.check_raises "value too wide"
+    (Invalid_argument "Writer.put: value 4 does not fit in 2 bits") (fun () ->
+      Writer.put w ~bits:2 4)
+
+let test_writer_growth () =
+  let w = Writer.create ~initial_capacity_bytes:1 () in
+  for i = 0 to 999 do
+    Writer.put w ~bits:17 (i land 0x1FFFF)
+  done;
+  check_int "length" (1000 * 17) (Writer.length_bits w);
+  let r = Reader.of_string (Writer.to_reader_input w) in
+  for i = 0 to 999 do
+    check_int (Printf.sprintf "value %d" i) (i land 0x1FFFF) (Reader.get r 17)
+  done
+
+let field_list_gen =
+  (* widths 1..30 with values that fit *)
+  QCheck.Gen.(
+    list_size (int_range 1 200)
+      (int_range 1 30 >>= fun bits ->
+       map (fun v -> (bits, v)) (int_bound ((1 lsl bits) - 1))))
+
+let prop_writer_reader_roundtrip =
+  QCheck.Test.make ~name:"writer/reader round-trip of arbitrary field lists"
+    ~count:200
+    (QCheck.make ~print:(fun l ->
+         String.concat ";" (List.map (fun (b, v) -> Printf.sprintf "%d:%d" b v) l))
+       field_list_gen)
+    (fun fields ->
+      let w = Writer.create () in
+      List.iter (fun (bits, v) -> Writer.put w ~bits v) fields;
+      let r = Reader.of_string (Writer.to_reader_input w) in
+      List.for_all (fun (bits, v) -> Reader.get r bits = v) fields)
+
+let prop_length_is_sum_of_widths =
+  QCheck.Test.make ~name:"writer length equals sum of field widths" ~count:200
+    (QCheck.make field_list_gen)
+    (fun fields ->
+      let w = Writer.create () in
+      List.iter (fun (bits, v) -> Writer.put w ~bits v) fields;
+      Writer.length_bits w = List.fold_left (fun acc (b, _) -> acc + b) 0 fields)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let suite =
+  ( "bitstream",
+    [
+      Alcotest.test_case "width_for" `Quick test_width_for;
+      Alcotest.test_case "width_of_value" `Quick test_width_of_value;
+      Alcotest.test_case "fits" `Quick test_fits;
+      Alcotest.test_case "zigzag known values" `Quick test_zigzag_known;
+      Alcotest.test_case "write/read simple fields" `Quick test_write_read_simple;
+      Alcotest.test_case "MSB-first byte layout" `Quick test_msb_first_layout;
+      Alcotest.test_case "fields spanning byte boundaries" `Quick
+        test_spanning_byte_boundary;
+      Alcotest.test_case "unary coding" `Quick test_unary;
+      Alcotest.test_case "alignment" `Quick test_align;
+      Alcotest.test_case "seek and pos" `Quick test_seek_and_pos;
+      Alcotest.test_case "out of bits" `Quick test_out_of_bits;
+      Alcotest.test_case "overflowing put rejected" `Quick
+        test_put_overflow_rejected;
+      Alcotest.test_case "writer growth" `Quick test_writer_growth;
+      qcheck prop_zigzag_roundtrip;
+      qcheck prop_zigzag_nonneg;
+      qcheck prop_writer_reader_roundtrip;
+      qcheck prop_length_is_sum_of_widths;
+    ] )

@@ -1,0 +1,251 @@
+(* Differential tests: for every suite program and for generated random
+   programs, the direct HLR interpreter and the DIR reference interpreter
+   (with and without superoperator fusion) must produce identical output. *)
+
+open Uhm_hlr
+module Dir = Uhm_dir
+module Pipeline = Uhm_compiler.Pipeline
+module Fusion = Uhm_compiler.Fusion
+module Const_fold = Uhm_compiler.Const_fold
+module Suite = Uhm_workload.Suite
+
+let check_string = Alcotest.(check string)
+
+let hlr_output ast = Env_interp.run_output (Check.check_exn ast)
+
+let dir_output ?fuse ast =
+  Dir.Interp.run_output (Pipeline.compile ?fuse ast)
+
+let compile_src ?fuse src = Pipeline.compile ?fuse (Parser.parse src)
+
+(* -- Suite programs -------------------------------------------------------- *)
+
+let suite_case entry =
+  Alcotest.test_case entry.Suite.name `Quick (fun () ->
+      let ast = Suite.parse entry in
+      let expected = Env_interp.run_output ast in
+      Alcotest.(check bool) "produces output" true (String.length expected > 0);
+      check_string "base DIR output" expected (dir_output ~fuse:false ast);
+      check_string "fused DIR output" expected (dir_output ~fuse:true ast))
+
+(* -- Specific codegen behaviours ------------------------------------------- *)
+
+let test_entry_is_zero () =
+  let p = compile_src "begin print 1; end" in
+  Alcotest.(check int) "entry" 0 p.Dir.Program.entry
+
+let test_ends_with_halt () =
+  let p = compile_src "begin print 1; end" in
+  let last = p.Dir.Program.code.(Array.length p.Dir.Program.code - 1) in
+  Alcotest.(check bool) "halt" true (Dir.Isa.equal_opcode last.Dir.Isa.op Dir.Isa.Halt)
+
+let test_no_fall_through_into_labels () =
+  (* the digram-decoding discipline: every branch/call target must be
+     preceded by a non-falling instruction (or be instruction 0) *)
+  List.iter
+    (fun entry ->
+      List.iter
+        (fun fuse ->
+          let p = Suite.compile ~fuse entry in
+          let code = p.Dir.Program.code in
+          Array.iter
+            (fun { Dir.Isa.op; a; _ } ->
+              match Dir.Isa.shape op with
+              | Dir.Isa.Shape_target | Dir.Isa.Shape_call ->
+                  if a > 0 then
+                    let prev = code.(a - 1).Dir.Isa.op in
+                    if Dir.Isa.falls_through prev then
+                      Alcotest.failf "%s%s: target %d fallen into from %s"
+                        entry.Suite.name
+                        (if fuse then " (fused)" else "")
+                        a (Dir.Isa.mnemonic prev)
+              | _ -> ())
+            code)
+        [ false; true ])
+    Suite.all
+
+let test_contour_map_consistent () =
+  List.iter
+    (fun entry ->
+      let p = Suite.compile entry in
+      let map = Dir.Program.contour_of_instr p in
+      Array.iteri
+        (fun i { Dir.Isa.op; c; _ } ->
+          match op with
+          | Dir.Isa.Enter ->
+              Alcotest.(check int)
+                (Printf.sprintf "%s: enter %d maps to its own contour"
+                   entry.Suite.name i)
+                c map.(i)
+          | _ -> ())
+        p.Dir.Program.code)
+    Suite.all
+
+let test_static_link_hops () =
+  (* nested_scopes exercises hop counts 0..3; make sure deep hops appear *)
+  let p = Suite.compile (Suite.find "nested_scopes") in
+  let stats = Dir.Static_stats.of_program p in
+  Alcotest.(check bool) "max hop >= 3" true (Dir.Static_stats.max_level stats >= 3)
+
+let test_for_bound_evaluated_once () =
+  let src =
+    "begin integer i, n; n := 3; for i := 1 to n do n := 100; print i; print n; end"
+  in
+  check_string "bound snapshot" "4\n100\n"
+    (dir_output (Parser.parse src));
+  check_string "hlr agrees" "4\n100\n" (hlr_output (Parser.parse src))
+
+let test_write_compiles_to_printc () =
+  let p = compile_src "begin write \"ab\"; end" in
+  let printc_count =
+    Array.fold_left
+      (fun acc { Dir.Isa.op; _ } ->
+        if Dir.Isa.equal_opcode op Dir.Isa.Printc then acc + 1 else acc)
+      0 p.Dir.Program.code
+  in
+  Alcotest.(check int) "two printc" 2 printc_count
+
+(* -- Constant folding ------------------------------------------------------ *)
+
+let test_const_fold_shrinks () =
+  let src = "begin print 2 + 3 * 4; end" in
+  let folded = Pipeline.compile ~fold:true (Parser.parse src) in
+  let unfolded = Pipeline.compile ~fold:false (Parser.parse src) in
+  Alcotest.(check bool) "folded smaller" true
+    (Array.length folded.Dir.Program.code < Array.length unfolded.Dir.Program.code);
+  check_string "same output" (Dir.Interp.run_output folded)
+    (Dir.Interp.run_output unfolded)
+
+let test_const_fold_preserves_div_by_zero () =
+  let ast = Parser.parse "begin print 1 div 0; end" in
+  let folded = Const_fold.program ast in
+  Alcotest.(check bool) "division left in place" true
+    (Ast.equal_program ast folded)
+
+let test_const_fold_identities () =
+  let e = Parser.parse_expr "x + 0" in
+  Alcotest.(check bool) "x + 0 = x" true
+    (Ast.equal_expr (Const_fold.expr e) (Ast.Var "x"));
+  let e = Parser.parse_expr "1 * (2 + x)" in
+  Alcotest.(check bool) "1 * e = e" true
+    (Ast.equal_expr (Const_fold.expr e)
+       (Ast.Binop (Ast.Add_op, Ast.Num 2, Ast.Var "x")))
+
+(* -- Fusion ---------------------------------------------------------------- *)
+
+let count_superops p =
+  Array.fold_left
+    (fun acc { Dir.Isa.op; _ } -> if Dir.Isa.is_superop op then acc + 1 else acc)
+    0 p.Dir.Program.code
+
+let test_fusion_produces_superops () =
+  let p = Suite.compile ~fuse:true (Suite.find "loop_tight") in
+  Alcotest.(check bool) "superops present" true (count_superops p > 0)
+
+let test_fusion_shrinks_code () =
+  List.iter
+    (fun entry ->
+      let base = Suite.compile ~fuse:false entry in
+      let fused = Suite.compile ~fuse:true entry in
+      Alcotest.(check bool)
+        (entry.Suite.name ^ ": fused not larger")
+        true
+        (Array.length fused.Dir.Program.code
+        <= Array.length base.Dir.Program.code))
+    Suite.all
+
+let test_fusion_idempotent () =
+  List.iter
+    (fun entry ->
+      let once = Fusion.fuse (Suite.compile ~fuse:false entry) in
+      let twice = Fusion.fuse once in
+      Alcotest.(check bool)
+        (entry.Suite.name ^ ": idempotent")
+        true
+        (Array.for_all2 Dir.Isa.equal_instr once.Dir.Program.code
+           twice.Dir.Program.code))
+    Suite.all
+
+let test_fusion_never_swallows_targets () =
+  (* every branch target in the base program that survives fusion must map
+     to an instruction boundary; validated implicitly by equal outputs, and
+     explicitly by Program.validate inside fuse *)
+  List.iter
+    (fun entry -> ignore (Suite.compile ~fuse:true entry))
+    Suite.all
+
+(* -- Random program differential ------------------------------------------- *)
+
+(* Programs whose execution exceeds this budget are skipped: the generator
+   cannot bound nested-loop products tightly, and a rare giant case must not
+   stall the suite. *)
+let differential_fuel = 400_000
+
+let prop_differential =
+  QCheck.Test.make ~name:"HLR interp = DIR interp = fused DIR interp"
+    ~count:120 Gen_program.valid_program
+    (fun ast ->
+      let expected = Env_interp.run ~fuel:differential_fuel (Check.check_exn ast) in
+      match expected.Env_interp.status with
+      | Env_interp.Out_of_fuel -> true (* skip: too big to compare cheaply *)
+      | Env_interp.Halted ->
+          let base = Dir.Interp.run (Pipeline.compile ~fuse:false ast) in
+          let fused = Dir.Interp.run (Pipeline.compile ~fuse:true ast) in
+          let ok r =
+            match r.Dir.Interp.status with
+            | Dir.Interp.Halted ->
+                String.equal r.Dir.Interp.output expected.Env_interp.output
+            | _ -> false
+          in
+          if not (ok base) then
+            QCheck.Test.fail_reportf "base DIR diverges:\nHLR:%S\nDIR:%S"
+              expected.Env_interp.output base.Dir.Interp.output
+          else if not (ok fused) then
+            QCheck.Test.fail_reportf "fused DIR diverges:\nHLR:%S\nDIR:%S"
+              expected.Env_interp.output fused.Dir.Interp.output
+          else true
+      | Env_interp.Trapped _ ->
+          (* generator guarantees trap-freedom; a trap is a generator bug *)
+          QCheck.Test.fail_reportf "generated program trapped")
+
+let prop_fused_not_larger =
+  QCheck.Test.make ~name:"fusion never grows the instruction count" ~count:100
+    Gen_program.valid_program
+    (fun ast ->
+      let base = Pipeline.compile ~fuse:false ast in
+      let fused = Pipeline.compile ~fuse:true ast in
+      Array.length fused.Dir.Program.code <= Array.length base.Dir.Program.code)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let suite =
+  ( "compiler",
+    List.map suite_case Suite.all
+    @ [
+        Alcotest.test_case "entry is instruction 0" `Quick test_entry_is_zero;
+        Alcotest.test_case "program ends with halt" `Quick test_ends_with_halt;
+        Alcotest.test_case "no fall-through into labels" `Quick
+          test_no_fall_through_into_labels;
+        Alcotest.test_case "contour map marks enters" `Quick
+          test_contour_map_consistent;
+        Alcotest.test_case "deep static links generated" `Quick
+          test_static_link_hops;
+        Alcotest.test_case "for bound evaluated once" `Quick
+          test_for_bound_evaluated_once;
+        Alcotest.test_case "write becomes printc" `Quick
+          test_write_compiles_to_printc;
+        Alcotest.test_case "const fold shrinks code" `Quick
+          test_const_fold_shrinks;
+        Alcotest.test_case "const fold preserves traps" `Quick
+          test_const_fold_preserves_div_by_zero;
+        Alcotest.test_case "const fold identities" `Quick
+          test_const_fold_identities;
+        Alcotest.test_case "fusion produces superops" `Quick
+          test_fusion_produces_superops;
+        Alcotest.test_case "fusion shrinks code" `Quick test_fusion_shrinks_code;
+        Alcotest.test_case "fusion idempotent" `Quick test_fusion_idempotent;
+        Alcotest.test_case "fusion respects targets" `Quick
+          test_fusion_never_swallows_targets;
+        qcheck prop_differential;
+        qcheck prop_fused_not_larger;
+      ] )

@@ -1,0 +1,330 @@
+(* Tests for the DIR instruction set and its reference interpreter, using
+   hand-assembled programs. *)
+
+open Uhm_dir
+
+let check_string = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+
+let i = Isa.instr
+
+(* A single-contour program with [locals] local slots. *)
+let prog ?(name = "test") ?(locals = 0) code =
+  Program.validate_exn
+    (Program.make ~name
+       ~code:(Array.of_list code)
+       ~entry:0
+       ~contours:
+         [|
+           {
+             Program.id = 0; name = "<main>"; depth = 0; n_args = 0;
+             n_locals = locals; max_offset = max 0 (locals - 1);
+           };
+         |] ())
+
+let run_ok p =
+  let r = Interp.run p in
+  (match r.Interp.status with
+  | Interp.Halted -> ()
+  | Interp.Trapped m -> Alcotest.fail ("trapped: " ^ m)
+  | Interp.Out_of_fuel -> Alcotest.fail "out of fuel");
+  r
+
+let test_push_print () =
+  let p = prog [ i ~a:42 Isa.Lit; i Isa.Print; i Isa.Halt ] in
+  check_string "output" "42\n" (run_ok p).Interp.output
+
+let test_arith () =
+  let p =
+    prog
+      [
+        i ~a:10 Isa.Lit; i ~a:4 Isa.Lit; i Isa.Sub; i Isa.Print;
+        i ~a:7 Isa.Lit; i ~a:(-3) Isa.Lit; i Isa.Mul; i Isa.Print;
+        i ~a:17 Isa.Lit; i ~a:5 Isa.Lit; i Isa.Div; i Isa.Print;
+        i ~a:17 Isa.Lit; i ~a:5 Isa.Lit; i Isa.Mod; i Isa.Print;
+        i ~a:9 Isa.Lit; i Isa.Neg; i Isa.Print;
+        i Isa.Halt;
+      ]
+  in
+  check_string "arith" "6\n-21\n3\n2\n-9\n" (run_ok p).Interp.output
+
+let test_comparisons () =
+  let p =
+    prog
+      [
+        i ~a:1 Isa.Lit; i ~a:2 Isa.Lit; i Isa.Lt; i Isa.Print;
+        i ~a:2 Isa.Lit; i ~a:2 Isa.Lit; i Isa.Le; i Isa.Print;
+        i ~a:1 Isa.Lit; i ~a:2 Isa.Lit; i Isa.Gt; i Isa.Print;
+        i ~a:3 Isa.Lit; i ~a:3 Isa.Lit; i Isa.Eq; i Isa.Print;
+        i ~a:3 Isa.Lit; i ~a:4 Isa.Lit; i Isa.Ne; i Isa.Print;
+        i ~a:0 Isa.Lit; i Isa.Not; i Isa.Print;
+        i ~a:5 Isa.Lit; i ~a:0 Isa.Lit; i Isa.And; i Isa.Print;
+        i ~a:5 Isa.Lit; i ~a:0 Isa.Lit; i Isa.Or; i Isa.Print;
+        i Isa.Halt;
+      ]
+  in
+  check_string "cmp" "1\n1\n0\n1\n1\n1\n0\n1\n" (run_ok p).Interp.output
+
+let test_stack_ops () =
+  let p =
+    prog
+      [
+        i ~a:1 Isa.Lit; i ~a:2 Isa.Lit; i Isa.Swap; i Isa.Print; i Isa.Print;
+        i ~a:7 Isa.Lit; i Isa.Dup; i Isa.Print; i Isa.Print;
+        i ~a:9 Isa.Lit; i ~a:8 Isa.Lit; i Isa.Drop; i Isa.Print;
+        i Isa.Halt;
+      ]
+  in
+  check_string "stack" "1\n2\n7\n7\n9\n" (run_ok p).Interp.output
+
+let test_locals_load_store () =
+  let p =
+    prog ~locals:2
+      [
+        i ~a:5 Isa.Lit; i ~a:0 ~b:0 Isa.Store;
+        i ~a:0 ~b:0 Isa.Load; i ~a:1 Isa.Litadd; i ~a:0 ~b:1 Isa.Store;
+        i ~a:0 ~b:1 Isa.Load; i Isa.Print;
+        i Isa.Halt;
+      ]
+  in
+  check_string "locals" "6\n" (run_ok p).Interp.output
+
+let test_loop_with_jumps () =
+  (* print 0..3 using jz/jump *)
+  let p =
+    prog ~locals:1
+      [
+        (* 0 *) i ~a:0 Isa.Lit; i ~a:0 ~b:0 Isa.Store;
+        (* 2 *) i ~a:0 ~b:0 Isa.Load; i ~a:4 Isa.Lit; i Isa.Lt;
+        (* 5 *) i ~a:11 Isa.Jz;
+        (* 6 *) i ~a:0 ~b:0 Isa.Load; i Isa.Print;
+        (* 8 *) i ~a:0 ~b:0 Isa.Incvar;
+        (* 9 *) i ~a:2 Isa.Jump;
+        (* 10 *) i Isa.Halt;  (* unreachable *)
+        (* 11 *) i Isa.Halt;
+      ]
+  in
+  check_string "loop" "0\n1\n2\n3\n" (run_ok p).Interp.output
+
+let test_fused_cjump () =
+  let p =
+    prog
+      [
+        (* 0 *) i ~a:3 Isa.Lit; i ~a:5 Isa.Lit; i ~a:5 Isa.Cjlt;
+        (* 3 *) i ~a:111 Isa.Lit; i Isa.Print;
+        (* 5 *) i ~a:3 Isa.Lit; i ~a:3 Isa.Lit; i ~a:10 Isa.Cjlt;
+        (* 8 *) i ~a:222 Isa.Lit; i Isa.Print;
+        (* 10 *) i Isa.Halt;
+      ]
+  in
+  (* 3 < 5 so the first Cjlt falls through; 3 < 3 is false so the second jumps *)
+  check_string "cjlt" "111\n" (run_ok p).Interp.output
+
+let test_indirect_and_index () =
+  let p =
+    prog ~locals:4
+      [
+        (* a[0..2] at offsets 0..2, idx var at 3 *)
+        i ~a:10 Isa.Lit; i ~a:0 ~b:0 Isa.Store;
+        i ~a:20 Isa.Lit; i ~a:0 ~b:1 Isa.Store;
+        i ~a:30 Isa.Lit; i ~a:0 ~b:2 Isa.Store;
+        i ~a:2 Isa.Lit; i ~a:0 ~b:3 Isa.Store;
+        i ~a:0 ~b:0 Isa.Addr; i ~a:0 ~b:3 Isa.Load; i Isa.Index; i Isa.Loadi;
+        i Isa.Print;
+        (* a[1] := 99 via storei *)
+        i ~a:0 ~b:0 Isa.Addr; i ~a:1 Isa.Lit; i Isa.Index;
+        i ~a:99 Isa.Lit; i Isa.Storei;
+        i ~a:0 ~b:1 Isa.Load; i Isa.Print;
+        i Isa.Halt;
+      ]
+  in
+  check_string "indexing" "30\n99\n" (run_ok p).Interp.output
+
+(* Procedure call: double(x) = 2 * x, called with 21. *)
+let call_program =
+  let code =
+    [
+      (* 0: procedure double: enter 1 arg, 0 locals, contour 1 *)
+      i ~a:1 ~b:0 ~c:1 Isa.Enter;
+      (* 1 *) i ~a:2 Isa.Lit;
+      (* 2 *) i ~a:0 ~b:0 Isa.Load;
+      (* 3 *) i Isa.Mul;
+      (* 4 *) i Isa.Ret;
+      (* 5: main *)
+      i ~a:21 Isa.Lit;
+      (* 6 *) i ~a:0 ~b:0 Isa.Call;
+      (* 7 *) i Isa.Print;
+      (* 8 *) i Isa.Halt;
+    ]
+  in
+  Program.validate_exn
+    (Program.make ~name:"call" ~code:(Array.of_list code) ~entry:5
+       ~contours:
+         [|
+           { Program.id = 0; name = "<main>"; depth = 0; n_args = 0;
+             n_locals = 0; max_offset = 0 };
+           { Program.id = 1; name = "double"; depth = 1; n_args = 1;
+             n_locals = 0; max_offset = 0 };
+         |] ())
+
+let test_call () =
+  check_string "call/ret" "42\n" (run_ok call_program).Interp.output
+
+(* Recursion with static links: sum(n) = n + sum(n-1), sum(0) = 0. *)
+let recursion_program =
+  let code =
+    [
+      (* 0: sum *)
+      i ~a:1 ~b:0 ~c:1 Isa.Enter;
+      (* 1 *) i ~a:0 ~b:0 Isa.Load;
+      (* 2 *) i ~a:0 Isa.Lit;
+      (* 3 *) i ~a:6 Isa.Cjle;   (* if n > 0 go to 6 *)
+      (* 4 *) i ~a:0 Isa.Lit;
+      (* 5 *) i Isa.Ret;
+      (* 6 *) i ~a:0 ~b:0 Isa.Load;
+      (* 7 *) i ~a:0 ~b:0 Isa.Load;
+      (* 8 *) i ~a:1 Isa.Litsub;
+      (* 9 *) i ~a:0 ~b:1 Isa.Call;  (* recursive call: 1 hop for static link *)
+      (* 10 *) i Isa.Add;
+      (* 11 *) i Isa.Ret;
+      (* 12: main *)
+      i ~a:100 Isa.Lit;
+      (* 13 *) i ~a:0 ~b:0 Isa.Call;
+      (* 14 *) i Isa.Print;
+      (* 15 *) i Isa.Halt;
+    ]
+  in
+  Program.validate_exn
+    (Program.make ~name:"sum" ~code:(Array.of_list code) ~entry:12
+       ~contours:
+         [|
+           { Program.id = 0; name = "<main>"; depth = 0; n_args = 0;
+             n_locals = 0; max_offset = 0 };
+           { Program.id = 1; name = "sum"; depth = 1; n_args = 1;
+             n_locals = 0; max_offset = 0 };
+         |] ())
+
+let test_recursion () =
+  check_string "recursive sum" "5050\n" (run_ok recursion_program).Interp.output
+
+let test_traps () =
+  let trapped p expected =
+    match (Interp.run p).Interp.status with
+    | Interp.Trapped msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%S mentions %S" msg expected)
+          true
+          (Astring_contains.contains msg expected)
+    | _ -> Alcotest.fail "expected trap"
+  in
+  trapped (prog [ i ~a:1 Isa.Lit; i ~a:0 Isa.Lit; i Isa.Div; i Isa.Halt ]) "zero";
+  trapped (prog [ i Isa.Add; i Isa.Halt ]) "underflow";
+  trapped (prog [ i ~a:999 Isa.Lit; i Isa.Loadi; i Isa.Halt ]) "range";
+  trapped (prog [ i ~a:300 Isa.Lit; i Isa.Printc; i Isa.Halt ]) "printc"
+
+let test_fuel () =
+  let p = prog [ i ~a:0 Isa.Jump; i Isa.Halt ] in
+  match (Interp.run ~fuel:1000 p).Interp.status with
+  | Interp.Out_of_fuel -> ()
+  | _ -> Alcotest.fail "expected fuel exhaustion"
+
+let test_superop_equivalence () =
+  (* each superop must equal its expansion *)
+  let pairs =
+    [
+      ([ i ~a:10 Isa.Lit; i ~a:3 Isa.Litadd ], [ i ~a:10 Isa.Lit; i ~a:3 Isa.Lit; i Isa.Add ]);
+      ([ i ~a:10 Isa.Lit; i ~a:3 Isa.Litsub ], [ i ~a:10 Isa.Lit; i ~a:3 Isa.Lit; i Isa.Sub ]);
+      ([ i ~a:10 Isa.Lit; i ~a:3 Isa.Litmul ], [ i ~a:10 Isa.Lit; i ~a:3 Isa.Lit; i Isa.Mul ]);
+    ]
+  in
+  List.iter
+    (fun (fused, base) ->
+      let wrap body = prog (body @ [ i Isa.Print; i Isa.Halt ]) in
+      check_string "superop = expansion"
+        (run_ok (wrap base)).Interp.output
+        (run_ok (wrap fused)).Interp.output)
+    pairs
+
+let test_loadadd_family () =
+  let p =
+    prog ~locals:1
+      [
+        i ~a:7 Isa.Lit; i ~a:0 ~b:0 Isa.Store;
+        i ~a:100 Isa.Lit; i ~a:0 ~b:0 Isa.Loadadd; i Isa.Print;
+        i ~a:100 Isa.Lit; i ~a:0 ~b:0 Isa.Loadsub; i Isa.Print;
+        i ~a:100 Isa.Lit; i ~a:0 ~b:0 Isa.Loadmul; i Isa.Print;
+        i ~a:0 ~b:0 Isa.Decvar; i ~a:0 ~b:0 Isa.Load; i Isa.Print;
+        i Isa.Halt;
+      ]
+  in
+  check_string "loadadd family" "107\n93\n700\n6\n" (run_ok p).Interp.output
+
+let test_validate_rejects () =
+  let expect_invalid code =
+    let p =
+      Program.make ~name:"bad" ~code:(Array.of_list code) ~entry:0
+        ~contours:
+          [|
+            { Program.id = 0; name = "<main>"; depth = 0; n_args = 0;
+              n_locals = 0; max_offset = 0 };
+          |]
+        ()
+    in
+    match Program.validate p with
+    | Ok () -> Alcotest.fail "expected validation failure"
+    | Error _ -> ()
+  in
+  expect_invalid [ i ~a:99 Isa.Jump; i Isa.Halt ];
+  expect_invalid [ i ~a:0 Isa.Lit ];
+  expect_invalid [ i ~a:1 ~b:0 Isa.Call; i Isa.Halt ]
+
+let test_opcode_counts () =
+  let p = prog [ i ~a:1 Isa.Lit; i ~a:2 Isa.Lit; i Isa.Add; i Isa.Print; i Isa.Halt ] in
+  let r = run_ok p in
+  check_int "steps" 5 r.Interp.steps;
+  check_int "lit count" 2 r.Interp.opcode_counts.(Isa.opcode_to_enum Isa.Lit);
+  check_int "add count" 1 r.Interp.opcode_counts.(Isa.opcode_to_enum Isa.Add)
+
+let test_static_stats () =
+  let p =
+    prog ~locals:1
+      [
+        i ~a:5 Isa.Lit; i ~a:0 ~b:0 Isa.Store; i ~a:4 Isa.Jz;
+        i ~a:0 Isa.Jump; i Isa.Halt;
+      ]
+  in
+  let s = Static_stats.of_program p in
+  check_int "instructions" 5 s.Static_stats.n_instructions;
+  check_int "lit static count" 1 s.Static_stats.opcode_counts.(Isa.opcode_to_enum Isa.Lit);
+  check_int "max target" 4 (Static_stats.max_target s);
+  check_int "max offset" 0 (Static_stats.max_offset s)
+
+let test_listing () =
+  let text = Program.listing call_program in
+  Alcotest.(check bool) "mentions call" true (Astring_contains.contains text "call");
+  Alcotest.(check bool) "marks entry" true (Astring_contains.contains text "*")
+
+let suite =
+  ( "dir",
+    [
+      Alcotest.test_case "push/print" `Quick test_push_print;
+      Alcotest.test_case "arithmetic" `Quick test_arith;
+      Alcotest.test_case "comparisons and logic" `Quick test_comparisons;
+      Alcotest.test_case "stack ops" `Quick test_stack_ops;
+      Alcotest.test_case "locals" `Quick test_locals_load_store;
+      Alcotest.test_case "loop with jumps" `Quick test_loop_with_jumps;
+      Alcotest.test_case "fused conditional jump" `Quick test_fused_cjump;
+      Alcotest.test_case "indexing and indirection" `Quick
+        test_indirect_and_index;
+      Alcotest.test_case "procedure call" `Quick test_call;
+      Alcotest.test_case "recursion via static links" `Quick test_recursion;
+      Alcotest.test_case "traps" `Quick test_traps;
+      Alcotest.test_case "fuel" `Quick test_fuel;
+      Alcotest.test_case "superop equivalence" `Quick test_superop_equivalence;
+      Alcotest.test_case "loadadd family" `Quick test_loadadd_family;
+      Alcotest.test_case "validation rejects bad programs" `Quick
+        test_validate_rejects;
+      Alcotest.test_case "dynamic counts" `Quick test_opcode_counts;
+      Alcotest.test_case "static stats" `Quick test_static_stats;
+      Alcotest.test_case "listing" `Quick test_listing;
+    ] )

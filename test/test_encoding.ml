@@ -1,0 +1,184 @@
+(* Tests for the five static encodings: round-trips, size ordering, and the
+   compaction claims the paper cites (§3.2). *)
+
+module Dir = Uhm_dir
+module Codec = Uhm_encoding.Codec
+module Kind = Uhm_encoding.Kind
+module Suite = Uhm_workload.Suite
+module Pipeline = Uhm_compiler.Pipeline
+
+let all_kinds = Kind.all
+
+let compiled = lazy (List.map (fun e -> (e, Suite.compile ~fuse:false e)) Suite.all)
+
+let test_roundtrip_suite () =
+  List.iter
+    (fun (entry, p) ->
+      List.iter
+        (fun kind ->
+          let e = Codec.encode kind p in
+          let decoded = Codec.to_program e in
+          if not (Array.for_all2 Dir.Isa.equal_instr p.Dir.Program.code
+                    decoded.Dir.Program.code) then
+            Alcotest.failf "%s/%s: decode mismatch" entry.Suite.name
+              (Kind.name kind))
+        all_kinds)
+    (Lazy.force compiled)
+
+let test_roundtrip_fused () =
+  List.iter
+    (fun entry ->
+      let p = Suite.compile ~fuse:true entry in
+      List.iter
+        (fun kind ->
+          let e = Codec.encode kind p in
+          let decoded = Codec.to_program e in
+          if not (Array.for_all2 Dir.Isa.equal_instr p.Dir.Program.code
+                    decoded.Dir.Program.code) then
+            Alcotest.failf "%s/%s (fused): decode mismatch" entry.Suite.name
+              (Kind.name kind))
+        all_kinds)
+    Suite.all
+
+let size_of kind p = (Codec.encode kind p).Codec.size_bits
+
+let test_size_ordering () =
+  (* packed is never larger than word16; contextual never larger than
+     packed (contour widths are bounded by the program-wide widths) *)
+  List.iter
+    (fun (entry, p) ->
+      let word16 = size_of Kind.Word16 p in
+      let packed = size_of Kind.Packed p in
+      let contextual = size_of Kind.Contextual p in
+      if packed > word16 then
+        Alcotest.failf "%s: packed %d > word16 %d" entry.Suite.name packed word16;
+      if contextual > packed then
+        Alcotest.failf "%s: contextual %d > packed %d" entry.Suite.name
+          contextual packed)
+    (Lazy.force compiled)
+
+let test_wilner_compaction_claim () =
+  (* Wilner: encoding reduces memory requirements by 25-75%.  Our most
+     encoded kinds must save at least 25% against word16 on every suite
+     program. *)
+  List.iter
+    (fun (entry, p) ->
+      let word16 = float_of_int (size_of Kind.Word16 p) in
+      let best =
+        float_of_int (min (size_of Kind.Huffman p) (size_of Kind.Digram p))
+      in
+      let saving = 1. -. (best /. word16) in
+      if saving < 0.25 then
+        Alcotest.failf "%s: only %.1f%% saved" entry.Suite.name (saving *. 100.))
+    (Lazy.force compiled)
+
+let test_huffman_beats_packed_on_average () =
+  let total kind =
+    List.fold_left (fun acc (_, p) -> acc + size_of kind p) 0 (Lazy.force compiled)
+  in
+  let packed = total Kind.Packed and huffman = total Kind.Huffman in
+  Alcotest.(check bool)
+    (Printf.sprintf "huffman %d < packed %d" huffman packed)
+    true (huffman < packed)
+
+let test_digram_beats_huffman_on_average () =
+  let total kind =
+    List.fold_left (fun acc (_, p) -> acc + size_of kind p) 0 (Lazy.force compiled)
+  in
+  let huffman = total Kind.Huffman and digram = total Kind.Digram in
+  Alcotest.(check bool)
+    (Printf.sprintf "digram %d < huffman %d" digram huffman)
+    true (digram < huffman)
+
+let test_offsets_structure () =
+  List.iter
+    (fun (entry, p) ->
+      List.iter
+        (fun kind ->
+          let e = Codec.encode kind p in
+          let sizes = Codec.instr_sizes e in
+          Array.iteri
+            (fun i s ->
+              if s <= 0 then
+                Alcotest.failf "%s/%s: instruction %d has size %d"
+                  entry.Suite.name (Kind.name kind) i s)
+            sizes;
+          let n = Array.length e.Codec.offsets in
+          Alcotest.(check int)
+            (entry.Suite.name ^ ": offsets count")
+            (Array.length p.Dir.Program.code)
+            n;
+          Alcotest.(check int)
+            (entry.Suite.name ^ ": entry addr")
+            e.Codec.offsets.(p.Dir.Program.entry)
+            e.Codec.entry_addr)
+        all_kinds)
+    (Lazy.force compiled)
+
+let test_word16_is_16_aligned () =
+  List.iter
+    (fun (_, p) ->
+      let e = Codec.encode Kind.Word16 p in
+      Array.iter
+        (fun off ->
+          Alcotest.(check int) "aligned" 0 (off mod 16))
+        e.Codec.offsets)
+    (Lazy.force compiled)
+
+let test_index_of_addr () =
+  let p = Suite.compile (Suite.find "gcd") in
+  let e = Codec.encode Kind.Huffman p in
+  Array.iteri
+    (fun i off -> Alcotest.(check int) "inverse" i (Codec.index_of_addr e off))
+    e.Codec.offsets;
+  Alcotest.check_raises "misaligned address" Not_found (fun () ->
+      ignore (Codec.index_of_addr e (e.Codec.offsets.(1) + 1)))
+
+let prop_roundtrip_random =
+  QCheck.Test.make ~name:"all kinds round-trip on random programs" ~count:60
+    Gen_program.valid_program
+    (fun ast ->
+      let p = Pipeline.compile ~fuse:true ast in
+      List.for_all
+        (fun kind ->
+          let e = Codec.encode kind p in
+          let decoded = Codec.to_program e in
+          Array.for_all2 Dir.Isa.equal_instr p.Dir.Program.code
+            decoded.Dir.Program.code)
+        all_kinds)
+
+let prop_size_positive_and_consistent =
+  QCheck.Test.make ~name:"size_bits equals the sum of instruction sizes"
+    ~count:60 Gen_program.valid_program
+    (fun ast ->
+      let p = Pipeline.compile ast in
+      List.for_all
+        (fun kind ->
+          let e = Codec.encode kind p in
+          Array.fold_left ( + ) 0 (Codec.instr_sizes e) = e.Codec.size_bits)
+        all_kinds)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let suite =
+  ( "encoding",
+    [
+      Alcotest.test_case "round-trip: suite x all kinds" `Quick
+        test_roundtrip_suite;
+      Alcotest.test_case "round-trip: fused suite x all kinds" `Quick
+        test_roundtrip_fused;
+      Alcotest.test_case "size ordering word16 >= packed >= contextual" `Quick
+        test_size_ordering;
+      Alcotest.test_case "Wilner 25%+ compaction claim" `Quick
+        test_wilner_compaction_claim;
+      Alcotest.test_case "huffman beats packed on average" `Quick
+        test_huffman_beats_packed_on_average;
+      Alcotest.test_case "digram beats huffman on average" `Quick
+        test_digram_beats_huffman_on_average;
+      Alcotest.test_case "offsets and sizes structure" `Quick
+        test_offsets_structure;
+      Alcotest.test_case "word16 alignment" `Quick test_word16_is_16_aligned;
+      Alcotest.test_case "index_of_addr inverse" `Quick test_index_of_addr;
+      qcheck prop_roundtrip_random;
+      qcheck prop_size_positive_and_consistent;
+    ] )

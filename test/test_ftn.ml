@@ -1,0 +1,379 @@
+(* Tests for the Fortran-S front end — the second language on the host,
+   substantiating the paper's "universal" claim.  Differential ground truth
+   is the Fortran-S reference interpreter; the compiled DIR must agree with
+   it under the DIR reference interpreter and under every machine
+   strategy. *)
+
+module Ftn = Uhm_ftn
+module U = Uhm_core.Uhm
+module Dtb = Uhm_core.Dtb
+module Kind = Uhm_encoding.Kind
+module Machine = Uhm_machine.Machine
+module Isa = Uhm_dir.Isa
+
+let check_string = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+
+let parse src = Ftn.Check.check_exn (Ftn.Parser.parse ~name:"test" src)
+let ftn_out src = Ftn.Interp.run_output (parse src)
+let dir_out ?fuse src = Uhm_dir.Interp.run_output (Ftn.Codegen.compile_source ?fuse src)
+
+let both what expected src =
+  check_string (what ^ " (reference)") expected (ftn_out src);
+  check_string (what ^ " (dir)") expected (dir_out src);
+  check_string (what ^ " (dir fused)") expected (dir_out ~fuse:true src)
+
+(* -- Lexer ------------------------------------------------------------------- *)
+
+let test_lexer_lines_and_labels () =
+  let lines = Ftn.Lexer.tokenize "C comment\n   10 X = 1\n      GOTO 10\n" in
+  match lines with
+  | [ l1; l2 ] ->
+      Alcotest.(check (option int)) "label" (Some 10) l1.Ftn.Lexer.label;
+      Alcotest.(check (option int)) "no label" None l2.Ftn.Lexer.label;
+      check_int "line number" 2 l1.Ftn.Lexer.lineno
+  | _ -> Alcotest.fail "expected two lines"
+
+let test_lexer_case_and_strings () =
+  let lines = Ftn.Lexer.tokenize "      print 'it''s'\n" in
+  match lines with
+  | [ { Ftn.Lexer.tokens = [ Ftn.Lexer.Name "PRINT"; Ftn.Lexer.Str s ]; _ } ] ->
+      check_string "escape" "it's" s
+  | _ -> Alcotest.fail "unexpected tokens"
+
+let test_lexer_dotted () =
+  let lines = Ftn.Lexer.tokenize "      IF (A .GE. 2) GOTO 5\n" in
+  match lines with
+  | [ { Ftn.Lexer.tokens; _ } ] ->
+      Alcotest.(check bool) "contains .GE." true
+        (List.exists (fun t -> t = Ftn.Lexer.Dotted "GE") tokens)
+  | _ -> Alcotest.fail "expected one line"
+
+let test_lexer_rejects () =
+  Alcotest.check_raises "bad dotted" (Ftn.Lexer.Lex_error ("unknown operator .XY.", 1))
+    (fun () -> ignore (Ftn.Lexer.tokenize "      A .XY. B"));
+  Alcotest.check_raises "unterminated string"
+    (Ftn.Lexer.Lex_error ("unterminated string", 1)) (fun () ->
+      ignore (Ftn.Lexer.tokenize "      PRINT 'oops"))
+
+(* -- Parser ------------------------------------------------------------------ *)
+
+let minimal body =
+  Printf.sprintf "      PROGRAM T\n      INTEGER X, Y\n%s      END\n" body
+
+let test_parse_do_inclusive_terminal () =
+  let p = Ftn.Parser.parse (minimal "      DO 10 X = 1, 3\n      Y = Y + X\n   10 CONTINUE\n") in
+  match (List.hd p.Ftn.Ast.units).Ftn.Ast.body with
+  | [ (None, Ftn.Ast.Do d) ] ->
+      check_int "terminal" 10 d.Ftn.Ast.terminal;
+      check_int "body statements" 2 (List.length d.Ftn.Ast.body)
+  | _ -> Alcotest.fail "expected a single DO"
+
+let test_parse_if_block_else () =
+  let p =
+    Ftn.Parser.parse
+      (minimal
+         "      IF (X .EQ. 0) THEN\n      Y = 1\n      ELSE\n      Y = 2\n      ENDIF\n")
+  in
+  match (List.hd p.Ftn.Ast.units).Ftn.Ast.body with
+  | [ (None, Ftn.Ast.If_block (_, [ _ ], [ _ ])) ] -> ()
+  | _ -> Alcotest.fail "expected IF/ELSE/ENDIF"
+
+let test_parse_errors () =
+  let expect_parse_error src =
+    match Ftn.Parser.parse src with
+    | exception Ftn.Parser.Parse_error _ -> ()
+    | _ -> Alcotest.fail "expected a parse error"
+  in
+  expect_parse_error "      PROGRAM T\n      DO 10 I = 1, 3\n      END\n";
+  expect_parse_error "      PROGRAM T\n      IF (1) THEN\n      X = 1\n      END\n";
+  expect_parse_error "      PROGRAM T(A)\n      END\n"
+
+(* -- Checker ----------------------------------------------------------------- *)
+
+let check_fails src fragment =
+  match Ftn.Check.check (Ftn.Parser.parse src) with
+  | Ok () -> Alcotest.failf "checker accepted (wanted %s)" fragment
+  | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S mentions %S" msg fragment)
+        true
+        (Astring_contains.contains msg fragment)
+
+let test_check_rules () =
+  check_fails "      SUBROUTINE S\n      RETURN\n      END\n" "PROGRAM";
+  check_fails
+    "      PROGRAM A\n      END\n      PROGRAM B\n      END\n"
+    "more than one";
+  check_fails (minimal "      Z = 1\n") "undeclared";
+  check_fails (minimal "      X(3) = 1\n") "subscripted";
+  check_fails (minimal "      RETURN\n") "RETURN";
+  check_fails (minimal "      GOTO 99\n") "label";
+  check_fails
+    (minimal "      GOTO 10\n      DO 20 X = 1, 2\n   10 Y = 1\n   20 CONTINUE\n")
+    "not visible";
+  check_fails
+    "      PROGRAM T\n      INTEGER A(0)\n      END\n"
+    "dimension";
+  check_fails
+    (minimal "   10 CONTINUE\n   10 CONTINUE\n")
+    "duplicate label"
+
+let test_check_goto_out_of_loop_allowed () =
+  let src =
+    minimal "      DO 10 X = 1, 3\n      IF (X .EQ. 2) GOTO 20\n   10 CONTINUE\n   20 Y = 1\n"
+  in
+  match Ftn.Check.check (Ftn.Parser.parse src) with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+(* -- Semantics, differentially ------------------------------------------------ *)
+
+let test_do_semantics () =
+  both "simple DO" "1\n2\n3\n"
+    (minimal "      DO 10 X = 1, 3\n      PRINT X\n   10 CONTINUE\n");
+  both "empty range" ""
+    (minimal "      DO 10 X = 3, 1\n      PRINT X\n   10 CONTINUE\n");
+  both "negative step" "5\n3\n1\n"
+    (minimal "      DO 10 X = 5, 1, -2\n      PRINT X\n   10 CONTINUE\n");
+  both "terminal statement runs each iteration" "2\n4\n"
+    (minimal "      DO 10 X = 1, 2\n   10 PRINT X * 2\n")
+
+let test_goto_semantics () =
+  both "goto skip" "1\n3\n"
+    (minimal
+       "      PRINT 1\n      GOTO 10\n      PRINT 2\n   10 PRINT 3\n");
+  both "goto loop with exit" "0\n1\n2\n"
+    (minimal
+       "      X = 0\n   10 IF (X .GT. 2) GOTO 20\n      PRINT X\n      X = X + 1\n      GOTO 10\n   20 CONTINUE\n");
+  both "goto do terminal continues iteration" "1\n3\n"
+    (minimal
+       "      DO 10 X = 1, 3\n      IF (X .EQ. 2) GOTO 10\n      PRINT X\n   10 CONTINUE\n")
+
+let test_functions_and_subroutines () =
+  let src =
+    "      PROGRAM T\n\
+    \      INTEGER I\n\
+    \      DO 10 I = 1, 4\n\
+    \      PRINT ISQ(I) + 100\n\
+    \   10 CONTINUE\n\
+    \      CALL NOISY(2)\n\
+    \      STOP\n\
+    \      END\n\
+    \      FUNCTION ISQ(N)\n\
+    \      ISQ = N * N\n\
+    \      RETURN\n\
+    \      END\n\
+    \      SUBROUTINE NOISY(K)\n\
+    \      INTEGER J\n\
+    \      DO 10 J = 1, K\n\
+    \      PRINT -J\n\
+    \   10 CONTINUE\n\
+    \      RETURN\n\
+    \      END\n"
+  in
+  both "functions and subroutines" "101\n104\n109\n116\n-1\n-2\n" src
+
+let test_recursion () =
+  let src =
+    "      PROGRAM T\n\
+    \      PRINT IFACT(10)\n\
+    \      STOP\n\
+    \      END\n\
+    \      FUNCTION IFACT(N)\n\
+    \      IF (N .LE. 1) THEN\n\
+    \      IFACT = 1\n\
+    \      ELSE\n\
+    \      IFACT = N * IFACT(N - 1)\n\
+    \      ENDIF\n\
+    \      RETURN\n\
+    \      END\n"
+  in
+  both "recursive factorial" "3628800\n" src
+
+let test_arrays_one_based () =
+  both "one-based arrays" "1\n25\n"
+    "      PROGRAM T\n      INTEGER A(5)\n      INTEGER X\n      DO 10 X = 1, 5\n\
+    \      A(X) = X * X\n   10 CONTINUE\n      PRINT A(1)\n      PRINT A(5)\n      END\n"
+
+let test_mod_and_division () =
+  both "mod and division truncation" "-1\n-2\n2\n"
+    (minimal
+       "      PRINT MOD(-7, 3)\n      PRINT -7 / 3\n      PRINT -7 / -3\n")
+
+let test_print_string () =
+  both "string output" "HELLO, UHM\n42\n"
+    (minimal "      PRINT 'HELLO, UHM'\n      PRINT 42\n")
+
+let test_interp_traps () =
+  let trapped src fragment =
+    let r = Ftn.Interp.run (parse src) in
+    match r.Ftn.Interp.status with
+    | Ftn.Interp.Trapped msg ->
+        Alcotest.(check bool) fragment true (Astring_contains.contains msg fragment)
+    | _ -> Alcotest.fail "expected a trap"
+  in
+  trapped (minimal "      PRINT X / Y\n") "zero";
+  trapped
+    "      PROGRAM T\n      INTEGER A(3)\n      INTEGER X\n      X = 9\n      PRINT A(X)\n      END\n"
+    "out of bounds"
+
+let test_interp_fuel () =
+  let r = Ftn.Interp.run ~fuel:500 (parse (minimal "   10 GOTO 10\n")) in
+  Alcotest.(check bool) "fuel" true (r.Ftn.Interp.status = Ftn.Interp.Out_of_fuel)
+
+(* -- The whole suite, across machine strategies -------------------------------- *)
+
+let test_suite_on_all_strategies () =
+  List.iter
+    (fun entry ->
+      let expected = Ftn.Interp.run_output (Ftn.Suite.parse entry) in
+      let p = Ftn.Suite.compile ~fuse:true entry in
+      List.iter
+        (fun (strategy, kind) ->
+          let r = U.run ~strategy ~kind p in
+          (match r.U.status with
+          | Machine.Halted -> ()
+          | _ ->
+              Alcotest.failf "%s/%s did not halt" entry.Ftn.Suite.name
+                (U.strategy_name strategy));
+          if not (String.equal r.U.output expected) then
+            Alcotest.failf "%s/%s/%s output differs" entry.Ftn.Suite.name
+              (U.strategy_name strategy) (Kind.name kind))
+        [
+          (U.Interp, Kind.Digram);
+          (U.Cached 4096, Kind.Huffman);
+          (U.Dtb_strategy Dtb.paper_config, Kind.Contextual);
+          (U.Dtb_blocks ({ Dtb.sets = 32; assoc = 4; unit_words = 16;
+                           overflow_blocks = 256 }, 8), Kind.Packed);
+          (U.Psder_static, Kind.Packed);
+          (U.Der U.Der_level1, Kind.Packed);
+        ])
+    Ftn.Suite.all
+
+let test_encodings_roundtrip_ftn () =
+  List.iter
+    (fun entry ->
+      let p = Ftn.Suite.compile entry in
+      List.iter
+        (fun kind ->
+          let e = Uhm_encoding.Codec.encode kind p in
+          let decoded = Uhm_encoding.Codec.to_program e in
+          if
+            not
+              (Array.for_all2 Isa.equal_instr p.Uhm_dir.Program.code
+                 decoded.Uhm_dir.Program.code)
+          then
+            Alcotest.failf "%s/%s: decode mismatch" entry.Ftn.Suite.name
+              (Kind.name kind))
+        Kind.all)
+    Ftn.Suite.all
+
+let prop_pretty_roundtrip =
+  QCheck.Test.make ~name:"Fortran-S parse (pretty p) = normalize p" ~count:150
+    Gen_ftn.valid_program
+    (fun p ->
+      let printed = Ftn.Pretty.to_string p in
+      let reparsed =
+        try Ftn.Parser.parse ~name:p.Ftn.Ast.pname printed with
+        | Ftn.Parser.Parse_error (msg, lineno) ->
+            QCheck.Test.fail_reportf "reparse failed (line %d: %s) on:\n%s"
+              lineno msg printed
+        | Ftn.Lexer.Lex_error (msg, lineno) ->
+            QCheck.Test.fail_reportf "relex failed (line %d: %s) on:\n%s"
+              lineno msg printed
+      in
+      Ftn.Ast.equal_program
+        (Ftn.Ast_normalize.normalize reparsed)
+        (Ftn.Ast_normalize.normalize p))
+
+let test_suite_sources_roundtrip () =
+  List.iter
+    (fun entry ->
+      let p = Ftn.Parser.parse entry.Ftn.Suite.source in
+      let reparsed = Ftn.Parser.parse (Ftn.Pretty.to_string p) in
+      Alcotest.(check bool)
+        (entry.Ftn.Suite.name ^ " round-trips")
+        true
+        (Ftn.Ast.equal_program
+           (Ftn.Ast_normalize.normalize reparsed)
+           (Ftn.Ast_normalize.normalize p)))
+    Ftn.Suite.all
+
+let prop_ftn_differential =
+  QCheck.Test.make ~name:"Fortran-S reference = DIR = machine" ~count:60
+    Gen_ftn.valid_program
+    (fun ast ->
+      let checked = Ftn.Check.check_exn ast in
+      let reference = Ftn.Interp.run ~fuel:300_000 checked in
+      match reference.Ftn.Interp.status with
+      | Ftn.Interp.Out_of_fuel -> true (* skip oversized cases *)
+      | Ftn.Interp.Trapped _ ->
+          QCheck.Test.fail_reportf "generated Fortran-S program trapped"
+      | Ftn.Interp.Halted ->
+          let expected = reference.Ftn.Interp.output in
+          let dir = Ftn.Codegen.compile checked in
+          let fused = Uhm_compiler.Fusion.fuse dir in
+          let base_out = Uhm_dir.Interp.run_output dir in
+          let fused_out = Uhm_dir.Interp.run_output fused in
+          if not (String.equal base_out expected) then
+            QCheck.Test.fail_reportf "DIR diverges:\nref:%S\ndir:%S" expected
+              base_out
+          else if not (String.equal fused_out expected) then
+            QCheck.Test.fail_reportf "fused DIR diverges"
+          else
+            let m =
+              U.run ~strategy:(U.Dtb_strategy Dtb.paper_config)
+                ~kind:Kind.Huffman fused
+            in
+            m.U.status = Machine.Halted && String.equal m.U.output expected)
+
+let test_two_languages_one_host () =
+  (* the paper's premise in one assertion: programs from two dissimilar
+     HLRs run on the same machine build, same semantic routines, and both
+     enjoy the DTB *)
+  let algol = Uhm_workload.Suite.compile (Uhm_workload.Suite.find "gcd") in
+  let fortran = Ftn.Suite.compile (Ftn.Suite.find "ftn_euclid") in
+  List.iter
+    (fun p ->
+      let r = U.run ~strategy:(U.Dtb_strategy Dtb.paper_config) ~kind:Kind.Huffman p in
+      Alcotest.(check bool) "halted" true (r.U.status = Machine.Halted);
+      Alcotest.(check bool) "dtb effective" true
+        (Option.get r.U.dtb_hit_ratio > 0.9))
+    [ algol; fortran ]
+
+let suite =
+  ( "ftn",
+    [
+      Alcotest.test_case "lexer: lines and labels" `Quick test_lexer_lines_and_labels;
+      Alcotest.test_case "lexer: case and strings" `Quick test_lexer_case_and_strings;
+      Alcotest.test_case "lexer: dotted operators" `Quick test_lexer_dotted;
+      Alcotest.test_case "lexer: rejections" `Quick test_lexer_rejects;
+      Alcotest.test_case "parser: DO terminal inclusive" `Quick
+        test_parse_do_inclusive_terminal;
+      Alcotest.test_case "parser: IF block" `Quick test_parse_if_block_else;
+      Alcotest.test_case "parser: errors" `Quick test_parse_errors;
+      Alcotest.test_case "checker rules" `Quick test_check_rules;
+      Alcotest.test_case "checker: GOTO out of a loop" `Quick
+        test_check_goto_out_of_loop_allowed;
+      Alcotest.test_case "DO semantics" `Quick test_do_semantics;
+      Alcotest.test_case "GOTO semantics" `Quick test_goto_semantics;
+      Alcotest.test_case "functions and subroutines" `Quick
+        test_functions_and_subroutines;
+      Alcotest.test_case "recursion" `Quick test_recursion;
+      Alcotest.test_case "one-based arrays" `Quick test_arrays_one_based;
+      Alcotest.test_case "MOD and division" `Quick test_mod_and_division;
+      Alcotest.test_case "string output" `Quick test_print_string;
+      Alcotest.test_case "interpreter traps" `Quick test_interp_traps;
+      Alcotest.test_case "interpreter fuel" `Quick test_interp_fuel;
+      Alcotest.test_case "suite across strategies" `Slow
+        test_suite_on_all_strategies;
+      Alcotest.test_case "encodings round-trip" `Quick
+        test_encodings_roundtrip_ftn;
+      Alcotest.test_case "two languages, one host" `Quick
+        test_two_languages_one_host;
+      Alcotest.test_case "suite sources round-trip through the printer" `Quick
+        test_suite_sources_roundtrip;
+      QCheck_alcotest.to_alcotest prop_pretty_roundtrip;
+      QCheck_alcotest.to_alcotest prop_ftn_differential;
+    ] )

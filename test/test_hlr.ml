@@ -1,0 +1,328 @@
+(* Tests for the Algol-S front end: lexer, parser, printer round-trip,
+   checker, and the direct (associative-environment) interpreter. *)
+
+open Uhm_hlr
+
+let check_string = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+
+let parse source = Parser.parse ~name:"test" source
+
+let run source =
+  let p = Check.check_exn (parse source) in
+  Env_interp.run_output p
+
+(* -- Lexer ----------------------------------------------------------------- *)
+
+let test_lexer_basic () =
+  let tokens =
+    List.map (fun t -> t.Lexer.token) (Lexer.tokenize "begin x := 10; end")
+  in
+  Alcotest.(check bool) "token stream" true
+    (tokens
+    = [
+        Lexer.Kw "begin"; Lexer.Ident "x"; Lexer.Punct ":="; Lexer.Int 10;
+        Lexer.Punct ";"; Lexer.Kw "end"; Lexer.Eof;
+      ])
+
+let test_lexer_positions () =
+  let tokens = Lexer.tokenize "x\n  y" in
+  (match tokens with
+  | [ x; y; _eof ] ->
+      check_int "x line" 1 x.Lexer.line;
+      check_int "x col" 1 x.Lexer.col;
+      check_int "y line" 2 y.Lexer.line;
+      check_int "y col" 3 y.Lexer.col
+  | _ -> Alcotest.fail "expected three tokens");
+  ()
+
+let test_lexer_comment () =
+  let tokens = List.map (fun t -> t.Lexer.token) (Lexer.tokenize "a { skip me } b") in
+  Alcotest.(check bool) "comments skipped" true
+    (tokens = [ Lexer.Ident "a"; Lexer.Ident "b"; Lexer.Eof ])
+
+let test_lexer_errors () =
+  Alcotest.check_raises "unterminated comment"
+    (Lexer.Lex_error ("unterminated comment", 1, 1)) (fun () ->
+      ignore (Lexer.tokenize "{ never closed"));
+  Alcotest.check_raises "bad character"
+    (Lexer.Lex_error ("unexpected character '?'", 1, 1)) (fun () ->
+      ignore (Lexer.tokenize "?"))
+
+(* -- Parser ---------------------------------------------------------------- *)
+
+let test_parse_precedence () =
+  let e = Parser.parse_expr "1 + 2 * 3" in
+  Alcotest.(check bool) "mul binds tighter" true
+    (Ast.equal_expr e
+       (Ast.Binop (Ast.Add_op, Ast.Num 1, Ast.Binop (Ast.Mul_op, Ast.Num 2, Ast.Num 3))))
+
+let test_parse_comparison_vs_logic () =
+  let e = Parser.parse_expr "a < b and c > d" in
+  Alcotest.(check bool) "and over comparisons" true
+    (Ast.equal_expr e
+       (Ast.Binop
+          ( Ast.And_op,
+            Ast.Binop (Ast.Lt_op, Ast.Var "a", Ast.Var "b"),
+            Ast.Binop (Ast.Gt_op, Ast.Var "c", Ast.Var "d") )))
+
+let test_parse_dangling_else () =
+  let p = parse "begin if 1 then if 0 then print 1; else print 2; end" in
+  match p.Ast.body.Ast.stmts with
+  | [ Ast.If (_, Ast.If (_, _, Some _), None) ] -> ()
+  | _ -> Alcotest.fail "else must bind to the inner if"
+
+let test_parse_error_reports_position () =
+  try
+    ignore (parse "begin x := ; end");
+    Alcotest.fail "expected parse error"
+  with Parser.Parse_error (_, line, col) ->
+    check_int "line" 1 line;
+    check_int "col" 12 col
+
+let test_parse_procedure () =
+  let p =
+    parse
+      "begin procedure add(a, b); begin return a + b; end; print add(1, 2); end"
+  in
+  match p.Ast.body.Ast.decls with
+  | [ Ast.Proc_decl ("add", [ "a"; "b" ], _) ] -> ()
+  | _ -> Alcotest.fail "procedure declaration shape"
+
+(* -- Printer round-trip ---------------------------------------------------- *)
+
+let prop_pretty_roundtrip =
+  QCheck.Test.make ~name:"parse (pretty p) = normalize p" ~count:300
+    Gen_program.ast
+    (fun p ->
+      let printed = Pretty.to_string p in
+      let reparsed =
+        try Parser.parse ~name:p.Ast.name printed
+        with
+        | Parser.Parse_error (msg, line, col) ->
+            QCheck.Test.fail_reportf "reparse failed (%d:%d %s) on:\n%s" line
+              col msg printed
+        | Lexer.Lex_error (msg, line, col) ->
+            QCheck.Test.fail_reportf "relex failed (%d:%d %s) on:\n%s" line col
+              msg printed
+      in
+      Ast.equal_program (Ast_normalize.normalize reparsed)
+        (Ast_normalize.normalize p))
+
+let prop_valid_programs_check =
+  QCheck.Test.make ~name:"generated valid programs pass the checker" ~count:200
+    Gen_program.valid_program
+    (fun p -> match Check.check p with Ok () -> true | Error _ -> false)
+
+(* -- Checker --------------------------------------------------------------- *)
+
+let check_fails source fragment =
+  match Check.check (parse source) with
+  | Ok () -> Alcotest.fail ("checker accepted: " ^ source)
+  | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "message %S mentions %S" msg fragment)
+        true
+        (Astring_contains.contains msg fragment)
+
+let test_check_undeclared () = check_fails "begin x := 1; end" "undeclared"
+let test_check_duplicate () =
+  check_fails "begin integer x; integer x; x := 1; end" "duplicate"
+
+let test_check_arity () =
+  check_fails
+    "begin procedure p(a); begin return a; end; call p(1, 2); end"
+    "argument"
+
+let test_check_array_misuse () =
+  check_fails "begin integer array a[5]; a := 1; end" "subscript";
+  check_fails "begin integer x; x[0] := 1; end" "subscripted"
+
+let test_check_return_outside_proc () =
+  check_fails "begin return 1; end" "outside"
+
+let test_check_proc_as_var () =
+  check_fails "begin procedure p(); begin return 0; end; print p; end" "procedure"
+
+let test_check_shadowing_allowed () =
+  let source =
+    "begin integer x := 1; begin integer x := 2; print x; end; print x; end"
+  in
+  match Check.check (parse source) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+(* -- Direct interpreter ---------------------------------------------------- *)
+
+let test_interp_arith () =
+  check_string "arith" "7\n" (run "begin print 1 + 2 * 3; end")
+
+let test_interp_div_truncation () =
+  check_string "division truncates toward zero" "-2\n2\n-2\n"
+    (run "begin print (-7) div 3; print (-7) div (-3); print 7 div (-3); end")
+
+let test_interp_mod_sign () =
+  check_string "mod takes dividend sign" "-1\n1\n"
+    (run "begin print (-7) mod 3; print 7 mod (-3); end")
+
+let test_interp_scoping () =
+  check_string "shadowing" "2\n1\n"
+    (run "begin integer x := 1; begin integer x := 2; print x; end; print x; end")
+
+let test_interp_static_scope () =
+  (* The procedure reads the [x] of its *declaration* scope even when called
+     from a scope with another [x] — static scoping. *)
+  let source =
+    "begin\n\
+     integer x := 10;\n\
+     procedure show(); begin print x; return; end;\n\
+     begin integer x := 99; x := x; call show(); end;\n\
+     end"
+  in
+  check_string "static scoping" "10\n" (run source)
+
+let test_interp_recursion () =
+  let source =
+    "begin\n\
+     procedure fact(n);\n\
+     begin\n\
+    \  if n <= 1 then return 1;\n\
+    \  return n * fact(n - 1);\n\
+     end;\n\
+     print fact(10);\n\
+     end"
+  in
+  check_string "factorial" "3628800\n" (run source)
+
+let test_interp_mutual_recursion () =
+  let source =
+    "begin\n\
+     procedure isodd(n);\n\
+     begin if n = 0 then return 0; return iseven(n - 1); end;\n\
+     procedure iseven(n);\n\
+     begin if n = 0 then return 1; return isodd(n - 1); end;\n\
+     print iseven(10); print isodd(10); print iseven(7);\n\
+     end"
+  in
+  check_string "mutual recursion" "1\n0\n0\n" (run source)
+
+let test_interp_for_loops () =
+  check_string "upto" "0\n1\n2\n"
+    (run "begin integer i; for i := 0 to 2 do print i; end");
+  check_string "downto" "2\n1\n0\n"
+    (run "begin integer i; for i := 2 downto 0 do print i; end");
+  check_string "empty range" ""
+    (run "begin integer i; for i := 3 to 2 do print i; end");
+  check_string "loop variable after the loop" "3\n"
+    (run "begin integer i; for i := 0 to 2 do ; print i; end")
+
+let test_interp_while () =
+  check_string "while" "1\n2\n4\n8\n"
+    (run
+       "begin integer x := 1; while x < 10 do begin print x; x := x * 2; end; end")
+
+let test_interp_arrays () =
+  let source =
+    "begin\n\
+     integer array a[5];\n\
+     integer i;\n\
+     for i := 0 to 4 do a[i] := i * i;\n\
+     for i := 4 downto 0 do print a[i];\n\
+     end"
+  in
+  check_string "array fill and read" "16\n9\n4\n1\n0\n" (run source)
+
+let test_interp_write_printc () =
+  check_string "write and printc" "hi!\n"
+    (run "begin write \"hi\"; printc 33; printc 10; end")
+
+let test_interp_no_short_circuit () =
+  (* matches the compiled DIR: both operands evaluated *)
+  let source =
+    "begin\n\
+     integer c := 0;\n\
+     procedure bump(); begin c := c + 1; return 1; end;\n\
+     integer r;\n\
+     r := 0 and bump();\n\
+     print c;\n\
+     end"
+  in
+  check_string "and evaluates both sides" "1\n" (run source)
+
+let test_interp_traps () =
+  let p = Check.check_exn (parse "begin print 1 div 0; end") in
+  (match (Env_interp.run p).Env_interp.status with
+  | Env_interp.Trapped msg ->
+      Alcotest.(check bool) "mentions zero" true (Astring_contains.contains msg "zero")
+  | _ -> Alcotest.fail "expected trap");
+  let p = Check.check_exn (parse "begin integer array a[3]; print a[5]; end") in
+  match (Env_interp.run p).Env_interp.status with
+  | Env_interp.Trapped msg ->
+      Alcotest.(check bool) "mentions bounds" true
+        (Astring_contains.contains msg "bounds")
+  | _ -> Alcotest.fail "expected bounds trap"
+
+let test_interp_fuel () =
+  let p = Check.check_exn (parse "begin integer x; while 1 do x := x + 1; end") in
+  match (Env_interp.run ~fuel:10_000 p).Env_interp.status with
+  | Env_interp.Out_of_fuel -> ()
+  | _ -> Alcotest.fail "expected fuel exhaustion"
+
+let test_interp_counts_lookups () =
+  let p = Check.check_exn (parse "begin integer x := 1; print x + x + x; end") in
+  let r = Env_interp.run p in
+  Alcotest.(check bool) "lookups counted" true (r.Env_interp.name_lookups >= 4)
+
+let test_initializer_order () =
+  check_string "initializers see earlier initialised values" "5\n"
+    (run "begin integer a := 2; integer b := a + 3; print b; end")
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let suite =
+  ( "hlr",
+    [
+      Alcotest.test_case "lexer basics" `Quick test_lexer_basic;
+      Alcotest.test_case "lexer positions" `Quick test_lexer_positions;
+      Alcotest.test_case "lexer comments" `Quick test_lexer_comment;
+      Alcotest.test_case "lexer errors" `Quick test_lexer_errors;
+      Alcotest.test_case "precedence" `Quick test_parse_precedence;
+      Alcotest.test_case "comparisons under logic" `Quick
+        test_parse_comparison_vs_logic;
+      Alcotest.test_case "dangling else" `Quick test_parse_dangling_else;
+      Alcotest.test_case "parse error position" `Quick
+        test_parse_error_reports_position;
+      Alcotest.test_case "procedure declarations" `Quick test_parse_procedure;
+      Alcotest.test_case "check: undeclared" `Quick test_check_undeclared;
+      Alcotest.test_case "check: duplicate" `Quick test_check_duplicate;
+      Alcotest.test_case "check: arity" `Quick test_check_arity;
+      Alcotest.test_case "check: array misuse" `Quick test_check_array_misuse;
+      Alcotest.test_case "check: return placement" `Quick
+        test_check_return_outside_proc;
+      Alcotest.test_case "check: procedure as variable" `Quick
+        test_check_proc_as_var;
+      Alcotest.test_case "check: shadowing allowed" `Quick
+        test_check_shadowing_allowed;
+      Alcotest.test_case "interp: arithmetic" `Quick test_interp_arith;
+      Alcotest.test_case "interp: division truncation" `Quick
+        test_interp_div_truncation;
+      Alcotest.test_case "interp: mod sign" `Quick test_interp_mod_sign;
+      Alcotest.test_case "interp: shadowing" `Quick test_interp_scoping;
+      Alcotest.test_case "interp: static scoping" `Quick test_interp_static_scope;
+      Alcotest.test_case "interp: recursion" `Quick test_interp_recursion;
+      Alcotest.test_case "interp: mutual recursion" `Quick
+        test_interp_mutual_recursion;
+      Alcotest.test_case "interp: for loops" `Quick test_interp_for_loops;
+      Alcotest.test_case "interp: while" `Quick test_interp_while;
+      Alcotest.test_case "interp: arrays" `Quick test_interp_arrays;
+      Alcotest.test_case "interp: write/printc" `Quick test_interp_write_printc;
+      Alcotest.test_case "interp: no short-circuit" `Quick
+        test_interp_no_short_circuit;
+      Alcotest.test_case "interp: traps" `Quick test_interp_traps;
+      Alcotest.test_case "interp: fuel" `Quick test_interp_fuel;
+      Alcotest.test_case "interp: associative lookups counted" `Quick
+        test_interp_counts_lookups;
+      Alcotest.test_case "initializer order" `Quick test_initializer_order;
+      qcheck prop_pretty_roundtrip;
+      qcheck prop_valid_programs_check;
+    ] )

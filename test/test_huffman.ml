@@ -1,0 +1,330 @@
+(* Tests for the coding substrate: optimality bounds, canonical form,
+   restricted lengths, conditional (digram) coding, decode trees. *)
+
+module Freq = Uhm_huffman.Freq
+module Code = Uhm_huffman.Code
+module Restricted = Uhm_huffman.Restricted
+module Conditional = Uhm_huffman.Conditional
+module Writer = Uhm_bitstream.Writer
+module Reader = Uhm_bitstream.Reader
+
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* -- Freq ------------------------------------------------------------------ *)
+
+let test_freq_basic () =
+  let f = Freq.of_list ~alphabet_size:4 [ 0; 1; 1; 3; 3; 3 ] in
+  check_int "count 0" 1 (Freq.count f 0);
+  check_int "count 1" 2 (Freq.count f 1);
+  check_int "count 2" 0 (Freq.count f 2);
+  check_int "count 3" 3 (Freq.count f 3);
+  check_int "total" 6 (Freq.total f);
+  Alcotest.(check (array int)) "smoothed" [| 2; 3; 1; 4 |] (Freq.smoothed f)
+
+let test_entropy_uniform () =
+  check_float "4 equal symbols = 2 bits" 2. (Freq.entropy [| 5; 5; 5; 5 |]);
+  check_float "single symbol = 0 bits" 0. (Freq.entropy [| 9; 0; 0 |]);
+  check_float "empty = 0 bits" 0. (Freq.entropy [| 0; 0 |])
+
+let test_conditioned_of_sequence () =
+  let table =
+    Freq.Conditioned.of_sequence ~contexts:3 ~alphabet_size:2
+      ~ctx_of:(fun sym -> sym) ~start_ctx:2 [ 0; 1; 1; 0 ]
+  in
+  let counts = Freq.Conditioned.counts table in
+  (* start: 0; after 0: 1; after 1: 1 then 0 *)
+  Alcotest.(check (array int)) "ctx 2 (start)" [| 1; 0 |] counts.(2);
+  Alcotest.(check (array int)) "ctx 0" [| 0; 1 |] counts.(0);
+  Alcotest.(check (array int)) "ctx 1" [| 1; 1 |] counts.(1)
+
+(* -- Code ------------------------------------------------------------------ *)
+
+let test_two_symbols () =
+  let c = Code.of_frequencies [| 3; 7 |] in
+  Alcotest.(check (array int)) "both one bit" [| 1; 1 |] (Code.lengths c)
+
+let test_skewed_code_shorter_for_frequent () =
+  let c = Code.of_frequencies [| 50; 10; 10; 5 |] in
+  let lengths = Code.lengths c in
+  Alcotest.(check bool) "most frequent has the shortest codeword" true
+    (lengths.(0) <= lengths.(1)
+    && lengths.(0) <= lengths.(2)
+    && lengths.(0) <= lengths.(3))
+
+let test_single_symbol () =
+  let c = Code.of_frequencies [| 0; 42; 0 |] in
+  check_int "single symbol gets one bit" 1 (Code.lengths c).(1);
+  let w = Writer.create () in
+  Code.encode c w 1;
+  let r = Reader.of_string (Writer.to_reader_input w) in
+  check_int "decodes back" 1 (Code.decode c r)
+
+let test_zero_count_symbol_unencodable () =
+  let c = Code.of_frequencies [| 5; 0; 5 |] in
+  Alcotest.check_raises "no codeword" Not_found (fun () ->
+      ignore (Code.codeword c 1))
+
+let test_known_lengths () =
+  (* weights 1,1,2,4: classic skewed tree -> lengths 3,3,2,1 *)
+  let c = Code.of_frequencies [| 1; 1; 2; 4 |] in
+  Alcotest.(check (array int)) "lengths" [| 3; 3; 2; 1 |] (Code.lengths c)
+
+let test_of_lengths_kraft_violation () =
+  Alcotest.check_raises "kraft violation"
+    (Invalid_argument "Huffman.Code.of_lengths: lengths violate the Kraft inequality")
+    (fun () -> ignore (Code.of_lengths [| 1; 1; 1 |]))
+
+let test_total_bits () =
+  let c = Code.of_frequencies [| 1; 1; 2; 4 |] in
+  check_int "weighted total" ((1 * 3) + (1 * 3) + (2 * 2) + (4 * 1))
+    (Code.total_bits c [| 1; 1; 2; 4 |])
+
+let nonzero_counts_gen =
+  QCheck.Gen.(
+    int_range 2 40 >>= fun n ->
+    array_size (return n) (int_range 1 1000))
+
+let counts_arbitrary =
+  QCheck.make
+    ~print:(fun a ->
+      String.concat "," (Array.to_list (Array.map string_of_int a)))
+    nonzero_counts_gen
+
+let prop_roundtrip_sequence =
+  QCheck.Test.make ~name:"huffman encode/decode round-trip" ~count:200
+    counts_arbitrary
+    (fun counts ->
+      let c = Code.of_frequencies counts in
+      let n = Array.length counts in
+      (* encode a deterministic pseudo-random sequence of symbols *)
+      let symbols = List.init 300 (fun i -> i * 7919 mod n) in
+      let w = Writer.create () in
+      List.iter (Code.encode c w) symbols;
+      let r = Reader.of_string (Writer.to_reader_input w) in
+      List.for_all (fun s -> Code.decode c r = s) symbols)
+
+let prop_entropy_bound =
+  QCheck.Test.make
+    ~name:"huffman average length within [H, H+1)" ~count:200 counts_arbitrary
+    (fun counts ->
+      let c = Code.of_frequencies counts in
+      let avg = Code.average_length c counts in
+      let h = Freq.entropy counts in
+      avg >= h -. 1e-9 && avg < h +. 1. +. 1e-9)
+
+let prop_kraft_equality =
+  QCheck.Test.make ~name:"huffman code is complete (Kraft sum = 1)" ~count:200
+    counts_arbitrary
+    (fun counts ->
+      let lengths = Code.lengths (Code.of_frequencies counts) in
+      let max_len = Array.fold_left max 0 lengths in
+      let sum =
+        Array.fold_left
+          (fun acc l -> if l > 0 then acc + (1 lsl (max_len - l)) else acc)
+          0 lengths
+      in
+      sum = 1 lsl max_len)
+
+let prop_prefix_free =
+  QCheck.Test.make ~name:"codewords are prefix-free" ~count:100 counts_arbitrary
+    (fun counts ->
+      let c = Code.of_frequencies counts in
+      let words = ref [] in
+      Array.iteri
+        (fun sym l ->
+          if l > 0 then
+            let len, bits = Code.codeword c sym in
+            let s =
+              String.init len (fun i ->
+                  if (bits lsr (len - 1 - i)) land 1 = 1 then '1' else '0')
+            in
+            words := s :: !words)
+        (Code.lengths c);
+      let words = !words in
+      List.for_all
+        (fun w1 ->
+          List.for_all
+            (fun w2 ->
+              w1 == w2
+              || String.length w1 > String.length w2
+              || not (String.equal (String.sub w2 0 (String.length w1)) w1))
+            words)
+        words)
+
+let prop_optimality_vs_fixed_width =
+  QCheck.Test.make ~name:"huffman never beats entropy, never loses to fixed width"
+    ~count:200 counts_arbitrary
+    (fun counts ->
+      let c = Code.of_frequencies counts in
+      let nonzero = Array.fold_left (fun n x -> if x > 0 then n + 1 else n) 0 counts in
+      let fixed = max 1 (Uhm_bitstream.Bits.width_for nonzero) in
+      let total = Array.fold_left ( + ) 0 counts in
+      Code.total_bits c counts <= fixed * total)
+
+(* -- decode tree ----------------------------------------------------------- *)
+
+let test_decode_tree_shape () =
+  let c = Code.of_frequencies [| 1; 1; 2; 4 |] in
+  let tree = Code.decode_tree c in
+  (* simulate the machine decoder on symbol 0's codeword *)
+  let len, bits = Code.codeword c 0 in
+  let node = ref 0 in
+  let result = ref None in
+  for i = len - 1 downto 0 do
+    match !result with
+    | Some _ -> ()
+    | None ->
+        let b = (bits lsr i) land 1 in
+        let v = tree.((2 * !node) + b) in
+        if v >= 0 then node := v else result := Some (-v - 1)
+  done;
+  check_int "tree walk reaches symbol 0" 0 (Option.get !result)
+
+(* -- Restricted ------------------------------------------------------------ *)
+
+let test_restricted_uses_allowed_lengths () =
+  let counts = Array.init 20 (fun i -> 100 - (i * 4)) in
+  let lengths = Restricted.lengths ~allowed:Restricted.b1700_lengths counts in
+  Array.iteri
+    (fun sym l ->
+      if counts.(sym) > 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "symbol %d length %d allowed" sym l)
+          true
+          (List.mem l Restricted.b1700_lengths))
+    lengths
+
+let test_restricted_monotone () =
+  let counts = [| 100; 50; 25; 12; 6; 3 |] in
+  let lengths = Restricted.lengths ~allowed:[ 1; 2; 3; 4; 5; 6 ] counts in
+  for i = 0 to Array.length counts - 2 do
+    Alcotest.(check bool) "more frequent is never longer" true
+      (lengths.(i) <= lengths.(i + 1))
+  done
+
+let test_restricted_infeasible () =
+  Alcotest.check_raises "five symbols cannot fit in lengths <= 2"
+    (Invalid_argument
+       "Restricted.lengths: allowed lengths cannot accommodate the alphabet")
+    (fun () -> ignore (Restricted.lengths ~allowed:[ 1; 2 ] [| 1; 1; 1; 1; 1 |]))
+
+let prop_restricted_roundtrip =
+  QCheck.Test.make ~name:"restricted code round-trip" ~count:100
+    counts_arbitrary
+    (fun counts ->
+      let c = Restricted.of_frequencies ~allowed:Restricted.b1700_lengths counts in
+      let n = Array.length counts in
+      let symbols = List.init 200 (fun i -> i * 31 mod n) in
+      let w = Writer.create () in
+      List.iter (Code.encode c w) symbols;
+      let r = Reader.of_string (Writer.to_reader_input w) in
+      List.for_all (fun s -> Code.decode c r = s) symbols)
+
+let prop_restricted_close_to_optimal =
+  QCheck.Test.make
+    ~name:"restricted code within 3 bits/symbol of unrestricted" ~count:100
+    counts_arbitrary
+    (fun counts ->
+      let free = Code.of_frequencies counts in
+      let restricted =
+        Restricted.of_frequencies ~allowed:Restricted.b1700_lengths counts
+      in
+      Code.average_length restricted counts
+      <= Code.average_length free counts +. 3.)
+
+(* -- Conditional ----------------------------------------------------------- *)
+
+let test_conditional_roundtrip () =
+  let counts = [| [| 10; 1; 1 |]; [| 1; 10; 1 |]; [| 1; 1; 10 |] |] in
+  let t = Conditional.of_counts counts in
+  let symbols = [ 0; 0; 1; 2; 1; 0; 2; 2 ] in
+  let w = Writer.create () in
+  let _ =
+    List.fold_left
+      (fun ctx sym ->
+        Conditional.encode t w ~ctx sym;
+        sym)
+      0 symbols
+  in
+  let r = Reader.of_string (Writer.to_reader_input w) in
+  let decoded = ref [] in
+  let _ =
+    List.fold_left
+      (fun ctx _ ->
+        let sym = Conditional.decode t r ~ctx in
+        decoded := sym :: !decoded;
+        sym)
+      0 symbols
+  in
+  Alcotest.(check (list int)) "round-trip" symbols (List.rev !decoded)
+
+let test_conditional_beats_unconditional_on_markov_source () =
+  (* A strongly predictable source: symbol i is almost always followed by
+     (i+1) mod 3.  Conditioning must exploit it. *)
+  let contexts = 3 and n = 3 in
+  let counts = Array.make_matrix contexts n 0 in
+  let flat = Array.make n 0 in
+  let sym = ref 0 in
+  for step = 0 to 9999 do
+    let next = if step mod 17 = 0 then (!sym + 2) mod 3 else (!sym + 1) mod 3 in
+    counts.(!sym).(next) <- counts.(!sym).(next) + 1;
+    flat.(next) <- flat.(next) + 1;
+    sym := next
+  done;
+  let conditional = Conditional.of_counts ~smooth:true counts in
+  let unconditional = Code.of_frequencies flat in
+  let cond_bits = Conditional.total_bits conditional counts in
+  let flat_bits = Code.total_bits unconditional flat in
+  Alcotest.(check bool)
+    (Printf.sprintf "conditional %d < unconditional %d" cond_bits flat_bits)
+    true (cond_bits < flat_bits)
+
+let test_conditional_smoothing_covers_unseen () =
+  let counts = [| [| 100; 0 |]; [| 0; 100 |] |] in
+  let t = Conditional.of_counts ~smooth:true counts in
+  (* symbol 1 never seen in context 0, but must still be encodable *)
+  let w = Writer.create () in
+  Conditional.encode t w ~ctx:0 1;
+  let r = Reader.of_string (Writer.to_reader_input w) in
+  check_int "decodes" 1 (Conditional.decode t r ~ctx:0)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let suite =
+  ( "huffman",
+    [
+      Alcotest.test_case "freq basics" `Quick test_freq_basic;
+      Alcotest.test_case "entropy of simple distributions" `Quick
+        test_entropy_uniform;
+      Alcotest.test_case "conditioned counting" `Quick test_conditioned_of_sequence;
+      Alcotest.test_case "two symbols" `Quick test_two_symbols;
+      Alcotest.test_case "frequent symbols get short codes" `Quick
+        test_skewed_code_shorter_for_frequent;
+      Alcotest.test_case "single-symbol alphabet" `Quick test_single_symbol;
+      Alcotest.test_case "zero-count symbol unencodable" `Quick
+        test_zero_count_symbol_unencodable;
+      Alcotest.test_case "known optimal lengths" `Quick test_known_lengths;
+      Alcotest.test_case "kraft violation rejected" `Quick
+        test_of_lengths_kraft_violation;
+      Alcotest.test_case "total bits" `Quick test_total_bits;
+      Alcotest.test_case "decode tree walk" `Quick test_decode_tree_shape;
+      Alcotest.test_case "restricted lengths from allowed set" `Quick
+        test_restricted_uses_allowed_lengths;
+      Alcotest.test_case "restricted lengths monotone in frequency" `Quick
+        test_restricted_monotone;
+      Alcotest.test_case "restricted infeasible alphabet rejected" `Quick
+        test_restricted_infeasible;
+      Alcotest.test_case "conditional round-trip" `Quick test_conditional_roundtrip;
+      Alcotest.test_case "conditional beats unconditional on markov source"
+        `Quick test_conditional_beats_unconditional_on_markov_source;
+      Alcotest.test_case "conditional smoothing covers unseen symbols" `Quick
+        test_conditional_smoothing_covers_unseen;
+      qcheck prop_roundtrip_sequence;
+      qcheck prop_entropy_bound;
+      qcheck prop_kraft_equality;
+      qcheck prop_prefix_free;
+      qcheck prop_optimality_vs_fixed_width;
+      qcheck prop_restricted_roundtrip;
+      qcheck prop_restricted_close_to_optimal;
+    ] )

@@ -1,0 +1,64 @@
+(* Tests for the report substrate. *)
+
+module Table = Uhm_report.Table
+module Csv = Uhm_report.Csv
+
+let check_string = Alcotest.(check string)
+
+let test_table_layout () =
+  let t =
+    Table.create
+      ~columns:[ ("name", Table.Left); ("n", Table.Right); ("c", Table.Center) ]
+      ()
+  in
+  Table.add_row t [ "a"; "1"; "x" ];
+  Table.add_row t [ "long-name"; "12345"; "yy" ];
+  (* headers are padded with their column's alignment *)
+  check_string "render"
+    "name           n  c \n\
+     ---------  -----  --\n\
+     a              1  x \n\
+     long-name  12345  yy\n"
+    (Table.render t)
+
+let test_table_title_and_rule () =
+  let t = Table.create ~title:"T" ~columns:[ ("h", Table.Left) ] () in
+  Table.add_row t [ "v" ];
+  Table.add_rule t;
+  Table.add_row t [ "w" ];
+  check_string "render" "T\n=\nh\n-\nv\n-\nw\n" (Table.render t)
+
+let test_table_arity_check () =
+  let t = Table.create ~columns:[ ("a", Table.Left); ("b", Table.Left) ] () in
+  Alcotest.check_raises "wrong arity"
+    (Invalid_argument "Table.add_row: expected 2 cells, got 1") (fun () ->
+      Table.add_row t [ "only one" ])
+
+let test_cells () =
+  check_string "float" "3.14" (Table.cell_float ~decimals:2 3.14159);
+  check_string "int" "42" (Table.cell_int 42);
+  check_string "pct" "12.5%" (Table.cell_pct ~decimals:1 0.125);
+  check_string "bytes small" "512 B" (Table.cell_bytes 512);
+  check_string "bytes KiB" "2.0 KiB" (Table.cell_bytes 2048);
+  check_string "bytes MiB" "3.00 MiB" (Table.cell_bytes (3 * 1024 * 1024))
+
+let test_csv_escaping () =
+  check_string "plain" "abc" (Csv.escape_field "abc");
+  check_string "comma" "\"a,b\"" (Csv.escape_field "a,b");
+  check_string "quote" "\"say \"\"hi\"\"\"" (Csv.escape_field "say \"hi\"");
+  check_string "newline" "\"a\nb\"" (Csv.escape_field "a\nb")
+
+let test_csv_render () =
+  check_string "render" "h1,h2\n1,\"x,y\"\n"
+    (Csv.render ~header:[ "h1"; "h2" ] [ [ "1"; "x,y" ] ])
+
+let suite =
+  ( "report",
+    [
+      Alcotest.test_case "table layout" `Quick test_table_layout;
+      Alcotest.test_case "table title and rules" `Quick test_table_title_and_rule;
+      Alcotest.test_case "table arity" `Quick test_table_arity_check;
+      Alcotest.test_case "cell formatting" `Quick test_cells;
+      Alcotest.test_case "csv escaping" `Quick test_csv_escaping;
+      Alcotest.test_case "csv rendering" `Quick test_csv_render;
+    ] )

@@ -1,0 +1,148 @@
+(* Tests for the workload library: suite hygiene, the locality analyses and
+   the synthetic trace generator. *)
+
+module Suite = Uhm_workload.Suite
+module Locality = Uhm_workload.Locality
+module Tracegen = Uhm_workload.Tracegen
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_suite_programs_parse_and_check () =
+  List.iter (fun e -> ignore (Suite.parse e)) Suite.all
+
+let test_suite_names_unique () =
+  let names = Suite.names () in
+  check_int "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_suite_find () =
+  check_bool "find returns the entry" true
+    (String.equal (Suite.find "gcd").Suite.name "gcd");
+  Alcotest.check_raises "unknown raises" Not_found (fun () ->
+      ignore (Suite.find "no-such-program"))
+
+let test_suite_outputs_deterministic () =
+  List.iter
+    (fun e ->
+      let out1 = Uhm_dir.Interp.run_output (Suite.compile e) in
+      let out2 = Uhm_dir.Interp.run_output (Suite.compile e) in
+      Alcotest.(check string) (e.Suite.name ^ " deterministic") out1 out2;
+      check_bool (e.Suite.name ^ " produces output") true
+        (String.length out1 > 0))
+    Suite.all
+
+let test_suite_loopiness_classes_are_meaningful () =
+  (* a tight program must have a much higher LRU-64 hit ratio than the
+     flat one *)
+  let ratio name =
+    Locality.hit_ratio_for_capacity ~capacity:64
+      (Locality.trace_of_program (Suite.compile (Suite.find name)))
+  in
+  check_bool "tight beats flat" true
+    (ratio "loop_tight" > ratio "flat_straightline" +. 0.5)
+
+(* -- Locality ----------------------------------------------------------------- *)
+
+let test_footprint_bounds () =
+  let trace = [| 3; 3; 3; 7; 7; 9 |] in
+  check_int "footprint" 3 (Locality.footprint trace);
+  check_int "empty" 0 (Locality.footprint [||])
+
+let test_working_set_windows () =
+  let trace = [| 1; 2; 1; 2; 5; 6; 7; 8 |] in
+  Alcotest.(check (array int)) "windows of 4" [| 2; 4 |]
+    (Locality.working_set_sizes ~window:4 trace);
+  Alcotest.(check (float 1e-9)) "average" 3.
+    (Locality.average_working_set ~window:4 trace)
+
+let test_reuse_distance_simple () =
+  (* 1 2 3 1: the second 1 has seen 2 distinct addresses since *)
+  Alcotest.(check (array int)) "distances" [| 2 |]
+    (Locality.reuse_distances [| 1; 2; 3; 1 |])
+
+let test_hit_ratio_edge_cases () =
+  Alcotest.(check (float 1e-9)) "empty trace" 0.
+    (Locality.hit_ratio_for_capacity ~capacity:4 [||]);
+  Alcotest.(check (float 1e-9)) "all cold" 0.
+    (Locality.hit_ratio_for_capacity ~capacity:100 [| 1; 2; 3 |])
+
+let test_trace_of_program_matches_steps () =
+  let p = Suite.compile (Suite.find "fact_iter") in
+  let trace = Locality.trace_of_program p in
+  let r = Uhm_dir.Interp.run p in
+  check_int "length = steps" r.Uhm_dir.Interp.steps (Array.length trace);
+  check_int "starts at entry" p.Uhm_dir.Program.entry trace.(0)
+
+let prop_working_set_bounded_by_footprint =
+  QCheck.Test.make ~name:"working set <= min(window, footprint)" ~count:100
+    QCheck.(list_of_size Gen.(int_range 10 400) (int_bound 50))
+    (fun addrs ->
+      let trace = Array.of_list addrs in
+      let fp = Locality.footprint trace in
+      Array.for_all
+        (fun w -> w <= min 10 fp)
+        (Locality.working_set_sizes ~window:10 trace))
+
+let prop_hit_ratio_monotone =
+  QCheck.Test.make ~name:"LRU hit ratio monotone in capacity" ~count:60
+    QCheck.(list_of_size Gen.(int_range 10 300) (int_bound 30))
+    (fun addrs ->
+      let trace = Array.of_list addrs in
+      let h c = Locality.hit_ratio_for_capacity ~capacity:c trace in
+      h 1 <= h 4 +. 1e-9 && h 4 <= h 16 +. 1e-9 && h 16 <= h 64 +. 1e-9)
+
+(* -- Tracegen ------------------------------------------------------------------ *)
+
+let test_tracegen_bounds () =
+  let cfg = { Tracegen.default with Tracegen.length = 2000; code_size = 100 } in
+  let trace = Tracegen.generate cfg in
+  check_int "length" 2000 (Array.length trace);
+  check_bool "addresses in range" true
+    (Array.for_all (fun a -> a >= 0 && a < 100) trace)
+
+let test_prng_determinism_and_range () =
+  let a = Tracegen.Prng.create ~seed:11 in
+  let b = Tracegen.Prng.create ~seed:11 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Tracegen.Prng.next a) (Tracegen.Prng.next b)
+  done;
+  let r = Tracegen.Prng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let v = Tracegen.Prng.below r 17 in
+    check_bool "below bound" true (v >= 0 && v < 17)
+  done
+
+let test_prng_float_range () =
+  let r = Tracegen.Prng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let f = Tracegen.Prng.float r in
+    check_bool "in [0,1)" true (f >= 0. && f < 1.)
+  done
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let suite =
+  ( "workload",
+    [
+      Alcotest.test_case "suite programs parse and check" `Quick
+        test_suite_programs_parse_and_check;
+      Alcotest.test_case "suite names unique" `Quick test_suite_names_unique;
+      Alcotest.test_case "suite find" `Quick test_suite_find;
+      Alcotest.test_case "suite outputs deterministic" `Quick
+        test_suite_outputs_deterministic;
+      Alcotest.test_case "loopiness classes meaningful" `Quick
+        test_suite_loopiness_classes_are_meaningful;
+      Alcotest.test_case "footprint" `Quick test_footprint_bounds;
+      Alcotest.test_case "working-set windows" `Quick test_working_set_windows;
+      Alcotest.test_case "reuse distance" `Quick test_reuse_distance_simple;
+      Alcotest.test_case "hit ratio edge cases" `Quick test_hit_ratio_edge_cases;
+      Alcotest.test_case "trace matches interpreter steps" `Quick
+        test_trace_of_program_matches_steps;
+      Alcotest.test_case "tracegen bounds" `Quick test_tracegen_bounds;
+      Alcotest.test_case "prng determinism and range" `Quick
+        test_prng_determinism_and_range;
+      Alcotest.test_case "prng float range" `Quick test_prng_float_range;
+      qcheck prop_working_set_bounded_by_footprint;
+      qcheck prop_hit_ratio_monotone;
+    ] )
