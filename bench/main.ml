@@ -5,8 +5,14 @@
    Usage: main.exe [target ...]
    Targets: table1 table2 table3 figure1 figure2 figure3 figure4
             model-vs-sim encodings assoc alloc crossover assist blocks
-            languages summary datapath levels locality micro all
-   No arguments = everything except micro. *)
+            languages summary datapath levels locality micro perf all
+   No arguments = everything except micro and perf.
+
+   The perf target measures host-side simulator throughput (wall time,
+   simulated cycles per second) and writes BENCH_simulator.json in the
+   current directory.  Environment knobs: UHM_PERF_RUNS (min runs per
+   sample), UHM_PERF_SECONDS (min seconds per sample), UHM_PERF_OUT
+   (output path). *)
 
 module Table = Uhm_report.Table
 module Kind = Uhm_encoding.Kind
@@ -920,6 +926,44 @@ let micro () =
   Table.print t
 
 (* ------------------------------------------------------------------ *)
+(* Host-side simulator throughput                                      *)
+(* ------------------------------------------------------------------ *)
+
+let perf () =
+  section "Perf: host-side simulator throughput (wall clock, not simulated)";
+  let getenv_num name of_string default =
+    match Sys.getenv_opt name with
+    | Some s -> (match of_string s with Some v -> v | None -> default)
+    | None -> default
+  in
+  let min_runs = getenv_num "UHM_PERF_RUNS" int_of_string_opt 5 in
+  let min_seconds = getenv_num "UHM_PERF_SECONDS" float_of_string_opt 0.2 in
+  let path =
+    Option.value ~default:"BENCH_simulator.json"
+      (Sys.getenv_opt "UHM_PERF_OUT")
+  in
+  let samples = Uhm_core.Perf.run_suite ~min_runs ~min_seconds () in
+  let t =
+    Table.create
+      ~columns:
+        [ ("workload/strategy", Table.Left); ("runs", Table.Right);
+          ("us/run", Table.Right); ("sim cycles/s", Table.Right);
+          ("host instrs/s", Table.Right) ]
+      ()
+  in
+  List.iter
+    (fun s ->
+      Table.add_row t
+        [ Printf.sprintf "%s/%s" s.Uhm_core.Perf.workload
+            s.Uhm_core.Perf.strategy;
+          Table.cell_int s.Uhm_core.Perf.runs;
+          Table.cell_float s.Uhm_core.Perf.wall_us_per_run;
+          Printf.sprintf "%.2fM" (s.Uhm_core.Perf.sim_cycles_per_sec /. 1e6);
+          Printf.sprintf "%.2fM" (s.Uhm_core.Perf.host_instrs_per_sec /. 1e6) ])
+    samples;
+  Table.print t;
+  Uhm_core.Perf.write_json ~path samples;
+  Printf.printf "\nwrote %s (%d samples)\n" path (List.length samples)
 
 let targets : (string * (unit -> unit)) list =
   [
@@ -930,13 +974,16 @@ let targets : (string * (unit -> unit)) list =
     ("crossover", crossover); ("assist", assist); ("blocks", blocks);
     ("languages", languages); ("summary", summary); ("datapath", datapath);
     ("levels", levels); ("locality", locality); ("micro", micro);
+    ("perf", perf);
   ]
 
 let () =
   let requested =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as names) when not (List.mem "all" names) -> names
-    | _ -> List.map fst (List.filter (fun (n, _) -> n <> "micro") targets)
+    | _ ->
+        List.map fst
+          (List.filter (fun (n, _) -> n <> "micro" && n <> "perf") targets)
   in
   List.iter
     (fun name ->

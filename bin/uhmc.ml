@@ -6,7 +6,8 @@
      encode    show the program's size under every encoding
      trace     locality statistics of the program's instruction trace
      calibrate measure the paper's cost parameters from simulation
-     suite     list the built-in benchmark programs *)
+     suite     list the built-in benchmark programs
+     perf      measure host-side simulator throughput; write BENCH json *)
 
 open Cmdliner
 module Table = Uhm_report.Table
@@ -263,6 +264,76 @@ let calibrate_cmd =
     Term.(const action $ file_arg $ program_arg $ fortran_arg $ fuse_arg
           $ kind_arg)
 
+(* -- perf --------------------------------------------------------------------- *)
+
+let perf_cmd =
+  let runs_arg =
+    Arg.(value & opt int 5
+         & info [ "runs" ] ~docv:"N"
+             ~doc:"Minimum timed runs per workload/strategy sample.")
+  in
+  let seconds_arg =
+    Arg.(value & opt float 0.2
+         & info [ "seconds" ] ~docv:"S"
+             ~doc:"Minimum seconds of timed runs per sample.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"PATH"
+             ~doc:"Also write the samples as BENCH_simulator.json-format \
+                   JSON to $(docv).")
+  in
+  let workloads_arg =
+    Arg.(value & opt_all string []
+         & info [ "w"; "workload" ] ~docv:"NAME"
+             ~doc:"Workload to measure (repeatable); default is the \
+                   representative set.")
+  in
+  let action min_runs min_seconds out workloads =
+    let module Perf = Uhm_core.Perf in
+    let workloads = if workloads = [] then Perf.default_workloads else workloads in
+    (match
+       List.filter
+         (fun w -> not (List.exists (( = ) w) (Uhm_workload.Suite.names ())))
+         workloads
+     with
+    | [] -> ()
+    | unknown ->
+        Printf.eprintf "uhmc: unknown workload%s %s; see `uhmc suite`\n"
+          (if List.length unknown > 1 then "s" else "")
+          (String.concat ", " unknown);
+        exit 1);
+    let samples = Perf.run_suite ~workloads ~min_runs ~min_seconds () in
+    let t =
+      Table.create
+        ~columns:
+          [ ("workload/strategy", Table.Left); ("runs", Table.Right);
+            ("us/run", Table.Right); ("sim cycles/s", Table.Right);
+            ("host instrs/s", Table.Right) ]
+        ()
+    in
+    List.iter
+      (fun s ->
+        Table.add_row t
+          [ Printf.sprintf "%s/%s" s.Perf.workload s.Perf.strategy;
+            Table.cell_int s.Perf.runs;
+            Table.cell_float s.Perf.wall_us_per_run;
+            Printf.sprintf "%.2fM" (s.Perf.sim_cycles_per_sec /. 1e6);
+            Printf.sprintf "%.2fM" (s.Perf.host_instrs_per_sec /. 1e6) ])
+      samples;
+    Table.print t;
+    match out with
+    | Some path ->
+        Perf.write_json ~path samples;
+        Printf.printf "wrote %s (%d samples)\n" path (List.length samples)
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "perf"
+       ~doc:"Measure host-side simulator throughput (wall clock) for the \
+             representative workloads under each strategy.")
+    Term.(const action $ runs_arg $ seconds_arg $ out_arg $ workloads_arg)
+
 (* -- suite -------------------------------------------------------------------- *)
 
 let suite_cmd =
@@ -300,4 +371,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "uhmc" ~doc)
           [ compile_cmd; run_cmd; encode_cmd; trace_cmd; calibrate_cmd;
-            suite_cmd ]))
+            suite_cmd; perf_cmd ]))

@@ -28,7 +28,9 @@ let peek_bool t =
   if t.cursor >= length_bits t then raise Out_of_bits;
   bit_at t t.cursor
 
-let get t bits =
+(* Bit-at-a-time extraction, retained as the executable reference the
+   word-wise [get] is differentially tested against. *)
+let get_bitwise t bits =
   if bits < 0 || bits > Bits.max_width then
     invalid_arg "Reader.get: width out of range";
   if t.cursor + bits > length_bits t then raise Out_of_bits;
@@ -38,6 +40,37 @@ let get t bits =
     t.cursor <- t.cursor + 1
   done;
   !v
+
+(* Byte-at-a-time extraction: the first byte is masked below the start
+   offset, whole middle bytes are shifted in, and the last byte contributes
+   only its bits above the end offset, so the accumulator never exceeds
+   [bits] <= [Bits.max_width] significant bits. *)
+let get t bits =
+  if bits < 0 || bits > Bits.max_width then
+    invalid_arg "Reader.get: width out of range";
+  let pos = t.cursor in
+  if pos + bits > length_bits t then raise Out_of_bits;
+  if bits = 0 then 0
+  else begin
+    t.cursor <- pos + bits;
+    let data = t.data in
+    let first = pos lsr 3 in
+    let last = (pos + bits - 1) lsr 3 in
+    let trailing = 7 - ((pos + bits - 1) land 7) in
+    if first = last then
+      (Char.code (String.unsafe_get data first) lsr trailing)
+      land ((1 lsl bits) - 1)
+    else begin
+      let v =
+        ref (Char.code (String.unsafe_get data first) land (0xff lsr (pos land 7)))
+      in
+      for b = first + 1 to last - 1 do
+        v := (!v lsl 8) lor Char.code (String.unsafe_get data b)
+      done;
+      (!v lsl (8 - trailing))
+      lor (Char.code (String.unsafe_get data last) lsr trailing)
+    end
+  end
 
 let get_unary t =
   let rec count n = if get_bool t then count (n + 1) else n in

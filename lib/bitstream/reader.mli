@@ -16,7 +16,11 @@ val of_string : string -> t
 val get : t -> int -> int
 (** [get r bits] reads [bits] bits MSB-first and advances the cursor.
     [bits] may be 0 (returns 0).  Raises {!Out_of_bits} past the end and
-    [Invalid_argument] on a bad width. *)
+    [Invalid_argument] on a bad width.  Extracts byte-at-a-time. *)
+
+val get_bitwise : t -> int -> int
+(** Bit-at-a-time reference implementation of {!get}: same contract, same
+    results, kept so the optimised path can be differentially tested. *)
 
 val get_bool : t -> bool
 (** [get_bool r] reads one bit. *)

@@ -18,7 +18,7 @@ let paper_config = { sets = 64; assoc = 4; unit_words = 4; overflow_blocks = 256
 
 type entry = {
   mutable tag : int;          (* DIR address; -1 invalid *)
-  mutable lru : int;          (* 0 = most recent *)
+  mutable stamp : int;        (* recency timestamp; larger = more recent *)
   mutable chain : int list;   (* overflow block addresses owned *)
   unit_addr : int;            (* primary unit address *)
 }
@@ -26,6 +26,7 @@ type entry = {
 type t = {
   cfg : config;
   entries : entry array array; (* sets x ways *)
+  mutable clock : int;         (* recency clock for the replacement array *)
   mutable free_blocks : int list;
   (* open translation state *)
   mutable open_entry : entry option;
@@ -53,7 +54,8 @@ let create cfg ~buffer_base =
         Array.init cfg.assoc (fun w ->
             {
               tag = -1;
-              lru = w;
+              (* way 0 most recent, way [assoc-1] first victim *)
+              stamp = -w;
               chain = [];
               unit_addr =
                 buffer_base + (((s * cfg.assoc) + w) * cfg.unit_words);
@@ -67,6 +69,7 @@ let create cfg ~buffer_base =
   {
     cfg;
     entries;
+    clock = 0;
     free_blocks;
     open_entry = None;
     cursor = 0;
@@ -85,11 +88,12 @@ let buffer_words t = config_capacity_words t.cfg
    spreads them well (the hash is a config point for ablations via [sets]). *)
 let set_of t tag = (tag lxor (tag lsr 7)) land (t.cfg.sets - 1)
 
+(* O(1) timestamp recency in place of the O(assoc) counter shuffle; the
+   victim scan in [begin_translation] picks the minimum stamp, which is the
+   same entry counter LRU would evict. *)
 let touch t set way =
-  let ways = t.entries.(set) in
-  let old = ways.(way).lru in
-  Array.iter (fun e -> if e.lru < old then e.lru <- e.lru + 1) ways;
-  ways.(way).lru <- 0
+  t.clock <- t.clock + 1;
+  t.entries.(set).(way).stamp <- t.clock
 
 let lookup t ~tag =
   let set = set_of t tag in
@@ -113,7 +117,7 @@ let begin_translation t ~tag =
   let set = set_of t tag in
   let ways = t.entries.(set) in
   let victim = ref 0 in
-  Array.iteri (fun w e -> if e.lru > ways.(!victim).lru then victim := w) ways;
+  Array.iteri (fun w e -> if e.stamp < ways.(!victim).stamp then victim := w) ways;
   let e = ways.(!victim) in
   if e.tag >= 0 then begin
     t.evictions <- t.evictions + 1;

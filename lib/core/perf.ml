@@ -1,0 +1,142 @@
+(* Host-side throughput measurement of the simulator itself.
+
+   Where the rest of uhm_core measures *simulated* cycles, this module
+   measures how fast the host machine chews through them: wall-clock time
+   per run, simulated cycles per second, and host instructions per second
+   for the representative workloads under each execution strategy.  The
+   results feed BENCH_simulator.json so the repo carries a perf trajectory
+   across PRs. *)
+
+module Kind = Uhm_encoding.Kind
+module Codec = Uhm_encoding.Codec
+module Suite = Uhm_workload.Suite
+
+type sample = {
+  workload : string;
+  strategy : string;
+  encoding : string;
+  runs : int;
+  wall_seconds : float;        (* total over all runs *)
+  sim_cycles : int;            (* per run (deterministic) *)
+  host_instrs : int;           (* per run *)
+  short_instrs : int;          (* per run *)
+  dir_steps : int;             (* per run *)
+  sim_cycles_per_sec : float;
+  host_instrs_per_sec : float;
+  wall_us_per_run : float;
+}
+
+(* The paper's three machine organisations plus the fully-bound DER corner. *)
+let strategies =
+  [
+    ("interp", Uhm.Interp);
+    ("cached", Uhm.Cached 4096);
+    ("dtb", Uhm.Dtb_strategy Dtb.paper_config);
+    ("der", Uhm.Der Uhm.Der_level1);
+  ]
+
+(* One loop-dominated, one call-dominated, one low-locality program: the
+   same representatives the bench tables use. *)
+let default_workloads = [ "fact_iter"; "fib_rec"; "flat_straightline" ]
+
+let kind = Kind.Huffman
+
+let measure ?(min_runs = 5) ?(min_seconds = 0.2) ~workload
+    ~strategy_name ~strategy () =
+  (* at least one timed run, so the rates are always finite *)
+  let min_runs = max 1 min_runs in
+  let p = Suite.compile (Suite.find workload) in
+  let encoded = Codec.encode kind p in
+  let run () =
+    match strategy with
+    | Uhm.Psder_static | Uhm.Der _ -> Uhm.run ~strategy ~kind p
+    | _ -> Uhm.run_encoded ~strategy encoded
+  in
+  (* one warm-up run, also the source of the per-run counters *)
+  let r = run () in
+  let stats = r.Uhm.machine_stats in
+  let runs = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let elapsed () = Unix.gettimeofday () -. t0 in
+  while !runs < min_runs || elapsed () < min_seconds do
+    ignore (Sys.opaque_identity (run ()));
+    incr runs
+  done;
+  let wall = elapsed () in
+  let per_sec count =
+    float_of_int (count * !runs) /. (if wall > 0. then wall else epsilon_float)
+  in
+  {
+    workload;
+    strategy = strategy_name;
+    encoding = Kind.name kind;
+    runs = !runs;
+    wall_seconds = wall;
+    sim_cycles = r.Uhm.cycles;
+    host_instrs = stats.Uhm_machine.Machine.host_instrs;
+    short_instrs = stats.Uhm_machine.Machine.short_instrs;
+    dir_steps = r.Uhm.dir_steps;
+    sim_cycles_per_sec = per_sec r.Uhm.cycles;
+    host_instrs_per_sec = per_sec stats.Uhm_machine.Machine.host_instrs;
+    wall_us_per_run = 1e6 *. wall /. float_of_int !runs;
+  }
+
+let run_suite ?(workloads = default_workloads) ?min_runs ?min_seconds () =
+  List.concat_map
+    (fun workload ->
+      List.map
+        (fun (strategy_name, strategy) ->
+          measure ?min_runs ?min_seconds ~workload ~strategy_name ~strategy ())
+        strategies)
+    workloads
+
+(* -- JSON ------------------------------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let sample_to_json s =
+  Printf.sprintf
+    "    {\n\
+    \      \"workload\": \"%s\",\n\
+    \      \"strategy\": \"%s\",\n\
+    \      \"encoding\": \"%s\",\n\
+    \      \"runs\": %d,\n\
+    \      \"wall_seconds\": %.6f,\n\
+    \      \"wall_us_per_run\": %.2f,\n\
+    \      \"sim_cycles\": %d,\n\
+    \      \"host_instrs\": %d,\n\
+    \      \"short_instrs\": %d,\n\
+    \      \"dir_steps\": %d,\n\
+    \      \"sim_cycles_per_sec\": %.1f,\n\
+    \      \"host_instrs_per_sec\": %.1f\n\
+    \    }"
+    (json_escape s.workload) (json_escape s.strategy) (json_escape s.encoding)
+    s.runs s.wall_seconds s.wall_us_per_run s.sim_cycles s.host_instrs
+    s.short_instrs s.dir_steps s.sim_cycles_per_sec s.host_instrs_per_sec
+
+let to_json samples =
+  Printf.sprintf
+    "{\n\
+    \  \"schema\": \"uhm-bench-simulator/1\",\n\
+    \  \"generated_by\": \"bench/main.exe perf\",\n\
+    \  \"unix_time\": %.0f,\n\
+    \  \"samples\": [\n%s\n  ]\n}\n"
+    (Unix.time ())
+    (String.concat ",\n" (List.map sample_to_json samples))
+
+let write_json ~path samples =
+  let oc = open_out path in
+  output_string oc (to_json samples);
+  close_out oc

@@ -1,0 +1,46 @@
+(** Host-side throughput measurement of the simulator.
+
+    Times real (wall-clock) execution of the representative workloads under
+    each execution strategy and reports simulated cycles per second — the
+    repo's perf trajectory, persisted as [BENCH_simulator.json] by
+    [bench/main.exe perf] and [uhmc perf]. *)
+
+type sample = {
+  workload : string;
+  strategy : string;
+  encoding : string;
+  runs : int;
+  wall_seconds : float;        (** total over all timed runs *)
+  sim_cycles : int;            (** per run (deterministic) *)
+  host_instrs : int;           (** per run *)
+  short_instrs : int;          (** per run *)
+  dir_steps : int;             (** per run *)
+  sim_cycles_per_sec : float;
+  host_instrs_per_sec : float;
+  wall_us_per_run : float;
+}
+
+val strategies : (string * Uhm.strategy) list
+(** The measured strategies: interp, cached, dtb, der. *)
+
+val default_workloads : string list
+(** ["fact_iter"; "fib_rec"; "flat_straightline"]. *)
+
+val measure :
+  ?min_runs:int -> ?min_seconds:float -> workload:string ->
+  strategy_name:string -> strategy:Uhm.strategy -> unit -> sample
+(** [measure ~workload ~strategy_name ~strategy ()] times repeated full runs
+    (compile and encode are outside the timed region; one warm-up run is
+    discarded) until both [min_runs] (default 5) and [min_seconds]
+    (default 0.2) are reached. *)
+
+val run_suite :
+  ?workloads:string list -> ?min_runs:int -> ?min_seconds:float -> unit ->
+  sample list
+(** Every workload crossed with every strategy. *)
+
+val to_json : sample list -> string
+(** The BENCH_simulator.json document: an object with [schema],
+    [generated_by], [unix_time] and a [samples] array. *)
+
+val write_json : path:string -> sample list -> unit

@@ -4,8 +4,12 @@ type t = {
   block_words : int;
   (* tags.(set).(way) = block address, or -1 when invalid *)
   tags : int array array;
-  (* lru.(set).(way): 0 = most recent; the paper's "replacement array" *)
-  lru : int array array;
+  (* stamp.(set).(way): larger = more recently used.  Timestamp recency is
+     the paper's "replacement array" in O(1) per touch: counters would need
+     an O(assoc) shuffle on every access, quadratic-ish for the
+     full-associativity ablation. *)
+  stamp : int array array;
+  mutable clock : int;
   mutable hits : int;
   mutable misses : int;
 }
@@ -29,7 +33,9 @@ let create ?(assoc = 4) ?(block_words = 4) ~capacity_words () =
     assoc;
     block_words;
     tags = Array.make_matrix sets assoc (-1);
-    lru = Array.init sets (fun _ -> Array.init assoc (fun w -> w));
+    (* way 0 most recent, way [assoc-1] first victim, as with counters *)
+    stamp = Array.init sets (fun _ -> Array.init assoc (fun w -> -w));
+    clock = 0;
     hits = 0;
     misses = 0;
   }
@@ -37,12 +43,8 @@ let create ?(assoc = 4) ?(block_words = 4) ~capacity_words () =
 let set_of t block = block land (t.sets - 1)
 
 let touch t set way =
-  let order = t.lru.(set) in
-  let old = order.(way) in
-  for w = 0 to t.assoc - 1 do
-    if order.(w) < old then order.(w) <- order.(w) + 1
-  done;
-  order.(way) <- 0
+  t.clock <- t.clock + 1;
+  t.stamp.(set).(way) <- t.clock
 
 let find t set block =
   let tags = t.tags.(set) in
@@ -62,10 +64,10 @@ let access t addr =
   | None ->
       t.misses <- t.misses + 1;
       (* evict the least recently used way *)
-      let order = t.lru.(set) in
+      let stamp = t.stamp.(set) in
       let victim = ref 0 in
       for w = 1 to t.assoc - 1 do
-        if order.(w) > order.(!victim) then victim := w
+        if stamp.(w) < stamp.(!victim) then victim := w
       done;
       t.tags.(set).(!victim) <- block;
       touch t set !victim;

@@ -41,17 +41,44 @@ let category_index = function
   | Asm.Translate -> 3
   | Asm.Der -> 4
 
+(* -- Paged memory ------------------------------------------------------------
+   Simulated memory is sparse: the default layout spans ~1.6M words but a run
+   touches only a few pages of it.  Pages start as a shared all-zero page and
+   are copied on first write, so creating a machine costs a small page table
+   instead of zeroing megabytes. *)
+
+let page_bits = 12
+let page_words = 1 lsl page_bits
+let page_mask = page_words - 1
+
+(* Shared by every machine; the copy-on-write check in [mem_set] keeps it
+   all-zero forever. *)
+let zero_page : int array = Array.make page_words 0
+
+(* -- Region cost table --------------------------------------------------------
+   Memory access time by region, resolved in O(1): a table holds one cost per
+   [cost_page_words]-word page when the page lies entirely inside one region,
+   and [cost_mixed] when a region boundary splits the page (then the original
+   first-match scan decides, preserving exact semantics for any layout). *)
+
+let cost_page_bits = 8
+let cost_page_words = 1 lsl cost_page_bits
+let cost_mixed = -1
+
 type t = {
   code : H.instr array;
   code_cat : int array;
-  mem : int array;
+  mem : int array array;
+  mem_words : int;
   regions : region array;
+  region_cost : int array;
   regs : int array;
   timing : Timing.t;
   fuel : int;
   out : Buffer.t;
   stats : stats;
-  mutable pc : pc;
+  mutable pc_short : bool;
+  mutable pc_addr : int;
   mutable status : status;
   mutable hooks : hooks option;
   mutable dir_bits : string;
@@ -77,6 +104,43 @@ let trap fmt = Printf.ksprintf (fun s -> raise (Machine_trap s)) fmt
 let short_tag = 1 lsl 40
 let short_mask = short_tag - 1
 
+(* First-match linear scan over the region list; the reference semantics the
+   cost table must agree with. *)
+let scan_cost regions addr =
+  let rec go i =
+    if i >= Array.length regions then raise Not_found
+    else
+      let r = Array.unsafe_get regions i in
+      if addr >= r.base && addr < r.base + r.size then r.cost else go (i + 1)
+  in
+  go 0
+
+let build_cost_table regions mem_words =
+  let pages = (mem_words + cost_page_words - 1) lsr cost_page_bits in
+  let tbl = Array.make pages cost_mixed in
+  (* A page is uniform unless some region boundary falls strictly inside
+     it; boundaries on page edges leave the covering-region set constant
+     across the page. *)
+  let mixed = Array.make pages false in
+  Array.iter
+    (fun r ->
+      List.iter
+        (fun b ->
+          if b land (cost_page_words - 1) <> 0 then begin
+            let pg = b lsr cost_page_bits in
+            if pg < pages then mixed.(pg) <- true
+          end)
+        [ r.base; r.base + r.size ])
+    regions;
+  for pg = 0 to pages - 1 do
+    if not mixed.(pg) then
+      tbl.(pg) <-
+        (match scan_cost regions (pg lsl cost_page_bits) with
+        | cost -> cost
+        | exception Not_found -> cost_mixed)
+  done;
+  tbl
+
 let create ?(timing = Timing.paper) ?(fuel = 1_000_000_000) ~program ~mem_words
     ~regions () =
   let regions = Array.of_list regions in
@@ -85,11 +149,14 @@ let create ?(timing = Timing.paper) ?(fuel = 1_000_000_000) ~program ~mem_words
       if r.base < 0 || r.size < 0 || r.base + r.size > mem_words then
         invalid_arg (Printf.sprintf "Machine.create: region %s out of range" r.rname))
     regions;
+  let pages = (mem_words + page_words - 1) lsr page_bits in
   {
     code = program.Asm.code;
     code_cat = Array.map category_index program.Asm.categories;
-    mem = Array.make mem_words 0;
+    mem = Array.make pages zero_page;
+    mem_words;
     regions;
+    region_cost = build_cost_table regions mem_words;
     regs = Array.make H.Regs.n 0;
     timing;
     fuel;
@@ -107,7 +174,8 @@ let create ?(timing = Timing.paper) ?(fuel = 1_000_000_000) ~program ~mem_words
         stack_cycles = 0;
         interp_count = 0;
       };
-    pc = Long 0;
+    pc_short = false;
+    pc_addr = 0;
     status = Running;
     hooks = None;
     dir_bits = "";
@@ -129,40 +197,81 @@ let set_code_fetch_hook t f = t.code_fetch_hook <- Some f
 let timing t = t.timing
 let reg t r = t.regs.(r)
 let set_reg t r v = t.regs.(r) <- v
-let peek t addr = t.mem.(addr)
-let poke t addr v = t.mem.(addr) <- v
-let set_pc t pc = t.pc <- pc
-let pc t = t.pc
+
+(* Bounds already checked by the caller. *)
+let mem_get t addr =
+  Array.unsafe_get
+    (Array.unsafe_get t.mem (addr lsr page_bits))
+    (addr land page_mask)
+
+let mem_set t addr v =
+  let pi = addr lsr page_bits in
+  let page = Array.unsafe_get t.mem pi in
+  let page =
+    if page == zero_page then begin
+      let fresh = Array.make page_words 0 in
+      Array.unsafe_set t.mem pi fresh;
+      fresh
+    end
+    else page
+  in
+  Array.unsafe_set page (addr land page_mask) v
+
+let peek t addr =
+  if addr < 0 || addr >= t.mem_words then
+    invalid_arg (Printf.sprintf "Machine.peek: address %d out of range" addr);
+  mem_get t addr
+
+let poke t addr v =
+  if addr < 0 || addr >= t.mem_words then
+    invalid_arg (Printf.sprintf "Machine.poke: address %d out of range" addr);
+  mem_set t addr v
+
+let set_pc t = function
+  | Long a ->
+      t.pc_short <- false;
+      t.pc_addr <- a
+  | Short a ->
+      t.pc_short <- true;
+      t.pc_addr <- a
+
+let pc t = if t.pc_short then Short t.pc_addr else Long t.pc_addr
 let status t = t.status
 let stats t = t.stats
 let output t = Buffer.contents t.out
 let add_cycles t n = t.stats.cycles <- t.stats.cycles + n
 
 let mem_cost t addr =
-  let rec go i =
-    if i >= Array.length t.regions then raise Not_found
-    else
-      let r = t.regions.(i) in
-      if addr >= r.base && addr < r.base + r.size then r.cost else go (i + 1)
-  in
-  go 0
+  if addr < 0 || addr >= t.mem_words then raise Not_found
+  else
+    let c = Array.unsafe_get t.region_cost (addr lsr cost_page_bits) in
+    if c >= 0 then c else scan_cost t.regions addr
+
+(* Hot path: bounds already checked, table hit avoids the scan. *)
+let charge_mem_checked t addr =
+  let c = Array.unsafe_get t.region_cost (addr lsr cost_page_bits) in
+  if c >= 0 then t.stats.cycles <- t.stats.cycles + c
+  else
+    match scan_cost t.regions addr with
+    | cost -> t.stats.cycles <- t.stats.cycles + cost
+    | exception Not_found -> trap "unmapped memory address %d" addr
 
 let charge_mem t addr =
-  match mem_cost t addr with
-  | cost -> add_cycles t cost
-  | exception Not_found -> trap "unmapped memory address %d" addr
+  if addr < 0 || addr >= t.mem_words then
+    trap "unmapped memory address %d" addr;
+  charge_mem_checked t addr
 
 (* A memory access from executing code: charge its region cost and return /
    store the value. *)
 let mem_read t addr =
-  if addr < 0 || addr >= Array.length t.mem then trap "memory read at %d" addr;
-  charge_mem t addr;
-  t.mem.(addr)
+  if addr < 0 || addr >= t.mem_words then trap "memory read at %d" addr;
+  charge_mem_checked t addr;
+  mem_get t addr
 
 let mem_write t addr v =
-  if addr < 0 || addr >= Array.length t.mem then trap "memory write at %d" addr;
-  charge_mem t addr;
-  t.mem.(addr) <- v
+  if addr < 0 || addr >= t.mem_words then trap "memory write at %d" addr;
+  charge_mem_checked t addr;
+  mem_set t addr v
 
 (* Operand/return stack accesses are counted separately so the short-format
    overhead is visible in reports. *)
@@ -239,7 +348,9 @@ let get_bits t width =
     for u = addr / 16 to last / 16 do
       charge_dir_unit t u
     done;
-    Uhm_bitstream.Reader.seek reader addr;
+    (* sequential fetches leave the cursor already at dpc *)
+    if Uhm_bitstream.Reader.pos reader <> addr then
+      Uhm_bitstream.Reader.seek reader addr;
     let v = Uhm_bitstream.Reader.get reader width in
     t.regs.(H.Regs.dpc) <- addr + width;
     v
@@ -260,14 +371,16 @@ let exec_long t addr =
       t.stats.code_fetch_cycles <- t.stats.code_fetch_cycles + extra;
       t.stats.cycles <- t.stats.cycles + extra
   | None -> ());
-  let cat = t.code_cat.(addr) in
+  let cat = Array.unsafe_get t.code_cat addr in
   let before = t.stats.cycles in
   let fetch_before = t.stats.dir_fetch_cycles in
   t.stats.cycles <- t.stats.cycles + 1;
   t.stats.host_instrs <- t.stats.host_instrs + 1;
   let regs = t.regs in
-  let next = ref (Long (addr + 1)) in
-  (match t.code.(addr) with
+  (* fall-through default; taken branches, Ret and the hooks overwrite it
+     ([pc_short] is false on entry: exec_long only runs from a Long pc) *)
+  t.pc_addr <- addr + 1;
+  (match Array.unsafe_get t.code addr with
   | H.Li (rd, v) -> regs.(rd) <- v
   | H.Mv (rd, rs) -> regs.(rd) <- regs.(rs)
   | H.Alu (op, rd, rs1, rs2) -> (
@@ -281,30 +394,31 @@ let exec_long t addr =
       with Division_by_zero -> trap "division by zero")
   | H.Load (rd, rs, off) -> regs.(rd) <- mem_read t (regs.(rs) + off)
   | H.Store (rs, rbase, off) -> mem_write t (regs.(rbase) + off) regs.(rs)
-  | H.Jmp a -> next := Long a
-  | H.Jz (r, a) -> if regs.(r) = 0 then next := Long a
-  | H.Jnz (r, a) -> if regs.(r) <> 0 then next := Long a
-  | H.Jneg (r, a) -> if regs.(r) < 0 then next := Long a
-  | H.JmpR r -> next := Long regs.(r)
+  | H.Jmp a -> t.pc_addr <- a
+  | H.Jz (r, a) -> if regs.(r) = 0 then t.pc_addr <- a
+  | H.Jnz (r, a) -> if regs.(r) <> 0 then t.pc_addr <- a
+  | H.Jneg (r, a) -> if regs.(r) < 0 then t.pc_addr <- a
+  | H.JmpR r -> t.pc_addr <- regs.(r)
   | H.CallL a ->
       push_ret t (addr + 1);
-      next := Long a
+      t.pc_addr <- a
   | H.CallR r ->
       push_ret t (addr + 1);
-      next := Long regs.(r)
+      t.pc_addr <- regs.(r)
   | H.Ret ->
       let v = pop_ret t in
-      if v land short_tag <> 0 then next := Short (v land short_mask)
-      else next := Long v
+      if v land short_tag <> 0 then begin
+        t.pc_short <- true;
+        t.pc_addr <- v land short_mask
+      end
+      else t.pc_addr <- v
   | H.PushOp r -> push_op t regs.(r)
   | H.PopOp r -> regs.(r) <- pop_op t
   | H.GetBits (rd, width) -> regs.(rd) <- get_bits t width
   | H.GetBitsR (rd, rw) -> regs.(rd) <- get_bits t regs.(rw)
   | H.DecodeAssist -> (hooks_exn t).h_decode_assist t
   | H.EmitShort r -> (hooks_exn t).h_emit_short t regs.(r)
-  | H.EndTrans ->
-      (hooks_exn t).h_end_trans t;
-      next := t.pc
+  | H.EndTrans -> (hooks_exn t).h_end_trans t (* pc set by the hook *)
   | H.Out r ->
       Buffer.add_string t.out (string_of_int regs.(r));
       Buffer.add_char t.out '\n'
@@ -314,17 +428,14 @@ let exec_long t addr =
       Buffer.add_char t.out (Char.chr v)
   | H.Halt ->
       t.status <- Halted;
-      next := Long addr
+      t.pc_addr <- addr
   | H.Break msg -> trap "%s" msg);
   (* DIR-stream fetch time is accounted separately (the paper's s2*tau2
      term), so it is excluded from the executing routine's category. *)
   t.stats.cat_cycles.(cat) <-
     t.stats.cat_cycles.(cat)
     + (t.stats.cycles - before)
-    - (t.stats.dir_fetch_cycles - fetch_before);
-  (match t.code.(addr) with
-  | H.EndTrans -> () (* pc set by the hook *)
-  | _ -> t.pc <- !next)
+    - (t.stats.dir_fetch_cycles - fetch_before)
 
 let exec_short t addr =
   let before = t.stats.cycles in
@@ -334,7 +445,7 @@ let exec_short t addr =
   t.stats.short_fetch_cycles <-
     t.stats.short_fetch_cycles + (t.stats.cycles - before - 1);
   let op, ctx, operand = Short_format.unpack word in
-  t.pc <- Short (addr + 1);
+  t.pc_addr <- addr + 1;
   match op with
   | Short_format.Push_imm -> push_op t operand
   | Short_format.Push_dir -> push_op t (mem_read t operand)
@@ -344,7 +455,8 @@ let exec_short t addr =
       mem_write t operand v
   | Short_format.Call_long ->
       push_ret t ((addr + 1) lor short_tag);
-      t.pc <- Long operand
+      t.pc_short <- false;
+      t.pc_addr <- operand
   | Short_format.Interp_imm ->
       t.stats.interp_count <- t.stats.interp_count + 1;
       (hooks_exn t).h_interp t ~dir_addr:operand ~dctx:ctx
@@ -353,10 +465,10 @@ let exec_short t addr =
       let dir_addr = pop_op t in
       let dctx = pop_op t in
       (hooks_exn t).h_interp t ~dir_addr ~dctx
-  | Short_format.Goto -> t.pc <- Short operand
+  | Short_format.Goto -> t.pc_addr <- operand
   | Short_format.Goto_stk ->
       let a = pop_op t in
-      t.pc <- Short a
+      t.pc_addr <- a
 
 let step t =
   match t.status with
@@ -364,9 +476,7 @@ let step t =
       if t.stats.cycles >= t.fuel then t.status <- Out_of_fuel
       else
         try
-          match t.pc with
-          | Long addr -> exec_long t addr
-          | Short addr -> exec_short t addr
+          if t.pc_short then exec_short t t.pc_addr else exec_long t t.pc_addr
         with Machine_trap msg -> t.status <- Trapped msg)
   | Halted | Trapped _ | Out_of_fuel -> ()
 

@@ -163,6 +163,38 @@ let prop_length_is_sum_of_widths =
       List.iter (fun (bits, v) -> Writer.put w ~bits v) fields;
       Writer.length_bits w = List.fold_left (fun acc (b, _) -> acc + b) 0 fields)
 
+(* Differential test pinning the word-wise [Reader.get] to the retained
+   bit-wise reference: random byte strings, random (seek, width) plans,
+   including widths up to [Bits.max_width]. *)
+let prop_get_matches_bitwise =
+  let gen =
+    QCheck.Gen.(
+      string_size ~gen:(map Char.chr (int_bound 255)) (int_range 8 64)
+      >>= fun data ->
+      let total = 8 * String.length data in
+      list_size (int_range 1 50)
+        (int_range 0 Bits.max_width >>= fun bits ->
+         map (fun p -> (p, bits)) (int_bound (max 0 (total - bits))))
+      >>= fun plan -> return (data, plan))
+  in
+  QCheck.Test.make ~name:"word-wise Reader.get = bit-wise reference" ~count:300
+    (QCheck.make
+       ~print:(fun (data, plan) ->
+         Printf.sprintf "%S %s" data
+           (String.concat ";"
+              (List.map (fun (p, b) -> Printf.sprintf "%d+%d" p b) plan)))
+       gen)
+    (fun (data, plan) ->
+      let fast = Reader.of_string data in
+      let slow = Reader.of_string data in
+      List.for_all
+        (fun (p, bits) ->
+          Reader.seek fast p;
+          Reader.seek slow p;
+          Reader.get fast bits = Reader.get_bitwise slow bits
+          && Reader.pos fast = Reader.pos slow)
+        plan)
+
 let qcheck = QCheck_alcotest.to_alcotest
 
 let suite =
@@ -187,4 +219,5 @@ let suite =
       qcheck prop_zigzag_nonneg;
       qcheck prop_writer_reader_roundtrip;
       qcheck prop_length_is_sum_of_widths;
+      qcheck prop_get_matches_bitwise;
     ] )

@@ -452,6 +452,78 @@ let test_assoc_four_way_near_full () =
   check_bool "4-way within 3% of full" true
     (Float.abs (ratio_of 4 -. ratio_of 256) < 0.03)
 
+(* Differential reference for the DTB's replacement array: the seed's
+   per-set counter LRU, kept verbatim so the timestamp-based recency is
+   pinned to the identical hit/miss/eviction sequence. *)
+module Dtb_counter_ref = struct
+  type entry = { mutable tag : int; mutable lru : int }
+  type t = { sets : int; ways : entry array array }
+
+  let create ~sets ~assoc =
+    let assoc = if assoc = 0 then sets else assoc in
+    { sets; ways = Array.init sets (fun _ -> Array.init assoc (fun w -> { tag = -1; lru = w })) }
+
+  let set_of t tag = (tag lxor (tag lsr 7)) land (t.sets - 1)
+
+  let touch ways way =
+    let old = ways.(way).lru in
+    Array.iter (fun e -> if e.lru < old then e.lru <- e.lru + 1) ways;
+    ways.(way).lru <- 0
+
+  (* lookup + install-on-miss, exactly as the seed's lookup/begin_translation *)
+  let access t tag =
+    let ways = t.ways.(set_of t tag) in
+    let rec find w =
+      if w >= Array.length ways then None
+      else if ways.(w).tag = tag then Some w
+      else find (w + 1)
+    in
+    match find 0 with
+    | Some w ->
+        touch ways w;
+        `Hit
+    | None ->
+        let victim = ref 0 in
+        Array.iteri
+          (fun w e -> if e.lru > ways.(!victim).lru then victim := w)
+          ways;
+        ways.(!victim).tag <- tag;
+        touch ways !victim;
+        `Miss
+end
+
+let prop_dtb_recency_matches_counter_lru =
+  let gen =
+    QCheck.Gen.(
+      oneofl [ (1, 2); (1, 4); (4, 2); (4, 0); (8, 1) ]
+      >>= fun (sets, assoc) ->
+      list_size (int_range 1 300) (int_bound 200)
+      >>= fun tags -> return (sets, assoc, tags))
+  in
+  QCheck.Test.make
+    ~name:"dtb timestamp recency = counter LRU (hit/miss sequence)" ~count:200
+    (QCheck.make
+       ~print:(fun (s, a, tags) ->
+         Printf.sprintf "sets=%d assoc=%d [%s]" s a
+           (String.concat ";" (List.map string_of_int tags)))
+       gen)
+    (fun (sets, assoc, tags) ->
+      let cfg = { Dtb.sets; assoc; unit_words = 4; overflow_blocks = 0 } in
+      let dtb = Dtb.create cfg ~buffer_base:0 in
+      let reference = Dtb_counter_ref.create ~sets ~assoc in
+      List.for_all
+        (fun tag ->
+          let actual =
+            match Dtb.lookup dtb ~tag with
+            | `Hit _ -> `Hit
+            | `Miss ->
+                Dtb.begin_translation dtb ~tag;
+                ignore (Dtb.end_translation dtb);
+                `Miss
+          in
+          actual = Dtb_counter_ref.access reference tag)
+        tags)
+
 let qcheck = QCheck_alcotest.to_alcotest
 
 let suite =
@@ -502,4 +574,5 @@ let suite =
       Alcotest.test_case "4-way close to full assoc" `Quick
         test_assoc_four_way_near_full;
       qcheck prop_machine_differential;
+      qcheck prop_dtb_recency_matches_counter_lru;
     ] )

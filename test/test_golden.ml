@@ -1,0 +1,145 @@
+(* Golden cycle-count regression tests.
+
+   Exact simulated totals, per-category cycle attribution, and program
+   output for three representative suite programs under all four
+   execution strategies, recorded from the seed simulator.  The host-side
+   performance work (paged memory, cost tables, word-wise bit fetch,
+   timestamp LRU) must keep every one of these numbers bit-identical:
+   any drift here means the optimisations changed simulated behaviour,
+   not just wall-clock speed. *)
+
+module U = Uhm_core.Uhm
+module Dtb = Uhm_core.Dtb
+module Machine = Uhm_machine.Machine
+module Kind = Uhm_encoding.Kind
+module Suite = Uhm_workload.Suite
+
+let check_int = Alcotest.(check int)
+
+type golden = {
+  g_cycles : int;
+  g_cat : int array; (* Startup; Decode; Semantic; Translate; Der *)
+  g_host : int;
+  g_short : int;
+  g_dirfetch : int;
+  g_shortfetch : int;
+  g_stack : int;
+  g_interp : int;
+  g_units : int;
+}
+
+let strategies =
+  [
+    ("interp", U.Interp);
+    ("cached", U.Cached 4096);
+    ("dtb", U.Dtb_strategy Dtb.paper_config);
+    ("der", U.Der U.Der_level1);
+  ]
+
+let fact_iter_output =
+  "1\n2\n6\n24\n120\n720\n5040\n40320\n362880\n3628800\n39916800\n\
+   479001600\n6227020800\n87178291200\n1307674368000\n20922789888000\n\
+   355687428096000\n6402373705728000\n"
+
+let fib_rec_output =
+  "0\n1\n1\n2\n3\n5\n8\n13\n21\n34\n55\n89\n144\n233\n377\n610\n987\n\
+   1597\n2584\n"
+
+let flat_straightline_output = "29767\n30488\n"
+
+(* (workload, expected output, per-strategy goldens in [strategies] order) *)
+let cases =
+  [
+    ( "fact_iter",
+      fact_iter_output,
+      [
+        { g_cycles = 154917; g_cat = [| 0; 119269; 22538; 0; 0 |];
+          g_host = 112042; g_short = 0; g_dirfetch = 13110;
+          g_shortfetch = 0; g_stack = 16724; g_interp = 0; g_units = 1311 };
+        { g_cycles = 144469; g_cat = [| 0; 119269; 22538; 0; 0 |];
+          g_host = 112042; g_short = 0; g_dirfetch = 2662;
+          g_shortfetch = 0; g_stack = 16724; g_interp = 0; g_units = 1311 };
+        { g_cycles = 55896; g_cat = [| 0; 1442; 25199; 766; 0 |];
+          g_host = 17426; g_short = 8989; g_dirfetch = 210;
+          g_shortfetch = 8989; g_stack = 13909; g_interp = 2395;
+          g_units = 21 };
+        { g_cycles = 11405; g_cat = [| 0; 0; 0; 0; 11405 |];
+          g_host = 6900; g_short = 0; g_dirfetch = 0; g_shortfetch = 0;
+          g_stack = 3232; g_interp = 0; g_units = 0 };
+      ] );
+    ( "fib_rec",
+      fib_rec_output,
+      [
+        { g_cycles = 17847007; g_cat = [| 0; 13371915; 2614932; 0; 0 |];
+          g_host = 12824455; g_short = 0; g_dirfetch = 1860160;
+          g_shortfetch = 0; g_stack = 1575796; g_interp = 0;
+          g_units = 186016 };
+        { g_cycles = 16358919; g_cat = [| 0; 13371915; 2614932; 0; 0 |];
+          g_host = 12824455; g_short = 0; g_dirfetch = 372072;
+          g_shortfetch = 0; g_stack = 1575796; g_interp = 0;
+          g_units = 186016 };
+        { g_cycles = 5922270; g_cat = [| 0; 1570; 3118246; 722; 0 |];
+          g_host = 2015034; g_short = 864538; g_dirfetch = 250;
+          g_shortfetch = 864538; g_stack = 1444517; g_interp = 240744;
+          g_units = 25 };
+        { g_cycles = 1553469; g_cat = [| 0; 0; 0; 0; 1553469 |];
+          g_host = 995526; g_short = 0; g_dirfetch = 0; g_shortfetch = 0;
+          g_stack = 306356; g_interp = 0; g_units = 0 };
+      ] );
+    ( "flat_straightline",
+      flat_straightline_output,
+      [
+        { g_cycles = 201014; g_cat = [| 0; 160257; 22307; 0; 0 |];
+          g_host = 147304; g_short = 0; g_dirfetch = 18450;
+          g_shortfetch = 0; g_stack = 19436; g_interp = 0; g_units = 1845 };
+        { g_cycles = 188102; g_cat = [| 0; 160257; 22307; 0; 0 |];
+          g_host = 147304; g_short = 0; g_dirfetch = 5538;
+          g_shortfetch = 0; g_stack = 19436; g_interp = 0; g_units = 1845 };
+        { g_cycles = 257836; g_cat = [| 0; 127860; 22350; 59959; 0 |];
+          g_host = 170828; g_short = 8932; g_dirfetch = 18450;
+          g_shortfetch = 8932; g_stack = 19467; g_interp = 3236;
+          g_units = 1845 };
+        { g_cycles = 16156; g_cat = [| 0; 0; 0; 0; 16156 |];
+          g_host = 9696; g_short = 0; g_dirfetch = 0; g_shortfetch = 0;
+          g_stack = 5642; g_interp = 0; g_units = 0 };
+      ] );
+  ]
+
+let check_case workload expected_output strategy_name strategy g () =
+  let p = Suite.compile (Suite.find workload) in
+  let r = U.run ~strategy ~kind:Kind.Huffman p in
+  (match r.U.status with
+  | Machine.Halted -> ()
+  | s ->
+      Alcotest.failf "%s/%s did not halt cleanly: %s" workload strategy_name
+        (match s with
+        | Machine.Running -> "running"
+        | Machine.Halted -> "halted"
+        | Machine.Trapped m -> "trapped: " ^ m
+        | Machine.Out_of_fuel -> "out of fuel"));
+  Alcotest.(check string) "output" expected_output r.U.output;
+  let s = r.U.machine_stats in
+  check_int "total cycles" g.g_cycles r.U.cycles;
+  Array.iteri
+    (fun i c -> check_int (Printf.sprintf "cat_cycles.(%d)" i) c s.Machine.cat_cycles.(i))
+    g.g_cat;
+  check_int "host instrs" g.g_host s.Machine.host_instrs;
+  check_int "short instrs" g.g_short s.Machine.short_instrs;
+  check_int "dir fetch cycles" g.g_dirfetch s.Machine.dir_fetch_cycles;
+  check_int "short fetch cycles" g.g_shortfetch s.Machine.short_fetch_cycles;
+  check_int "stack cycles" g.g_stack s.Machine.stack_cycles;
+  check_int "interp count" g.g_interp s.Machine.interp_count;
+  check_int "dir units fetched" g.g_units s.Machine.dir_units_fetched
+
+let suite =
+  ( "golden",
+    List.concat_map
+      (fun (workload, output, goldens) ->
+        List.map2
+          (fun (name, strategy) g ->
+            Alcotest.test_case
+              (Printf.sprintf "%s/%s cycle counts" workload name)
+              `Quick
+              (check_case workload output name strategy g))
+          strategies goldens)
+      cases )

@@ -50,6 +50,87 @@ let test_cache_bad_geometry () =
     (Invalid_argument "Cache.create: set count must be a power of two")
     (fun () -> ignore (Cache.create ~assoc:1 ~block_words:1 ~capacity_words:3 ()))
 
+(* Differential reference: the seed's counter-shuffle LRU, kept verbatim so
+   the timestamp-based implementation is pinned to produce the identical
+   hit/miss/eviction sequence. *)
+module Counter_lru = struct
+  type t = {
+    tags : int array array;
+    order : int array array;  (* 0 = most recent *)
+    sets : int;
+    assoc : int;
+    block_words : int;
+  }
+
+  let create ~assoc ~block_words ~capacity_words =
+    let blocks = capacity_words / block_words in
+    let assoc = if assoc = 0 then blocks else assoc in
+    let sets = blocks / assoc in
+    {
+      tags = Array.make_matrix sets assoc (-1);
+      order = Array.init sets (fun _ -> Array.init assoc (fun w -> w));
+      sets;
+      assoc;
+      block_words;
+    }
+
+  let touch c set way =
+    let order = c.order.(set) in
+    let old = order.(way) in
+    for w = 0 to c.assoc - 1 do
+      if order.(w) < old then order.(w) <- order.(w) + 1
+    done;
+    order.(way) <- 0
+
+  let access c addr =
+    let block = addr / c.block_words in
+    let set = block land (c.sets - 1) in
+    let tags = c.tags.(set) in
+    let rec find w =
+      if w >= c.assoc then None
+      else if tags.(w) = block then Some w
+      else find (w + 1)
+    in
+    match find 0 with
+    | Some way ->
+        touch c set way;
+        `Hit
+    | None ->
+        let order = c.order.(set) in
+        let victim = ref 0 in
+        for w = 1 to c.assoc - 1 do
+          if order.(w) > order.(!victim) then victim := w
+        done;
+        tags.(!victim) <- block;
+        touch c set !victim;
+        `Miss
+end
+
+let prop_timestamp_lru_matches_counter_lru =
+  let gen =
+    QCheck.Gen.(
+      oneofl [ (0, 8); (1, 8); (2, 8); (4, 16); (8, 16) ]
+      >>= fun (assoc, capacity) ->
+      list_size (int_range 1 400) (int_bound 63)
+      >>= fun addrs -> return (assoc, capacity, addrs))
+  in
+  QCheck.Test.make
+    ~name:"timestamp LRU = counter LRU (hit/miss and residency)" ~count:200
+    (QCheck.make
+       ~print:(fun (a, c, addrs) ->
+         Printf.sprintf "assoc=%d cap=%d [%s]" a c
+           (String.concat ";" (List.map string_of_int addrs)))
+       gen)
+    (fun (assoc, capacity, addrs) ->
+      let c = Cache.create ~assoc ~block_words:1 ~capacity_words:capacity () in
+      let r = Counter_lru.create ~assoc ~block_words:1 ~capacity_words:capacity in
+      List.for_all (fun a -> Cache.access c a = Counter_lru.access r a) addrs
+      && List.for_all
+           (fun a ->
+             Cache.contains c a
+             = Array.exists (Array.exists (fun t -> t = a)) r.Counter_lru.tags)
+           (List.init 64 Fun.id))
+
 (* reference fully-associative LRU *)
 let prop_cache_matches_reference =
   QCheck.Test.make ~name:"fully-associative cache = reference LRU" ~count:100
@@ -348,6 +429,48 @@ let test_engine_emit_and_end_trans_hooks () =
   run_to_halt m;
   Alcotest.(check (list int)) "emitted words" [ 5678; 1234 ] !emitted
 
+(* Differential test pinning the O(1) region-cost table to the seed's
+   first-match linear scan, over random (unaligned, possibly overlapping,
+   gappy) region layouts. *)
+let prop_mem_cost_matches_linear_scan =
+  let mem_words = 2048 in
+  let region_gen =
+    QCheck.Gen.(
+      int_bound (mem_words - 1) >>= fun base ->
+      int_bound (mem_words - base) >>= fun size ->
+      map (fun cost -> (base, size, cost + 1)) (int_bound 30))
+  in
+  QCheck.Test.make ~name:"cost-table mem_cost = linear region scan" ~count:200
+    (QCheck.make
+       ~print:(fun rs ->
+         String.concat ";"
+           (List.map (fun (b, s, c) -> Printf.sprintf "%d+%d@%d" b s c) rs))
+       QCheck.Gen.(list_size (int_range 0 6) region_gen))
+    (fun rs ->
+      let regions =
+        List.mapi
+          (fun i (base, size, cost) ->
+            { Machine.rname = Printf.sprintf "r%d" i; base; size; cost })
+          rs
+      in
+      let m =
+        Machine.create ~program:(Asm.finish (Asm.create ())) ~mem_words
+          ~regions ()
+      in
+      let reference addr =
+        List.find_opt (fun r -> addr >= r.Machine.base
+                                && addr < r.Machine.base + r.Machine.size)
+          regions
+        |> Option.map (fun r -> r.Machine.cost)
+      in
+      List.for_all
+        (fun addr ->
+          (match Machine.mem_cost m addr with
+          | c -> Some c
+          | exception Not_found -> None)
+          = reference addr)
+        (List.init (mem_words + 16) (fun i -> i - 8)))
+
 let test_engine_category_attribution () =
   let b = Asm.create () in
   let sem = Asm.routine b Asm.Semantic (fun () ->
@@ -403,5 +526,7 @@ let suite =
       Alcotest.test_case "engine category attribution" `Quick
         test_engine_category_attribution;
       qcheck prop_cache_matches_reference;
+      qcheck prop_timestamp_lru_matches_counter_lru;
+      qcheck prop_mem_cost_matches_linear_scan;
       qcheck prop_short_roundtrip;
     ] )
