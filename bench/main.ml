@@ -2,17 +2,24 @@
    evaluation, plus the ablation studies listed in DESIGN.md, and a set of
    Bechamel micro-benchmarks of the substrate.
 
-   Usage: main.exe [target ...]
+   Usage: main.exe [-j N] [target ...]
    Targets: table1 table2 table3 figure1 figure2 figure3 figure4
             model-vs-sim encodings assoc alloc crossover assist blocks
             languages summary datapath levels locality micro perf all
    No arguments = everything except micro and perf.
 
+   Grid-shaped targets (figure2, model-vs-sim, assoc, alloc, crossover,
+   languages, summary, locality) evaluate their points through the
+   Sweep worker pool; -j N (or UHM_JOBS=N) sets the domain count, the
+   default is Domain.recommended_domain_count.  Output is byte-identical
+   at any domain count.
+
    The perf target measures host-side simulator throughput (wall time,
    simulated cycles per second) and writes BENCH_simulator.json in the
    current directory.  Environment knobs: UHM_PERF_RUNS (min runs per
    sample), UHM_PERF_SECONDS (min seconds per sample), UHM_PERF_OUT
-   (output path). *)
+   (output path), UHM_PERF_SWEEP (0 skips the parallel-sweep timing),
+   UHM_PERF_SWEEP_REPEATS (timings per wall-clock point, default 2). *)
 
 module Table = Uhm_report.Table
 module Kind = Uhm_encoding.Kind
@@ -24,6 +31,7 @@ module Tracegen = Uhm_workload.Tracegen
 module Dtb = Uhm_core.Dtb
 module U = Uhm_core.Uhm
 module Experiment = Uhm_core.Experiment
+module Sweep = Uhm_core.Sweep
 module Machine = Uhm_machine.Machine
 module Asm = Uhm_machine.Asm
 module SF = Uhm_machine.Short_format
@@ -31,6 +39,13 @@ module Isa = Uhm_dir.Isa
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* -j N from the command line; None defers to UHM_JOBS / the core count
+   via Sweep.default_domains.  Tables are rendered from the sweep results
+   in submission order, so the output does not depend on this value. *)
+let jobs : int option ref = ref None
+
+let sweep_map f xs = Sweep.map ?domains:!jobs f xs
 
 let compile name = Suite.compile (Suite.find name)
 
@@ -224,20 +239,21 @@ let figure2 () =
              (Experiment.capacity_configs ()))
       ()
   in
+  let grid =
+    Experiment.dtb_grid ?domains:!jobs ~kind:Kind.Huffman
+      ~configs:(Experiment.capacity_configs ())
+      (List.map
+         (fun name -> (name, compile name))
+         [ "fact_iter"; "fib_rec"; "quicksort"; "dispatch"; "flat_straightline" ])
+  in
   List.iter
-    (fun name ->
-      let p = compile name in
-      let points =
-        Experiment.dtb_sweep ~kind:Kind.Huffman
-          ~configs:(Experiment.capacity_configs ())
-          p
-      in
+    (fun (name, points) ->
       Table.add_row t
         (name
         :: List.map
              (fun pt -> Table.cell_pct ~decimals:2 pt.Experiment.dp_hit_ratio)
              points))
-    [ "fact_iter"; "fib_rec"; "quicksort"; "dispatch"; "flat_straightline" ];
+    grid;
   Table.print t;
   print_endline
     "The working set saturates each program's curve (principle of locality);\n\
@@ -345,28 +361,32 @@ let model_vs_sim () =
           ("F2 model", Table.Right) ]
       ()
   in
-  List.iter
-    (fun name ->
-      let p = compile name in
-      List.iter
-        (fun kind ->
-          let m = Experiment.measure ~kind ~name p in
-          let c = Experiment.calibrate m in
-          let params = Experiment.params_of c in
-          let sim = U.cycles_per_dir_instruction in
-          let t1s = sim m.Experiment.interp
-          and t2s = sim m.Experiment.dtb
-          and t3s = sim m.Experiment.cached in
-          Table.add_row t
-            [ Printf.sprintf "%s/%s" name (Kind.name kind);
-              Table.cell_float t1s; Table.cell_float (Model.t1 params);
-              Table.cell_float t3s; Table.cell_float (Model.t3 params);
-              Table.cell_float t2s; Table.cell_float (Model.t2 params);
-              Table.cell_float ((t1s -. t2s) /. t2s *. 100.);
-              Table.cell_float (Model.f2 params) ])
-        [ Kind.Packed; Kind.Huffman ];
-      Table.add_rule t)
-    representative;
+  let kinds = [ Kind.Packed; Kind.Huffman ] in
+  let rows =
+    sweep_map
+      (fun (name, kind) ->
+        let m = Experiment.measure ~kind ~name (compile name) in
+        let c = Experiment.calibrate m in
+        let params = Experiment.params_of c in
+        let sim = U.cycles_per_dir_instruction in
+        let t1s = sim m.Experiment.interp
+        and t2s = sim m.Experiment.dtb
+        and t3s = sim m.Experiment.cached in
+        [ Printf.sprintf "%s/%s" name (Kind.name kind);
+          Table.cell_float t1s; Table.cell_float (Model.t1 params);
+          Table.cell_float t3s; Table.cell_float (Model.t3 params);
+          Table.cell_float t2s; Table.cell_float (Model.t2 params);
+          Table.cell_float ((t1s -. t2s) /. t2s *. 100.);
+          Table.cell_float (Model.f2 params) ])
+      (List.concat_map
+         (fun name -> List.map (fun kind -> (name, kind)) kinds)
+         representative)
+  in
+  List.iteri
+    (fun i row ->
+      Table.add_row t row;
+      if (i + 1) mod List.length kinds = 0 then Table.add_rule t)
+    rows;
   Table.print t;
   print_endline
     "The model runs on parameters calibrated from the simulation (d, g, x,\n\
@@ -435,20 +455,21 @@ let assoc () =
           ("8-way", Table.Right); ("full", Table.Right) ]
       ()
   in
+  let grid =
+    Experiment.dtb_grid ?domains:!jobs ~kind:Kind.Huffman
+      ~configs:(Experiment.assoc_configs ())
+      (List.map
+         (fun name -> (name, compile name))
+         [ "fib_rec"; "quicksort"; "dispatch"; "binsearch"; "flat_straightline" ])
+  in
   List.iter
-    (fun name ->
-      let p = compile name in
-      let points =
-        Experiment.dtb_sweep ~kind:Kind.Huffman
-          ~configs:(Experiment.assoc_configs ())
-          p
-      in
+    (fun (name, points) ->
       Table.add_row t
         (name
         :: List.map
              (fun pt -> Table.cell_pct ~decimals:2 pt.Experiment.dp_hit_ratio)
              points))
-    [ "fib_rec"; "quicksort"; "dispatch"; "binsearch"; "flat_straightline" ];
+    grid;
   Table.print t;
   print_endline
     "Paper section 5.2: set associativity of degree 4 is nearly as\n\
@@ -464,14 +485,13 @@ let alloc () =
           ("overflow allocs", Table.Right) ]
       ()
   in
+  let grid =
+    Experiment.dtb_grid ?domains:!jobs ~kind:Kind.Huffman
+      ~configs:(Experiment.alloc_configs ())
+      (List.map (fun name -> (name, compile name)) [ "fib_rec"; "quicksort" ])
+  in
   List.iter
-    (fun name ->
-      let p = compile name in
-      let points =
-        Experiment.dtb_sweep ~kind:Kind.Huffman
-          ~configs:(Experiment.alloc_configs ())
-          p
-      in
+    (fun (name, points) ->
       List.iter
         (fun pt ->
           Table.add_row t
@@ -486,7 +506,7 @@ let alloc () =
               Table.cell_int pt.Experiment.dp_overflow_allocations ])
         points;
       Table.add_rule t)
-    [ "fib_rec"; "quicksort" ];
+    grid;
   Table.print t
 
 (* ------------------------------------------------------------------ *)
@@ -528,21 +548,24 @@ let crossover () =
           ("dtb c/i", Table.Right); ("speedup", Table.Right) ]
       ()
   in
-  List.iter
-    (fun name ->
-      let p = compile name in
-      List.iter
-        (fun kind ->
-          let interp = U.run ~strategy:U.Interp ~kind p in
-          let dtb = U.run ~strategy:(U.Dtb_strategy Dtb.paper_config) ~kind p in
-          Table.add_row t2
-            [ Printf.sprintf "%s/%s" name (Kind.name kind);
-              Table.cell_float (U.cycles_per_dir_instruction interp);
-              Table.cell_float (U.cycles_per_dir_instruction dtb);
-              Table.cell_float
-                (float_of_int interp.U.cycles /. float_of_int dtb.U.cycles) ])
-        [ Kind.Word16; Kind.Packed; Kind.Digram ])
-    [ "fact_iter"; "string_out" ];
+  let rows =
+    sweep_map
+      (fun (name, kind) ->
+        let p = compile name in
+        let interp = U.run ~strategy:U.Interp ~kind p in
+        let dtb = U.run ~strategy:(U.Dtb_strategy Dtb.paper_config) ~kind p in
+        [ Printf.sprintf "%s/%s" name (Kind.name kind);
+          Table.cell_float (U.cycles_per_dir_instruction interp);
+          Table.cell_float (U.cycles_per_dir_instruction dtb);
+          Table.cell_float
+            (float_of_int interp.U.cycles /. float_of_int dtb.U.cycles) ])
+      (List.concat_map
+         (fun name ->
+           List.map (fun kind -> (name, kind))
+             [ Kind.Word16; Kind.Packed; Kind.Digram ])
+         [ "fact_iter"; "string_out" ])
+  in
+  List.iter (Table.add_row t2) rows;
   Table.print t2
 
 (* ------------------------------------------------------------------ *)
@@ -735,29 +758,24 @@ let summary () =
           ("F2 meas.", Table.Right) ]
       ()
   in
-  let row name lang p =
-    let e = Codec.encode Kind.Digram p in
-    let t1 = U.run_encoded ~strategy:U.Interp e in
-    let t3 = U.run_encoded ~strategy:(U.Cached 4096) e in
-    let t2 = U.run_encoded ~strategy:(U.Dtb_strategy Dtb.paper_config) e in
-    let ci = U.cycles_per_dir_instruction in
-    Table.add_row t
-      [ name; lang;
-        Table.cell_int t1.U.dir_steps;
-        Table.cell_float (Codec.bits_per_instruction e);
-        Table.cell_float (ci t1); Table.cell_float (ci t3);
-        Table.cell_float (ci t2);
-        Table.cell_pct ~decimals:1 (Option.value ~default:0. t2.U.dtb_hit_ratio);
-        Table.cell_float ((ci t1 -. ci t2) /. ci t2 *. 100.) ]
-  in
+  let rows = Experiment.summary_rows ?domains:!jobs () in
+  let prev_lang = ref None in
   List.iter
-    (fun e -> row e.Suite.name "algol" (Suite.compile ~fuse:false e))
-    Suite.all;
-  Table.add_rule t;
-  List.iter
-    (fun e ->
-      row e.Uhm_ftn.Suite.name "ftn" (Uhm_ftn.Suite.compile ~fuse:false e))
-    Uhm_ftn.Suite.all;
+    (fun (r : Experiment.summary_row) ->
+      (match !prev_lang with
+      | Some lang when lang <> r.Experiment.sr_lang -> Table.add_rule t
+      | _ -> ());
+      prev_lang := Some r.Experiment.sr_lang;
+      Table.add_row t
+        [ r.Experiment.sr_program; r.Experiment.sr_lang;
+          Table.cell_int r.Experiment.sr_dir_steps;
+          Table.cell_float r.Experiment.sr_bits_per_instr;
+          Table.cell_float r.Experiment.sr_t1_ci;
+          Table.cell_float r.Experiment.sr_t3_ci;
+          Table.cell_float r.Experiment.sr_t2_ci;
+          Table.cell_pct ~decimals:1 r.Experiment.sr_dtb_hit_ratio;
+          Table.cell_float r.Experiment.sr_f2_measured ])
+    rows;
   Table.print t;
   print_endline
     "F2 meas. is the measured percentage cost of not having a DTB (paper\n\
@@ -781,27 +799,32 @@ let languages () =
           ("dtb c/i", Table.Right); ("hit ratio", Table.Right) ]
       ()
   in
-  let row name lang p =
+  let row (name, lang, compile_p) =
+    let p = compile_p () in
     let stats = Uhm_dir.Static_stats.of_program p in
     let digram = Codec.encode Kind.Digram p in
     let interp = U.run_encoded ~strategy:U.Interp digram in
     let dtb = U.run_encoded ~strategy:(U.Dtb_strategy Dtb.paper_config) digram in
-    Table.add_row t
-      [ name; lang;
-        Table.cell_int (Uhm_dir.Program.size_instructions p);
-        Table.cell_float (Uhm_dir.Static_stats.opcode_entropy stats);
-        Table.cell_float (Codec.bits_per_instruction digram);
-        Table.cell_float (U.cycles_per_dir_instruction interp);
-        Table.cell_float (U.cycles_per_dir_instruction dtb);
-        Table.cell_pct ~decimals:2 (Option.value ~default:0. dtb.U.dtb_hit_ratio) ]
+    [ name; lang;
+      Table.cell_int (Uhm_dir.Program.size_instructions p);
+      Table.cell_float (Uhm_dir.Static_stats.opcode_entropy stats);
+      Table.cell_float (Codec.bits_per_instruction digram);
+      Table.cell_float (U.cycles_per_dir_instruction interp);
+      Table.cell_float (U.cycles_per_dir_instruction dtb);
+      Table.cell_pct ~decimals:2 (Option.value ~default:0. dtb.U.dtb_hit_ratio) ]
   in
-  List.iter
-    (fun name -> row name "Algol-S" (compile name))
-    [ "gcd"; "sieve"; "fib_rec" ];
-  List.iter
-    (fun e ->
-      row e.Uhm_ftn.Suite.name "Fortran-S" (Uhm_ftn.Suite.compile ~fuse:false e))
-    (List.map Uhm_ftn.Suite.find [ "ftn_euclid"; "ftn_sieve"; "ftn_fib" ]);
+  let jobs_list =
+    List.map
+      (fun name -> (name, "Algol-S", fun () -> compile name))
+      [ "gcd"; "sieve"; "fib_rec" ]
+    @ List.map
+        (fun e ->
+          ( e.Uhm_ftn.Suite.name,
+            "Fortran-S",
+            fun () -> Uhm_ftn.Suite.compile ~fuse:false e ))
+        (List.map Uhm_ftn.Suite.find [ "ftn_euclid"; "ftn_sieve"; "ftn_fib" ])
+  in
+  List.iter (Table.add_row t) (sweep_map row jobs_list);
   Table.print t;
   print_endline
     "Both front ends bind to the same DIR, semantic routines and DTB; the\n\
@@ -820,36 +843,33 @@ let locality () =
           ("LRU-64 hit", Table.Right); ("LRU-256 hit", Table.Right) ]
       ()
   in
-  List.iter
-    (fun name ->
-      let trace = Locality.trace_of_program (compile name) in
-      Table.add_row t
-        [ name;
-          Table.cell_int (Array.length trace);
-          Table.cell_int (Locality.footprint trace);
-          Table.cell_float (Locality.average_working_set ~window:1000 trace);
-          Table.cell_pct ~decimals:1
-            (Locality.hit_ratio_for_capacity ~capacity:64 trace);
-          Table.cell_pct ~decimals:1
-            (Locality.hit_ratio_for_capacity ~capacity:256 trace) ])
-    [ "fact_iter"; "fib_rec"; "sieve"; "quicksort"; "dispatch";
-      "flat_straightline" ];
-  List.iter
-    (fun loc ->
-      let trace =
-        Tracegen.generate
-          { Tracegen.default with Tracegen.locality = loc; length = 50_000 }
-      in
-      Table.add_row t
-        [ Printf.sprintf "synthetic(locality=%.2f)" loc;
-          Table.cell_int (Array.length trace);
-          Table.cell_int (Locality.footprint trace);
-          Table.cell_float (Locality.average_working_set ~window:1000 trace);
-          Table.cell_pct ~decimals:1
-            (Locality.hit_ratio_for_capacity ~capacity:64 trace);
-          Table.cell_pct ~decimals:1
-            (Locality.hit_ratio_for_capacity ~capacity:256 trace) ])
-    [ 0.5; 0.9; 0.99 ];
+  let trace_row label trace =
+    [ label;
+      Table.cell_int (Array.length trace);
+      Table.cell_int (Locality.footprint trace);
+      Table.cell_float (Locality.average_working_set ~window:1000 trace);
+      Table.cell_pct ~decimals:1
+        (Locality.hit_ratio_for_capacity ~capacity:64 trace);
+      Table.cell_pct ~decimals:1
+        (Locality.hit_ratio_for_capacity ~capacity:256 trace) ]
+  in
+  let jobs_list =
+    List.map
+      (fun name ->
+        fun () -> trace_row name (Locality.trace_of_program (compile name)))
+      [ "fact_iter"; "fib_rec"; "sieve"; "quicksort"; "dispatch";
+        "flat_straightline" ]
+    @ List.map
+        (fun loc ->
+          fun () ->
+            trace_row
+              (Printf.sprintf "synthetic(locality=%.2f)" loc)
+              (Tracegen.generate
+                 { Tracegen.default with Tracegen.locality = loc;
+                   length = 50_000 }))
+        [ 0.5; 0.9; 0.99 ]
+  in
+  List.iter (Table.add_row t) (sweep_map (fun job -> job ()) jobs_list);
   Table.print t
 
 (* ------------------------------------------------------------------ *)
@@ -962,7 +982,23 @@ let perf () =
           Printf.sprintf "%.2fM" (s.Uhm_core.Perf.host_instrs_per_sec /. 1e6) ])
     samples;
   Table.print t;
-  Uhm_core.Perf.write_json ~path samples;
+  let sweep =
+    if Sys.getenv_opt "UHM_PERF_SWEEP" = Some "0" then None
+    else begin
+      let repeats = getenv_num "UHM_PERF_SWEEP_REPEATS" int_of_string_opt 2 in
+      let sw = Uhm_core.Perf.measure_sweep ?domains:!jobs ~repeats () in
+      Printf.printf
+        "\nparallel sweep: %d points, %.3fs at 1 domain, %.3fs at %d \
+         domains (speedup %.2fx, results %s)\n"
+        sw.Uhm_core.Perf.sweep_points sw.Uhm_core.Perf.sweep_wall_1
+        sw.Uhm_core.Perf.sweep_wall_n sw.Uhm_core.Perf.sweep_domains
+        sw.Uhm_core.Perf.sweep_speedup
+        (if sw.Uhm_core.Perf.sweep_identical then "identical"
+         else "DIVERGENT");
+      Some sw
+    end
+  in
+  Uhm_core.Perf.write_json ?sweep ~path samples;
   Printf.printf "\nwrote %s (%d samples)\n" path (List.length samples)
 
 let targets : (string * (unit -> unit)) list =
@@ -978,9 +1014,32 @@ let targets : (string * (unit -> unit)) list =
   ]
 
 let () =
+  (* strip -j N / -jN, leaving the target names *)
+  let rec parse_args acc = function
+    | [] -> List.rev acc
+    | "-j" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some d when d > 0 ->
+            jobs := Some d;
+            parse_args acc rest
+        | _ ->
+            prerr_endline "bench: -j expects a positive integer";
+            exit 2)
+    | arg :: rest
+      when String.length arg > 2 && String.sub arg 0 2 = "-j" -> (
+        match int_of_string_opt (String.sub arg 2 (String.length arg - 2)) with
+        | Some d when d > 0 ->
+            jobs := Some d;
+            parse_args acc rest
+        | _ ->
+            prerr_endline "bench: -j expects a positive integer";
+            exit 2)
+    | arg :: rest -> parse_args (arg :: acc) rest
+  in
+  let names = parse_args [] (List.tl (Array.to_list Sys.argv)) in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) when not (List.mem "all" names) -> names
+    match names with
+    | _ :: _ when not (List.mem "all" names) -> names
     | _ ->
         List.map fst
           (List.filter (fun (n, _) -> n <> "micro" && n <> "perf") targets)

@@ -289,7 +289,34 @@ let perf_cmd =
              ~doc:"Workload to measure (repeatable); default is the \
                    representative set.")
   in
-  let action min_runs min_seconds out workloads =
+  let jobs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Domain count for the parallel-sweep benchmark (default: \
+                   $(b,UHM_JOBS) or the recommended domain count).")
+  in
+  let sweep_arg =
+    Arg.(value & flag
+         & info [ "sweep" ]
+             ~doc:"Also time the whole-suite summary sweep at 1 and N \
+                   domains and record it in the JSON output.")
+  in
+  let baseline_arg =
+    Arg.(value & opt (some string) None
+         & info [ "baseline" ] ~docv:"PATH"
+             ~doc:"Compare against a previously written \
+                   BENCH_simulator.json and exit non-zero if any sample's \
+                   host-relative throughput regressed past \
+                   $(b,--max-regression) percent.")
+  in
+  let max_regression_arg =
+    Arg.(value & opt float 30.
+         & info [ "max-regression" ] ~docv:"PCT"
+             ~doc:"Allowed relative-throughput drop per sample, percent \
+                   (with $(b,--baseline)).")
+  in
+  let action min_runs min_seconds out workloads jobs sweep baseline
+      max_regression =
     let module Perf = Uhm_core.Perf in
     let workloads = if workloads = [] then Perf.default_workloads else workloads in
     (match
@@ -322,17 +349,62 @@ let perf_cmd =
             Printf.sprintf "%.2fM" (s.Perf.host_instrs_per_sec /. 1e6) ])
       samples;
     Table.print t;
-    match out with
+    let sweep_bench =
+      if not sweep then None
+      else begin
+        let sw = Perf.measure_sweep ?domains:jobs () in
+        Printf.printf
+          "parallel sweep: %d points, %.3fs at 1 domain, %.3fs at %d \
+           domains (speedup %.2fx, results %s)\n"
+          sw.Perf.sweep_points sw.Perf.sweep_wall_1 sw.Perf.sweep_wall_n
+          sw.Perf.sweep_domains sw.Perf.sweep_speedup
+          (if sw.Perf.sweep_identical then "identical" else "DIVERGENT");
+        Some sw
+      end
+    in
+    (match out with
     | Some path ->
-        Perf.write_json ~path samples;
+        Perf.write_json ?sweep:sweep_bench ~path samples;
         Printf.printf "wrote %s (%d samples)\n" path (List.length samples)
+    | None -> ());
+    match baseline with
     | None -> ()
+    | Some path -> (
+        let base =
+          try Perf.read_baseline ~path with
+          | Sys_error msg | Perf.Json_error msg ->
+              Printf.eprintf "uhmc: cannot read baseline %s: %s\n" path msg;
+              exit 1
+        in
+        match
+          Perf.check_against_baseline ~max_regression_pct:max_regression
+            ~baseline:base samples
+        with
+        | Error msg ->
+            Printf.eprintf "uhmc: baseline comparison failed: %s\n" msg;
+            exit 1
+        | Ok [] ->
+            Printf.printf
+              "perf gate: no sample regressed more than %.0f%% vs %s\n"
+              max_regression path
+        | Ok regressions ->
+            List.iter
+              (fun r ->
+                Printf.eprintf
+                  "perf gate: %s/%s regressed %.1f%% (relative rate %.3f -> \
+                   %.3f)\n"
+                  r.Perf.reg_workload r.Perf.reg_strategy r.Perf.reg_drop_pct
+                  r.Perf.reg_baseline_rel r.Perf.reg_current_rel)
+              regressions;
+            exit 1)
   in
   Cmd.v
     (Cmd.info "perf"
        ~doc:"Measure host-side simulator throughput (wall clock) for the \
-             representative workloads under each strategy.")
-    Term.(const action $ runs_arg $ seconds_arg $ out_arg $ workloads_arg)
+             representative workloads under each strategy; optionally gate \
+             against a committed baseline.")
+    Term.(const action $ runs_arg $ seconds_arg $ out_arg $ workloads_arg
+          $ jobs_arg $ sweep_arg $ baseline_arg $ max_regression_arg)
 
 (* -- suite -------------------------------------------------------------------- *)
 

@@ -28,6 +28,17 @@ type t = {
   entries : entry array array; (* sets x ways *)
   mutable clock : int;         (* recency clock for the replacement array *)
   mutable free_blocks : int list;
+  (* single-entry "last translation" cache in front of the tag array: the
+     common hit-again-immediately case (a tight DIR loop re-entering the
+     same translation) skips the set hash and the way scan.  Entry tags
+     change only in [begin_translation], which refreshes this cache, so a
+     matching [last_tag] is always authoritative.  [use_last_cache] exists
+     so tests can differentially check the shortcut against the plain
+     lookup path. *)
+  use_last_cache : bool;
+  mutable last_tag : int;      (* -1 = empty *)
+  mutable last_set : int;
+  mutable last_way : int;
   (* open translation state *)
   mutable open_entry : entry option;
   mutable cursor : int;       (* next write address *)
@@ -43,7 +54,7 @@ type t = {
 
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
 
-let create cfg ~buffer_base =
+let create ?(last_cache = true) cfg ~buffer_base =
   if not (is_power_of_two cfg.sets) then
     invalid_arg "Dtb.create: set count must be a power of two";
   if cfg.unit_words < 2 then invalid_arg "Dtb.create: unit too small";
@@ -71,6 +82,10 @@ let create cfg ~buffer_base =
     entries;
     clock = 0;
     free_blocks;
+    use_last_cache = last_cache;
+    last_tag = -1;
+    last_set = 0;
+    last_way = 0;
     open_entry = None;
     cursor = 0;
     block_end = 0;
@@ -96,21 +111,32 @@ let touch t set way =
   t.entries.(set).(way).stamp <- t.clock
 
 let lookup t ~tag =
-  let set = set_of t tag in
-  let ways = t.entries.(set) in
-  let rec find w =
-    if w >= Array.length ways then None
-    else if ways.(w).tag = tag then Some w
-    else find (w + 1)
-  in
-  match find 0 with
-  | Some w ->
-      t.hits <- t.hits + 1;
-      touch t set w;
-      `Hit ways.(w).unit_addr
-  | None ->
-      t.misses <- t.misses + 1;
-      `Miss
+  if t.use_last_cache && tag = t.last_tag then begin
+    (* shortcut hit: identical statistics and recency update to the full
+       probe below, so hit/miss/eviction counts cannot drift *)
+    t.hits <- t.hits + 1;
+    touch t t.last_set t.last_way;
+    `Hit t.entries.(t.last_set).(t.last_way).unit_addr
+  end
+  else
+    let set = set_of t tag in
+    let ways = t.entries.(set) in
+    let rec find w =
+      if w >= Array.length ways then None
+      else if ways.(w).tag = tag then Some w
+      else find (w + 1)
+    in
+    match find 0 with
+    | Some w ->
+        t.hits <- t.hits + 1;
+        touch t set w;
+        t.last_tag <- tag;
+        t.last_set <- set;
+        t.last_way <- w;
+        `Hit ways.(w).unit_addr
+    | None ->
+        t.misses <- t.misses + 1;
+        `Miss
 
 let begin_translation t ~tag =
   if t.open_entry <> None then failwith "Dtb: translation already open";
@@ -127,6 +153,11 @@ let begin_translation t ~tag =
   end;
   e.tag <- tag;
   touch t set !victim;
+  (* the only place a tag changes: point the last-translation cache at the
+     entry being (re)installed so it can never go stale *)
+  t.last_tag <- tag;
+  t.last_set <- set;
+  t.last_way <- !victim;
   t.open_entry <- Some e;
   t.cursor <- e.unit_addr;
   t.block_end <- e.unit_addr + t.cfg.unit_words - 1;

@@ -33,7 +33,13 @@ val paper_config : config
 (** 4-way, 4-word units; capacity comparable to the paper's 4096-byte
     instruction cache at 16 bits per short word. *)
 
-val create : config -> buffer_base:int -> t
+val create : ?last_cache:bool -> config -> buffer_base:int -> t
+(** [last_cache] (default [true]) enables the single-entry "last
+    translation" cache in front of the tag array: a lookup of the tag
+    that hit (or was installed) most recently skips the set hash and way
+    scan.  The shortcut performs exactly the statistics and LRU-recency
+    updates of the full probe; disabling it exists for differential
+    testing. *)
 
 val buffer_words : t -> int
 

@@ -154,20 +154,101 @@ type dtb_point = {
   dp_overflow_allocations : int;
 }
 
-let dtb_sweep ~kind ~configs p =
+let dtb_point_of_config encoded config =
+  let r = Dtb_sim.replay_encoded ~config encoded in
+  {
+    dp_config = config;
+    dp_capacity_words = Dtb.config_capacity_words config;
+    dp_hit_ratio = r.Dtb_sim.hit_ratio;
+    dp_misses = r.Dtb_sim.misses;
+    dp_evictions = r.Dtb_sim.evictions;
+    dp_overflow_allocations = r.Dtb_sim.overflow_allocations;
+  }
+
+let dtb_sweep ?domains ~kind ~configs p =
   let encoded = Codec.encode kind p in
+  Sweep.map ?domains (dtb_point_of_config encoded) configs
+
+let dtb_grid ?domains ~kind ~configs names_and_programs =
+  (* the full (program x config) grid as one flat job list, so a parallel
+     sweep balances across both axes; regrouped per program afterwards *)
+  let encodeds =
+    Sweep.map ?domains
+      (fun (name, p) -> (name, Codec.encode kind p))
+      names_and_programs
+  in
+  let jobs =
+    List.concat_map
+      (fun (_, encoded) -> List.map (fun c -> (encoded, c)) configs)
+      encodeds
+  in
+  let points =
+    Sweep.map ?domains (fun (encoded, c) -> dtb_point_of_config encoded c) jobs
+  in
+  let per_program = List.length configs in
+  List.mapi
+    (fun i (name, _) ->
+      ( name,
+        List.filteri
+          (fun j _ -> j / per_program = i)
+          points ))
+    encodeds
+
+(* -- Whole-suite summary (the `summary` dashboard and the timed sweep) ------ *)
+
+type summary_row = {
+  sr_program : string;
+  sr_lang : string;
+  sr_dir_steps : int;
+  sr_bits_per_instr : float;
+  sr_t1_ci : float;
+  sr_t3_ci : float;
+  sr_t2_ci : float;
+  sr_dtb_hit_ratio : float;
+  sr_f2_measured : float;
+}
+
+let summary_jobs () =
   List.map
-    (fun config ->
-      let r = Dtb_sim.replay_encoded ~config encoded in
-      {
-        dp_config = config;
-        dp_capacity_words = Dtb.config_capacity_words config;
-        dp_hit_ratio = r.Dtb_sim.hit_ratio;
-        dp_misses = r.Dtb_sim.misses;
-        dp_evictions = r.Dtb_sim.evictions;
-        dp_overflow_allocations = r.Dtb_sim.overflow_allocations;
-      })
-    configs
+    (fun e ->
+      ( e.Uhm_workload.Suite.name,
+        "algol",
+        fun () -> Uhm_workload.Suite.compile ~fuse:false e ))
+    Uhm_workload.Suite.all
+  @ List.map
+      (fun e ->
+        ( e.Uhm_ftn.Suite.name,
+          "ftn",
+          fun () -> Uhm_ftn.Suite.compile ~fuse:false e ))
+      Uhm_ftn.Suite.all
+
+let summary_row_of (name, lang, compile) =
+  let p = compile () in
+  let e = Codec.encode Kind.Digram p in
+  let t1 = Uhm.run_encoded ~strategy:Uhm.Interp e in
+  let t3 = Uhm.run_encoded ~strategy:(Uhm.Cached 4096) e in
+  let t2 = Uhm.run_encoded ~strategy:(Uhm.Dtb_strategy Dtb.paper_config) e in
+  let ci = Uhm.cycles_per_dir_instruction in
+  {
+    sr_program = name;
+    sr_lang = lang;
+    sr_dir_steps = t1.Uhm.dir_steps;
+    sr_bits_per_instr = Codec.bits_per_instruction e;
+    sr_t1_ci = ci t1;
+    sr_t3_ci = ci t3;
+    sr_t2_ci = ci t2;
+    sr_dtb_hit_ratio = Option.value ~default:0. t2.Uhm.dtb_hit_ratio;
+    sr_f2_measured = (ci t1 -. ci t2) /. ci t2 *. 100.;
+  }
+
+let summary_rows ?domains ?names () =
+  let jobs = summary_jobs () in
+  let jobs =
+    match names with
+    | None -> jobs
+    | Some names -> List.filter (fun (n, _, _) -> List.mem n names) jobs
+  in
+  Sweep.map ?domains summary_row_of jobs
 
 let capacity_configs () =
   (* one overflow block per entry: enough for the longest translation at

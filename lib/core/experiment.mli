@@ -65,8 +65,40 @@ type dtb_point = {
   dp_overflow_allocations : int;
 }
 
-val dtb_sweep : kind:Kind.t -> configs:Dtb.config list -> Program.t
-  -> dtb_point list
+val dtb_sweep : ?domains:int -> kind:Kind.t -> configs:Dtb.config list
+  -> Program.t -> dtb_point list
+(** Replay one program's INTERP trace against each configuration; the
+    configurations are evaluated through {!Sweep} ([?domains] as in
+    {!Sweep.map}), results in configuration order. *)
+
+val dtb_grid : ?domains:int -> kind:Kind.t -> configs:Dtb.config list
+  -> (string * Program.t) list -> (string * dtb_point list) list
+(** The full (program x configuration) grid as one flat parallel sweep
+    (encodings are computed in a first sweep over the programs), regrouped
+    per program in submission order — the engine behind Figure 2 and the
+    X2/X3 ablations. *)
+
+(** One row of the whole-suite summary dashboard: a program run under the
+    paper's three machines at the digram encoding. *)
+type summary_row = {
+  sr_program : string;
+  sr_lang : string;             (** "algol" | "ftn" *)
+  sr_dir_steps : int;
+  sr_bits_per_instr : float;
+  sr_t1_ci : float;             (** interp cycles per DIR instruction *)
+  sr_t3_ci : float;             (** icache cycles per DIR instruction *)
+  sr_t2_ci : float;             (** DTB cycles per DIR instruction *)
+  sr_dtb_hit_ratio : float;
+  sr_f2_measured : float;       (** (T1-T2)/T2, percent *)
+}
+
+val summary_rows : ?domains:int -> ?names:string list -> unit
+  -> summary_row list
+(** Every workload (both language suites, or just [names]) under
+    interp/cached/DTB — the `summary` dashboard's data, evaluated as a
+    parallel sweep with byte-identical results at any domain count.
+    Compilation, encoding and the three simulations all happen inside the
+    per-program job. *)
 
 val capacity_configs : unit -> Dtb.config list
 (** Same geometry as {!Dtb.paper_config} at 1/8x .. 4x capacity. *)

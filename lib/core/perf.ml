@@ -81,14 +81,65 @@ let measure ?(min_runs = 5) ?(min_seconds = 0.2) ~workload
     wall_us_per_run = 1e6 *. wall /. float_of_int !runs;
   }
 
-let run_suite ?(workloads = default_workloads) ?min_runs ?min_seconds () =
-  List.concat_map
-    (fun workload ->
-      List.map
-        (fun (strategy_name, strategy) ->
-          measure ?min_runs ?min_seconds ~workload ~strategy_name ~strategy ())
-        strategies)
-    workloads
+let run_suite ?(workloads = default_workloads) ?min_runs ?min_seconds
+    ?(domains = 1) () =
+  (* the sample grid goes through the sweep engine, but wall-clock
+     sampling defaults to one domain: concurrent timed runs steal cycles
+     from each other and would make the per-sample rates incomparable
+     across commits.  Raise [domains] only to smoke-test the plumbing. *)
+  let jobs =
+    List.concat_map
+      (fun workload ->
+        List.map
+          (fun (strategy_name, strategy) -> (workload, strategy_name, strategy))
+          strategies)
+      workloads
+  in
+  Sweep.map ~domains
+    (fun (workload, strategy_name, strategy) ->
+      measure ?min_runs ?min_seconds ~workload ~strategy_name ~strategy ())
+    jobs
+
+(* -- The parallel-sweep benchmark ------------------------------------------- *)
+
+type sweep_bench = {
+  sweep_points : int;          (* grid points in the summary sweep *)
+  sweep_domains : int;         (* domain count of the parallel run *)
+  sweep_wall_1 : float;        (* seconds, best of [repeats], 1 domain *)
+  sweep_wall_n : float;        (* seconds, best of [repeats], N domains *)
+  sweep_speedup : float;       (* wall_1 / wall_n *)
+  sweep_identical : bool;      (* 1-domain and N-domain results compared equal *)
+}
+
+let measure_sweep ?domains ?(repeats = 2) () =
+  let domains =
+    match domains with Some d -> max 1 d | None -> Sweep.default_domains ()
+  in
+  let time_rows d =
+    let t0 = Unix.gettimeofday () in
+    let rows = Experiment.summary_rows ~domains:d () in
+    (Unix.gettimeofday () -. t0, rows)
+  in
+  let best d =
+    let rec go best_wall rows n =
+      if n = 0 then (best_wall, rows)
+      else
+        let wall, r = time_rows d in
+        go (min best_wall wall) r (n - 1)
+    in
+    let wall, rows = time_rows d in
+    go wall rows (max 0 (repeats - 1))
+  in
+  let wall_1, rows_1 = best 1 in
+  let wall_n, rows_n = best domains in
+  {
+    sweep_points = 3 * List.length rows_1;  (* three strategies per row *)
+    sweep_domains = domains;
+    sweep_wall_1 = wall_1;
+    sweep_wall_n = wall_n;
+    sweep_speedup = (if wall_n > 0. then wall_1 /. wall_n else 0.);
+    sweep_identical = rows_1 = rows_n;
+  }
 
 (* -- JSON ------------------------------------------------------------------- *)
 
@@ -126,17 +177,248 @@ let sample_to_json s =
     s.runs s.wall_seconds s.wall_us_per_run s.sim_cycles s.host_instrs
     s.short_instrs s.dir_steps s.sim_cycles_per_sec s.host_instrs_per_sec
 
-let to_json samples =
+let sweep_to_json (s : sweep_bench) =
+  Printf.sprintf
+    "  \"sweep\": {\n\
+    \    \"points\": %d,\n\
+    \    \"domains\": %d,\n\
+    \    \"wall_seconds_1\": %.6f,\n\
+    \    \"wall_seconds_n\": %.6f,\n\
+    \    \"speedup\": %.3f,\n\
+    \    \"identical\": %b\n\
+    \  },\n"
+    s.sweep_points s.sweep_domains s.sweep_wall_1 s.sweep_wall_n
+    s.sweep_speedup s.sweep_identical
+
+let to_json ?sweep samples =
   Printf.sprintf
     "{\n\
-    \  \"schema\": \"uhm-bench-simulator/1\",\n\
+    \  \"schema\": \"uhm-bench-simulator/2\",\n\
     \  \"generated_by\": \"bench/main.exe perf\",\n\
     \  \"unix_time\": %.0f,\n\
+     %s\
     \  \"samples\": [\n%s\n  ]\n}\n"
     (Unix.time ())
+    (match sweep with None -> "" | Some s -> sweep_to_json s)
     (String.concat ",\n" (List.map sample_to_json samples))
 
-let write_json ~path samples =
+let write_json ?sweep ~path samples =
   let oc = open_out path in
-  output_string oc (to_json samples);
+  output_string oc (to_json ?sweep samples);
   close_out oc
+
+(* -- Baseline comparison (the CI perf gate) --------------------------------- *)
+
+(* A minimal recursive-descent JSON reader: just enough to read back the
+   documents this module writes (and hand-edited variants of them).  Kept
+   here rather than pulling in a JSON package — the repo is dependency-free
+   beyond the compiler distribution. *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_arr of json list
+  | J_obj of (string * json) list
+
+exception Json_error of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Json_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then (pos := !pos + l; value)
+    else fail ("expected " ^ word)
+  in
+  let string_lit () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance (); Buffer.contents b
+      | '\\' ->
+          advance ();
+          (if !pos >= n then fail "unterminated escape");
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+              if !pos + 4 >= n then fail "short \\u escape";
+              let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
+              pos := !pos + 4;
+              (* BMP only; fine for our own ASCII output *)
+              if code < 0x80 then Buffer.add_char b (Char.chr code)
+              else Buffer.add_char b '?'
+          | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+          advance ();
+          go ()
+      | c -> Buffer.add_char b c; advance (); go ()
+    in
+    go ()
+  in
+  let number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do advance () done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); J_obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = string_lit () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((k, v) :: acc)
+            | Some '}' -> advance (); J_obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); J_arr [])
+        else
+          let rec elements acc =
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elements (v :: acc)
+            | Some ']' -> advance (); J_arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements []
+    | Some '"' -> J_str (string_lit ())
+    | Some 't' -> literal "true" (J_bool true)
+    | Some 'f' -> literal "false" (J_bool false)
+    | Some 'n' -> literal "null" J_null
+    | Some _ -> J_num (number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member key = function
+  | J_obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let baseline_rates_of_json doc =
+  match member "samples" doc with
+  | Some (J_arr samples) ->
+      List.filter_map
+        (fun sample ->
+          match
+            ( member "workload" sample,
+              member "strategy" sample,
+              member "sim_cycles_per_sec" sample )
+          with
+          | Some (J_str w), Some (J_str s), Some (J_num r) when r > 0. ->
+              Some ((w, s), r)
+          | _ -> None)
+        samples
+  | _ -> raise (Json_error "no \"samples\" array")
+
+let read_baseline ~path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  baseline_rates_of_json (parse_json contents)
+
+type regression = {
+  reg_workload : string;
+  reg_strategy : string;
+  reg_baseline_rel : float;
+  reg_current_rel : float;
+  reg_drop_pct : float;
+}
+
+let check_against_baseline ~max_regression_pct ~baseline samples =
+  (* Absolute sim-cycles-per-second depends on the host the baseline was
+     recorded on, so compare *relative* rates: each sample normalised by
+     the geometric mean of its own file, over the keys the two files
+     share.  A uniform host slowdown cancels; a single strategy getting
+     slower relative to the others does not. *)
+  let current =
+    List.filter_map
+      (fun s ->
+        if s.sim_cycles_per_sec > 0. then
+          Some ((s.workload, s.strategy), s.sim_cycles_per_sec)
+        else None)
+      samples
+  in
+  let shared =
+    List.filter_map
+      (fun (key, b) ->
+        match List.assoc_opt key current with
+        | Some c -> Some (key, b, c)
+        | None -> None)
+      baseline
+  in
+  match shared with
+  | [] -> Error "no overlapping (workload, strategy) samples with the baseline"
+  | _ ->
+      let geomean xs =
+        exp (List.fold_left (fun a x -> a +. log x) 0. xs
+             /. float_of_int (List.length xs))
+      in
+      let gb = geomean (List.map (fun (_, b, _) -> b) shared) in
+      let gc = geomean (List.map (fun (_, _, c) -> c) shared) in
+      let regressions =
+        List.filter_map
+          (fun ((w, s), b, c) ->
+            let rb = b /. gb and rc = c /. gc in
+            let drop = (rb -. rc) /. rb *. 100. in
+            if drop > max_regression_pct then
+              Some
+                {
+                  reg_workload = w;
+                  reg_strategy = s;
+                  reg_baseline_rel = rb;
+                  reg_current_rel = rc;
+                  reg_drop_pct = drop;
+                }
+            else None)
+          shared
+      in
+      Ok regressions

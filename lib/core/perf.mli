@@ -35,12 +35,63 @@ val measure :
     (default 0.2) are reached. *)
 
 val run_suite :
-  ?workloads:string list -> ?min_runs:int -> ?min_seconds:float -> unit ->
-  sample list
-(** Every workload crossed with every strategy. *)
+  ?workloads:string list -> ?min_runs:int -> ?min_seconds:float ->
+  ?domains:int -> unit -> sample list
+(** Every workload crossed with every strategy, evaluated through
+    {!Sweep.map}.  [domains] defaults to [1]: concurrent timed runs steal
+    host cycles from each other, so parallel sampling is only for
+    smoke-testing the plumbing, not for recorded numbers. *)
 
-val to_json : sample list -> string
-(** The BENCH_simulator.json document: an object with [schema],
-    [generated_by], [unix_time] and a [samples] array. *)
+(** Wall-clock of the whole-suite summary sweep ({!Experiment.summary_rows})
+    at one domain and at [sweep_domains] — the recorded evidence that the
+    parallel engine pays for itself and stays byte-identical. *)
+type sweep_bench = {
+  sweep_points : int;          (** grid points (rows x strategies) *)
+  sweep_domains : int;         (** domain count of the parallel run *)
+  sweep_wall_1 : float;        (** seconds, best of repeats, 1 domain *)
+  sweep_wall_n : float;        (** seconds, best of repeats, N domains *)
+  sweep_speedup : float;       (** [sweep_wall_1 /. sweep_wall_n] *)
+  sweep_identical : bool;      (** structural equality of the two row lists *)
+}
 
-val write_json : path:string -> sample list -> unit
+val measure_sweep : ?domains:int -> ?repeats:int -> unit -> sweep_bench
+(** Times {!Experiment.summary_rows} at 1 domain and at [domains]
+    (default {!Sweep.default_domains}), keeping the best wall-clock of
+    [repeats] (default 2) timings each, and compares the results. *)
+
+val to_json : ?sweep:sweep_bench -> sample list -> string
+(** The BENCH_simulator.json document: an object with [schema]
+    ("uhm-bench-simulator/2"), [generated_by], [unix_time], an optional
+    [sweep] object and a [samples] array. *)
+
+val write_json : ?sweep:sweep_bench -> path:string -> sample list -> unit
+
+(** {2 Baseline comparison — the CI perf gate} *)
+
+val read_baseline : path:string -> ((string * string) * float) list
+(** [(workload, strategy) -> sim_cycles_per_sec] pairs from a previously
+    written BENCH_simulator.json (either schema version).  Raises
+    [Json_error] on malformed input. *)
+
+exception Json_error of string
+
+(** One sample whose host-relative throughput dropped past the threshold. *)
+type regression = {
+  reg_workload : string;
+  reg_strategy : string;
+  reg_baseline_rel : float;  (** baseline rate / baseline geometric mean *)
+  reg_current_rel : float;   (** current rate / current geometric mean *)
+  reg_drop_pct : float;      (** relative drop, percent *)
+}
+
+val check_against_baseline :
+  max_regression_pct:float ->
+  baseline:((string * string) * float) list ->
+  sample list ->
+  (regression list, string) result
+(** Compares host-speed-independent relative rates: each file's samples are
+    normalised by that file's own geometric mean over the shared
+    (workload, strategy) keys, so a uniformly faster or slower host cancels
+    out.  [Ok []] means the gate passes; [Ok regressions] lists samples
+    whose relative rate dropped more than [max_regression_pct] percent;
+    [Error] means the files share no samples. *)

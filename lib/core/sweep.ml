@@ -1,0 +1,154 @@
+(* Domain-based worker pool for experiment grids; see sweep.mli.
+
+   Determinism contract: results are stored by job index and returned in
+   submission order, and the first-raising job (by index, not by wall
+   clock) decides which exception escapes.  Nothing observable depends on
+   the interleaving of workers. *)
+
+let max_domains = 64
+
+let default_domains () =
+  let requested =
+    match Sys.getenv_opt "UHM_JOBS" with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n > 0 -> n
+        | _ -> Domain.recommended_domain_count ())
+    | None -> Domain.recommended_domain_count ()
+  in
+  max 1 (min max_domains requested)
+
+(* One batch in flight at a time.  [batch] is the current jobs as an
+   index-consuming closure (the result slots are captured inside it), so
+   the pool itself is monomorphic. *)
+type pool = {
+  total_domains : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;  (* a batch was submitted, or shutdown *)
+  work_done : Condition.t;   (* the last job of the batch completed *)
+  mutable batch : (int -> unit) option;
+  mutable total : int;       (* jobs in the current batch *)
+  mutable next : int;        (* cursor: next unclaimed job index *)
+  mutable completed : int;   (* jobs fully evaluated *)
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* Claim-and-run loop shared by workers and the submitting domain.  Called
+   with the mutex held; returns with the mutex held once the cursor is
+   exhausted (workers then sleep; the submitter waits for completion). *)
+let drain pool =
+  while
+    match pool.batch with
+    | Some job when pool.next < pool.total ->
+        let i = pool.next in
+        pool.next <- i + 1;
+        Mutex.unlock pool.mutex;
+        (* [job] never raises: map_pool wraps f in a Result *)
+        job i;
+        Mutex.lock pool.mutex;
+        pool.completed <- pool.completed + 1;
+        if pool.completed = pool.total then Condition.broadcast pool.work_done;
+        true
+    | _ -> false
+  do
+    ()
+  done
+
+let worker_main pool =
+  Mutex.lock pool.mutex;
+  while not pool.stopping do
+    drain pool;
+    if not pool.stopping then Condition.wait pool.work_ready pool.mutex
+  done;
+  Mutex.unlock pool.mutex
+
+let create ?domains () =
+  let total_domains =
+    match domains with
+    | Some d -> max 1 (min max_domains d)
+    | None -> default_domains ()
+  in
+  let pool =
+    {
+      total_domains;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      batch = None;
+      total = 0;
+      next = 0;
+      completed = 0;
+      stopping = false;
+      workers = [];
+    }
+  in
+  pool.workers <-
+    List.init (total_domains - 1) (fun _ ->
+        Domain.spawn (fun () -> worker_main pool));
+  pool
+
+let domains pool = pool.total_domains
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stopping <- true;
+  Condition.broadcast pool.work_ready;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.workers;
+  pool.workers <- []
+
+let map_pool pool f jobs =
+  let jobs = Array.of_list jobs in
+  let n = Array.length jobs in
+  if n = 0 then []
+  else begin
+    let results =
+      Array.make n (Error (Failure "Sweep.map_pool: job not evaluated"))
+    in
+    let job i =
+      results.(i) <-
+        (try Ok (f jobs.(i)) with e -> Error e)
+    in
+    if pool.workers = [] then
+      for i = 0 to n - 1 do
+        job i
+      done
+    else begin
+      Mutex.lock pool.mutex;
+      if pool.batch <> None then begin
+        Mutex.unlock pool.mutex;
+        invalid_arg "Sweep.map_pool: sweep already in flight (nested use?)"
+      end;
+      pool.total <- n;
+      pool.next <- 0;
+      pool.completed <- 0;
+      pool.batch <- Some job;
+      Condition.broadcast pool.work_ready;
+      (* the submitting domain pulls jobs too *)
+      drain pool;
+      while pool.completed < pool.total do
+        Condition.wait pool.work_done pool.mutex
+      done;
+      pool.batch <- None;
+      Mutex.unlock pool.mutex
+    end;
+    (* first error in submission order wins, explicitly, so the escaping
+       exception does not depend on evaluation-order quirks *)
+    Array.iter (function Error e -> raise e | Ok _ -> ()) results;
+    Array.to_list
+      (Array.map (function Ok v -> v | Error _ -> assert false) results)
+  end
+
+let map ?domains f jobs =
+  let wanted =
+    match domains with Some d -> max 1 (min max_domains d) | None -> default_domains ()
+  in
+  (* no point spawning more domains than jobs *)
+  let wanted = min wanted (max 1 (List.length jobs)) in
+  if wanted = 1 then List.map f jobs
+  else begin
+    let pool = create ~domains:wanted () in
+    Fun.protect ~finally:(fun () -> shutdown pool) (fun () ->
+        map_pool pool f jobs)
+  end

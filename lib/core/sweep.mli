@@ -1,0 +1,56 @@
+(** The parallel sweep engine: a Domain-based worker pool for experiment
+    grids.
+
+    Every experiment in EXPERIMENTS.md is a grid of independent pure
+    simulations (program x strategy x encoding x configuration).  This
+    module evaluates such grids across cores while guaranteeing that the
+    result list is returned {e in submission order}, so any output derived
+    from it is byte-identical whether the sweep ran on 1 domain or N —
+    parallelism changes wall-clock time only, never a single reported
+    number.
+
+    The pool is a classic work queue: a mutex-and-condition protected
+    cursor over the job array; each worker repeatedly claims the next
+    index, evaluates it, and stores the result in that index's slot.
+    Because slots are disjoint and [Domain.join]/the completion barrier
+    provide the happens-before edge, no result is ever observed partially
+    written.
+
+    Jobs must be pure (or at least independent): a job must not mutate
+    state shared with another job.  Nested sweeps over the {e same} pool
+    deadlock; [map] with its private one-shot pool is safe to nest. *)
+
+val default_domains : unit -> int
+(** The domain count used when none is given explicitly: the [UHM_JOBS]
+    environment variable if set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()]; clamped to [1, 64]. *)
+
+type pool
+(** A set of worker domains plus the submitting domain.  Create once,
+    run many sweeps, then {!shutdown}. *)
+
+val create : ?domains:int -> unit -> pool
+(** [create ~domains ()] spawns [domains - 1] worker domains (the
+    submitting domain is the remaining worker).  [domains] defaults to
+    {!default_domains}[ ()]. *)
+
+val domains : pool -> int
+(** Total domains participating in this pool's sweeps (workers + 1). *)
+
+val shutdown : pool -> unit
+(** Terminate and join the worker domains.  Idempotent.  The pool must be
+    idle (no sweep in flight). *)
+
+val map_pool : pool -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_pool pool f jobs] evaluates [f] on every job and returns the
+    results in submission order.  If any job raised, the exception of the
+    {e earliest} such job (in submission order) is re-raised after the
+    whole batch has drained — which exception propagates is therefore
+    also independent of the domain count.  Must only be called from the
+    domain that created the pool, and never from inside one of its own
+    jobs. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** One-shot [map_pool]: create a pool, sweep, shut it down.  With
+    [~domains:1] (or a single-element job list) no domain is spawned and
+    the jobs run inline. *)

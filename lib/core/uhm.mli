@@ -68,6 +68,16 @@ type result = {
 
 val cycles_per_dir_instruction : result -> float
 
+val dir_steps_reference : Uhm_dir.Program.t -> int
+(** Run the reference DIR interpreter and count its steps (the pre-pass
+    behind every result's [dir_steps] field). *)
+
+val dir_steps_memoized : Uhm_dir.Program.t -> int
+(** Like {!dir_steps_reference}, but served from a bounded, physically
+    keyed, mutex-protected memo shared across strategies and sweep
+    workers — a sweep re-simulates each program once per strategy but
+    pays the reference pre-pass only once per program. *)
+
 val run : ?timing:Timing.t -> ?fuel:int -> ?layout:Uhm_psder.Layout.t
   -> ?decode_assist:bool -> ?compound_datapath:bool -> strategy:strategy
   -> kind:Uhm_encoding.Kind.t -> Uhm_dir.Program.t -> result

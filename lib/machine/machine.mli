@@ -105,5 +105,13 @@ val output : t -> string
 val run : t -> status
 (** Execute until halt, trap or fuel exhaustion. *)
 
+val recycle : t -> unit
+(** Return the machine's copy-on-write pages and page table to a
+    domain-local pool reused by subsequent {!create} calls on the same
+    domain (grid sweeps build thousands of machines; pooling keeps that
+    churn out of the GC).  The machine must not be used afterwards.
+    Recycled storage is re-zeroed on reuse, so pooling never changes
+    simulated behaviour. *)
+
 val step : t -> unit
 (** Execute one instruction (long or short); no-op unless [Running]. *)

@@ -58,11 +58,16 @@ let pack ?(ctx = 0) op operand =
     invalid_arg "Short_format.pack: context out of range";
   op_to_int op lor (ctx lsl op_bits) lor (operand lsl operand_shift)
 
+(* Field accessors on the raw word.  [unpack] builds a tuple, which on the
+   IU2 dispatch path means one heap allocation per executed short word;
+   the simulator hot loop reads the fields it needs straight off the int
+   instead (the opcode stays an int there too — see [Machine.exec_short]). *)
+let[@inline] unpack_op word = word land ((1 lsl op_bits) - 1)
+let[@inline] unpack_ctx word = (word lsr op_bits) land ctx_mask
+let[@inline] unpack_operand word = word asr operand_shift
+
 let unpack word =
-  let op = op_of_int (word land ((1 lsl op_bits) - 1)) in
-  let ctx = (word lsr op_bits) land ctx_mask in
-  let operand = word asr operand_shift in
-  (op, ctx, operand)
+  (op_of_int (unpack_op word), unpack_ctx word, unpack_operand word)
 
 let to_string word =
   let op, ctx, operand = unpack word in

@@ -11,6 +11,7 @@ let () =
       Test_machine.suite;
       Test_psder.suite;
       Test_core.suite;
+      Test_sweep.suite;
       Test_golden.suite;
       Test_workload.suite;
       Test_report.suite;

@@ -91,6 +91,41 @@ let test_dtb_overflow_exhaustion () =
     (Failure "Dtb.emit: overflow area exhausted") (fun () ->
       ignore (Dtb.emit dtb 3))
 
+let test_dtb_last_cache_differential () =
+  (* Same operation sequence against a DTB with and without the
+     single-entry last-translation cache: lookup results and statistics
+     must be indistinguishable, and the counts are pinned so the fast
+     path cannot silently change what a hit or an eviction means.
+
+     With 4 sets (set = tag land 3 for small tags), tags 5/13/21 collide
+     in set 1; the sequence exercises the fresh-install fast path,
+     re-hit after an intervening miss, eviction of the cached tag, and
+     the re-miss after eviction. *)
+  let seq = [ 5; 5; 5; 6; 5; 5; 13; 21; 5 ] in
+  let run last_cache =
+    let dtb = Dtb.create ~last_cache small_config ~buffer_base:0 in
+    let log =
+      List.map
+        (fun tag ->
+          match Dtb.lookup dtb ~tag with
+          | `Hit addr -> `Hit addr
+          | `Miss ->
+              ignore (install dtb tag [ tag; tag + 1 ]);
+              `Miss)
+        seq
+    in
+    (log, Dtb.hits dtb, Dtb.misses dtb, Dtb.evictions dtb)
+  in
+  let log_ref, h_ref, m_ref, e_ref = run false in
+  let log_fast, h_fast, m_fast, e_fast = run true in
+  check_bool "lookup outcomes identical" true (log_ref = log_fast);
+  check_int "hits (reference)" 4 h_ref;
+  check_int "misses (reference)" 5 m_ref;
+  check_int "evictions (reference)" 2 e_ref;
+  check_int "hits (last cache)" h_ref h_fast;
+  check_int "misses (last cache)" m_ref m_fast;
+  check_int "evictions (last cache)" e_ref e_fast
+
 let test_dtb_full_assoc_beats_direct_on_conflicts () =
   (* a trace alternating between tags that collide in a direct-mapped DTB *)
   let run config =
@@ -536,6 +571,8 @@ let suite =
         test_dtb_eviction_releases_chain;
       Alcotest.test_case "dtb overflow exhaustion" `Quick
         test_dtb_overflow_exhaustion;
+      Alcotest.test_case "dtb last-translation cache differential" `Quick
+        test_dtb_last_cache_differential;
       Alcotest.test_case "dtb associativity vs conflicts" `Quick
         test_dtb_full_assoc_beats_direct_on_conflicts;
       Alcotest.test_case "dtb sim = machine dtb" `Quick test_dtb_sim_matches_machine;

@@ -172,6 +172,24 @@ let prop_short_roundtrip =
       let op', ctx', operand' = SF.unpack (SF.pack ~ctx op operand) in
       op = op' && ctx = ctx' && operand = operand')
 
+(* The engine's DTB dispatch path reads fields with the allocation-free
+   accessors instead of building [unpack]'s tuple; pin them to it. *)
+let prop_unpack_accessors_match_tuple =
+  let ops =
+    [ SF.Push_imm; SF.Push_dir; SF.Push_ind; SF.Pop_dir; SF.Call_long;
+      SF.Interp_imm; SF.Interp_stk; SF.Goto; SF.Goto_stk ]
+  in
+  QCheck.Test.make ~name:"unpack field accessors = tuple unpack" ~count:500
+    QCheck.(
+      triple (int_bound (List.length ops - 1)) (int_bound SF.max_ctx)
+        (int_range (-1_000_000_000) 1_000_000_000))
+    (fun (opi, ctx, operand) ->
+      let w = SF.pack ~ctx (List.nth ops opi) operand in
+      let op, ctx', operand' = SF.unpack w in
+      SF.op_of_int (SF.unpack_op w) = op
+      && SF.unpack_ctx w = ctx'
+      && SF.unpack_operand w = operand')
+
 (* -- Engine ------------------------------------------------------------------ *)
 
 let default_regions =
@@ -529,4 +547,5 @@ let suite =
       qcheck prop_timestamp_lru_matches_counter_lru;
       qcheck prop_mem_cost_matches_linear_scan;
       qcheck prop_short_roundtrip;
+      qcheck prop_unpack_accessors_match_tuple;
     ] )

@@ -1,0 +1,139 @@
+(* Tests for the Domain-based sweep engine: submission-order results,
+   first-error-by-index exception propagation, pool reuse, UHM_JOBS
+   parsing, end-to-end determinism of the experiment grids at 1 vs N
+   domains, and the dir_steps memo. *)
+
+module Sweep = Uhm_core.Sweep
+module Experiment = Uhm_core.Experiment
+module U = Uhm_core.Uhm
+module Kind = Uhm_encoding.Kind
+module Suite = Uhm_workload.Suite
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* -- The pool itself --------------------------------------------------------- *)
+
+let test_map_order () =
+  let xs = List.init 100 Fun.id in
+  let expected = List.map (fun i -> i * i) xs in
+  Alcotest.(check (list int))
+    "4 domains = serial map" expected
+    (Sweep.map ~domains:4 (fun i -> i * i) xs);
+  Alcotest.(check (list int))
+    "1 domain (inline path)" expected
+    (Sweep.map ~domains:1 (fun i -> i * i) xs);
+  Alcotest.(check (list int)) "empty job list" [] (Sweep.map ~domains:4 Fun.id []);
+  Alcotest.(check (list int))
+    "more domains than jobs" [ 9 ]
+    (Sweep.map ~domains:8 (fun i -> i * i) [ 3 ])
+
+exception Boom of int
+
+let test_first_error_by_index () =
+  (* jobs 3 and 7 both raise; the escaping exception must be job 3's
+     regardless of which worker ran first *)
+  match
+    Sweep.map ~domains:4
+      (fun i -> if i = 3 || i = 7 then raise (Boom i) else i)
+      (List.init 16 Fun.id)
+  with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom i -> check_int "first raising job by index" 3 i
+
+let test_pool_reuse () =
+  let pool = Sweep.create ~domains:3 () in
+  check_int "domain count" 3 (Sweep.domains pool);
+  let a = Sweep.map_pool pool (fun i -> i * 2) (List.init 10 Fun.id) in
+  let b = Sweep.map_pool pool (fun i -> i + 1) (List.init 5 Fun.id) in
+  Sweep.shutdown pool;
+  Alcotest.(check (list int)) "first batch" (List.init 10 (fun i -> i * 2)) a;
+  Alcotest.(check (list int)) "second batch" (List.init 5 (fun i -> i + 1)) b
+
+let with_jobs_env value f =
+  let old = Sys.getenv_opt "UHM_JOBS" in
+  Unix.putenv "UHM_JOBS" value;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "UHM_JOBS" (Option.value ~default:"" old))
+    f
+
+let test_jobs_env () =
+  with_jobs_env "3" (fun () ->
+      check_int "UHM_JOBS=3" 3 (Sweep.default_domains ()));
+  with_jobs_env "garbage" (fun () ->
+      check_bool "garbage falls back to a positive default" true
+        (Sweep.default_domains () >= 1));
+  with_jobs_env "0" (fun () ->
+      check_bool "0 falls back to a positive default" true
+        (Sweep.default_domains () >= 1));
+  with_jobs_env "2" (fun () ->
+      (* maps with no explicit ~domains pick the env value and stay ordered *)
+      Alcotest.(check (list int))
+        "env-driven map is ordered" (List.init 20 succ)
+        (Sweep.map succ (List.init 20 Fun.id)))
+
+(* -- Determinism of the experiment grids ------------------------------------- *)
+
+let subset = [ "fact_iter"; "gcd"; "flat_straightline"; "ftn_euclid" ]
+
+let test_summary_rows_deterministic () =
+  let r1 = Experiment.summary_rows ~domains:1 ~names:subset () in
+  let r4 = Experiment.summary_rows ~domains:4 ~names:subset () in
+  check_int "row count" (List.length subset) (List.length r1);
+  Alcotest.(check (list string))
+    "row order = submission order"
+    [ "fact_iter"; "gcd"; "flat_straightline"; "ftn_euclid" ]
+    (List.map (fun r -> r.Experiment.sr_program) r1);
+  check_bool "summary rows identical at 1 vs 4 domains" true (r1 = r4)
+
+let test_dtb_grid_deterministic () =
+  let progs =
+    List.map
+      (fun n -> (n, Suite.compile (Suite.find n)))
+      [ "fact_iter"; "fib_rec" ]
+  in
+  let grid d =
+    Experiment.dtb_grid ~domains:d ~kind:Kind.Huffman
+      ~configs:(Experiment.capacity_configs ())
+      progs
+  in
+  let g1 = grid 1 and g4 = grid 4 in
+  check_int "programs" 2 (List.length g1);
+  check_int "points per program"
+    (List.length (Experiment.capacity_configs ()))
+    (List.length (snd (List.hd g1)));
+  check_bool "grid identical at 1 vs 4 domains" true (g1 = g4)
+
+(* -- The dir_steps memo ------------------------------------------------------ *)
+
+let test_dir_steps_memo () =
+  let p = Suite.compile (Suite.find "gcd") in
+  let reference = U.dir_steps_reference p in
+  check_int "memo = reference" reference (U.dir_steps_memoized p);
+  check_int "memo stable on re-query" reference (U.dir_steps_memoized p);
+  let r = U.run ~strategy:U.Interp ~kind:Kind.Packed p in
+  check_int "run's dir_steps served by the memo" reference r.U.dir_steps;
+  (* concurrent queries from sweep workers agree with the reference *)
+  let answers =
+    Sweep.map ~domains:4 (fun _ -> U.dir_steps_memoized p) (List.init 16 Fun.id)
+  in
+  check_bool "memo consistent under concurrency" true
+    (List.for_all (( = ) reference) answers)
+
+let suite =
+  ( "sweep",
+    [
+      Alcotest.test_case "map preserves submission order" `Quick test_map_order;
+      Alcotest.test_case "first error by index wins" `Quick
+        test_first_error_by_index;
+      Alcotest.test_case "pool survives multiple batches" `Quick
+        test_pool_reuse;
+      Alcotest.test_case "UHM_JOBS parsing" `Quick test_jobs_env;
+      Alcotest.test_case "summary rows identical at 1 vs 4 domains" `Slow
+        test_summary_rows_deterministic;
+      Alcotest.test_case "dtb grid identical at 1 vs 4 domains" `Slow
+        test_dtb_grid_deterministic;
+      Alcotest.test_case "dir_steps memo matches reference" `Quick
+        test_dir_steps_memo;
+    ] )
