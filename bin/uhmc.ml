@@ -7,7 +7,8 @@
      trace     locality statistics of the program's instruction trace
      calibrate measure the paper's cost parameters from simulation
      suite     list the built-in benchmark programs
-     perf      measure host-side simulator throughput; write BENCH json *)
+     perf      measure host-side simulator throughput; write BENCH json
+     mix       time-slice several programs over one shared DTB *)
 
 open Cmdliner
 module Table = Uhm_report.Table
@@ -406,6 +407,166 @@ let perf_cmd =
     Term.(const action $ runs_arg $ seconds_arg $ out_arg $ workloads_arg
           $ jobs_arg $ sweep_arg $ baseline_arg $ max_regression_arg)
 
+(* -- mix ---------------------------------------------------------------------- *)
+
+let mix_cmd =
+  let module Mix = Uhm_sched.Mix in
+  let module Scheduler = Uhm_sched.Scheduler in
+  let module Trace = Uhm_sched.Trace in
+  let programs_arg =
+    Arg.(value & opt_all string []
+         & info [ "p"; "program" ] ~docv:"NAME"
+             ~doc:"Built-in program to include in the mix (repeatable; at \
+                   least two make a mix, one is allowed).")
+  in
+  let policy_conv =
+    let parse = function
+      | "flush" -> Ok Dtb.Flush_on_switch
+      | "tagged" -> Ok Dtb.Tagged
+      | "partitioned" -> Ok Dtb.Partitioned
+      | s -> Error (`Msg (Printf.sprintf "unknown policy %s" s))
+    in
+    Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Dtb.policy_name p))
+  in
+  let policies_arg =
+    Arg.(value & opt_all policy_conv []
+         & info [ "policy" ] ~docv:"POLICY"
+             ~doc:"Shared-DTB ownership policy: flush, tagged, partitioned \
+                   (repeatable; default all three).")
+  in
+  let quantum_arg =
+    Arg.(value & opt int 64
+         & info [ "q"; "quantum" ] ~docv:"N"
+             ~doc:"Scheduling quantum in DIR instructions; 0 means never \
+                   preempt (the quantum-to-infinity limit).")
+  in
+  let scheduler_conv =
+    let parse = function
+      | "rr" -> Ok Scheduler.Round_robin
+      | "srtf" -> Ok Scheduler.Shortest_remaining
+      | s -> Error (`Msg (Printf.sprintf "unknown scheduler %s" s))
+    in
+    Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Scheduler.policy_name s))
+  in
+  let scheduler_arg =
+    Arg.(value & opt scheduler_conv Scheduler.Round_robin
+         & info [ "scheduler" ] ~docv:"SCHED"
+             ~doc:"rr (round-robin) or srtf (shortest remaining dir_steps \
+                   first).")
+  in
+  let trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"PATH"
+             ~doc:"Write a Chrome trace_event JSON file loadable in \
+                   about://tracing (with several policies, the policy name \
+                   is inserted before the extension).")
+  in
+  let sets_arg =
+    Arg.(value & opt int Dtb.paper_config.Dtb.sets
+         & info [ "sets" ] ~docv:"N" ~doc:"DTB set count (power of two).")
+  in
+  let assoc_arg =
+    Arg.(value & opt int Dtb.paper_config.Dtb.assoc
+         & info [ "assoc" ] ~docv:"N" ~doc:"DTB ways per set.")
+  in
+  let action programs policies quantum scheduler kind fuse trace_path sets
+      assoc =
+    if programs = [] then begin
+      prerr_endline "uhmc mix: at least one -p NAME is required";
+      exit 2
+    end;
+    let policies =
+      if policies = [] then [ Dtb.Flush_on_switch; Dtb.Tagged; Dtb.Partitioned ]
+      else policies
+    in
+    let quantum = if quantum <= 0 then Mix.solo_quantum else quantum in
+    let config =
+      { Dtb.paper_config with Dtb.sets; assoc }
+    in
+    let named =
+      List.map
+        (fun name ->
+          (name, load_dir ~file:None ~program:(Some name) ~fortran:false ~fuse))
+        programs
+    in
+    let t =
+      Table.create
+        ~columns:
+          [ ("policy", Table.Left); ("program", Table.Left);
+            ("dir instrs", Table.Right); ("cycles", Table.Right);
+            ("slices", Table.Right); ("hit ratio", Table.Right);
+            ("misses", Table.Right); ("evictions", Table.Right) ]
+        ()
+    in
+    List.iter
+      (fun policy ->
+        let r =
+          Mix.run ~scheduler ~policy ~quantum ~config ~kind named
+        in
+        List.iter
+          (fun (pr : Mix.program_result) ->
+            (match pr.Mix.pr_status with
+            | Machine.Halted -> ()
+            | Machine.Trapped m ->
+                Printf.eprintf "%s under %s trapped: %s\n" pr.Mix.pr_name
+                  (Dtb.policy_name policy) m;
+                exit 1
+            | Machine.Out_of_fuel ->
+                Printf.eprintf "%s under %s ran out of fuel\n" pr.Mix.pr_name
+                  (Dtb.policy_name policy);
+                exit 1
+            | Machine.Running -> assert false);
+            Table.add_row t
+              [ Dtb.policy_name policy; pr.Mix.pr_name;
+                Table.cell_int pr.Mix.pr_dir_steps;
+                Table.cell_int pr.Mix.pr_cycles;
+                Table.cell_int pr.Mix.pr_slices;
+                Printf.sprintf "%.4f" pr.Mix.pr_hit_ratio;
+                Table.cell_int pr.Mix.pr_dtb_misses;
+                Table.cell_int pr.Mix.pr_dtb_evictions ])
+          r.Mix.mr_programs;
+        Table.add_row t
+          [ Dtb.policy_name policy; "(total)"; "";
+            Table.cell_int r.Mix.mr_total_cycles;
+            Printf.sprintf "%d sw/%d fl" r.Mix.mr_switches r.Mix.mr_flushes;
+            Printf.sprintf "%.4f" r.Mix.mr_hit_ratio; "";
+            Table.cell_int r.Mix.mr_evictions ];
+        match trace_path with
+        | None -> ()
+        | Some path ->
+            let path =
+              if List.length policies = 1 then path
+              else
+                let base = Filename.remove_extension path in
+                let ext = Filename.extension path in
+                Printf.sprintf "%s.%s%s" base (Dtb.policy_name policy) ext
+            in
+            let names asid =
+              match List.nth_opt r.Mix.mr_programs asid with
+              | Some pr -> pr.Mix.pr_name
+              | None -> Printf.sprintf "asid%d" asid
+            in
+            let oc = open_out path in
+            output_string oc
+              (Trace.to_chrome ~names ~end_cycle:r.Mix.mr_total_cycles
+                 r.Mix.mr_trace);
+            close_out oc;
+            Printf.printf "wrote %s (%d events, %d dropped)\n" path
+              (min (Trace.recorded r.Mix.mr_trace)
+                 (Trace.capacity r.Mix.mr_trace))
+              (Trace.dropped r.Mix.mr_trace))
+      policies;
+    Table.print t
+  in
+  Cmd.v
+    (Cmd.info "mix"
+       ~doc:"Time-slice several programs over one shared DTB and report \
+             per-program cycles and hit ratios under each ownership policy.")
+    Term.(
+      const action $ programs_arg $ policies_arg $ quantum_arg
+      $ scheduler_arg $ kind_arg $ fuse_arg $ trace_arg $ sets_arg
+      $ assoc_arg)
+
 (* -- suite -------------------------------------------------------------------- *)
 
 let suite_cmd =
@@ -443,4 +604,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "uhmc" ~doc)
           [ compile_cmd; run_cmd; encode_cmd; trace_cmd; calibrate_cmd;
-            suite_cmd; perf_cmd ]))
+            suite_cmd; perf_cmd; mix_cmd ]))

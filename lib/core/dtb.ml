@@ -16,8 +16,20 @@ let config_capacity_words c =
    primary words + 256 overflow blocks * 4 = 1024 overflow words. *)
 let paper_config = { sets = 64; assoc = 4; unit_words = 4; overflow_blocks = 256 }
 
+(* Multiprogramming ownership policies for a DTB shared between address
+   spaces (see dtb.mli). *)
+type policy =
+  | Flush_on_switch
+  | Tagged
+  | Partitioned
+
+let policy_name = function
+  | Flush_on_switch -> "flush"
+  | Tagged -> "tagged"
+  | Partitioned -> "partitioned"
+
 type entry = {
-  mutable tag : int;          (* DIR address; -1 invalid *)
+  mutable tag : int;          (* lookup key; -1 invalid *)
   mutable stamp : int;        (* recency timestamp; larger = more recent *)
   mutable chain : int list;   (* overflow block addresses owned *)
   unit_addr : int;            (* primary unit address *)
@@ -28,17 +40,27 @@ type t = {
   entries : entry array array; (* sets x ways *)
   mutable clock : int;         (* recency clock for the replacement array *)
   mutable free_blocks : int list;
+  overflow_base : int;         (* first overflow block address *)
   (* single-entry "last translation" cache in front of the tag array: the
      common hit-again-immediately case (a tight DIR loop re-entering the
      same translation) skips the set hash and the way scan.  Entry tags
-     change only in [begin_translation], which refreshes this cache, so a
-     matching [last_tag] is always authoritative.  [use_last_cache] exists
-     so tests can differentially check the shortcut against the plain
-     lookup path. *)
+     change only in [begin_translation], [flush] and [invalidate_asid],
+     all of which refresh or clear this cache, so a matching [last_tag]
+     is always authoritative.  [use_last_cache] exists so tests can
+     differentially check the shortcut against the plain lookup path. *)
   use_last_cache : bool;
-  mutable last_tag : int;      (* -1 = empty *)
+  mutable last_tag : int;      (* -1 = empty; a *key*, i.e. ASID-qualified
+                                  under Tagged/Partitioned sharing *)
   mutable last_set : int;
   mutable last_way : int;
+  (* sharing state; a private DTB is the degenerate single-program case *)
+  sharing : policy option;
+  programs : int;
+  asid_bits : int;             (* 0 when keys are raw DIR addresses *)
+  partitions : (int * int) array; (* (first set, set count) per ASID;
+                                     empty unless Partitioned *)
+  mutable current : int;       (* ASID whose lookups are being served *)
+  mutable flushes : int;
   (* open translation state *)
   mutable open_entry : entry option;
   mutable cursor : int;       (* next write address *)
@@ -82,10 +104,17 @@ let create ?(last_cache = true) cfg ~buffer_base =
     entries;
     clock = 0;
     free_blocks;
+    overflow_base;
     use_last_cache = last_cache;
     last_tag = -1;
     last_set = 0;
     last_way = 0;
+    sharing = None;
+    programs = 1;
+    asid_bits = 0;
+    partitions = [||];
+    current = 0;
+    flushes = 0;
     open_entry = None;
     cursor = 0;
     block_end = 0;
@@ -96,12 +125,54 @@ let create ?(last_cache = true) cfg ~buffer_base =
     overflow_allocs = 0;
   }
 
+let rec ceil_log2 n = if n <= 1 then 0 else 1 + ceil_log2 ((n + 1) / 2)
+
+let create_shared ?last_cache ~policy ~programs cfg ~buffer_base =
+  if programs < 1 then invalid_arg "Dtb.create_shared: programs must be >= 1";
+  (match policy with
+  | Partitioned when programs > cfg.sets ->
+      invalid_arg "Dtb.create_shared: more programs than sets to partition"
+  | _ -> ());
+  let t = create ?last_cache cfg ~buffer_base in
+  let asid_bits =
+    match policy with
+    | Flush_on_switch -> 0
+    | Tagged | Partitioned -> ceil_log2 programs
+  in
+  let partitions =
+    match policy with
+    | Partitioned ->
+        (* [sets/programs] sets each, the remainder spread one per ASID
+           from ASID 0 up *)
+        let k = t.cfg.sets / programs and rem = t.cfg.sets mod programs in
+        Array.init programs (fun i ->
+            let base = (i * k) + min i rem in
+            (base, k + if i < rem then 1 else 0))
+    | Flush_on_switch | Tagged -> [||]
+  in
+  { t with sharing = Some policy; programs; asid_bits; partitions }
+
 let buffer_words t = config_capacity_words t.cfg
 
 (* The set-selection hash of Figure 2.  DIR addresses are bit addresses, so
    neighbouring instructions differ in the low bits; a simple shift-and-mask
-   spreads them well (the hash is a config point for ablations via [sets]). *)
-let set_of t tag = (tag lxor (tag lsr 7)) land (t.cfg.sets - 1)
+   spreads them well (the hash is a config point for ablations via [sets]).
+   [tag] is the raw DIR address: under Tagged sharing the set index ignores
+   the ASID (the ASID participates only in the tag match, as in an
+   ASID-tagged TLB), so a program's set mapping is identical to the mapping
+   it would see on a private DTB.  Under Partitioned sharing the hash is
+   folded into the current program's set range instead. *)
+let set_of t tag =
+  let h = tag lxor (tag lsr 7) in
+  if Array.length t.partitions = 0 then h land (t.cfg.sets - 1)
+  else
+    let base, size = t.partitions.(t.current) in
+    base + (h mod size)
+
+(* The key stored in the tag array: the DIR address, ASID-qualified when the
+   policy keeps several programs' translations resident at once.  A private
+   DTB has [asid_bits] = 0 and [current] = 0, so the key is the raw tag. *)
+let key_of t tag = (tag lsl t.asid_bits) lor t.current
 
 (* O(1) timestamp recency in place of the O(assoc) counter shuffle; the
    victim scan in [begin_translation] picks the minimum stamp, which is the
@@ -111,7 +182,8 @@ let touch t set way =
   t.entries.(set).(way).stamp <- t.clock
 
 let lookup t ~tag =
-  if t.use_last_cache && tag = t.last_tag then begin
+  let key = key_of t tag in
+  if t.use_last_cache && key = t.last_tag then begin
     (* shortcut hit: identical statistics and recency update to the full
        probe below, so hit/miss/eviction counts cannot drift *)
     t.hits <- t.hits + 1;
@@ -123,14 +195,14 @@ let lookup t ~tag =
     let ways = t.entries.(set) in
     let rec find w =
       if w >= Array.length ways then None
-      else if ways.(w).tag = tag then Some w
+      else if ways.(w).tag = key then Some w
       else find (w + 1)
     in
     match find 0 with
     | Some w ->
         t.hits <- t.hits + 1;
         touch t set w;
-        t.last_tag <- tag;
+        t.last_tag <- key;
         t.last_set <- set;
         t.last_way <- w;
         `Hit ways.(w).unit_addr
@@ -140,6 +212,7 @@ let lookup t ~tag =
 
 let begin_translation t ~tag =
   if t.open_entry <> None then failwith "Dtb: translation already open";
+  let key = key_of t tag in
   let set = set_of t tag in
   let ways = t.entries.(set) in
   let victim = ref 0 in
@@ -151,11 +224,11 @@ let begin_translation t ~tag =
     t.free_blocks <- e.chain @ t.free_blocks;
     e.chain <- []
   end;
-  e.tag <- tag;
+  e.tag <- key;
   touch t set !victim;
-  (* the only place a tag changes: point the last-translation cache at the
+  (* a place a tag changes: point the last-translation cache at the
      entry being (re)installed so it can never go stale *)
-  t.last_tag <- tag;
+  t.last_tag <- key;
   t.last_set <- set;
   t.last_way <- !victim;
   t.open_entry <- Some e;
@@ -197,6 +270,76 @@ let end_translation t =
       t.open_entry <- None;
       t.start_addr
 
+(* -- Multiprogramming --------------------------------------------------------
+
+   [flush] restores the directory to its creation state exactly (tags,
+   per-way stamp order, canonical free-block order), so a run after a flush
+   is indistinguishable from a run on a fresh DTB: the quantum-to-infinity
+   limit of Flush_on_switch scheduling reproduces single-program results
+   bit for bit.  Cumulative statistics and the recency clock survive. *)
+
+let flush t =
+  if t.open_entry <> None then failwith "Dtb.flush: translation open";
+  Array.iter
+    (fun ways ->
+      Array.iteri
+        (fun w e ->
+          e.tag <- -1;
+          e.stamp <- -w;
+          e.chain <- [])
+        ways)
+    t.entries;
+  t.free_blocks <-
+    List.init t.cfg.overflow_blocks (fun i ->
+        t.overflow_base + (i * t.cfg.unit_words));
+  (* PR 2's single-entry shortcut caches a (key, set, way) triple outside
+     the tag array; clearing the array without clearing the shortcut would
+     let a stale hit survive the flush *)
+  t.last_tag <- -1;
+  t.flushes <- t.flushes + 1
+
+let invalidate_asid t ~asid =
+  if t.asid_bits = 0 && t.sharing <> None then
+    invalid_arg "Dtb.invalidate_asid: DTB is not ASID-tagged";
+  if t.sharing = None then invalid_arg "Dtb.invalidate_asid: private DTB";
+  if asid < 0 || asid >= t.programs then
+    invalid_arg "Dtb.invalidate_asid: ASID out of range";
+  if t.open_entry <> None then failwith "Dtb.invalidate_asid: translation open";
+  let mask = (1 lsl t.asid_bits) - 1 in
+  let dropped = ref 0 in
+  Array.iter
+    (fun ways ->
+      Array.iter
+        (fun e ->
+          if e.tag >= 0 && e.tag land mask = asid then begin
+            incr dropped;
+            e.tag <- -1;
+            t.free_blocks <- e.chain @ t.free_blocks;
+            e.chain <- []
+          end)
+        ways)
+    t.entries;
+  (* same coherence rule as [flush]: the shortcut must not outlive the
+     entries it points at *)
+  if t.last_tag >= 0 && t.last_tag land mask = asid then t.last_tag <- -1;
+  !dropped
+
+let switch_to t ~asid =
+  match t.sharing with
+  | None -> invalid_arg "Dtb.switch_to: private DTB"
+  | Some policy ->
+      if asid < 0 || asid >= t.programs then
+        invalid_arg "Dtb.switch_to: ASID out of range";
+      if asid <> t.current then begin
+        t.current <- asid;
+        match policy with
+        | Flush_on_switch -> flush t
+        | Tagged | Partitioned -> ()
+      end
+
+let sharing t = t.sharing
+let current_asid t = t.current
+
 let hits t = t.hits
 let misses t = t.misses
 
@@ -206,6 +349,7 @@ let hit_ratio t =
 
 let evictions t = t.evictions
 let overflow_allocations t = t.overflow_allocs
+let flushes t = t.flushes
 
 let resident_entries t =
   Array.fold_left

@@ -33,6 +33,29 @@ val paper_config : config
 (** 4-way, 4-word units; capacity comparable to the paper's 4096-byte
     instruction cache at 16 bits per short word. *)
 
+(** How a DTB shared between several programs (address spaces) resolves
+    ownership of its entries:
+
+    - [Flush_on_switch]: the tag array is cleared on every context switch,
+      as on a host with untagged translations.  Simple, and each program
+      always sees a cold buffer after a switch.
+    - [Tagged]: an ASID is folded into the stored tag (never into the set
+      hash, exactly as in an ASID-tagged TLB), so all programs'
+      translations stay resident and compete for capacity.  A program's
+      set mapping is identical to the one it would see on a private DTB.
+    - [Partitioned]: each program owns a contiguous range of sets
+      ([sets / programs] each, remainder spread from ASID 0); programs
+      cannot evict each other but each sees only a fraction of the
+      capacity.  Tags are still ASID-qualified so two programs with equal
+      DIR addresses can never alias. *)
+type policy =
+  | Flush_on_switch
+  | Tagged
+  | Partitioned
+
+val policy_name : policy -> string
+(** ["flush"], ["tagged"], ["partitioned"]. *)
+
 val create : ?last_cache:bool -> config -> buffer_base:int -> t
 (** [last_cache] (default [true]) enables the single-entry "last
     translation" cache in front of the tag array: a lookup of the tag
@@ -40,6 +63,18 @@ val create : ?last_cache:bool -> config -> buffer_base:int -> t
     scan.  The shortcut performs exactly the statistics and LRU-recency
     updates of the full probe; disabling it exists for differential
     testing. *)
+
+val create_shared :
+  ?last_cache:bool ->
+  policy:policy ->
+  programs:int ->
+  config ->
+  buffer_base:int ->
+  t
+(** A DTB shared between [programs] address spaces under [policy].  ASID 0
+    is current initially; use {!switch_to} at context switches.  With
+    [programs = 1] every policy degenerates to a private DTB (no ASID
+    bits, full capacity).  [Partitioned] requires [programs <= sets]. *)
 
 val buffer_words : t -> int
 
@@ -65,6 +100,33 @@ val emit : t -> int -> int * (int * int) list
 val end_translation : t -> int
 (** Close the open translation and return its start address. *)
 
+(** {2 Multiprogramming} *)
+
+val switch_to : t -> asid:int -> unit
+(** Make [asid]'s translations the ones served by {!lookup} and installed
+    by {!begin_translation}.  A no-op if [asid] is already current; under
+    [Flush_on_switch] an actual switch performs a {!flush}.  Raises
+    [Invalid_argument] on a private DTB or an out-of-range ASID. *)
+
+val flush : t -> unit
+(** Invalidate every entry and restore the buffer to its creation state
+    exactly: per-way replacement order, canonical overflow free-list
+    order, and the last-translation cache are all reset, so execution
+    after a flush is indistinguishable from execution on a fresh DTB.
+    Cumulative statistics survive; the flush itself is counted in
+    {!flushes}.  Raises [Failure] if a translation is open. *)
+
+val invalidate_asid : t -> asid:int -> int
+(** Drop every entry owned by [asid] (releasing its overflow chains) and
+    return how many were dropped.  The last-translation cache is cleared
+    if it pointed at one of them.  Only meaningful on a [Tagged] or
+    [Partitioned] shared DTB; raises [Invalid_argument] otherwise. *)
+
+val sharing : t -> policy option
+(** [None] for a private DTB. *)
+
+val current_asid : t -> int
+
 (** {2 Statistics} *)
 
 val hits : t -> int
@@ -72,5 +134,10 @@ val misses : t -> int
 val hit_ratio : t -> float
 val evictions : t -> int
 val overflow_allocations : t -> int
+
+val flushes : t -> int
+(** Whole-buffer flushes performed (explicit or by [Flush_on_switch]
+    context switches).  Not reset by {!reset_stats}. *)
+
 val resident_entries : t -> int
 val reset_stats : t -> unit

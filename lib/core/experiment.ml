@@ -171,23 +171,32 @@ let dtb_sweep ?domains ~kind ~configs p =
 
 let dtb_grid ?domains ~kind ~configs names_and_programs =
   (* the full (program x config) grid as one flat job list, so a parallel
-     sweep balances across both axes; regrouped per program afterwards *)
+     sweep balances across both axes; regrouped per program afterwards.
+     The encode stage also computes each program's dir_steps (served by
+     the memo from then on), which the point sweep passes to the pool as
+     its cost hint: replay time is proportional to trace length, so
+     long-program points start first and the grid doesn't end on a lone
+     slow worker. *)
   let encodeds =
     Sweep.map ?domains
-      (fun (name, p) -> (name, Codec.encode kind p))
+      (fun (name, p) -> (name, Codec.encode kind p, Uhm.dir_steps_memoized p))
       names_and_programs
   in
   let jobs =
     List.concat_map
-      (fun (_, encoded) -> List.map (fun c -> (encoded, c)) configs)
+      (fun (_, encoded, steps) ->
+        List.map (fun c -> (encoded, steps, c)) configs)
       encodeds
   in
   let points =
-    Sweep.map ?domains (fun (encoded, c) -> dtb_point_of_config encoded c) jobs
+    Sweep.map ?domains
+      ~cost:(fun (_, steps, _) -> steps)
+      (fun (encoded, _, c) -> dtb_point_of_config encoded c)
+      jobs
   in
   let per_program = List.length configs in
   List.mapi
-    (fun i (name, _) ->
+    (fun i (name, _, _) ->
       ( name,
         List.filteri
           (fun j _ -> j / per_program = i)

@@ -66,6 +66,23 @@ val to_json : ?sweep:sweep_bench -> sample list -> string
 
 val write_json : ?sweep:sweep_bench -> path:string -> sample list -> unit
 
+(** {2 Minimal JSON}
+
+    Just enough of a reader for the documents this repo writes (the bench
+    baseline, the multiprogramming trace export); kept in-repo so the
+    build stays dependency-free beyond the compiler distribution. *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_arr of json list
+  | J_obj of (string * json) list
+
+val parse_json : string -> json
+(** Raises {!Json_error} on malformed input. *)
+
 (** {2 Baseline comparison — the CI perf gate} *)
 
 val read_baseline : path:string -> ((string * string) * float) list

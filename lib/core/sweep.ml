@@ -98,7 +98,26 @@ let shutdown pool =
   List.iter Domain.join pool.workers;
   pool.workers <- []
 
-let map_pool pool f jobs =
+(* Cost-aware claim order: with a cost hint the cursor walks a stable
+   descending-cost permutation of the job indices, so the long-tail jobs
+   of a grid start first and the sweep doesn't end on a lone slow worker.
+   Results are still stored by original index, so everything observable —
+   result order, first-error-by-index — is unchanged by the hint. *)
+let claim_order ~cost jobs =
+  let n = Array.length jobs in
+  match cost with
+  | None -> Array.init n Fun.id
+  | Some cost ->
+      let costs = Array.map cost jobs in
+      let order = Array.init n Fun.id in
+      (* stable, so equal-cost jobs keep submission order *)
+      let a = Array.to_list order in
+      let sorted =
+        List.stable_sort (fun i j -> compare costs.(j) costs.(i)) a
+      in
+      Array.of_list sorted
+
+let map_pool ?cost pool f jobs =
   let jobs = Array.of_list jobs in
   let n = Array.length jobs in
   if n = 0 then []
@@ -106,7 +125,9 @@ let map_pool pool f jobs =
     let results =
       Array.make n (Error (Failure "Sweep.map_pool: job not evaluated"))
     in
-    let job i =
+    let order = claim_order ~cost jobs in
+    let job k =
+      let i = order.(k) in
       results.(i) <-
         (try Ok (f jobs.(i)) with e -> Error e)
     in
@@ -140,15 +161,20 @@ let map_pool pool f jobs =
       (Array.map (function Ok v -> v | Error _ -> assert false) results)
   end
 
-let map ?domains f jobs =
+let map ?cost ?domains f jobs =
   let wanted =
     match domains with Some d -> max 1 (min max_domains d) | None -> default_domains ()
   in
   (* no point spawning more domains than jobs *)
   let wanted = min wanted (max 1 (List.length jobs)) in
-  if wanted = 1 then List.map f jobs
+  if wanted = 1 && cost = None then List.map f jobs
+  else if wanted = 1 then
+    (* inline, but honouring the claim order so the hint is observable
+       (and testable) without spawning domains; results stay in
+       submission order via the same by-index slots *)
+    map_pool ?cost (create ~domains:1 ()) f jobs
   else begin
     let pool = create ~domains:wanted () in
     Fun.protect ~finally:(fun () -> shutdown pool) (fun () ->
-        map_pool pool f jobs)
+        map_pool ?cost pool f jobs)
   end

@@ -41,16 +41,22 @@ val shutdown : pool -> unit
 (** Terminate and join the worker domains.  Idempotent.  The pool must be
     idle (no sweep in flight). *)
 
-val map_pool : pool -> ('a -> 'b) -> 'a list -> 'b list
+val map_pool : ?cost:('a -> int) -> pool -> ('a -> 'b) -> 'a list -> 'b list
 (** [map_pool pool f jobs] evaluates [f] on every job and returns the
     results in submission order.  If any job raised, the exception of the
     {e earliest} such job (in submission order) is re-raised after the
     whole batch has drained — which exception propagates is therefore
     also independent of the domain count.  Must only be called from the
     domain that created the pool, and never from inside one of its own
-    jobs. *)
+    jobs.
 
-val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+    [cost] is a scheduling hint: jobs are {e claimed} in stable descending
+    [cost] order (long jobs first), which shortens the tail of long-tailed
+    grids.  The hint changes only which worker runs which job when — the
+    result list, its order, and the escaping exception are byte-identical
+    with or without it.  Grid producers pass [dir_steps] as the cost. *)
+
+val map : ?cost:('a -> int) -> ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** One-shot [map_pool]: create a pool, sweep, shut it down.  With
     [~domains:1] (or a single-element job list) no domain is spawned and
-    the jobs run inline. *)
+    the jobs run inline (in claim order when [cost] is given). *)

@@ -141,9 +141,9 @@ let dir_steps_memoized p =
 
 let dir_steps_of = dir_steps_memoized
 
-let finish ~strategy ~p ~static_size_bits ~support_size_bits ?dtb ?icache
-    ?emitted_words ?l2_cache m =
-  let status = Machine.run m in
+let finish ~runner ~strategy ~p ~static_size_bits ~support_size_bits ?dtb
+    ?icache ?emitted_words ?l2_cache m =
+  let status = runner m in
   let stats = Machine.stats m in
   let result =
     {
@@ -207,7 +207,7 @@ let icache_for_bytes bytes =
   (* DIR units are 16 bits, so an icache of [bytes] holds bytes/2 units *)
   Cache.create ~assoc:4 ~block_words:4 ~capacity_words:(bytes / 2) ()
 
-let run_interpreted ~timing ~fuel ~layout ~strategy ~assist ~compound
+let run_interpreted ~timing ~fuel ~layout ~runner ~strategy ~assist ~compound
     (encoded : Codec.encoded) =
   let p = encoded.Codec.program in
   let gen = Interp_gen.build ~compound ~assist ~layout ~encoded in
@@ -233,11 +233,54 @@ let run_interpreted ~timing ~fuel ~layout ~strategy ~assist ~compound
     * (Array.length gen.Interp_gen.program.Asm.code
       + Array.length gen.Interp_gen.table_image)
   in
-  finish ~strategy ~p ~static_size_bits:encoded.Codec.size_bits
+  finish ~runner ~strategy ~p ~static_size_bits:encoded.Codec.size_bits
     ~support_size_bits:support ?icache m
 
-let run_dtb ~timing ~fuel ~layout ~strategy ~assist ~compound ~block ?l2 cfg
-    (encoded : Codec.encoded) =
+(* -- The DTB hook set ---------------------------------------------------------
+   The IU2-side hooks every DTB configuration shares.  EmitShort appends
+   the word to the open translation (poking chain words when an overflow
+   block is linked in); EndTrans transfers to the finished translation.
+   Only the INTERP hook varies between the plain, two-level and shared
+   configurations. *)
+
+let dtb_emit_hooks ~dtb ~emitted_words ~h_interp ~h_decode_assist =
+  {
+    Machine.h_interp;
+    h_emit_short =
+      (fun m word ->
+        incr emitted_words;
+        let addr, chain_writes = Dtb.emit dtb word in
+        Machine.poke m addr word;
+        Machine.charge_mem m addr;
+        List.iter
+          (fun (a, w) ->
+            Machine.poke m a w;
+            Machine.charge_mem m a)
+          chain_writes);
+    h_end_trans =
+      (fun m -> Machine.set_pc m (Machine.Short (Dtb.end_translation dtb)));
+    h_decode_assist;
+  }
+
+(* The plain INTERP hook (paper Figure 4): charge the DTB access, transfer
+   on a hit; on a miss the replacement logic installs the tag and traps to
+   the dynamic translation routine.  [on_translation] is an observability
+   callback (the multiprogramming trace layer); it fires before the
+   replacement logic touches the buffer. *)
+let plain_dtb_interp ~t_dtb ~dtb ~translator_entry ~on_translation =
+  fun m ~dir_addr ~dctx ->
+    Machine.add_cycles m t_dtb;
+    match Dtb.lookup dtb ~tag:dir_addr with
+    | `Hit buffer_addr -> Machine.set_pc m (Machine.Short buffer_addr)
+    | `Miss ->
+        on_translation ~dir_addr;
+        Dtb.begin_translation dtb ~tag:dir_addr;
+        Machine.set_reg m R.dpc dir_addr;
+        Machine.set_reg m R.dctx dctx;
+        Machine.set_pc m (Machine.Long translator_entry)
+
+let run_dtb ~timing ~fuel ~layout ~runner ~strategy ~assist ~compound ~block
+    ?l2 cfg (encoded : Codec.encoded) =
   let p = encoded.Codec.program in
   let gen = Translate_gen.build ~compound ~block ~assist ~layout ~encoded in
   (* second-level decoded-instruction store (multi-level translation,
@@ -263,12 +306,16 @@ let run_dtb ~timing ~fuel ~layout ~strategy ~assist ~compound ~block ?l2 cfg
     invalid_arg "Uhm.run: DTB buffer does not fit its memory region";
   let t_dtb = timing.Timing.t_dtb in
   let emitted_words = ref 0 in
-  let hooks =
-    {
-      Machine.h_interp =
-        (fun m ~dir_addr ~dctx ->
+  let h_interp =
+    match l2_cache with
+    | None ->
+        plain_dtb_interp ~t_dtb ~dtb
+          ~translator_entry:gen.Translate_gen.translator_entry
+          ~on_translation:(fun ~dir_addr:_ -> ())
+    | Some (cache, payload) ->
+        fun m ~dir_addr ~dctx ->
           Machine.add_cycles m t_dtb;
-          match Dtb.lookup dtb ~tag:dir_addr with
+          (match Dtb.lookup dtb ~tag:dir_addr with
           | `Hit buffer_addr -> Machine.set_pc m (Machine.Short buffer_addr)
           | `Miss -> (
               (* the replacement logic installs the tag and traps to the
@@ -276,50 +323,31 @@ let run_dtb ~timing ~fuel ~layout ~strategy ~assist ~compound ~block ?l2 cfg
               Dtb.begin_translation dtb ~tag:dir_addr;
               Machine.set_reg m R.dpc dir_addr;
               Machine.set_reg m R.dctx dctx;
-              match l2_cache with
-              | None ->
+              Machine.add_cycles m t_dtb;
+              match Cache.access cache dir_addr with
+              | `Hit when Hashtbl.mem payload dir_addr ->
+                  (* decode skipped: the stored fields are presented to
+                     the translator's dispatch directly *)
+                  let raw : Codec.raw_instr = Hashtbl.find payload dir_addr in
+                  Machine.set_reg m 8 (Isa.opcode_to_enum raw.Codec.op);
+                  Machine.set_reg m 9 raw.Codec.ra;
+                  Machine.set_reg m 10 raw.Codec.rb;
+                  Machine.set_reg m 11 raw.Codec.rc;
+                  Machine.set_reg m R.dpc raw.Codec.next_addr;
                   Machine.set_pc m
-                    (Machine.Long gen.Translate_gen.translator_entry)
-              | Some (cache, payload) -> (
-                  Machine.add_cycles m t_dtb;
-                  match Cache.access cache dir_addr with
-                  | `Hit when Hashtbl.mem payload dir_addr ->
-                      (* decode skipped: the stored fields are presented to
-                         the translator's dispatch directly *)
-                      let raw : Codec.raw_instr = Hashtbl.find payload dir_addr in
-                      Machine.set_reg m 8 (Isa.opcode_to_enum raw.Codec.op);
-                      Machine.set_reg m 9 raw.Codec.ra;
-                      Machine.set_reg m 10 raw.Codec.rb;
-                      Machine.set_reg m 11 raw.Codec.rc;
-                      Machine.set_reg m R.dpc raw.Codec.next_addr;
-                      Machine.set_pc m
-                        (Machine.Long gen.Translate_gen.dispatch_entry)
-                  | `Hit | `Miss ->
-                      (* record this decode for later re-translations *)
-                      Hashtbl.replace payload dir_addr
-                        (Codec.decode_at encoded
-                           ~contour:(Machine.reg m R.ctx) ~digram_ctx:dctx
-                           ~addr:dir_addr);
-                      Machine.set_pc m
-                        (Machine.Long gen.Translate_gen.translator_entry))));
-      Machine.h_emit_short =
-        (fun m word ->
-          incr emitted_words;
-          let addr, chain_writes = Dtb.emit dtb word in
-          Machine.poke m addr word;
-          Machine.charge_mem m addr;
-          List.iter
-            (fun (a, w) ->
-              Machine.poke m a w;
-              Machine.charge_mem m a)
-            chain_writes);
-      Machine.h_end_trans =
-        (fun m -> Machine.set_pc m (Machine.Short (Dtb.end_translation dtb)));
-      Machine.h_decode_assist =
-        (if assist then assist_hook encoded else fun _ -> ());
-    }
+                    (Machine.Long gen.Translate_gen.dispatch_entry)
+              | `Hit | `Miss ->
+                  (* record this decode for later re-translations *)
+                  Hashtbl.replace payload dir_addr
+                    (Codec.decode_at encoded
+                       ~contour:(Machine.reg m R.ctx) ~digram_ctx:dctx
+                       ~addr:dir_addr);
+                  Machine.set_pc m
+                    (Machine.Long gen.Translate_gen.translator_entry)))
   in
-  Machine.set_hooks m hooks;
+  Machine.set_hooks m
+    (dtb_emit_hooks ~dtb ~emitted_words ~h_interp
+       ~h_decode_assist:(if assist then assist_hook encoded else fun _ -> ()));
   Machine.poke m bootstrap_addr
     (SF.pack ~ctx:Stats.start_context SF.Interp_imm encoded.Codec.entry_addr);
   Machine.set_pc m (Machine.Short bootstrap_addr);
@@ -329,11 +357,53 @@ let run_dtb ~timing ~fuel ~layout ~strategy ~assist ~compound ~block ?l2 cfg
       + Array.length gen.Translate_gen.table_image)
     + (SF.bits_per_word * Dtb.buffer_words dtb)
   in
-  finish ~strategy ~p ~static_size_bits:encoded.Codec.size_bits
+  finish ~runner ~strategy ~p ~static_size_bits:encoded.Codec.size_bits
     ~support_size_bits:support ~dtb ~emitted_words
     ?l2_cache:(Option.map fst l2_cache) m
 
-let run_psder_static ~timing ~fuel ~layout ~strategy ~compound (p : Program.t) =
+(* A machine time-slicing over a *shared* DTB: everything [run_dtb] sets up
+   except the run itself and the DTB, which the multiprogramming layer owns
+   (created with [Dtb.create_shared] at [layout.dtb_buffer_base + 1], the
+   word after the bootstrap INTERP).  Every program gets its own machine —
+   its own memory image at the same layout — so a shared entry's buffer
+   address is valid in every address space; what the programs contend for
+   is the *directory* (tags, capacity, overflow blocks).  A program only
+   ever executes translations it installed itself: on a preserved entry
+   installed by another ASID the tags cannot match, so the lookup misses
+   and retranslates into its own memory. *)
+let prepare_dtb_shared ?(timing = Timing.paper) ?(fuel = default_fuel)
+    ?(layout = Layout.default) ?(on_translation = fun ~dir_addr:_ -> ()) ~dtb
+    (encoded : Codec.encoded) =
+  let p = encoded.Codec.program in
+  let gen =
+    Translate_gen.build ~compound:false ~block:None ~assist:false ~layout
+      ~encoded
+  in
+  let m =
+    setup_machine ~timing ~fuel ~layout ~program:gen.Translate_gen.program p
+  in
+  Array.iteri
+    (fun i w -> Machine.poke m (layout.Layout.table_base + i) w)
+    gen.Translate_gen.table_image;
+  Machine.set_dir_stream m ~bits:encoded.Codec.bits ~mode:Machine.Dir_uncached;
+  let bootstrap_addr = layout.Layout.dtb_buffer_base in
+  if 1 + Dtb.buffer_words dtb > layout.Layout.dtb_buffer_size then
+    invalid_arg
+      "Uhm.prepare_dtb_shared: DTB buffer does not fit its memory region";
+  Machine.set_hooks m
+    (dtb_emit_hooks ~dtb ~emitted_words:(ref 0)
+       ~h_interp:
+         (plain_dtb_interp ~t_dtb:timing.Timing.t_dtb ~dtb
+            ~translator_entry:gen.Translate_gen.translator_entry
+            ~on_translation)
+       ~h_decode_assist:(fun _ -> ()));
+  Machine.poke m bootstrap_addr
+    (SF.pack ~ctx:Stats.start_context SF.Interp_imm encoded.Codec.entry_addr);
+  Machine.set_pc m (Machine.Short bootstrap_addr);
+  m
+
+let run_psder_static ~timing ~fuel ~layout ~runner ~strategy ~compound
+    (p : Program.t) =
   let b = Asm.create () in
   let rt = Runtime.build ~compound b ~layout in
   let program = Asm.finish b in
@@ -343,12 +413,12 @@ let run_psder_static ~timing ~fuel ~layout ~strategy ~compound (p : Program.t) =
     (fun i w -> Machine.poke m (layout.Layout.psder_static_base + i) w)
     static.Static_gen.words;
   Machine.set_pc m (Machine.Short static.Static_gen.entry_addr);
-  finish ~strategy ~p
+  finish ~runner ~strategy ~p
     ~static_size_bits:(Static_gen.size_bits static)
     ~support_size_bits:(host_word_bits * Array.length program.Asm.code)
     m
 
-let run_der ~timing ~fuel ~layout ~strategy residence (p : Program.t) =
+let run_der ~timing ~fuel ~layout ~runner ~strategy residence (p : Program.t) =
   let der = Der_gen.build p in
   let m =
     setup_machine ~timing ~fuel ~layout ~program:der.Der_gen.program p
@@ -369,37 +439,39 @@ let run_der ~timing ~fuel ~layout ~strategy residence (p : Program.t) =
         Some c
   in
   Machine.set_pc m (Machine.Long der.Der_gen.entry);
-  finish ~strategy ~p
+  finish ~runner ~strategy ~p
     ~static_size_bits:(H.bits_per_instr * der.Der_gen.code_instructions)
     ~support_size_bits:0 ?icache m
 
 let run_encoded ?(timing = Timing.paper) ?(fuel = default_fuel)
     ?(layout = Layout.default) ?(decode_assist = false)
-    ?(compound_datapath = false) ~strategy (encoded : Codec.encoded) =
+    ?(compound_datapath = false) ?(runner = Machine.run) ~strategy
+    (encoded : Codec.encoded) =
   match strategy with
   | Interp | Cached _ ->
-      run_interpreted ~timing ~fuel ~layout ~strategy ~assist:decode_assist
-        ~compound:compound_datapath encoded
+      run_interpreted ~timing ~fuel ~layout ~runner ~strategy
+        ~assist:decode_assist ~compound:compound_datapath encoded
   | Dtb_strategy cfg ->
-      run_dtb ~timing ~fuel ~layout ~strategy ~assist:decode_assist
+      run_dtb ~timing ~fuel ~layout ~runner ~strategy ~assist:decode_assist
         ~compound:compound_datapath ~block:None cfg encoded
   | Dtb_blocks (cfg, limit) ->
-      run_dtb ~timing ~fuel ~layout ~strategy ~assist:decode_assist
+      run_dtb ~timing ~fuel ~layout ~runner ~strategy ~assist:decode_assist
         ~compound:compound_datapath ~block:(Some limit) cfg encoded
   | Dtb_two_level (cfg, l2) ->
-      run_dtb ~timing ~fuel ~layout ~strategy ~assist:decode_assist
+      run_dtb ~timing ~fuel ~layout ~runner ~strategy ~assist:decode_assist
         ~compound:compound_datapath ~block:None ~l2 cfg encoded
   | Psder_static | Der _ ->
       invalid_arg "Uhm.run_encoded: strategy does not take an encoding"
 
 let run ?(timing = Timing.paper) ?(fuel = default_fuel)
     ?(layout = Layout.default) ?(decode_assist = false)
-    ?(compound_datapath = false) ~strategy ~kind (p : Program.t) =
+    ?(compound_datapath = false) ?(runner = Machine.run) ~strategy ~kind
+    (p : Program.t) =
   match strategy with
   | Interp | Cached _ | Dtb_strategy _ | Dtb_blocks _ | Dtb_two_level _ ->
       run_encoded ~timing ~fuel ~layout ~decode_assist ~compound_datapath
-        ~strategy (Codec.encode kind p)
+        ~runner ~strategy (Codec.encode kind p)
   | Psder_static ->
-      run_psder_static ~timing ~fuel ~layout ~strategy
+      run_psder_static ~timing ~fuel ~layout ~runner ~strategy
         ~compound:compound_datapath p
-  | Der residence -> run_der ~timing ~fuel ~layout ~strategy residence p
+  | Der residence -> run_der ~timing ~fuel ~layout ~runner ~strategy residence p

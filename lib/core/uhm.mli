@@ -79,7 +79,8 @@ val dir_steps_memoized : Uhm_dir.Program.t -> int
     pays the reference pre-pass only once per program. *)
 
 val run : ?timing:Timing.t -> ?fuel:int -> ?layout:Uhm_psder.Layout.t
-  -> ?decode_assist:bool -> ?compound_datapath:bool -> strategy:strategy
+  -> ?decode_assist:bool -> ?compound_datapath:bool
+  -> ?runner:(Machine.t -> Machine.status) -> strategy:strategy
   -> kind:Uhm_encoding.Kind.t -> Uhm_dir.Program.t -> result
 (** [run ~strategy ~kind p] encodes [p] with [kind] (ignored by
     {!Psder_static} and {!Der}, which work from the decoded program) and
@@ -88,11 +89,33 @@ val run : ?timing:Timing.t -> ?fuel:int -> ?layout:Uhm_psder.Layout.t
     [decode_assist] (interpreted and DTB strategies only) replaces the
     software decode routine with a single-instruction hardware decode unit —
     the paper's §8 alternative to the DTB ("powerful hardware aids to the
-    decoding process", i.e. random logic instead of memory). *)
+    decoding process", i.e. random logic instead of memory).
+
+    [runner] (default [Machine.run]) performs the actual execution; pass a
+    loop over [Machine.run_for]/[run_dir_quantum] to exercise sliced
+    execution — any runner that drives the machine out of [Running]
+    produces a bit-identical result. *)
 
 val run_encoded : ?timing:Timing.t -> ?fuel:int -> ?layout:Uhm_psder.Layout.t
-  -> ?decode_assist:bool -> ?compound_datapath:bool -> strategy:strategy
+  -> ?decode_assist:bool -> ?compound_datapath:bool
+  -> ?runner:(Machine.t -> Machine.status) -> strategy:strategy
   -> Uhm_encoding.Codec.encoded -> result
 (** Like {!run} for a pre-encoded program (avoids re-encoding in sweeps).
     Raises [Invalid_argument] for {!Psder_static}/{!Der}, which do not take
     an encoding. *)
+
+val prepare_dtb_shared : ?timing:Timing.t -> ?fuel:int
+  -> ?layout:Uhm_psder.Layout.t -> ?on_translation:(dir_addr:int -> unit)
+  -> dtb:Dtb.t -> Uhm_encoding.Codec.encoded -> Machine.t
+(** Set up (but do not run) a machine that executes [encoded] against a
+    {e shared} DTB owned by the caller — the multiprogramming layer's
+    entry point.  The DTB must have been created at buffer base
+    [layout.dtb_buffer_base + 1] (the word after the bootstrap INTERP).
+    Each program gets its own machine and memory image at the same
+    layout, so a shared entry's buffer address is valid in every address
+    space; the programs contend for the translation {e directory} (tags,
+    capacity, overflow blocks), and a program only ever executes
+    translations it installed itself.  [on_translation] fires at every
+    translation this machine starts (the trace layer's tap).  The caller
+    drives execution with [Machine.run_dir_quantum] and owns
+    [Dtb.switch_to] at context switches. *)

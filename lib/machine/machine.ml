@@ -564,3 +564,97 @@ let run t =
     step t
   done;
   t.status
+
+(* -- Resumable execution -----------------------------------------------------
+   The multiprogramming scheduler runs each program in slices on its own
+   machine.  Because both entry points below execute exactly the [step]s
+   that [run] would and stop only between instructions, running a program
+   in K slices (for any K and any slice boundaries) produces bit-identical
+   final state, statistics and output to one [run] call. *)
+
+type run_outcome =
+  | Done of status
+  | Yielded
+
+let run_for t ~budget =
+  if budget < 0 then invalid_arg "Machine.run_for: negative budget";
+  (* saturate: a budget near max_int must mean "run to completion", not
+     wrap t.stats.cycles + budget to a stop in the past *)
+  let stop =
+    if budget > max_int - t.stats.cycles then max_int
+    else t.stats.cycles + budget
+  in
+  while t.status = Running && t.stats.cycles < stop do
+    step t
+  done;
+  if t.status = Running then Yielded else Done t.status
+
+let interp_imm_op = Short_format.op_to_int Short_format.Interp_imm
+let interp_stk_op = Short_format.op_to_int Short_format.Interp_stk
+
+(* True when the pc rests on an INTERP word (about to transfer to the next
+   DIR instruction).  Only these points are safe preemption points for a
+   shared DTB: mid-translation the pc sits inside a buffer unit that a
+   context switch could flush or evict out from under it, whereas an
+   INTERP word lives in the program's own memory and re-misses harmlessly
+   after any amount of DTB churn. *)
+let at_interp_boundary t =
+  t.pc_short
+  && t.pc_addr >= 0
+  && t.pc_addr < t.mem_words
+  &&
+  let op = Short_format.unpack_op (mem_get t t.pc_addr) in
+  op = interp_imm_op || op = interp_stk_op
+
+let run_dir_quantum t ~quantum =
+  if quantum < 1 then
+    invalid_arg "Machine.run_dir_quantum: quantum must be >= 1";
+  let start = t.stats.interp_count in
+  while
+    t.status = Running
+    && not (t.stats.interp_count - start >= quantum && at_interp_boundary t)
+  do
+    step t
+  done;
+  if t.status = Running then Yielded else Done t.status
+
+(* -- Snapshots --------------------------------------------------------------- *)
+
+type snapshot = {
+  snap_pc : pc;
+  snap_status : status;
+  snap_regs : int array;
+  snap_cycles : int;
+  snap_interp_count : int;
+  snap_op_stack : int list;
+  snap_ret_stack : int list;
+}
+
+(* The words below a stack pointer, top first, clipped to the region the
+   stack lives in (each stack is its own region in every layout).  Read
+   with [mem_get]: inspection charges no cycles. *)
+let stack_contents t ptr =
+  if ptr <= 0 || ptr > t.mem_words then []
+  else
+    match
+      Array.find_opt
+        (fun r -> ptr - 1 >= r.base && ptr - 1 < r.base + r.size)
+        t.regions
+    with
+    | None -> []
+    | Some r ->
+        let rec go acc a =
+          if a < r.base then List.rev acc else go (mem_get t a :: acc) (a - 1)
+        in
+        List.rev (go [] (ptr - 1))
+
+let snapshot t =
+  {
+    snap_pc = pc t;
+    snap_status = t.status;
+    snap_regs = Array.copy t.regs;
+    snap_cycles = t.stats.cycles;
+    snap_interp_count = t.stats.interp_count;
+    snap_op_stack = stack_contents t t.regs.(H.Regs.sp);
+    snap_ret_stack = stack_contents t t.regs.(H.Regs.rsp);
+  }

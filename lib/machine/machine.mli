@@ -105,6 +105,49 @@ val output : t -> string
 val run : t -> status
 (** Execute until halt, trap or fuel exhaustion. *)
 
+(** {2 Resumable execution}
+
+    Slice-wise execution for the multiprogramming scheduler.  Both entry
+    points execute exactly the {!step}s that {!run} would and stop only on
+    instruction boundaries, so running a program in K slices — for any K
+    and any mix of slice boundaries — leaves bit-identical state,
+    statistics and output to a single {!run}. *)
+
+type run_outcome =
+  | Done of status (** the program left [Running] during this slice *)
+  | Yielded        (** the slice expired; call again to continue *)
+
+val run_for : t -> budget:int -> run_outcome
+(** Execute until at least [budget] more cycles have been charged (the
+    slice ends after the instruction that crosses the budget: instructions
+    are atomic) or the program stops.  [budget = 0] yields immediately;
+    a budget that would overflow the cycle counter saturates, so
+    [budget = max_int] always means "run to completion". *)
+
+val run_dir_quantum : t -> quantum:int -> run_outcome
+(** Execute until [quantum] DIR instructions (INTERP transfers) have
+    completed {e and} the pc rests on the next INTERP word.  INTERP
+    boundaries are the safe preemption points when the translation buffer
+    is shared: between them the pc can sit inside a DTB unit that another
+    program's translations could evict.  [quantum] must be at least 1;
+    a quantum no less than the program's remaining [dir_steps] runs it to
+    completion in one slice. *)
+
+type snapshot = {
+  snap_pc : pc;
+  snap_status : status;
+  snap_regs : int array;       (** copy of the register file *)
+  snap_cycles : int;
+  snap_interp_count : int;
+  snap_op_stack : int list;    (** operand stack, top first *)
+  snap_ret_stack : int list;   (** return stack, top first *)
+}
+
+val snapshot : t -> snapshot
+(** Capture the resumption state of a (possibly suspended) program without
+    charging cycles.  Stack contents are read from the regions the stack
+    pointers rest in. *)
+
 val recycle : t -> unit
 (** Return the machine's copy-on-write pages and page table to a
     domain-local pool reused by subsequent {!create} calls on the same

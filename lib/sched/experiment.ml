@@ -1,0 +1,63 @@
+(* The multiprogramming experiment grid; see experiment.mli. *)
+
+module Sweep = Uhm_core.Sweep
+module Dtb = Uhm_core.Dtb
+module U = Uhm_core.Uhm
+module Codec = Uhm_encoding.Codec
+
+type mix_cell = {
+  mc_policy : Dtb.policy;
+  mc_scheduler : Scheduler.policy;
+  mc_quantum : int;
+  mc_config : Dtb.config;
+  mc_result : Mix.result;
+}
+
+let default_quanta = [ 16; 256; Mix.solo_quantum ]
+
+let mix_grid ?domains ?(schedulers = [ Scheduler.Round_robin ])
+    ?(quanta = default_quanta) ?(trace_capacity = 4096) ~kind ~policies
+    ~configs programs =
+  if programs = [] then invalid_arg "Experiment.mix_grid: no programs";
+  (* encode once, in parallel; the per-program dir_steps computed here are
+     both the SRTF estimates and the sweep cost hints *)
+  let encodeds =
+    Sweep.map ?domains
+      (fun (name, p) -> (name, Codec.encode kind p, U.dir_steps_memoized p))
+      programs
+  in
+  let total_steps =
+    List.fold_left (fun acc (_, _, s) -> acc + s) 0 encodeds
+  in
+  let encoded_programs = List.map (fun (n, e, _) -> (n, e)) encodeds in
+  let cells =
+    List.concat_map
+      (fun policy ->
+        List.concat_map
+          (fun scheduler ->
+            List.concat_map
+              (fun quantum ->
+                List.map (fun config -> (policy, scheduler, quantum, config)) configs)
+              quanta)
+          schedulers)
+      policies
+  in
+  (* a cell's host time scales with the simulated work; small quanta under
+     Flush_on_switch retranslate the working set every slice, so weight
+     them as longer jobs *)
+  let cost (policy, _, quantum, _) =
+    let slices = max 1 (total_steps / max 1 quantum) in
+    total_steps + match policy with Dtb.Flush_on_switch -> slices * 64 | _ -> 0
+  in
+  Sweep.map ?domains ~cost
+    (fun (policy, scheduler, quantum, config) ->
+      {
+        mc_policy = policy;
+        mc_scheduler = scheduler;
+        mc_quantum = quantum;
+        mc_config = config;
+        mc_result =
+          Mix.run_encoded ~trace_capacity ~scheduler ~policy ~quantum ~config
+            encoded_programs;
+      })
+    cells

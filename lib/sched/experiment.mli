@@ -1,0 +1,40 @@
+(** The multiprogramming experiment grid: programs x policy x quantum x
+    DTB geometry, evaluated on the {!Uhm_core.Sweep} pool.
+
+    Every cell runs the same program mix to completion under time-slicing
+    and reports per-program cycles and DTB statistics ({!Mix.result}).
+    Cells are independent (each builds its own shared DTB and machines),
+    so the grid parallelises like any other sweep and the result list is
+    byte-identical at any domain count.  The sweep is given each cell's
+    estimated simulated work as its cost hint, so expensive cells (big
+    mixes, small quanta under [Flush_on_switch]) start first. *)
+
+module Dtb := Uhm_core.Dtb
+
+type mix_cell = {
+  mc_policy : Dtb.policy;
+  mc_scheduler : Scheduler.policy;
+  mc_quantum : int;
+  mc_config : Dtb.config;
+  mc_result : Mix.result;
+}
+
+val default_quanta : int list
+(** [16; 256; solo_quantum] — heavy contention, light contention, and the
+    quantum-to-infinity limit that must reproduce single-program golden
+    numbers. *)
+
+val mix_grid :
+  ?domains:int ->
+  ?schedulers:Scheduler.policy list ->
+  ?quanta:int list ->
+  ?trace_capacity:int ->
+  kind:Uhm_encoding.Kind.t ->
+  policies:Dtb.policy list ->
+  configs:Dtb.config list ->
+  (string * Uhm_dir.Program.t) list ->
+  mix_cell list
+(** Cells in submission order: policies outermost, then schedulers, then
+    quanta, then configs.  [schedulers] defaults to round-robin only;
+    [quanta] to {!default_quanta}; [trace_capacity] to a small ring
+    (4096) since grids keep every cell's trace alive. *)

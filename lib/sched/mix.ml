@@ -1,0 +1,112 @@
+(* The multiprogramming driver: encode, prepare one machine per program
+   against a shared DTB, schedule, and collect per-program and global
+   results; see mix.mli. *)
+
+module Machine = Uhm_machine.Machine
+module Dtb = Uhm_core.Dtb
+module U = Uhm_core.Uhm
+module Codec = Uhm_encoding.Codec
+module Layout = Uhm_psder.Layout
+
+type program_result = {
+  pr_name : string;
+  pr_asid : int;
+  pr_status : Machine.status;
+  pr_output : string;
+  pr_cycles : int;
+  pr_dir_steps : int;
+  pr_slices : int;
+  pr_dtb_hits : int;
+  pr_dtb_misses : int;
+  pr_dtb_evictions : int;
+  pr_hit_ratio : float;
+}
+
+type result = {
+  mr_policy : Dtb.policy;
+  mr_scheduler : Scheduler.policy;
+  mr_quantum : int;
+  mr_config : Dtb.config;
+  mr_programs : program_result list;
+  mr_total_cycles : int;
+  mr_switches : int;
+  mr_flushes : int;
+  mr_hit_ratio : float;
+  mr_evictions : int;
+  mr_trace : Trace.t;
+}
+
+let run_encoded ?timing ?fuel ?(layout = Layout.default)
+    ?(trace_capacity = 65536) ?(scheduler = Scheduler.Round_robin) ~policy
+    ~quantum ~config (programs : (string * Codec.encoded) list) =
+  if programs = [] then invalid_arg "Mix.run_encoded: no programs";
+  let n = List.length programs in
+  let dtb =
+    Dtb.create_shared ~policy ~programs:n config
+      ~buffer_base:(layout.Layout.dtb_buffer_base + 1)
+  in
+  let trace = Trace.create ~capacity:trace_capacity () in
+  let procs =
+    List.mapi
+      (fun asid (name, encoded) ->
+        let hook = ref (fun ~dir_addr:_ -> ()) in
+        let machine =
+          U.prepare_dtb_shared ?timing ?fuel ~layout
+            ~on_translation:(fun ~dir_addr -> !hook ~dir_addr)
+            ~dtb encoded
+        in
+        Scheduler.process ~asid ~name
+          ~total_dir_steps:(U.dir_steps_memoized encoded.Codec.program)
+          ~translation_hook:hook machine)
+      programs
+  in
+  let report = Scheduler.run ~trace ~policy:scheduler ~quantum ~dtb procs in
+  let results =
+    List.map
+      (fun (p : Scheduler.process) ->
+        let looked_up = p.Scheduler.p_dtb_hits + p.Scheduler.p_dtb_misses in
+        let r =
+          {
+            pr_name = p.Scheduler.name;
+            pr_asid = p.Scheduler.asid;
+            pr_status =
+              (match p.Scheduler.finished with
+              | Some s -> s
+              | None -> assert false);
+            pr_output = Machine.output p.Scheduler.machine;
+            pr_cycles = p.Scheduler.p_cycles;
+            pr_dir_steps = p.Scheduler.total_dir_steps;
+            pr_slices = p.Scheduler.slices;
+            pr_dtb_hits = p.Scheduler.p_dtb_hits;
+            pr_dtb_misses = p.Scheduler.p_dtb_misses;
+            pr_dtb_evictions = p.Scheduler.p_dtb_evictions;
+            pr_hit_ratio =
+              (if looked_up = 0 then 0.
+               else float_of_int p.Scheduler.p_dtb_hits /. float_of_int looked_up);
+          }
+        in
+        Machine.recycle p.Scheduler.machine;
+        r)
+      procs
+  in
+  {
+    mr_policy = policy;
+    mr_scheduler = scheduler;
+    mr_quantum = quantum;
+    mr_config = config;
+    mr_programs = results;
+    mr_total_cycles = report.Scheduler.r_total_cycles;
+    mr_switches = report.Scheduler.r_switches;
+    mr_flushes = report.Scheduler.r_flushes;
+    mr_hit_ratio = Dtb.hit_ratio dtb;
+    mr_evictions = Dtb.evictions dtb;
+    mr_trace = trace;
+  }
+
+let run ?timing ?fuel ?layout ?trace_capacity ?scheduler ~policy ~quantum
+    ~config ~kind programs =
+  run_encoded ?timing ?fuel ?layout ?trace_capacity ?scheduler ~policy
+    ~quantum ~config
+    (List.map (fun (name, p) -> (name, Codec.encode kind p)) programs)
+
+let solo_quantum = max_int

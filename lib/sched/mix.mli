@@ -1,0 +1,83 @@
+(** The multiprogramming driver: N DIR programs time-sliced over one
+    shared DTB.
+
+    Encodes (or takes pre-encoded) programs, prepares one machine per
+    program against a shared DTB ([Uhm.prepare_dtb_shared]), runs the
+    {!Scheduler}, and collects per-program and global results plus the
+    event {!Trace}.
+
+    Because slicing stops only at INTERP boundaries and the shared DTB
+    under every policy serves a program the translations it installed
+    itself, each program's output is identical to its single-program run;
+    only the cycle counts and DTB statistics change with contention.
+    With [quantum >= ] every program's [dir_steps] nothing is ever
+    preempted, and per-program cycles equal the single-program golden
+    numbers exactly (under [Flush_on_switch] trivially; under [Tagged] /
+    [Partitioned] because the set mapping a program sees is unchanged and
+    foreign entries only occupy ways it has not yet claimed). *)
+
+module Machine := Uhm_machine.Machine
+module Dtb := Uhm_core.Dtb
+
+type program_result = {
+  pr_name : string;
+  pr_asid : int;
+  pr_status : Machine.status;
+  pr_output : string;
+  pr_cycles : int;          (** cycles this program executed *)
+  pr_dir_steps : int;       (** reference DIR step count *)
+  pr_slices : int;
+  pr_dtb_hits : int;        (** DTB activity during this program's slices *)
+  pr_dtb_misses : int;
+  pr_dtb_evictions : int;
+  pr_hit_ratio : float;
+}
+
+type result = {
+  mr_policy : Dtb.policy;
+  mr_scheduler : Scheduler.policy;
+  mr_quantum : int;
+  mr_config : Dtb.config;
+  mr_programs : program_result list;  (** in ASID order *)
+  mr_total_cycles : int;              (** global virtual time *)
+  mr_switches : int;
+  mr_flushes : int;
+  mr_hit_ratio : float;               (** over all programs' lookups *)
+  mr_evictions : int;
+  mr_trace : Trace.t;
+}
+
+val run_encoded :
+  ?timing:Uhm_machine.Timing.t ->
+  ?fuel:int ->
+  ?layout:Uhm_psder.Layout.t ->
+  ?trace_capacity:int ->
+  ?scheduler:Scheduler.policy ->
+  policy:Dtb.policy ->
+  quantum:int ->
+  config:Dtb.config ->
+  (string * Uhm_encoding.Codec.encoded) list ->
+  result
+(** Run the named pre-encoded programs to completion under time-slicing.
+    [scheduler] defaults to {!Scheduler.Round_robin}; [quantum] is in DIR
+    instructions (use {!solo_quantum} for the never-preempt limit);
+    [trace_capacity] bounds the event ring (default 65536). *)
+
+val run :
+  ?timing:Uhm_machine.Timing.t ->
+  ?fuel:int ->
+  ?layout:Uhm_psder.Layout.t ->
+  ?trace_capacity:int ->
+  ?scheduler:Scheduler.policy ->
+  policy:Dtb.policy ->
+  quantum:int ->
+  config:Dtb.config ->
+  kind:Uhm_encoding.Kind.t ->
+  (string * Uhm_dir.Program.t) list ->
+  result
+(** {!run_encoded} after encoding each program with [kind]. *)
+
+val solo_quantum : int
+(** A quantum larger than any program ([max_int]): no preemption ever
+    fires, so round-robin degenerates to sequential execution and every
+    program reproduces its single-program cycle count exactly. *)

@@ -1,0 +1,170 @@
+(* Event-trace observability for the multiprogramming scheduler; see
+   trace.mli.  The ring keeps the last [capacity] events; the per-program
+   tallies are maintained on every record, so rollups stay exact no matter
+   how many events the ring dropped. *)
+
+type kind =
+  | Switch of { from_asid : int option; to_asid : int }
+  | Dtb_flush of { asid : int }
+  | Translation of { asid : int; dir_addr : int }
+  | Quantum_expiry of { asid : int }
+  | Completion of { asid : int; ok : bool }
+
+type event = { at_cycle : int; kind : kind }
+
+type tally = {
+  mutable slices : int;
+  mutable flushes : int;
+  mutable translations : int;
+  mutable expiries : int;
+}
+
+type counts = {
+  c_slices : int;
+  c_flushes : int;
+  c_translations : int;
+  c_expiries : int;
+}
+
+type t = {
+  capacity : int;
+  ring : event array;
+  mutable recorded : int;   (* total events ever recorded *)
+  tallies : (int, tally) Hashtbl.t;
+}
+
+let dummy = { at_cycle = -1; kind = Quantum_expiry { asid = -1 } }
+
+let create ?(capacity = 65536) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be >= 1";
+  { capacity; ring = Array.make capacity dummy; recorded = 0; tallies = Hashtbl.create 8 }
+
+let capacity t = t.capacity
+let recorded t = t.recorded
+let dropped t = max 0 (t.recorded - t.capacity)
+
+let tally_for t asid =
+  match Hashtbl.find_opt t.tallies asid with
+  | Some y -> y
+  | None ->
+      let y = { slices = 0; flushes = 0; translations = 0; expiries = 0 } in
+      Hashtbl.add t.tallies asid y;
+      y
+
+let record t ~at_cycle kind =
+  t.ring.(t.recorded mod t.capacity) <- { at_cycle; kind };
+  t.recorded <- t.recorded + 1;
+  match kind with
+  | Switch { to_asid; _ } ->
+      let y = tally_for t to_asid in
+      y.slices <- y.slices + 1
+  | Dtb_flush { asid } ->
+      let y = tally_for t asid in
+      y.flushes <- y.flushes + 1
+  | Translation { asid; _ } ->
+      let y = tally_for t asid in
+      y.translations <- y.translations + 1
+  | Quantum_expiry { asid } ->
+      let y = tally_for t asid in
+      y.expiries <- y.expiries + 1
+  | Completion _ -> ()
+
+(* Buffered events, oldest first. *)
+let events t =
+  let kept = min t.recorded t.capacity in
+  List.init kept (fun i ->
+      t.ring.((t.recorded - kept + i) mod t.capacity))
+
+let counts t asid =
+  match Hashtbl.find_opt t.tallies asid with
+  | None -> { c_slices = 0; c_flushes = 0; c_translations = 0; c_expiries = 0 }
+  | Some y ->
+      {
+        c_slices = y.slices;
+        c_flushes = y.flushes;
+        c_translations = y.translations;
+        c_expiries = y.expiries;
+      }
+
+let tallies t =
+  Hashtbl.fold (fun asid _ acc -> asid :: acc) t.tallies []
+  |> List.sort compare
+  |> List.map (fun asid -> (asid, counts t asid))
+
+(* -- Chrome trace_event export ----------------------------------------------
+   The JSON-array flavour of the trace_event format: "X" complete events
+   for the scheduler slices (reconstructed from the Switch events in the
+   buffered window), "i" instant events for flushes, expiries and
+   completions.  Simulated cycles are reported as microseconds — the
+   about://tracing timeline then reads directly in cycles. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_chrome ?(pid = 1) ~names ~end_cycle t =
+  let b = Buffer.create 4096 in
+  let first = ref true in
+  let emit fmt =
+    Printf.ksprintf
+      (fun s ->
+        if !first then first := false else Buffer.add_string b ",\n  ";
+        Buffer.add_string b s)
+      fmt
+  in
+  Buffer.add_string b "[\n  ";
+  let name asid = json_escape (names asid) in
+  let slice ~asid ~from_cycle ~to_cycle =
+    emit
+      {|{"name":"%s","cat":"slice","ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d}|}
+      (name asid) from_cycle
+      (max 0 (to_cycle - from_cycle))
+      pid asid
+  in
+  let instant ~label ~asid ~at =
+    emit
+      {|{"name":"%s","cat":"sched","ph":"i","ts":%d,"pid":%d,"tid":%d,"s":"t"}|}
+      label at pid asid
+  in
+  let open_slice = ref None in
+  List.iter
+    (fun { at_cycle; kind } ->
+      match kind with
+      | Switch { to_asid; _ } ->
+          (match !open_slice with
+          | Some (asid, from_cycle) ->
+              slice ~asid ~from_cycle ~to_cycle:at_cycle
+          | None -> ());
+          open_slice := Some (to_asid, at_cycle)
+      | Dtb_flush { asid } -> instant ~label:"dtb_flush" ~asid ~at:at_cycle
+      | Translation { asid; dir_addr } ->
+          emit
+            {|{"name":"translate@%d","cat":"dtb","ph":"i","ts":%d,"pid":%d,"tid":%d,"s":"t"}|}
+            dir_addr at_cycle pid asid
+      | Quantum_expiry { asid } ->
+          instant ~label:"quantum_expiry" ~asid ~at:at_cycle
+      | Completion { asid; ok } ->
+          instant ~label:(if ok then "done" else "stopped") ~asid ~at:at_cycle)
+    (events t);
+  (match !open_slice with
+  | Some (asid, from_cycle) -> slice ~asid ~from_cycle ~to_cycle:end_cycle
+  | None -> ());
+  (* thread names make the about://tracing rows self-describing *)
+  List.iter
+    (fun (asid, _) ->
+      emit
+        {|{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"%s"}}|}
+        pid asid (name asid))
+    (tallies t);
+  Buffer.add_string b "\n]\n";
+  Buffer.contents b

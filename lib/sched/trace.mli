@@ -1,0 +1,64 @@
+(** Event-trace observability for the multiprogramming scheduler.
+
+    A bounded ring buffer of typed scheduling events plus per-program
+    counter rollups.  The ring keeps the last [capacity] events (older
+    ones are {!dropped}); the rollups are maintained on {e every}
+    {!record}, so {!counts} stays exact no matter how small the ring.
+    Everything is deterministic: same event sequence, same trace. *)
+
+type kind =
+  | Switch of { from_asid : int option; to_asid : int }
+      (** the scheduler dispatched [to_asid]; [from_asid] is [None] for
+          the first dispatch *)
+  | Dtb_flush of { asid : int }
+      (** the shared DTB was flushed while switching to [asid] *)
+  | Translation of { asid : int; dir_addr : int }
+      (** [asid] started translating the DIR instruction at [dir_addr] *)
+  | Quantum_expiry of { asid : int }
+  | Completion of { asid : int; ok : bool }
+      (** [ok] is false for traps and fuel exhaustion *)
+
+type event = { at_cycle : int; kind : kind }
+(** [at_cycle] is global virtual time: total cycles executed by all
+    programs when the event fired. *)
+
+type counts = {
+  c_slices : int;        (** dispatches of this program *)
+  c_flushes : int;
+  c_translations : int;
+  c_expiries : int;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 65536) bounds the ring. *)
+
+val capacity : t -> int
+
+val record : t -> at_cycle:int -> kind -> unit
+
+val recorded : t -> int
+(** Total events ever recorded. *)
+
+val dropped : t -> int
+(** Events pushed out of the ring: [max 0 (recorded - capacity)]. *)
+
+val events : t -> event list
+(** The buffered window, oldest first; at most [capacity] events. *)
+
+val counts : t -> int -> counts
+(** Exact rollup for one ASID (zero counts if never seen). *)
+
+val tallies : t -> (int * counts) list
+(** All rollups, sorted by ASID. *)
+
+val to_chrome : ?pid:int -> names:(int -> string) -> end_cycle:int -> t -> string
+(** The Chrome [trace_event] JSON-array document for the buffered window,
+    loadable in about://tracing (or ui.perfetto.dev): one timeline row per
+    program ([tid] = ASID, named via metadata events), ["X"] complete
+    events for scheduler slices (reconstructed from the {!Switch} events;
+    the final slice is closed at [end_cycle]), and instant events for
+    flushes, translations, quantum expiries and completions.  Simulated
+    cycles are reported as microseconds, so the timeline reads directly
+    in cycles.  [names] maps an ASID to its program name. *)

@@ -13,6 +13,8 @@ let () =
       Test_core.suite;
       Test_sweep.suite;
       Test_golden.suite;
+      Test_resume.suite;
+      Test_sched.suite;
       Test_workload.suite;
       Test_report.suite;
     ]

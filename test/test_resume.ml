@@ -1,0 +1,131 @@
+(* Resumable execution: running a program in slices — any slice size, any
+   mix of boundaries — must leave results bit-identical to a single
+   Machine.run.  Checked for the three golden programs under all four
+   golden strategies with fixed budgets, for DIR-quantum slicing on the
+   DTB strategy, and as a QCheck property over random budget sequences. *)
+
+module U = Uhm_core.Uhm
+module Dtb = Uhm_core.Dtb
+module Machine = Uhm_machine.Machine
+module Kind = Uhm_encoding.Kind
+module Suite = Uhm_workload.Suite
+
+let compile name = Suite.compile (Suite.find name)
+
+(* a runner that slices on cycle budgets; with [budgets] exhausted the
+   remainder runs in one final slice *)
+let budget_runner budgets m =
+  let rec go bs =
+    let budget, rest =
+      match bs with b :: tl -> (b, tl) | [] -> (max_int, [])
+    in
+    match Machine.run_for m ~budget with
+    | Machine.Done s -> s
+    | Machine.Yielded -> go rest
+  in
+  go budgets
+
+let chunked ~budget m =
+  let rec go () =
+    match Machine.run_for m ~budget with
+    | Machine.Done s -> s
+    | Machine.Yielded -> go ()
+  in
+  go ()
+
+let quantum_runner ~quantum m =
+  let rec go () =
+    match Machine.run_dir_quantum m ~quantum with
+    | Machine.Done s -> s
+    | Machine.Yielded -> go ()
+  in
+  go ()
+
+(* Whole Uhm.result records are compared structurally: status, output,
+   total cycles, every per-category and per-unit statistic, and the DTB
+   counters all have to survive slicing untouched. *)
+let check_sliced name strategy runner_name runner () =
+  let p = compile name in
+  let whole = U.run ~strategy ~kind:Kind.Huffman p in
+  let sliced = U.run ~runner ~strategy ~kind:Kind.Huffman p in
+  if whole <> sliced then
+    Alcotest.failf
+      "%s/%s sliced by %s diverged: cycles %d vs %d, output %s"
+      name (U.strategy_name strategy) runner_name whole.U.cycles
+      sliced.U.cycles
+      (if whole.U.output = sliced.U.output then "identical" else "DIFFERENT")
+
+let strategies =
+  [
+    ("interp", U.Interp);
+    ("cached", U.Cached 4096);
+    ("dtb", U.Dtb_strategy Dtb.paper_config);
+    ("der", U.Der U.Der_level1);
+  ]
+
+let fixed_budget_cases =
+  (* budget 1 (one instruction per slice) only on the short program *)
+  List.concat_map
+    (fun (sname, strategy) ->
+      [
+        Alcotest.test_case
+          (Printf.sprintf "fact_iter/%s in 1-cycle slices" sname)
+          `Quick
+          (check_sliced "fact_iter" strategy "budget 1" (chunked ~budget:1));
+      ])
+    strategies
+  @ List.concat_map
+      (fun name ->
+        List.concat_map
+          (fun (sname, strategy) ->
+            List.map
+              (fun budget ->
+                Alcotest.test_case
+                  (Printf.sprintf "%s/%s in %d-cycle slices" name sname budget)
+                  (if name = "fib_rec" then `Slow else `Quick)
+                  (check_sliced name strategy
+                     (Printf.sprintf "budget %d" budget)
+                     (chunked ~budget)))
+              [ 997; 104729 ])
+          strategies)
+      [ "fact_iter"; "fib_rec"; "flat_straightline" ]
+
+let quantum_cases =
+  (* INTERP-boundary slicing, as the multiprogramming scheduler preempts *)
+  List.concat_map
+    (fun name ->
+      List.map
+        (fun quantum ->
+          Alcotest.test_case
+            (Printf.sprintf "%s/dtb in %d-DIR-instruction quanta" name quantum)
+            (if name = "fib_rec" then `Slow else `Quick)
+            (check_sliced name
+               (U.Dtb_strategy Dtb.paper_config)
+               (Printf.sprintf "quantum %d" quantum)
+               (quantum_runner ~quantum)))
+        [ 1; 7; 1000 ])
+    [ "fact_iter"; "fib_rec"; "flat_straightline" ]
+
+(* budget 0 must yield without running anything, so a stream of zeros
+   interleaved with real budgets still terminates and stays identical *)
+let prop_random_slices =
+  let p = compile "fact_iter" in
+  let whole =
+    U.run ~strategy:(U.Dtb_strategy Dtb.paper_config) ~kind:Kind.Huffman p
+  in
+  QCheck.Test.make ~name:"random budget sequences reproduce the whole run"
+    ~count:30
+    QCheck.(list_of_size Gen.(int_range 0 40) (int_range 0 3000))
+    (fun budgets ->
+      let sliced =
+        U.run
+          ~runner:(budget_runner budgets)
+          ~strategy:(U.Dtb_strategy Dtb.paper_config)
+          ~kind:Kind.Huffman p
+      in
+      sliced = whole)
+
+let suite =
+  ( "resume",
+    fixed_budget_cases @ quantum_cases
+    @ [ QCheck_alcotest.to_alcotest prop_random_slices ] )

@@ -73,6 +73,51 @@ let test_jobs_env () =
         "env-driven map is ordered" (List.init 20 succ)
         (Sweep.map succ (List.init 20 Fun.id)))
 
+(* -- Cost hints -------------------------------------------------------------- *)
+
+let test_cost_results_identical () =
+  let xs = List.init 50 Fun.id in
+  let expected = List.map (fun i -> i * 3) xs in
+  Alcotest.(check (list int))
+    "cost hint leaves results byte-identical (4 domains)" expected
+    (Sweep.map ~domains:4 ~cost:(fun i -> 100 - i) (fun i -> i * 3) xs);
+  Alcotest.(check (list int))
+    "cost hint leaves results byte-identical (1 domain)" expected
+    (Sweep.map ~domains:1 ~cost:(fun i -> 100 - i) (fun i -> i * 3) xs)
+
+let test_cost_first_error () =
+  (* the cost hint makes job 7 run before job 3, but the escaping
+     exception must still be the lowest submission index's *)
+  match
+    Sweep.map ~domains:4
+      ~cost:(fun i -> i)
+      (fun i -> if i = 3 || i = 7 then raise (Boom i) else i)
+      (List.init 16 Fun.id)
+  with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom i -> check_int "first raising job by submission index" 3 i
+
+let test_cost_claim_order () =
+  (* at one domain the caller runs the jobs itself, so a side effect
+     observes the claim order: descending cost, submission order on ties *)
+  let order = ref [] in
+  let results =
+    Sweep.map ~domains:1
+      ~cost:(fun i -> i mod 4)
+      (fun i ->
+        order := i :: !order;
+        i * 10)
+      [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+  in
+  Alcotest.(check (list int))
+    "results in submission order"
+    [ 0; 10; 20; 30; 40; 50; 60; 70 ]
+    results;
+  Alcotest.(check (list int))
+    "execution in descending cost, stable on ties"
+    [ 3; 7; 2; 6; 1; 5; 0; 4 ]
+    (List.rev !order)
+
 (* -- Determinism of the experiment grids ------------------------------------- *)
 
 let subset = [ "fact_iter"; "gcd"; "flat_straightline"; "ftn_euclid" ]
@@ -130,6 +175,12 @@ let suite =
       Alcotest.test_case "pool survives multiple batches" `Quick
         test_pool_reuse;
       Alcotest.test_case "UHM_JOBS parsing" `Quick test_jobs_env;
+      Alcotest.test_case "cost hint keeps results identical" `Quick
+        test_cost_results_identical;
+      Alcotest.test_case "cost hint keeps first-error-by-index" `Quick
+        test_cost_first_error;
+      Alcotest.test_case "cost hint orders claims by descending cost" `Quick
+        test_cost_claim_order;
       Alcotest.test_case "summary rows identical at 1 vs 4 domains" `Slow
         test_summary_rows_deterministic;
       Alcotest.test_case "dtb grid identical at 1 vs 4 domains" `Slow
