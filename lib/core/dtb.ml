@@ -170,9 +170,13 @@ let set_of t tag =
     base + (h mod size)
 
 (* The key stored in the tag array: the DIR address, ASID-qualified when the
-   policy keeps several programs' translations resident at once.  A private
-   DTB has [asid_bits] = 0 and [current] = 0, so the key is the raw tag. *)
-let key_of t tag = (tag lsl t.asid_bits) lor t.current
+   policy keeps several programs' translations resident at once.  When
+   [asid_bits] = 0 the key must be the raw tag even if [current] is nonzero
+   (Flush_on_switch tracks the running ASID but relies on the flush, not the
+   key, for isolation); folding [current] in with a zero shift would alias
+   adjacent DIR addresses, e.g. tags 2k and 2k+1 both keying as 2k lor 1. *)
+let key_of t tag =
+  if t.asid_bits = 0 then tag else (tag lsl t.asid_bits) lor t.current
 
 (* O(1) timestamp recency in place of the O(assoc) counter shuffle; the
    victim scan in [begin_translation] picks the minimum stamp, which is the

@@ -13,14 +13,14 @@ type kind =
 type event = { at_cycle : int; kind : kind }
 
 type tally = {
-  mutable slices : int;
+  mutable dispatches : int;
   mutable flushes : int;
   mutable translations : int;
   mutable expiries : int;
 }
 
 type counts = {
-  c_slices : int;
+  c_dispatches : int;
   c_flushes : int;
   c_translations : int;
   c_expiries : int;
@@ -47,7 +47,7 @@ let tally_for t asid =
   match Hashtbl.find_opt t.tallies asid with
   | Some y -> y
   | None ->
-      let y = { slices = 0; flushes = 0; translations = 0; expiries = 0 } in
+      let y = { dispatches = 0; flushes = 0; translations = 0; expiries = 0 } in
       Hashtbl.add t.tallies asid y;
       y
 
@@ -57,7 +57,7 @@ let record t ~at_cycle kind =
   match kind with
   | Switch { to_asid; _ } ->
       let y = tally_for t to_asid in
-      y.slices <- y.slices + 1
+      y.dispatches <- y.dispatches + 1
   | Dtb_flush { asid } ->
       let y = tally_for t asid in
       y.flushes <- y.flushes + 1
@@ -77,10 +77,11 @@ let events t =
 
 let counts t asid =
   match Hashtbl.find_opt t.tallies asid with
-  | None -> { c_slices = 0; c_flushes = 0; c_translations = 0; c_expiries = 0 }
+  | None ->
+      { c_dispatches = 0; c_flushes = 0; c_translations = 0; c_expiries = 0 }
   | Some y ->
       {
-        c_slices = y.slices;
+        c_dispatches = y.dispatches;
         c_flushes = y.flushes;
         c_translations = y.translations;
         c_expiries = y.expiries;

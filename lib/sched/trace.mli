@@ -23,7 +23,12 @@ type event = { at_cycle : int; kind : kind }
     programs when the event fired. *)
 
 type counts = {
-  c_slices : int;        (** dispatches of this program *)
+  c_dispatches : int;
+  (** dispatches of this program: quanta where the scheduler switched to
+      it.  Deliberately not named "slices" — a program that runs several
+      consecutive quanta (e.g. the last survivor under round-robin)
+      counts one dispatch but many slices; per-quantum slice counts live
+      in the scheduler's per-program results. *)
   c_flushes : int;
   c_translations : int;
   c_expiries : int;

@@ -122,6 +122,29 @@ let test_invalidate_asid () =
        0
      with Invalid_argument _ -> 1)
 
+(* Regression: under Flush_on_switch [asid_bits] = 0 while [current] still
+   tracks the running ASID.  Folding the ASID into the key with a zero
+   shift would turn the keys of adjacent DIR addresses 2k and 2k+1 into
+   the same value whenever ASID 1 is current, so a lookup of 2k right
+   after translating 2k+1 would falsely hit the last-translation cache
+   (which compares keys only) and return the wrong buffer address. *)
+let test_flush_policy_keys_not_aliased () =
+  let dtb =
+    Dtb.create_shared ~policy:Dtb.Flush_on_switch ~programs:2 small_config
+      ~buffer_base:0
+  in
+  Dtb.switch_to dtb ~asid:1;
+  check_int "asid 1 current" 1 (Dtb.current_asid dtb);
+  install dtb ~tag:7;
+  (match Dtb.lookup dtb ~tag:6 with
+  | `Hit _ -> Alcotest.fail "tag 2k must not alias tag 2k+1 under ASID 1"
+  | `Miss -> ());
+  (match Dtb.lookup dtb ~tag:7 with
+  | `Hit _ -> ()
+  | `Miss -> Alcotest.fail "the installed tag itself must still hit");
+  check_int "hits" 1 (Dtb.hits dtb);
+  check_int "misses" 2 (Dtb.misses dtb)
+
 (* -- Quantum-to-infinity: the mix reproduces the solo goldens ---------------- *)
 
 let golden_mix = [ "fact_iter"; "fib_rec"; "flat_straightline" ]
@@ -267,11 +290,13 @@ let test_trace_ring_bounded () =
   check_bool "event cycles are monotone" true
     (List.for_all2 ( <= ) cycles (List.tl cycles @ [ max_int ]));
   (* rollups are maintained on every record, not just the buffered window *)
-  let slices =
-    List.fold_left (fun acc (_, c) -> acc + c.Trace.c_slices) 0 (Trace.tallies tr)
+  let dispatches =
+    List.fold_left
+      (fun acc (_, c) -> acc + c.Trace.c_dispatches)
+      0 (Trace.tallies tr)
   in
-  check_int "tallied slices = switches (exact despite drops)" r.Mix.mr_switches
-    slices;
+  check_int "tallied dispatches = switches (exact despite drops)"
+    r.Mix.mr_switches dispatches;
   check_bool "far more switches than the ring holds" true (r.Mix.mr_switches > 64)
 
 (* -- Chrome trace export ----------------------------------------------------- *)
@@ -362,6 +387,8 @@ let suite =
         test_last_cache_differential;
       Alcotest.test_case "invalidate_asid drops entries and the last cache"
         `Quick test_invalidate_asid;
+      Alcotest.test_case "Flush_on_switch keys never alias adjacent tags"
+        `Quick test_flush_policy_keys_not_aliased;
       Alcotest.test_case "quantum=inf reproduces solo goldens (flush)" `Slow
         (test_solo_quantum Dtb.Flush_on_switch);
       Alcotest.test_case "quantum=inf reproduces solo goldens (tagged)" `Slow
