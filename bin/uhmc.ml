@@ -32,7 +32,7 @@ let read_file path =
 
 (* Resolve to a compiled DIR program: an Algol-S or Fortran-S file, or a
    built-in program from either suite (Fortran-S names start with ftn_). *)
-let load_dir ~file ~program ~fortran ~fuse =
+let load_dir_exn ~file ~program ~fortran ~fuse =
   match (file, program) with
   | Some path, None ->
       let name = Filename.basename path in
@@ -45,8 +45,30 @@ let load_dir ~file ~program ~fortran ~fuse =
       | entry -> Suite.compile ~fuse entry
       | exception Not_found -> Uhm_ftn.Suite.compile ~fuse (Uhm_ftn.Suite.find name))
   | _ ->
-      prerr_endline "exactly one of FILE or --program NAME is required";
+      prerr_endline "uhmc: error: exactly one of FILE or --program NAME is required";
       exit 2
+
+(* A malformed input file is a user error, not a crash: every frontend
+   exception becomes a one-line stderr diagnostic and exit code 2. *)
+let load_dir ~file ~program ~fortran ~fuse =
+  let fail fmt = Printf.ksprintf (fun m -> Printf.eprintf "uhmc: error: %s\n" m; exit 2) fmt in
+  try load_dir_exn ~file ~program ~fortran ~fuse with
+  | Uhm_hlr.Lexer.Lex_error (msg, line, col) ->
+      fail "%s at line %d, column %d" msg line col
+  | Uhm_hlr.Parser.Parse_error (msg, line, col) ->
+      fail "%s at line %d, column %d" msg line col
+  | Uhm_ftn.Lexer.Lex_error (msg, line) -> fail "%s at line %d" msg line
+  | Uhm_ftn.Parser.Parse_error (msg, line) -> fail "%s at line %d" msg line
+  | Uhm_hlr.Check.Check_error msg
+  | Uhm_ftn.Check.Check_error msg
+  | Uhm_compiler.Codegen.Codegen_error msg
+  | Uhm_ftn.Codegen.Codegen_error msg ->
+      fail "%s" msg
+  | Not_found -> (
+      match program with
+      | Some name -> fail "unknown built-in program %s; see `uhmc suite`" name
+      | None -> fail "program not found")
+  | Sys_error msg -> fail "%s" msg
 
 let file_arg =
   Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
@@ -127,9 +149,16 @@ let compile_cmd =
 (* -- run ---------------------------------------------------------------------- *)
 
 let run_cmd =
-  let action file program fortran fuse kind strategy stats =
+  let fuel_arg =
+    Arg.(value & opt (some int) None
+         & info [ "fuel" ] ~docv:"N"
+             ~doc:"Cycle budget: a program still running after $(docv) \
+                   cycles is killed as a runaway and uhmc exits with \
+                   code 3 (default 2e9).")
+  in
+  let action file program fortran fuse kind strategy stats fuel =
     let p = load_dir ~file ~program ~fortran ~fuse in
-    let r = U.run ~strategy ~kind p in
+    let r = U.run ?fuel ~strategy ~kind p in
     print_string r.U.output;
     (match r.U.status with
     | Machine.Halted -> ()
@@ -137,8 +166,12 @@ let run_cmd =
         Printf.eprintf "trap: %s\n" m;
         exit 1
     | Machine.Out_of_fuel ->
-        prerr_endline "out of fuel";
-        exit 1
+        (* the runaway-program guard: a distinct exit code so scripts can
+           tell "looped forever" from "trapped" *)
+        Printf.eprintf
+          "uhmc: out of fuel after %d cycles (runaway program? raise --fuel)\n"
+          r.U.cycles;
+        exit 3
     | Machine.Running -> assert false);
     if stats then begin
       let s = r.U.machine_stats in
@@ -172,7 +205,7 @@ let run_cmd =
        ~doc:"Run a program on the simulated universal host machine.")
     Term.(
       const action $ file_arg $ program_arg $ fortran_arg $ fuse_arg
-      $ kind_arg $ strategy_arg $ stats_arg)
+      $ kind_arg $ strategy_arg $ stats_arg $ fuel_arg)
 
 (* -- encode ------------------------------------------------------------------- *)
 
@@ -567,6 +600,211 @@ let mix_cmd =
       $ scheduler_arg $ kind_arg $ fuse_arg $ trace_arg $ sets_arg
       $ assoc_arg)
 
+(* -- faults ------------------------------------------------------------------- *)
+
+let faults_cmd =
+  let module Injector = Uhm_fault.Injector in
+  let module FExp = Uhm_fault.Experiment in
+  let module Resilient = Uhm_fault.Resilient in
+  let programs_arg =
+    Arg.(value & opt_all string [ "fact_iter"; "gcd" ]
+         & info [ "p"; "program" ] ~docv:"NAME"
+             ~doc:"Built-in program to include in the mix (repeatable; \
+                   default fact_iter and gcd).")
+  in
+  let class_conv =
+    let parse s =
+      match Injector.class_of_name s with
+      | Some c -> Ok c
+      | None ->
+          Error
+            (`Msg
+              (Printf.sprintf
+                 "unknown fault class %s (dtb-tag, psder-word, translator, \
+                  mem-word)"
+                 s))
+    in
+    Arg.conv (parse, fun fmt c -> Format.pp_print_string fmt (Injector.class_name c))
+  in
+  let classes_arg =
+    Arg.(value & opt_all class_conv []
+         & info [ "c"; "class" ] ~docv:"CLASS"
+             ~doc:"Fault class: dtb-tag, psder-word, translator, mem-word \
+                   (repeatable; default all four).")
+  in
+  let rates_arg =
+    Arg.(value & opt_all float []
+         & info [ "r"; "rate" ] ~docv:"RATE"
+             ~doc:"Fault probability per DIR instruction step (repeatable; \
+                   default 0, 1e-4, 1e-3, 1e-2).")
+  in
+  let policy_conv =
+    let parse = function
+      | "flush" -> Ok Dtb.Flush_on_switch
+      | "tagged" -> Ok Dtb.Tagged
+      | "partitioned" -> Ok Dtb.Partitioned
+      | s -> Error (`Msg (Printf.sprintf "unknown policy %s" s))
+    in
+    Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Dtb.policy_name p))
+  in
+  let policies_arg =
+    Arg.(value & opt_all policy_conv []
+         & info [ "policy" ] ~docv:"POLICY"
+             ~doc:"Shared-DTB ownership policy: flush, tagged, partitioned \
+                   (repeatable; default all three).")
+  in
+  let quantum_arg =
+    Arg.(value & opt int 64
+         & info [ "q"; "quantum" ] ~docv:"N"
+             ~doc:"Scheduling quantum in DIR instructions.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed (cells derive \
+             their injector seeds from it).")
+  in
+  let jobs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Domain count for the sweep pool (default: $(b,UHM_JOBS) \
+                   or the recommended domain count).")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"PATH"
+             ~doc:"Also write the campaign points as a JSON array to $(docv).")
+  in
+  let csv_arg =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"PATH"
+             ~doc:"Also write the campaign points as CSV to $(docv).")
+  in
+  let action programs classes rates policies quantum seed jobs json csv =
+    let classes = if classes = [] then Injector.all_classes else classes in
+    let rates = if rates = [] then FExp.default_rates else rates in
+    let policies =
+      if policies = [] then [ Dtb.Flush_on_switch; Dtb.Tagged; Dtb.Partitioned ]
+      else policies
+    in
+    let named =
+      List.map
+        (fun name ->
+          (name, load_dir ~file:None ~program:(Some name) ~fortran:false
+                   ~fuse:false))
+        programs
+    in
+    let points =
+      FExp.fault_grid ?domains:jobs ~quanta:[ quantum ] ~seed
+        ~kind:Kind.Huffman ~classes ~rates ~policies
+        ~configs:[ Dtb.paper_config ] named
+    in
+    let t =
+      Table.create
+        ~columns:
+          [ ("class", Table.Left); ("rate", Table.Right);
+            ("policy", Table.Left); ("recovered", Table.Left);
+            ("overhead", Table.Right); ("injected", Table.Right);
+            ("detected", Table.Right); ("retries", Table.Right);
+            ("rollbacks", Table.Right); ("downgrades", Table.Right) ]
+        ()
+    in
+    let row (p : FExp.point) =
+      [ Injector.class_name p.FExp.fp_class;
+        Printf.sprintf "%g" p.FExp.fp_rate;
+        Dtb.policy_name p.FExp.fp_policy;
+        (if p.FExp.fp_recovered_ok then "yes" else "NO");
+        Printf.sprintf "%.4fx" p.FExp.fp_overhead;
+        Table.cell_int p.FExp.fp_injected;
+        Table.cell_int p.FExp.fp_detected;
+        Table.cell_int p.FExp.fp_retries;
+        Table.cell_int p.FExp.fp_rollbacks;
+        Table.cell_int p.FExp.fp_downgrades ]
+    in
+    List.iter (fun p -> Table.add_row t (row p)) points;
+    Table.print t;
+    (match csv with
+    | None -> ()
+    | Some path ->
+        let header =
+          [ "class"; "rate"; "policy"; "quantum"; "seed"; "recovered";
+            "overhead"; "cycles"; "baseline_cycles"; "injected"; "detected";
+            "retries"; "rollbacks"; "downgrades" ]
+        in
+        let rows =
+          List.map
+            (fun (p : FExp.point) ->
+              [ Injector.class_name p.FExp.fp_class;
+                Printf.sprintf "%g" p.FExp.fp_rate;
+                Dtb.policy_name p.FExp.fp_policy;
+                string_of_int p.FExp.fp_quantum;
+                string_of_int p.FExp.fp_seed;
+                string_of_bool p.FExp.fp_recovered_ok;
+                Printf.sprintf "%.6f" p.FExp.fp_overhead;
+                string_of_int
+                  p.FExp.fp_result.Uhm_fault.Resilient.rr_total_cycles;
+                string_of_int p.FExp.fp_baseline_cycles;
+                string_of_int p.FExp.fp_injected;
+                string_of_int p.FExp.fp_detected;
+                string_of_int p.FExp.fp_retries;
+                string_of_int p.FExp.fp_rollbacks;
+                string_of_int p.FExp.fp_downgrades ])
+            points
+        in
+        let oc = open_out path in
+        output_string oc (Uhm_report.Csv.render ~header rows);
+        close_out oc;
+        Printf.printf "wrote %s (%d points)\n" path (List.length points));
+    (match json with
+    | None -> ()
+    | Some path ->
+        let point_json (p : FExp.point) =
+          Printf.sprintf
+            "  {\"class\": \"%s\", \"rate\": %g, \"policy\": \"%s\", \
+             \"quantum\": %d, \"seed\": %d, \"recovered\": %b, \
+             \"overhead\": %.6f, \"cycles\": %d, \"baseline_cycles\": %d, \
+             \"injected\": %d, \"detected\": %d, \"retries\": %d, \
+             \"rollbacks\": %d, \"downgrades\": %d}"
+            (Injector.class_name p.FExp.fp_class)
+            p.FExp.fp_rate
+            (Dtb.policy_name p.FExp.fp_policy)
+            p.FExp.fp_quantum p.FExp.fp_seed p.FExp.fp_recovered_ok
+            p.FExp.fp_overhead
+            p.FExp.fp_result.Uhm_fault.Resilient.rr_total_cycles
+            p.FExp.fp_baseline_cycles p.FExp.fp_injected p.FExp.fp_detected
+            p.FExp.fp_retries p.FExp.fp_rollbacks p.FExp.fp_downgrades
+        in
+        let oc = open_out path in
+        output_string oc
+          ("[\n" ^ String.concat ",\n" (List.map point_json points) ^ "\n]\n");
+        close_out oc;
+        Printf.printf "wrote %s (%d points)\n" path (List.length points));
+    match List.filter (fun (p : FExp.point) -> not p.FExp.fp_recovered_ok) points with
+    | [] ->
+        Printf.printf
+          "recovery invariant holds at all %d campaign points\n"
+          (List.length points)
+    | bad ->
+        List.iter
+          (fun (p : FExp.point) ->
+            Printf.eprintf
+              "uhmc: recovery FAILED: class=%s rate=%g policy=%s seed=%d\n"
+              (Injector.class_name p.FExp.fp_class)
+              p.FExp.fp_rate
+              (Dtb.policy_name p.FExp.fp_policy)
+              p.FExp.fp_seed)
+          bad;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Run a fault-injection campaign over the resilience subsystem: \
+             program mix x fault class x rate x DTB policy, checking that \
+             detection and recovery reproduce the fault-free final state \
+             at every point and reporting the cycle overhead.")
+    Term.(
+      const action $ programs_arg $ classes_arg $ rates_arg $ policies_arg
+      $ quantum_arg $ seed_arg $ jobs_arg $ json_arg $ csv_arg)
+
 (* -- suite -------------------------------------------------------------------- *)
 
 let suite_cmd =
@@ -604,4 +842,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "uhmc" ~doc)
           [ compile_cmd; run_cmd; encode_cmd; trace_cmd; calibrate_cmd;
-            suite_cmd; perf_cmd; mix_cmd ]))
+            suite_cmd; perf_cmd; mix_cmd; faults_cmd ]))

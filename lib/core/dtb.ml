@@ -274,6 +274,22 @@ let end_translation t =
       t.open_entry <- None;
       t.start_addr
 
+(* A translation that will never complete — the translating machine
+   stopped on a fault mid-install — must not leave the directory open:
+   every flush/invalidate entry point refuses while a translation is in
+   progress.  Aborting drops the half-installed entry (the tag went live
+   at [begin_translation]) and returns its overflow chain, leaving the
+   directory exactly as if the miss had never been serviced. *)
+let abort_translation t =
+  match t.open_entry with
+  | None -> failwith "Dtb.abort_translation: no open translation"
+  | Some e ->
+      if t.last_tag = e.tag then t.last_tag <- -1;
+      e.tag <- -1;
+      t.free_blocks <- e.chain @ t.free_blocks;
+      e.chain <- [];
+      t.open_entry <- None
+
 (* -- Multiprogramming --------------------------------------------------------
 
    [flush] restores the directory to its creation state exactly (tags,
@@ -366,3 +382,74 @@ let reset_stats t =
   t.misses <- 0;
   t.evictions <- 0;
   t.overflow_allocs <- 0
+
+(* -- Resilience hooks --------------------------------------------------------
+
+   [invalidate] is the recovery path's targeted drop: a guard mismatch on a
+   hit means the entry the key led to cannot be trusted, so the entry (and,
+   after tag corruption, any duplicate carrying the same key) is removed
+   and the next INTERP re-misses and retranslates.  [corrupt_resident_tag]
+   is the injection side: it models a single-event upset in the associative
+   tag array.  The last-translation shortcut mirrors the tag array in both
+   directions — corruption updates a mirrored key, invalidation clears it —
+   so the shortcut can neither mask nor outlive a fault in the array it
+   caches. *)
+
+let invalidate t ~tag =
+  if t.open_entry <> None then failwith "Dtb.invalidate: translation open";
+  let key = key_of t tag in
+  let set = set_of t tag in
+  let dropped = ref false in
+  Array.iter
+    (fun e ->
+      if e.tag = key then begin
+        dropped := true;
+        e.tag <- -1;
+        t.free_blocks <- e.chain @ t.free_blocks;
+        e.chain <- []
+      end)
+    t.entries.(set);
+  if t.last_tag = key then t.last_tag <- -1;
+  !dropped
+
+(* Key width reachable by a flip: DIR bit addresses stay well under 2^20
+   for every suite program, plus the ASID qualifier bits. *)
+let key_flip_bits = 20
+
+let corrupt_resident_tag t ~pick ~flip =
+  if t.open_entry <> None then
+    failwith "Dtb.corrupt_resident_tag: translation open";
+  let resident = resident_entries t in
+  if resident = 0 then None
+  else begin
+    let target = ((pick mod resident) + resident) mod resident in
+    let found = ref None in
+    let seen = ref 0 in
+    (try
+       Array.iteri
+         (fun s ways ->
+           Array.iteri
+             (fun w e ->
+               if e.tag >= 0 then begin
+                 if !seen = target then begin
+                   found := Some (s, w, e);
+                   raise Exit
+                 end;
+                 incr seen
+               end)
+             ways)
+         t.entries
+     with Exit -> ());
+    match !found with
+    | None -> None
+    | Some (s, w, e) ->
+        let bits = key_flip_bits + t.asid_bits in
+        let old_key = e.tag in
+        let bit = ((flip mod bits) + bits) mod bits in
+        let new_key = old_key lxor (1 lsl bit) in
+        e.tag <- new_key;
+        if t.use_last_cache && t.last_set = s && t.last_way = w
+           && t.last_tag = old_key
+        then t.last_tag <- new_key;
+        Some (old_key, new_key)
+  end

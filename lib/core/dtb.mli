@@ -100,6 +100,15 @@ val emit : t -> int -> int * (int * int) list
 val end_translation : t -> int
 (** Close the open translation and return its start address. *)
 
+val abort_translation : t -> unit
+(** Discard the open translation: drop the directory entry installed by
+    {!begin_translation} and return its overflow chain to the free list,
+    as if the miss had never been serviced.  For recovery paths where
+    the translating machine stopped mid-install and the translation will
+    never be completed — {!flush}, {!invalidate} and {!invalidate_asid}
+    all refuse while a translation is open.  Raises [Failure] if no
+    translation is open. *)
+
 (** {2 Multiprogramming} *)
 
 val switch_to : t -> asid:int -> unit
@@ -124,6 +133,29 @@ val invalidate_asid : t -> asid:int -> int
 
 val sharing : t -> policy option
 (** [None] for a private DTB. *)
+
+(** {2 Resilience hooks}
+
+    Targeted invalidation (the recovery path after a guard detection) and
+    deterministic tag-array corruption (the fault injector's model of a
+    single-event upset in the associative array).  Both keep the
+    last-translation shortcut coherent with the tag array: corruption
+    updates a mirrored key, invalidation clears it. *)
+
+val invalidate : t -> tag:int -> bool
+(** Drop the entry (or, after tag corruption, entries) whose stored key
+    matches [tag] under the current ASID, releasing overflow chains.
+    Returns whether anything was dropped.  Raises [Failure] if a
+    translation is open. *)
+
+val corrupt_resident_tag : t -> pick:int -> flip:int -> (int * int) option
+(** Flip one bit of a resident entry's stored key: the entry is chosen by
+    [pick] (mod the resident count, in scan order) and the bit by [flip]
+    (mod the meaningful key width, including ASID bits).  Returns
+    [Some (old_key, new_key)], or [None] when nothing is resident.  The
+    original tag now misses (a lost installation) and the corrupted key
+    may falsely hit — which the resilience layer's per-entry guards must
+    catch.  Raises [Failure] if a translation is open. *)
 
 val current_asid : t -> int
 

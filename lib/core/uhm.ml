@@ -370,9 +370,17 @@ let run_dtb ~timing ~fuel ~layout ~runner ~strategy ~assist ~compound ~block
    is the *directory* (tags, capacity, overflow blocks).  A program only
    ever executes translations it installed itself: on a preserved entry
    installed by another ASID the tags cannot match, so the lookup misses
-   and retranslates into its own memory. *)
-let prepare_dtb_shared ?(timing = Timing.paper) ?(fuel = default_fuel)
-    ?(layout = Layout.default) ?(on_translation = fun ~dir_addr:_ -> ()) ~dtb
+   and retranslates into its own memory.
+
+   [prepare_dtb_custom] is the general form: the caller supplies the
+   INTERP hook (given the translator entry point) and may tap every
+   buffer-word write and every translation completion — the resilience
+   layer hangs its per-entry guards off those taps.  With the default
+   no-op taps and [make_interp = plain_dtb_interp ...] the machine is
+   cycle-identical to [prepare_dtb_shared]'s. *)
+let prepare_dtb_custom ?(timing = Timing.paper) ?(fuel = default_fuel)
+    ?(layout = Layout.default) ?(on_emit = fun ~addr:_ ~word:_ -> ())
+    ?(on_end_translation = fun ~start_addr:_ -> ()) ~make_interp ~dtb
     (encoded : Codec.encoded) =
   let p = encoded.Codec.program in
   let gen =
@@ -389,17 +397,67 @@ let prepare_dtb_shared ?(timing = Timing.paper) ?(fuel = default_fuel)
   let bootstrap_addr = layout.Layout.dtb_buffer_base in
   if 1 + Dtb.buffer_words dtb > layout.Layout.dtb_buffer_size then
     invalid_arg
-      "Uhm.prepare_dtb_shared: DTB buffer does not fit its memory region";
+      "Uhm.prepare_dtb_custom: DTB buffer does not fit its memory region";
+  let translator_entry = gen.Translate_gen.translator_entry in
   Machine.set_hooks m
-    (dtb_emit_hooks ~dtb ~emitted_words:(ref 0)
-       ~h_interp:
-         (plain_dtb_interp ~t_dtb:timing.Timing.t_dtb ~dtb
-            ~translator_entry:gen.Translate_gen.translator_entry
-            ~on_translation)
-       ~h_decode_assist:(fun _ -> ()));
+    {
+      Machine.h_interp = make_interp ~translator_entry;
+      h_emit_short =
+        (fun m word ->
+          let addr, chain_writes = Dtb.emit dtb word in
+          Machine.poke m addr word;
+          Machine.charge_mem m addr;
+          on_emit ~addr ~word;
+          List.iter
+            (fun (a, w) ->
+              Machine.poke m a w;
+              Machine.charge_mem m a;
+              on_emit ~addr:a ~word:w)
+            chain_writes);
+      h_end_trans =
+        (fun m ->
+          let start_addr = Dtb.end_translation dtb in
+          on_end_translation ~start_addr;
+          Machine.set_pc m (Machine.Short start_addr));
+      h_decode_assist = (fun _ -> ());
+    };
   Machine.poke m bootstrap_addr
     (SF.pack ~ctx:Stats.start_context SF.Interp_imm encoded.Codec.entry_addr);
   Machine.set_pc m (Machine.Short bootstrap_addr);
+  (m, translator_entry)
+
+let prepare_dtb_shared ?timing ?fuel ?layout
+    ?(on_translation = fun ~dir_addr:_ -> ()) ~dtb (encoded : Codec.encoded) =
+  let t_dtb =
+    (Option.value ~default:Timing.paper timing).Timing.t_dtb
+  in
+  let m, _ =
+    prepare_dtb_custom ?timing ?fuel ?layout
+      ~make_interp:(fun ~translator_entry ->
+        plain_dtb_interp ~t_dtb ~dtb ~translator_entry ~on_translation)
+      ~dtb encoded
+  in
+  m
+
+(* A pure-interpretation machine over the same encoded program: the
+   watchdog's downgrade target.  Set up exactly as [run_interpreted]
+   (no icache, no assist, no compound datapath) but returned suspended
+   so the caller can graft in the mid-flight architectural state before
+   slicing it with [Machine.run_for]. *)
+let prepare_interp ?(timing = Timing.paper) ?(fuel = default_fuel)
+    ?(layout = Layout.default) (encoded : Codec.encoded) =
+  let p = encoded.Codec.program in
+  let gen = Interp_gen.build ~compound:false ~assist:false ~layout ~encoded in
+  let m =
+    setup_machine ~timing ~fuel ~layout ~program:gen.Interp_gen.program p
+  in
+  Array.iteri
+    (fun i w -> Machine.poke m (layout.Layout.table_base + i) w)
+    gen.Interp_gen.table_image;
+  Machine.set_dir_stream m ~bits:encoded.Codec.bits ~mode:Machine.Dir_uncached;
+  Machine.set_hooks m (interp_hooks ~assist:false encoded);
+  Machine.set_reg m R.dpc encoded.Codec.entry_addr;
+  Machine.set_pc m (Machine.Long gen.Interp_gen.entry);
   m
 
 let run_psder_static ~timing ~fuel ~layout ~runner ~strategy ~compound

@@ -119,3 +119,32 @@ val prepare_dtb_shared : ?timing:Timing.t -> ?fuel:int
     translation this machine starts (the trace layer's tap).  The caller
     drives execution with [Machine.run_dir_quantum] and owns
     [Dtb.switch_to] at context switches. *)
+
+val prepare_dtb_custom : ?timing:Timing.t -> ?fuel:int
+  -> ?layout:Uhm_psder.Layout.t
+  -> ?on_emit:(addr:int -> word:int -> unit)
+  -> ?on_end_translation:(start_addr:int -> unit)
+  -> make_interp:(translator_entry:int ->
+                  Machine.t -> dir_addr:int -> dctx:int -> unit)
+  -> dtb:Dtb.t -> Uhm_encoding.Codec.encoded -> Machine.t * int
+(** The general form of {!prepare_dtb_shared}: the caller supplies the
+    INTERP hook itself (given the generated translator's entry point —
+    also returned, so the hook can be swapped later) and may observe
+    every word written into the translation buffer ([on_emit], fired for
+    emitted words {e and} overflow-chain links) and every completed
+    translation ([on_end_translation], fired with the entry's start
+    address before control transfers to it).  The resilience layer's
+    per-entry guards and fault hooks are built on these taps.  With the
+    default no-op taps and a [make_interp] that performs the plain
+    lookup/translate protocol, the machine is cycle-identical to
+    {!prepare_dtb_shared}'s — which is itself now a thin wrapper. *)
+
+val prepare_interp : ?timing:Timing.t -> ?fuel:int
+  -> ?layout:Uhm_psder.Layout.t -> Uhm_encoding.Codec.encoded -> Machine.t
+(** Set up (but do not run) a plain interpreter machine (no icache, no
+    decode assist, no compound datapath) for [encoded] — the watchdog's
+    {e downgrade} target when dynamic translation is demoted to pure DIR
+    interpretation.  The machine is returned suspended at the
+    interpreter's entry with [dpc] at the program entry; a caller grafting
+    mid-flight state overwrites the registers, stacks and data region
+    before resuming it with [Machine.run_for]. *)

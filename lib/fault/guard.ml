@@ -1,0 +1,62 @@
+(* Per-entry translation guards; see guard.mli.
+
+   The checksum is an order-dependent polynomial mix over the words in
+   emission order, masked to 58 bits.  Single-bit flips are provably
+   detected: flipping bit b of the k-th-from-last word changes the sum by
+   131^k * 2^b mod 2^58, and since 131^k is odd that product has exactly
+   2^b as its power-of-two factor — never 0 mod 2^58. *)
+
+let sum_mask = (1 lsl 58) - 1
+
+let mix h w = ((h * 131) + w) land sum_mask
+
+type record = {
+  g_dir_addr : int;
+  g_addrs : int array; (* every buffer word of the entry, emission order,
+                          including overflow-chain GOTO link words *)
+  g_sum : int;
+}
+
+type t = {
+  tbl : (int, record) Hashtbl.t; (* keyed by entry start (unit) address *)
+  mutable installing : (int * int) list option; (* (addr, word), reversed *)
+}
+
+let create () = { tbl = Hashtbl.create 64; installing = None }
+
+let begin_install t = t.installing <- Some []
+
+let on_emit t ~addr ~word =
+  match t.installing with
+  | None -> ()
+  | Some ws -> t.installing <- Some ((addr, word) :: ws)
+
+let finish_install t ~dir_addr ~start_addr =
+  match t.installing with
+  | None -> ()
+  | Some ws ->
+      t.installing <- None;
+      let ws = List.rev ws in
+      let addrs = Array.of_list (List.map fst ws) in
+      let sum = List.fold_left (fun h (_, w) -> mix h w) 0 ws in
+      Hashtbl.replace t.tbl start_addr { g_dir_addr = dir_addr; g_addrs = addrs; g_sum = sum }
+
+let abandon t = t.installing <- None
+
+let check t ~peek ~dir_addr ~start_addr =
+  match Hashtbl.find_opt t.tbl start_addr with
+  | None -> `Unguarded
+  | Some r ->
+      if r.g_dir_addr <> dir_addr then `Mismatch
+      else
+        let sum = Array.fold_left (fun h a -> mix h (peek a)) 0 r.g_addrs in
+        if sum = r.g_sum then `Ok (Array.length r.g_addrs)
+        else `Corrupt (Array.length r.g_addrs)
+
+let drop t ~start_addr = Hashtbl.remove t.tbl start_addr
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.installing <- None
+
+let guarded t = Hashtbl.length t.tbl

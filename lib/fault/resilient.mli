@@ -1,0 +1,129 @@
+(** Fault injection, guarded translations and recovery over the
+    dynamic-translation path.
+
+    The driver runs a program mix round-robin over a shared DTB exactly
+    as [Uhm_sched.Mix] does, with three resilience layers threaded
+    through the hook points:
+
+    - {b Injection} ({!Injector}): at every INTERP boundary, faults due
+      at the current DIR step are applied — DTB tag-key bit flips,
+      translation-buffer word bit flips, dropped translator installs,
+      and level-1 data-word bit flips.  With {!zero} (or any spec whose
+      rates are all zero) the run is {e cycle- and trace-identical} to
+      [Mix.run_encoded].
+
+    - {b Detection and recovery}: per-entry {!Guard} checksums are
+      verified on every DTB hit (cost [t_guard] per word, charged to the
+      machine); a mismatch invalidates the entry and retranslates, with
+      per-DIR-address retry counting and exponential cycle backoff.
+      Data-word faults are caught by a scrub at slice boundaries and
+      recovered by rolling back to the last [Machine.checkpoint] and
+      replaying (the replayed cycles stay in the accounts, so recovery
+      cost is visible).  Consumed fault arrivals never re-fire during
+      replay: the injector is keyed on the monotonic INTERP count.
+
+    - {b Graceful degradation}: a watchdog counts recovery events
+      (detections and rollbacks) over a sliding window of DIR steps;
+      past the threshold — or when one DIR address exhausts its retry
+      budget — the program is {e downgraded} at the next slice boundary:
+      its architectural state (stacks, frames, data, decode position) is
+      grafted onto a fresh pure-interpretation machine (the paper's §7
+      crossover as a fallback) and it finishes without the DTB.  Fault
+      injection and checkpointing stop for a downgraded program; its
+      cycles and output accumulate across the transition.
+
+    The headline invariant, pinned by QCheck in [test/test_fault.ml]:
+    with guards on (and checkpoints on when memory faults are possible),
+    the final architectural state and output of every program equal the
+    fault-free run's, at every point of the campaign grid. *)
+
+module Machine := Uhm_machine.Machine
+module Dtb := Uhm_core.Dtb
+module Trace := Uhm_sched.Trace
+
+type config = {
+  injector : Injector.spec;
+  guards : bool;                  (** verify per-entry checksums on hits *)
+  checkpoint_every : int option;  (** DIR steps between checkpoints;
+                                      required when the injector can
+                                      produce [Mem_word] faults *)
+  retry_limit : int;              (** per-DIR-address detections before a
+                                      forced downgrade *)
+  backoff_cycles : int;           (** base of the exponential recovery
+                                      backoff (doubles per attempt,
+                                      capped at 64x) *)
+  watchdog_window : int;          (** sliding window, in DIR steps *)
+  watchdog_threshold : int;       (** recovery events within the window
+                                      that trigger a downgrade *)
+}
+
+val zero : config
+(** No faults, no guards, no checkpoints: byte-identical to [Mix]. *)
+
+val protected : ?checkpoint_every:int -> Injector.spec -> config
+(** Guards on, checkpoints on iff the spec can produce [Mem_word]
+    faults (default cadence 1024 DIR steps), default retry/watchdog
+    parameters. *)
+
+type program_report = {
+  pr_name : string;
+  pr_asid : int;
+  pr_status : Machine.status;
+  pr_output : string;
+  pr_cycles : int;      (** across a downgrade transition, if any *)
+  pr_slices : int;
+  pr_arch_hash : int;   (** fingerprint of sp/fp/dtop, the live operand
+                            stack and the live data region — the
+                            recovery invariant's state summary *)
+  pr_downgraded : bool;
+  pr_injected : int;
+  pr_detected : int;
+  pr_retries : int;
+  pr_rollbacks : int;
+}
+
+type result = {
+  rr_policy : Dtb.policy;
+  rr_quantum : int;
+  rr_config : Dtb.config;
+  rr_fconfig : config;
+  rr_programs : program_report list;
+  rr_total_cycles : int;
+  rr_switches : int;
+  rr_flushes : int;
+  rr_trace : Trace.t;
+}
+
+val run_encoded :
+  ?timing:Uhm_machine.Timing.t ->
+  ?fuel:int ->
+  ?layout:Uhm_psder.Layout.t ->
+  ?trace_capacity:int ->
+  policy:Dtb.policy ->
+  quantum:int ->
+  config:Dtb.config ->
+  fconfig:config ->
+  (string * Uhm_encoding.Codec.encoded) list ->
+  result
+(** Round-robin over the mix with [quantum] DIR steps per slice (a
+    downgraded program is sliced by an equivalent cycle budget).
+    Raises [Invalid_argument] on an empty mix, a quantum below 1, or a
+    spec that can produce [Mem_word] faults without [checkpoint_every]. *)
+
+val run :
+  ?timing:Uhm_machine.Timing.t ->
+  ?fuel:int ->
+  ?layout:Uhm_psder.Layout.t ->
+  ?trace_capacity:int ->
+  policy:Dtb.policy ->
+  quantum:int ->
+  config:Dtb.config ->
+  fconfig:config ->
+  kind:Uhm_encoding.Kind.t ->
+  (string * Uhm_dir.Program.t) list ->
+  result
+(** {!run_encoded} after encoding each program with [kind]. *)
+
+val arch_fingerprint : layout:Uhm_psder.Layout.t -> Machine.t -> int
+(** The fingerprint behind [pr_arch_hash], usable on any machine laid
+    out with [layout]. *)

@@ -658,3 +658,73 @@ let snapshot t =
     snap_op_stack = stack_contents t t.regs.(H.Regs.sp);
     snap_ret_stack = stack_contents t t.regs.(H.Regs.rsp);
   }
+
+(* -- Checkpoints --------------------------------------------------------------
+   Full-state capture for the resilience layer's rollback-and-replay: every
+   non-zero memory page (deep copy), the register file, the pc, the status,
+   the output length and the IFU's buffered unit.  Statistics are
+   deliberately NOT captured or restored — replayed instructions are
+   re-charged, so the cycle cost of a rollback stays visible in the
+   accounts, exactly like the retranslation cost after an invalidate. *)
+
+type checkpoint = {
+  ck_pages : (int * int array) list;
+  ck_regs : int array;
+  ck_pc_short : bool;
+  ck_pc_addr : int;
+  ck_status : status;
+  ck_out_len : int;
+  ck_buffered : int;
+}
+
+let checkpoint t =
+  let pages = ref [] in
+  Array.iteri
+    (fun i page ->
+      if page != zero_page then pages := (i, Array.copy page) :: !pages)
+    t.mem;
+  {
+    ck_pages = !pages;
+    ck_regs = Array.copy t.regs;
+    ck_pc_short = t.pc_short;
+    ck_pc_addr = t.pc_addr;
+    ck_status = t.status;
+    ck_out_len = Buffer.length t.out;
+    ck_buffered = t.dir_buffered_unit;
+  }
+
+let checkpoint_pages ck = List.length ck.ck_pages
+
+let restore t ck =
+  (* pages written since the checkpoint but absent from it go back to the
+     shared zero page (pooled, as in [recycle]) *)
+  let pool = Domain.DLS.get pool_key in
+  Array.iteri
+    (fun i page ->
+      if page != zero_page && not (List.mem_assoc i ck.ck_pages) then begin
+        if pool.free_page_count < max_pooled_pages then begin
+          pool.free_pages <- page :: pool.free_pages;
+          pool.free_page_count <- pool.free_page_count + 1
+        end;
+        Array.unsafe_set t.mem i zero_page
+      end)
+    t.mem;
+  List.iter
+    (fun (i, saved) ->
+      let page =
+        let cur = t.mem.(i) in
+        if cur == zero_page then begin
+          let fresh = alloc_page () in
+          t.mem.(i) <- fresh;
+          fresh
+        end
+        else cur
+      in
+      Array.blit saved 0 page 0 page_words)
+    ck.ck_pages;
+  Array.blit ck.ck_regs 0 t.regs 0 (Array.length t.regs);
+  t.pc_short <- ck.ck_pc_short;
+  t.pc_addr <- ck.ck_pc_addr;
+  t.status <- ck.ck_status;
+  if Buffer.length t.out > ck.ck_out_len then Buffer.truncate t.out ck.ck_out_len;
+  t.dir_buffered_unit <- ck.ck_buffered

@@ -120,18 +120,25 @@ type run_outcome =
 val run_for : t -> budget:int -> run_outcome
 (** Execute until at least [budget] more cycles have been charged (the
     slice ends after the instruction that crosses the budget: instructions
-    are atomic) or the program stops.  [budget = 0] yields immediately;
-    a budget that would overflow the cycle counter saturates, so
-    [budget = max_int] always means "run to completion". *)
+    are atomic) or the program stops.  Edge cases are pinned by
+    [test/test_resume.ml]: [budget = 0] executes nothing and returns
+    [Yielded] (0 cycles of progress) on a running machine; a negative
+    budget raises [Invalid_argument]; a budget that would overflow the
+    cycle counter saturates, so [budget = max_int] always means "run to
+    completion".  On a machine that has already left [Running], any legal
+    budget returns [Done status] immediately without executing. *)
 
 val run_dir_quantum : t -> quantum:int -> run_outcome
 (** Execute until [quantum] DIR instructions (INTERP transfers) have
     completed {e and} the pc rests on the next INTERP word.  INTERP
     boundaries are the safe preemption points when the translation buffer
     is shared: between them the pc can sit inside a DTB unit that another
-    program's translations could evict.  [quantum] must be at least 1;
-    a quantum no less than the program's remaining [dir_steps] runs it to
-    completion in one slice. *)
+    program's translations could evict.  [quantum] must be at least 1:
+    a quantum of 0 or negative raises [Invalid_argument] (a zero-DIR-step
+    slice cannot end on an INTERP boundary it never reaches); a quantum no
+    less than the program's remaining [dir_steps] runs it to completion in
+    one slice.  On a machine that has already left [Running], a legal
+    quantum returns [Done status] immediately without executing. *)
 
 type snapshot = {
   snap_pc : pc;
@@ -147,6 +154,32 @@ val snapshot : t -> snapshot
 (** Capture the resumption state of a (possibly suspended) program without
     charging cycles.  Stack contents are read from the regions the stack
     pointers rest in. *)
+
+(** {2 Checkpoints}
+
+    Full-state capture for the resilience layer's rollback-and-replay
+    recovery (fault injection on level-1 memory).  Unlike {!snapshot},
+    which is an inspection record, a {!checkpoint} can be {!restore}d:
+    it deep-copies every written memory page plus the register file, pc,
+    status, output length and the IFU's buffered unit. *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+(** Capture restorable state; charges no cycles.  Statistics are
+    deliberately {e not} captured: a later {!restore} leaves the cycle and
+    instruction counters running forward, so replayed work is re-charged
+    and the cost of a rollback stays visible in the accounts. *)
+
+val restore : t -> checkpoint -> unit
+(** Rewind the machine to the captured state: memory pages (pages written
+    since the checkpoint revert to zero), registers, pc, status, buffered
+    IFU unit, and the output buffer (truncated to its checkpointed
+    length).  Statistics are left untouched — see {!checkpoint}.  Only
+    meaningful on the machine the checkpoint was taken from. *)
+
+val checkpoint_pages : checkpoint -> int
+(** Number of memory pages the checkpoint copied (its cost driver). *)
 
 val recycle : t -> unit
 (** Return the machine's copy-on-write pages and page table to a

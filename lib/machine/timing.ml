@@ -2,14 +2,19 @@
 
    The unit of time is the level-1 access time, which the paper also takes
    as one host-instruction execution time.  [t_dtb] is the access time of an
-   associative array (DTB or cache), nominally 2 * t1. *)
+   associative array (DTB or cache), nominally 2 * t1.  [t_guard] is the
+   per-word cost of the translation-guard checksum unit (the resilience
+   layer's hit-path verification); it is charged only when guards are
+   enabled, so fault-free configurations never observe it. *)
 
 type t = {
   t1 : int;      (* level-1 access time *)
   t2 : int;      (* level-2 access time *)
   t_dtb : int;   (* DTB / cache associative access time *)
+  t_guard : int; (* guard checksum cost per translation word verified *)
 }
 
-let paper = { t1 = 1; t2 = 10; t_dtb = 2 }
+let paper = { t1 = 1; t2 = 10; t_dtb = 2; t_guard = 1 }
 
-let make ?(t1 = 1) ?(t2 = 10) ?(t_dtb = 2) () = { t1; t2; t_dtb }
+let make ?(t1 = 1) ?(t2 = 10) ?(t_dtb = 2) ?(t_guard = 1) () =
+  { t1; t2; t_dtb; t_guard }

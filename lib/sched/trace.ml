@@ -9,6 +9,11 @@ type kind =
   | Translation of { asid : int; dir_addr : int }
   | Quantum_expiry of { asid : int }
   | Completion of { asid : int; ok : bool }
+  | Fault_injected of { asid : int; fclass : string }
+  | Fault_detected of { asid : int; fclass : string }
+  | Recovery_retry of { asid : int; dir_addr : int; attempt : int }
+  | Rollback of { asid : int; pages : int }
+  | Downgrade of { asid : int }
 
 type event = { at_cycle : int; kind : kind }
 
@@ -17,6 +22,11 @@ type tally = {
   mutable flushes : int;
   mutable translations : int;
   mutable expiries : int;
+  mutable injections : int;
+  mutable detections : int;
+  mutable retries : int;
+  mutable rollbacks : int;
+  mutable downgrades : int;
 }
 
 type counts = {
@@ -24,6 +34,11 @@ type counts = {
   c_flushes : int;
   c_translations : int;
   c_expiries : int;
+  c_injections : int;
+  c_detections : int;
+  c_retries : int;
+  c_rollbacks : int;
+  c_downgrades : int;
 }
 
 type t = {
@@ -31,13 +46,23 @@ type t = {
   ring : event array;
   mutable recorded : int;   (* total events ever recorded *)
   tallies : (int, tally) Hashtbl.t;
+  (* exact per-fault-class rollups, across all ASIDs *)
+  injected_classes : (string, int) Hashtbl.t;
+  detected_classes : (string, int) Hashtbl.t;
 }
 
 let dummy = { at_cycle = -1; kind = Quantum_expiry { asid = -1 } }
 
 let create ?(capacity = 65536) () =
   if capacity < 1 then invalid_arg "Trace.create: capacity must be >= 1";
-  { capacity; ring = Array.make capacity dummy; recorded = 0; tallies = Hashtbl.create 8 }
+  {
+    capacity;
+    ring = Array.make capacity dummy;
+    recorded = 0;
+    tallies = Hashtbl.create 8;
+    injected_classes = Hashtbl.create 8;
+    detected_classes = Hashtbl.create 8;
+  }
 
 let capacity t = t.capacity
 let recorded t = t.recorded
@@ -47,9 +72,17 @@ let tally_for t asid =
   match Hashtbl.find_opt t.tallies asid with
   | Some y -> y
   | None ->
-      let y = { dispatches = 0; flushes = 0; translations = 0; expiries = 0 } in
+      let y =
+        { dispatches = 0; flushes = 0; translations = 0; expiries = 0;
+          injections = 0; detections = 0; retries = 0; rollbacks = 0;
+          downgrades = 0 }
+      in
       Hashtbl.add t.tallies asid y;
       y
+
+let bump_class tbl fclass =
+  Hashtbl.replace tbl fclass
+    (1 + Option.value ~default:0 (Hashtbl.find_opt tbl fclass))
 
 let record t ~at_cycle kind =
   t.ring.(t.recorded mod t.capacity) <- { at_cycle; kind };
@@ -68,6 +101,23 @@ let record t ~at_cycle kind =
       let y = tally_for t asid in
       y.expiries <- y.expiries + 1
   | Completion _ -> ()
+  | Fault_injected { asid; fclass } ->
+      let y = tally_for t asid in
+      y.injections <- y.injections + 1;
+      bump_class t.injected_classes fclass
+  | Fault_detected { asid; fclass } ->
+      let y = tally_for t asid in
+      y.detections <- y.detections + 1;
+      bump_class t.detected_classes fclass
+  | Recovery_retry { asid; _ } ->
+      let y = tally_for t asid in
+      y.retries <- y.retries + 1
+  | Rollback { asid; _ } ->
+      let y = tally_for t asid in
+      y.rollbacks <- y.rollbacks + 1
+  | Downgrade { asid } ->
+      let y = tally_for t asid in
+      y.downgrades <- y.downgrades + 1
 
 (* Buffered events, oldest first. *)
 let events t =
@@ -78,19 +128,32 @@ let events t =
 let counts t asid =
   match Hashtbl.find_opt t.tallies asid with
   | None ->
-      { c_dispatches = 0; c_flushes = 0; c_translations = 0; c_expiries = 0 }
+      { c_dispatches = 0; c_flushes = 0; c_translations = 0; c_expiries = 0;
+        c_injections = 0; c_detections = 0; c_retries = 0; c_rollbacks = 0;
+        c_downgrades = 0 }
   | Some y ->
       {
         c_dispatches = y.dispatches;
         c_flushes = y.flushes;
         c_translations = y.translations;
         c_expiries = y.expiries;
+        c_injections = y.injections;
+        c_detections = y.detections;
+        c_retries = y.retries;
+        c_rollbacks = y.rollbacks;
+        c_downgrades = y.downgrades;
       }
 
 let tallies t =
   Hashtbl.fold (fun asid _ acc -> asid :: acc) t.tallies []
   |> List.sort compare
   |> List.map (fun asid -> (asid, counts t asid))
+
+let classes_of tbl =
+  Hashtbl.fold (fun c n acc -> (c, n) :: acc) tbl [] |> List.sort compare
+
+let injected_by_class t = classes_of t.injected_classes
+let detected_by_class t = classes_of t.detected_classes
 
 (* -- Chrome trace_event export ----------------------------------------------
    The JSON-array flavour of the trace_event format: "X" complete events
@@ -132,10 +195,10 @@ let to_chrome ?(pid = 1) ~names ~end_cycle t =
       (max 0 (to_cycle - from_cycle))
       pid asid
   in
-  let instant ~label ~asid ~at =
+  let instant ?(cat = "sched") ~label ~asid ~at () =
     emit
-      {|{"name":"%s","cat":"sched","ph":"i","ts":%d,"pid":%d,"tid":%d,"s":"t"}|}
-      label at pid asid
+      {|{"name":"%s","cat":"%s","ph":"i","ts":%d,"pid":%d,"tid":%d,"s":"t"}|}
+      label cat at pid asid
   in
   let open_slice = ref None in
   List.iter
@@ -147,15 +210,34 @@ let to_chrome ?(pid = 1) ~names ~end_cycle t =
               slice ~asid ~from_cycle ~to_cycle:at_cycle
           | None -> ());
           open_slice := Some (to_asid, at_cycle)
-      | Dtb_flush { asid } -> instant ~label:"dtb_flush" ~asid ~at:at_cycle
+      | Dtb_flush { asid } ->
+          instant ~label:"dtb_flush" ~asid ~at:at_cycle ()
       | Translation { asid; dir_addr } ->
           emit
             {|{"name":"translate@%d","cat":"dtb","ph":"i","ts":%d,"pid":%d,"tid":%d,"s":"t"}|}
             dir_addr at_cycle pid asid
       | Quantum_expiry { asid } ->
-          instant ~label:"quantum_expiry" ~asid ~at:at_cycle
+          instant ~label:"quantum_expiry" ~asid ~at:at_cycle ()
       | Completion { asid; ok } ->
-          instant ~label:(if ok then "done" else "stopped") ~asid ~at:at_cycle)
+          instant ~label:(if ok then "done" else "stopped") ~asid ~at:at_cycle ()
+      | Fault_injected { asid; fclass } ->
+          instant ~cat:"fault"
+            ~label:(Printf.sprintf "inject:%s" (json_escape fclass))
+            ~asid ~at:at_cycle ()
+      | Fault_detected { asid; fclass } ->
+          instant ~cat:"fault"
+            ~label:(Printf.sprintf "detect:%s" (json_escape fclass))
+            ~asid ~at:at_cycle ()
+      | Recovery_retry { asid; dir_addr; attempt } ->
+          emit
+            {|{"name":"retry@%d#%d","cat":"fault","ph":"i","ts":%d,"pid":%d,"tid":%d,"s":"t"}|}
+            dir_addr attempt at_cycle pid asid
+      | Rollback { asid; pages } ->
+          emit
+            {|{"name":"rollback(%dpg)","cat":"fault","ph":"i","ts":%d,"pid":%d,"tid":%d,"s":"t"}|}
+            pages at_cycle pid asid
+      | Downgrade { asid } ->
+          instant ~cat:"fault" ~label:"downgrade:interp" ~asid ~at:at_cycle ())
     (events t);
   (match !open_slice with
   | Some (asid, from_cycle) -> slice ~asid ~from_cycle ~to_cycle:end_cycle

@@ -17,6 +17,20 @@ type kind =
   | Quantum_expiry of { asid : int }
   | Completion of { asid : int; ok : bool }
       (** [ok] is false for traps and fuel exhaustion *)
+  | Fault_injected of { asid : int; fclass : string }
+      (** the injector applied a fault of class [fclass] (the
+          [Injector.class_name]) to [asid]'s state *)
+  | Fault_detected of { asid : int; fclass : string }
+      (** a guard check or memory scrub caught a fault of class [fclass] *)
+  | Recovery_retry of { asid : int; dir_addr : int; attempt : int }
+      (** recovery invalidated the guarded translation of [dir_addr] and
+          is re-translating; [attempt] counts from 1 *)
+  | Rollback of { asid : int; pages : int }
+      (** [asid] was rewound to its last checkpoint ([pages] memory pages
+          restored) for replay *)
+  | Downgrade of { asid : int }
+      (** the watchdog demoted [asid] from dynamic translation to pure
+          DIR interpretation *)
 
 type event = { at_cycle : int; kind : kind }
 (** [at_cycle] is global virtual time: total cycles executed by all
@@ -32,6 +46,11 @@ type counts = {
   c_flushes : int;
   c_translations : int;
   c_expiries : int;
+  c_injections : int;
+  c_detections : int;
+  c_retries : int;
+  c_rollbacks : int;
+  c_downgrades : int;
 }
 
 type t
@@ -58,12 +77,23 @@ val counts : t -> int -> counts
 val tallies : t -> (int * counts) list
 (** All rollups, sorted by ASID. *)
 
+val injected_by_class : t -> (string * int) list
+(** Exact injection counts per fault class across all ASIDs, sorted by
+    class name.  Maintained on every {!record}, independent of ring
+    capacity. *)
+
+val detected_by_class : t -> (string * int) list
+(** Exact detection counts per fault class across all ASIDs, sorted by
+    class name. *)
+
 val to_chrome : ?pid:int -> names:(int -> string) -> end_cycle:int -> t -> string
 (** The Chrome [trace_event] JSON-array document for the buffered window,
     loadable in about://tracing (or ui.perfetto.dev): one timeline row per
     program ([tid] = ASID, named via metadata events), ["X"] complete
     events for scheduler slices (reconstructed from the {!Switch} events;
     the final slice is closed at [end_cycle]), and instant events for
-    flushes, translations, quantum expiries and completions.  Simulated
+    flushes, translations, quantum expiries, completions and the fault
+    lifecycle (injection, detection, retry, rollback, downgrade — in a
+    separate ["fault"] category).  Simulated
     cycles are reported as microseconds, so the timeline reads directly
     in cycles.  [names] maps an ASID to its program name. *)

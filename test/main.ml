@@ -15,6 +15,7 @@ let () =
       Test_golden.suite;
       Test_resume.suite;
       Test_sched.suite;
+      Test_fault.suite;
       Test_workload.suite;
       Test_report.suite;
     ]

@@ -106,6 +106,58 @@ let quantum_cases =
         [ 1; 7; 1000 ])
     [ "fact_iter"; "fib_rec"; "flat_straightline" ]
 
+(* The documented edge semantics of both slicing entry points (see
+   machine.mli): budget 0 yields without progress, negatives raise, and a
+   stopped machine answers Done without executing.  Probed mid-run via a
+   custom runner, then the probed run must still equal the whole run. *)
+let test_edge_semantics () =
+  let p = compile "fact_iter" in
+  let strategy = U.Dtb_strategy Dtb.paper_config in
+  let probed = ref false in
+  let runner m =
+    let c0 = (Machine.stats m).Machine.cycles in
+    (match Machine.run_for m ~budget:0 with
+    | Machine.Yielded -> ()
+    | Machine.Done _ -> Alcotest.fail "budget 0 on a running machine must yield");
+    Alcotest.(check int)
+      "budget 0 executes nothing" c0 (Machine.stats m).Machine.cycles;
+    (match Machine.run_for m ~budget:(-1) with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "negative budget must raise Invalid_argument");
+    (match Machine.run_dir_quantum m ~quantum:0 with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "quantum 0 must raise Invalid_argument");
+    (match Machine.run_dir_quantum m ~quantum:(-7) with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "negative quantum must raise Invalid_argument");
+    Alcotest.(check int)
+      "failed calls charge nothing" c0 (Machine.stats m).Machine.cycles;
+    (* budget = max_int saturates: run to completion in one slice *)
+    let status =
+      match Machine.run_for m ~budget:max_int with
+      | Machine.Done s -> s
+      | Machine.Yielded -> Alcotest.fail "max_int budget must finish the run"
+    in
+    let stopped = (Machine.stats m).Machine.cycles in
+    (* on a stopped machine every legal call is an immediate Done *)
+    (match Machine.run_for m ~budget:0 with
+    | Machine.Done s -> Alcotest.(check bool) "same status" true (s = status)
+    | Machine.Yielded -> Alcotest.fail "stopped machine must answer Done");
+    (match Machine.run_dir_quantum m ~quantum:1 with
+    | Machine.Done s -> Alcotest.(check bool) "same status" true (s = status)
+    | Machine.Yielded -> Alcotest.fail "stopped machine must answer Done");
+    Alcotest.(check int)
+      "stopped machine never executes" stopped
+      (Machine.stats m).Machine.cycles;
+    probed := true;
+    status
+  in
+  let whole = U.run ~strategy ~kind:Kind.Huffman p in
+  let sliced = U.run ~runner ~strategy ~kind:Kind.Huffman p in
+  Alcotest.(check bool) "runner ran" true !probed;
+  Alcotest.(check bool) "edge probing left the run identical" true
+    (whole = sliced)
+
 (* budget 0 must yield without running anything, so a stream of zeros
    interleaved with real budgets still terminates and stays identical *)
 let prop_random_slices =
@@ -128,4 +180,8 @@ let prop_random_slices =
 let suite =
   ( "resume",
     fixed_budget_cases @ quantum_cases
-    @ [ QCheck_alcotest.to_alcotest prop_random_slices ] )
+    @ [
+        Alcotest.test_case "budget/quantum edge semantics" `Quick
+          test_edge_semantics;
+        QCheck_alcotest.to_alcotest prop_random_slices;
+      ] )

@@ -73,6 +73,65 @@ let test_jobs_env () =
         "env-driven map is ordered" (List.init 20 succ)
         (Sweep.map succ (List.init 20 Fun.id)))
 
+(* A raising FIRST job is the earliest-index error by construction; the
+   pool must drain the rest, propagate it, and stay usable — neither a
+   deadlocked worker nor a leaked domain. *)
+let test_raising_first_job () =
+  let pool = Sweep.create ~domains:4 () in
+  (match
+     Sweep.map_pool pool
+       (fun i -> if i = 0 then raise (Boom 0) else i)
+       (List.init 16 Fun.id)
+   with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom i -> check_int "job 0's exception escapes" 0 i);
+  (* the same pool still answers: no worker died holding the queue lock *)
+  Alcotest.(check (list int))
+    "pool usable after the error" [ 0; 2; 4 ]
+    (Sweep.map_pool pool (fun i -> i * 2) [ 0; 1; 2 ]);
+  Sweep.shutdown pool;
+  (* the one-shot wrapper also survives (its private pool is torn down) *)
+  (match
+     Sweep.map ~domains:4
+       (fun i -> if i = 0 then raise (Boom 0) else i)
+       (List.init 8 Fun.id)
+   with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom i -> check_int "one-shot map: job 0's exception" 0 i);
+  Alcotest.(check (list int))
+    "fresh map after a failed one" [ 1; 2; 3 ]
+    (Sweep.map ~domains:4 succ [ 0; 1; 2 ])
+
+(* A raising cost hint fires in the caller before any job is dispatched;
+   no worker can be left waiting on a batch that never starts. *)
+exception Bad_cost
+
+let test_raising_cost_hint () =
+  let pool = Sweep.create ~domains:3 () in
+  (match
+     Sweep.map_pool pool
+       ~cost:(fun i -> if i = 5 then raise Bad_cost else i)
+       (fun i -> i)
+       (List.init 8 Fun.id)
+   with
+  | _ -> Alcotest.fail "expected Bad_cost"
+  | exception Bad_cost -> ());
+  Alcotest.(check (list int))
+    "pool usable after the cost error" [ 10; 11 ]
+    (Sweep.map_pool pool (fun i -> i + 10) [ 0; 1 ]);
+  Sweep.shutdown pool;
+  (match
+     Sweep.map ~domains:3
+       ~cost:(fun i -> if i = 0 then raise Bad_cost else i)
+       (fun i -> i)
+       [ 0; 1; 2 ]
+   with
+  | _ -> Alcotest.fail "expected Bad_cost"
+  | exception Bad_cost -> ());
+  Alcotest.(check (list int))
+    "fresh map after a cost error" [ 0; 1; 2 ]
+    (Sweep.map ~domains:3 Fun.id [ 0; 1; 2 ])
+
 (* -- Cost hints -------------------------------------------------------------- *)
 
 let test_cost_results_identical () =
@@ -174,6 +233,10 @@ let suite =
         test_first_error_by_index;
       Alcotest.test_case "pool survives multiple batches" `Quick
         test_pool_reuse;
+      Alcotest.test_case "raising first job leaves the pool usable" `Quick
+        test_raising_first_job;
+      Alcotest.test_case "raising cost hint leaves the pool usable" `Quick
+        test_raising_cost_hint;
       Alcotest.test_case "UHM_JOBS parsing" `Quick test_jobs_env;
       Alcotest.test_case "cost hint keeps results identical" `Quick
         test_cost_results_identical;
