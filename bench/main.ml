@@ -2,11 +2,21 @@
    evaluation, plus the ablation studies listed in DESIGN.md, and a set of
    Bechamel micro-benchmarks of the substrate.
 
-   Usage: main.exe [-j N] [target ...]
+   Usage: main.exe [-j N] [--journal PATH] [--resume PATH] [target ...]
    Targets: table1 table2 table3 figure1 figure2 figure3 figure4
             model-vs-sim encodings assoc alloc crossover assist blocks
             languages summary datapath levels mix locality micro perf all
    No arguments = everything except micro and perf.
+
+   --journal PATH records every completed cell of the campaign-shaped
+   targets (figure2, summary, mix, faults) to per-target fsync'd JSON-lines
+   journals derived from PATH ("out.jsonl" -> "out.summary.jsonl", ...);
+   --resume PATH serves already-journaled cells instead of recomputing
+   them, so "--journal F --resume F" can be re-run after a mid-run kill
+   until the report completes, byte-identical to an uninterrupted run.
+   A journal from a different configuration is a hard error (exit 2).
+   A cell that keeps failing is retried and then quarantined: its row is
+   marked, the rest of the report completes, and the exit status is 1.
 
    Grid-shaped targets (figure2, model-vs-sim, assoc, alloc, crossover,
    languages, summary, locality) evaluate their points through the
@@ -46,6 +56,43 @@ let section title =
 let jobs : int option ref = ref None
 
 let sweep_map f xs = Sweep.map ?domains:!jobs f xs
+
+module Campaign = Uhm_campaign.Campaign
+
+(* --journal PATH / --resume PATH from the command line; each
+   campaign-shaped target derives its own file from them. *)
+let journal_path : string option ref = ref None
+let resume_path : string option ref = ref None
+
+(* quarantined cells across all targets; a non-empty count fails the run
+   (exit 1) after every report has been printed *)
+let quarantined_cells = ref 0
+
+let campaign_setup ~target ~fingerprint ~cells =
+  let derive =
+    Option.map (fun path ->
+        let base = Filename.remove_extension path in
+        let ext = Filename.extension path in
+        Printf.sprintf "%s.%s%s" base target ext)
+  in
+  let journal = derive !journal_path and resume = derive !resume_path in
+  match
+    Campaign.prepare ?journal ?resume ~campaign:("bench-" ^ target)
+      ~fingerprint ~cells ()
+  with
+  | setup ->
+      if setup.Campaign.resumed > 0 then
+        Printf.eprintf "bench: %s: %d of %d cells served from the journal\n%!"
+          target setup.Campaign.resumed cells;
+      setup
+  | exception Campaign.Mismatch msg ->
+      Printf.eprintf "bench: error: %s\n" msg;
+      exit 2
+
+let note_quarantine ~target (q : Sweep.quarantine) =
+  incr quarantined_cells;
+  Printf.eprintf "bench: %s: cell %d quarantined after %d attempt(s): %s\n%!"
+    target q.Sweep.q_index q.Sweep.q_attempts q.Sweep.q_reason
 
 let compile name = Suite.compile (Suite.find name)
 
@@ -239,19 +286,41 @@ let figure2 () =
              (Experiment.capacity_configs ()))
       ()
   in
-  let grid =
-    Experiment.dtb_grid ?domains:!jobs ~kind:Kind.Huffman
-      ~configs:(Experiment.capacity_configs ())
-      (List.map
-         (fun name -> (name, compile name))
-         [ "fact_iter"; "fib_rec"; "quicksort"; "dispatch"; "flat_straightline" ])
+  let configs = Experiment.capacity_configs () in
+  let programs =
+    [ "fact_iter"; "fib_rec"; "quicksort"; "dispatch"; "flat_straightline" ]
   in
+  let fingerprint =
+    [ "bench figure2"; "programs=" ^ String.concat "," programs;
+      "configs="
+      ^ String.concat ","
+          (List.map
+             (fun (c : Dtb.config) ->
+               Printf.sprintf "%d.%d.%d.%d" c.Dtb.sets c.Dtb.assoc
+                 c.Dtb.unit_words c.Dtb.overflow_blocks)
+             configs) ]
+  in
+  let setup =
+    campaign_setup ~target:"figure2" ~fingerprint
+      ~cells:(List.length programs * List.length configs)
+  in
+  let grid =
+    Experiment.dtb_grid_slots ?domains:!jobs ~cached:setup.Campaign.cached
+      ?cell_hook:setup.Campaign.cell_hook ~kind:Kind.Huffman ~configs
+      (List.map (fun name -> (name, compile name)) programs)
+  in
+  setup.Campaign.close ();
   List.iter
     (fun (name, points) ->
       Table.add_row t
         (name
         :: List.map
-             (fun pt -> Table.cell_pct ~decimals:2 pt.Experiment.dp_hit_ratio)
+             (function
+               | Sweep.Completed pt ->
+                   Table.cell_pct ~decimals:2 pt.Experiment.dp_hit_ratio
+               | Sweep.Quarantined q ->
+                   note_quarantine ~target:"figure2" q;
+                   "(quar)")
              points))
     grid;
   Table.print t;
@@ -761,11 +830,24 @@ let mix () =
           .U.cycles)
       programs
   in
+  let policies = [ Dtb.Flush_on_switch; Dtb.Partitioned; Dtb.Tagged ] in
+  let axes = SX.mix_axes ~policies ~configs:[ Dtb.paper_config ] () in
+  let fingerprint =
+    [ "bench mix";
+      "programs=" ^ String.concat "," (List.map fst programs);
+      "policies=" ^ String.concat "," (List.map Dtb.policy_name policies);
+      "quanta="
+      ^ String.concat "," (List.map string_of_int SX.default_quanta) ]
+  in
+  let setup =
+    campaign_setup ~target:"mix" ~fingerprint ~cells:(List.length axes)
+  in
   let grid =
-    SX.mix_grid ?domains:!jobs ~kind:Kind.Huffman
-      ~policies:[ Dtb.Flush_on_switch; Dtb.Partitioned; Dtb.Tagged ]
+    SX.mix_grid_slots ?domains:!jobs ~cached:setup.Campaign.cached
+      ?cell_hook:setup.Campaign.cell_hook ~kind:Kind.Huffman ~policies
       ~configs:[ Dtb.paper_config ] programs
   in
+  setup.Campaign.close ();
   let t =
     Table.create
       ~columns:
@@ -775,40 +857,77 @@ let mix () =
           ("evictions", Table.Right); ("vs solo", Table.Left) ]
       ()
   in
+  let quantum_label q = if q = Mix.solo_quantum then "inf" else string_of_int q in
   let prev_policy = ref None in
-  List.iter
-    (fun (cell : SX.mix_cell) ->
+  List.iter2
+    (fun (policy, _, quantum, _) slot ->
       (match !prev_policy with
-      | Some p when p <> cell.SX.mc_policy -> Table.add_rule t
+      | Some p when p <> policy -> Table.add_rule t
       | _ -> ());
-      prev_policy := Some cell.SX.mc_policy;
-      let r = cell.SX.mc_result in
-      let at_infinity = cell.SX.mc_quantum = Mix.solo_quantum in
-      let vs_solo =
-        if not at_infinity then ""
-        else if
-          List.for_all2
-            (fun cycles (pr : Mix.program_result) -> pr.Mix.pr_cycles = cycles)
-            solo r.Mix.mr_programs
-        then "= solo (exact)"
-        else "DIVERGENT"
-      in
-      Table.add_row t
-        [ Dtb.policy_name cell.SX.mc_policy;
-          (if at_infinity then "inf" else string_of_int cell.SX.mc_quantum);
-          Table.cell_int r.Mix.mr_total_cycles;
-          Table.cell_int r.Mix.mr_switches;
-          Table.cell_int r.Mix.mr_flushes;
-          Table.cell_pct ~decimals:2 r.Mix.mr_hit_ratio;
-          Table.cell_int r.Mix.mr_evictions; vs_solo ])
-    grid;
+      prev_policy := Some policy;
+      match slot with
+      | Sweep.Quarantined q ->
+          note_quarantine ~target:"mix" q;
+          Table.add_row t
+            [ Dtb.policy_name policy; quantum_label quantum; "(quarantined)";
+              "-"; "-"; "-"; "-"; "" ]
+      | Sweep.Completed (cell : SX.mix_cell) ->
+          let r = cell.SX.mc_result in
+          let at_infinity = cell.SX.mc_quantum = Mix.solo_quantum in
+          let vs_solo =
+            if not at_infinity then ""
+            else if
+              List.for_all2
+                (fun cycles (pr : Mix.program_result) ->
+                  pr.Mix.pr_cycles = cycles)
+                solo r.Mix.mr_programs
+            then "= solo (exact)"
+            else "DIVERGENT"
+          in
+          Table.add_row t
+            [ Dtb.policy_name cell.SX.mc_policy;
+              quantum_label cell.SX.mc_quantum;
+              Table.cell_int r.Mix.mr_total_cycles;
+              Table.cell_int r.Mix.mr_switches;
+              Table.cell_int r.Mix.mr_flushes;
+              Table.cell_pct ~decimals:2 r.Mix.mr_hit_ratio;
+              Table.cell_int r.Mix.mr_evictions; vs_solo ])
+    axes grid;
   Table.print t;
   print_endline
     "At quantum=inf nothing is preempted and each program's cycle count\n\
      equals its single-program golden number under every policy.  At small\n\
      quanta flush pays a full retranslation of the working set per slice;\n\
      tagged keeps every program's entries live across switches; partitioned\n\
-     trades capacity for isolation (see EXPERIMENTS.md for the regimes)."
+     trades capacity for isolation (see EXPERIMENTS.md for the regimes).";
+  print_endline "\nFairness: per-program slowdown vs a solo run (cycles/solo cycles):";
+  let ft =
+    Table.create
+      ~columns:
+        (("policy", Table.Left) :: ("quantum", Table.Right)
+        :: List.map (fun (name, _) -> (name, Table.Right)) programs)
+      ()
+  in
+  List.iter2
+    (fun (policy, _, quantum, _) slot ->
+      match slot with
+      | Sweep.Quarantined _ ->
+          Table.add_row ft
+            (Dtb.policy_name policy :: quantum_label quantum
+            :: List.map (fun _ -> "-") programs)
+      | Sweep.Completed (cell : SX.mix_cell) ->
+          Table.add_row ft
+            (Dtb.policy_name policy :: quantum_label quantum
+            :: List.map
+                 (fun (pr : Mix.program_result) ->
+                   Printf.sprintf "%.3fx" pr.Mix.pr_slowdown)
+                 cell.SX.mc_result.Mix.mr_programs))
+    axes grid;
+  Table.print ft;
+  print_endline
+    "Slowdown is exactly 1.000x for every program at quantum=inf; under\n\
+     flush at small quanta the shortest program suffers most, because each\n\
+     of its slices repays the whole retranslation of its working set."
 
 (* ------------------------------------------------------------------ *)
 (* Whole-suite summary dashboard                                       *)
@@ -827,24 +946,41 @@ let summary () =
           ("F2 meas.", Table.Right) ]
       ()
   in
-  let rows = Experiment.summary_rows ?domains:!jobs () in
+  let names = Experiment.summary_names () in
+  let fingerprint =
+    [ "bench summary"; "programs=" ^ String.concat "," names ]
+  in
+  let setup =
+    campaign_setup ~target:"summary" ~fingerprint ~cells:(List.length names)
+  in
+  let slots =
+    Experiment.summary_rows_slots ?domains:!jobs
+      ~cached:setup.Campaign.cached ?cell_hook:setup.Campaign.cell_hook ()
+  in
+  setup.Campaign.close ();
   let prev_lang = ref None in
-  List.iter
-    (fun (r : Experiment.summary_row) ->
-      (match !prev_lang with
-      | Some lang when lang <> r.Experiment.sr_lang -> Table.add_rule t
-      | _ -> ());
-      prev_lang := Some r.Experiment.sr_lang;
-      Table.add_row t
-        [ r.Experiment.sr_program; r.Experiment.sr_lang;
-          Table.cell_int r.Experiment.sr_dir_steps;
-          Table.cell_float r.Experiment.sr_bits_per_instr;
-          Table.cell_float r.Experiment.sr_t1_ci;
-          Table.cell_float r.Experiment.sr_t3_ci;
-          Table.cell_float r.Experiment.sr_t2_ci;
-          Table.cell_pct ~decimals:1 r.Experiment.sr_dtb_hit_ratio;
-          Table.cell_float r.Experiment.sr_f2_measured ])
-    rows;
+  List.iter2
+    (fun name slot ->
+      match slot with
+      | Sweep.Quarantined q ->
+          note_quarantine ~target:"summary" q;
+          Table.add_row t
+            [ name; "-"; "(quarantined)"; "-"; "-"; "-"; "-"; "-"; "-" ]
+      | Sweep.Completed (r : Experiment.summary_row) ->
+          (match !prev_lang with
+          | Some lang when lang <> r.Experiment.sr_lang -> Table.add_rule t
+          | _ -> ());
+          prev_lang := Some r.Experiment.sr_lang;
+          Table.add_row t
+            [ r.Experiment.sr_program; r.Experiment.sr_lang;
+              Table.cell_int r.Experiment.sr_dir_steps;
+              Table.cell_float r.Experiment.sr_bits_per_instr;
+              Table.cell_float r.Experiment.sr_t1_ci;
+              Table.cell_float r.Experiment.sr_t3_ci;
+              Table.cell_float r.Experiment.sr_t2_ci;
+              Table.cell_pct ~decimals:1 r.Experiment.sr_dtb_hit_ratio;
+              Table.cell_float r.Experiment.sr_f2_measured ])
+    names slots;
   Table.print t;
   print_endline
     "F2 meas. is the measured percentage cost of not having a DTB (paper\n\
@@ -1085,11 +1221,35 @@ let faults () =
       (fun name -> (name, compile name))
       [ "fact_iter"; "gcd"; "flat_straightline" ]
   in
+  let policies = [ Dtb.Flush_on_switch; Dtb.Tagged; Dtb.Partitioned ] in
+  let axes =
+    FE.fault_axes ~quanta:[ 64 ] ~classes:FI.all_classes
+      ~rates:FE.default_rates ~policies ~configs:[ Dtb.paper_config ] ()
+  in
+  let fingerprint =
+    [ "bench faults";
+      "programs=" ^ String.concat "," (List.map fst programs);
+      "classes="
+      ^ String.concat "," (List.map FI.class_name FI.all_classes);
+      "rates="
+      ^ String.concat "," (List.map (Printf.sprintf "%h") FE.default_rates);
+      "policies=" ^ String.concat "," (List.map Dtb.policy_name policies);
+      "quantum=64"; "seed=1" ]
+  in
+  let setup =
+    campaign_setup ~target:"faults" ~fingerprint ~cells:(List.length axes)
+  in
+  let slots =
+    FE.fault_grid_slots ?domains:!jobs ~quanta:[ 64 ]
+      ~cached:setup.Campaign.cached ?cell_hook:setup.Campaign.cell_hook
+      ~kind:Kind.Huffman ~classes:FI.all_classes ~rates:FE.default_rates
+      ~policies ~configs:[ Dtb.paper_config ] programs
+  in
+  setup.Campaign.close ();
   let grid =
-    FE.fault_grid ?domains:!jobs ~quanta:[ 64 ] ~kind:Kind.Huffman
-      ~classes:FI.all_classes ~rates:FE.default_rates
-      ~policies:[ Dtb.Flush_on_switch; Dtb.Tagged; Dtb.Partitioned ]
-      ~configs:[ Dtb.paper_config ] programs
+    List.filter_map
+      (function Sweep.Completed p -> Some p | Sweep.Quarantined _ -> None)
+      slots
   in
   let t =
     Table.create
@@ -1102,27 +1262,35 @@ let faults () =
       ()
   in
   let prev_class = ref None in
-  List.iter
-    (fun (p : FE.point) ->
+  List.iter2
+    (fun (cls, rate, policy, _, _) slot ->
       (match !prev_class with
-      | Some c when c <> p.FE.fp_class -> Table.add_rule t
+      | Some c when c <> cls -> Table.add_rule t
       | _ -> ());
-      prev_class := Some p.FE.fp_class;
-      Table.add_row t
-        [ FI.class_name p.FE.fp_class;
-          Printf.sprintf "%g" p.FE.fp_rate;
-          Dtb.policy_name p.FE.fp_policy;
-          Printf.sprintf "%.4fx" p.FE.fp_overhead;
-          Table.cell_int p.FE.fp_injected;
-          Table.cell_int p.FE.fp_detected;
-          Table.cell_int p.FE.fp_retries;
-          Table.cell_int p.FE.fp_rollbacks;
-          Table.cell_int p.FE.fp_downgrades;
-          (if p.FE.fp_recovered_ok then "yes" else "FAILED") ])
-    grid;
+      prev_class := Some cls;
+      match slot with
+      | Sweep.Quarantined q ->
+          note_quarantine ~target:"faults" q;
+          Table.add_row t
+            [ FI.class_name cls; Printf.sprintf "%g" rate;
+              Dtb.policy_name policy; "-"; "-"; "-"; "-"; "-"; "-";
+              "(quarantined)" ]
+      | Sweep.Completed (p : FE.point) ->
+          Table.add_row t
+            [ FI.class_name p.FE.fp_class;
+              Printf.sprintf "%g" p.FE.fp_rate;
+              Dtb.policy_name p.FE.fp_policy;
+              Printf.sprintf "%.4fx" p.FE.fp_overhead;
+              Table.cell_int p.FE.fp_injected;
+              Table.cell_int p.FE.fp_detected;
+              Table.cell_int p.FE.fp_retries;
+              Table.cell_int p.FE.fp_rollbacks;
+              Table.cell_int p.FE.fp_downgrades;
+              (if p.FE.fp_recovered_ok then "yes" else "FAILED") ])
+    axes slots;
   Table.print t;
   let bad = List.filter (fun (p : FE.point) -> not p.FE.fp_recovered_ok) grid in
-  if bad = [] then
+  if bad = [] && List.length grid = List.length slots then
     Printf.printf
       "\nrecovery invariant holds at all %d campaign points: every faulty\n\
        run converged to the fault-free architectural state.  Rate-0 rows\n\
@@ -1133,7 +1301,8 @@ let faults () =
       (List.length grid)
   else
     Printf.printf "\nRECOVERY FAILED at %d of %d campaign points\n"
-      (List.length bad) (List.length grid)
+      (List.length bad + (List.length slots - List.length grid))
+      (List.length slots)
 
 let targets : (string * (unit -> unit)) list =
   [
@@ -1148,9 +1317,18 @@ let targets : (string * (unit -> unit)) list =
   ]
 
 let () =
-  (* strip -j N / -jN, leaving the target names *)
+  (* strip -j N / -jN / --journal PATH / --resume PATH, leaving targets *)
   let rec parse_args acc = function
     | [] -> List.rev acc
+    | "--journal" :: path :: rest ->
+        journal_path := Some path;
+        parse_args acc rest
+    | "--resume" :: path :: rest ->
+        resume_path := Some path;
+        parse_args acc rest
+    | ("--journal" | "--resume") :: [] ->
+        prerr_endline "bench: --journal/--resume expect a file path";
+        exit 2
     | "-j" :: n :: rest -> (
         match int_of_string_opt n with
         | Some d when d > 0 ->
@@ -1186,4 +1364,10 @@ let () =
           Printf.eprintf "unknown bench target %s; available: %s\n" name
             (String.concat ", " (List.map fst targets));
           exit 1)
-    requested
+    requested;
+  if !quarantined_cells > 0 then begin
+    Printf.eprintf "bench: %d cell(s) quarantined; reports above are \
+                    complete except for the marked rows\n"
+      !quarantined_cells;
+    exit 1
+  end

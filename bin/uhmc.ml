@@ -18,8 +18,53 @@ module Suite = Uhm_workload.Suite
 module Locality = Uhm_workload.Locality
 module Dtb = Uhm_core.Dtb
 module U = Uhm_core.Uhm
+module Sweep = Uhm_core.Sweep
 module Machine = Uhm_machine.Machine
 module Asm = Uhm_machine.Asm
+module Campaign = Uhm_campaign.Campaign
+
+(* -- campaign plumbing shared by mix and faults ------------------------------- *)
+
+let journal_arg =
+  Arg.(value & opt (some string) None
+       & info [ "journal" ] ~docv:"PATH"
+           ~doc:"Record every completed cell to an fsync'd append-only \
+                 JSON-lines journal at $(docv); combined with \
+                 $(b,--resume) the campaign survives a mid-run kill.")
+
+let resume_arg =
+  Arg.(value & opt (some string) None
+       & info [ "resume" ] ~docv:"PATH"
+           ~doc:"Serve already-journaled cells from $(docv) instead of \
+                 recomputing them.  The journal must have been written by \
+                 the same campaign configuration (fingerprint-checked; a \
+                 mismatch is a hard error, exit 2).  A non-existent file \
+                 starts fresh, so $(b,--journal F --resume F) can be \
+                 re-run until the campaign completes.")
+
+let cell_fuel_arg =
+  Arg.(value & opt (some int) None
+       & info [ "cell-fuel" ] ~docv:"N"
+           ~doc:"Deterministic per-cell step budget: each simulated \
+                 machine in a cell gets $(docv) cycles of fuel; a cell \
+                 that exhausts it fails and is quarantined after the \
+                 retry budget, instead of wedging the campaign.")
+
+(* Campaign.prepare with CLI error handling: an unusable resume journal
+   is malformed input (exit 2), like any other bad file we are given. *)
+let prepare_campaign ?journal ?resume ~campaign ~fingerprint ~cells () =
+  match
+    Campaign.prepare ?journal ?resume ~campaign ~fingerprint ~cells ()
+  with
+  | setup ->
+      if setup.Campaign.resumed > 0 then
+        Printf.eprintf "uhmc: resuming: %d of %d cells served from %s\n%!"
+          setup.Campaign.resumed cells
+          (Option.value ~default:"-" resume);
+      setup
+  | exception Campaign.Mismatch msg ->
+      Printf.eprintf "uhmc: error: %s\n" msg;
+      exit 2
 
 (* -- program sources --------------------------------------------------------- *)
 
@@ -446,6 +491,7 @@ let mix_cmd =
   let module Mix = Uhm_sched.Mix in
   let module Scheduler = Uhm_sched.Scheduler in
   let module Trace = Uhm_sched.Trace in
+  let module SX = Uhm_sched.Experiment in
   let programs_arg =
     Arg.(value & opt_all string []
          & info [ "p"; "program" ] ~docv:"NAME"
@@ -502,8 +548,22 @@ let mix_cmd =
     Arg.(value & opt int Dtb.paper_config.Dtb.assoc
          & info [ "assoc" ] ~docv:"N" ~doc:"DTB ways per set.")
   in
+  let jobs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Domain count for the sweep pool (default: $(b,UHM_JOBS) \
+                   or the recommended domain count).")
+  in
+  let poison_arg =
+    Arg.(value & opt_all int []
+         & info [ "poison-cell" ] ~docv:"IDX"
+             ~doc:"Testing aid for the quarantine path: make the cell at \
+                   index $(docv) (policy order) fail on every attempt, so \
+                   it ends up quarantined (exit 1) while the other cells \
+                   complete.")
+  in
   let action programs policies quantum scheduler kind fuse trace_path sets
-      assoc =
+      assoc jobs journal resume cell_fuel poison =
     if programs = [] then begin
       prerr_endline "uhmc mix: at least one -p NAME is required";
       exit 2
@@ -522,83 +582,125 @@ let mix_cmd =
           (name, load_dir ~file:None ~program:(Some name) ~fortran:false ~fuse))
         programs
     in
+    (* one cell per policy: mix_axes with singleton scheduler/quantum/config
+       axes keeps the cell order identical to the policy list *)
+    let axes =
+      SX.mix_axes ~schedulers:[ scheduler ] ~quanta:[ quantum ] ~policies
+        ~configs:[ config ] ()
+    in
+    let fingerprint =
+      [ "uhmc mix";
+        "programs=" ^ String.concat "," programs;
+        "policies=" ^ String.concat "," (List.map Dtb.policy_name policies);
+        "quantum=" ^ string_of_int quantum;
+        "scheduler=" ^ Scheduler.policy_name scheduler;
+        "kind=" ^ Kind.name kind;
+        "fuse=" ^ string_of_bool fuse;
+        "sets=" ^ string_of_int sets;
+        "assoc=" ^ string_of_int assoc;
+        "cell_fuel="
+        ^ (match cell_fuel with None -> "none" | Some f -> string_of_int f) ]
+    in
+    let setup =
+      prepare_campaign ?journal ?resume ~campaign:"uhmc-mix" ~fingerprint
+        ~cells:(List.length axes) ()
+    in
+    let slots =
+      SX.mix_grid_slots ?domains:jobs ~schedulers:[ scheduler ]
+        ~quanta:[ quantum ] ~cached:setup.Campaign.cached
+        ?cell_hook:setup.Campaign.cell_hook ?cell_fuel ~poison ~kind
+        ~policies ~configs:[ config ] named
+    in
+    setup.Campaign.close ();
     let t =
       Table.create
         ~columns:
           [ ("policy", Table.Left); ("program", Table.Left);
             ("dir instrs", Table.Right); ("cycles", Table.Right);
-            ("slices", Table.Right); ("hit ratio", Table.Right);
-            ("misses", Table.Right); ("evictions", Table.Right) ]
+            ("slowdown", Table.Right); ("slices", Table.Right);
+            ("hit ratio", Table.Right); ("misses", Table.Right);
+            ("evictions", Table.Right) ]
         ()
     in
-    List.iter
-      (fun policy ->
-        let r =
-          Mix.run ~scheduler ~policy ~quantum ~config ~kind named
-        in
-        List.iter
-          (fun (pr : Mix.program_result) ->
-            (match pr.Mix.pr_status with
-            | Machine.Halted -> ()
-            | Machine.Trapped m ->
-                Printf.eprintf "%s under %s trapped: %s\n" pr.Mix.pr_name
-                  (Dtb.policy_name policy) m;
-                exit 1
-            | Machine.Out_of_fuel ->
-                Printf.eprintf "%s under %s ran out of fuel\n" pr.Mix.pr_name
-                  (Dtb.policy_name policy);
-                exit 1
-            | Machine.Running -> assert false);
+    let quarantined = ref [] in
+    List.iteri
+      (fun i slot ->
+        let policy, _, _, _ = List.nth axes i in
+        match slot with
+        | Sweep.Quarantined q ->
+            quarantined := (policy, q) :: !quarantined;
             Table.add_row t
-              [ Dtb.policy_name policy; pr.Mix.pr_name;
-                Table.cell_int pr.Mix.pr_dir_steps;
-                Table.cell_int pr.Mix.pr_cycles;
-                Table.cell_int pr.Mix.pr_slices;
-                Printf.sprintf "%.4f" pr.Mix.pr_hit_ratio;
-                Table.cell_int pr.Mix.pr_dtb_misses;
-                Table.cell_int pr.Mix.pr_dtb_evictions ])
-          r.Mix.mr_programs;
-        Table.add_row t
-          [ Dtb.policy_name policy; "(total)"; "";
-            Table.cell_int r.Mix.mr_total_cycles;
-            Printf.sprintf "%d sw/%d fl" r.Mix.mr_switches r.Mix.mr_flushes;
-            Printf.sprintf "%.4f" r.Mix.mr_hit_ratio; "";
-            Table.cell_int r.Mix.mr_evictions ];
-        match trace_path with
-        | None -> ()
-        | Some path ->
-            let path =
-              if List.length policies = 1 then path
-              else
-                let base = Filename.remove_extension path in
-                let ext = Filename.extension path in
-                Printf.sprintf "%s.%s%s" base (Dtb.policy_name policy) ext
-            in
-            let names asid =
-              match List.nth_opt r.Mix.mr_programs asid with
-              | Some pr -> pr.Mix.pr_name
-              | None -> Printf.sprintf "asid%d" asid
-            in
-            let oc = open_out path in
-            output_string oc
-              (Trace.to_chrome ~names ~end_cycle:r.Mix.mr_total_cycles
-                 r.Mix.mr_trace);
-            close_out oc;
-            Printf.printf "wrote %s (%d events, %d dropped)\n" path
-              (min (Trace.recorded r.Mix.mr_trace)
-                 (Trace.capacity r.Mix.mr_trace))
-              (Trace.dropped r.Mix.mr_trace))
-      policies;
-    Table.print t
+              [ Dtb.policy_name policy; "(quarantined)"; "-"; "-"; "-"; "-";
+                "-"; "-"; "-" ]
+        | Sweep.Completed cell ->
+            let r = cell.SX.mc_result in
+            List.iter
+              (fun (pr : Mix.program_result) ->
+                Table.add_row t
+                  [ Dtb.policy_name policy; pr.Mix.pr_name;
+                    Table.cell_int pr.Mix.pr_dir_steps;
+                    Table.cell_int pr.Mix.pr_cycles;
+                    Printf.sprintf "%.3fx" pr.Mix.pr_slowdown;
+                    Table.cell_int pr.Mix.pr_slices;
+                    Printf.sprintf "%.4f" pr.Mix.pr_hit_ratio;
+                    Table.cell_int pr.Mix.pr_dtb_misses;
+                    Table.cell_int pr.Mix.pr_dtb_evictions ])
+              r.Mix.mr_programs;
+            Table.add_row t
+              [ Dtb.policy_name policy; "(total)"; "";
+                Table.cell_int r.Mix.mr_total_cycles; "";
+                Printf.sprintf "%d sw/%d fl" r.Mix.mr_switches
+                  r.Mix.mr_flushes;
+                Printf.sprintf "%.4f" r.Mix.mr_hit_ratio; "";
+                Table.cell_int r.Mix.mr_evictions ];
+            (match trace_path with
+            | None -> ()
+            | Some path ->
+                let path =
+                  if List.length policies = 1 then path
+                  else
+                    let base = Filename.remove_extension path in
+                    let ext = Filename.extension path in
+                    Printf.sprintf "%s.%s%s" base (Dtb.policy_name policy) ext
+                in
+                let names asid =
+                  match List.nth_opt r.Mix.mr_programs asid with
+                  | Some pr -> pr.Mix.pr_name
+                  | None -> Printf.sprintf "asid%d" asid
+                in
+                let oc = open_out path in
+                output_string oc
+                  (Trace.to_chrome ~names ~end_cycle:r.Mix.mr_total_cycles
+                     r.Mix.mr_trace);
+                close_out oc;
+                Printf.printf "wrote %s (%d events, %d dropped)\n" path
+                  (min (Trace.recorded r.Mix.mr_trace)
+                     (Trace.capacity r.Mix.mr_trace))
+                  (Trace.dropped r.Mix.mr_trace)))
+      slots;
+    Table.print t;
+    match List.rev !quarantined with
+    | [] -> ()
+    | qs ->
+        List.iter
+          (fun (policy, (q : Sweep.quarantine)) ->
+            Printf.eprintf
+              "uhmc: cell %d (%s) quarantined after %d attempt(s): %s\n"
+              q.Sweep.q_index (Dtb.policy_name policy) q.Sweep.q_attempts
+              q.Sweep.q_reason)
+          qs;
+        exit 1
   in
   Cmd.v
     (Cmd.info "mix"
        ~doc:"Time-slice several programs over one shared DTB and report \
-             per-program cycles and hit ratios under each ownership policy.")
+             per-program cycles, slowdown vs a solo run, and hit ratios \
+             under each ownership policy.")
     Term.(
       const action $ programs_arg $ policies_arg $ quantum_arg
       $ scheduler_arg $ kind_arg $ fuse_arg $ trace_arg $ sets_arg
-      $ assoc_arg)
+      $ assoc_arg $ jobs_arg $ journal_arg $ resume_arg $ cell_fuel_arg
+      $ poison_arg)
 
 (* -- faults ------------------------------------------------------------------- *)
 
@@ -679,7 +781,16 @@ let faults_cmd =
          & info [ "csv" ] ~docv:"PATH"
              ~doc:"Also write the campaign points as CSV to $(docv).")
   in
-  let action programs classes rates policies quantum seed jobs json csv =
+  let cell_fuel_faults_arg =
+    Arg.(value & opt (some int) None
+         & info [ "cell-fuel" ] ~docv:"N"
+             ~doc:"Deterministic per-cell step budget: each simulated \
+                   machine in a cell gets $(docv) cycles of fuel; a cell \
+                   that exhausts it fails and is quarantined after the \
+                   retry budget, instead of wedging the campaign.")
+  in
+  let action programs classes rates policies quantum seed jobs json csv
+      journal resume cell_fuel =
     let classes = if classes = [] then Injector.all_classes else classes in
     let rates = if rates = [] then FExp.default_rates else rates in
     let policies =
@@ -693,10 +804,45 @@ let faults_cmd =
                    ~fuse:false))
         programs
     in
-    let points =
-      FExp.fault_grid ?domains:jobs ~quanta:[ quantum ] ~seed
-        ~kind:Kind.Huffman ~classes ~rates ~policies
+    let axes =
+      FExp.fault_axes ~quanta:[ quantum ] ~classes ~rates ~policies
+        ~configs:[ Dtb.paper_config ] ()
+    in
+    let fingerprint =
+      [ "uhmc faults";
+        "programs=" ^ String.concat "," programs;
+        "classes=" ^ String.concat "," (List.map Injector.class_name classes);
+        "rates="
+        ^ String.concat "," (List.map (Printf.sprintf "%h") rates);
+        "policies=" ^ String.concat "," (List.map Dtb.policy_name policies);
+        "quantum=" ^ string_of_int quantum;
+        "seed=" ^ string_of_int seed;
+        "cell_fuel="
+        ^ (match cell_fuel with None -> "none" | Some f -> string_of_int f) ]
+    in
+    let setup =
+      prepare_campaign ?journal ?resume ~campaign:"uhmc-faults" ~fingerprint
+        ~cells:(List.length axes) ()
+    in
+    let slots =
+      FExp.fault_grid_slots ?domains:jobs ~quanta:[ quantum ] ~seed
+        ~cached:setup.Campaign.cached ?cell_hook:setup.Campaign.cell_hook
+        ?cell_fuel ~kind:Kind.Huffman ~classes ~rates ~policies
         ~configs:[ Dtb.paper_config ] named
+    in
+    setup.Campaign.close ();
+    let points =
+      List.filter_map
+        (function Sweep.Completed p -> Some p | Sweep.Quarantined _ -> None)
+        slots
+    in
+    let quarantined =
+      List.concat
+        (List.map2
+           (fun (cls, rate, policy, _, _) -> function
+             | Sweep.Completed _ -> []
+             | Sweep.Quarantined q -> [ (cls, rate, policy, q) ])
+           axes slots)
     in
     let t =
       Table.create
@@ -720,7 +866,15 @@ let faults_cmd =
         Table.cell_int p.FExp.fp_rollbacks;
         Table.cell_int p.FExp.fp_downgrades ]
     in
-    List.iter (fun p -> Table.add_row t (row p)) points;
+    List.iter2
+      (fun (cls, rate, policy, _, _) -> function
+        | Sweep.Completed p -> Table.add_row t (row p)
+        | Sweep.Quarantined _ ->
+            Table.add_row t
+              [ Injector.class_name cls; Printf.sprintf "%g" rate;
+                Dtb.policy_name policy; "(quarantined)"; "-"; "-"; "-"; "-";
+                "-"; "-" ])
+      axes slots;
     Table.print t;
     (match csv with
     | None -> ()
@@ -778,22 +932,31 @@ let faults_cmd =
           ("[\n" ^ String.concat ",\n" (List.map point_json points) ^ "\n]\n");
         close_out oc;
         Printf.printf "wrote %s (%d points)\n" path (List.length points));
-    match List.filter (fun (p : FExp.point) -> not p.FExp.fp_recovered_ok) points with
-    | [] ->
-        Printf.printf
-          "recovery invariant holds at all %d campaign points\n"
-          (List.length points)
-    | bad ->
-        List.iter
-          (fun (p : FExp.point) ->
-            Printf.eprintf
-              "uhmc: recovery FAILED: class=%s rate=%g policy=%s seed=%d\n"
-              (Injector.class_name p.FExp.fp_class)
-              p.FExp.fp_rate
-              (Dtb.policy_name p.FExp.fp_policy)
-              p.FExp.fp_seed)
-          bad;
-        exit 1
+    List.iter
+      (fun (cls, rate, policy, (q : Sweep.quarantine)) ->
+        Printf.eprintf
+          "uhmc: cell %d (class=%s rate=%g policy=%s) quarantined after %d \
+           attempt(s): %s\n"
+          q.Sweep.q_index (Injector.class_name cls) rate
+          (Dtb.policy_name policy) q.Sweep.q_attempts q.Sweep.q_reason)
+      quarantined;
+    let bad =
+      List.filter (fun (p : FExp.point) -> not p.FExp.fp_recovered_ok) points
+    in
+    List.iter
+      (fun (p : FExp.point) ->
+        Printf.eprintf
+          "uhmc: recovery FAILED: class=%s rate=%g policy=%s seed=%d\n"
+          (Injector.class_name p.FExp.fp_class)
+          p.FExp.fp_rate
+          (Dtb.policy_name p.FExp.fp_policy)
+          p.FExp.fp_seed)
+      bad;
+    if bad = [] && quarantined = [] then
+      Printf.printf
+        "recovery invariant holds at all %d campaign points\n"
+        (List.length points)
+    else exit 1
   in
   Cmd.v
     (Cmd.info "faults"
@@ -803,7 +966,8 @@ let faults_cmd =
              at every point and reporting the cycle overhead.")
     Term.(
       const action $ programs_arg $ classes_arg $ rates_arg $ policies_arg
-      $ quantum_arg $ seed_arg $ jobs_arg $ json_arg $ csv_arg)
+      $ quantum_arg $ seed_arg $ jobs_arg $ json_arg $ csv_arg
+      $ journal_arg $ resume_arg $ cell_fuel_faults_arg)
 
 (* -- suite -------------------------------------------------------------------- *)
 

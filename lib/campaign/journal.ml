@@ -1,0 +1,275 @@
+(* Append-only JSON-lines campaign journal; see journal.mli.
+
+   One line per durable fact: a header describing the campaign (so a
+   resume can refuse a journal written for a different grid), then one
+   record per completed cell.  Every append is flushed and fsync'd before
+   the cell counts as complete, so after a SIGKILL the file is a valid
+   prefix of the campaign plus at most one torn final line — which the
+   loader drops (that cell is simply recomputed on resume). *)
+
+module Perf = Uhm_core.Perf
+
+type header = { campaign : string; fingerprint : string; cells : int }
+
+type outcome =
+  | Ok_cell of string          (* marshalled result payload, raw bytes *)
+  | Quarantined_cell of string (* quarantine reason *)
+
+type record = { cell : int; attempts : int; outcome : outcome }
+
+let fingerprint parts =
+  Digest.to_hex (Digest.string (String.concat "\x1f" parts))
+
+(* -- Encoding ---------------------------------------------------------------- *)
+
+let hex_encode s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let hex_decode s =
+  let n = String.length s in
+  if n mod 2 <> 0 then invalid_arg "Journal.hex_decode: odd length";
+  let digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg "Journal.hex_decode: not a hex digit"
+  in
+  String.init (n / 2) (fun i ->
+      Char.chr ((digit s.[2 * i] lsl 4) lor digit s.[(2 * i) + 1]))
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let header_line h =
+  Printf.sprintf
+    "{\"uhm_journal\":1,\"campaign\":\"%s\",\"fingerprint\":\"%s\",\"cells\":%d}"
+    (json_escape h.campaign) (json_escape h.fingerprint) h.cells
+
+let record_line r =
+  match r.outcome with
+  | Ok_cell payload ->
+      Printf.sprintf
+        "{\"cell\":%d,\"attempts\":%d,\"status\":\"ok\",\"digest\":\"%s\",\"payload\":\"%s\"}"
+        r.cell r.attempts
+        (Digest.to_hex (Digest.string payload))
+        (hex_encode payload)
+  | Quarantined_cell reason ->
+      Printf.sprintf
+        "{\"cell\":%d,\"attempts\":%d,\"status\":\"quarantined\",\"reason\":\"%s\"}"
+        r.cell r.attempts (json_escape reason)
+
+(* -- Decoding ---------------------------------------------------------------- *)
+
+exception Bad_line of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Bad_line s)) fmt
+
+let obj_of_line line =
+  match Perf.parse_json line with
+  | Perf.J_obj fields -> fields
+  | _ -> fail "journal line is not a JSON object"
+  | exception Perf.Json_error msg -> fail "bad JSON: %s" msg
+
+let str_field fields k =
+  match List.assoc_opt k fields with
+  | Some (Perf.J_str s) -> s
+  | _ -> fail "missing or non-string field %S" k
+
+let int_field fields k =
+  match List.assoc_opt k fields with
+  | Some (Perf.J_num f) when Float.is_integer f -> int_of_float f
+  | _ -> fail "missing or non-integer field %S" k
+
+let header_of_line line =
+  let fields = obj_of_line line in
+  (match List.assoc_opt "uhm_journal" fields with
+  | Some (Perf.J_num 1.) -> ()
+  | _ -> fail "not a uhm_journal v1 header");
+  {
+    campaign = str_field fields "campaign";
+    fingerprint = str_field fields "fingerprint";
+    cells = int_field fields "cells";
+  }
+
+let record_of_line line =
+  let fields = obj_of_line line in
+  let cell = int_field fields "cell" in
+  let attempts = int_field fields "attempts" in
+  match str_field fields "status" with
+  | "ok" ->
+      let payload = hex_decode (str_field fields "payload") in
+      let digest = str_field fields "digest" in
+      if Digest.to_hex (Digest.string payload) <> digest then
+        fail "cell %d: payload digest mismatch (corrupt record)" cell;
+      { cell; attempts; outcome = Ok_cell payload }
+  | "quarantined" ->
+      { cell; attempts; outcome = Quarantined_cell (str_field fields "reason") }
+  | s -> fail "cell %d: unknown status %S" cell s
+
+type loaded = {
+  l_header : header;
+  l_records : record list; (* file order; duplicates possible, last wins *)
+  l_valid_bytes : int;     (* length of the durable prefix *)
+  l_torn : bool;           (* a partial final line was dropped *)
+}
+
+(* Split [content] into (line, end_offset_incl_newline, complete) items.
+   The final item is incomplete when the file does not end in '\n'. *)
+let lines_with_offsets content =
+  let n = String.length content in
+  let out = ref [] in
+  let start = ref 0 in
+  for i = 0 to n - 1 do
+    if content.[i] = '\n' then begin
+      out := (String.sub content !start (i - !start), i + 1, true) :: !out;
+      start := i + 1
+    end
+  done;
+  if !start < n then
+    out := (String.sub content !start (n - !start), n, false) :: !out;
+  List.rev !out
+
+type load_error =
+  | No_header of string (* empty or torn before the header became durable *)
+  | Corrupt of string   (* a durable journal that cannot be trusted *)
+
+let load_error_message = function No_header m | Corrupt m -> m
+
+let load ~path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg ->
+      Error (Corrupt (Printf.sprintf "cannot read journal: %s" msg))
+  | content -> (
+      let items = lines_with_offsets content in
+      match items with
+      | [] -> Error (No_header "journal is empty (no complete header)")
+      | (first, first_end, first_complete) :: rest -> (
+          match header_of_line first with
+          | exception Bad_line msg ->
+              if (not first_complete) && rest = [] then
+                Error
+                  (No_header "journal has no complete header (torn at creation?)")
+              else Error (Corrupt (Printf.sprintf "bad journal header: %s" msg))
+          | header ->
+              let rec go acc valid torn = function
+                | [] -> Ok (List.rev acc, valid, torn)
+                | (line, line_end, complete) :: tail -> (
+                    match record_of_line line with
+                    | r ->
+                        if complete then go (r :: acc) line_end torn tail
+                        else
+                          (* a record that parses and digest-checks but
+                             lacks its newline: the final write was cut
+                             exactly after the JSON — keep it, it is
+                             internally consistent *)
+                          Ok (List.rev (r :: acc), line_end, torn)
+                    | exception Bad_line msg ->
+                        if (not complete) && tail = [] then
+                          (* torn final line: drop it, the cell will be
+                             recomputed on resume *)
+                          Ok (List.rev acc, valid, true)
+                        else
+                          Error
+                            (Corrupt
+                               (Printf.sprintf "corrupt journal record: %s"
+                                  msg)))
+              in
+              (match go [] first_end false rest with
+              | Error _ as e -> e
+              | Ok (records, valid, torn) ->
+                  (* refuse records outside the declared grid *)
+                  (match
+                     List.find_opt
+                       (fun r -> r.cell < 0 || r.cell >= header.cells)
+                       records
+                   with
+                  | Some r ->
+                      Error
+                        (Corrupt
+                           (Printf.sprintf
+                              "journal record for cell %d outside grid of %d \
+                               cells"
+                              r.cell header.cells))
+                  | None ->
+                      Ok
+                        {
+                          l_header = header;
+                          l_records = records;
+                          l_valid_bytes = valid;
+                          l_torn = torn;
+                        }))))
+
+(* -- Writer ------------------------------------------------------------------ *)
+
+type writer = {
+  w_oc : out_channel;
+  w_fd : Unix.file_descr;
+  w_mutex : Mutex.t;
+  mutable w_closed : bool;
+}
+
+let sync w =
+  flush w.w_oc;
+  Unix.fsync w.w_fd
+
+let writer_of_oc oc =
+  { w_oc = oc; w_fd = Unix.descr_of_out_channel oc; w_mutex = Mutex.create ();
+    w_closed = false }
+
+let create ~path header =
+  let oc = open_out_bin path in
+  let w = writer_of_oc oc in
+  output_string w.w_oc (header_line header);
+  output_char w.w_oc '\n';
+  sync w;
+  w
+
+let reopen ~path ~valid_bytes =
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Unix.ftruncate fd valid_bytes;
+  ignore (Unix.lseek fd valid_bytes Unix.SEEK_SET);
+  let oc = Unix.out_channel_of_descr fd in
+  writer_of_oc oc
+
+let append w r =
+  Mutex.lock w.w_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock w.w_mutex)
+    (fun () ->
+      if w.w_closed then invalid_arg "Journal.append: writer is closed";
+      output_string w.w_oc (record_line r);
+      output_char w.w_oc '\n';
+      (* durable before the sweep may count the cell complete *)
+      sync w)
+
+let close w =
+  Mutex.lock w.w_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock w.w_mutex)
+    (fun () ->
+      if not w.w_closed then begin
+        w.w_closed <- true;
+        (try sync w with Sys_error _ -> ());
+        close_out_noerr w.w_oc
+      end)

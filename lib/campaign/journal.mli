@@ -1,0 +1,87 @@
+(** The campaign journal: an append-only JSON-lines record of a grid
+    campaign's progress, durable across SIGKILL.
+
+    Layout: line 1 is a header
+    [{"uhm_journal":1,"campaign":...,"fingerprint":...,"cells":N}]
+    identifying the exact grid (so a resume can refuse a journal written
+    for different axes); every following line is one cell record, either
+
+    [{"cell":i,"attempts":k,"status":"ok","digest":D,"payload":H}]
+
+    with [H] the hex-encoded [Marshal] payload of the cell's result and
+    [D] its MD5 (verified on load), or
+
+    [{"cell":i,"attempts":k,"status":"quarantined","reason":R}].
+
+    Appends are flushed and [fsync]'d one line at a time, so after a
+    crash the file is a valid prefix plus at most one torn final line;
+    {!load} drops the torn tail (that cell is recomputed on resume) and
+    hard-errors on any {e interior} corruption.
+
+    The journal is deliberately free of timestamps and host identity:
+    re-running the same campaign writes byte-identical headers, and the
+    payload bytes are exactly what the grid returned, so resume can
+    reproduce a byte-identical report.
+
+    Payloads are read back with [Marshal.from_string]; a journal is only
+    meaningful to the binary (version) that wrote it.  The fingerprint
+    should therefore include anything the payload layout depends on. *)
+
+type header = {
+  campaign : string;      (** campaign family, e.g. ["uhmc-mix"] *)
+  fingerprint : string;   (** {!fingerprint} over the grid axes *)
+  cells : int;            (** total cells in the grid *)
+}
+
+type outcome =
+  | Ok_cell of string          (** marshalled result payload, raw bytes *)
+  | Quarantined_cell of string (** quarantine reason *)
+
+type record = { cell : int; attempts : int; outcome : outcome }
+
+val fingerprint : string list -> string
+(** Hex digest over the given axis descriptions (order-sensitive). *)
+
+type writer
+(** An open journal; appends are serialised by an internal mutex, so the
+    sweep's cell hooks may call {!append} from any domain. *)
+
+val create : path:string -> header -> writer
+(** Truncate/create [path], write the header line, fsync. *)
+
+val reopen : path:string -> valid_bytes:int -> writer
+(** Reopen an existing journal for in-place resume: truncate to the
+    durable prefix reported by {!load} (discarding any torn tail) and
+    position for appending.  The header is already in the prefix. *)
+
+val append : writer -> record -> unit
+(** Append one record line, flush, fsync.  Thread-safe. *)
+
+val close : writer -> unit
+(** Final fsync and close.  Idempotent. *)
+
+type loaded = {
+  l_header : header;
+  l_records : record list;
+      (** in file order; a cell may appear more than once (a resumed run
+          re-records cells it recomputed) — last record wins *)
+  l_valid_bytes : int;  (** length of the durable prefix *)
+  l_torn : bool;        (** a partial final line was dropped *)
+}
+
+type load_error =
+  | No_header of string
+      (** the file is empty or its first line is torn: the crash happened
+          before the header became durable, so nothing was recorded — a
+          resume may safely start fresh *)
+  | Corrupt of string
+      (** a durable journal that cannot be trusted: malformed header,
+          interior corruption, digest mismatch, or a record outside the
+          declared grid — a resume must refuse it *)
+
+val load_error_message : load_error -> string
+
+val load : path:string -> (loaded, load_error) result
+(** Read and validate a journal.  [Error] on: unreadable file, missing or
+    malformed header, any corrupt record other than a torn final line, or
+    a record whose cell index falls outside the header's grid. *)

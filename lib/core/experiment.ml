@@ -169,31 +169,25 @@ let dtb_sweep ?domains ~kind ~configs p =
   let encoded = Codec.encode kind p in
   Sweep.map ?domains (dtb_point_of_config encoded) configs
 
-let dtb_grid ?domains ~kind ~configs names_and_programs =
-  (* the full (program x config) grid as one flat job list, so a parallel
-     sweep balances across both axes; regrouped per program afterwards.
-     The encode stage also computes each program's dir_steps (served by
-     the memo from then on), which the point sweep passes to the pool as
-     its cost hint: replay time is proportional to trace length, so
-     long-program points start first and the grid doesn't end on a lone
-     slow worker. *)
-  let encodeds =
-    Sweep.map ?domains
-      (fun (name, p) -> (name, Codec.encode kind p, Uhm.dir_steps_memoized p))
-      names_and_programs
-  in
-  let jobs =
-    List.concat_map
-      (fun (_, encoded, steps) ->
-        List.map (fun c -> (encoded, steps, c)) configs)
-      encodeds
-  in
-  let points =
-    Sweep.map ?domains
-      ~cost:(fun (_, steps, _) -> steps)
-      (fun (encoded, _, c) -> dtb_point_of_config encoded c)
-      jobs
-  in
+(* the full (program x config) grid as one flat job list, so a parallel
+   sweep balances across both axes; regrouped per program afterwards.
+   The encode stage also computes each program's dir_steps (served by
+   the memo from then on), which the point sweep passes to the pool as
+   its cost hint: replay time is proportional to trace length, so
+   long-program points start first and the grid doesn't end on a lone
+   slow worker. *)
+let dtb_grid_encodeds ?domains ~kind names_and_programs =
+  Sweep.map ?domains
+    (fun (name, p) -> (name, Codec.encode kind p, Uhm.dir_steps_memoized p))
+    names_and_programs
+
+let dtb_grid_jobs ~configs encodeds =
+  List.concat_map
+    (fun (_, encoded, steps) ->
+      List.map (fun c -> (encoded, steps, c)) configs)
+    encodeds
+
+let dtb_regroup ~configs encodeds points =
   let per_program = List.length configs in
   List.mapi
     (fun i (name, _, _) ->
@@ -202,6 +196,29 @@ let dtb_grid ?domains ~kind ~configs names_and_programs =
           (fun j _ -> j / per_program = i)
           points ))
     encodeds
+
+let dtb_grid ?domains ~kind ~configs names_and_programs =
+  let encodeds = dtb_grid_encodeds ?domains ~kind names_and_programs in
+  let points =
+    Sweep.map ?domains
+      ~cost:(fun (_, steps, _) -> steps)
+      (fun (encoded, _, c) -> dtb_point_of_config encoded c)
+      (dtb_grid_jobs ~configs encodeds)
+  in
+  dtb_regroup ~configs encodeds points
+
+let dtb_grid_slots ?domains ?supervision ?cached ?cell_hook ~kind ~configs
+    names_and_programs =
+  (* cell index = flat (program-major, config-minor) grid index, matching
+     the journal layout *)
+  let encodeds = dtb_grid_encodeds ?domains ~kind names_and_programs in
+  let points =
+    Sweep.map_supervised ?supervision ?cached ?cell_hook ?domains
+      ~cost:(fun (_, steps, _) -> steps)
+      (fun (encoded, _, c) -> dtb_point_of_config encoded c)
+      (dtb_grid_jobs ~configs encodeds)
+  in
+  dtb_regroup ~configs encodeds points
 
 (* -- Whole-suite summary (the `summary` dashboard and the timed sweep) ------ *)
 
@@ -231,12 +248,17 @@ let summary_jobs () =
           fun () -> Uhm_ftn.Suite.compile ~fuse:false e ))
       Uhm_ftn.Suite.all
 
-let summary_row_of (name, lang, compile) =
+let summary_row_of ?fuel (name, lang, compile) =
   let p = compile () in
   let e = Codec.encode Kind.Digram p in
-  let t1 = Uhm.run_encoded ~strategy:Uhm.Interp e in
-  let t3 = Uhm.run_encoded ~strategy:(Uhm.Cached 4096) e in
-  let t2 = Uhm.run_encoded ~strategy:(Uhm.Dtb_strategy Dtb.paper_config) e in
+  let run what strategy =
+    expect_halted
+      (Printf.sprintf "%s/%s" name what)
+      (Uhm.run_encoded ?fuel ~strategy e)
+  in
+  let t1 = run "interp" Uhm.Interp in
+  let t3 = run "cached" (Uhm.Cached 4096) in
+  let t2 = run "dtb" (Uhm.Dtb_strategy Dtb.paper_config) in
   let ci = Uhm.cycles_per_dir_instruction in
   {
     sr_program = name;
@@ -250,14 +272,25 @@ let summary_row_of (name, lang, compile) =
     sr_f2_measured = (ci t1 -. ci t2) /. ci t2 *. 100.;
   }
 
-let summary_rows ?domains ?names () =
+let summary_filtered_jobs ?names () =
   let jobs = summary_jobs () in
-  let jobs =
-    match names with
-    | None -> jobs
-    | Some names -> List.filter (fun (n, _, _) -> List.mem n names) jobs
-  in
-  Sweep.map ?domains summary_row_of jobs
+  match names with
+  | None -> jobs
+  | Some names -> List.filter (fun (n, _, _) -> List.mem n names) jobs
+
+let summary_names ?names () =
+  List.map (fun (n, _, _) -> n) (summary_filtered_jobs ?names ())
+
+let summary_rows ?domains ?names () =
+  Sweep.map ?domains
+    (fun j -> summary_row_of j)
+    (summary_filtered_jobs ?names ())
+
+let summary_rows_slots ?domains ?names ?supervision ?cached ?cell_hook
+    ?cell_fuel () =
+  Sweep.map_supervised ?supervision ?cached ?cell_hook ?domains
+    (summary_row_of ?fuel:cell_fuel)
+    (summary_filtered_jobs ?names ())
 
 let capacity_configs () =
   (* one overflow block per entry: enough for the longest translation at

@@ -78,6 +78,21 @@ val dtb_grid : ?domains:int -> kind:Kind.t -> configs:Dtb.config list
     per program in submission order — the engine behind Figure 2 and the
     X2/X3 ablations. *)
 
+val dtb_grid_slots :
+  ?domains:int ->
+  ?supervision:Sweep.supervision ->
+  ?cached:(int -> dtb_point option) ->
+  ?cell_hook:(index:int -> attempts:int -> dtb_point Sweep.slot -> unit) ->
+  kind:Kind.t -> configs:Dtb.config list ->
+  (string * Program.t) list -> (string * dtb_point Sweep.slot list) list
+(** {!dtb_grid} under campaign supervision ({!Sweep.map_pool_supervised}):
+    a failing point is retried and then quarantined instead of aborting
+    the grid, and [cached]/[cell_hook] plug in a {!Uhm_campaign} journal.
+    Cell indices are the flat program-major, configuration-minor grid
+    index.  The encode pre-pass stays unsupervised (it is the grid's
+    input, not a cell).  Completed slots are byte-identical to the
+    corresponding {!dtb_grid} points. *)
+
 (** One row of the whole-suite summary dashboard: a program run under the
     paper's three machines at the digram encoding. *)
 type summary_row = {
@@ -92,13 +107,35 @@ type summary_row = {
   sr_f2_measured : float;       (** (T1-T2)/T2, percent *)
 }
 
+val summary_names : ?names:string list -> unit -> string list
+(** The program name of each summary cell, in submission order — what
+    cell index [i] of {!summary_rows}/{!summary_rows_slots} is, for
+    labelling quarantined rows and building a journal fingerprint. *)
+
 val summary_rows : ?domains:int -> ?names:string list -> unit
   -> summary_row list
 (** Every workload (both language suites, or just [names]) under
     interp/cached/DTB — the `summary` dashboard's data, evaluated as a
     parallel sweep with byte-identical results at any domain count.
     Compilation, encoding and the three simulations all happen inside the
-    per-program job. *)
+    per-program job.  A program that traps or exhausts fuel fails its
+    whole row (with [Failure] naming the program and machine). *)
+
+val summary_rows_slots :
+  ?domains:int ->
+  ?names:string list ->
+  ?supervision:Sweep.supervision ->
+  ?cached:(int -> summary_row option) ->
+  ?cell_hook:(index:int -> attempts:int -> summary_row Sweep.slot -> unit) ->
+  ?cell_fuel:int ->
+  unit -> summary_row Sweep.slot list
+(** {!summary_rows} under campaign supervision: one cell per program (in
+    submission order); a failing row is quarantined instead of aborting
+    the sweep.  [cell_fuel] bounds each cell's three simulations with the
+    PR 4 fuel machinery — a wedged (non-terminating) program exhausts its
+    deterministic budget, fails the cell, and ends up quarantined rather
+    than hanging the campaign.  Completed slots are byte-identical to the
+    corresponding {!summary_rows} rows. *)
 
 val capacity_configs : unit -> Dtb.config list
 (** Same geometry as {!Dtb.paper_config} at 1/8x .. 4x capacity. *)

@@ -3,7 +3,14 @@
    Determinism contract: results are stored by job index and returned in
    submission order, and the first-raising job (by index, not by wall
    clock) decides which exception escapes.  Nothing observable depends on
-   the interleaving of workers. *)
+   the interleaving of workers.
+
+   The supervised variants ([map_supervised]/[map_pool_supervised]) keep
+   the same contract for every cell that completes: retries are
+   per-index, quarantine decisions depend only on the job's own
+   behaviour, and the slot list comes back in submission order.  Only the
+   opt-in wall-clock watchdog is allowed to be nondeterministic, and it
+   is off by default. *)
 
 let max_domains = 64
 
@@ -20,23 +27,52 @@ let default_domains () =
 
 (* One batch in flight at a time.  [batch] is the current jobs as an
    index-consuming closure (the result slots are captured inside it), so
-   the pool itself is monomorphic. *)
+   the pool itself is monomorphic.  [generation] stamps each batch:
+   a worker abandoned by the watchdog may surface long after its batch
+   returned, and must not corrupt the accounting of a later batch. *)
 type pool = {
-  total_domains : int;
+  mutable total_domains : int;
   mutex : Mutex.t;
   work_ready : Condition.t;  (* a batch was submitted, or shutdown *)
   work_done : Condition.t;   (* the last job of the batch completed *)
   mutable batch : (int -> unit) option;
   mutable total : int;       (* jobs in the current batch *)
   mutable next : int;        (* cursor: next unclaimed job index *)
-  mutable completed : int;   (* jobs fully evaluated *)
+  mutable completed : int;   (* jobs fully accounted for *)
+  mutable generation : int;  (* batch stamp, bumped per submission *)
+  mutable abandoned : int;   (* workers written off by the watchdog *)
   mutable stopping : bool;
   mutable workers : unit Domain.t list;
 }
 
+(* Ambient in-job marker: the pools whose jobs are live on this domain's
+   stack.  Lets a re-entrant [map_pool] on the same pool fail fast with
+   [Invalid_argument] instead of deadlocking on the completion barrier. *)
+let in_jobs_key : pool list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let check_reentry pool name =
+  if List.memq pool !(Domain.DLS.get in_jobs_key) then
+    invalid_arg
+      (name ^ ": re-entered from inside one of this pool's own jobs \
+              (nested sweeps must use a fresh pool, e.g. Sweep.map)")
+
+let in_job pool th =
+  let stack = Domain.DLS.get in_jobs_key in
+  stack := pool :: !stack;
+  Fun.protect
+    ~finally:(fun () ->
+      match !stack with
+      | p :: rest when p == pool -> stack := rest
+      | _ -> stack := List.filter (fun p -> p != pool) !stack)
+    th
+
 (* Claim-and-run loop shared by workers and the submitting domain.  Called
    with the mutex held; returns with the mutex held once the cursor is
-   exhausted (workers then sleep; the submitter waits for completion). *)
+   exhausted (workers then sleep; the submitter waits for completion).
+   Completion accounting lives inside the job closures themselves so that
+   a watchdog can complete a cell on the submitter side while the worker
+   is still stuck in it. *)
 let drain pool =
   while
     match pool.batch with
@@ -44,11 +80,9 @@ let drain pool =
         let i = pool.next in
         pool.next <- i + 1;
         Mutex.unlock pool.mutex;
-        (* [job] never raises: map_pool wraps f in a Result *)
+        (* [job] never raises: the map wrappers catch everything *)
         job i;
         Mutex.lock pool.mutex;
-        pool.completed <- pool.completed + 1;
-        if pool.completed = pool.total then Condition.broadcast pool.work_done;
         true
     | _ -> false
   do
@@ -64,14 +98,14 @@ let worker_main pool =
   Mutex.unlock pool.mutex
 
 let create ?domains () =
-  let total_domains =
+  let wanted =
     match domains with
     | Some d -> max 1 (min max_domains d)
     | None -> default_domains ()
   in
   let pool =
     {
-      total_domains;
+      total_domains = wanted;
       mutex = Mutex.create ();
       work_ready = Condition.create ();
       work_done = Condition.create ();
@@ -79,13 +113,29 @@ let create ?domains () =
       total = 0;
       next = 0;
       completed = 0;
+      generation = 0;
+      abandoned = 0;
       stopping = false;
       workers = [];
     }
   in
-  pool.workers <-
-    List.init (total_domains - 1) (fun _ ->
-        Domain.spawn (fun () -> worker_main pool));
+  (* If the runtime cannot give us more domains (resource limits,
+     already at Domain's internal cap, ...) we degrade to however many
+     we managed to spawn — possibly none, i.e. serial execution — and
+     say so, rather than aborting the campaign. *)
+  let spawned = ref [] in
+  (try
+     for _ = 2 to wanted do
+       spawned := Domain.spawn (fun () -> worker_main pool) :: !spawned
+     done
+   with e ->
+     Printf.eprintf
+       "uhm sweep: warning: Domain.spawn failed (%s); degrading to %d \
+        domain(s)\n%!"
+       (Printexc.to_string e)
+       (List.length !spawned + 1));
+  pool.workers <- !spawned;
+  pool.total_domains <- List.length !spawned + 1;
   pool
 
 let domains pool = pool.total_domains
@@ -94,8 +144,17 @@ let shutdown pool =
   Mutex.lock pool.mutex;
   pool.stopping <- true;
   Condition.broadcast pool.work_ready;
+  let abandoned = pool.abandoned in
   Mutex.unlock pool.mutex;
-  List.iter Domain.join pool.workers;
+  if abandoned = 0 then List.iter Domain.join pool.workers
+  else
+    (* Some worker may still be wedged inside a quarantined job; joining
+       it would block forever.  The domains will exit on their own if the
+       job ever returns; until then they leak, which we log. *)
+    Printf.eprintf
+      "uhm sweep: warning: %d worker(s) abandoned by the watchdog; \
+       skipping join (domains may leak)\n%!"
+      abandoned;
   pool.workers <- []
 
 (* Cost-aware claim order: with a cost hint the cursor walks a stable
@@ -117,7 +176,54 @@ let claim_order ~cost jobs =
       in
       Array.of_list sorted
 
+(* Submit a batch of [n] claims to the pool and wait for completion.
+   [mk gen] is the job closure for this batch; it must never raise and
+   must account its own completions (guarded by [gen]).  [poll], when
+   given, replaces the idle completion wait with a periodic [check gen]
+   callback run under the pool mutex — the watchdog hook. *)
+let run_batch ?poll pool n mk =
+  Mutex.lock pool.mutex;
+  if pool.batch <> None then begin
+    Mutex.unlock pool.mutex;
+    invalid_arg "Sweep: a sweep is already in flight on this pool"
+  end;
+  pool.generation <- pool.generation + 1;
+  let gen = pool.generation in
+  pool.total <- n;
+  pool.next <- 0;
+  pool.completed <- 0;
+  pool.batch <- Some (mk gen);
+  Condition.broadcast pool.work_ready;
+  (match poll with
+  | None ->
+      (* the submitting domain pulls jobs too *)
+      drain pool;
+      while pool.completed < pool.total do
+        Condition.wait pool.work_done pool.mutex
+      done
+  | Some (interval, check) ->
+      (* With a watchdog the submitter must NOT run jobs: were it to
+         claim the wedged one it would be stuck inside it, and nobody
+         would be left to poll.  It dedicates itself to the check loop;
+         the workers own the whole batch. *)
+      while pool.completed < pool.total do
+        Mutex.unlock pool.mutex;
+        Unix.sleepf interval;
+        Mutex.lock pool.mutex;
+        if pool.completed < pool.total then check gen
+      done);
+  pool.batch <- None;
+  Mutex.unlock pool.mutex
+
+(* Count one completion for batch [gen].  Caller holds the mutex. *)
+let finish_one pool gen =
+  if pool.generation = gen then begin
+    pool.completed <- pool.completed + 1;
+    if pool.completed = pool.total then Condition.broadcast pool.work_done
+  end
+
 let map_pool ?cost pool f jobs =
+  check_reentry pool "Sweep.map_pool";
   let jobs = Array.of_list jobs in
   let n = Array.length jobs in
   if n = 0 then []
@@ -126,33 +232,24 @@ let map_pool ?cost pool f jobs =
       Array.make n (Error (Failure "Sweep.map_pool: job not evaluated"))
     in
     let order = claim_order ~cost jobs in
-    let job k =
-      let i = order.(k) in
-      results.(i) <-
-        (try Ok (f jobs.(i)) with e -> Error e)
-    in
     if pool.workers = [] then
-      for i = 0 to n - 1 do
-        job i
+      for k = 0 to n - 1 do
+        let i = order.(k) in
+        results.(i) <-
+          (try Ok (in_job pool (fun () -> f jobs.(i))) with e -> Error e)
       done
     else begin
-      Mutex.lock pool.mutex;
-      if pool.batch <> None then begin
-        Mutex.unlock pool.mutex;
-        invalid_arg "Sweep.map_pool: sweep already in flight (nested use?)"
-      end;
-      pool.total <- n;
-      pool.next <- 0;
-      pool.completed <- 0;
-      pool.batch <- Some job;
-      Condition.broadcast pool.work_ready;
-      (* the submitting domain pulls jobs too *)
-      drain pool;
-      while pool.completed < pool.total do
-        Condition.wait pool.work_done pool.mutex
-      done;
-      pool.batch <- None;
-      Mutex.unlock pool.mutex
+      let mk gen k =
+        let i = order.(k) in
+        let r =
+          try Ok (in_job pool (fun () -> f jobs.(i))) with e -> Error e
+        in
+        Mutex.lock pool.mutex;
+        if pool.generation = gen then results.(i) <- r;
+        finish_one pool gen;
+        Mutex.unlock pool.mutex
+      in
+      run_batch pool n mk
     end;
     (* first error in submission order wins, explicitly, so the escaping
        exception does not depend on evaluation-order quirks *)
@@ -163,7 +260,9 @@ let map_pool ?cost pool f jobs =
 
 let map ?cost ?domains f jobs =
   let wanted =
-    match domains with Some d -> max 1 (min max_domains d) | None -> default_domains ()
+    match domains with
+    | Some d -> max 1 (min max_domains d)
+    | None -> default_domains ()
   in
   (* no point spawning more domains than jobs *)
   let wanted = min wanted (max 1 (List.length jobs)) in
@@ -178,3 +277,190 @@ let map ?cost ?domains f jobs =
     Fun.protect ~finally:(fun () -> shutdown pool) (fun () ->
         map_pool ?cost pool f jobs)
   end
+
+(* -- Supervision ------------------------------------------------------------ *)
+
+type quarantine = { q_index : int; q_attempts : int; q_reason : string }
+type 'b slot = Completed of 'b | Quarantined of quarantine
+
+type supervision = {
+  sv_attempts : int;
+  sv_backoff : float;
+  sv_wall_limit : float option;
+  sv_poll : float;
+}
+
+let default_supervision =
+  { sv_attempts = 3; sv_backoff = 0.005; sv_wall_limit = None; sv_poll = 0.01 }
+
+let wall_reason limit =
+  Printf.sprintf "wall-clock watchdog: job exceeded %.3fs" limit
+
+let map_pool_supervised ?cost ?(supervision = default_supervision) ?cached
+    ?cell_hook pool f jobs =
+  check_reentry pool "Sweep.map_pool_supervised";
+  if supervision.sv_attempts < 1 then
+    invalid_arg "Sweep.map_pool_supervised: sv_attempts must be >= 1";
+  if supervision.sv_poll <= 0. then
+    invalid_arg "Sweep.map_pool_supervised: sv_poll must be > 0";
+  let jobs = Array.of_list jobs in
+  let n = Array.length jobs in
+  if n = 0 then []
+  else begin
+    let slots : 'b slot option array = Array.make n None in
+    let attempts_started = Array.make n 0 in
+    let started = Array.make n nan in   (* claim time; nan = unclaimed *)
+    let finished = Array.make n false in
+    let serial = pool.workers = [] in
+    let order = claim_order ~cost jobs in
+    let fire_hook index attempts slot =
+      match cell_hook with
+      | Some h -> h ~index ~attempts slot
+      | None -> ()
+    in
+    (* hooks for watchdog quarantines fire after the batch drains (the
+       submitter discovers them under the pool mutex) *)
+    let deferred_hooks = ref [] in
+    let lookup_cached i =
+      match cached with Some c -> c i | None -> None
+    in
+    (* The retry loop: run [f], catching everything; back off and retry a
+       bounded number of times; then give up and quarantine.  Attempt
+       counts are published eagerly so a watchdog quarantine can report
+       how far the cell got. *)
+    let attempt_job i =
+      let note_attempt k =
+        if serial then attempts_started.(i) <- k
+        else begin
+          Mutex.lock pool.mutex;
+          attempts_started.(i) <- k;
+          Mutex.unlock pool.mutex
+        end
+      in
+      let rec go k =
+        note_attempt (k + 1);
+        match f jobs.(i) with
+        | v -> (Completed v, k + 1)
+        | exception e ->
+            let k = k + 1 in
+            if k >= supervision.sv_attempts then
+              ( Quarantined
+                  { q_index = i; q_attempts = k;
+                    q_reason = Printexc.to_string e },
+                k )
+            else begin
+              Unix.sleepf (supervision.sv_backoff *. float_of_int (1 lsl (k - 1)));
+              go k
+            end
+      in
+      go 0
+    in
+    let run_cell i =
+      (* cached cells complete instantly, without running [f] or firing
+         the hook (they are already journaled) *)
+      match lookup_cached i with
+      | Some v -> (Completed v, 0, false)
+      | None ->
+          let slot, att = in_job pool (fun () -> attempt_job i) in
+          (slot, att, true)
+    in
+    if serial then
+      for k = 0 to n - 1 do
+        let i = order.(k) in
+        started.(i) <- Unix.gettimeofday ();
+        let slot, att, fresh = run_cell i in
+        (* serial watchdog is necessarily post-hoc: the only domain was
+           busy running the job *)
+        let slot =
+          match (supervision.sv_wall_limit, slot) with
+          | Some limit, Completed _
+            when fresh && Unix.gettimeofday () -. started.(i) > limit ->
+              Quarantined
+                { q_index = i; q_attempts = att;
+                  q_reason = wall_reason limit }
+          | _ -> slot
+        in
+        slots.(i) <- Some slot;
+        finished.(i) <- true;
+        if fresh then fire_hook i att slot
+      done
+    else begin
+      let mk gen k =
+        let i = order.(k) in
+        Mutex.lock pool.mutex;
+        started.(i) <- Unix.gettimeofday ();
+        Mutex.unlock pool.mutex;
+        let slot, att, fresh = run_cell i in
+        Mutex.lock pool.mutex;
+        if pool.generation = gen && not finished.(i) then begin
+          finished.(i) <- true;
+          slots.(i) <- Some slot;
+          Mutex.unlock pool.mutex;
+          (* the hook may fsync a journal record — keep it off the pool
+             mutex, but complete the cell only after it returns so the
+             sweep never finishes before its journal is durable *)
+          if fresh then fire_hook i att slot;
+          Mutex.lock pool.mutex;
+          finish_one pool gen;
+          Mutex.unlock pool.mutex
+        end
+        else
+          (* the watchdog already quarantined this cell (or the batch is
+             long gone): discard the late result *)
+          Mutex.unlock pool.mutex
+      in
+      let poll =
+        match supervision.sv_wall_limit with
+        | None -> None
+        | Some limit ->
+            let check gen =
+              (* under the pool mutex *)
+              let now = Unix.gettimeofday () in
+              for i = 0 to n - 1 do
+                if
+                  (not finished.(i))
+                  && (not (Float.is_nan started.(i)))
+                  && now -. started.(i) > limit
+                then begin
+                  finished.(i) <- true;
+                  let q =
+                    Quarantined
+                      { q_index = i;
+                        q_attempts = max 1 attempts_started.(i);
+                        q_reason = wall_reason limit }
+                  in
+                  slots.(i) <- Some q;
+                  pool.abandoned <- pool.abandoned + 1;
+                  deferred_hooks :=
+                    (i, max 1 attempts_started.(i), q) :: !deferred_hooks;
+                  finish_one pool gen
+                end
+              done
+            in
+            Some (supervision.sv_poll, check)
+      in
+      run_batch ?poll pool n mk;
+      List.iter
+        (fun (i, att, slot) -> fire_hook i att slot)
+        (List.rev !deferred_hooks)
+    end;
+    Array.to_list
+      (Array.map
+         (function
+           | Some s -> s
+           | None -> assert false (* every cell finished or quarantined *))
+         slots)
+  end
+
+let map_supervised ?cost ?supervision ?cached ?cell_hook ?domains f jobs =
+  let wanted =
+    match domains with
+    | Some d -> max 1 (min max_domains d)
+    | None -> default_domains ()
+  in
+  let wanted = min wanted (max 1 (List.length jobs)) in
+  let pool = create ~domains:wanted () in
+  Fun.protect
+    ~finally:(fun () -> shutdown pool)
+    (fun () ->
+      map_pool_supervised ?cost ?supervision ?cached ?cell_hook pool f jobs)

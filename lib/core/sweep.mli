@@ -17,8 +17,22 @@
     written.
 
     Jobs must be pure (or at least independent): a job must not mutate
-    state shared with another job.  Nested sweeps over the {e same} pool
-    deadlock; [map] with its private one-shot pool is safe to nest. *)
+    state shared with another job.
+
+    {b Re-entrancy.}  Calling {!map_pool} (or {!map_pool_supervised}) on a
+    pool from inside one of that same pool's jobs can never make progress
+    (the job would wait on a batch the pool cannot start), so it raises
+    [Invalid_argument] immediately — detected through an ambient in-job
+    marker, on both the serial and the parallel path.  Nested sweeps are
+    fine as long as they use a different pool; in particular {!map} and
+    {!map_supervised}, which build a private one-shot pool, are always
+    safe to call from inside a job.
+
+    {b Degraded mode.}  If [Domain.spawn] fails while building a pool
+    (resource limits, runtime cap), {!create} keeps the workers it managed
+    to spawn — possibly none, i.e. serial execution — and logs a warning
+    to stderr instead of aborting.  All determinism guarantees hold at any
+    worker count, including zero. *)
 
 val default_domains : unit -> int
 (** The domain count used when none is given explicitly: the [UHM_JOBS]
@@ -32,14 +46,18 @@ type pool
 val create : ?domains:int -> unit -> pool
 (** [create ~domains ()] spawns [domains - 1] worker domains (the
     submitting domain is the remaining worker).  [domains] defaults to
-    {!default_domains}[ ()]. *)
+    {!default_domains}[ ()].  Spawn failures degrade the pool (see the
+    module preamble) rather than raising. *)
 
 val domains : pool -> int
-(** Total domains participating in this pool's sweeps (workers + 1). *)
+(** Total domains participating in this pool's sweeps (workers + 1).
+    May be lower than requested if spawning degraded. *)
 
 val shutdown : pool -> unit
 (** Terminate and join the worker domains.  Idempotent.  The pool must be
-    idle (no sweep in flight). *)
+    idle (no sweep in flight).  Workers abandoned by the wall-clock
+    watchdog are not joined (they may be wedged forever); a warning is
+    logged and those domains leak until their job returns. *)
 
 val map_pool : ?cost:('a -> int) -> pool -> ('a -> 'b) -> 'a list -> 'b list
 (** [map_pool pool f jobs] evaluates [f] on every job and returns the
@@ -47,8 +65,9 @@ val map_pool : ?cost:('a -> int) -> pool -> ('a -> 'b) -> 'a list -> 'b list
     {e earliest} such job (in submission order) is re-raised after the
     whole batch has drained — which exception propagates is therefore
     also independent of the domain count.  Must only be called from the
-    domain that created the pool, and never from inside one of its own
-    jobs.
+    domain that created the pool.  Called from inside one of this pool's
+    own jobs it raises [Invalid_argument] immediately (see the module
+    preamble on re-entrancy).
 
     [cost] is a scheduling hint: jobs are {e claimed} in stable descending
     [cost] order (long jobs first), which shortens the tail of long-tailed
@@ -60,3 +79,95 @@ val map : ?cost:('a -> int) -> ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** One-shot [map_pool]: create a pool, sweep, shut it down.  With
     [~domains:1] (or a single-element job list) no domain is spawned and
     the jobs run inline (in claim order when [cost] is given). *)
+
+(** {1 Supervised sweeps}
+
+    Campaign-grade execution: instead of aborting the whole grid, a job
+    that keeps failing is retried with exponential backoff and then
+    {e quarantined} — the sweep completes and the caller gets an explicit
+    {!Quarantined} slot for that cell, with every other cell's result
+    exactly as an unsupervised sweep would have produced it. *)
+
+type quarantine = {
+  q_index : int;      (** submission index of the quarantined cell *)
+  q_attempts : int;   (** attempts started before giving up *)
+  q_reason : string;  (** printed exception, or the watchdog verdict *)
+}
+
+type 'b slot = Completed of 'b | Quarantined of quarantine
+
+type supervision = {
+  sv_attempts : int;
+      (** max attempts per job before quarantine (default 3; >= 1) *)
+  sv_backoff : float;
+      (** seconds slept before retry [k], scaled by [2^(k-1)]
+          (default 0.005) *)
+  sv_wall_limit : float option;
+      (** opt-in wall-clock watchdog: a job still running after this many
+          seconds is quarantined and its worker written off (default
+          [None]).  This is the one {e nondeterministic} mechanism in the
+          pool — a last-resort backstop for genuinely wedged host code.
+          Deterministic budgets (the [cell_fuel] of the experiment grids,
+          riding the PR 4 fuel machinery) should be preferred; with the
+          watchdog enabled the same grid may quarantine different cells
+          on different hosts.  While the watchdog is armed the submitting
+          domain stays out of the job pool (claiming the wedged job would
+          leave nobody to poll), so the sweep runs on the worker domains
+          alone.  On a serial (degraded) pool the check is necessarily
+          post-hoc: the job runs to completion and is then quarantined if
+          it overran. *)
+  sv_poll : float;
+      (** watchdog poll interval in seconds (default 0.01) *)
+}
+
+val default_supervision : supervision
+(** [{ sv_attempts = 3; sv_backoff = 0.005; sv_wall_limit = None;
+      sv_poll = 0.01 }] *)
+
+val map_pool_supervised :
+  ?cost:('a -> int) ->
+  ?supervision:supervision ->
+  ?cached:(int -> 'b option) ->
+  ?cell_hook:(index:int -> attempts:int -> 'b slot -> unit) ->
+  pool ->
+  ('a -> 'b) ->
+  'a list ->
+  'b slot list
+(** [map_pool_supervised pool f jobs] is {!map_pool} with per-job
+    supervision: a job that raises is retried up to [sv_attempts] times
+    (sleeping [sv_backoff * 2^(k-1)] before retry [k]) and then
+    quarantined with the last exception as its reason.  The slot list is
+    in submission order; cells that complete carry exactly the value an
+    unsupervised sweep would have returned.
+
+    [cached i] (for journal resume) short-circuits cell [i]: when it
+    returns [Some v] the job is not run and the cell completes with [v]
+    ([attempts = 0], no hook fires).
+
+    [cell_hook ~index ~attempts slot] fires once per {e freshly computed}
+    cell, after its outcome is decided and before the sweep returns — the
+    journal append point.  It runs on whichever domain ran the cell, so
+    it must be thread-safe; a cell only counts as complete once its hook
+    has returned, so a hook that fsyncs makes the journal record durable
+    before the sweep can finish.  Hooks for watchdog quarantines fire on
+    the submitting domain just before the sweep returns.
+
+    Exceptions never escape a supervised sweep's jobs; [Invalid_argument]
+    is still raised synchronously for misuse (re-entrancy, a sweep
+    already in flight, [sv_attempts < 1]), and a raising [cost] hint
+    propagates as in {!map_pool}.  A {e job} that itself re-enters the
+    pool gets the re-entry [Invalid_argument] on every attempt (still no
+    deadlock) and is therefore quarantined with that message as its
+    reason. *)
+
+val map_supervised :
+  ?cost:('a -> int) ->
+  ?supervision:supervision ->
+  ?cached:(int -> 'b option) ->
+  ?cell_hook:(index:int -> attempts:int -> 'b slot -> unit) ->
+  ?domains:int ->
+  ('a -> 'b) ->
+  'a list ->
+  'b slot list
+(** One-shot {!map_pool_supervised}: create a pool, sweep, shut it
+    down. *)

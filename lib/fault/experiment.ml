@@ -37,14 +37,34 @@ let program_summary (r : Resilient.result) =
       (p.Resilient.pr_status, p.Resilient.pr_output, p.Resilient.pr_arch_hash))
     r.Resilient.rr_programs
 
-let fault_grid ?domains ?(quanta = [ 64 ]) ?(seed = 1)
-    ?(trace_capacity = 4096) ?(retry_limit = 3) ?(backoff_cycles = 64)
-    ?(checkpoint_every = 1024) ?(watchdog_window = 4096)
-    ?(watchdog_threshold = 8) ~kind ~classes ~rates ~policies ~configs
-    programs =
-  if programs = [] then invalid_arg "Experiment.fault_grid: no programs";
+let fault_axes ~quanta ~classes ~rates ~policies ~configs () =
+  List.concat_map
+    (fun cls ->
+      List.concat_map
+        (fun rate ->
+          List.concat_map
+            (fun policy ->
+              List.concat_map
+                (fun quantum ->
+                  List.map
+                    (fun config -> (cls, rate, policy, quantum, config))
+                    configs)
+                quanta)
+            policies)
+        rates)
+    classes
+
+(* Shared machinery of both grid variants: encodings, the fault-free
+   baselines (one per (policy, quantum, config), computed on the pool and
+   shared by every cell), the cell list with cost hints, and the
+   per-point evaluator.  The encode and baseline pre-passes are the
+   grid's input, not cells: they stay unsupervised and fail fast. *)
+let fault_grid_prep ?domains ~quanta ~seed ~trace_capacity ~retry_limit
+    ~backoff_cycles ~checkpoint_every ~watchdog_window ~watchdog_threshold
+    ~kind ~classes ~rates ~policies ~configs ?cell_fuel ~grid_name programs =
+  if programs = [] then invalid_arg (grid_name ^ ": no programs");
   if classes = [] || rates = [] || policies = [] || configs = [] || quanta = []
-  then invalid_arg "Experiment.fault_grid: empty grid axis";
+  then invalid_arg (grid_name ^ ": empty grid axis");
   let encodeds =
     Sweep.map ?domains
       (fun (name, p) -> (name, Codec.encode kind p, U.dir_steps_memoized p))
@@ -73,21 +93,7 @@ let fault_grid ?domains ?(quanta = [ 64 ]) ?(seed = 1)
       baseline_keys
   in
   let cells =
-    List.concat_map
-      (fun cls ->
-        List.concat_map
-          (fun rate ->
-            List.concat_map
-              (fun policy ->
-                List.concat_map
-                  (fun quantum ->
-                    List.map
-                      (fun config -> (cls, rate, policy, quantum, config))
-                      configs)
-                  quanta)
-              policies)
-          rates)
-      classes
+    fault_axes ~quanta ~classes ~rates ~policies ~configs ()
     |> List.mapi (fun index cell -> (index, cell))
   in
   let cost (_, (cls, rate, policy, quantum, _)) =
@@ -97,62 +103,100 @@ let fault_grid ?domains ?(quanta = [ 64 ]) ?(seed = 1)
     + int_of_float (float_of_int total_steps *. rate *. 100.)
     + (if cls = Injector.Mem_word then total_steps / 4 else 0)
   in
-  Sweep.map ?domains ~cost
-    (fun (index, (cls, rate, policy, quantum, config)) ->
-      let fseed = cell_seed ~seed ~index in
-      let fconfig =
-        {
-          Resilient.injector =
-            { Injector.seed = fseed; rates = [ (cls, rate) ]; explicit = [] };
-          guards = true;
-          checkpoint_every =
-            (if cls = Injector.Mem_word then Some checkpoint_every else None);
-          retry_limit;
-          backoff_cycles;
-          watchdog_window;
-          watchdog_threshold;
-        }
-      in
-      let result =
-        Resilient.run_encoded ~trace_capacity ~policy ~quantum ~config
-          ~fconfig encoded_programs
-      in
-      let base_summary, base_cycles =
-        List.assoc (policy, quantum, config) baselines
-      in
-      let recovered_ok = program_summary result = base_summary in
-      let overhead =
-        if base_cycles = 0 then 0.
-        else
-          float_of_int result.Resilient.rr_total_cycles
-          /. float_of_int base_cycles
-      in
-      let sum f =
-        List.fold_left
-          (fun acc p -> acc + f p)
-          0 result.Resilient.rr_programs
-      in
-      let downgrades =
-        List.fold_left
-          (fun acc (_, c) -> acc + c.Trace.c_downgrades)
-          0
-          (Trace.tallies result.Resilient.rr_trace)
-      in
+  let point_of (index, (cls, rate, policy, quantum, config)) =
+    let fseed = cell_seed ~seed ~index in
+    let fconfig =
       {
-        fp_class = cls;
-        fp_rate = rate;
-        fp_policy = policy;
-        fp_quantum = quantum;
-        fp_config = config;
-        fp_seed = fseed;
-        fp_result = result;
-        fp_baseline_cycles = base_cycles;
-        fp_recovered_ok = recovered_ok;
-        fp_overhead = overhead;
-        fp_injected = sum (fun p -> p.Resilient.pr_injected);
-        fp_detected = sum (fun p -> p.Resilient.pr_detected);
-        fp_retries = sum (fun p -> p.Resilient.pr_retries);
-        fp_rollbacks = sum (fun p -> p.Resilient.pr_rollbacks);
-        fp_downgrades = downgrades;
-      })
+        Resilient.injector =
+          { Injector.seed = fseed; rates = [ (cls, rate) ]; explicit = [] };
+        guards = true;
+        checkpoint_every =
+          (if cls = Injector.Mem_word then Some checkpoint_every else None);
+        retry_limit;
+        backoff_cycles;
+        watchdog_window;
+        watchdog_threshold;
+      }
+    in
+    let result =
+      Resilient.run_encoded ?fuel:cell_fuel ~trace_capacity ~policy ~quantum
+        ~config ~fconfig encoded_programs
+    in
+    (* fuel exhaustion is the deterministic wedged-cell budget: it fails
+       the cell (supervised grids quarantine it) instead of reporting a
+       meaningless point.  A trapped program, by contrast, is a recovery
+       *verdict* — it shows up as fp_recovered_ok = false. *)
+    List.iter
+      (fun (p : Resilient.program_report) ->
+        match p.Resilient.pr_status with
+        | Machine.Out_of_fuel ->
+            failwith (p.Resilient.pr_name ^ " ran out of fuel")
+        | _ -> ())
+      result.Resilient.rr_programs;
+    let base_summary, base_cycles =
+      List.assoc (policy, quantum, config) baselines
+    in
+    let recovered_ok = program_summary result = base_summary in
+    let overhead =
+      if base_cycles = 0 then 0.
+      else
+        float_of_int result.Resilient.rr_total_cycles
+        /. float_of_int base_cycles
+    in
+    let sum f =
+      List.fold_left
+        (fun acc p -> acc + f p)
+        0 result.Resilient.rr_programs
+    in
+    let downgrades =
+      List.fold_left
+        (fun acc (_, c) -> acc + c.Trace.c_downgrades)
+        0
+        (Trace.tallies result.Resilient.rr_trace)
+    in
+    {
+      fp_class = cls;
+      fp_rate = rate;
+      fp_policy = policy;
+      fp_quantum = quantum;
+      fp_config = config;
+      fp_seed = fseed;
+      fp_result = result;
+      fp_baseline_cycles = base_cycles;
+      fp_recovered_ok = recovered_ok;
+      fp_overhead = overhead;
+      fp_injected = sum (fun p -> p.Resilient.pr_injected);
+      fp_detected = sum (fun p -> p.Resilient.pr_detected);
+      fp_retries = sum (fun p -> p.Resilient.pr_retries);
+      fp_rollbacks = sum (fun p -> p.Resilient.pr_rollbacks);
+      fp_downgrades = downgrades;
+    }
+  in
+  (cells, cost, point_of)
+
+let fault_grid ?domains ?(quanta = [ 64 ]) ?(seed = 1)
+    ?(trace_capacity = 4096) ?(retry_limit = 3) ?(backoff_cycles = 64)
+    ?(checkpoint_every = 1024) ?(watchdog_window = 4096)
+    ?(watchdog_threshold = 8) ~kind ~classes ~rates ~policies ~configs
+    programs =
+  let cells, cost, point_of =
+    fault_grid_prep ?domains ~quanta ~seed ~trace_capacity ~retry_limit
+      ~backoff_cycles ~checkpoint_every ~watchdog_window ~watchdog_threshold
+      ~kind ~classes ~rates ~policies ~configs
+      ~grid_name:"Experiment.fault_grid" programs
+  in
+  Sweep.map ?domains ~cost point_of cells
+
+let fault_grid_slots ?domains ?(quanta = [ 64 ]) ?(seed = 1)
+    ?(trace_capacity = 4096) ?(retry_limit = 3) ?(backoff_cycles = 64)
+    ?(checkpoint_every = 1024) ?(watchdog_window = 4096)
+    ?(watchdog_threshold = 8) ?supervision ?cached ?cell_hook ?cell_fuel
+    ~kind ~classes ~rates ~policies ~configs programs =
+  let cells, cost, point_of =
+    fault_grid_prep ?domains ~quanta ~seed ~trace_capacity ~retry_limit
+      ~backoff_cycles ~checkpoint_every ~watchdog_window ~watchdog_threshold
+      ~kind ~classes ~rates ~policies ~configs ?cell_fuel
+      ~grid_name:"Experiment.fault_grid_slots" programs
+  in
+  Sweep.map_supervised ?supervision ?cached ?cell_hook ?domains ~cost point_of
     cells

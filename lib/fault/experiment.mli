@@ -64,3 +64,48 @@ val fault_grid :
     [[64]]; expensive cells (high rates, [Mem_word] checkpointing,
     [Flush_on_switch] with small quanta) carry larger cost hints so the
     pool starts them first. *)
+
+module Sweep := Uhm_core.Sweep
+
+val fault_axes :
+  quanta:int list ->
+  classes:Injector.fault_class list ->
+  rates:float list ->
+  policies:Dtb.policy list ->
+  configs:Dtb.config list ->
+  unit ->
+  (Injector.fault_class * float * Dtb.policy * int * Dtb.config) list
+(** The grid's cell axes in submission order — what cell index [i] of
+    {!fault_grid}/{!fault_grid_slots} ran.  Lets a caller describe a
+    quarantined cell and build a journal fingerprint. *)
+
+val fault_grid_slots :
+  ?domains:int ->
+  ?quanta:int list ->
+  ?seed:int ->
+  ?trace_capacity:int ->
+  ?retry_limit:int ->
+  ?backoff_cycles:int ->
+  ?checkpoint_every:int ->
+  ?watchdog_window:int ->
+  ?watchdog_threshold:int ->
+  ?supervision:Sweep.supervision ->
+  ?cached:(int -> point option) ->
+  ?cell_hook:(index:int -> attempts:int -> point Sweep.slot -> unit) ->
+  ?cell_fuel:int ->
+  kind:Uhm_encoding.Kind.t ->
+  classes:Injector.fault_class list ->
+  rates:float list ->
+  policies:Dtb.policy list ->
+  configs:Dtb.config list ->
+  (string * Uhm_dir.Program.t) list ->
+  point Sweep.slot list
+(** {!fault_grid} under campaign supervision: a failing cell is retried
+    and then quarantined instead of aborting the grid, and [cached]/
+    [cell_hook] plug in a {!Uhm_campaign} journal.  [cell_fuel] bounds
+    each program's machine with the PR 4 fuel machinery; a cell whose
+    mix exhausts fuel {e fails} (quarantine path) — whereas a recovery
+    failure remains a reported verdict ([fp_recovered_ok = false]).
+    Completed slots are byte-identical to the corresponding
+    {!fault_grid} points.  The encode and baseline pre-passes stay
+    unsupervised. *)

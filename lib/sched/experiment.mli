@@ -38,3 +38,44 @@ val mix_grid :
     quanta, then configs.  [schedulers] defaults to round-robin only;
     [quanta] to {!default_quanta}; [trace_capacity] to a small ring
     (4096) since grids keep every cell's trace alive. *)
+
+module Sweep := Uhm_core.Sweep
+
+val mix_axes :
+  ?schedulers:Scheduler.policy list ->
+  ?quanta:int list ->
+  policies:Dtb.policy list ->
+  configs:Dtb.config list ->
+  unit ->
+  (Dtb.policy * Scheduler.policy * int * Dtb.config) list
+(** The grid's cell axes in submission order — what cell index [i] of
+    {!mix_grid}/{!mix_grid_slots} ran.  Lets a caller describe a
+    quarantined cell (whose [mix_cell] never materialised) and build a
+    journal fingerprint. *)
+
+val mix_grid_slots :
+  ?domains:int ->
+  ?schedulers:Scheduler.policy list ->
+  ?quanta:int list ->
+  ?trace_capacity:int ->
+  ?supervision:Sweep.supervision ->
+  ?cached:(int -> mix_cell option) ->
+  ?cell_hook:(index:int -> attempts:int -> mix_cell Sweep.slot -> unit) ->
+  ?cell_fuel:int ->
+  ?poison:int list ->
+  kind:Uhm_encoding.Kind.t ->
+  policies:Dtb.policy list ->
+  configs:Dtb.config list ->
+  (string * Uhm_dir.Program.t) list ->
+  mix_cell Sweep.slot list
+(** {!mix_grid} under campaign supervision: a failing cell is retried and
+    then quarantined instead of aborting the grid, and [cached]/
+    [cell_hook] plug in a {!Uhm_campaign} journal.  Under supervision a
+    cell whose programs did not all halt {e fails} (and is quarantined)
+    rather than reporting a poisoned row; [cell_fuel] bounds each
+    program's machine with the PR 4 fuel machinery, turning a wedged cell
+    into a deterministic failure.  [poison] (a testing aid for the
+    quarantine path, used by the CI smoke) makes the listed cell indices
+    raise on every attempt.  Completed slots are byte-identical to the
+    corresponding {!mix_grid} cells.  The encode pre-pass stays
+    unsupervised. *)

@@ -20,7 +20,65 @@ type program_result = {
   pr_dtb_misses : int;
   pr_dtb_evictions : int;
   pr_hit_ratio : float;
+  pr_solo_cycles : int;
+  pr_slowdown : float;
 }
+
+(* -- Slowdown vs solo --------------------------------------------------------
+
+   The fairness metric: how much longer a program ran inside the mix than
+   it would have run alone on the same machine and DTB geometry.  The solo
+   cycle count is a plain single-program [Dtb_strategy] run, memoised like
+   [Uhm.dir_steps_memoized] — bounded, mutex-protected, keyed physically
+   on the program (re-encoding the same source gives a new key) and
+   structurally on everything the cycle count depends on.  Races fill the
+   same entry twice, which is wasted work but never wrong. *)
+
+type solo_key = {
+  sk_program : Uhm_dir.Program.t;  (* compared physically *)
+  sk_config : Dtb.config;
+  sk_timing : Uhm_machine.Timing.t option;
+  sk_fuel : int option;
+}
+
+let solo_mutex = Mutex.create ()
+let solo_memo : (solo_key * int) list ref = ref []
+let solo_memo_max = 128
+
+let solo_cycles ?timing ?fuel ~config (encoded : Codec.encoded) =
+  let key =
+    { sk_program = encoded.Codec.program; sk_config = config;
+      sk_timing = timing; sk_fuel = fuel }
+  in
+  let same k =
+    k.sk_program == key.sk_program
+    && k.sk_config = key.sk_config
+    && k.sk_timing = key.sk_timing
+    && k.sk_fuel = key.sk_fuel
+  in
+  let cached =
+    Mutex.lock solo_mutex;
+    let r = List.find_opt (fun (k, _) -> same k) !solo_memo in
+    Mutex.unlock solo_mutex;
+    r
+  in
+  match cached with
+  | Some (_, cycles) -> cycles
+  | None ->
+      let r =
+        U.run_encoded ?timing ?fuel ~strategy:(U.Dtb_strategy config) encoded
+      in
+      let cycles = r.U.cycles in
+      Mutex.lock solo_mutex;
+      let rest =
+        let others = List.filter (fun (k, _) -> not (same k)) !solo_memo in
+        if List.length others >= solo_memo_max then
+          List.filteri (fun i _ -> i < solo_memo_max - 1) others
+        else others
+      in
+      solo_memo := (key, cycles) :: rest;
+      Mutex.unlock solo_mutex;
+      cycles
 
 type result = {
   mr_policy : Dtb.policy;
@@ -62,9 +120,10 @@ let run_encoded ?timing ?fuel ?(layout = Layout.default)
   in
   let report = Scheduler.run ~trace ~policy:scheduler ~quantum ~dtb procs in
   let results =
-    List.map
-      (fun (p : Scheduler.process) ->
+    List.map2
+      (fun (p : Scheduler.process) (_, encoded) ->
         let looked_up = p.Scheduler.p_dtb_hits + p.Scheduler.p_dtb_misses in
+        let solo = solo_cycles ?timing ?fuel ~config encoded in
         let r =
           {
             pr_name = p.Scheduler.name;
@@ -83,11 +142,15 @@ let run_encoded ?timing ?fuel ?(layout = Layout.default)
             pr_hit_ratio =
               (if looked_up = 0 then 0.
                else float_of_int p.Scheduler.p_dtb_hits /. float_of_int looked_up);
+            pr_solo_cycles = solo;
+            pr_slowdown =
+              (if solo = 0 then 1.
+               else float_of_int p.Scheduler.p_cycles /. float_of_int solo);
           }
         in
         Machine.recycle p.Scheduler.machine;
         r)
-      procs
+      procs programs
   in
   {
     mr_policy = policy;

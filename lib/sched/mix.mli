@@ -31,6 +31,21 @@ type program_result = {
   pr_dtb_misses : int;
   pr_dtb_evictions : int;
   pr_hit_ratio : float;
+  pr_solo_cycles : int;
+      (** cycles of the same program run alone on the same geometry
+          (memoised single-program run; see {!solo_cycles}) *)
+  pr_slowdown : float;
+      (** fairness: [pr_cycles / pr_solo_cycles], the price this program
+          paid for sharing the machine.  The solo denominator always uses
+          the {e full} geometry, so the metric prices everything the mix
+          costs: exactly 1.0 at {!solo_quantum} under [Flush_on_switch]
+          (each program starts cold with the whole buffer — precisely the
+          solo run), and under the other policies whenever the geometry
+          still leaves each program its working set (the solo-equality
+          golden at the paper geometry).  Under [Partitioned] at a tight
+          geometry it exceeds 1.0 {e even without preemption}: the
+          shrunken partition itself is a cost of sharing, and the metric
+          deliberately charges for it. *)
 }
 
 type result = {
@@ -81,3 +96,15 @@ val solo_quantum : int
 (** A quantum larger than any program ([max_int]): no preemption ever
     fires, so round-robin degenerates to sequential execution and every
     program reproduces its single-program cycle count exactly. *)
+
+val solo_cycles :
+  ?timing:Uhm_machine.Timing.t ->
+  ?fuel:int ->
+  config:Dtb.config ->
+  Uhm_encoding.Codec.encoded ->
+  int
+(** Cycle count of the program run alone under [Dtb_strategy config] —
+    the denominator of {!program_result.pr_slowdown}.  Memoised (bounded,
+    thread-safe, keyed physically on the program and structurally on
+    config/timing/fuel), so a grid pays for each distinct solo run
+    once. *)

@@ -12,6 +12,7 @@ let () =
       Test_psder.suite;
       Test_core.suite;
       Test_sweep.suite;
+      Test_campaign.suite;
       Test_golden.suite;
       Test_resume.suite;
       Test_sched.suite;

@@ -187,6 +187,78 @@ let test_solo_quantum policy () =
       check_int (name ^ " ran in one slice") 1 pr.Mix.pr_slices)
     r.Mix.mr_programs
 
+(* -- Fairness: slowdown vs a solo run ---------------------------------------- *)
+
+let test_fairness_slowdown () =
+  let programs =
+    [ ("fib_a", compile "fib_rec"); ("fact", compile "fact_iter") ]
+  in
+  let config = { Dtb.paper_config with Dtb.sets = 32; assoc = 4 } in
+  (* at the solo quantum and the paper geometry every program runs
+     exactly as if alone, so the slowdown must be exactly 1.0 under
+     every policy — no tolerance *)
+  List.iter
+    (fun policy ->
+      let r =
+        Mix.run ~policy ~quantum:Mix.solo_quantum ~config:Dtb.paper_config
+          ~kind:Kind.Huffman programs
+      in
+      List.iter
+        (fun (pr : Mix.program_result) ->
+          check_int
+            (pr.Mix.pr_name ^ ": solo denominator = own cycles")
+            pr.Mix.pr_cycles pr.Mix.pr_solo_cycles;
+          check_bool (pr.Mix.pr_name ^ ": slowdown exactly 1.0") true
+            (pr.Mix.pr_slowdown = 1.0))
+        r.Mix.mr_programs)
+    [ Dtb.Flush_on_switch; Dtb.Partitioned; Dtb.Tagged ];
+  (* under Flush_on_switch the exactness survives any geometry: each
+     program starts cold with the whole buffer, which IS the solo run *)
+  let rf =
+    Mix.run ~policy:Dtb.Flush_on_switch ~quantum:Mix.solo_quantum ~config
+      ~kind:Kind.Huffman programs
+  in
+  List.iter
+    (fun (pr : Mix.program_result) ->
+      check_bool (pr.Mix.pr_name ^ ": flush solo-exact at tight geometry")
+        true
+        (pr.Mix.pr_slowdown = 1.0))
+    rf.Mix.mr_programs;
+  (* under Partitioned at a tight geometry the metric charges for the
+     shrunken partition even without preemption *)
+  let rp =
+    Mix.run ~policy:Dtb.Partitioned ~quantum:Mix.solo_quantum ~config
+      ~kind:Kind.Huffman programs
+  in
+  check_bool "partition cost priced without preemption" true
+    (List.exists
+       (fun (pr : Mix.program_result) -> pr.Mix.pr_slowdown > 1.0)
+       rp.Mix.mr_programs);
+  (* under contention: the denominator is quantum-independent, the ratio
+     is cycles/solo, and a flushing mix can only slow programs down *)
+  let run quantum =
+    Mix.run ~policy:Dtb.Flush_on_switch ~quantum ~config ~kind:Kind.Huffman
+      programs
+  in
+  let contended = run 16 and solo = run Mix.solo_quantum in
+  List.iter2
+    (fun (pr : Mix.program_result) (ps : Mix.program_result) ->
+      check_int
+        (pr.Mix.pr_name ^ ": solo denominator independent of quantum")
+        ps.Mix.pr_solo_cycles pr.Mix.pr_solo_cycles;
+      check_bool
+        (Printf.sprintf "%s: slowdown %.3f >= 1 under flushing contention"
+           pr.Mix.pr_name pr.Mix.pr_slowdown)
+        true
+        (pr.Mix.pr_slowdown >= 1.0);
+      check_bool (pr.Mix.pr_name ^ ": slowdown = cycles / solo cycles") true
+        (Float.abs
+           (pr.Mix.pr_slowdown
+           -. (float_of_int pr.Mix.pr_cycles
+              /. float_of_int pr.Mix.pr_solo_cycles))
+        < 1e-12))
+    contended.Mix.mr_programs solo.Mix.mr_programs
+
 (* -- Small quanta: the contention ordering of the policies ------------------- *)
 
 (* Two copies of fib_rec (so both address spaces stay live for the whole
@@ -396,6 +468,8 @@ let suite =
       Alcotest.test_case "quantum=inf reproduces solo goldens (partitioned)"
         `Slow
         (test_solo_quantum Dtb.Partitioned);
+      Alcotest.test_case "fairness: slowdown vs solo run" `Slow
+        test_fairness_slowdown;
       Alcotest.test_case "hit-ratio ordering flush < partitioned < tagged"
         `Slow test_policy_ordering;
       Alcotest.test_case "SRTF completes in ascending remaining work" `Slow

@@ -209,6 +209,232 @@ let test_dtb_grid_deterministic () =
     (List.length (snd (List.hd g1)));
   check_bool "grid identical at 1 vs 4 domains" true (g1 = g4)
 
+(* -- Supervised sweeps: retry, quarantine, cache, hooks ---------------------- *)
+
+(* a fast retry schedule so the tests don't sleep for real *)
+let fast = { Sweep.default_supervision with Sweep.sv_backoff = 1e-4 }
+
+let slot_value = function
+  | Sweep.Completed v -> Some v
+  | Sweep.Quarantined _ -> None
+
+let test_supervised_all_ok () =
+  let xs = List.init 20 Fun.id in
+  let expected = List.map (fun i -> Sweep.Completed (i * i)) xs in
+  List.iter
+    (fun domains ->
+      Alcotest.(check bool)
+        (Printf.sprintf "all cells completed at %d domain(s)" domains)
+        true
+        (Sweep.map_supervised ~supervision:fast ~domains
+           (fun i -> i * i)
+           xs
+        = expected))
+    [ 1; 4 ]
+
+let test_supervised_quarantine () =
+  (* cell 3 fails on every attempt: the grid must still complete, with
+     exactly that cell quarantined after the full retry budget *)
+  List.iter
+    (fun domains ->
+      let slots =
+        Sweep.map_supervised ~supervision:fast ~domains
+          (fun i -> if i = 3 then raise (Boom i) else i * 10)
+          (List.init 8 Fun.id)
+      in
+      check_int "slot count" 8 (List.length slots);
+      List.iteri
+        (fun i slot ->
+          if i = 3 then
+            match slot with
+            | Sweep.Completed _ -> Alcotest.fail "cell 3 must be quarantined"
+            | Sweep.Quarantined q ->
+                check_int "quarantine index" 3 q.Sweep.q_index;
+                check_int "attempts = sv_attempts" fast.Sweep.sv_attempts
+                  q.Sweep.q_attempts;
+                check_bool "reason mentions the exception" true
+                  (String.length q.Sweep.q_reason > 0)
+          else
+            Alcotest.(check (option int))
+              (Printf.sprintf "cell %d intact" i)
+              (Some (i * 10)) (slot_value slot))
+        slots)
+    [ 1; 4 ]
+
+let test_supervised_retry_then_succeed () =
+  (* cell 2 fails twice and then succeeds; the hook must see the true
+     attempt count and the slot must carry the eventual value *)
+  List.iter
+    (fun domains ->
+      let failures = Array.make 8 0 in
+      let m = Mutex.create () in
+      let hook_attempts = Hashtbl.create 8 in
+      let hook ~index ~attempts slot =
+        Mutex.lock m;
+        Hashtbl.replace hook_attempts index (attempts, slot_value slot);
+        Mutex.unlock m
+      in
+      let slots =
+        Sweep.map_supervised ~supervision:fast ~domains ~cell_hook:hook
+          (fun i ->
+            if i = 2 then begin
+              (* attempts of one cell always run on one domain, in order *)
+              let k =
+                Mutex.lock m;
+                failures.(i) <- failures.(i) + 1;
+                let k = failures.(i) in
+                Mutex.unlock m;
+                k
+              in
+              if k <= 2 then raise (Boom i)
+            end;
+            i + 100)
+          (List.init 8 Fun.id)
+      in
+      List.iteri
+        (fun i slot ->
+          Alcotest.(check (option int))
+            (Printf.sprintf "cell %d completed (%d domains)" i domains)
+            (Some (i + 100)) (slot_value slot))
+        slots;
+      Alcotest.(check (option int))
+        "hook saw cell 2 on its third attempt"
+        (Some 3)
+        (Option.map fst (Hashtbl.find_opt hook_attempts 2));
+      Alcotest.(check (option int))
+        "hook saw cell 0 on its first attempt"
+        (Some 1)
+        (Option.map fst (Hashtbl.find_opt hook_attempts 0)))
+    [ 1; 4 ]
+
+let test_supervised_cached () =
+  (* cached cells are served without running the job or firing the hook *)
+  List.iter
+    (fun domains ->
+      let ran = Array.make 6 false in
+      let m = Mutex.create () in
+      let hooked = Hashtbl.create 6 in
+      let hook ~index ~attempts:_ _slot =
+        Mutex.lock m;
+        Hashtbl.replace hooked index ();
+        Mutex.unlock m
+      in
+      let cached i = if i mod 2 = 0 then Some (i * 1000) else None in
+      let slots =
+        Sweep.map_supervised ~supervision:fast ~domains ~cached
+          ~cell_hook:hook
+          (fun i ->
+            Mutex.lock m;
+            ran.(i) <- true;
+            Mutex.unlock m;
+            i * 1000)
+          (List.init 6 Fun.id)
+      in
+      List.iteri
+        (fun i slot ->
+          Alcotest.(check (option int))
+            (Printf.sprintf "cell %d value" i)
+            (Some (i * 1000)) (slot_value slot);
+          check_bool
+            (Printf.sprintf "cell %d ran iff not cached" i)
+            (i mod 2 <> 0) ran.(i);
+          check_bool
+            (Printf.sprintf "hook fired iff cell %d was computed" i)
+            (i mod 2 <> 0)
+            (Hashtbl.mem hooked i))
+        slots)
+    [ 1; 4 ]
+
+let test_supervised_wall_watchdog () =
+  (* a genuinely wedged job (sleeping far past the limit) is quarantined
+     by the wall-clock watchdog while the rest of the grid completes;
+     needs >= 2 domains so a worker can be written off *)
+  let sv =
+    { fast with Sweep.sv_attempts = 1; sv_wall_limit = Some 0.05;
+      sv_poll = 0.005 }
+  in
+  let slots =
+    Sweep.map_supervised ~supervision:sv ~domains:3
+      (fun i ->
+        if i = 1 then Unix.sleepf 1.2;
+        i)
+      [ 0; 1; 2; 3 ]
+  in
+  List.iteri
+    (fun i slot ->
+      match (i, slot) with
+      | 1, Sweep.Quarantined q ->
+          check_bool "watchdog reason" true
+            (String.length q.Sweep.q_reason > 0)
+      | 1, Sweep.Completed _ -> Alcotest.fail "wedged cell must be quarantined"
+      | _, slot ->
+          Alcotest.(check (option int))
+            (Printf.sprintf "cell %d intact" i)
+            (Some i) (slot_value slot))
+    slots
+
+(* -- Re-entrancy detection --------------------------------------------------- *)
+
+let expect_invalid_arg name f =
+  match f () with
+  | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+  | exception Invalid_argument msg ->
+      check_bool (name ^ ": message names re-entry") true
+        (String.length msg > 0)
+
+let test_reentry_detected () =
+  List.iter
+    (fun domains ->
+      let pool = Sweep.create ~domains () in
+      Fun.protect
+        ~finally:(fun () -> Sweep.shutdown pool)
+        (fun () ->
+          (* re-entering the same pool from inside its own job must raise
+             instead of deadlocking *)
+          expect_invalid_arg
+            (Printf.sprintf "map_pool re-entry (%d domains)" domains)
+            (fun () ->
+              Sweep.map_pool pool
+                (fun _ -> Sweep.map_pool pool Fun.id [ 1; 2 ])
+                [ 0 ]);
+          (* the pool survives the rejected re-entry *)
+          Alcotest.(check (list int))
+            "pool usable after rejected re-entry" [ 2; 3 ]
+            (Sweep.map_pool pool succ [ 1; 2 ]);
+          (* a nested sweep on a *fresh* pool is fine *)
+          Alcotest.(check (list (list int)))
+            "nested sweep on a distinct pool" [ [ 10; 20 ] ]
+            (Sweep.map_pool pool
+               (fun _ -> Sweep.map ~domains:1 (fun i -> i * 10) [ 1; 2 ])
+               [ 0 ])))
+    [ 1; 3 ]
+
+let test_reentry_detected_supervised () =
+  (* a supervised job that re-enters its own pool fails instantly on
+     every attempt (no deadlock) and ends up quarantined with the
+     re-entry message as its reason *)
+  let pool = Sweep.create ~domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Sweep.shutdown pool)
+    (fun () ->
+      match
+        Sweep.map_pool_supervised ~supervision:fast pool
+          (fun _ -> Sweep.map_pool pool Fun.id [ 1 ])
+          [ 0 ]
+      with
+      | [ Sweep.Quarantined q ] ->
+          check_bool "reason names the re-entry" true
+            (let msg = q.Sweep.q_reason in
+             let needle = "re-entered" in
+             let n = String.length needle and m = String.length msg in
+             let rec scan i =
+               i + n <= m && (String.sub msg i n = needle || scan (i + 1))
+             in
+             scan 0)
+      | [ Sweep.Completed _ ] ->
+          Alcotest.fail "re-entrant job cannot complete"
+      | _ -> Alcotest.fail "expected exactly one slot")
+
 (* -- The dir_steps memo ------------------------------------------------------ *)
 
 let test_dir_steps_memo () =
@@ -244,6 +470,20 @@ let suite =
         test_cost_first_error;
       Alcotest.test_case "cost hint orders claims by descending cost" `Quick
         test_cost_claim_order;
+      Alcotest.test_case "supervised: all cells complete" `Quick
+        test_supervised_all_ok;
+      Alcotest.test_case "supervised: poison cell quarantined, rest intact"
+        `Quick test_supervised_quarantine;
+      Alcotest.test_case "supervised: retry then succeed, hook sees attempts"
+        `Quick test_supervised_retry_then_succeed;
+      Alcotest.test_case "supervised: cached cells skip job and hook" `Quick
+        test_supervised_cached;
+      Alcotest.test_case "supervised: wall-clock watchdog quarantines" `Slow
+        test_supervised_wall_watchdog;
+      Alcotest.test_case "re-entrant map_pool raises Invalid_argument" `Quick
+        test_reentry_detected;
+      Alcotest.test_case "re-entrant supervised job is quarantined" `Quick
+        test_reentry_detected_supervised;
       Alcotest.test_case "summary rows identical at 1 vs 4 domains" `Slow
         test_summary_rows_deterministic;
       Alcotest.test_case "dtb grid identical at 1 vs 4 domains" `Slow
