@@ -113,7 +113,10 @@ let record_of_line line =
   let attempts = int_field fields "attempts" in
   match str_field fields "status" with
   | "ok" ->
-      let payload = hex_decode (str_field fields "payload") in
+      let payload =
+        try hex_decode (str_field fields "payload")
+        with Invalid_argument msg -> fail "cell %d: %s" cell msg
+      in
       let digest = str_field fields "digest" in
       if Digest.to_hex (Digest.string payload) <> digest then
         fail "cell %d: payload digest mismatch (corrupt record)" cell;
@@ -171,19 +174,30 @@ let load ~path =
                 Error
                   (No_header "journal has no complete header (torn at creation?)")
               else Error (Corrupt (Printf.sprintf "bad journal header: %s" msg))
+          | _ when not first_complete ->
+              (* the header JSON survived but its newline did not; the
+                 prefix stops mid-line, and appending to it would glue
+                 the first record onto the header.  Nothing durable was
+                 recorded yet, so a fresh start loses nothing. *)
+              Error
+                (No_header
+                   "journal header lacks its newline (torn at creation?)")
           | header ->
               let rec go acc valid torn = function
                 | [] -> Ok (List.rev acc, valid, torn)
                 | (line, line_end, complete) :: tail -> (
                     match record_of_line line with
-                    | r ->
-                        if complete then go (r :: acc) line_end torn tail
-                        else
-                          (* a record that parses and digest-checks but
-                             lacks its newline: the final write was cut
-                             exactly after the JSON — keep it, it is
-                             internally consistent *)
-                          Ok (List.rev (r :: acc), line_end, torn)
+                    | r when complete -> go (r :: acc) line_end torn tail
+                    | _ ->
+                        (* the record parses and digest-checks, but its
+                           newline never reached the disk.  Keeping it
+                           would leave the durable prefix stopping
+                           mid-line, and the next append would glue two
+                           records onto one line — interior corruption
+                           on the following load.  Treat it like any
+                           other torn tail: drop it, the cell is simply
+                           recomputed on resume. *)
+                        Ok (List.rev acc, valid, true)
                     | exception Bad_line msg ->
                         if (not complete) && tail = [] then
                           (* torn final line: drop it, the cell will be
@@ -246,11 +260,28 @@ let create ~path header =
   w
 
 let reopen ~path ~valid_bytes =
-  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
   Unix.ftruncate fd valid_bytes;
+  (* [load] only ever reports prefixes ending at a newline, but guard
+     against a caller handing one that stops mid-line: appending to it
+     verbatim would glue two records onto one line, which the next load
+     rejects as interior corruption.  Terminate the line first. *)
+  let needs_newline =
+    valid_bytes > 0
+    && begin
+         ignore (Unix.lseek fd (valid_bytes - 1) Unix.SEEK_SET);
+         let b = Bytes.create 1 in
+         Unix.read fd b 0 1 = 1 && Bytes.get b 0 <> '\n'
+       end
+  in
   ignore (Unix.lseek fd valid_bytes Unix.SEEK_SET);
   let oc = Unix.out_channel_of_descr fd in
-  writer_of_oc oc
+  let w = writer_of_oc oc in
+  if needs_newline then begin
+    output_char w.w_oc '\n';
+    sync w
+  end;
+  w
 
 let append w r =
   Mutex.lock w.w_mutex;

@@ -16,7 +16,10 @@
     Appends are flushed and [fsync]'d one line at a time, so after a
     crash the file is a valid prefix plus at most one torn final line;
     {!load} drops the torn tail (that cell is recomputed on resume) and
-    hard-errors on any {e interior} corruption.
+    hard-errors on any {e interior} corruption.  A final line is torn
+    whenever it lacks its trailing ['\n'] — even if the JSON itself
+    survived intact — so the durable prefix always ends at a line
+    boundary and appending to it can never glue two records together.
 
     The journal is deliberately free of timestamps and host identity:
     re-running the same campaign writes byte-identical headers, and the
@@ -52,7 +55,10 @@ val create : path:string -> header -> writer
 val reopen : path:string -> valid_bytes:int -> writer
 (** Reopen an existing journal for in-place resume: truncate to the
     durable prefix reported by {!load} (discarding any torn tail) and
-    position for appending.  The header is already in the prefix. *)
+    position for appending.  The header is already in the prefix.  If
+    the prefix does not end in a newline (never the case for a prefix
+    reported by {!load}) the missing terminator is written and fsync'd
+    first, so an append can never merge with the previous line. *)
 
 val append : writer -> record -> unit
 (** Append one record line, flush, fsync.  Thread-safe. *)
@@ -84,4 +90,6 @@ val load_error_message : load_error -> string
 val load : path:string -> (loaded, load_error) result
 (** Read and validate a journal.  [Error] on: unreadable file, missing or
     malformed header, any corrupt record other than a torn final line, or
-    a record whose cell index falls outside the header's grid. *)
+    a record whose cell index falls outside the header's grid.  A final
+    record without its trailing newline is dropped as torn even when its
+    JSON parses, so [l_valid_bytes] always ends at a line boundary. *)

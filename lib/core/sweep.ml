@@ -140,6 +140,12 @@ let create ?domains () =
 
 let domains pool = pool.total_domains
 
+let abandoned pool =
+  Mutex.lock pool.mutex;
+  let n = pool.abandoned in
+  Mutex.unlock pool.mutex;
+  n
+
 let shutdown pool =
   Mutex.lock pool.mutex;
   pool.stopping <- true;
@@ -318,6 +324,22 @@ let map_pool_supervised ?cost ?(supervision = default_supervision) ?cached
       | Some h -> h ~index ~attempts slot
       | None -> ()
     in
+    (* A hook that raises (e.g. the journal hitting a full disk) must not
+       kill a worker domain: the batch's completion count would stay
+       short and the submitter would block on [work_done] forever.  Stash
+       the failure, always reach [finish_one], and rethrow once every
+       cell is accounted for — first failing index wins, mirroring the
+       first-error-by-index contract of [map_pool]. *)
+    let hook_error = ref None in
+    let fire_hook_safe index attempts slot =
+      try fire_hook index attempts slot
+      with e ->
+        Mutex.lock pool.mutex;
+        (match !hook_error with
+        | Some (j, _) when j <= index -> ()
+        | _ -> hook_error := Some (index, e));
+        Mutex.unlock pool.mutex
+    in
     (* hooks for watchdog quarantines fire after the batch drains (the
        submitter discovers them under the pool mutex) *)
     let deferred_hooks = ref [] in
@@ -382,7 +404,7 @@ let map_pool_supervised ?cost ?(supervision = default_supervision) ?cached
         in
         slots.(i) <- Some slot;
         finished.(i) <- true;
-        if fresh then fire_hook i att slot
+        if fresh then fire_hook_safe i att slot
       done
     else begin
       let mk gen k =
@@ -398,16 +420,22 @@ let map_pool_supervised ?cost ?(supervision = default_supervision) ?cached
           Mutex.unlock pool.mutex;
           (* the hook may fsync a journal record — keep it off the pool
              mutex, but complete the cell only after it returns so the
-             sweep never finishes before its journal is durable *)
-          if fresh then fire_hook i att slot;
+             sweep never finishes before its journal is durable; a
+             raising hook is stashed so [finish_one] is reached anyway *)
+          if fresh then fire_hook_safe i att slot;
           Mutex.lock pool.mutex;
           finish_one pool gen;
           Mutex.unlock pool.mutex
         end
-        else
+        else begin
           (* the watchdog already quarantined this cell (or the batch is
-             long gone): discard the late result *)
+             long gone): discard the late result.  Either way the
+             watchdog wrote this worker off as wedged when it quarantined
+             the cell, and the worker has now come back — put it back on
+             the books so shutdown joins it instead of leaking it. *)
+          pool.abandoned <- pool.abandoned - 1;
           Mutex.unlock pool.mutex
+        end
       in
       let poll =
         match supervision.sv_wall_limit with
@@ -441,9 +469,13 @@ let map_pool_supervised ?cost ?(supervision = default_supervision) ?cached
       in
       run_batch ?poll pool n mk;
       List.iter
-        (fun (i, att, slot) -> fire_hook i att slot)
+        (fun (i, att, slot) -> fire_hook_safe i att slot)
         (List.rev !deferred_hooks)
     end;
+    (* a hook failure means the journal (or whatever the hook maintains)
+       is no longer trustworthy: surface it instead of returning slots
+       that were never durably recorded *)
+    (match !hook_error with Some (_, e) -> raise e | None -> ());
     Array.to_list
       (Array.map
          (function

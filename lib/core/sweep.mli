@@ -53,11 +53,21 @@ val domains : pool -> int
 (** Total domains participating in this pool's sweeps (workers + 1).
     May be lower than requested if spawning degraded. *)
 
+val abandoned : pool -> int
+(** Diagnostic: workers currently written off by the wall-clock watchdog
+    — incremented when a cell is quarantined out from under the worker
+    running it, decremented when that worker eventually returns and
+    discards its late result.  Zero on a healthy pool; nonzero at
+    {!shutdown} triggers the leaked-domain warning. *)
+
 val shutdown : pool -> unit
 (** Terminate and join the worker domains.  Idempotent.  The pool must be
-    idle (no sweep in flight).  Workers abandoned by the wall-clock
-    watchdog are not joined (they may be wedged forever); a warning is
-    logged and those domains leak until their job returns. *)
+    idle (no sweep in flight).  Workers still written off by the
+    wall-clock watchdog are not joined (they may be wedged forever); a
+    warning is logged and those domains leak until their job returns.  A
+    worker whose quarantined job {e did} eventually return is restored to
+    the books when it discards the late result, so a pool whose workers
+    all recovered shuts down cleanly with no warning. *)
 
 val map_pool : ?cost:('a -> int) -> pool -> ('a -> 'b) -> 'a list -> 'b list
 (** [map_pool pool f jobs] evaluates [f] on every job and returns the
@@ -150,7 +160,12 @@ val map_pool_supervised :
     it must be thread-safe; a cell only counts as complete once its hook
     has returned, so a hook that fsyncs makes the journal record durable
     before the sweep can finish.  Hooks for watchdog quarantines fire on
-    the submitting domain just before the sweep returns.
+    the submitting domain just before the sweep returns.  A hook that
+    raises (a journal hitting a full disk, say) never wedges the sweep:
+    the cell still counts as complete, the remaining cells run, and the
+    exception of the {e earliest} failing hook (by submission index) is
+    re-raised once the whole grid has drained — no slot list is returned,
+    since cells whose hooks failed were never durably recorded.
 
     Exceptions never escape a supervised sweep's jobs; [Invalid_argument]
     is still raised synchronously for misuse (re-entrancy, a sweep

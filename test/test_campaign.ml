@@ -126,6 +126,74 @@ let test_torn_final_line () =
           check_bool "no longer torn" false l.Journal.l_torn;
           check_int "both records" 2 (List.length l.Journal.l_records))
 
+let test_newlineless_final_record_is_torn () =
+  (* the crash can cut the write exactly after the record's JSON, before
+     its newline: the record parses, but keeping it would leave the
+     durable prefix stopping mid-line — the next append would glue two
+     records onto one line and poison the journal.  It must be dropped
+     as torn, and the prefix must end at a line boundary. *)
+  with_temp (fun path ->
+      let w = Journal.create ~path header in
+      Journal.append w
+        { Journal.cell = 0; attempts = 1;
+          outcome = Journal.Ok_cell (Marshal.to_string 42 []) };
+      Journal.append w
+        { Journal.cell = 1; attempts = 1;
+          outcome = Journal.Ok_cell (Marshal.to_string 43 []) };
+      Journal.close w;
+      let intact = read_file path in
+      (* chop exactly the final newline *)
+      write_file path (String.sub intact 0 (String.length intact - 1));
+      let valid =
+        match Journal.load ~path with
+        | Error e -> Alcotest.fail (Journal.load_error_message e)
+        | Ok l ->
+            check_bool "newline-less final record counts as torn" true
+              l.Journal.l_torn;
+            check_int "the record is dropped" 1
+              (List.length l.Journal.l_records);
+            check_bool "durable prefix ends at a line boundary" true
+              (intact.[l.Journal.l_valid_bytes - 1] = '\n');
+            l.Journal.l_valid_bytes
+      in
+      (* in-place resume from that prefix yields a loadable journal *)
+      let w = Journal.reopen ~path ~valid_bytes:valid in
+      Journal.append w
+        { Journal.cell = 1; attempts = 2;
+          outcome = Journal.Ok_cell (Marshal.to_string 43 []) };
+      Journal.close w;
+      match Journal.load ~path with
+      | Error e -> Alcotest.fail (Journal.load_error_message e)
+      | Ok l ->
+          check_bool "healed journal is not torn" false l.Journal.l_torn;
+          check_int "both records present" 2 (List.length l.Journal.l_records))
+
+let test_reopen_terminates_midline_prefix () =
+  (* defensive path: [load] never reports a mid-line prefix, but a
+     caller passing one to [reopen] must not be able to glue records —
+     the missing newline is supplied before the first append *)
+  with_temp (fun path ->
+      let w = Journal.create ~path header in
+      Journal.append w
+        { Journal.cell = 0; attempts = 1;
+          outcome = Journal.Ok_cell (Marshal.to_string 1 []) };
+      Journal.close w;
+      let chopped =
+        let s = read_file path in
+        String.sub s 0 (String.length s - 1)
+      in
+      write_file path chopped;
+      let w = Journal.reopen ~path ~valid_bytes:(String.length chopped) in
+      Journal.append w
+        { Journal.cell = 1; attempts = 1;
+          outcome = Journal.Ok_cell (Marshal.to_string 2 []) };
+      Journal.close w;
+      match Journal.load ~path with
+      | Error e -> Alcotest.fail (Journal.load_error_message e)
+      | Ok l ->
+          check_bool "not torn" false l.Journal.l_torn;
+          check_int "no glued records" 2 (List.length l.Journal.l_records))
+
 let test_interior_corruption_rejected () =
   with_temp (fun path ->
       let w = Journal.create ~path header in
@@ -172,10 +240,28 @@ let test_interior_corruption_rejected () =
       let flipped = if content.[pos] = '0' then '1' else '0' in
       write_file path
         (String.mapi (fun i c -> if i = pos then flipped else c) content);
-      match Journal.load ~path with
+      (match Journal.load ~path with
       | Ok _ -> Alcotest.fail "digest mismatch must be rejected"
       | Error (Journal.Corrupt _) -> ()
-      | Error (Journal.No_header _) -> Alcotest.fail "header is intact")
+      | Error (Journal.No_header _) -> Alcotest.fail "header is intact");
+      (* a syntactically valid record whose payload is not hex must come
+         back as Corrupt, not as an escaping Invalid_argument *)
+      List.iter
+        (fun bad_hex ->
+          let w = Journal.create ~path header in
+          Journal.close w;
+          write_file path
+            (read_file path
+            ^ Printf.sprintf
+                "{\"cell\":0,\"attempts\":1,\"status\":\"ok\",\"digest\":\
+                 \"d41d8cd98f00b204e9800998ecf8427e\",\"payload\":\"%s\"}\n"
+                bad_hex);
+          match Journal.load ~path with
+          | Ok _ ->
+              Alcotest.failf "payload %S must be rejected as corrupt" bad_hex
+          | Error (Journal.Corrupt _) -> ()
+          | Error (Journal.No_header _) -> Alcotest.fail "header is intact")
+        [ "zz"; "abc" ])
 
 let test_headerless_is_fresh_start () =
   (* SIGKILL inside Journal.create can leave an empty or torn-header
@@ -194,6 +280,22 @@ let test_headerless_is_fresh_start () =
           ~cells:2 ()
       in
       check_int "nothing resumed from a torn header" 0 setup.Campaign.resumed;
+      setup.Campaign.close ();
+      (* a header whose JSON survived but whose newline did not is still
+         torn-at-creation: keeping it would leave the prefix mid-line *)
+      write_file path
+        "{\"uhm_journal\":1,\"campaign\":\"test\",\"fingerprint\":\"f00d\",\"cells\":2}";
+      (match Journal.load ~path with
+      | Error (Journal.No_header _) -> ()
+      | Error (Journal.Corrupt _) ->
+          Alcotest.fail "newline-less header must be No_header, not Corrupt"
+      | Ok _ -> Alcotest.fail "newline-less header must not load");
+      let setup =
+        Campaign.prepare ~resume:path ~campaign:"test" ~fingerprint:[ "x" ]
+          ~cells:2 ()
+      in
+      check_int "nothing resumed from a newline-less header" 0
+        setup.Campaign.resumed;
       setup.Campaign.close ())
 
 (* -- Campaign.prepare safety ------------------------------------------------- *)
@@ -325,6 +427,10 @@ let suite =
         test_escaping_roundtrip;
       Alcotest.test_case "torn final line dropped and healed" `Quick
         test_torn_final_line;
+      Alcotest.test_case "newline-less final record is torn" `Quick
+        test_newlineless_final_record_is_torn;
+      Alcotest.test_case "reopen terminates a mid-line prefix" `Quick
+        test_reopen_terminates_midline_prefix;
       Alcotest.test_case "interior corruption rejected" `Quick
         test_interior_corruption_rejected;
       Alcotest.test_case "headerless journal is a fresh start" `Quick

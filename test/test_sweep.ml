@@ -373,6 +373,91 @@ let test_supervised_wall_watchdog () =
             (Some i) (slot_value slot))
     slots
 
+exception Hook_boom of int
+
+let test_supervised_raising_hook () =
+  (* a hook that raises (the journal hitting a full disk, say) must not
+     kill a worker domain and hang the sweep: every cell still completes
+     (and its hook still fires), and the earliest failing hook's
+     exception escapes once the grid has drained *)
+  List.iter
+    (fun domains ->
+      let fired = Array.make 8 false in
+      let m = Mutex.create () in
+      let hook ~index ~attempts:_ _slot =
+        Mutex.lock m;
+        fired.(index) <- true;
+        Mutex.unlock m;
+        if index = 2 || index = 5 then raise (Hook_boom index)
+      in
+      (match
+         Sweep.map_supervised ~supervision:fast ~domains ~cell_hook:hook
+           (fun i -> i * 10)
+           (List.init 8 Fun.id)
+       with
+      | _ -> Alcotest.fail "expected Hook_boom"
+      | exception Hook_boom i ->
+          check_int
+            (Printf.sprintf "earliest failing hook by index (%d domains)"
+               domains)
+            2 i);
+      check_bool "every cell's hook still fired" true
+        (Array.for_all Fun.id fired))
+    [ 1; 4 ];
+  (* a shared pool survives the hook failure *)
+  let pool = Sweep.create ~domains:3 () in
+  Fun.protect
+    ~finally:(fun () -> Sweep.shutdown pool)
+    (fun () ->
+      (match
+         Sweep.map_pool_supervised ~supervision:fast pool
+           ~cell_hook:(fun ~index ~attempts:_ _slot ->
+             if index = 0 then raise (Hook_boom 0))
+           Fun.id [ 0; 1; 2 ]
+       with
+      | _ -> Alcotest.fail "expected Hook_boom"
+      | exception Hook_boom _ -> ());
+      Alcotest.(check (list int))
+        "pool usable after a hook failure" [ 1; 2; 3 ]
+        (Sweep.map_pool pool succ [ 0; 1; 2 ]))
+
+let test_watchdog_recovery_rejoins () =
+  (* a job the watchdog wrote off but that *does* eventually return must
+     put its worker back on the books: [abandoned] drops to zero, the
+     recovered worker serves later batches, and shutdown joins cleanly *)
+  let sv =
+    { fast with Sweep.sv_attempts = 1; sv_wall_limit = Some 0.05;
+      sv_poll = 0.005 }
+  in
+  let pool = Sweep.create ~domains:3 () in
+  Fun.protect
+    ~finally:(fun () -> Sweep.shutdown pool)
+    (fun () ->
+      let slots =
+        Sweep.map_pool_supervised ~supervision:sv pool
+          (fun i ->
+            if i = 1 then Unix.sleepf 1.0;
+            i)
+          [ 0; 1; 2; 3 ]
+      in
+      (match List.nth slots 1 with
+      | Sweep.Quarantined _ -> ()
+      | Sweep.Completed _ -> Alcotest.fail "wedged cell must be quarantined");
+      check_int "worker written off while its job is wedged" 1
+        (Sweep.abandoned pool);
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      while Sweep.abandoned pool > 0 && Unix.gettimeofday () < deadline do
+        Unix.sleepf 0.01
+      done;
+      check_int "worker restored once its job returned" 0
+        (Sweep.abandoned pool);
+      Alcotest.(check (list int))
+        "pool usable after recovery" [ 0; 10; 20; 30 ]
+        (List.filter_map slot_value
+           (Sweep.map_pool_supervised ~supervision:fast pool
+              (fun i -> i * 10)
+              [ 0; 1; 2; 3 ])))
+
 (* -- Re-entrancy detection --------------------------------------------------- *)
 
 let expect_invalid_arg name f =
@@ -480,6 +565,10 @@ let suite =
         test_supervised_cached;
       Alcotest.test_case "supervised: wall-clock watchdog quarantines" `Slow
         test_supervised_wall_watchdog;
+      Alcotest.test_case "supervised: raising hook cannot hang the sweep"
+        `Quick test_supervised_raising_hook;
+      Alcotest.test_case "watchdog: recovered worker is restored" `Slow
+        test_watchdog_recovery_rejoins;
       Alcotest.test_case "re-entrant map_pool raises Invalid_argument" `Quick
         test_reentry_detected;
       Alcotest.test_case "re-entrant supervised job is quarantined" `Quick
