@@ -9,11 +9,13 @@
    No arguments = everything except micro and perf.
 
    --journal PATH records every completed cell of the campaign-shaped
-   targets (figure2, summary, mix, faults) to per-target fsync'd JSON-lines
-   journals derived from PATH ("out.jsonl" -> "out.summary.jsonl", ...);
-   --resume PATH serves already-journaled cells instead of recomputing
-   them, so "--journal F --resume F" can be re-run after a mid-run kill
-   until the report completes, byte-identical to an uninterrupted run.
+   targets (figure2, model-vs-sim, assoc, alloc, summary, mix, faults) to
+   per-target fsync'd JSON-lines journals derived from PATH ("out.jsonl"
+   -> "out.summary.jsonl", ...); --resume PATH serves already-journaled
+   cells instead of recomputing them, so "--journal F --resume F" can be
+   re-run after a mid-run kill until the report completes, byte-identical
+   to an uninterrupted run.  A journal resumed often enough to accumulate
+   superseded records is compacted in place on the next resume.
    A journal from a different configuration is a hard error (exit 2).
    A cell that keeps failing is retried and then quarantined: its row is
    marked, the rest of the report completes, and the exit status is 1.
@@ -88,6 +90,15 @@ let campaign_setup ~target ~fingerprint ~cells =
   | exception Campaign.Mismatch msg ->
       Printf.eprintf "bench: error: %s\n" msg;
       exit 2
+
+let dtb_configs_fingerprint configs =
+  "configs="
+  ^ String.concat ","
+      (List.map
+         (fun (c : Dtb.config) ->
+           Printf.sprintf "%d.%d.%d.%d" c.Dtb.sets c.Dtb.assoc
+             c.Dtb.unit_words c.Dtb.overflow_blocks)
+         configs)
 
 let note_quarantine ~target (q : Sweep.quarantine) =
   incr quarantined_cells;
@@ -292,13 +303,7 @@ let figure2 () =
   in
   let fingerprint =
     [ "bench figure2"; "programs=" ^ String.concat "," programs;
-      "configs="
-      ^ String.concat ","
-          (List.map
-             (fun (c : Dtb.config) ->
-               Printf.sprintf "%d.%d.%d.%d" c.Dtb.sets c.Dtb.assoc
-                 c.Dtb.unit_words c.Dtb.overflow_blocks)
-             configs) ]
+      dtb_configs_fingerprint configs ]
   in
   let setup =
     campaign_setup ~target:"figure2" ~fingerprint
@@ -431,8 +436,23 @@ let model_vs_sim () =
       ()
   in
   let kinds = [ Kind.Packed; Kind.Huffman ] in
-  let rows =
-    sweep_map
+  let jobs_list =
+    List.concat_map
+      (fun name -> List.map (fun kind -> (name, kind)) kinds)
+      representative
+  in
+  let fingerprint =
+    [ "bench model-vs-sim";
+      "programs=" ^ String.concat "," representative;
+      "kinds=" ^ String.concat "," (List.map Kind.name kinds) ]
+  in
+  let setup =
+    campaign_setup ~target:"model-vs-sim" ~fingerprint
+      ~cells:(List.length jobs_list)
+  in
+  let slots =
+    Sweep.map_supervised ?domains:!jobs ~cached:setup.Campaign.cached
+      ?cell_hook:setup.Campaign.cell_hook
       (fun (name, kind) ->
         let m = Experiment.measure ~kind ~name (compile name) in
         let c = Experiment.calibrate m in
@@ -447,15 +467,21 @@ let model_vs_sim () =
           Table.cell_float t2s; Table.cell_float (Model.t2 params);
           Table.cell_float ((t1s -. t2s) /. t2s *. 100.);
           Table.cell_float (Model.f2 params) ])
-      (List.concat_map
-         (fun name -> List.map (fun kind -> (name, kind)) kinds)
-         representative)
+      jobs_list
   in
+  setup.Campaign.close ();
   List.iteri
-    (fun i row ->
-      Table.add_row t row;
+    (fun i slot ->
+      (match slot with
+      | Sweep.Completed row -> Table.add_row t row
+      | Sweep.Quarantined q ->
+          note_quarantine ~target:"model-vs-sim" q;
+          let name, kind = List.nth jobs_list i in
+          Table.add_row t
+            [ Printf.sprintf "%s/%s" name (Kind.name kind); "(quarantined)";
+              "-"; "-"; "-"; "-"; "-"; "-"; "-" ]);
       if (i + 1) mod List.length kinds = 0 then Table.add_rule t)
-    rows;
+    slots;
   Table.print t;
   print_endline
     "The model runs on parameters calibrated from the simulation (d, g, x,\n\
@@ -524,19 +550,35 @@ let assoc () =
           ("8-way", Table.Right); ("full", Table.Right) ]
       ()
   in
-  let grid =
-    Experiment.dtb_grid ?domains:!jobs ~kind:Kind.Huffman
-      ~configs:(Experiment.assoc_configs ())
-      (List.map
-         (fun name -> (name, compile name))
-         [ "fib_rec"; "quicksort"; "dispatch"; "binsearch"; "flat_straightline" ])
+  let configs = Experiment.assoc_configs () in
+  let programs =
+    [ "fib_rec"; "quicksort"; "dispatch"; "binsearch"; "flat_straightline" ]
   in
+  let fingerprint =
+    [ "bench assoc"; "programs=" ^ String.concat "," programs;
+      dtb_configs_fingerprint configs ]
+  in
+  let setup =
+    campaign_setup ~target:"assoc" ~fingerprint
+      ~cells:(List.length programs * List.length configs)
+  in
+  let grid =
+    Experiment.dtb_grid_slots ?domains:!jobs ~cached:setup.Campaign.cached
+      ?cell_hook:setup.Campaign.cell_hook ~kind:Kind.Huffman ~configs
+      (List.map (fun name -> (name, compile name)) programs)
+  in
+  setup.Campaign.close ();
   List.iter
     (fun (name, points) ->
       Table.add_row t
         (name
         :: List.map
-             (fun pt -> Table.cell_pct ~decimals:2 pt.Experiment.dp_hit_ratio)
+             (function
+               | Sweep.Completed pt ->
+                   Table.cell_pct ~decimals:2 pt.Experiment.dp_hit_ratio
+               | Sweep.Quarantined q ->
+                   note_quarantine ~target:"assoc" q;
+                   "(quar)")
              points))
     grid;
   Table.print t;
@@ -554,25 +596,40 @@ let alloc () =
           ("overflow allocs", Table.Right) ]
       ()
   in
-  let grid =
-    Experiment.dtb_grid ?domains:!jobs ~kind:Kind.Huffman
-      ~configs:(Experiment.alloc_configs ())
-      (List.map (fun name -> (name, compile name)) [ "fib_rec"; "quicksort" ])
+  let configs = Experiment.alloc_configs () in
+  let programs = [ "fib_rec"; "quicksort" ] in
+  let fingerprint =
+    [ "bench alloc"; "programs=" ^ String.concat "," programs;
+      dtb_configs_fingerprint configs ]
   in
+  let setup =
+    campaign_setup ~target:"alloc" ~fingerprint
+      ~cells:(List.length programs * List.length configs)
+  in
+  let grid =
+    Experiment.dtb_grid_slots ?domains:!jobs ~cached:setup.Campaign.cached
+      ?cell_hook:setup.Campaign.cell_hook ~kind:Kind.Huffman ~configs
+      (List.map (fun name -> (name, compile name)) programs)
+  in
+  setup.Campaign.close ();
   List.iter
     (fun (name, points) ->
       List.iter
-        (fun pt ->
-          Table.add_row t
-            [ name;
-              Printf.sprintf "%d words%s"
-                pt.Experiment.dp_config.Dtb.unit_words
-                (if pt.Experiment.dp_config.Dtb.overflow_blocks > 0 then
-                   " + chain"
-                 else " fixed");
-              Table.cell_bytes (pt.Experiment.dp_capacity_words * 2);
-              Table.cell_pct ~decimals:2 pt.Experiment.dp_hit_ratio;
-              Table.cell_int pt.Experiment.dp_overflow_allocations ])
+        (function
+          | Sweep.Quarantined q ->
+              note_quarantine ~target:"alloc" q;
+              Table.add_row t [ name; "(quarantined)"; "-"; "-"; "-" ]
+          | Sweep.Completed pt ->
+              Table.add_row t
+                [ name;
+                  Printf.sprintf "%d words%s"
+                    pt.Experiment.dp_config.Dtb.unit_words
+                    (if pt.Experiment.dp_config.Dtb.overflow_blocks > 0 then
+                       " + chain"
+                     else " fixed");
+                  Table.cell_bytes (pt.Experiment.dp_capacity_words * 2);
+                  Table.cell_pct ~decimals:2 pt.Experiment.dp_hit_ratio;
+                  Table.cell_int pt.Experiment.dp_overflow_allocations ])
         points;
       Table.add_rule t)
     grid;
@@ -1167,13 +1224,16 @@ let perf () =
     Option.value ~default:"BENCH_simulator.json"
       (Sys.getenv_opt "UHM_PERF_OUT")
   in
-  let samples = Uhm_core.Perf.run_suite ~min_runs ~min_seconds () in
+  let samples =
+    Uhm_core.Perf.run_suite ~min_runs ~min_seconds
+      ~backends:[ `Decode; `Threaded ] ()
+  in
   let t =
     Table.create
       ~columns:
-        [ ("workload/strategy", Table.Left); ("runs", Table.Right);
-          ("us/run", Table.Right); ("sim cycles/s", Table.Right);
-          ("host instrs/s", Table.Right) ]
+        [ ("workload/strategy", Table.Left); ("backend", Table.Left);
+          ("runs", Table.Right); ("us/run", Table.Right);
+          ("sim cycles/s", Table.Right); ("host instrs/s", Table.Right) ]
       ()
   in
   List.iter
@@ -1181,12 +1241,36 @@ let perf () =
       Table.add_row t
         [ Printf.sprintf "%s/%s" s.Uhm_core.Perf.workload
             s.Uhm_core.Perf.strategy;
+          s.Uhm_core.Perf.backend;
           Table.cell_int s.Uhm_core.Perf.runs;
           Table.cell_float s.Uhm_core.Perf.wall_us_per_run;
           Printf.sprintf "%.2fM" (s.Uhm_core.Perf.sim_cycles_per_sec /. 1e6);
           Printf.sprintf "%.2fM" (s.Uhm_core.Perf.host_instrs_per_sec /. 1e6) ])
     samples;
   Table.print t;
+  (* Host wall-clock only: the simulated cycle counts, traces and final
+     states of the two backends are differentially pinned equal by
+     test/test_backend.ml, so the speedup is free of semantic drift. *)
+  (match Uhm_core.Perf.backend_pairs samples with
+  | [] -> ()
+  | pairs ->
+      List.iter
+        (fun p ->
+          Printf.printf
+            "backend speedup %s/%s: %.2fx (%.1f -> %.1f us/run)\n"
+            p.Uhm_core.Perf.bp_workload p.Uhm_core.Perf.bp_strategy
+            p.Uhm_core.Perf.bp_speedup p.Uhm_core.Perf.bp_decode_us
+            p.Uhm_core.Perf.bp_threaded_us)
+        pairs;
+      let geo =
+        exp
+          (List.fold_left
+             (fun a p -> a +. log p.Uhm_core.Perf.bp_speedup)
+             0. pairs
+          /. float_of_int (List.length pairs))
+      in
+      Printf.printf "backend speedup geomean: %.2fx over %d pairs\n" geo
+        (List.length pairs));
   let sweep =
     if Sys.getenv_opt "UHM_PERF_SWEEP" = Some "0" then None
     else begin

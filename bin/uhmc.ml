@@ -8,7 +8,8 @@
      calibrate measure the paper's cost parameters from simulation
      suite     list the built-in benchmark programs
      perf      measure host-side simulator throughput; write BENCH json
-     mix       time-slice several programs over one shared DTB *)
+     mix       time-slice several programs over one shared DTB
+     campaign  maintenance of crash-safe campaign journals *)
 
 open Cmdliner
 module Table = Uhm_report.Table
@@ -176,6 +177,25 @@ let strategy_arg =
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print execution statistics.")
 
+let single_backend_conv =
+  let parse = function
+    | "decode" -> Ok `Decode
+    | "threaded" -> Ok `Threaded
+    | s -> Error (`Msg (Printf.sprintf "unknown backend %s (decode, threaded)" s))
+  in
+  Arg.conv
+    ( parse,
+      fun fmt b ->
+        Format.pp_print_string fmt
+          (match b with `Decode -> "decode" | `Threaded -> "threaded") )
+
+let backend_arg =
+  Arg.(value & opt single_backend_conv `Decode
+       & info [ "backend" ] ~docv:"BACKEND"
+           ~doc:"Host execution backend: decode (per-word fetch+decode) or \
+                 threaded (closure-compiled direct threading). Simulated \
+                 results are identical; only host wall-clock differs.")
+
 (* -- compile ------------------------------------------------------------------ *)
 
 let compile_cmd =
@@ -201,9 +221,9 @@ let run_cmd =
                    cycles is killed as a runaway and uhmc exits with \
                    code 3 (default 2e9).")
   in
-  let action file program fortran fuse kind strategy stats fuel =
+  let action file program fortran fuse kind strategy backend stats fuel =
     let p = load_dir ~file ~program ~fortran ~fuse in
-    let r = U.run ?fuel ~strategy ~kind p in
+    let r = U.run ?fuel ~backend ~strategy ~kind p in
     print_string r.U.output;
     (match r.U.status with
     | Machine.Halted -> ()
@@ -250,7 +270,7 @@ let run_cmd =
        ~doc:"Run a program on the simulated universal host machine.")
     Term.(
       const action $ file_arg $ program_arg $ fortran_arg $ fuse_arg
-      $ kind_arg $ strategy_arg $ stats_arg $ fuel_arg)
+      $ kind_arg $ strategy_arg $ backend_arg $ stats_arg $ fuel_arg)
 
 (* -- encode ------------------------------------------------------------------- *)
 
@@ -368,6 +388,38 @@ let perf_cmd =
              ~doc:"Workload to measure (repeatable); default is the \
                    representative set.")
   in
+  let programs_arg =
+    Arg.(value & opt (some string) None
+         & info [ "programs" ] ~docv:"A,B,C"
+             ~doc:"Comma-separated list of workloads to measure; same as \
+                   repeating $(b,--workload).")
+  in
+  let backends_arg =
+    let backend_conv =
+      let parse = function
+        | "decode" -> Ok [ `Decode ]
+        | "threaded" -> Ok [ `Threaded ]
+        | "both" -> Ok [ `Decode; `Threaded ]
+        | s ->
+            Error
+              (`Msg
+                (Printf.sprintf
+                   "unknown backend %s (decode, threaded, both)" s))
+      in
+      Arg.conv
+        ( parse,
+          fun fmt bs ->
+            Format.pp_print_string fmt
+              (String.concat ","
+                 (List.map Uhm_core.Perf.backend_name bs)) )
+    in
+    Arg.(value & opt backend_conv [ `Decode ]
+         & info [ "backend" ] ~docv:"BACKEND"
+             ~doc:"Host execution backend to measure: decode (the classic \
+                   fetch-decode loop), threaded (closure-compiled \
+                   direct-threaded), or both (also records the schema-v3 \
+                   backend speedup section in the JSON output).")
+  in
   let jobs_arg =
     Arg.(value & opt (some int) None
          & info [ "j"; "jobs" ] ~docv:"N"
@@ -394,9 +446,18 @@ let perf_cmd =
              ~doc:"Allowed relative-throughput drop per sample, percent \
                    (with $(b,--baseline)).")
   in
-  let action min_runs min_seconds out workloads jobs sweep baseline
-      max_regression =
+  let action min_runs min_seconds out workloads programs backends jobs sweep
+      baseline max_regression =
     let module Perf = Uhm_core.Perf in
+    let workloads =
+      workloads
+      @ (match programs with
+        | None -> []
+        | Some s ->
+            List.filter
+              (fun w -> w <> "")
+              (List.map String.trim (String.split_on_char ',' s)))
+    in
     let workloads = if workloads = [] then Perf.default_workloads else workloads in
     (match
        List.filter
@@ -409,25 +470,42 @@ let perf_cmd =
           (if List.length unknown > 1 then "s" else "")
           (String.concat ", " unknown);
         exit 1);
-    let samples = Perf.run_suite ~workloads ~min_runs ~min_seconds () in
+    let samples = Perf.run_suite ~workloads ~min_runs ~min_seconds ~backends () in
     let t =
       Table.create
         ~columns:
-          [ ("workload/strategy", Table.Left); ("runs", Table.Right);
-            ("us/run", Table.Right); ("sim cycles/s", Table.Right);
-            ("host instrs/s", Table.Right) ]
+          [ ("workload/strategy", Table.Left); ("backend", Table.Left);
+            ("runs", Table.Right); ("us/run", Table.Right);
+            ("sim cycles/s", Table.Right); ("host instrs/s", Table.Right) ]
         ()
     in
     List.iter
       (fun s ->
         Table.add_row t
           [ Printf.sprintf "%s/%s" s.Perf.workload s.Perf.strategy;
+            s.Perf.backend;
             Table.cell_int s.Perf.runs;
             Table.cell_float s.Perf.wall_us_per_run;
             Printf.sprintf "%.2fM" (s.Perf.sim_cycles_per_sec /. 1e6);
             Printf.sprintf "%.2fM" (s.Perf.host_instrs_per_sec /. 1e6) ])
       samples;
     Table.print t;
+    (match Perf.backend_pairs samples with
+    | [] -> ()
+    | pairs ->
+        List.iter
+          (fun p ->
+            Printf.printf "backend speedup %s/%s: %.2fx (%.1f -> %.1f us/run)\n"
+              p.Perf.bp_workload p.Perf.bp_strategy p.Perf.bp_speedup
+              p.Perf.bp_decode_us p.Perf.bp_threaded_us)
+          pairs;
+        let geo =
+          exp
+            (List.fold_left (fun a p -> a +. log p.Perf.bp_speedup) 0. pairs
+            /. float_of_int (List.length pairs))
+        in
+        Printf.printf "backend speedup geomean: %.2fx over %d pairs\n" geo
+          (List.length pairs));
     let sweep_bench =
       if not sweep then None
       else begin
@@ -470,20 +548,22 @@ let perf_cmd =
             List.iter
               (fun r ->
                 Printf.eprintf
-                  "perf gate: %s/%s regressed %.1f%% (relative rate %.3f -> \
-                   %.3f)\n"
-                  r.Perf.reg_workload r.Perf.reg_strategy r.Perf.reg_drop_pct
-                  r.Perf.reg_baseline_rel r.Perf.reg_current_rel)
+                  "perf gate: %s/%s [%s] regressed %.1f%% (relative rate \
+                   %.3f -> %.3f)\n"
+                  r.Perf.reg_workload r.Perf.reg_strategy r.Perf.reg_backend
+                  r.Perf.reg_drop_pct r.Perf.reg_baseline_rel
+                  r.Perf.reg_current_rel)
               regressions;
             exit 1)
   in
   Cmd.v
     (Cmd.info "perf"
        ~doc:"Measure host-side simulator throughput (wall clock) for the \
-             representative workloads under each strategy; optionally gate \
-             against a committed baseline.")
+             representative workloads under each strategy and backend; \
+             optionally gate against a committed baseline.")
     Term.(const action $ runs_arg $ seconds_arg $ out_arg $ workloads_arg
-          $ jobs_arg $ sweep_arg $ baseline_arg $ max_regression_arg)
+          $ programs_arg $ backends_arg $ jobs_arg $ sweep_arg
+          $ baseline_arg $ max_regression_arg)
 
 (* -- mix ---------------------------------------------------------------------- *)
 
@@ -969,6 +1049,43 @@ let faults_cmd =
       $ quantum_arg $ seed_arg $ jobs_arg $ json_arg $ csv_arg
       $ journal_arg $ resume_arg $ cell_fuel_faults_arg)
 
+(* -- campaign ----------------------------------------------------------------- *)
+
+let campaign_cmd =
+  let module Journal = Uhm_campaign.Journal in
+  let compact_cmd =
+    let journal_file_arg =
+      Arg.(required & pos 0 (some file) None
+           & info [] ~docv:"JOURNAL"
+               ~doc:"Campaign journal file to compact in place.")
+    in
+    let action path =
+      match Journal.compact ~path with
+      | Ok c ->
+          Printf.printf
+            "compacted %s: %d record(s) kept, %d superseded record(s) \
+             retired (%d bytes)\n"
+            path c.Journal.c_kept c.Journal.c_retired c.Journal.c_valid_bytes
+      | Error e ->
+          Printf.eprintf "uhmc: error: cannot compact %s: %s\n" path
+            (Journal.load_error_message e);
+          exit 2
+    in
+    Cmd.v
+      (Cmd.info "compact"
+         ~doc:"Rewrite a campaign journal keeping only the last record of \
+               each cell (exactly the records a resume uses), dropping \
+               superseded lines from earlier resumes.  Crash-safe: the \
+               compacted file is fsync'd and atomically renamed over the \
+               original.  Resuming from the compacted journal reproduces \
+               a byte-identical report.")
+      Term.(const action $ journal_file_arg)
+  in
+  Cmd.group
+    (Cmd.info "campaign"
+       ~doc:"Maintenance of crash-safe campaign journals.")
+    [ compact_cmd ]
+
 (* -- suite -------------------------------------------------------------------- *)
 
 let suite_cmd =
@@ -1006,4 +1123,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "uhmc" ~doc)
           [ compile_cmd; run_cmd; encode_cmd; trace_cmd; calibrate_cmd;
-            suite_cmd; perf_cmd; mix_cmd; faults_cmd ]))
+            suite_cmd; perf_cmd; mix_cmd; faults_cmd; campaign_cmd ]))

@@ -29,7 +29,10 @@ let check_header ~campaign ~fp ~cells (h : Journal.header) =
        configuration changed; refusing to mix"
       h.Journal.fingerprint fp
 
-let prepare ?journal ?resume ~campaign ~fingerprint ~cells () =
+let default_compact_threshold = 64
+
+let prepare ?journal ?resume ?(compact_threshold = default_compact_threshold)
+    ~campaign ~fingerprint ~cells () =
   let fp = Journal.fingerprint fingerprint in
   let header = { Journal.campaign; fingerprint = fp; cells } in
   (* 1. load the resume journal, if any *)
@@ -83,8 +86,39 @@ let prepare ?journal ?resume ~campaign ~fingerprint ~cells () =
         match loaded with
         | Some (rpath, l) when rpath = path ->
             (* in-place resume: keep the durable prefix, drop any torn
-               tail, append from there *)
-            Some (Journal.reopen ~path ~valid_bytes:l.Journal.l_valid_bytes)
+               tail, append from there.  A journal resumed many times
+               accumulates superseded records (one per recomputed cell);
+               once enough have piled up, compact opportunistically —
+               resume state is unchanged, only the retired lines go. *)
+            let distinct =
+              let seen = Hashtbl.create 64 in
+              List.iter
+                (fun (r : Journal.record) ->
+                  Hashtbl.replace seen r.Journal.cell ())
+                l.Journal.l_records;
+              Hashtbl.length seen
+            in
+            let retired = List.length l.Journal.l_records - distinct in
+            let valid_bytes =
+              if retired < compact_threshold then l.Journal.l_valid_bytes
+              else
+                match Journal.compact ~path with
+                | Ok c ->
+                    Printf.eprintf
+                      "uhm campaign: note: compacted %s (%d superseded \
+                       record(s) retired, %d kept)\n%!"
+                      path c.Journal.c_retired c.Journal.c_kept;
+                    c.Journal.c_valid_bytes
+                | Error e ->
+                    (* the journal loaded fine a moment ago; a racing
+                       writer or IO error is not worth failing the run
+                       over — just skip compaction *)
+                    Printf.eprintf
+                      "uhm campaign: note: compaction of %s skipped: %s\n%!"
+                      path (Journal.load_error_message e);
+                    l.Journal.l_valid_bytes
+            in
+            Some (Journal.reopen ~path ~valid_bytes)
         | _ ->
             let w = Journal.create ~path header in
             (* replay the reusable cells so the new journal is

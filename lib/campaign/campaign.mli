@@ -43,9 +43,13 @@ type 'b setup = {
       (** cells that will be served from the resume journal *)
 }
 
+val default_compact_threshold : int
+(** Retired-record count past which an in-place resume compacts first. *)
+
 val prepare :
   ?journal:string ->
   ?resume:string ->
+  ?compact_threshold:int ->
   campaign:string ->
   fingerprint:string list ->
   cells:int ->
@@ -61,6 +65,11 @@ val prepare :
       the file is truncated to its durable prefix and appended in place;
       otherwise a fresh journal is written, seeded with the reusable
       cells of the resume journal so it is self-contained.
+    - [compact_threshold] (default {!default_compact_threshold}): on an
+      in-place resume, when at least this many superseded records have
+      accumulated (cells recorded more than once across earlier resumes),
+      the journal is first compacted via {!Journal.compact}.  Resume
+      state is unaffected; compaction failure only skips the compaction.
 
     Raises {!Mismatch} as described above.  The ['b] must be the cell
     result type of the grid this campaign runs — the same [prepare]

@@ -304,3 +304,40 @@ let close w =
         (try sync w with Sys_error _ -> ());
         close_out_noerr w.w_oc
       end)
+
+(* -- Compaction -------------------------------------------------------------- *)
+
+type compaction = { c_kept : int; c_retired : int; c_valid_bytes : int }
+
+let compact ~path =
+  match load ~path with
+  | Error _ as e -> e
+  | Ok l ->
+      (* last record per cell survives; emit in ascending cell order so
+         compaction is deterministic (same journal in, same bytes out) *)
+      let tbl : (int, record) Hashtbl.t = Hashtbl.create 64 in
+      List.iter (fun r -> Hashtbl.replace tbl r.cell r) l.l_records;
+      let survivors =
+        List.sort
+          (fun a b -> compare a.cell b.cell)
+          (Hashtbl.fold (fun _ r acc -> r :: acc) tbl [])
+      in
+      let kept = List.length survivors in
+      let retired = List.length l.l_records - kept in
+      (* write the compacted journal beside the original, fsync it, then
+         atomically rename over the original: a kill at any point leaves
+         either the old journal or the complete new one, never a mix *)
+      let tmp = path ^ ".compact" in
+      let w = create ~path:tmp l.l_header in
+      List.iter (append w) survivors;
+      close w;
+      Sys.rename tmp path;
+      (* make the rename itself durable *)
+      (match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+      | fd ->
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+      | exception Unix.Unix_error _ -> ());
+      let valid_bytes = (Unix.stat path).Unix.st_size in
+      Ok { c_kept = kept; c_retired = retired; c_valid_bytes = valid_bytes }

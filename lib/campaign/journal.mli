@@ -93,3 +93,24 @@ val load : path:string -> (loaded, load_error) result
     a record whose cell index falls outside the header's grid.  A final
     record without its trailing newline is dropped as torn even when its
     JSON parses, so [l_valid_bytes] always ends at a line boundary. *)
+
+(** Result of one {!compact} pass. *)
+type compaction = {
+  c_kept : int;        (** surviving records — one per recorded cell *)
+  c_retired : int;     (** superseded records dropped *)
+  c_valid_bytes : int; (** size of the compacted journal *)
+}
+
+val compact : path:string -> (compaction, load_error) result
+(** Rewrite the journal keeping only the {e last} record of each cell —
+    exactly the records a resume would use — in ascending cell order.  A
+    long-lived campaign journal that has been resumed many times carries
+    one superseded line per recomputed cell; compaction retires them.
+
+    Resume semantics are unchanged: {!load} of the compacted journal
+    folds to the same per-cell state (payloads, attempts, quarantines) as
+    the original, so a resumed run produces a byte-identical report.
+    Crash-safe: the compacted journal is written and fsync'd to a
+    temporary file beside the original, then atomically renamed over it —
+    a kill at any point leaves either the old journal or the complete new
+    one.  A torn final line in the source is dropped, as on any load. *)

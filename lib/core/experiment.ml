@@ -22,14 +22,14 @@ let expect_halted what (r : Uhm.result) =
   | Machine.Out_of_fuel -> failwith (what ^ " ran out of fuel")
   | Machine.Running -> assert false
 
-let measure ?timing ?(dtb_config = Dtb.paper_config) ?(icache_bytes = 4096)
-    ~kind ~name (p : Program.t) =
+let measure ?timing ?backend ?(dtb_config = Dtb.paper_config)
+    ?(icache_bytes = 4096) ~kind ~name (p : Program.t) =
   let encoded = Codec.encode kind p in
   let run strategy =
     expect_halted
       (Printf.sprintf "%s/%s/%s" name (Kind.name kind)
          (Uhm.strategy_name strategy))
-      (Uhm.run_encoded ?timing ~strategy encoded)
+      (Uhm.run_encoded ?timing ?backend ~strategy encoded)
   in
   let interp = run Uhm.Interp in
   let cached = run (Uhm.Cached icache_bytes) in
@@ -248,13 +248,13 @@ let summary_jobs () =
           fun () -> Uhm_ftn.Suite.compile ~fuse:false e ))
       Uhm_ftn.Suite.all
 
-let summary_row_of ?fuel (name, lang, compile) =
+let summary_row_of ?fuel ?backend (name, lang, compile) =
   let p = compile () in
   let e = Codec.encode Kind.Digram p in
   let run what strategy =
     expect_halted
       (Printf.sprintf "%s/%s" name what)
-      (Uhm.run_encoded ?fuel ~strategy e)
+      (Uhm.run_encoded ?fuel ?backend ~strategy e)
   in
   let t1 = run "interp" Uhm.Interp in
   let t3 = run "cached" (Uhm.Cached 4096) in
@@ -281,15 +281,15 @@ let summary_filtered_jobs ?names () =
 let summary_names ?names () =
   List.map (fun (n, _, _) -> n) (summary_filtered_jobs ?names ())
 
-let summary_rows ?domains ?names () =
+let summary_rows ?domains ?names ?backend () =
   Sweep.map ?domains
-    (fun j -> summary_row_of j)
+    (fun j -> summary_row_of ?backend j)
     (summary_filtered_jobs ?names ())
 
-let summary_rows_slots ?domains ?names ?supervision ?cached ?cell_hook
+let summary_rows_slots ?domains ?names ?backend ?supervision ?cached ?cell_hook
     ?cell_fuel () =
   Sweep.map_supervised ?supervision ?cached ?cell_hook ?domains
-    (summary_row_of ?fuel:cell_fuel)
+    (summary_row_of ?fuel:cell_fuel ?backend)
     (summary_filtered_jobs ?names ())
 
 let capacity_configs () =

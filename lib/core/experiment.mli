@@ -17,7 +17,8 @@ type measured = {
   dtb : Uhm.result;
 }
 
-val measure : ?timing:Uhm_machine.Timing.t -> ?dtb_config:Dtb.config
+val measure : ?timing:Uhm_machine.Timing.t
+  -> ?backend:Uhm_machine.Machine.backend -> ?dtb_config:Dtb.config
   -> ?icache_bytes:int -> kind:Kind.t -> name:string -> Program.t -> measured
 
 (** Per-DIR-instruction cost components extracted from simulation, the
@@ -112,8 +113,8 @@ val summary_names : ?names:string list -> unit -> string list
     cell index [i] of {!summary_rows}/{!summary_rows_slots} is, for
     labelling quarantined rows and building a journal fingerprint. *)
 
-val summary_rows : ?domains:int -> ?names:string list -> unit
-  -> summary_row list
+val summary_rows : ?domains:int -> ?names:string list
+  -> ?backend:Uhm_machine.Machine.backend -> unit -> summary_row list
 (** Every workload (both language suites, or just [names]) under
     interp/cached/DTB — the `summary` dashboard's data, evaluated as a
     parallel sweep with byte-identical results at any domain count.
@@ -124,6 +125,7 @@ val summary_rows : ?domains:int -> ?names:string list -> unit
 val summary_rows_slots :
   ?domains:int ->
   ?names:string list ->
+  ?backend:Uhm_machine.Machine.backend ->
   ?supervision:Sweep.supervision ->
   ?cached:(int -> summary_row option) ->
   ?cell_hook:(index:int -> attempts:int -> summary_row Sweep.slot -> unit) ->

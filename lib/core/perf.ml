@@ -14,6 +14,7 @@ module Suite = Uhm_workload.Suite
 type sample = {
   workload : string;
   strategy : string;
+  backend : string;            (* "decode" | "threaded" *)
   encoding : string;
   runs : int;
   wall_seconds : float;        (* total over all runs *)
@@ -25,6 +26,8 @@ type sample = {
   host_instrs_per_sec : float;
   wall_us_per_run : float;
 }
+
+let backend_name = function `Decode -> "decode" | `Threaded -> "threaded"
 
 (* The paper's three machine organisations plus the fully-bound DER corner. *)
 let strategies =
@@ -41,16 +44,16 @@ let default_workloads = [ "fact_iter"; "fib_rec"; "flat_straightline" ]
 
 let kind = Kind.Huffman
 
-let measure ?(min_runs = 5) ?(min_seconds = 0.2) ~workload
-    ~strategy_name ~strategy () =
+let measure ?(min_runs = 5) ?(min_seconds = 0.2) ?(backend = `Decode)
+    ~workload ~strategy_name ~strategy () =
   (* at least one timed run, so the rates are always finite *)
   let min_runs = max 1 min_runs in
   let p = Suite.compile (Suite.find workload) in
   let encoded = Codec.encode kind p in
   let run () =
     match strategy with
-    | Uhm.Psder_static | Uhm.Der _ -> Uhm.run ~strategy ~kind p
-    | _ -> Uhm.run_encoded ~strategy encoded
+    | Uhm.Psder_static | Uhm.Der _ -> Uhm.run ~backend ~strategy ~kind p
+    | _ -> Uhm.run_encoded ~backend ~strategy encoded
   in
   (* one warm-up run, also the source of the per-run counters *)
   let r = run () in
@@ -69,6 +72,7 @@ let measure ?(min_runs = 5) ?(min_seconds = 0.2) ~workload
   {
     workload;
     strategy = strategy_name;
+    backend = backend_name backend;
     encoding = Kind.name kind;
     runs = !runs;
     wall_seconds = wall;
@@ -82,7 +86,7 @@ let measure ?(min_runs = 5) ?(min_seconds = 0.2) ~workload
   }
 
 let run_suite ?(workloads = default_workloads) ?min_runs ?min_seconds
-    ?(domains = 1) () =
+    ?(backends = [ `Decode ]) ?(domains = 1) () =
   (* the sample grid goes through the sweep engine, but wall-clock
      sampling defaults to one domain: concurrent timed runs steal cycles
      from each other and would make the per-sample rates incomparable
@@ -90,15 +94,56 @@ let run_suite ?(workloads = default_workloads) ?min_runs ?min_seconds
   let jobs =
     List.concat_map
       (fun workload ->
-        List.map
-          (fun (strategy_name, strategy) -> (workload, strategy_name, strategy))
+        List.concat_map
+          (fun (strategy_name, strategy) ->
+            List.map
+              (fun backend -> (workload, strategy_name, strategy, backend))
+              backends)
           strategies)
       workloads
   in
   Sweep.map ~domains
-    (fun (workload, strategy_name, strategy) ->
-      measure ?min_runs ?min_seconds ~workload ~strategy_name ~strategy ())
+    (fun (workload, strategy_name, strategy, backend) ->
+      measure ?min_runs ?min_seconds ~backend ~workload ~strategy_name
+        ~strategy ())
     jobs
+
+(* -- Backend comparison (schema v3's "backend" section) ---------------------- *)
+
+type backend_pair = {
+  bp_workload : string;
+  bp_strategy : string;
+  bp_decode_us : float;        (* wall_us_per_run, decode backend *)
+  bp_threaded_us : float;      (* wall_us_per_run, threaded backend *)
+  bp_speedup : float;          (* decode / threaded host wall time *)
+}
+
+let backend_pairs samples =
+  List.filter_map
+    (fun s ->
+      if s.backend <> "decode" then None
+      else
+        match
+          List.find_opt
+            (fun s' ->
+              s'.backend = "threaded" && s'.workload = s.workload
+              && s'.strategy = s.strategy)
+            samples
+        with
+        | None -> None
+        | Some s' ->
+            Some
+              {
+                bp_workload = s.workload;
+                bp_strategy = s.strategy;
+                bp_decode_us = s.wall_us_per_run;
+                bp_threaded_us = s'.wall_us_per_run;
+                bp_speedup =
+                  (if s'.wall_us_per_run > 0. then
+                     s.wall_us_per_run /. s'.wall_us_per_run
+                   else 0.);
+              })
+    samples
 
 (* -- The parallel-sweep benchmark ------------------------------------------- *)
 
@@ -162,6 +207,7 @@ let sample_to_json s =
     "    {\n\
     \      \"workload\": \"%s\",\n\
     \      \"strategy\": \"%s\",\n\
+    \      \"backend\": \"%s\",\n\
     \      \"encoding\": \"%s\",\n\
     \      \"runs\": %d,\n\
     \      \"wall_seconds\": %.6f,\n\
@@ -173,9 +219,10 @@ let sample_to_json s =
     \      \"sim_cycles_per_sec\": %.1f,\n\
     \      \"host_instrs_per_sec\": %.1f\n\
     \    }"
-    (json_escape s.workload) (json_escape s.strategy) (json_escape s.encoding)
-    s.runs s.wall_seconds s.wall_us_per_run s.sim_cycles s.host_instrs
-    s.short_instrs s.dir_steps s.sim_cycles_per_sec s.host_instrs_per_sec
+    (json_escape s.workload) (json_escape s.strategy) (json_escape s.backend)
+    (json_escape s.encoding) s.runs s.wall_seconds s.wall_us_per_run
+    s.sim_cycles s.host_instrs s.short_instrs s.dir_steps s.sim_cycles_per_sec
+    s.host_instrs_per_sec
 
 let sweep_to_json (s : sweep_bench) =
   Printf.sprintf
@@ -190,16 +237,55 @@ let sweep_to_json (s : sweep_bench) =
     s.sweep_points s.sweep_domains s.sweep_wall_1 s.sweep_wall_n
     s.sweep_speedup s.sweep_identical
 
+let geomean = function
+  | [] -> 0.
+  | xs ->
+      exp
+        (List.fold_left (fun a x -> a +. log x) 0. xs
+        /. float_of_int (List.length xs))
+
+(* The schema-v3 "backend" section: per-(workload, strategy) host
+   wall-time speedups of the threaded backend over decode, from the
+   paired samples of the same document. *)
+let backend_to_json samples =
+  match backend_pairs samples with
+  | [] -> ""
+  | pairs ->
+      let pair_json p =
+        Printf.sprintf
+          "      {\n\
+          \        \"workload\": \"%s\",\n\
+          \        \"strategy\": \"%s\",\n\
+          \        \"decode_us_per_run\": %.2f,\n\
+          \        \"threaded_us_per_run\": %.2f,\n\
+          \        \"speedup\": %.3f\n\
+          \      }"
+          (json_escape p.bp_workload) (json_escape p.bp_strategy)
+          p.bp_decode_us p.bp_threaded_us p.bp_speedup
+      in
+      let speedups = List.filter_map
+          (fun p -> if p.bp_speedup > 0. then Some p.bp_speedup else None)
+          pairs
+      in
+      Printf.sprintf
+        "  \"backend\": {\n\
+        \    \"geomean_speedup\": %.3f,\n\
+        \    \"pairs\": [\n%s\n    ]\n\
+        \  },\n"
+        (geomean speedups)
+        (String.concat ",\n" (List.map pair_json pairs))
+
 let to_json ?sweep samples =
   Printf.sprintf
     "{\n\
-    \  \"schema\": \"uhm-bench-simulator/2\",\n\
+    \  \"schema\": \"uhm-bench-simulator/3\",\n\
     \  \"generated_by\": \"bench/main.exe perf\",\n\
     \  \"unix_time\": %.0f,\n\
-     %s\
+     %s%s\
     \  \"samples\": [\n%s\n  ]\n}\n"
     (Unix.time ())
     (match sweep with None -> "" | Some s -> sweep_to_json s)
+    (backend_to_json samples)
     (String.concat ",\n" (List.map sample_to_json samples))
 
 let write_json ?sweep ~path samples =
@@ -347,13 +433,20 @@ let baseline_rates_of_json doc =
   | Some (J_arr samples) ->
       List.filter_map
         (fun sample ->
+          (* schema v2 samples carry no backend field: they were all
+             recorded on the decode backend *)
+          let backend =
+            match member "backend" sample with
+            | Some (J_str b) -> b
+            | _ -> "decode"
+          in
           match
             ( member "workload" sample,
               member "strategy" sample,
               member "sim_cycles_per_sec" sample )
           with
           | Some (J_str w), Some (J_str s), Some (J_num r) when r > 0. ->
-              Some ((w, s), r)
+              Some ((w, s, backend), r)
           | _ -> None)
         samples
   | _ -> raise (Json_error "no \"samples\" array")
@@ -368,6 +461,7 @@ let read_baseline ~path =
 type regression = {
   reg_workload : string;
   reg_strategy : string;
+  reg_backend : string;
   reg_baseline_rel : float;
   reg_current_rel : float;
   reg_drop_pct : float;
@@ -383,7 +477,7 @@ let check_against_baseline ~max_regression_pct ~baseline samples =
     List.filter_map
       (fun s ->
         if s.sim_cycles_per_sec > 0. then
-          Some ((s.workload, s.strategy), s.sim_cycles_per_sec)
+          Some ((s.workload, s.strategy, s.backend), s.sim_cycles_per_sec)
         else None)
       samples
   in
@@ -396,7 +490,9 @@ let check_against_baseline ~max_regression_pct ~baseline samples =
       baseline
   in
   match shared with
-  | [] -> Error "no overlapping (workload, strategy) samples with the baseline"
+  | [] ->
+      Error
+        "no overlapping (workload, strategy, backend) samples with the baseline"
   | _ ->
       let geomean xs =
         exp (List.fold_left (fun a x -> a +. log x) 0. xs
@@ -406,7 +502,7 @@ let check_against_baseline ~max_regression_pct ~baseline samples =
       let gc = geomean (List.map (fun (_, _, c) -> c) shared) in
       let regressions =
         List.filter_map
-          (fun ((w, s), b, c) ->
+          (fun ((w, s, bk), b, c) ->
             let rb = b /. gb and rc = c /. gc in
             let drop = (rb -. rc) /. rb *. 100. in
             if drop > max_regression_pct then
@@ -414,6 +510,7 @@ let check_against_baseline ~max_regression_pct ~baseline samples =
                 {
                   reg_workload = w;
                   reg_strategy = s;
+                  reg_backend = bk;
                   reg_baseline_rel = rb;
                   reg_current_rel = rc;
                   reg_drop_pct = drop;

@@ -8,6 +8,7 @@
 type sample = {
   workload : string;
   strategy : string;
+  backend : string;            (** ["decode"] or ["threaded"] *)
   encoding : string;
   runs : int;
   wall_seconds : float;        (** total over all timed runs *)
@@ -26,21 +27,43 @@ val strategies : (string * Uhm.strategy) list
 val default_workloads : string list
 (** ["fact_iter"; "fib_rec"; "flat_straightline"]. *)
 
+val backend_name : Uhm_machine.Machine.backend -> string
+(** ["decode"] / ["threaded"]. *)
+
 val measure :
-  ?min_runs:int -> ?min_seconds:float -> workload:string ->
+  ?min_runs:int -> ?min_seconds:float ->
+  ?backend:Uhm_machine.Machine.backend -> workload:string ->
   strategy_name:string -> strategy:Uhm.strategy -> unit -> sample
 (** [measure ~workload ~strategy_name ~strategy ()] times repeated full runs
     (compile and encode are outside the timed region; one warm-up run is
     discarded) until both [min_runs] (default 5) and [min_seconds]
-    (default 0.2) are reached. *)
+    (default 0.2) are reached.  [backend] (default [`Decode]) selects the
+    host execution backend; simulated results are identical, only the host
+    wall-clock changes. *)
 
 val run_suite :
   ?workloads:string list -> ?min_runs:int -> ?min_seconds:float ->
+  ?backends:Uhm_machine.Machine.backend list ->
   ?domains:int -> unit -> sample list
-(** Every workload crossed with every strategy, evaluated through
-    {!Sweep.map}.  [domains] defaults to [1]: concurrent timed runs steal
-    host cycles from each other, so parallel sampling is only for
-    smoke-testing the plumbing, not for recorded numbers. *)
+(** Every workload crossed with every strategy and every backend
+    ([backends] defaults to [[`Decode]]), evaluated through {!Sweep.map}.
+    [domains] defaults to [1]: concurrent timed runs steal host cycles
+    from each other, so parallel sampling is only for smoke-testing the
+    plumbing, not for recorded numbers. *)
+
+(** One (workload, strategy) measured under both backends: the threaded
+    backend's host wall-clock speedup over decode. *)
+type backend_pair = {
+  bp_workload : string;
+  bp_strategy : string;
+  bp_decode_us : float;        (** [wall_us_per_run], decode backend *)
+  bp_threaded_us : float;      (** [wall_us_per_run], threaded backend *)
+  bp_speedup : float;          (** decode / threaded wall time per run *)
+}
+
+val backend_pairs : sample list -> backend_pair list
+(** Pair up decode/threaded samples of the same (workload, strategy); the
+    source of the schema-v3 ["backend"] section. *)
 
 (** Wall-clock of the whole-suite summary sweep ({!Experiment.summary_rows})
     at one domain and at [sweep_domains] — the recorded evidence that the
@@ -60,9 +83,11 @@ val measure_sweep : ?domains:int -> ?repeats:int -> unit -> sweep_bench
     [repeats] (default 2) timings each, and compares the results. *)
 
 val to_json : ?sweep:sweep_bench -> sample list -> string
-(** The BENCH_simulator.json document: an object with [schema]
-    ("uhm-bench-simulator/2"), [generated_by], [unix_time], an optional
-    [sweep] object and a [samples] array. *)
+(** The BENCH_simulator.json document (schema "uhm-bench-simulator/3"):
+    an object with [schema], [generated_by], [unix_time], an optional
+    [sweep] object, a [backend] section (present when the samples cover
+    both backends: per-pair host speedups and their geometric mean) and a
+    [samples] array, each sample carrying its [backend]. *)
 
 val write_json : ?sweep:sweep_bench -> path:string -> sample list -> unit
 
@@ -85,10 +110,11 @@ val parse_json : string -> json
 
 (** {2 Baseline comparison — the CI perf gate} *)
 
-val read_baseline : path:string -> ((string * string) * float) list
-(** [(workload, strategy) -> sim_cycles_per_sec] pairs from a previously
-    written BENCH_simulator.json (either schema version).  Raises
-    [Json_error] on malformed input. *)
+val read_baseline : path:string -> ((string * string * string) * float) list
+(** [(workload, strategy, backend) -> sim_cycles_per_sec] pairs from a
+    previously written BENCH_simulator.json (any schema version; v2
+    samples, which predate the backend field, read as ["decode"]).
+    Raises [Json_error] on malformed input. *)
 
 exception Json_error of string
 
@@ -96,6 +122,7 @@ exception Json_error of string
 type regression = {
   reg_workload : string;
   reg_strategy : string;
+  reg_backend : string;
   reg_baseline_rel : float;  (** baseline rate / baseline geometric mean *)
   reg_current_rel : float;   (** current rate / current geometric mean *)
   reg_drop_pct : float;      (** relative drop, percent *)
@@ -103,12 +130,13 @@ type regression = {
 
 val check_against_baseline :
   max_regression_pct:float ->
-  baseline:((string * string) * float) list ->
+  baseline:((string * string * string) * float) list ->
   sample list ->
   (regression list, string) result
 (** Compares host-speed-independent relative rates: each file's samples are
     normalised by that file's own geometric mean over the shared
-    (workload, strategy) keys, so a uniformly faster or slower host cancels
-    out.  [Ok []] means the gate passes; [Ok regressions] lists samples
-    whose relative rate dropped more than [max_regression_pct] percent;
-    [Error] means the files share no samples. *)
+    (workload, strategy, backend) keys, so a uniformly faster or slower
+    host cancels out.  [Ok []] means the gate passes; [Ok regressions]
+    lists samples whose relative rate dropped more than
+    [max_regression_pct] percent; [Error] means the files share no
+    samples. *)

@@ -79,13 +79,40 @@ let default_fuel = 2_000_000_000
    16 bits. *)
 let host_word_bits = 32
 
+(* The region list is a pure function of (timing, layout); handing
+   [Machine.create] the same list object run after run lets its derived-
+   table memos hit (both inputs are immutable and callers reuse them). *)
+let regions_memo :
+    ((Timing.t * Layout.t) * Machine.region list) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let regions_memo_max = 16
+
+let regions_memoized timing layout =
+  let cache = Domain.DLS.get regions_memo in
+  match
+    List.find_opt (fun ((t', l'), _) -> t' == timing && l' == layout) !cache
+  with
+  | Some (_, v) -> v
+  | None ->
+      let v = Layout.regions timing layout in
+      let entries = !cache in
+      let entries =
+        if List.length entries >= regions_memo_max then
+          List.filteri (fun i _ -> i < regions_memo_max - 1) entries
+        else entries
+      in
+      cache := ((timing, layout), v) :: entries;
+      v
+
 (* Machine with registers and the main frame initialised (the paper's
    link-editing/loading step; charged no cycles). *)
-let setup_machine ~timing ~fuel ~layout ~(program : Asm.program)
+let setup_machine ~timing ~fuel ~layout ~backend ~(program : Asm.program)
     (p : Program.t) =
   let m =
-    Machine.create ~timing ~fuel ~program ~mem_words:layout.Layout.mem_words
-      ~regions:(Layout.regions timing layout) ()
+    Machine.create ~timing ~fuel ~backend ~program
+      ~mem_words:layout.Layout.mem_words
+      ~regions:(regions_memoized timing layout) ()
   in
   let data_base = layout.Layout.data_base in
   let main = p.Program.contours.(0) in
@@ -140,6 +167,96 @@ let dir_steps_memoized p =
       steps
 
 let dir_steps_of = dir_steps_memoized
+
+(* -- Build-product memos ------------------------------------------------------
+   Everything a [run] assembles before the first simulated cycle — the
+   DIR encoding, the generated interpreter/translator programs, the DER
+   expansion, the PSDER runtime and static image — is a pure function of
+   immutable inputs, yet was rebuilt from scratch on every run.  Sweep
+   grids and the bench harness execute the same (program, strategy) cell
+   hundreds of times, so on short workloads the rebuild dominated the
+   run.  Each product is memoized per domain (workers re-derive their
+   own copies, so nothing is ever shared across domains), keyed on the
+   physical identity of its inputs: programs, encodings and layouts are
+   immutable once built, and callers naturally pass the same values run
+   after run.  Sharing the products across runs on a domain is safe
+   because machines only read them — the host code array, table images
+   and static words are poked into per-machine memory, never written in
+   place.  Bounded: a full table drops its oldest entry. *)
+
+let build_memo_max = 64
+
+let build_memoized key ~eq k compute =
+  let cache = Domain.DLS.get key in
+  match List.find_opt (fun (k', _) -> eq k k') !cache with
+  | Some (_, v) -> v
+  | None ->
+      let v = compute () in
+      let entries = !cache in
+      let entries =
+        if List.length entries >= build_memo_max then
+          List.filteri (fun i _ -> i < build_memo_max - 1) entries
+        else entries
+      in
+      cache := (k, v) :: entries;
+      v
+
+let encode_memo : ((Kind.t * Program.t) * Codec.encoded) list ref Domain.DLS.key
+    =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let encode_memoized kind p =
+  build_memoized encode_memo
+    ~eq:(fun (k1, p1) (k2, p2) -> k1 = k2 && p1 == p2)
+    (kind, p)
+    (fun () -> Codec.encode kind p)
+
+let interp_gen_memo :
+    ((bool * bool * Layout.t * Codec.encoded) * Interp_gen.t) list ref
+    Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let interp_gen_memoized ~compound ~assist ~layout ~encoded =
+  build_memoized interp_gen_memo
+    ~eq:(fun (c1, a1, l1, e1) (c2, a2, l2, e2) ->
+      c1 = c2 && a1 = a2 && l1 == l2 && e1 == e2)
+    (compound, assist, layout, encoded)
+    (fun () -> Interp_gen.build ~compound ~assist ~layout ~encoded)
+
+let translate_gen_memo :
+    ((bool * int option * bool * Layout.t * Codec.encoded) * Translate_gen.t)
+    list
+    ref
+    Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let translate_gen_memoized ~compound ~block ~assist ~layout ~encoded =
+  build_memoized translate_gen_memo
+    ~eq:(fun (c1, b1, a1, l1, e1) (c2, b2, a2, l2, e2) ->
+      c1 = c2 && b1 = b2 && a1 = a2 && l1 == l2 && e1 == e2)
+    (compound, block, assist, layout, encoded)
+    (fun () -> Translate_gen.build ~compound ~block ~assist ~layout ~encoded)
+
+let der_gen_memo : (Program.t * Der_gen.t) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let der_gen_memoized p =
+  build_memoized der_gen_memo ~eq:( == ) p (fun () -> Der_gen.build p)
+
+let psder_memo :
+    ((bool * Layout.t * Program.t) * (Asm.program * Static_gen.t)) list ref
+    Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let psder_memoized ~compound ~layout p =
+  build_memoized psder_memo
+    ~eq:(fun (c1, l1, p1) (c2, l2, p2) -> c1 = c2 && l1 == l2 && p1 == p2)
+    (compound, layout, p)
+    (fun () ->
+      let b = Asm.create () in
+      let rt = Runtime.build ~compound b ~layout in
+      let program = Asm.finish b in
+      (program, Static_gen.build ~layout ~rt p))
 
 let finish ~runner ~strategy ~p ~static_size_bits ~support_size_bits ?dtb
     ?icache ?emitted_words ?l2_cache m =
@@ -207,11 +324,14 @@ let icache_for_bytes bytes =
   (* DIR units are 16 bits, so an icache of [bytes] holds bytes/2 units *)
   Cache.create ~assoc:4 ~block_words:4 ~capacity_words:(bytes / 2) ()
 
-let run_interpreted ~timing ~fuel ~layout ~runner ~strategy ~assist ~compound
-    (encoded : Codec.encoded) =
+let run_interpreted ~timing ~fuel ~layout ~backend ~runner ~strategy ~assist
+    ~compound (encoded : Codec.encoded) =
   let p = encoded.Codec.program in
-  let gen = Interp_gen.build ~compound ~assist ~layout ~encoded in
-  let m = setup_machine ~timing ~fuel ~layout ~program:gen.Interp_gen.program p in
+  let gen = interp_gen_memoized ~compound ~assist ~layout ~encoded in
+  let m =
+    setup_machine ~timing ~fuel ~layout ~backend ~program:gen.Interp_gen.program
+      p
+  in
   Array.iteri
     (fun i w -> Machine.poke m (layout.Layout.table_base + i) w)
     gen.Interp_gen.table_image;
@@ -262,6 +382,18 @@ let dtb_emit_hooks ~dtb ~emitted_words ~h_interp ~h_decode_assist =
     h_decode_assist;
   }
 
+(* Wire the threaded backend to the DTB lifecycle: closures may be cached
+   for any word of the buffer region (including the bootstrap INTERP), and
+   die exactly when the directory entry owning them does. *)
+let attach_threaded_dtb ~backend m ~layout ~dtb =
+  match backend with
+  | `Decode -> ()
+  | `Threaded ->
+      Machine.enable_short_compile m ~base:layout.Layout.dtb_buffer_base
+        ~size:layout.Layout.dtb_buffer_size;
+      Dtb.add_drop_hook dtb (fun ~addr ~words ->
+          Machine.drop_short_range m ~addr ~len:words)
+
 (* The plain INTERP hook (paper Figure 4): charge the DTB access, transfer
    on a hit; on a miss the replacement logic installs the tag and traps to
    the dynamic translation routine.  [on_translation] is an observability
@@ -279,10 +411,10 @@ let plain_dtb_interp ~t_dtb ~dtb ~translator_entry ~on_translation =
         Machine.set_reg m R.dctx dctx;
         Machine.set_pc m (Machine.Long translator_entry)
 
-let run_dtb ~timing ~fuel ~layout ~runner ~strategy ~assist ~compound ~block
-    ?l2 cfg (encoded : Codec.encoded) =
+let run_dtb ~timing ~fuel ~layout ~backend ~runner ~strategy ~assist ~compound
+    ~block ?l2 cfg (encoded : Codec.encoded) =
   let p = encoded.Codec.program in
-  let gen = Translate_gen.build ~compound ~block ~assist ~layout ~encoded in
+  let gen = translate_gen_memoized ~compound ~block ~assist ~layout ~encoded in
   (* second-level decoded-instruction store (multi-level translation,
      paper section 4): presence is a fully-associative LRU of [l2] entries;
      the decoded fields are the "hardware" payload *)
@@ -294,7 +426,8 @@ let run_dtb ~timing ~fuel ~layout ~runner ~strategy ~assist ~compound ~block
       l2
   in
   let m =
-    setup_machine ~timing ~fuel ~layout ~program:gen.Translate_gen.program p
+    setup_machine ~timing ~fuel ~layout ~backend
+      ~program:gen.Translate_gen.program p
   in
   Array.iteri
     (fun i w -> Machine.poke m (layout.Layout.table_base + i) w)
@@ -304,6 +437,7 @@ let run_dtb ~timing ~fuel ~layout ~runner ~strategy ~assist ~compound ~block
   let dtb = Dtb.create cfg ~buffer_base:(bootstrap_addr + 1) in
   if 1 + Dtb.buffer_words dtb > layout.Layout.dtb_buffer_size then
     invalid_arg "Uhm.run: DTB buffer does not fit its memory region";
+  attach_threaded_dtb ~backend m ~layout ~dtb;
   let t_dtb = timing.Timing.t_dtb in
   let emitted_words = ref 0 in
   let h_interp =
@@ -379,16 +513,18 @@ let run_dtb ~timing ~fuel ~layout ~runner ~strategy ~assist ~compound ~block
    no-op taps and [make_interp = plain_dtb_interp ...] the machine is
    cycle-identical to [prepare_dtb_shared]'s. *)
 let prepare_dtb_custom ?(timing = Timing.paper) ?(fuel = default_fuel)
-    ?(layout = Layout.default) ?(on_emit = fun ~addr:_ ~word:_ -> ())
+    ?(layout = Layout.default) ?(backend = `Decode)
+    ?(on_emit = fun ~addr:_ ~word:_ -> ())
     ?(on_end_translation = fun ~start_addr:_ -> ()) ~make_interp ~dtb
     (encoded : Codec.encoded) =
   let p = encoded.Codec.program in
   let gen =
-    Translate_gen.build ~compound:false ~block:None ~assist:false ~layout
+    translate_gen_memoized ~compound:false ~block:None ~assist:false ~layout
       ~encoded
   in
   let m =
-    setup_machine ~timing ~fuel ~layout ~program:gen.Translate_gen.program p
+    setup_machine ~timing ~fuel ~layout ~backend
+      ~program:gen.Translate_gen.program p
   in
   Array.iteri
     (fun i w -> Machine.poke m (layout.Layout.table_base + i) w)
@@ -398,6 +534,7 @@ let prepare_dtb_custom ?(timing = Timing.paper) ?(fuel = default_fuel)
   if 1 + Dtb.buffer_words dtb > layout.Layout.dtb_buffer_size then
     invalid_arg
       "Uhm.prepare_dtb_custom: DTB buffer does not fit its memory region";
+  attach_threaded_dtb ~backend m ~layout ~dtb;
   let translator_entry = gen.Translate_gen.translator_entry in
   Machine.set_hooks m
     {
@@ -426,13 +563,13 @@ let prepare_dtb_custom ?(timing = Timing.paper) ?(fuel = default_fuel)
   Machine.set_pc m (Machine.Short bootstrap_addr);
   (m, translator_entry)
 
-let prepare_dtb_shared ?timing ?fuel ?layout
+let prepare_dtb_shared ?timing ?fuel ?layout ?backend
     ?(on_translation = fun ~dir_addr:_ -> ()) ~dtb (encoded : Codec.encoded) =
   let t_dtb =
     (Option.value ~default:Timing.paper timing).Timing.t_dtb
   in
   let m, _ =
-    prepare_dtb_custom ?timing ?fuel ?layout
+    prepare_dtb_custom ?timing ?fuel ?layout ?backend
       ~make_interp:(fun ~translator_entry ->
         plain_dtb_interp ~t_dtb ~dtb ~translator_entry ~on_translation)
       ~dtb encoded
@@ -445,11 +582,13 @@ let prepare_dtb_shared ?timing ?fuel ?layout
    so the caller can graft in the mid-flight architectural state before
    slicing it with [Machine.run_for]. *)
 let prepare_interp ?(timing = Timing.paper) ?(fuel = default_fuel)
-    ?(layout = Layout.default) (encoded : Codec.encoded) =
+    ?(layout = Layout.default) ?(backend = `Decode)
+    (encoded : Codec.encoded) =
   let p = encoded.Codec.program in
-  let gen = Interp_gen.build ~compound:false ~assist:false ~layout ~encoded in
+  let gen = interp_gen_memoized ~compound:false ~assist:false ~layout ~encoded in
   let m =
-    setup_machine ~timing ~fuel ~layout ~program:gen.Interp_gen.program p
+    setup_machine ~timing ~fuel ~layout ~backend ~program:gen.Interp_gen.program
+      p
   in
   Array.iteri
     (fun i w -> Machine.poke m (layout.Layout.table_base + i) w)
@@ -460,26 +599,30 @@ let prepare_interp ?(timing = Timing.paper) ?(fuel = default_fuel)
   Machine.set_pc m (Machine.Long gen.Interp_gen.entry);
   m
 
-let run_psder_static ~timing ~fuel ~layout ~runner ~strategy ~compound
+let run_psder_static ~timing ~fuel ~layout ~backend ~runner ~strategy ~compound
     (p : Program.t) =
-  let b = Asm.create () in
-  let rt = Runtime.build ~compound b ~layout in
-  let program = Asm.finish b in
-  let static = Static_gen.build ~layout ~rt p in
-  let m = setup_machine ~timing ~fuel ~layout ~program p in
+  let program, static = psder_memoized ~compound ~layout p in
+  let m = setup_machine ~timing ~fuel ~layout ~backend ~program p in
   Array.iteri
     (fun i w -> Machine.poke m (layout.Layout.psder_static_base + i) w)
     static.Static_gen.words;
+  (* the static image is immutable for the run: closures never retire *)
+  (match backend with
+  | `Decode -> ()
+  | `Threaded ->
+      Machine.enable_short_compile m ~base:layout.Layout.psder_static_base
+        ~size:layout.Layout.psder_static_size);
   Machine.set_pc m (Machine.Short static.Static_gen.entry_addr);
   finish ~runner ~strategy ~p
     ~static_size_bits:(Static_gen.size_bits static)
     ~support_size_bits:(host_word_bits * Array.length program.Asm.code)
     m
 
-let run_der ~timing ~fuel ~layout ~runner ~strategy residence (p : Program.t) =
-  let der = Der_gen.build p in
+let run_der ~timing ~fuel ~layout ~backend ~runner ~strategy residence
+    (p : Program.t) =
+  let der = der_gen_memoized p in
   let m =
-    setup_machine ~timing ~fuel ~layout ~program:der.Der_gen.program p
+    setup_machine ~timing ~fuel ~layout ~backend ~program:der.Der_gen.program p
   in
   let icache =
     match residence with
@@ -502,34 +645,38 @@ let run_der ~timing ~fuel ~layout ~runner ~strategy residence (p : Program.t) =
     ~support_size_bits:0 ?icache m
 
 let run_encoded ?(timing = Timing.paper) ?(fuel = default_fuel)
-    ?(layout = Layout.default) ?(decode_assist = false)
+    ?(layout = Layout.default) ?(backend = `Decode) ?(decode_assist = false)
     ?(compound_datapath = false) ?(runner = Machine.run) ~strategy
     (encoded : Codec.encoded) =
   match strategy with
   | Interp | Cached _ ->
-      run_interpreted ~timing ~fuel ~layout ~runner ~strategy
+      run_interpreted ~timing ~fuel ~layout ~backend ~runner ~strategy
         ~assist:decode_assist ~compound:compound_datapath encoded
   | Dtb_strategy cfg ->
-      run_dtb ~timing ~fuel ~layout ~runner ~strategy ~assist:decode_assist
-        ~compound:compound_datapath ~block:None cfg encoded
+      run_dtb ~timing ~fuel ~layout ~backend ~runner ~strategy
+        ~assist:decode_assist ~compound:compound_datapath ~block:None cfg
+        encoded
   | Dtb_blocks (cfg, limit) ->
-      run_dtb ~timing ~fuel ~layout ~runner ~strategy ~assist:decode_assist
-        ~compound:compound_datapath ~block:(Some limit) cfg encoded
+      run_dtb ~timing ~fuel ~layout ~backend ~runner ~strategy
+        ~assist:decode_assist ~compound:compound_datapath ~block:(Some limit)
+        cfg encoded
   | Dtb_two_level (cfg, l2) ->
-      run_dtb ~timing ~fuel ~layout ~runner ~strategy ~assist:decode_assist
-        ~compound:compound_datapath ~block:None ~l2 cfg encoded
+      run_dtb ~timing ~fuel ~layout ~backend ~runner ~strategy
+        ~assist:decode_assist ~compound:compound_datapath ~block:None ~l2 cfg
+        encoded
   | Psder_static | Der _ ->
       invalid_arg "Uhm.run_encoded: strategy does not take an encoding"
 
 let run ?(timing = Timing.paper) ?(fuel = default_fuel)
-    ?(layout = Layout.default) ?(decode_assist = false)
+    ?(layout = Layout.default) ?(backend = `Decode) ?(decode_assist = false)
     ?(compound_datapath = false) ?(runner = Machine.run) ~strategy ~kind
     (p : Program.t) =
   match strategy with
   | Interp | Cached _ | Dtb_strategy _ | Dtb_blocks _ | Dtb_two_level _ ->
-      run_encoded ~timing ~fuel ~layout ~decode_assist ~compound_datapath
-        ~runner ~strategy (Codec.encode kind p)
+      run_encoded ~timing ~fuel ~layout ~backend ~decode_assist
+        ~compound_datapath ~runner ~strategy (encode_memoized kind p)
   | Psder_static ->
-      run_psder_static ~timing ~fuel ~layout ~runner ~strategy
+      run_psder_static ~timing ~fuel ~layout ~backend ~runner ~strategy
         ~compound:compound_datapath p
-  | Der residence -> run_der ~timing ~fuel ~layout ~runner ~strategy residence p
+  | Der residence ->
+      run_der ~timing ~fuel ~layout ~backend ~runner ~strategy residence p

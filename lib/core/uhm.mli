@@ -79,12 +79,18 @@ val dir_steps_memoized : Uhm_dir.Program.t -> int
     pays the reference pre-pass only once per program. *)
 
 val run : ?timing:Timing.t -> ?fuel:int -> ?layout:Uhm_psder.Layout.t
-  -> ?decode_assist:bool -> ?compound_datapath:bool
+  -> ?backend:Machine.backend -> ?decode_assist:bool -> ?compound_datapath:bool
   -> ?runner:(Machine.t -> Machine.status) -> strategy:strategy
   -> kind:Uhm_encoding.Kind.t -> Uhm_dir.Program.t -> result
 (** [run ~strategy ~kind p] encodes [p] with [kind] (ignored by
     {!Psder_static} and {!Der}, which work from the decoded program) and
     executes it to completion.
+
+    [backend] (default [`Decode]) selects the host execution backend; see
+    {!Machine.backend}.  [`Threaded] produces identical results and
+    statistics, only faster in host wall-clock time.  For DTB strategies
+    the compiled-closure cache is wired to the DTB lifecycle: closures die
+    exactly with the directory entry that owns their words.
 
     [decode_assist] (interpreted and DTB strategies only) replaces the
     software decode routine with a single-instruction hardware decode unit —
@@ -97,7 +103,7 @@ val run : ?timing:Timing.t -> ?fuel:int -> ?layout:Uhm_psder.Layout.t
     produces a bit-identical result. *)
 
 val run_encoded : ?timing:Timing.t -> ?fuel:int -> ?layout:Uhm_psder.Layout.t
-  -> ?decode_assist:bool -> ?compound_datapath:bool
+  -> ?backend:Machine.backend -> ?decode_assist:bool -> ?compound_datapath:bool
   -> ?runner:(Machine.t -> Machine.status) -> strategy:strategy
   -> Uhm_encoding.Codec.encoded -> result
 (** Like {!run} for a pre-encoded program (avoids re-encoding in sweeps).
@@ -105,7 +111,8 @@ val run_encoded : ?timing:Timing.t -> ?fuel:int -> ?layout:Uhm_psder.Layout.t
     an encoding. *)
 
 val prepare_dtb_shared : ?timing:Timing.t -> ?fuel:int
-  -> ?layout:Uhm_psder.Layout.t -> ?on_translation:(dir_addr:int -> unit)
+  -> ?layout:Uhm_psder.Layout.t -> ?backend:Machine.backend
+  -> ?on_translation:(dir_addr:int -> unit)
   -> dtb:Dtb.t -> Uhm_encoding.Codec.encoded -> Machine.t
 (** Set up (but do not run) a machine that executes [encoded] against a
     {e shared} DTB owned by the caller — the multiprogramming layer's
@@ -121,7 +128,7 @@ val prepare_dtb_shared : ?timing:Timing.t -> ?fuel:int
     [Dtb.switch_to] at context switches. *)
 
 val prepare_dtb_custom : ?timing:Timing.t -> ?fuel:int
-  -> ?layout:Uhm_psder.Layout.t
+  -> ?layout:Uhm_psder.Layout.t -> ?backend:Machine.backend
   -> ?on_emit:(addr:int -> word:int -> unit)
   -> ?on_end_translation:(start_addr:int -> unit)
   -> make_interp:(translator_entry:int ->
@@ -140,7 +147,8 @@ val prepare_dtb_custom : ?timing:Timing.t -> ?fuel:int
     {!prepare_dtb_shared}'s — which is itself now a thin wrapper. *)
 
 val prepare_interp : ?timing:Timing.t -> ?fuel:int
-  -> ?layout:Uhm_psder.Layout.t -> Uhm_encoding.Codec.encoded -> Machine.t
+  -> ?layout:Uhm_psder.Layout.t -> ?backend:Machine.backend
+  -> Uhm_encoding.Codec.encoded -> Machine.t
 (** Set up (but do not run) a plain interpreter machine (no icache, no
     decode assist, no compound datapath) for [encoded] — the watchdog's
     {e downgrade} target when dynamic translation is demoted to pure DIR

@@ -131,7 +131,7 @@ let arch_fingerprint ~(layout : Layout.t) m =
 let interp_cycles_per_dir = 64
 
 let run_encoded ?(timing = Timing.paper) ?fuel ?(layout = Layout.default)
-    ?(trace_capacity = 65536) ~policy ~quantum ~config ~fconfig
+    ?backend ?(trace_capacity = 65536) ~policy ~quantum ~config ~fconfig
     (programs : (string * Codec.encoded) list) =
   if programs = [] then invalid_arg "Resilient.run_encoded: no programs";
   if quantum < 1 then
@@ -295,8 +295,8 @@ let run_encoded ?(timing = Timing.paper) ?fuel ?(layout = Layout.default)
         Guard.finish_install p.guard ~dir_addr ~start_addr
     in
     let machine, _translator_entry =
-      U.prepare_dtb_custom ~timing ?fuel ~layout ~on_emit ~on_end_translation
-        ~make_interp ~dtb encoded
+      U.prepare_dtb_custom ~timing ?fuel ~layout ?backend ~on_emit
+        ~on_end_translation ~make_interp ~dtb encoded
     in
     let p =
       {
@@ -381,7 +381,8 @@ let run_encoded ?(timing = Timing.paper) ?fuel ?(layout = Layout.default)
           | _ -> assert false)
       | Machine.Long _ -> assert false
     in
-    let m_new = U.prepare_interp ~timing ?fuel ~layout p.encoded in
+    (* the downgraded interpreter keeps the mix's execution backend *)
+    let m_new = U.prepare_interp ~timing ?fuel ~layout ?backend p.encoded in
     let sp = Machine.reg m_old R.sp - sp_pops in
     Machine.set_reg m_new R.sp sp;
     Machine.set_reg m_new R.rsp (Machine.reg m_old R.rsp);
@@ -528,8 +529,8 @@ let run_encoded ?(timing = Timing.paper) ?fuel ?(layout = Layout.default)
     rr_trace = trace;
   }
 
-let run ?timing ?fuel ?layout ?trace_capacity ~policy ~quantum ~config
-    ~fconfig ~kind programs =
-  run_encoded ?timing ?fuel ?layout ?trace_capacity ~policy ~quantum ~config
-    ~fconfig
+let run ?timing ?fuel ?layout ?backend ?trace_capacity ~policy ~quantum
+    ~config ~fconfig ~kind programs =
+  run_encoded ?timing ?fuel ?layout ?backend ?trace_capacity ~policy ~quantum
+    ~config ~fconfig
     (List.map (fun (name, p) -> (name, Codec.encode kind p)) programs)

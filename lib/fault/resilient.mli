@@ -98,6 +98,7 @@ val run_encoded :
   ?timing:Uhm_machine.Timing.t ->
   ?fuel:int ->
   ?layout:Uhm_psder.Layout.t ->
+  ?backend:Machine.backend ->
   ?trace_capacity:int ->
   policy:Dtb.policy ->
   quantum:int ->
@@ -107,6 +108,12 @@ val run_encoded :
   result
 (** Round-robin over the mix with [quantum] DIR steps per slice (a
     downgraded program is sliced by an equivalent cycle budget).
+    [backend] (default [`Decode]) selects every machine's execution
+    backend, including a downgraded program's replacement interpreter;
+    under a zero-fault injector the two backends are result- and
+    trace-identical.  The threaded backend's compiled closures die with
+    their DTB entry (guard-detected invalidation included), so fault
+    recovery never executes a stale closure.
     Raises [Invalid_argument] on an empty mix, a quantum below 1, or a
     spec that can produce [Mem_word] faults without [checkpoint_every]. *)
 
@@ -114,6 +121,7 @@ val run :
   ?timing:Uhm_machine.Timing.t ->
   ?fuel:int ->
   ?layout:Uhm_psder.Layout.t ->
+  ?backend:Machine.backend ->
   ?trace_capacity:int ->
   policy:Dtb.policy ->
   quantum:int ->

@@ -21,6 +21,16 @@ type dir_fetch_mode =
   | Dir_uncached
   | Dir_cached of Cache.t
 
+(* The execution backend.  [`Decode] is the reference implementation:
+   every instruction is re-decoded on every execution.  [`Threaded]
+   compiles long-format code and installed short-format words into
+   pre-bound OCaml closures (operands, categories, memory costs and cycle
+   accounting resolved at compile time) and dispatches them directly —
+   the paper's DIR->PSDER argument applied to the simulator's own host
+   loop.  The two backends are observably identical: same cycle counts,
+   same statistics, same traps, same final state, on every program. *)
+type backend = [ `Decode | `Threaded ]
+
 type stats = {
   mutable cycles : int;
   mutable host_instrs : int;
@@ -131,6 +141,37 @@ type t = {
   mutable dir_mode : dir_fetch_mode;
   mutable dir_buffered_unit : int;  (* IFU holds one 16-bit unit; -1 = empty *)
   mutable code_fetch_hook : (int -> int) option;
+  (* threaded backend state (inert under [`Decode]) *)
+  threaded : bool;
+  mutable lc : (t -> unit) array;
+      (* long-format code compiled to closures, one slot per code address,
+         filled lazily as addresses get warm ([| |] until the first
+         threaded span; dropped when the code-fetch hook changes).  A cold
+         slot holds [cold_long]; a once-executed slot holds a per-address
+         warm closure that compiles on its second execution, so run-once
+         code (straight-line DER expansions, cold library routines) never
+         pays the compiler. *)
+  mutable span_lim : int;
+      (* the cycle limit of the span currently executing; fused blocks
+         consult it so they never run an instruction the decode loop's
+         per-instruction [cycles < lim] check would have stopped before *)
+  mutable sc_base : int;  (* short-compile window base; max_int = disabled *)
+  mutable sc_size : int;
+  mutable sc_table : (t -> unit) array array;
+  (* bumped on every invalidation inside the window; a fused short block
+     checks it between parts so an in-window store aborts the block's
+     remaining (possibly stale) compiled parts *)
+  mutable sc_gen : int;
+      (* two-level, copy-on-write: one slot per word of the window, in
+         chunks of [sc_chunk_words].  Untouched chunks all share the global
+         [cold_chunk] (every slot = the self-compiling [cold_short]), so
+         opening a 512K-word window costs a handful of chunk pointers, not
+         a window-sized closure array per machine.  Every slot is always
+         callable, so the span loop needs no per-iteration compiled-or-not
+         test; invalidation writes [cold_short] back (or re-points a fully
+         covered chunk at [cold_chunk]). *)
+  mutable max_access_cost : int;
+      (* max region cost: upper bound on what one memory access can charge *)
 }
 
 and hooks = {
@@ -143,6 +184,25 @@ and hooks = {
 exception Machine_trap of string
 
 let trap fmt = Printf.ksprintf (fun s -> raise (Machine_trap s)) fmt
+
+(* Short-compile chunking: 256-slot chunks keep fresh (copied-on-write)
+   chunks small enough for the minor heap, so warming a window allocates
+   proportionally to the words actually executed. *)
+let sc_chunk_bits = 8
+let sc_chunk_words = 1 lsl sc_chunk_bits
+let sc_chunk_mask = sc_chunk_words - 1
+
+(* Forward cells for the cold-path machinery: tables are created (and
+   invalidated) by functions defined before the execution engine, but cold
+   slots must hold the self-compiling closures defined after it.  All
+   cells are installed exactly once, right after [exec_threaded_span]. *)
+(* Longest run of short words one fused block may cover (head included);
+   invalidating a word must also kill any block head within this reach. *)
+let max_short_block_len = 8
+
+let cold_short_cell : (t -> unit) ref = ref (fun _ -> ())
+let cold_long_cell : (t -> unit) ref = ref (fun _ -> ())
+let cold_chunk_cell : (t -> unit) array ref = ref [||]
 
 (* The return stack distinguishes IU1 and IU2 resumption addresses with a
    high tag bit. *)
@@ -186,22 +246,85 @@ let build_cost_table regions mem_words =
   done;
   tbl
 
-let create ?(timing = Timing.paper) ?(fuel = 1_000_000_000) ~program ~mem_words
-    ~regions () =
-  let regions = Array.of_list regions in
-  Array.iter
-    (fun r ->
-      if r.base < 0 || r.size < 0 || r.base + r.size > mem_words then
-        invalid_arg (Printf.sprintf "Machine.create: region %s out of range" r.rname))
-    regions;
+(* Per-domain memos of the tables [create] derives from its inputs: the
+   category indices are a pure function of the program, the region array,
+   cost table and access-cost ceiling of the region list.  The layer
+   above (Uhm's build memos) hands repeated runs the same program and
+   region-list objects, so keying on physical identity turns a per-run
+   recomputation — an [Array.map] over the whole host program and a
+   region scan per cost page — into a list probe.  All shared tables are
+   read-only for the machine's lifetime. *)
+let derived_memo_max = 64
+
+let code_cat_memo :
+    (Asm.category array * int array) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let code_cat_for (program : Asm.program) =
+  let cats = program.Asm.categories in
+  let cache = Domain.DLS.get code_cat_memo in
+  match List.find_opt (fun (c, _) -> c == cats) !cache with
+  | Some (_, v) -> v
+  | None ->
+      let v = Array.map category_index cats in
+      let entries = !cache in
+      let entries =
+        if List.length entries >= derived_memo_max then
+          List.filteri (fun i _ -> i < derived_memo_max - 1) entries
+        else entries
+      in
+      cache := (cats, v) :: entries;
+      v
+
+let region_tables_memo :
+    ((region list * int) * (region array * int array * int)) list ref
+    Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let region_tables_for regions_list mem_words =
+  let cache = Domain.DLS.get region_tables_memo in
+  match
+    List.find_opt
+      (fun ((rl, mw), _) -> rl == regions_list && mw = mem_words)
+      !cache
+  with
+  | Some (_, v) -> v
+  | None ->
+      let regions = Array.of_list regions_list in
+      Array.iter
+        (fun r ->
+          if r.base < 0 || r.size < 0 || r.base + r.size > mem_words then
+            invalid_arg
+              (Printf.sprintf "Machine.create: region %s out of range" r.rname))
+        regions;
+      let v =
+        ( regions,
+          build_cost_table regions mem_words,
+          Array.fold_left (fun m r -> if r.cost > m then r.cost else m) 0
+            regions )
+      in
+      let entries = !cache in
+      let entries =
+        if List.length entries >= derived_memo_max then
+          List.filteri (fun i _ -> i < derived_memo_max - 1) entries
+        else entries
+      in
+      cache := ((regions_list, mem_words), v) :: entries;
+      v
+
+let create ?(timing = Timing.paper) ?(fuel = 1_000_000_000)
+    ?(backend = `Decode) ~program ~mem_words ~regions () =
+  let regions, region_cost, max_access_cost =
+    region_tables_for regions mem_words
+  in
   let pages = (mem_words + page_words - 1) lsr page_bits in
   {
     code = program.Asm.code;
-    code_cat = Array.map category_index program.Asm.categories;
+    code_cat = code_cat_for program;
     mem = alloc_page_table pages;
     mem_words;
     regions;
-    region_cost = build_cost_table regions mem_words;
+    region_cost;
     regs = Array.make H.Regs.n 0;
     timing;
     fuel;
@@ -228,7 +351,17 @@ let create ?(timing = Timing.paper) ?(fuel = 1_000_000_000) ~program ~mem_words
     dir_mode = Dir_uncached;
     dir_buffered_unit = -1;
     code_fetch_hook = None;
+    threaded = (backend = `Threaded);
+    lc = [||];
+    span_lim = 0;
+    sc_base = max_int;
+    sc_size = 0;
+    sc_table = [||];
+    sc_gen = 0;
+    max_access_cost;
   }
+
+let backend t : backend = if t.threaded then `Threaded else `Decode
 
 let set_hooks t hooks = t.hooks <- Some hooks
 
@@ -238,7 +371,60 @@ let set_dir_stream t ~bits ~mode =
   t.dir_mode <- mode;
   t.dir_buffered_unit <- -1
 
-let set_code_fetch_hook t f = t.code_fetch_hook <- Some f
+let set_code_fetch_hook t f =
+  t.code_fetch_hook <- Some f;
+  (* long-code closures bake the hook in; force a recompile *)
+  t.lc <- [||]
+
+(* Open a short-compile window over [base, base+size): the threaded
+   backend may cache closures for short words in this range (compiled on
+   demand as the pc reaches them).  A no-op on decode machines.  The
+   window must cover only addresses whose region assignment is fixed for
+   the machine's lifetime — true of every region in this simulator. *)
+let enable_short_compile t ~base ~size =
+  if t.threaded && size > 0 then begin
+    if base < 0 || base + size > t.mem_words then
+      invalid_arg "Machine.enable_short_compile: window out of range";
+    t.sc_base <- base;
+    t.sc_size <- size;
+    t.sc_table <-
+      Array.make
+        ((size + sc_chunk_words - 1) lsr sc_chunk_bits)
+        !cold_chunk_cell
+  end
+
+(* Drop any compiled closures for words in [addr, addr+len) — the DTB
+   lifecycle's invalidation tap (eviction, flush, ASID invalidation,
+   aborted translation).  Clamped to the window; a no-op when no window is
+   open. *)
+let drop_short_range t ~addr ~len =
+  if t.sc_size > 0 && len > 0 then begin
+    (* extend down by the block reach: a fused head just below the range
+       may cover dropped words *)
+    let addr = addr - (max_short_block_len - 1) in
+    let len = len + (max_short_block_len - 1) in
+    let lo = if addr > t.sc_base then addr else t.sc_base in
+    let hi = min (addr + len) (t.sc_base + t.sc_size) in
+    if hi > lo then begin
+      t.sc_gen <- t.sc_gen + 1;
+      let cold_chunk = !cold_chunk_cell and cold = !cold_short_cell in
+      let lo = lo - t.sc_base and hi = hi - t.sc_base in
+      let ci = ref (lo lsr sc_chunk_bits) in
+      let last = (hi - 1) lsr sc_chunk_bits in
+      while !ci <= last do
+        let cbase = !ci lsl sc_chunk_bits in
+        let l = max lo cbase and h = min hi (cbase + sc_chunk_words) in
+        let chunk = Array.unsafe_get t.sc_table !ci in
+        if chunk != cold_chunk then
+          (* keep the private chunk and fill it: re-pointing at the
+             shared cold chunk would force a fresh 256-slot copy on the
+             next install, and eviction-heavy programs drop ranges
+             thousands of times per run *)
+          Array.fill chunk (l - cbase) (h - l) cold;
+        incr ci
+      done
+    end
+  end
 let timing t = t.timing
 let reg t r = t.regs.(r)
 let set_reg t r v = t.regs.(r) <- v
@@ -260,7 +446,29 @@ let mem_set t addr v =
     end
     else page
   in
-  Array.unsafe_set page (addr land page_mask) v
+  Array.unsafe_set page (addr land page_mask) v;
+  (* every write to simulated memory funnels through here, so dropping the
+     word's compiled closure at this single point keeps the threaded
+     backend's invariant: a compiled slot always agrees with a fresh decode
+     of the word now in memory *)
+  if addr >= t.sc_base && addr - t.sc_base < t.sc_size then begin
+    (* a fused block's closure covers up to [max_short_block_len] words
+       starting at its head, so any head within that reach of the written
+       word dies with it; the generation bump aborts a block that is
+       mid-flight over this word *)
+    t.sc_gen <- t.sc_gen + 1;
+    let i = addr - t.sc_base in
+    let lo =
+      let l = i - (max_short_block_len - 1) in
+      if l < 0 then 0 else l
+    in
+    let cold_chunk = !cold_chunk_cell and cold = !cold_short_cell in
+    for j = lo to i do
+      let chunk = Array.unsafe_get t.sc_table (j lsr sc_chunk_bits) in
+      if chunk != cold_chunk then
+        Array.unsafe_set chunk (j land sc_chunk_mask) cold
+    done
+  end
 
 (* Return the machine's pages and page table to the domain-local pool.
    The machine must not be used afterwards: its memory now aliases pool
@@ -369,6 +577,77 @@ let pop_ret t =
   if rsp < 0 then trap "return stack underflow";
   t.regs.(H.Regs.rsp) <- rsp;
   stack_read t rsp
+
+(* -- Flattened access paths for the threaded closures ------------------------
+   Same checks, same charges, same traps, in the same order as the
+   reference chains above ([push_op] -> [stack_write] -> [mem_write] ->
+   [charge_mem_checked] -> [mem_set], etc.), but with the calls collapsed
+   into one body: without flambda every hop in that chain is an out-of-line
+   call, and the chain sits on the hottest path of the simulator.  The
+   rare branches — mixed cost pages, unmapped pages, writes that land in
+   the short-compile window — fall back to the reference helpers, so the
+   semantics (including the window-invalidation funnel) stay in one
+   place. *)
+
+let charge_fast t addr =
+  let c = Array.unsafe_get t.region_cost (addr lsr cost_page_bits) in
+  if c >= 0 then t.stats.cycles <- t.stats.cycles + c
+  else charge_mem_checked t addr
+
+let load_fast t addr =
+  if addr < 0 || addr >= t.mem_words then trap "memory read at %d" addr;
+  charge_fast t addr;
+  mem_get t addr
+
+let store_fast t addr v =
+  if addr < 0 || addr >= t.mem_words then trap "memory write at %d" addr;
+  charge_fast t addr;
+  let page = Array.unsafe_get t.mem (addr lsr page_bits) in
+  if page != zero_page && (addr < t.sc_base || addr - t.sc_base >= t.sc_size)
+  then Array.unsafe_set page (addr land page_mask) v
+  else mem_set t addr v
+
+let push_op_fast t v =
+  let sp = Array.unsafe_get t.regs H.Regs.sp in
+  if sp < 0 || sp >= t.mem_words then trap "memory write at %d" sp;
+  charge_fast t sp;
+  (let page = Array.unsafe_get t.mem (sp lsr page_bits) in
+   if page != zero_page && (sp < t.sc_base || sp - t.sc_base >= t.sc_size)
+   then Array.unsafe_set page (sp land page_mask) v
+   else mem_set t sp v);
+  t.stats.stack_cycles <- t.stats.stack_cycles + t.timing.Timing.t1;
+  Array.unsafe_set t.regs H.Regs.sp (sp + 1)
+
+let pop_op_fast t =
+  let sp = Array.unsafe_get t.regs H.Regs.sp - 1 in
+  if sp < 0 then trap "operand stack underflow";
+  Array.unsafe_set t.regs H.Regs.sp sp;
+  if sp >= t.mem_words then trap "memory read at %d" sp;
+  charge_fast t sp;
+  let v = mem_get t sp in
+  t.stats.stack_cycles <- t.stats.stack_cycles + t.timing.Timing.t1;
+  v
+
+let push_ret_fast t v =
+  let rsp = Array.unsafe_get t.regs H.Regs.rsp in
+  if rsp < 0 || rsp >= t.mem_words then trap "memory write at %d" rsp;
+  charge_fast t rsp;
+  (let page = Array.unsafe_get t.mem (rsp lsr page_bits) in
+   if page != zero_page && (rsp < t.sc_base || rsp - t.sc_base >= t.sc_size)
+   then Array.unsafe_set page (rsp land page_mask) v
+   else mem_set t rsp v);
+  t.stats.stack_cycles <- t.stats.stack_cycles + t.timing.Timing.t1;
+  Array.unsafe_set t.regs H.Regs.rsp (rsp + 1)
+
+let pop_ret_fast t =
+  let rsp = Array.unsafe_get t.regs H.Regs.rsp - 1 in
+  if rsp < 0 then trap "return stack underflow";
+  Array.unsafe_set t.regs H.Regs.rsp rsp;
+  if rsp >= t.mem_words then trap "memory read at %d" rsp;
+  charge_fast t rsp;
+  let v = mem_get t rsp in
+  t.stats.stack_cycles <- t.stats.stack_cycles + t.timing.Timing.t1;
+  v
 
 (* -- DIR stream fetch (the IFU) -------------------------------------------- *)
 
@@ -559,11 +838,828 @@ let step t =
         with Machine_trap msg -> t.status <- Trapped msg)
   | Halted | Trapped _ | Out_of_fuel -> ()
 
+(* -- The threaded backend ----------------------------------------------------
+   Each closure below is the exact image of one [exec_long]/[exec_short]
+   dispatch for one fixed address: operands, category index, fall-through
+   pc and (for short words) the fetch cost are resolved at compile time,
+   and the statistics flush is specialised to what the instruction can
+   actually touch.  Because every closure is decode-equivalent for its
+   word, the driver may fall back to the reference [step] anywhere — out
+   of range pcs, words outside the compile window, opcodes that don't
+   decode — without perturbing a single cycle. *)
+
+(* Pre-specialised ALU operators; Div and Mod are handled separately
+   because they can trap. *)
+let alu_fn : H.alu_op -> int -> int -> int = function
+  | H.Add -> ( + )
+  | H.Sub -> ( - )
+  | H.Mul -> ( * )
+  | H.Div | H.Mod -> assert false
+  | H.And -> ( land )
+  | H.Or -> ( lor )
+  | H.Xor -> ( lxor )
+  | H.Shl -> ( lsl )
+  | H.Shr -> ( asr )
+  | H.Slt -> fun x y -> if x < y then 1 else 0
+  | H.Sle -> fun x y -> if x <= y then 1 else 0
+  | H.Seq -> fun x y -> if x = y then 1 else 0
+  | H.Sne -> fun x y -> if x <> y then 1 else 0
+  | H.Sgt -> fun x y -> if x > y then 1 else 0
+  | H.Sge -> fun x y -> if x >= y then 1 else 0
+
+(* [exec_long]'s flush, specialised, reading the counters through the
+   machine argument so compiled closures capture no per-machine state.
+   [bump1]: the dispatch charged nothing, so the category gets exactly
+   the instruction cycle.  [bump_mem]: the dispatch may have charged
+   memory cycles but cannot have touched the DIR stream.  [bump_full]:
+   the general form. *)
+let bump1 t cat =
+  let stats = t.stats in
+  stats.cycles <- stats.cycles + 1;
+  stats.host_instrs <- stats.host_instrs + 1;
+  let cats = stats.cat_cycles in
+  Array.unsafe_set cats cat (Array.unsafe_get cats cat + 1)
+  [@@inline]
+
+let bump_mem t cat before =
+  let stats = t.stats in
+  let cycles = stats.cycles + 1 in
+  stats.cycles <- cycles;
+  stats.host_instrs <- stats.host_instrs + 1;
+  let cats = stats.cat_cycles in
+  Array.unsafe_set cats cat (Array.unsafe_get cats cat + (cycles - before))
+  [@@inline]
+
+let bump_full t cat before fetch_before =
+  let stats = t.stats in
+  let cycles = stats.cycles + 1 in
+  stats.cycles <- cycles;
+  stats.host_instrs <- stats.host_instrs + 1;
+  let cats = stats.cat_cycles in
+  Array.unsafe_set cats cat
+    (Array.unsafe_get cats cat + (cycles - before)
+    - (stats.dir_fetch_cycles - fetch_before))
+  [@@inline]
+
+(* Compile one long instruction into a closure.  Everything baked in at
+   compile time is a function of the *code* alone — the decoded
+   instruction, its cost category, the fall-through address; registers,
+   counters, output, hooks and timing are all read through the machine
+   argument.  A compiled closure is therefore valid for any machine
+   executing the same program object, which is what lets [lc_for] share
+   warmed closure arrays across runs.  The code-fetch-hook wrapper is
+   the one exception: it bakes in the per-machine hook, and such
+   machines keep a private array. *)
+let compile_long_one t addr =
+  let hook = t.code_fetch_hook in
+  let cat = Array.unsafe_get t.code_cat addr in
+  let next = addr + 1 in
+  let body =
+    match Array.unsafe_get t.code addr with
+        | H.Li (rd, v) ->
+            fun t ->
+              t.pc_addr <- next;
+              t.regs.(rd) <- v;
+              bump1 t cat
+        | H.Mv (rd, rs) ->
+            fun t ->
+              t.pc_addr <- next;
+              let regs = t.regs in
+              regs.(rd) <- regs.(rs);
+              bump1 t cat
+        | H.Alu (op, rd, rs1, rs2) -> (
+            match op with
+            | H.Div | H.Mod ->
+                fun t ->
+                  t.pc_addr <- next;
+                  let regs = t.regs in
+                  (try regs.(rd) <- H.eval_alu op regs.(rs1) regs.(rs2)
+                   with Division_by_zero -> trap "division by zero");
+                  bump1 t cat
+            | op ->
+                let f = alu_fn op in
+                fun t ->
+                  t.pc_addr <- next;
+                  let regs = t.regs in
+                  regs.(rd) <- f regs.(rs1) regs.(rs2);
+                  bump1 t cat)
+        | H.Alui (op, rd, rs, v) -> (
+            match op with
+            | H.Div | H.Mod ->
+                fun t ->
+                  t.pc_addr <- next;
+                  let regs = t.regs in
+                  (try regs.(rd) <- H.eval_alu op regs.(rs) v
+                   with Division_by_zero -> trap "division by zero");
+                  bump1 t cat
+            | op ->
+                let f = alu_fn op in
+                fun t ->
+                  t.pc_addr <- next;
+                  let regs = t.regs in
+                  regs.(rd) <- f regs.(rs) v;
+                  bump1 t cat)
+        | H.Alu2i (op1, op2, rd, rs1, rs2, v) -> (
+            match (op1, op2) with
+            | (H.Div | H.Mod), _ | _, (H.Div | H.Mod) ->
+                fun t ->
+                  t.pc_addr <- next;
+                  let regs = t.regs in
+                  (try
+                     regs.(rd) <-
+                       H.eval_alu op2 (H.eval_alu op1 regs.(rs1) regs.(rs2)) v
+                   with Division_by_zero -> trap "division by zero");
+                  bump1 t cat
+            | _ ->
+                let f1 = alu_fn op1 and f2 = alu_fn op2 in
+                fun t ->
+                  t.pc_addr <- next;
+                  let regs = t.regs in
+                  regs.(rd) <- f2 (f1 regs.(rs1) regs.(rs2)) v;
+                  bump1 t cat)
+        | H.Load (rd, rs, off) ->
+            fun t ->
+              let before = t.stats.cycles in
+              t.pc_addr <- next;
+              t.regs.(rd) <- load_fast t (t.regs.(rs) + off);
+              bump_mem t cat before
+        | H.Store (rs, rbase, off) ->
+            fun t ->
+              let before = t.stats.cycles in
+              t.pc_addr <- next;
+              let regs = t.regs in
+              store_fast t (regs.(rbase) + off) regs.(rs);
+              bump_mem t cat before
+        | H.Jmp a ->
+            fun t ->
+              t.pc_addr <- a;
+              bump1 t cat
+        | H.Jz (r, a) ->
+            fun t ->
+              t.pc_addr <- (if t.regs.(r) = 0 then a else next);
+              bump1 t cat
+        | H.Jnz (r, a) ->
+            fun t ->
+              t.pc_addr <- (if t.regs.(r) <> 0 then a else next);
+              bump1 t cat
+        | H.Jneg (r, a) ->
+            fun t ->
+              t.pc_addr <- (if t.regs.(r) < 0 then a else next);
+              bump1 t cat
+        | H.JmpR r ->
+            fun t ->
+              t.pc_addr <- t.regs.(r);
+              bump1 t cat
+        | H.CallL a ->
+            fun t ->
+              let before = t.stats.cycles in
+              t.pc_addr <- next;
+              push_ret_fast t next;
+              t.pc_addr <- a;
+              bump_mem t cat before
+        | H.CallR r ->
+            fun t ->
+              let before = t.stats.cycles in
+              t.pc_addr <- next;
+              push_ret_fast t next;
+              (* read after the push, as decode does: CallR rsp is legal *)
+              t.pc_addr <- t.regs.(r);
+              bump_mem t cat before
+        | H.Ret ->
+            fun t ->
+              let before = t.stats.cycles in
+              t.pc_addr <- next;
+              let v = pop_ret_fast t in
+              if v land short_tag <> 0 then begin
+                t.pc_short <- true;
+                t.pc_addr <- v land short_mask
+              end
+              else t.pc_addr <- v;
+              bump_mem t cat before
+        | H.PushOp r ->
+            fun t ->
+              let before = t.stats.cycles in
+              t.pc_addr <- next;
+              push_op_fast t t.regs.(r);
+              bump_mem t cat before
+        | H.PopOp r ->
+            fun t ->
+              let before = t.stats.cycles in
+              t.pc_addr <- next;
+              t.regs.(r) <- pop_op_fast t;
+              bump_mem t cat before
+        | H.GetBits (rd, width) ->
+            fun t ->
+              let before = t.stats.cycles in
+              let fetch_before = t.stats.dir_fetch_cycles in
+              t.pc_addr <- next;
+              t.regs.(rd) <- get_bits t width;
+              bump_full t cat before fetch_before
+        | H.GetBitsR (rd, rw) ->
+            fun t ->
+              let before = t.stats.cycles in
+              let fetch_before = t.stats.dir_fetch_cycles in
+              t.pc_addr <- next;
+              t.regs.(rd) <- get_bits t t.regs.(rw);
+              bump_full t cat before fetch_before
+        | H.DecodeAssist ->
+            fun t ->
+              let before = t.stats.cycles in
+              let fetch_before = t.stats.dir_fetch_cycles in
+              t.pc_addr <- next;
+              (hooks_exn t).h_decode_assist t;
+              bump_full t cat before fetch_before
+        | H.EmitShort r ->
+            fun t ->
+              let before = t.stats.cycles in
+              let fetch_before = t.stats.dir_fetch_cycles in
+              t.pc_addr <- next;
+              (hooks_exn t).h_emit_short t t.regs.(r);
+              bump_full t cat before fetch_before
+        | H.EndTrans ->
+            fun t ->
+              let before = t.stats.cycles in
+              let fetch_before = t.stats.dir_fetch_cycles in
+              t.pc_addr <- next;
+              (hooks_exn t).h_end_trans t;
+              bump_full t cat before fetch_before
+        | H.Out r ->
+            fun t ->
+              t.pc_addr <- next;
+              Buffer.add_string t.out (string_of_int t.regs.(r));
+              Buffer.add_char t.out '\n';
+              bump1 t cat
+        | H.OutC r ->
+            fun t ->
+              t.pc_addr <- next;
+              let v = t.regs.(r) in
+              if v < 0 || v > 255 then trap "OutC out of range: %d" v;
+              Buffer.add_char t.out (Char.chr v);
+              bump1 t cat
+        | H.Halt ->
+            fun t ->
+              t.status <- Halted;
+              t.pc_addr <- addr;
+              bump1 t cat
+        | H.Break msg -> fun t ->
+            t.pc_addr <- next;
+            trap "%s" msg
+      in
+  match hook with
+  | None -> body
+  | Some f ->
+      (* the hook charge precedes the flush baseline, exactly as in
+         [exec_long]: hook cycles are never category-attributed *)
+      fun t ->
+        let extra = f addr in
+        let stats = t.stats in
+        stats.code_fetch_cycles <- stats.code_fetch_cycles + extra;
+        stats.cycles <- stats.cycles + extra;
+        body t
+
+(* -- Block fusion -------------------------------------------------------------
+   One closure per *straight-line run* of long instructions: the span
+   driver's per-instruction checks (status, mode, limit, bounds, slot) are
+   paid once per block instead of once per instruction, and runs of pure
+   register/ALU instructions flush their statistics in one batch.
+
+   Exactness:
+   - Only instructions that always fall through are fused as block bodies;
+     the first control transfer (or hook-calling, or DIR-fetching)
+     instruction terminates the block and keeps its ordinary one-address
+     closure as the block's last part.
+   - A *pure* body instruction (register/ALU/Out) charges exactly one
+     cycle, cannot trap and cannot observe the pc, so a run of them may
+     execute without intermediate pc stores and flush cycles,
+     instruction count and category attribution in one batch at the end
+     of the run — totals after the batch are identical to the
+     per-instruction flushes, and no observation point exists inside.
+   - Memory and possibly-trapping bodies (Load/Store/PushOp/PopOp, OutC,
+     Div/Mod forms) keep their own closures: they set their own pc and
+     flush per instruction, so a mid-block trap leaves exactly the state
+     the decode loop would.
+   - The decode loop checks [cycles < lim] before *every* instruction; a
+     fused block checks once, against a precomputed worst-case bound on
+     what every instruction but the last can charge.  If the bound does
+     not fit, the block falls back to its first instruction's ordinary
+     closure — one instruction at a time, exactly the per-instruction
+     checks, until the limit interval is left.
+   - Code with a fetch hook (host-code icache) charges dynamic per-
+     instruction costs, so fusion is disabled there entirely. *)
+
+let max_block_len = 64
+
+(* Body instructions that always fall through; everything else terminates
+   a block. *)
+let block_body_kind (i : H.instr) =
+  match i with
+  | H.Li _ | H.Mv _ | H.Out _ -> `Pure
+  | H.Alu (op, _, _, _) | H.Alui (op, _, _, _) -> (
+      match op with H.Div | H.Mod -> `Trappy | _ -> `Pure)
+  | H.Alu2i (op1, op2, _, _, _, _) -> (
+      match (op1, op2) with
+      | (H.Div | H.Mod), _ | _, (H.Div | H.Mod) -> `Trappy
+      | _ -> `Pure)
+  | H.OutC _ -> `Trappy
+  | H.Load _ | H.Store _ | H.PushOp _ | H.PopOp _ -> `Mem
+  (* DIR fetches fall through and their worst-case charge is bounded by
+     the units the field can touch, so they may ride inside a block with
+     their own per-instruction closure (the Huffman translators are
+     dominated by GetBits runs) *)
+  | H.GetBits _ | H.GetBitsR _ -> `Dir
+  | _ -> `Term
+
+(* The flush-free work of one pure instruction; like [compile_long_one],
+   the closure reads registers and output through its argument. *)
+let pure_body t a : t -> unit =
+  match Array.unsafe_get t.code a with
+  | H.Li (rd, v) -> fun t -> t.regs.(rd) <- v
+  | H.Mv (rd, rs) ->
+      fun t ->
+        let regs = t.regs in
+        regs.(rd) <- regs.(rs)
+  | H.Alu (op, rd, rs1, rs2) ->
+      let f = alu_fn op in
+      fun t ->
+        let regs = t.regs in
+        regs.(rd) <- f regs.(rs1) regs.(rs2)
+  | H.Alui (op, rd, rs, v) ->
+      let f = alu_fn op in
+      fun t ->
+        let regs = t.regs in
+        regs.(rd) <- f regs.(rs) v
+  | H.Alu2i (op1, op2, rd, rs1, rs2, v) ->
+      let f1 = alu_fn op1 and f2 = alu_fn op2 in
+      fun t ->
+        let regs = t.regs in
+        regs.(rd) <- f2 (f1 regs.(rs1) regs.(rs2)) v
+  | H.Out r ->
+      fun t ->
+        Buffer.add_string t.out (string_of_int t.regs.(r));
+        Buffer.add_char t.out '\n'
+  | _ -> assert false
+
+let seq_parts = function
+  | [] -> assert false
+  | [ f ] -> f
+  | [ f; g ] -> fun t -> f t; g t
+  | [ f; g; h ] -> fun t -> f t; g t; h t
+  | [ f; g; h; i ] -> fun t -> f t; g t; h t; i t
+  | parts ->
+      let a = Array.of_list parts in
+      let n = Array.length a in
+      fun t ->
+        for i = 0 to n - 1 do
+          (Array.unsafe_get a i) t
+        done
+
+let compile_long_block t addr =
+  if t.code_fetch_hook <> None then compile_long_one t addr
+  else begin
+    let code = t.code in
+    let len = Array.length code in
+    let stop = min len (addr + max_block_len) in
+    (* bodies cover [addr, body_end); a terminator at [body_end] (when in
+       range) joins the block as its last instruction *)
+    let body_end = ref addr in
+    while
+      !body_end < stop
+      && block_body_kind (Array.unsafe_get code !body_end) <> `Term
+    do
+      incr body_end
+    done;
+    let term = if !body_end < stop then Some !body_end else None in
+    let count = !body_end - addr + (match term with Some _ -> 1 | None -> 0) in
+    let first = compile_long_one t addr in
+    if count < 2 then first
+    else begin
+      let last = match term with Some a -> a | None -> !body_end - 1 in
+      (* worst-case cycles every instruction but the last can charge: one
+         instruction cycle, plus at most the costliest region access for
+         the memory forms.  (Stack-cycle counters are not machine cycles
+         and do not enter the bound.) *)
+      let dir_unit_cost =
+        let tm = t.timing in
+        max tm.Timing.t2 tm.Timing.t_dtb
+      in
+      let bound = ref 0 in
+      for a = addr to last - 1 do
+        bound :=
+          !bound
+          + 1
+          + (match block_body_kind (Array.unsafe_get code a) with
+            | `Mem -> t.max_access_cost
+            | `Dir ->
+                (* a width-w field starting anywhere touches at most
+                   w/16 + 1 units; register widths are capped by the
+                   bitstream's maximum *)
+                let w =
+                  match Array.unsafe_get code a with
+                  | H.GetBits (_, w) -> w
+                  | _ -> Uhm_bitstream.Bits.max_width
+                in
+                ((max w 0 / 16) + 1) * dir_unit_cost
+            | _ -> 0)
+      done;
+      let bound = !bound in
+      (* assemble the parts: pure runs batch their flush, everything else
+         keeps its one-address closure *)
+      let parts = ref [] in
+      let a = ref addr in
+      while !a < !body_end do
+        match block_body_kind (Array.unsafe_get code !a) with
+        | `Pure ->
+            let s = !a in
+            while
+              !a < !body_end
+              && block_body_kind (Array.unsafe_get code !a) = `Pure
+            do
+              incr a
+            done;
+            let e = !a in
+            let n = e - s in
+            for i = s to e - 1 do
+              parts := pure_body t i :: !parts
+            done;
+            (* batched flush: per-category counts of the run *)
+            let counts = Array.make 5 0 in
+            for i = s to e - 1 do
+              let c = Array.unsafe_get t.code_cat i in
+              counts.(c) <- counts.(c) + 1
+            done;
+            let pairs = ref [] in
+            Array.iteri
+              (fun c n -> if n > 0 then pairs := (c, n) :: !pairs)
+              counts;
+            let flush =
+              match !pairs with
+              | [ (c1, n1) ] ->
+                  fun t ->
+                    let stats = t.stats in
+                    stats.cycles <- stats.cycles + n;
+                    stats.host_instrs <- stats.host_instrs + n;
+                    let cats = stats.cat_cycles in
+                    Array.unsafe_set cats c1 (Array.unsafe_get cats c1 + n1);
+                    t.pc_addr <- e
+              | [ (c1, n1); (c2, n2) ] ->
+                  fun t ->
+                    let stats = t.stats in
+                    stats.cycles <- stats.cycles + n;
+                    stats.host_instrs <- stats.host_instrs + n;
+                    let cats = stats.cat_cycles in
+                    Array.unsafe_set cats c1 (Array.unsafe_get cats c1 + n1);
+                    Array.unsafe_set cats c2 (Array.unsafe_get cats c2 + n2);
+                    t.pc_addr <- e
+              | pairs ->
+                  fun t ->
+                    let stats = t.stats in
+                    stats.cycles <- stats.cycles + n;
+                    stats.host_instrs <- stats.host_instrs + n;
+                    let cats = stats.cat_cycles in
+                    List.iter
+                      (fun (c, k) ->
+                        Array.unsafe_set cats c (Array.unsafe_get cats c + k))
+                      pairs;
+                    t.pc_addr <- e
+            in
+            parts := flush :: !parts
+        | _ ->
+            parts := compile_long_one t !a :: !parts;
+            incr a
+      done;
+      (match term with
+      | Some a -> parts := compile_long_one t a :: !parts
+      | None -> ());
+      let blockf = seq_parts (List.rev !parts) in
+      fun t ->
+        if t.stats.cycles + bound < t.span_lim then blockf t else first t
+    end
+  end
+
+(* Compile the short word currently at [addr], or [None] when its opcode
+   doesn't decode (the fallback [step] then reproduces the decode path's
+   exception exactly).  The caller guarantees [addr] lies in the compile
+   window, hence in a region, so the fetch cost is fixed and pre-bindable. *)
+let compile_short t addr =
+  let stats = t.stats in
+  let word = mem_get t addr in
+  let opn = Short_format.unpack_op word in
+  match mem_cost t addr with
+  | exception Not_found -> None  (* unmapped: let decode raise its trap *)
+  | _ when opn > Short_format.op_to_int Short_format.Goto_stk -> None
+  | fetch ->
+    let next = addr + 1 in
+    let operand = Short_format.unpack_operand word in
+    (* [exec_short]'s prologue: fetch charge, instruction cycle, counts,
+       fall-through pc *)
+    let pre t =
+      stats.cycles <- stats.cycles + fetch + 1;
+      stats.short_instrs <- stats.short_instrs + 1;
+      stats.short_fetch_cycles <- stats.short_fetch_cycles + fetch;
+      t.pc_addr <- next
+    in
+    Some
+      (match Short_format.op_of_int opn with
+      | Short_format.Push_imm -> fun t -> pre t; push_op_fast t operand
+      | Short_format.Push_dir ->
+          fun t -> pre t; push_op_fast t (load_fast t operand)
+      | Short_format.Push_ind ->
+          fun t ->
+            pre t;
+            push_op_fast t (load_fast t (load_fast t operand))
+      | Short_format.Pop_dir ->
+          fun t ->
+            pre t;
+            let v = pop_op_fast t in
+            store_fast t operand v
+      | Short_format.Call_long ->
+          let ret = next lor short_tag in
+          fun t ->
+            pre t;
+            push_ret_fast t ret;
+            t.pc_short <- false;
+            t.pc_addr <- operand
+      | Short_format.Interp_imm ->
+          let dctx = Short_format.unpack_ctx word in
+          fun t ->
+            pre t;
+            stats.interp_count <- stats.interp_count + 1;
+            (hooks_exn t).h_interp t ~dir_addr:operand ~dctx
+      | Short_format.Interp_stk ->
+          fun t ->
+            pre t;
+            stats.interp_count <- stats.interp_count + 1;
+            let dir_addr = pop_op_fast t in
+            let dctx = pop_op_fast t in
+            (hooks_exn t).h_interp t ~dir_addr ~dctx
+      | Short_format.Goto -> fun t -> pre t; t.pc_addr <- operand
+      | Short_format.Goto_stk ->
+          fun t ->
+            pre t;
+            let a = pop_op_fast t in
+            t.pc_addr <- a)
+
+(* Run compiled closures until the machine leaves [Running], [lim] cycles
+   have been charged, or [quantum] INTERP transfers have completed since
+   [qstart] — always stopping on an instruction boundary.  Anything the
+   fast path can't serve (pc out of range, short word outside the window,
+   undecodable opcode) takes one reference [step].  Callers must ensure
+   [lim <= fuel] so the fallback [step] cannot spuriously run out of
+   fuel mid-span. *)
+(* The cold/warm closure pair: every table slot is always callable.  A
+   cold slot interprets its word in place — exactly the decode path — on
+   its first execution since (re)install and leaves behind a per-address
+   warm closure; the warm closure compiles on the second execution.
+   Run-once code (straight-line DER expansions, single-shot translations,
+   cold library routines) therefore executes at decode speed and never
+   pays the compiler, with no hotness side table: the warmth is the slot
+   content itself, and invalidation (which writes [cold_short] back)
+   resets it for free.  Everything runs inside the span loop's dispatch,
+   so cold code pays no per-instruction loop-exit round trip either.  The
+   loop conditions ([Running], [cycles < lim <= fuel], pc in range)
+   establish everything [step] would check, so calling
+   [exec_short]/[exec_long] directly is exact; traps unwind to the span
+   loop's handler just as compiled closures' do. *)
+
+(* -- Short-block fusion -------------------------------------------------------
+   One closure per straight-line run of short words, mirroring the long
+   side: the span loop's per-instruction conditions (status, mode,
+   limit, quantum, window bounds) and two-level table dispatch are paid
+   once per block.  Each part keeps its own per-instruction flush, so
+   partial state at any point — including at a trap — is exactly the
+   decode path's.
+
+   Exactness:
+   - Only fall-through words (the stack push/pop forms) are bodies; the
+     first control transfer (Goto, Call_long, Goto_stk, INTERP) joins as
+     the block's final part.  INTERP can only be the last part, so the
+     loop's quantum check before the block equals decode's check before
+     each part.
+   - The cycle limit is checked once against a worst-case bound on what
+     every part but the last can charge (fetch + instruction cycle +
+     accesses times the dearest region), falling back to the head's
+     single closure near the limit — per-instruction checks exactly as
+     decode.
+   - A store into the window (self-modifying code, a faulted stack
+     pointer) invalidates compiled slots mid-block.  Every such store
+     funnels through [mem_set], which bumps [sc_gen]; the block re-checks
+     the generation between parts and simply stops — state is exact
+     after every part, and the span loop re-dispatches at the current pc
+     through freshly-cold slots. *)
+
+let compile_short_block t a =
+  match compile_short t a with
+  | None -> None
+  | Some first ->
+      let window_end = t.sc_base + t.sc_size in
+      let stop = min (a + max_short_block_len) window_end in
+      let is_term word =
+        match Short_format.op_of_int (Short_format.unpack_op word) with
+        | Short_format.Push_imm | Short_format.Push_dir
+        | Short_format.Push_ind | Short_format.Pop_dir ->
+            false
+        | _ -> true
+      in
+      let accesses word =
+        match Short_format.op_of_int (Short_format.unpack_op word) with
+        | Short_format.Push_imm -> 1 (* stack write *)
+        | Short_format.Push_dir -> 2 (* load + stack write *)
+        | Short_format.Push_ind -> 3 (* two loads + stack write *)
+        | Short_format.Pop_dir -> 2 (* stack read + store *)
+        | _ -> 0
+      in
+      let parts = ref [ first ] in
+      (* worst-case charge of every part but the last *)
+      let bound = ref 0 in
+      let prev_worst = ref 0 in
+      (match mem_cost t a with
+      | fetch -> prev_worst := fetch + 1 + (accesses (mem_get t a) * t.max_access_cost)
+      | exception Not_found -> ());
+      let addr = ref (a + 1) in
+      let ended = ref (is_term (mem_get t a)) in
+      while (not !ended) && !addr < stop do
+        let word = mem_get t !addr in
+        match compile_short t !addr with
+        | None -> ended := true
+        | Some f ->
+            parts := f :: !parts;
+            bound := !bound + !prev_worst;
+            (match mem_cost t !addr with
+            | fetch ->
+                prev_worst :=
+                  fetch + 1 + (accesses word * t.max_access_cost)
+            | exception Not_found -> assert false);
+            if is_term word then ended := true else incr addr
+      done;
+      (match !parts with
+      | [ _ ] -> Some first
+      | parts ->
+          let arr = Array.of_list (List.rev parts) in
+          let n = Array.length arr in
+          let bound = !bound in
+          Some
+            (fun t ->
+              if t.stats.cycles + bound < t.span_lim then begin
+                let g = t.sc_gen in
+                let i = ref 0 in
+                while !i < n && t.sc_gen = g do
+                  (Array.unsafe_get arr !i) t;
+                  incr i
+                done
+                (* a generation bump means an in-window store: the rest of
+                   the block may be stale — state is exact, so return to
+                   the dispatch loop *)
+              end
+              else first t))
+
+(* Install [f] at window offset [i], copying the shared cold chunk first
+   if this is the chunk's first warm slot. *)
+let sc_install t i f =
+  let ci = i lsr sc_chunk_bits in
+  let chunk = Array.unsafe_get t.sc_table ci in
+  let chunk =
+    if chunk == !cold_chunk_cell then begin
+      let fresh = Array.copy chunk in
+      Array.unsafe_set t.sc_table ci fresh;
+      fresh
+    end
+    else chunk
+  in
+  Array.unsafe_set chunk (i land sc_chunk_mask) f
+
+let warm_short a t =
+  match compile_short_block t a with
+  | Some f ->
+      sc_install t (a - t.sc_base) f;
+      f t
+  | None -> exec_short t a
+
+let cold_short t =
+  let a = t.pc_addr in
+  sc_install t (a - t.sc_base) (warm_short a);
+  exec_short t a
+
+let warm_long a t =
+  let f = compile_long_block t a in
+  Array.unsafe_set t.lc a f;
+  f t
+
+let cold_long t =
+  let a = t.pc_addr in
+  Array.unsafe_set t.lc a (warm_long a);
+  exec_long t a
+
+let () =
+  cold_short_cell := cold_short;
+  cold_long_cell := cold_long;
+  cold_chunk_cell := Array.make sc_chunk_words cold_short
+
+(* -- The compiled-long-code cache ---------------------------------------------
+   Long-closure compilation bakes in only functions of the host code
+   itself — the decoded instruction, its cost category, block cycle
+   bounds computed from [max_access_cost] — and every closure reads its
+   run state through the machine argument.  A warmed closure array is
+   therefore valid for any machine executing the same program object
+   under the same worst-case region cost, so arrays are cached per
+   domain, keyed on the code array's physical identity (host programs
+   are immutable once assembled, and the generator layer above hands
+   repeated runs the same object).  Repeat runs start fully warm and
+   never touch the compiler.  Machines with a code-fetch hook bake the
+   per-machine hook into each closure and keep a private array instead.
+   Bounded: a full cache drops its oldest entry. *)
+let lc_cache_max = 64
+
+let lc_cache_key :
+    (H.instr array * int * int * (t -> unit) array) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let lc_for t =
+  if t.code_fetch_hook <> None then
+    Array.make (Array.length t.code) cold_long
+  else begin
+    let cache = Domain.DLS.get lc_cache_key in
+    let mac = t.max_access_cost in
+    let dc = max t.timing.Timing.t2 t.timing.Timing.t_dtb in
+    match
+      List.find_opt
+        (fun (c, m, d, _) -> c == t.code && m = mac && d = dc)
+        !cache
+    with
+    | Some (_, _, _, lc) -> lc
+    | None ->
+        let lc = Array.make (Array.length t.code) cold_long in
+        let entries = !cache in
+        let entries =
+          if List.length entries >= lc_cache_max then
+            List.filteri (fun i _ -> i < lc_cache_max - 1) entries
+          else entries
+        in
+        cache := (t.code, mac, dc, lc) :: entries;
+        lc
+  end
+
+let exec_threaded_span t ~lim ~qstart ~quantum =
+  t.span_lim <- lim;
+  let stats = t.stats in
+  while
+    t.status == Running && stats.cycles < lim
+    && stats.interp_count - qstart < quantum
+  do
+    if t.pc_short then begin
+      let base = t.sc_base and size = t.sc_size in
+      if t.pc_addr - base >= 0 && t.pc_addr - base < size then (
+        let sc = t.sc_table in
+        try
+          while
+            t.status == Running && t.pc_short && stats.cycles < lim
+            && stats.interp_count - qstart < quantum
+            &&
+            let j = t.pc_addr - base in
+            j >= 0 && j < size
+          do
+            let j = t.pc_addr - base in
+            (Array.unsafe_get
+               (Array.unsafe_get sc (j lsr sc_chunk_bits))
+               (j land sc_chunk_mask))
+              t
+          done
+        with Machine_trap msg -> t.status <- Trapped msg)
+      else step t
+    end
+    else begin
+      if Array.length t.lc = 0 && Array.length t.code > 0 then
+        t.lc <- lc_for t;
+      let lc = t.lc in
+      let n = Array.length lc in
+      if t.pc_addr >= 0 && t.pc_addr < n then (
+        (* no quantum check: long instructions never complete an INTERP *)
+        try
+          while
+            t.status == Running && (not t.pc_short) && stats.cycles < lim
+            && t.pc_addr >= 0 && t.pc_addr < n
+          do
+            (Array.unsafe_get lc t.pc_addr) t
+          done
+        with Machine_trap msg -> t.status <- Trapped msg)
+      else step t
+    end
+  done
+
 let run t =
-  while t.status = Running do
-    step t
-  done;
-  t.status
+  if t.threaded then begin
+    while t.status = Running do
+      exec_threaded_span t ~lim:t.fuel ~qstart:0 ~quantum:max_int;
+      (* still running => cycles >= fuel; one [step] marks Out_of_fuel *)
+      if t.status = Running then step t
+    done;
+    t.status
+  end
+  else begin
+    while t.status = Running do
+      step t
+    done;
+    t.status
+  end
 
 (* -- Resumable execution -----------------------------------------------------
    The multiprogramming scheduler runs each program in slices on its own
@@ -584,9 +1680,18 @@ let run_for t ~budget =
     if budget > max_int - t.stats.cycles then max_int
     else t.stats.cycles + budget
   in
-  while t.status = Running && t.stats.cycles < stop do
-    step t
-  done;
+  if t.threaded then begin
+    let lim = if stop < t.fuel then stop else t.fuel in
+    exec_threaded_span t ~lim ~qstart:0 ~quantum:max_int;
+    (* still running with budget left => the span stopped at the fuel
+       limit; one [step] marks Out_of_fuel, exactly as the decode loop
+       would on its next iteration *)
+    if t.status = Running && t.stats.cycles < stop then step t
+  end
+  else
+    while t.status = Running && t.stats.cycles < stop do
+      step t
+    done;
   if t.status = Running then Yielded else Done t.status
 
 let interp_imm_op = Short_format.op_to_int Short_format.Interp_imm
@@ -610,12 +1715,27 @@ let run_dir_quantum t ~quantum =
   if quantum < 1 then
     invalid_arg "Machine.run_dir_quantum: quantum must be >= 1";
   let start = t.stats.interp_count in
-  while
-    t.status = Running
-    && not (t.stats.interp_count - start >= quantum && at_interp_boundary t)
-  do
-    step t
-  done;
+  if t.threaded then begin
+    let stats = t.stats in
+    while
+      t.status = Running
+      && not (stats.interp_count - start >= quantum && at_interp_boundary t)
+    do
+      (* past the quota but not yet at an INTERP boundary (or out of
+         fuel): finish the translation unit one reference step at a
+         time; otherwise burn a compiled span up to the quota *)
+      if stats.cycles >= t.fuel || stats.interp_count - start >= quantum then
+        step t
+      else exec_threaded_span t ~lim:t.fuel ~qstart:start ~quantum
+    done
+  end
+  else
+    while
+      t.status = Running
+      && not (t.stats.interp_count - start >= quantum && at_interp_boundary t)
+    do
+      step t
+    done;
   if t.status = Running then Yielded else Done t.status
 
 (* -- Snapshots --------------------------------------------------------------- *)
@@ -722,6 +1842,10 @@ let restore t ck =
       in
       Array.blit saved 0 page 0 page_words)
     ck.ck_pages;
+  (* page blits above bypass [mem_set]: conservatively drop every compiled
+     short closure so no slot can disagree with the restored memory *)
+  if t.sc_size > 0 then
+    Array.fill t.sc_table 0 (Array.length t.sc_table) !cold_chunk_cell;
   Array.blit ck.ck_regs 0 t.regs 0 (Array.length t.regs);
   t.pc_short <- ck.ck_pc_short;
   t.pc_addr <- ck.ck_pc_addr;

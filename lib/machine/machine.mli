@@ -47,6 +47,16 @@ type dir_fetch_mode =
   | Dir_uncached          (** every 16-bit unit costs the level-2 time *)
   | Dir_cached of Cache.t (** units go through an instruction cache *)
 
+type backend = [ `Decode | `Threaded ]
+(** How host instructions are executed.  [`Decode] (the default and the
+    reference semantics) re-decodes every instruction on every execution.
+    [`Threaded] compiles long-format code — and, inside a window opened
+    with {!enable_short_compile}, installed short-format words — into
+    pre-bound OCaml closures dispatched directly, the paper's DIR→PSDER
+    move applied to the simulator's own host loop.  The two backends are
+    observably identical (cycles, statistics, traps, output, final state)
+    on every program; [`Threaded] only changes host wall-clock time. *)
+
 type stats = {
   mutable cycles : int;
   mutable host_instrs : int;
@@ -62,10 +72,28 @@ type stats = {
 
 val category_index : Asm.category -> int
 
-val create : ?timing:Timing.t -> ?fuel:int -> program:Asm.program
-  -> mem_words:int -> regions:region list -> unit -> t
+val create : ?timing:Timing.t -> ?fuel:int -> ?backend:backend
+  -> program:Asm.program -> mem_words:int -> regions:region list -> unit -> t
 (** [fuel] bounds total cycles (default one billion).  Regions must be
-    disjoint and within [mem_words]; accesses outside any region trap. *)
+    disjoint and within [mem_words]; accesses outside any region trap.
+    [backend] (default [`Decode]) selects the execution backend. *)
+
+val backend : t -> backend
+
+val enable_short_compile : t -> base:int -> size:int -> unit
+(** Open the threaded backend's short-word compile window over
+    [base, base+size): short words executed inside it are compiled to
+    closures on first execution and cached until the word is overwritten,
+    {!drop_short_range} covers it, or {!restore} rewinds memory.  A no-op
+    on [`Decode] machines or when [size <= 0]; raises [Invalid_argument]
+    if the window exceeds memory. *)
+
+val drop_short_range : t -> addr:int -> len:int -> unit
+(** Drop any compiled closures for short words in [addr, addr+len) — the
+    DTB lifecycle tap (entry eviction, flush, ASID invalidation, aborted
+    translation).  Clamped to the compile window; no-op when none is
+    open.  Dropping is always safe: a dropped word is simply re-compiled
+    (or decoded) on next execution. *)
 
 val set_hooks : t -> hooks -> unit
 val set_dir_stream : t -> bits:string -> mode:dir_fetch_mode -> unit

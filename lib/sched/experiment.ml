@@ -43,7 +43,7 @@ let mix_encodeds ?domains ~kind programs =
     (fun (name, p) -> (name, Codec.encode kind p, U.dir_steps_memoized p))
     programs
 
-let mix_cell_of ~trace_capacity ?fuel encoded_programs
+let mix_cell_of ~trace_capacity ?fuel ?backend encoded_programs
     (policy, scheduler, quantum, config) =
   {
     mc_policy = policy;
@@ -51,12 +51,12 @@ let mix_cell_of ~trace_capacity ?fuel encoded_programs
     mc_quantum = quantum;
     mc_config = config;
     mc_result =
-      Mix.run_encoded ?fuel ~trace_capacity ~scheduler ~policy ~quantum
-        ~config encoded_programs;
+      Mix.run_encoded ?fuel ?backend ~trace_capacity ~scheduler ~policy
+        ~quantum ~config encoded_programs;
   }
 
-let mix_grid ?domains ?schedulers ?quanta ?(trace_capacity = 4096) ~kind
-    ~policies ~configs programs =
+let mix_grid ?domains ?schedulers ?quanta ?(trace_capacity = 4096) ?backend
+    ~kind ~policies ~configs programs =
   if programs = [] then invalid_arg "Experiment.mix_grid: no programs";
   let encodeds = mix_encodeds ?domains ~kind programs in
   let total_steps =
@@ -65,11 +65,11 @@ let mix_grid ?domains ?schedulers ?quanta ?(trace_capacity = 4096) ~kind
   let encoded_programs = List.map (fun (n, e, _) -> (n, e)) encodeds in
   let cells = mix_axes ?schedulers ?quanta ~policies ~configs () in
   Sweep.map ?domains ~cost:(mix_cost ~total_steps)
-    (mix_cell_of ~trace_capacity encoded_programs)
+    (mix_cell_of ~trace_capacity ?backend encoded_programs)
     cells
 
 let mix_grid_slots ?domains ?schedulers ?quanta ?(trace_capacity = 4096)
-    ?supervision ?cached ?cell_hook ?cell_fuel ?(poison = []) ~kind
+    ?backend ?supervision ?cached ?cell_hook ?cell_fuel ?(poison = []) ~kind
     ~policies ~configs programs =
   if programs = [] then invalid_arg "Experiment.mix_grid_slots: no programs";
   let encodeds = mix_encodeds ?domains ~kind programs in
@@ -85,7 +85,10 @@ let mix_grid_slots ?domains ?schedulers ?quanta ?(trace_capacity = 4096)
     (fun (i, axes) ->
       if List.mem i poison then
         failwith (Printf.sprintf "cell %d poisoned (campaign testing aid)" i);
-      let cell = mix_cell_of ~trace_capacity ?fuel:cell_fuel encoded_programs axes in
+      let cell =
+        mix_cell_of ~trace_capacity ?fuel:cell_fuel ?backend encoded_programs
+          axes
+      in
       (* under supervision a cell whose programs did not halt is a failed
          cell (to be retried/quarantined), not a result: a trap is poison,
          and fuel exhaustion is the deterministic wedged-job budget *)

@@ -29,6 +29,7 @@ val mix_grid :
   ?schedulers:Scheduler.policy list ->
   ?quanta:int list ->
   ?trace_capacity:int ->
+  ?backend:Uhm_machine.Machine.backend ->
   kind:Uhm_encoding.Kind.t ->
   policies:Dtb.policy list ->
   configs:Dtb.config list ->
@@ -37,7 +38,9 @@ val mix_grid :
 (** Cells in submission order: policies outermost, then schedulers, then
     quanta, then configs.  [schedulers] defaults to round-robin only;
     [quanta] to {!default_quanta}; [trace_capacity] to a small ring
-    (4096) since grids keep every cell's trace alive. *)
+    (4096) since grids keep every cell's trace alive.  [backend] selects
+    the execution backend for every machine in every cell (default
+    [`Decode]); cell contents are identical under both. *)
 
 module Sweep := Uhm_core.Sweep
 
@@ -58,6 +61,7 @@ val mix_grid_slots :
   ?schedulers:Scheduler.policy list ->
   ?quanta:int list ->
   ?trace_capacity:int ->
+  ?backend:Uhm_machine.Machine.backend ->
   ?supervision:Sweep.supervision ->
   ?cached:(int -> mix_cell option) ->
   ?cell_hook:(index:int -> attempts:int -> mix_cell Sweep.slot -> unit) ->

@@ -94,7 +94,7 @@ type result = {
   mr_trace : Trace.t;
 }
 
-let run_encoded ?timing ?fuel ?(layout = Layout.default)
+let run_encoded ?timing ?fuel ?(layout = Layout.default) ?backend
     ?(trace_capacity = 65536) ?(scheduler = Scheduler.Round_robin) ~policy
     ~quantum ~config (programs : (string * Codec.encoded) list) =
   if programs = [] then invalid_arg "Mix.run_encoded: no programs";
@@ -109,7 +109,7 @@ let run_encoded ?timing ?fuel ?(layout = Layout.default)
       (fun asid (name, encoded) ->
         let hook = ref (fun ~dir_addr:_ -> ()) in
         let machine =
-          U.prepare_dtb_shared ?timing ?fuel ~layout
+          U.prepare_dtb_shared ?timing ?fuel ~layout ?backend
             ~on_translation:(fun ~dir_addr -> !hook ~dir_addr)
             ~dtb encoded
         in
@@ -166,9 +166,9 @@ let run_encoded ?timing ?fuel ?(layout = Layout.default)
     mr_trace = trace;
   }
 
-let run ?timing ?fuel ?layout ?trace_capacity ?scheduler ~policy ~quantum
-    ~config ~kind programs =
-  run_encoded ?timing ?fuel ?layout ?trace_capacity ?scheduler ~policy
+let run ?timing ?fuel ?layout ?backend ?trace_capacity ?scheduler ~policy
+    ~quantum ~config ~kind programs =
+  run_encoded ?timing ?fuel ?layout ?backend ?trace_capacity ?scheduler ~policy
     ~quantum ~config
     (List.map (fun (name, p) -> (name, Codec.encode kind p)) programs)
 

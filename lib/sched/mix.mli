@@ -66,6 +66,7 @@ val run_encoded :
   ?timing:Uhm_machine.Timing.t ->
   ?fuel:int ->
   ?layout:Uhm_psder.Layout.t ->
+  ?backend:Uhm_machine.Machine.backend ->
   ?trace_capacity:int ->
   ?scheduler:Scheduler.policy ->
   policy:Dtb.policy ->
@@ -76,12 +77,15 @@ val run_encoded :
 (** Run the named pre-encoded programs to completion under time-slicing.
     [scheduler] defaults to {!Scheduler.Round_robin}; [quantum] is in DIR
     instructions (use {!solo_quantum} for the never-preempt limit);
-    [trace_capacity] bounds the event ring (default 65536). *)
+    [trace_capacity] bounds the event ring (default 65536).  [backend]
+    selects each machine's execution backend (default [`Decode]); results,
+    traces and statistics are identical under both. *)
 
 val run :
   ?timing:Uhm_machine.Timing.t ->
   ?fuel:int ->
   ?layout:Uhm_psder.Layout.t ->
+  ?backend:Uhm_machine.Machine.backend ->
   ?trace_capacity:int ->
   ?scheduler:Scheduler.policy ->
   policy:Dtb.policy ->

@@ -419,6 +419,169 @@ let test_qcheck_truncate_resume =
           in
           slots = reference))
 
+(* -- Journal compaction ------------------------------------------------------ *)
+
+let test_compact_basic () =
+  with_temp (fun path ->
+      let payload i = Marshal.to_string (i, i * i) [] in
+      let w = Journal.create ~path header in
+      Journal.append w
+        { Journal.cell = 0; attempts = 1; outcome = Journal.Ok_cell (payload 0) };
+      Journal.append w
+        { Journal.cell = 2; attempts = 1;
+          outcome = Journal.Quarantined_cell "boom" };
+      Journal.append w
+        { Journal.cell = 1; attempts = 1; outcome = Journal.Ok_cell (payload 10) };
+      (* supersede all three: cell 1 recomputed, cell 2 finally ok,
+         cell 0 quarantined late *)
+      Journal.append w
+        { Journal.cell = 1; attempts = 2; outcome = Journal.Ok_cell (payload 1) };
+      Journal.append w
+        { Journal.cell = 2; attempts = 3; outcome = Journal.Ok_cell (payload 2) };
+      Journal.append w
+        { Journal.cell = 0; attempts = 2;
+          outcome = Journal.Quarantined_cell "late" };
+      Journal.close w;
+      match Journal.compact ~path with
+      | Error e -> Alcotest.fail (Journal.load_error_message e)
+      | Ok c -> (
+          check_int "kept one record per cell" 3 c.Journal.c_kept;
+          check_int "superseded records retired" 3 c.Journal.c_retired;
+          check_int "valid bytes = file size" (String.length (read_file path))
+            c.Journal.c_valid_bytes;
+          check_bool "no temporary left behind" false
+            (Sys.file_exists (path ^ ".compact"));
+          match Journal.load ~path with
+          | Error e -> Alcotest.fail (Journal.load_error_message e)
+          | Ok l -> (
+              check_bool "header preserved" true (l.Journal.l_header = header);
+              check_bool "not torn" false l.Journal.l_torn;
+              (match l.Journal.l_records with
+              | [ r0; r1; r2 ] ->
+                  check_int "cell order ascending (0)" 0 r0.Journal.cell;
+                  check_int "cell order ascending (1)" 1 r1.Journal.cell;
+                  check_int "cell order ascending (2)" 2 r2.Journal.cell;
+                  check_bool "cell 0 keeps its last (quarantined) outcome" true
+                    (r0.Journal.outcome = Journal.Quarantined_cell "late");
+                  check_int "surviving record keeps its attempts" 2
+                    r1.Journal.attempts;
+                  check_bool "cell 1 keeps its last payload" true
+                    (r1.Journal.outcome = Journal.Ok_cell (payload 1));
+                  check_bool "cell 2 keeps its last (ok) outcome" true
+                    (r2.Journal.outcome = Journal.Ok_cell (payload 2))
+              | _ -> Alcotest.fail "wrong compacted record shape");
+              (* idempotent: a second pass retires nothing *)
+              match Journal.compact ~path with
+              | Error e -> Alcotest.fail (Journal.load_error_message e)
+              | Ok c2 ->
+                  check_int "second pass keeps" 3 c2.Journal.c_kept;
+                  check_int "second pass retires nothing" 0
+                    c2.Journal.c_retired)))
+
+let test_compact_resume_identical () =
+  (* the resume-visible state (payloads, attempts, quarantines) must be
+     unchanged by compaction: a resumed run reproduces the report *)
+  let jobs = [ 0; 1; 2; 3 ] in
+  with_temp (fun path ->
+      let reference, _ =
+        run_grid ~domains:1 ~journal:(Some path) ~resume:None jobs
+      in
+      (* in-place resume re-records the poisoned cell's quarantine,
+         leaving one superseded line *)
+      let _ = run_grid ~domains:1 ~journal:(Some path) ~resume:(Some path) jobs in
+      let records () =
+        match Journal.load ~path with
+        | Ok l -> List.length l.Journal.l_records
+        | Error e -> Alcotest.fail (Journal.load_error_message e)
+      in
+      check_int "superseded record accumulated" 5 (records ());
+      match Journal.compact ~path with
+      | Error e -> Alcotest.fail (Journal.load_error_message e)
+      | Ok c ->
+          check_int "one superseded record retired" 1 c.Journal.c_retired;
+          check_int "one record per recorded cell" 4 (records ());
+          let slots, resumed =
+            run_grid ~domains:1 ~journal:(Some path) ~resume:(Some path) jobs
+          in
+          check_int "ok cells still served after compaction" 3 resumed;
+          check_bool "identical report from the compacted journal" true
+            (slots = reference))
+
+let test_compact_kill_anywhere () =
+  (* kill the campaign at any byte, compact whatever survived, resume:
+     the report must still be identical to the uninterrupted run *)
+  let jobs = List.init 6 Fun.id in
+  let reference, journal_bytes =
+    with_temp (fun path ->
+        let reference, _ =
+          run_grid ~domains:1 ~journal:(Some path) ~resume:None jobs
+        in
+        let _ =
+          run_grid ~domains:1 ~journal:(Some path) ~resume:(Some path) jobs
+        in
+        (reference, read_file path))
+  in
+  let stride = max 1 (String.length journal_bytes / 17) in
+  let cut = ref 0 in
+  while !cut <= String.length journal_bytes do
+    with_temp (fun path ->
+        write_file path (String.sub journal_bytes 0 !cut);
+        (* an unusable prefix (no durable header) skips compaction, as a
+           resume would; a torn tail is dropped, as on any load *)
+        (match Journal.compact ~path with
+        | Ok _ | Error (Journal.No_header _) -> ()
+        | Error (Journal.Corrupt msg) ->
+            Alcotest.failf "unexpected corruption at byte %d: %s" !cut msg);
+        let slots, _ =
+          run_grid ~domains:1 ~journal:(Some path) ~resume:(Some path) jobs
+        in
+        check_bool
+          (Printf.sprintf "identical report, compacted kill at byte %d" !cut)
+          true (slots = reference));
+    cut := !cut + stride
+  done
+
+let test_opportunistic_compaction_on_resume () =
+  (* Campaign.prepare compacts an in-place resume once enough superseded
+     records have piled up; the report is unchanged *)
+  let jobs = [ 0; 1; 2; 3 ] in
+  let run ?compact_threshold ~resume path =
+    let setup =
+      Campaign.prepare ~journal:path ?resume ?compact_threshold
+        ~campaign:"grid-test"
+        ~fingerprint:[ "jobs"; string_of_int (List.length jobs) ]
+        ~cells:(List.length jobs) ()
+    in
+    let slots =
+      Sweep.map_supervised
+        ~supervision:{ Sweep.default_supervision with Sweep.sv_backoff = 1e-4 }
+        ~domains:1 ~cached:setup.Campaign.cached
+        ?cell_hook:setup.Campaign.cell_hook
+        (fun i ->
+          if i = 2 then failwith "poisoned";
+          (i, i * i))
+        jobs
+    in
+    setup.Campaign.close ();
+    slots
+  in
+  with_temp (fun path ->
+      let reference = run ~resume:None path in
+      let second = run ~resume:(Some path) path in
+      check_bool "plain resume reproduces" true (second = reference);
+      (* two runs left one superseded record; threshold 1 makes the
+         third resume compact before appending *)
+      let third = run ~compact_threshold:1 ~resume:(Some path) path in
+      check_bool "report identical across opportunistic compaction" true
+        (third = reference);
+      match Journal.load ~path with
+      | Error e -> Alcotest.fail (Journal.load_error_message e)
+      | Ok l ->
+          (* 4 compacted records plus this run's fresh quarantine
+             re-record; without compaction there would be 6 *)
+          check_int "superseded records were dropped" 5
+            (List.length l.Journal.l_records))
+
 let suite =
   ( "campaign",
     [
@@ -444,4 +607,12 @@ let suite =
       Alcotest.test_case "kill anywhere + resume = identical report" `Slow
         test_truncate_resume_identical;
       QCheck_alcotest.to_alcotest test_qcheck_truncate_resume;
+      Alcotest.test_case "compaction keeps the last record per cell" `Quick
+        test_compact_basic;
+      Alcotest.test_case "compaction preserves resume state" `Quick
+        test_compact_resume_identical;
+      Alcotest.test_case "kill anywhere + compact + resume = identical" `Slow
+        test_compact_kill_anywhere;
+      Alcotest.test_case "opportunistic compaction on resume" `Quick
+        test_opportunistic_compaction_on_resume;
     ] )
