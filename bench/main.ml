@@ -5,8 +5,9 @@
    Usage: main.exe [-j N] [--journal PATH] [--resume PATH] [target ...]
    Targets: table1 table2 table3 figure1 figure2 figure3 figure4
             model-vs-sim encodings assoc alloc crossover assist blocks
-            languages summary datapath levels mix locality micro perf all
-   No arguments = everything except micro and perf.
+            languages summary datapath levels mix locality micro perf
+            load all
+   No arguments = everything except micro, perf and load.
 
    --journal PATH records every completed cell of the campaign-shaped
    targets (figure2, model-vs-sim, assoc, alloc, summary, mix, faults) to
@@ -31,7 +32,14 @@
    current directory.  Environment knobs: UHM_PERF_RUNS (min runs per
    sample), UHM_PERF_SECONDS (min seconds per sample), UHM_PERF_OUT
    (output path), UHM_PERF_SWEEP (0 skips the parallel-sweep timing),
-   UHM_PERF_SWEEP_REPEATS (timings per wall-clock point, default 2). *)
+   UHM_PERF_SWEEP_REPEATS (timings per wall-clock point, default 2).
+
+   The load target records the open-arrival saturation study (lib/serve):
+   sojourn percentiles vs offered load under each DTB sharing policy,
+   written to the same BENCH_simulator.json as a schema-v4 "load"
+   section.  perf and load each rewrite only their own section of that
+   file, preserving the other's.  UHM_LOAD_JOBS sets the arrivals per
+   cell (default 400); UHM_PERF_OUT names the file for both. *)
 
 module Table = Uhm_report.Table
 module Kind = Uhm_encoding.Kind
@@ -106,6 +114,14 @@ let note_quarantine ~target (q : Sweep.quarantine) =
     target q.Sweep.q_index q.Sweep.q_attempts q.Sweep.q_reason
 
 let compile name = Suite.compile (Suite.find name)
+
+let getenv_num name of_string default =
+  match Sys.getenv_opt name with
+  | Some s -> (match of_string s with Some v -> v | None -> default)
+  | None -> default
+
+let bench_json_path () =
+  Option.value ~default:"BENCH_simulator.json" (Sys.getenv_opt "UHM_PERF_OUT")
 
 (* Representative programs: one loop-dominated, one call-dominated, one
    low-locality. *)
@@ -1213,16 +1229,13 @@ let micro () =
 
 let perf () =
   section "Perf: host-side simulator throughput (wall clock, not simulated)";
-  let getenv_num name of_string default =
-    match Sys.getenv_opt name with
-    | Some s -> (match of_string s with Some v -> v | None -> default)
-    | None -> default
-  in
   let min_runs = getenv_num "UHM_PERF_RUNS" int_of_string_opt 5 in
   let min_seconds = getenv_num "UHM_PERF_SECONDS" float_of_string_opt 0.2 in
-  let path =
-    Option.value ~default:"BENCH_simulator.json"
-      (Sys.getenv_opt "UHM_PERF_OUT")
+  let path = bench_json_path () in
+  (* re-measuring throughput must not clobber the recorded saturation
+     study; carry the existing load section over verbatim *)
+  let load =
+    if Sys.file_exists path then Uhm_core.Perf.read_load ~path else None
   in
   let samples =
     Uhm_core.Perf.run_suite ~min_runs ~min_seconds
@@ -1287,8 +1300,151 @@ let perf () =
       Some sw
     end
   in
-  Uhm_core.Perf.write_json ?sweep ~path samples;
+  Uhm_core.Perf.write_json ?sweep ?load ~path samples;
   Printf.printf "\nwrote %s (%d samples)\n" path (List.length samples)
+
+(* ------------------------------------------------------------------ *)
+(* Open-arrival load service: latency vs offered load (lib/serve)      *)
+(* ------------------------------------------------------------------ *)
+
+let load () =
+  section
+    "X13: open-arrival service -- sojourn percentiles vs offered load per \
+     DTB sharing policy";
+  let module LX = Uhm_serve.Experiment in
+  let module Serve = Uhm_serve.Serve in
+  let njobs = getenv_num "UHM_LOAD_JOBS" int_of_string_opt 400 in
+  let seed = 1 and asid_slots = 8 and quantum = 64 in
+  (* the light end of the suite (solo runs of 56k-118k cycles), so the
+     default rates straddle the pool's ~10 jobs/Mcycle capacity *)
+  let pool = [ "fact_iter"; "string_out"; "nested_scopes" ] in
+  let policies = [ Dtb.Flush_on_switch; Dtb.Tagged; Dtb.Partitioned ] in
+  let rates = LX.default_rates in
+  (* queue bound >= arrivals: nothing is shed, so the tail of the sojourn
+     distribution is never truncated and p99 stays monotone in load *)
+  let admission = { Serve.queue_capacity = njobs; shed_above = None } in
+  let axes = LX.load_axes ~quanta:[ quantum ] ~rates ~policies () in
+  let fingerprint =
+    [ "bench load"; "programs=" ^ String.concat "," pool;
+      "policies=" ^ String.concat "," (List.map Dtb.policy_name policies);
+      "rates=" ^ String.concat "," (List.map (Printf.sprintf "%h") rates);
+      Printf.sprintf "jobs=%d" njobs; Printf.sprintf "seed=%d" seed;
+      Printf.sprintf "slots=%d" asid_slots;
+      Printf.sprintf "quantum=%d" quantum;
+      Printf.sprintf "queue=%d" admission.Serve.queue_capacity ]
+  in
+  let setup =
+    campaign_setup ~target:"load" ~fingerprint ~cells:(List.length axes)
+  in
+  let grid =
+    LX.load_grid_slots ?domains:!jobs ~cached:setup.Campaign.cached
+      ?cell_hook:setup.Campaign.cell_hook ~quanta:[ quantum ] ~admission
+      ~seed ~jobs:njobs ~slots:asid_slots ~kind:Kind.Huffman ~policies
+      ~rates ~config:Dtb.paper_config
+      (List.map (fun name -> (name, compile name)) pool)
+  in
+  setup.Campaign.close ();
+  let t =
+    Table.create
+      ~columns:
+        [ ("policy", Table.Left); ("rate/Mcyc", Table.Right);
+          ("jobs", Table.Right); ("done", Table.Right);
+          ("p50", Table.Right); ("p95", Table.Right); ("p99", Table.Right);
+          ("qd p95", Table.Right); ("slowdown", Table.Right);
+          ("thru/Mcyc", Table.Right); ("hit ratio", Table.Right) ]
+      ()
+  in
+  let prev_policy = ref None in
+  let points = ref [] in
+  List.iter2
+    (fun (policy, _, rate) slot ->
+      (match !prev_policy with
+      | Some p when p <> policy -> Table.add_rule t
+      | _ -> ());
+      prev_policy := Some policy;
+      match slot with
+      | Sweep.Quarantined q ->
+          note_quarantine ~target:"load" q;
+          Table.add_row t
+            [ Dtb.policy_name policy; Printf.sprintf "%g" rate;
+              "(quarantined)"; "-"; "-"; "-"; "-"; "-"; "-"; "-"; "-" ]
+      | Sweep.Completed (cell : LX.load_cell) ->
+          let s = cell.LX.lc_result.Serve.sv_summary in
+          Table.add_row t
+            [ Dtb.policy_name cell.LX.lc_policy;
+              Printf.sprintf "%g" cell.LX.lc_rate;
+              Table.cell_int s.Serve.s_jobs;
+              Table.cell_int s.Serve.s_completed;
+              Table.cell_int s.Serve.s_p50; Table.cell_int s.Serve.s_p95;
+              Table.cell_int s.Serve.s_p99;
+              Table.cell_int s.Serve.s_qd_p95;
+              Printf.sprintf "%.2fx" s.Serve.s_mean_slowdown;
+              Printf.sprintf "%.3f" s.Serve.s_throughput;
+              Table.cell_pct ~decimals:2 s.Serve.s_hit_ratio ];
+          points :=
+            {
+              Uhm_core.Perf.lp_policy = Dtb.policy_name cell.LX.lc_policy;
+              lp_rate = cell.LX.lc_rate;
+              lp_quantum = cell.LX.lc_quantum;
+              lp_jobs = s.Serve.s_jobs;
+              lp_completed = s.Serve.s_completed;
+              lp_shed = s.Serve.s_shed;
+              lp_throughput = s.Serve.s_throughput;
+              lp_p50 = s.Serve.s_p50;
+              lp_p95 = s.Serve.s_p95;
+              lp_p99 = s.Serve.s_p99;
+              lp_mean_slowdown = s.Serve.s_mean_slowdown;
+            }
+            :: !points)
+    axes grid;
+  Table.print t;
+  let points = List.rev !points in
+  (* the acceptance property of the curve: within each policy the points
+     are recorded in rate order, and p99 must not fall as load rises *)
+  let violations = ref 0 in
+  List.iter
+    (fun policy ->
+      let name = Dtb.policy_name policy in
+      let curve =
+        List.filter (fun p -> p.Uhm_core.Perf.lp_policy = name) points
+      in
+      ignore
+        (List.fold_left
+           (fun prev p ->
+             if p.Uhm_core.Perf.lp_p99 < prev then begin
+               incr violations;
+               Printf.eprintf
+                 "bench: load: %s p99 fell from %d to %d at rate %g\n%!"
+                 name prev p.Uhm_core.Perf.lp_p99 p.Uhm_core.Perf.lp_rate
+             end;
+             p.Uhm_core.Perf.lp_p99)
+           min_int curve))
+    policies;
+  if !violations = 0 then
+    print_endline
+      "\np99 sojourn is monotone in offered load under every policy: below\n\
+       the knee latency is a few service times, past it the queue -- not\n\
+       the DTB -- dominates, and the policies separate by how much\n\
+       translation capacity each slice can retain."
+  else begin
+    Printf.eprintf "bench: load: p99 curve is NOT monotone (%d dip(s))\n"
+      !violations;
+    incr quarantined_cells (* fail the run: the recorded curve is bad *)
+  end;
+  let path = bench_json_path () in
+  let samples, sweep =
+    if Sys.file_exists path then
+      ( Uhm_core.Perf.read_samples ~path,
+        Uhm_core.Perf.read_sweep ~path )
+    else ([], None)
+  in
+  let load_bench =
+    { Uhm_core.Perf.load_seed = seed; load_slots = asid_slots;
+      load_points = points }
+  in
+  Uhm_core.Perf.write_json ?sweep ~load:load_bench ~path samples;
+  Printf.printf "\nwrote %s (load section: %d points, %d preserved samples)\n"
+    path (List.length points) (List.length samples)
 
 (* ------------------------------------------------------------------ *)
 (* Fault injection and recovery                                        *)
@@ -1398,6 +1554,7 @@ let targets : (string * (unit -> unit)) list =
     ("languages", languages); ("summary", summary); ("datapath", datapath);
     ("levels", levels); ("mix", mix); ("faults", faults);
     ("locality", locality); ("micro", micro); ("perf", perf);
+    ("load", load);
   ]
 
 let () =
@@ -1438,7 +1595,9 @@ let () =
     | _ :: _ when not (List.mem "all" names) -> names
     | _ ->
         List.map fst
-          (List.filter (fun (n, _) -> n <> "micro" && n <> "perf") targets)
+          (List.filter
+             (fun (n, _) -> n <> "micro" && n <> "perf" && n <> "load")
+             targets)
   in
   List.iter
     (fun name ->

@@ -9,6 +9,7 @@
      suite     list the built-in benchmark programs
      perf      measure host-side simulator throughput; write BENCH json
      mix       time-slice several programs over one shared DTB
+     load      serve an open stream of arriving jobs under load
      campaign  maintenance of crash-safe campaign journals *)
 
 open Cmdliner
@@ -782,6 +783,308 @@ let mix_cmd =
       $ assoc_arg $ jobs_arg $ journal_arg $ resume_arg $ cell_fuel_arg
       $ poison_arg)
 
+(* -- load --------------------------------------------------------------------- *)
+
+let load_cmd =
+  let module Scheduler = Uhm_sched.Scheduler in
+  let module Trace = Uhm_sched.Trace in
+  let module Serve = Uhm_serve.Serve in
+  let module LX = Uhm_serve.Experiment in
+  let programs_arg =
+    Arg.(value & opt_all string [ "fact_iter"; "gcd" ]
+         & info [ "p"; "program" ] ~docv:"NAME"
+             ~doc:"Built-in program for the template pool arrivals draw \
+                   from (repeatable; default fact_iter and gcd).")
+  in
+  let policy_conv =
+    let parse = function
+      | "flush" -> Ok Dtb.Flush_on_switch
+      | "tagged" -> Ok Dtb.Tagged
+      | "partitioned" -> Ok Dtb.Partitioned
+      | s -> Error (`Msg (Printf.sprintf "unknown policy %s" s))
+    in
+    Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Dtb.policy_name p))
+  in
+  let policies_arg =
+    Arg.(value & opt_all policy_conv []
+         & info [ "policy" ] ~docv:"POLICY"
+             ~doc:"Shared-DTB ownership policy: flush, tagged, partitioned \
+                   (repeatable; default all three).")
+  in
+  let rates_arg =
+    Arg.(value & opt_all float []
+         & info [ "rate" ] ~docv:"R"
+             ~doc:"Offered load in jobs per million simulated cycles \
+                   (repeatable; default 4, 12 and 40).")
+  in
+  let njobs_arg =
+    Arg.(value & opt int 300
+         & info [ "n"; "njobs" ] ~docv:"N"
+             ~doc:"Arrivals offered per cell.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"N" ~doc:"Arrival-stream seed.")
+  in
+  let slots_arg =
+    Arg.(value & opt int 8
+         & info [ "slots" ] ~docv:"N"
+             ~doc:"ASID slots (resident-tenant cap; under partitioned at \
+                   most the set count).")
+  in
+  let quantum_arg =
+    Arg.(value & opt int 64
+         & info [ "q"; "quantum" ] ~docv:"N"
+             ~doc:"Scheduling quantum in DIR instructions.")
+  in
+  let scheduler_conv =
+    let parse = function
+      | "rr" -> Ok Scheduler.Round_robin
+      | "srtf" -> Ok Scheduler.Shortest_remaining
+      | s -> Error (`Msg (Printf.sprintf "unknown scheduler %s" s))
+    in
+    Arg.conv
+      (parse, fun fmt s -> Format.pp_print_string fmt (Scheduler.policy_name s))
+  in
+  let scheduler_arg =
+    Arg.(value & opt scheduler_conv Scheduler.Round_robin
+         & info [ "scheduler" ] ~docv:"SCHED"
+             ~doc:"rr (round-robin) or srtf (shortest remaining dir_steps \
+                   first).")
+  in
+  let queue_cap_arg =
+    Arg.(value & opt int 64
+         & info [ "queue-cap" ] ~docv:"N"
+             ~doc:"Admission-queue capacity; arrivals beyond it are shed \
+                   (drop-tail).")
+  in
+  let shed_above_arg =
+    Arg.(value & opt (some int) None
+         & info [ "shed-above" ] ~docv:"N"
+             ~doc:"Load shedding: also refuse arrivals while the queue \
+                   holds at least $(docv) jobs.")
+  in
+  let bursty_arg =
+    Arg.(value & flag
+         & info [ "bursty" ]
+             ~doc:"Markov-modulated arrivals: bursts at the offered rate \
+                   separated by idle gaps, instead of memoryless Poisson.")
+  in
+  let burst_arg =
+    Arg.(value & opt float 8.
+         & info [ "burst" ] ~docv:"B"
+             ~doc:"Mean burst length in jobs (with $(b,--bursty)).")
+  in
+  let idle_arg =
+    Arg.(value & opt float 5000.
+         & info [ "idle" ] ~docv:"CYCLES"
+             ~doc:"Mean idle gap between bursts (with $(b,--bursty)).")
+  in
+  let economy_arg =
+    Arg.(value & flag
+         & info [ "economy" ]
+             ~doc:"Enable the cold-ASID eviction economy (idle-time and \
+                   footprint scoring).")
+  in
+  let evict_idle_arg =
+    Arg.(value & opt int Serve.default_economy.Serve.evict_min_idle
+         & info [ "evict-idle" ] ~docv:"TICKS"
+             ~doc:"Economy: minimum idle time (DTB recency-clock ticks) \
+                   before a slot may be evicted.")
+  in
+  let evict_watermark_arg =
+    Arg.(value & opt float Serve.default_economy.Serve.evict_watermark
+         & info [ "evict-watermark" ] ~docv:"F"
+             ~doc:"Economy: score evictions only while resident entries \
+                   exceed this fraction of tag capacity.")
+  in
+  let sets_arg =
+    Arg.(value & opt int Dtb.paper_config.Dtb.sets
+         & info [ "sets" ] ~docv:"N" ~doc:"DTB set count (power of two).")
+  in
+  let assoc_arg =
+    Arg.(value & opt int Dtb.paper_config.Dtb.assoc
+         & info [ "assoc" ] ~docv:"N" ~doc:"DTB ways per set.")
+  in
+  let jobs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Domain count for the sweep pool (default: $(b,UHM_JOBS) \
+                   or the recommended domain count).")
+  in
+  let poison_arg =
+    Arg.(value & opt_all int []
+         & info [ "poison-cell" ] ~docv:"IDX"
+             ~doc:"Testing aid for the quarantine path: make the cell at \
+                   index $(docv) fail on every attempt.")
+  in
+  let trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"PATH"
+             ~doc:"Write each cell's Chrome trace_event JSON (the policy \
+                   name and rate are inserted before the extension when \
+                   the grid has several cells).")
+  in
+  let action programs policies rates njobs seed slots quantum scheduler kind
+      fuse queue_cap shed_above bursty burst idle economy evict_idle
+      evict_watermark sets assoc jobs trace_path journal resume cell_fuel
+      poison =
+    if programs = [] then begin
+      prerr_endline "uhmc load: at least one -p NAME is required";
+      exit 2
+    end;
+    let policies =
+      if policies = [] then [ Dtb.Flush_on_switch; Dtb.Tagged; Dtb.Partitioned ]
+      else policies
+    in
+    let rates = if rates = [] then LX.default_rates else rates in
+    let config = { Dtb.paper_config with Dtb.sets; assoc } in
+    let shape =
+      if bursty then LX.Open_bursty { burst; idle } else LX.Open_poisson
+    in
+    let admission =
+      { Serve.queue_capacity = queue_cap; shed_above }
+    in
+    let economy =
+      if economy then
+        Some { Serve.evict_min_idle = evict_idle; evict_watermark }
+      else None
+    in
+    let named =
+      List.map
+        (fun name ->
+          (name, load_dir ~file:None ~program:(Some name) ~fortran:false ~fuse))
+        programs
+    in
+    let axes = LX.load_axes ~quanta:[ quantum ] ~rates ~policies () in
+    let fingerprint =
+      [ "uhmc load";
+        "programs=" ^ String.concat "," programs;
+        "policies=" ^ String.concat "," (List.map Dtb.policy_name policies);
+        "rates=" ^ String.concat "," (List.map string_of_float rates);
+        "njobs=" ^ string_of_int njobs;
+        "seed=" ^ string_of_int seed;
+        "slots=" ^ string_of_int slots;
+        "quantum=" ^ string_of_int quantum;
+        "scheduler=" ^ Scheduler.policy_name scheduler;
+        "kind=" ^ Kind.name kind;
+        "fuse=" ^ string_of_bool fuse;
+        "shape=" ^ LX.shape_name shape;
+        "queue_cap=" ^ string_of_int queue_cap;
+        "shed_above="
+        ^ (match shed_above with None -> "none" | Some n -> string_of_int n);
+        "economy="
+        ^ (match economy with
+          | None -> "off"
+          | Some e ->
+              Printf.sprintf "idle=%d,watermark=%g" e.Serve.evict_min_idle
+                e.Serve.evict_watermark);
+        "sets=" ^ string_of_int sets;
+        "assoc=" ^ string_of_int assoc;
+        "cell_fuel="
+        ^ (match cell_fuel with None -> "none" | Some f -> string_of_int f) ]
+    in
+    let setup =
+      prepare_campaign ?journal ?resume ~campaign:"uhmc-load" ~fingerprint
+        ~cells:(List.length axes) ()
+    in
+    let slots_out =
+      LX.load_grid_slots ?domains:jobs ~scheduler ~quanta:[ quantum ] ~shape
+        ~admission ?economy ~cached:setup.Campaign.cached
+        ?cell_hook:setup.Campaign.cell_hook ?cell_fuel ~poison ~seed
+        ~jobs:njobs ~slots ~kind ~policies ~rates ~config named
+    in
+    setup.Campaign.close ();
+    let t =
+      Table.create
+        ~columns:
+          [ ("policy", Table.Left); ("rate", Table.Right);
+            ("jobs", Table.Right); ("done", Table.Right);
+            ("shed", Table.Right); ("p50", Table.Right);
+            ("p95", Table.Right); ("p99", Table.Right);
+            ("qd p95", Table.Right); ("slowdown", Table.Right);
+            ("thru/Mcyc", Table.Right); ("evict", Table.Right);
+            ("hit ratio", Table.Right) ]
+        ()
+    in
+    let quarantined = ref [] in
+    List.iteri
+      (fun i slot ->
+        let policy, _, rate = List.nth axes i in
+        match slot with
+        | Sweep.Quarantined q ->
+            quarantined := (policy, rate, q) :: !quarantined;
+            Table.add_row t
+              [ Dtb.policy_name policy; Printf.sprintf "%g" rate;
+                "(quarantined)"; "-"; "-"; "-"; "-"; "-"; "-"; "-"; "-"; "-";
+                "-" ]
+        | Sweep.Completed cell ->
+            let s = cell.LX.lc_result.Serve.sv_summary in
+            Table.add_row t
+              [ Dtb.policy_name policy; Printf.sprintf "%g" rate;
+                Table.cell_int s.Serve.s_jobs;
+                Table.cell_int s.Serve.s_completed;
+                Table.cell_int s.Serve.s_shed;
+                Table.cell_int s.Serve.s_p50;
+                Table.cell_int s.Serve.s_p95;
+                Table.cell_int s.Serve.s_p99;
+                Table.cell_int s.Serve.s_qd_p95;
+                Printf.sprintf "%.3fx" s.Serve.s_mean_slowdown;
+                Printf.sprintf "%.2f" s.Serve.s_throughput;
+                Table.cell_int s.Serve.s_evictions;
+                Printf.sprintf "%.4f" s.Serve.s_hit_ratio ];
+            (match trace_path with
+            | None -> ()
+            | Some path ->
+                let path =
+                  if List.length axes = 1 then path
+                  else
+                    let base = Filename.remove_extension path in
+                    let ext = Filename.extension path in
+                    Printf.sprintf "%s.%s-r%g%s" base (Dtb.policy_name policy)
+                      rate ext
+                in
+                let r = cell.LX.lc_result in
+                let names asid = Printf.sprintf "slot%d" asid in
+                let oc = open_out path in
+                output_string oc
+                  (Trace.to_chrome ~names
+                     ~end_cycle:r.Serve.sv_summary.Serve.s_total_cycles
+                     r.Serve.sv_trace);
+                close_out oc;
+                Printf.printf "wrote %s (%d events, %d dropped)\n" path
+                  (min
+                     (Trace.recorded r.Serve.sv_trace)
+                     (Trace.capacity r.Serve.sv_trace))
+                  (Trace.dropped r.Serve.sv_trace)))
+      slots_out;
+    Table.print t;
+    match List.rev !quarantined with
+    | [] -> ()
+    | qs ->
+        List.iter
+          (fun (policy, rate, (q : Sweep.quarantine)) ->
+            Printf.eprintf
+              "uhmc: cell %d (%s, rate %g) quarantined after %d attempt(s): \
+               %s\n"
+              q.Sweep.q_index (Dtb.policy_name policy) rate q.Sweep.q_attempts
+              q.Sweep.q_reason)
+          qs;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:"Serve an open stream of arriving jobs through a bounded pool \
+             of ASID slots sharing one DTB, and report latency percentiles \
+             and throughput per offered load.")
+    Term.(
+      const action $ programs_arg $ policies_arg $ rates_arg $ njobs_arg
+      $ seed_arg $ slots_arg $ quantum_arg $ scheduler_arg $ kind_arg
+      $ fuse_arg $ queue_cap_arg $ shed_above_arg $ bursty_arg $ burst_arg
+      $ idle_arg $ economy_arg $ evict_idle_arg $ evict_watermark_arg
+      $ sets_arg $ assoc_arg $ jobs_arg $ trace_arg $ journal_arg
+      $ resume_arg $ cell_fuel_arg $ poison_arg)
+
 (* -- faults ------------------------------------------------------------------- *)
 
 let faults_cmd =
@@ -1123,4 +1426,5 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "uhmc" ~doc)
           [ compile_cmd; run_cmd; encode_cmd; trace_cmd; calibrate_cmd;
-            suite_cmd; perf_cmd; mix_cmd; faults_cmd; campaign_cmd ]))
+            suite_cmd; perf_cmd; mix_cmd; load_cmd; faults_cmd;
+            campaign_cmd ]))

@@ -60,6 +60,11 @@ type t = {
   partitions : (int * int) array; (* (first set, set count) per ASID;
                                      empty unless Partitioned *)
   mutable current : int;       (* ASID whose lookups are being served *)
+  (* per-ASID activity stamps for the load service's eviction economy:
+     the recency-clock value of each ASID's most recent lookup hit or
+     installation.  Never reset — [flush] restores the directory, not the
+     accounting — so "idle since" comparisons stay monotone. *)
+  last_use : int array;
   mutable flushes : int;
   (* open translation state *)
   mutable open_entry : entry option;
@@ -118,6 +123,7 @@ let create ?(last_cache = true) cfg ~buffer_base =
     asid_bits = 0;
     partitions = [||];
     current = 0;
+    last_use = Array.make 1 0;
     flushes = 0;
     open_entry = None;
     cursor = 0;
@@ -170,7 +176,8 @@ let create_shared ?last_cache ~policy ~programs cfg ~buffer_base =
             (base, k + if i < rem then 1 else 0))
     | Flush_on_switch | Tagged -> [||]
   in
-  { t with sharing = Some policy; programs; asid_bits; partitions }
+  { t with sharing = Some policy; programs; asid_bits; partitions;
+    last_use = Array.make programs 0 }
 
 let buffer_words t = config_capacity_words t.cfg
 
@@ -203,7 +210,10 @@ let key_of t tag =
    same entry counter LRU would evict. *)
 let touch t set way =
   t.clock <- t.clock + 1;
-  t.entries.(set).(way).stamp <- t.clock
+  t.entries.(set).(way).stamp <- t.clock;
+  (* the toucher is always the current ASID: lookup hits and
+     installations are the only callers *)
+  t.last_use.(t.current) <- t.clock
 
 let lookup t ~tag =
   let key = key_of t tag in
@@ -404,6 +414,38 @@ let resident_entries t =
     (fun acc ways ->
       acc + Array.fold_left (fun a e -> if e.tag >= 0 then a + 1 else a) 0 ways)
     0 t.entries
+
+(* -- Per-ASID idle/footprint accounting --------------------------------------
+
+   The load service's eviction economy scores resident ASIDs by how long
+   they have been idle (in recency-clock ticks, the DTB's own notion of
+   time) and how much of the directory they hold.  Footprint is an exact
+   scan rather than an incrementally maintained counter: it is read a
+   handful of times per admission, and a scan cannot drift from the tag
+   array under corruption or recovery invalidations. *)
+
+let use_clock t = t.clock
+
+let asid_last_use t ~asid =
+  if asid < 0 || asid >= t.programs then
+    invalid_arg "Dtb.asid_last_use: ASID out of range";
+  t.last_use.(asid)
+
+let asid_footprint t ~asid =
+  if asid < 0 || asid >= t.programs then
+    invalid_arg "Dtb.asid_footprint: ASID out of range";
+  if t.asid_bits = 0 then
+    (* untagged keys: everything resident belongs to the current ASID *)
+    if asid = t.current then resident_entries t else 0
+  else
+    let mask = (1 lsl t.asid_bits) - 1 in
+    Array.fold_left
+      (fun acc ways ->
+        acc
+        + Array.fold_left
+            (fun a e -> if e.tag >= 0 && e.tag land mask = asid then a + 1 else a)
+            0 ways)
+      0 t.entries
 
 let reset_stats t =
   t.hits <- 0;

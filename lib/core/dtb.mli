@@ -185,3 +185,26 @@ val flushes : t -> int
 
 val resident_entries : t -> int
 val reset_stats : t -> unit
+
+(** {2 Per-ASID idle/footprint accounting}
+
+    Inputs to the load service's eviction economy: which resident address
+    spaces are cold, and how much of the directory they hold.  Time is
+    the DTB's internal recency clock (one tick per lookup hit or
+    installation), so idleness is measured in translation activity, not
+    simulated cycles. *)
+
+val use_clock : t -> int
+(** The current recency-clock value ("now" for idleness arithmetic). *)
+
+val asid_last_use : t -> asid:int -> int
+(** The recency-clock stamp of [asid]'s most recent lookup hit or
+    installation; [0] if it never touched the DTB.  Survives {!flush}
+    (activity history is accounting, not directory state).  Raises
+    [Invalid_argument] on an out-of-range ASID. *)
+
+val asid_footprint : t -> asid:int -> int
+(** Resident directory entries owned by [asid], by exact scan.  On an
+    untagged DTB ([Flush_on_switch] or private) everything resident
+    belongs to the current ASID.  Raises [Invalid_argument] on an
+    out-of-range ASID. *)

@@ -275,22 +275,73 @@ let backend_to_json samples =
         (geomean speedups)
         (String.concat ",\n" (List.map pair_json pairs))
 
-let to_json ?sweep samples =
+(* -- The open-arrival load section (schema v4) ------------------------------- *)
+
+type load_point = {
+  lp_policy : string;          (* "flush" | "tagged" | "partitioned" *)
+  lp_rate : float;             (* offered load, jobs per million cycles *)
+  lp_quantum : int;
+  lp_jobs : int;               (* arrivals offered *)
+  lp_completed : int;
+  lp_shed : int;
+  lp_throughput : float;       (* completions per million cycles *)
+  lp_p50 : int;                (* sojourn percentiles, cycles *)
+  lp_p95 : int;
+  lp_p99 : int;
+  lp_mean_slowdown : float;
+}
+
+type load_bench = {
+  load_seed : int;
+  load_slots : int;
+  load_points : load_point list;
+}
+
+let load_point_to_json p =
+  Printf.sprintf
+    "      {\n\
+    \        \"policy\": \"%s\",\n\
+    \        \"rate\": %g,\n\
+    \        \"quantum\": %d,\n\
+    \        \"jobs\": %d,\n\
+    \        \"completed\": %d,\n\
+    \        \"shed\": %d,\n\
+    \        \"throughput_per_mcycle\": %.3f,\n\
+    \        \"sojourn_p50\": %d,\n\
+    \        \"sojourn_p95\": %d,\n\
+    \        \"sojourn_p99\": %d,\n\
+    \        \"mean_slowdown\": %.3f\n\
+    \      }"
+    (json_escape p.lp_policy) p.lp_rate p.lp_quantum p.lp_jobs p.lp_completed
+    p.lp_shed p.lp_throughput p.lp_p50 p.lp_p95 p.lp_p99 p.lp_mean_slowdown
+
+let load_to_json (l : load_bench) =
+  Printf.sprintf
+    "  \"load\": {\n\
+    \    \"seed\": %d,\n\
+    \    \"slots\": %d,\n\
+    \    \"points\": [\n%s\n    ]\n\
+    \  },\n"
+    l.load_seed l.load_slots
+    (String.concat ",\n" (List.map load_point_to_json l.load_points))
+
+let to_json ?sweep ?load samples =
   Printf.sprintf
     "{\n\
-    \  \"schema\": \"uhm-bench-simulator/3\",\n\
+    \  \"schema\": \"uhm-bench-simulator/4\",\n\
     \  \"generated_by\": \"bench/main.exe perf\",\n\
     \  \"unix_time\": %.0f,\n\
-     %s%s\
+     %s%s%s\
     \  \"samples\": [\n%s\n  ]\n}\n"
     (Unix.time ())
     (match sweep with None -> "" | Some s -> sweep_to_json s)
+    (match load with None -> "" | Some l -> load_to_json l)
     (backend_to_json samples)
     (String.concat ",\n" (List.map sample_to_json samples))
 
-let write_json ?sweep ~path samples =
+let write_json ?sweep ?load ~path samples =
   let oc = open_out path in
-  output_string oc (to_json ?sweep samples);
+  output_string oc (to_json ?sweep ?load samples);
   close_out oc
 
 (* -- Baseline comparison (the CI perf gate) --------------------------------- *)
@@ -451,12 +502,122 @@ let baseline_rates_of_json doc =
         samples
   | _ -> raise (Json_error "no \"samples\" array")
 
-let read_baseline ~path =
+let read_document ~path =
   let ic = open_in_bin path in
   let len = in_channel_length ic in
   let contents = really_input_string ic len in
   close_in ic;
-  baseline_rates_of_json (parse_json contents)
+  parse_json contents
+
+let read_baseline ~path = baseline_rates_of_json (read_document ~path)
+
+(* Read back the sections this module writes, so one bench target can
+   refresh its own section of BENCH_simulator.json without clobbering
+   the others (schema v4 documents carry samples, sweep and load). *)
+
+let j_int = function Some (J_num f) -> Some (int_of_float f) | _ -> None
+let j_float = function Some (J_num f) -> Some f | _ -> None
+let j_str = function Some (J_str s) -> Some s | _ -> None
+
+let sample_of_json j =
+  match
+    ( j_str (member "workload" j),
+      j_str (member "strategy" j),
+      j_int (member "runs" j),
+      j_float (member "wall_seconds" j) )
+  with
+  | Some workload, Some strategy, Some runs, Some wall_seconds ->
+      let geti k = Option.value ~default:0 (j_int (member k j)) in
+      let getf k = Option.value ~default:0. (j_float (member k j)) in
+      Some
+        {
+          workload;
+          strategy;
+          backend =
+            Option.value ~default:"decode" (j_str (member "backend" j));
+          encoding =
+            Option.value ~default:"huffman" (j_str (member "encoding" j));
+          runs;
+          wall_seconds;
+          sim_cycles = geti "sim_cycles";
+          host_instrs = geti "host_instrs";
+          short_instrs = geti "short_instrs";
+          dir_steps = geti "dir_steps";
+          sim_cycles_per_sec = getf "sim_cycles_per_sec";
+          host_instrs_per_sec = getf "host_instrs_per_sec";
+          wall_us_per_run = getf "wall_us_per_run";
+        }
+  | _ -> None
+
+let read_samples ~path =
+  match member "samples" (read_document ~path) with
+  | Some (J_arr samples) -> List.filter_map sample_of_json samples
+  | _ -> []
+
+let read_sweep ~path =
+  match member "sweep" (read_document ~path) with
+  | Some (J_obj _ as s) -> (
+      match
+        ( j_int (member "points" s),
+          j_int (member "domains" s),
+          j_float (member "wall_seconds_1" s),
+          j_float (member "wall_seconds_n" s),
+          j_float (member "speedup" s),
+          member "identical" s )
+      with
+      | Some points, Some domains, Some w1, Some wn, Some speedup,
+        Some (J_bool identical) ->
+          Some
+            {
+              sweep_points = points;
+              sweep_domains = domains;
+              sweep_wall_1 = w1;
+              sweep_wall_n = wn;
+              sweep_speedup = speedup;
+              sweep_identical = identical;
+            }
+      | _ -> None)
+  | _ -> None
+
+let load_point_of_json j =
+  match
+    ( j_str (member "policy" j),
+      j_float (member "rate" j),
+      j_int (member "quantum" j),
+      j_int (member "jobs" j) )
+  with
+  | Some policy, Some rate, Some quantum, Some jobs ->
+      let geti k = Option.value ~default:0 (j_int (member k j)) in
+      let getf k = Option.value ~default:0. (j_float (member k j)) in
+      Some
+        {
+          lp_policy = policy;
+          lp_rate = rate;
+          lp_quantum = quantum;
+          lp_jobs = jobs;
+          lp_completed = geti "completed";
+          lp_shed = geti "shed";
+          lp_throughput = getf "throughput_per_mcycle";
+          lp_p50 = geti "sojourn_p50";
+          lp_p95 = geti "sojourn_p95";
+          lp_p99 = geti "sojourn_p99";
+          lp_mean_slowdown = getf "mean_slowdown";
+        }
+  | _ -> None
+
+let read_load ~path =
+  match member "load" (read_document ~path) with
+  | Some (J_obj _ as l) -> (
+      match member "points" l with
+      | Some (J_arr points) ->
+          Some
+            {
+              load_seed = Option.value ~default:0 (j_int (member "seed" l));
+              load_slots = Option.value ~default:0 (j_int (member "slots" l));
+              load_points = List.filter_map load_point_of_json points;
+            }
+      | _ -> None)
+  | _ -> None
 
 type regression = {
   reg_workload : string;

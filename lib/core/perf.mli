@@ -82,14 +82,40 @@ val measure_sweep : ?domains:int -> ?repeats:int -> unit -> sweep_bench
     (default {!Sweep.default_domains}), keeping the best wall-clock of
     [repeats] (default 2) timings each, and compares the results. *)
 
-val to_json : ?sweep:sweep_bench -> sample list -> string
-(** The BENCH_simulator.json document (schema "uhm-bench-simulator/3"):
-    an object with [schema], [generated_by], [unix_time], an optional
-    [sweep] object, a [backend] section (present when the samples cover
-    both backends: per-pair host speedups and their geometric mean) and a
-    [samples] array, each sample carrying its [backend]. *)
+(** One cell of the open-arrival saturation study ([bench load]): the
+    latency percentiles and throughput of one (policy, quantum, offered
+    rate) serve run.  The source of the schema-v4 ["load"] section. *)
+type load_point = {
+  lp_policy : string;          (** ["flush"], ["tagged"] or ["partitioned"] *)
+  lp_rate : float;             (** offered load, jobs per million cycles *)
+  lp_quantum : int;
+  lp_jobs : int;               (** arrivals offered *)
+  lp_completed : int;
+  lp_shed : int;
+  lp_throughput : float;       (** completions per million simulated cycles *)
+  lp_p50 : int;                (** exact nearest-rank sojourn percentiles *)
+  lp_p95 : int;
+  lp_p99 : int;
+  lp_mean_slowdown : float;
+}
 
-val write_json : ?sweep:sweep_bench -> path:string -> sample list -> unit
+(** The ["load"] section: one seeded grid, points in sweep order. *)
+type load_bench = {
+  load_seed : int;
+  load_slots : int;
+  load_points : load_point list;
+}
+
+val to_json : ?sweep:sweep_bench -> ?load:load_bench -> sample list -> string
+(** The BENCH_simulator.json document (schema "uhm-bench-simulator/4"):
+    an object with [schema], [generated_by], [unix_time], an optional
+    [sweep] object, an optional [load] section, a [backend] section
+    (present when the samples cover both backends: per-pair host speedups
+    and their geometric mean) and a [samples] array, each sample carrying
+    its [backend]. *)
+
+val write_json :
+  ?sweep:sweep_bench -> ?load:load_bench -> path:string -> sample list -> unit
 
 (** {2 Minimal JSON}
 
@@ -115,6 +141,18 @@ val read_baseline : path:string -> ((string * string * string) * float) list
     previously written BENCH_simulator.json (any schema version; v2
     samples, which predate the backend field, read as ["decode"]).
     Raises [Json_error] on malformed input. *)
+
+val read_samples : path:string -> sample list
+(** The full [samples] array of a previously written document (empty when
+    absent); lets [bench load] rewrite the file without re-measuring.
+    Raises [Json_error] on malformed input. *)
+
+val read_sweep : path:string -> sweep_bench option
+(** The [sweep] section of a previously written document, if present. *)
+
+val read_load : path:string -> load_bench option
+(** The [load] section of a previously written document, if present —
+    how [bench perf] preserves the saturation study it does not rerun. *)
 
 exception Json_error of string
 

@@ -1,0 +1,66 @@
+(* SplitMix64 splittable streams; see prng.mli.  The constants and draw
+   discipline are exactly the fault injector's original implementation —
+   seeded campaign goldens depend on these sequences bit for bit. *)
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+type t = { mutable state : int64 }
+
+let of_state state = { state }
+
+let create ~seed ~stream =
+  if stream < 0 then invalid_arg "Prng.create: negative stream";
+  {
+    state =
+      mix64
+        (Int64.add (Int64.of_int seed)
+           (Int64.mul golden_gamma (Int64.of_int (stream + 1))));
+  }
+
+let next_i64 r =
+  r.state <- Int64.add r.state golden_gamma;
+  mix64 r.state
+
+(* 62-bit non-negative draw: target selection arithmetic stays in [int] *)
+let next_int r = Int64.to_int (Int64.shift_right_logical (next_i64 r) 2)
+
+(* uniform in [0, 1) from the top 53 bits *)
+let next_float r =
+  Int64.to_float (Int64.shift_right_logical (next_i64 r) 11) *. 0x1p-53
+
+let split r = { state = mix64 (next_i64 r) }
+
+(* Geometric inter-arrival gap for per-step probability [p]: the number of
+   Bernoulli trials up to and including the first success. *)
+let geometric r ~p =
+  if p >= 1. then begin
+    ignore (next_float r);
+    1
+  end
+  else
+    let u = next_float r in
+    let g = 1. +. (Float.log (1. -. u) /. Float.log (1. -. p)) in
+    if Float.is_nan g || g >= float_of_int max_int then max_int
+    else max 1 (int_of_float g)
+
+let exponential r ~rate =
+  if rate <= 0. then begin
+    ignore (next_float r);
+    max_int
+  end
+  else
+    let u = next_float r in
+    let g = -.Float.log (1. -. u) /. rate in
+    if Float.is_nan g || g >= float_of_int max_int then max_int
+    else max 1 (int_of_float g)

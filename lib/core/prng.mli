@@ -1,0 +1,57 @@
+(** Splittable deterministic pseudo-random streams (SplitMix64).
+
+    The repo's one source of randomness: a 64-bit counter advanced by the
+    golden gamma and finalised through a 3-round mixer.  {!split} derives
+    an independent child stream from a parent by mixing a fresh draw into
+    a new state, so a tree of streams can be carved out of one seed and
+    each leaf's sequence is reproducible regardless of how (or whether)
+    the other leaves are consumed.
+
+    Extracted from the fault injector (PR 4) so that other layers — the
+    open-arrival load generator in particular — can draw from the same
+    generator without depending on [uhm_fault].  The draw sequences are
+    bit-identical to the injector's original in-module implementation:
+    existing seeded campaign goldens must not change. *)
+
+type t
+(** A stream.  Mutable; not thread-safe — give each domain its own. *)
+
+val golden_gamma : int64
+(** The SplitMix64 increment, [0x9E3779B97F4A7C15]. *)
+
+val mix64 : int64 -> int64
+(** The 3-round avalanche finalizer. *)
+
+val of_state : int64 -> t
+(** A stream whose next draw is [mix64 (state + golden_gamma)].  The
+    caller is responsible for pre-mixing raw seeds (see {!create}). *)
+
+val create : seed:int -> stream:int -> t
+(** The canonical root stream for an [(seed, stream)] pair:
+    state [mix64 (seed + golden_gamma * (stream + 1))].  With [stream]
+    an ASID this is exactly the fault injector's per-program root.
+    Raises [Invalid_argument] on a negative [stream]. *)
+
+val next_i64 : t -> int64
+(** The raw 64-bit draw. *)
+
+val next_int : t -> int
+(** A non-negative 62-bit draw (so selection arithmetic stays in [int]). *)
+
+val next_float : t -> float
+(** Uniform in [0, 1) from the top 53 bits. *)
+
+val split : t -> t
+(** An independent child stream; advances the parent by one draw. *)
+
+val geometric : t -> p:float -> int
+(** The number of Bernoulli([p]) trials up to and including the first
+    success — an inter-arrival gap for a per-step event probability.
+    Always at least 1; [max_int] when [p] is so small the gap overflows.
+    Consumes exactly one draw. *)
+
+val exponential : t -> rate:float -> int
+(** An integer-rounded exponential inter-arrival gap with mean
+    [1. /. rate] (in whatever time unit the caller uses), at least 1.
+    [max_int] on a non-positive rate or overflow.  Consumes exactly one
+    draw. *)

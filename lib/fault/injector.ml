@@ -1,10 +1,13 @@
 (* Seeded deterministic fault scheduling; see injector.mli.
 
-   The generator is SplitMix64: a 64-bit counter advanced by the golden
-   gamma and finalised through a 3-round mixer.  Splitting derives an
-   independent stream from a parent by mixing a fresh draw into a new
-   state, so every (seed, asid, class) triple gets its own reproducible
-   sequence regardless of how the other streams are consumed. *)
+   The generator is {!Uhm_core.Prng} (SplitMix64), whose splitting
+   derives an independent stream from a parent, so every (seed, asid,
+   class) triple gets its own reproducible sequence regardless of how
+   the other streams are consumed.  The generator lived here until PR 7
+   extracted it for the load service; the draw discipline is unchanged,
+   so seeded campaign goldens are bit-identical across the move. *)
+
+module Prng = Uhm_core.Prng
 
 type fault_class = Dtb_tag | Psder_word | Translator | Mem_word
 
@@ -22,36 +25,6 @@ let class_of_name = function
   | "translator" -> Some Translator
   | "mem-word" -> Some Mem_word
   | _ -> None
-
-(* -- SplitMix64 -------------------------------------------------------------- *)
-
-let golden_gamma = 0x9E3779B97F4A7C15L
-
-let mix64 z =
-  let z =
-    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
-      0xBF58476D1CE4E5B9L
-  in
-  let z =
-    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
-      0x94D049BB133111EBL
-  in
-  Int64.logxor z (Int64.shift_right_logical z 31)
-
-type rng = { mutable state : int64 }
-
-let next_i64 r =
-  r.state <- Int64.add r.state golden_gamma;
-  mix64 r.state
-
-(* 62-bit non-negative draw: target selection arithmetic stays in [int] *)
-let next_int r = Int64.to_int (Int64.shift_right_logical (next_i64 r) 2)
-
-(* uniform in [0, 1) from the top 53 bits *)
-let next_float r =
-  Int64.to_float (Int64.shift_right_logical (next_i64 r) 11) *. 0x1p-53
-
-let split r = { state = mix64 (next_i64 r) }
 
 (* -- Specifications ----------------------------------------------------------- *)
 
@@ -82,47 +55,29 @@ type fault = {
 type arrival = {
   a_class : fault_class;
   a_rate : float;
-  a_rng : rng;
+  a_rng : Prng.t;
   mutable a_next : int;
 }
 
 type t = {
   arrivals : arrival list;
   mutable pending : (int * fault_class) list; (* explicit, sorted by step *)
-  draw : rng; (* target-selection randoms for explicit events *)
+  draw : Prng.t; (* target-selection randoms for explicit events *)
 }
 
-(* Geometric inter-arrival gap for per-step probability [p]: the number of
-   Bernoulli trials up to and including the first success. *)
-let gap rng p =
-  if p >= 1. then begin
-    ignore (next_float rng);
-    1
-  end
-  else
-    let u = next_float rng in
-    let g = 1. +. (Float.log (1. -. u) /. Float.log (1. -. p)) in
-    if Float.is_nan g || g >= float_of_int max_int then max_int
-    else max 1 (int_of_float g)
+let gap rng p = Prng.geometric rng ~p
 
 let sat_add a b = if a > max_int - b then max_int else a + b
 
 let create spec ~asid =
   if asid < 0 then invalid_arg "Injector.create: negative asid";
-  let root =
-    {
-      state =
-        mix64
-          (Int64.add (Int64.of_int spec.seed)
-             (Int64.mul golden_gamma (Int64.of_int (asid + 1))));
-    }
-  in
+  let root = Prng.create ~seed:spec.seed ~stream:asid in
   (* one split per declared class, in declaration order, so adding or
      removing a zero-rate entry never perturbs the other streams' draws *)
   let arrivals =
     List.filter_map
       (fun (c, p) ->
-        let r = split root in
+        let r = Prng.split root in
         if p <= 0. then None
         else
           let a = { a_class = c; a_rate = p; a_rng = r; a_next = 0 } in
@@ -136,7 +91,7 @@ let create spec ~asid =
       spec.explicit
     |> List.sort compare
   in
-  { arrivals; pending; draw = split root }
+  { arrivals; pending; draw = Prng.split root }
 
 (* Target randoms come from the class's own gap stream (gap, r1, r2, gap,
    ...), so the schedule AND the targets of one class are independent of
@@ -150,8 +105,8 @@ let due t ~step =
           {
             f_class = a.a_class;
             f_step = a.a_next;
-            f_r1 = next_int a.a_rng;
-            f_r2 = next_int a.a_rng;
+            f_r1 = Prng.next_int a.a_rng;
+            f_r2 = Prng.next_int a.a_rng;
           }
           :: !out;
         a.a_next <- sat_add a.a_next (gap a.a_rng a.a_rate)
@@ -162,8 +117,8 @@ let due t ~step =
     | (s, c) :: rest when s <= step ->
         t.pending <- rest;
         out :=
-          { f_class = c; f_step = s; f_r1 = next_int t.draw;
-            f_r2 = next_int t.draw }
+          { f_class = c; f_step = s; f_r1 = Prng.next_int t.draw;
+            f_r2 = Prng.next_int t.draw }
           :: !out;
         take ()
     | _ -> ()

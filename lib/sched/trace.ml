@@ -14,6 +14,10 @@ type kind =
   | Recovery_retry of { asid : int; dir_addr : int; attempt : int }
   | Rollback of { asid : int; pages : int }
   | Downgrade of { asid : int }
+  | Job_queued of { job : int; depth : int }
+  | Job_shed of { job : int; depth : int }
+  | Job_admitted of { job : int; asid : int; wait : int; depth : int }
+  | Asid_evicted of { asid : int; entries : int; cold : bool }
 
 type event = { at_cycle : int; kind : kind }
 
@@ -27,6 +31,8 @@ type tally = {
   mutable retries : int;
   mutable rollbacks : int;
   mutable downgrades : int;
+  mutable admits : int;
+  mutable evicts : int;
 }
 
 type counts = {
@@ -39,6 +45,8 @@ type counts = {
   c_retries : int;
   c_rollbacks : int;
   c_downgrades : int;
+  c_admits : int;
+  c_evicts : int;
 }
 
 type t = {
@@ -49,6 +57,10 @@ type t = {
   (* exact per-fault-class rollups, across all ASIDs *)
   injected_classes : (string, int) Hashtbl.t;
   detected_classes : (string, int) Hashtbl.t;
+  (* exact load-service rollups; queued/shed jobs have no ASID yet, so
+     these are global counters, not per-ASID tallies *)
+  mutable queued_total : int;
+  mutable shed_total : int;
 }
 
 let dummy = { at_cycle = -1; kind = Quantum_expiry { asid = -1 } }
@@ -62,6 +74,8 @@ let create ?(capacity = 65536) () =
     tallies = Hashtbl.create 8;
     injected_classes = Hashtbl.create 8;
     detected_classes = Hashtbl.create 8;
+    queued_total = 0;
+    shed_total = 0;
   }
 
 let capacity t = t.capacity
@@ -75,7 +89,7 @@ let tally_for t asid =
       let y =
         { dispatches = 0; flushes = 0; translations = 0; expiries = 0;
           injections = 0; detections = 0; retries = 0; rollbacks = 0;
-          downgrades = 0 }
+          downgrades = 0; admits = 0; evicts = 0 }
       in
       Hashtbl.add t.tallies asid y;
       y
@@ -118,6 +132,14 @@ let record t ~at_cycle kind =
   | Downgrade { asid } ->
       let y = tally_for t asid in
       y.downgrades <- y.downgrades + 1
+  | Job_queued _ -> t.queued_total <- t.queued_total + 1
+  | Job_shed _ -> t.shed_total <- t.shed_total + 1
+  | Job_admitted { asid; _ } ->
+      let y = tally_for t asid in
+      y.admits <- y.admits + 1
+  | Asid_evicted { asid; _ } ->
+      let y = tally_for t asid in
+      y.evicts <- y.evicts + 1
 
 (* Buffered events, oldest first. *)
 let events t =
@@ -130,7 +152,7 @@ let counts t asid =
   | None ->
       { c_dispatches = 0; c_flushes = 0; c_translations = 0; c_expiries = 0;
         c_injections = 0; c_detections = 0; c_retries = 0; c_rollbacks = 0;
-        c_downgrades = 0 }
+        c_downgrades = 0; c_admits = 0; c_evicts = 0 }
   | Some y ->
       {
         c_dispatches = y.dispatches;
@@ -142,7 +164,12 @@ let counts t asid =
         c_retries = y.retries;
         c_rollbacks = y.rollbacks;
         c_downgrades = y.downgrades;
+        c_admits = y.admits;
+        c_evicts = y.evicts;
       }
+
+let queued_total t = t.queued_total
+let shed_total t = t.shed_total
 
 let tallies t =
   Hashtbl.fold (fun asid _ acc -> asid :: acc) t.tallies []
@@ -237,11 +264,43 @@ let to_chrome ?(pid = 1) ~names ~end_cycle t =
             {|{"name":"rollback(%dpg)","cat":"fault","ph":"i","ts":%d,"pid":%d,"tid":%d,"s":"t"}|}
             pages at_cycle pid asid
       | Downgrade { asid } ->
-          instant ~cat:"fault" ~label:"downgrade:interp" ~asid ~at:at_cycle ())
+          instant ~cat:"fault" ~label:"downgrade:interp" ~asid ~at:at_cycle ()
+      | Job_queued { job; depth } ->
+          emit
+            {|{"name":"queue_depth","cat":"serve","ph":"C","ts":%d,"pid":%d,"args":{"depth":%d}}|}
+            at_cycle pid depth;
+          emit
+            {|{"name":"queued:j%d","cat":"serve","ph":"i","ts":%d,"pid":%d,"tid":0,"s":"p"}|}
+            job at_cycle pid
+      | Job_shed { job; depth } ->
+          emit
+            {|{"name":"queue_depth","cat":"serve","ph":"C","ts":%d,"pid":%d,"args":{"depth":%d}}|}
+            at_cycle pid depth;
+          emit
+            {|{"name":"shed:j%d","cat":"serve","ph":"i","ts":%d,"pid":%d,"tid":0,"s":"p"}|}
+            job at_cycle pid
+      | Job_admitted { job; asid; wait; depth } ->
+          emit
+            {|{"name":"queue_depth","cat":"serve","ph":"C","ts":%d,"pid":%d,"args":{"depth":%d}}|}
+            at_cycle pid depth;
+          emit
+            {|{"name":"admit:j%d(+%d)","cat":"serve","ph":"i","ts":%d,"pid":%d,"tid":%d,"s":"t"}|}
+            job wait at_cycle pid asid
+      | Asid_evicted { asid; entries; cold } ->
+          emit
+            {|{"name":"%s(%d)","cat":"serve","ph":"i","ts":%d,"pid":%d,"tid":%d,"s":"t"}|}
+            (if cold then "evict_cold" else "evict_recycle")
+            entries at_cycle pid asid)
     (events t);
   (match !open_slice with
   | Some (asid, from_cycle) -> slice ~asid ~from_cycle ~to_cycle:end_cycle
   | None -> ());
+  (* the ring's truncation is part of the record: a long run that pushed
+     events out of the window says so in the export itself *)
+  if dropped t > 0 then
+    emit
+      {|{"name":"ring_dropped:%d","cat":"trace","ph":"i","ts":%d,"pid":%d,"tid":0,"s":"g"}|}
+      (dropped t) end_cycle pid;
   (* thread names make the about://tracing rows self-describing *)
   List.iter
     (fun (asid, _) ->

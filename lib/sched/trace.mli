@@ -31,6 +31,20 @@ type kind =
   | Downgrade of { asid : int }
       (** the watchdog demoted [asid] from dynamic translation to pure
           DIR interpretation *)
+  | Job_queued of { job : int; depth : int }
+      (** the load service accepted arriving job [job] into the admission
+          queue; [depth] is the queue length after *)
+  | Job_shed of { job : int; depth : int }
+      (** admission control refused job [job] (full queue or shed
+          threshold); [depth] is the unchanged queue length *)
+  | Job_admitted of { job : int; asid : int; wait : int; depth : int }
+      (** job [job] left the queue for ASID slot [asid] after [wait]
+          cycles of queueing delay; [depth] is the queue length after *)
+  | Asid_evicted of { asid : int; entries : int; cold : bool }
+      (** the eviction economy invalidated [asid]'s [entries] resident
+          translations — [cold] for an idle/footprint-scored eviction,
+          not-[cold] for the mandatory invalidation when a slot is
+          recycled to a new job *)
 
 type event = { at_cycle : int; kind : kind }
 (** [at_cycle] is global virtual time: total cycles executed by all
@@ -51,6 +65,8 @@ type counts = {
   c_retries : int;
   c_rollbacks : int;
   c_downgrades : int;
+  c_admits : int;
+  c_evicts : int;
 }
 
 type t
@@ -86,14 +102,27 @@ val detected_by_class : t -> (string * int) list
 (** Exact detection counts per fault class across all ASIDs, sorted by
     class name. *)
 
+val queued_total : t -> int
+(** Exact count of {!Job_queued} events.  A queued/shed job has no ASID
+    yet, so these live beside the per-ASID tallies, maintained on every
+    {!record} like them. *)
+
+val shed_total : t -> int
+(** Exact count of {!Job_shed} events. *)
+
 val to_chrome : ?pid:int -> names:(int -> string) -> end_cycle:int -> t -> string
 (** The Chrome [trace_event] JSON-array document for the buffered window,
     loadable in about://tracing (or ui.perfetto.dev): one timeline row per
     program ([tid] = ASID, named via metadata events), ["X"] complete
     events for scheduler slices (reconstructed from the {!Switch} events;
     the final slice is closed at [end_cycle]), and instant events for
-    flushes, translations, quantum expiries, completions and the fault
+    flushes, translations, quantum expiries, completions, the fault
     lifecycle (injection, detection, retry, rollback, downgrade — in a
-    separate ["fault"] category).  Simulated
+    separate ["fault"] category) and the load-service lifecycle (queued,
+    shed, admitted, ASID evicted, in a ["serve"] category, plus a
+    ["C"]-counter [queue_depth] series so the admission queue's breathing
+    is visible as a graph).  When the ring dropped events, a final
+    [ring_dropped:N] instant records the truncation in the export
+    itself.  Simulated
     cycles are reported as microseconds, so the timeline reads directly
     in cycles.  [names] maps an ASID to its program name. *)

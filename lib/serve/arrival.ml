@@ -1,0 +1,73 @@
+(* Seeded arrival-stream generation; see arrival.mli. *)
+
+module Prng = Uhm_core.Prng
+
+type process =
+  | Poisson of { rate : float }
+  | Bursty of { rate : float; burst : float; idle : float }
+  | Trace of (int * int) list
+
+let describe = function
+  | Poisson { rate } -> Printf.sprintf "poisson(rate=%g)" rate
+  | Bursty { rate; burst; idle } ->
+      Printf.sprintf "bursty(rate=%g,burst=%g,idle=%g)" rate burst idle
+  | Trace pairs -> Printf.sprintf "trace(%d)" (List.length pairs)
+
+type arrival = { at : int; template : int }
+
+let sat_add a b = if a > max_int - b then max_int else a + b
+
+(* One root per seed, split once per purpose in a fixed order — times,
+   template picks, burst lengths — so every purpose's stream is
+   independent of how the others are consumed. *)
+let streams ~seed =
+  let root = Prng.create ~seed ~stream:0 in
+  let times = Prng.split root in
+  let picks = Prng.split root in
+  let lengths = Prng.split root in
+  (times, picks, lengths)
+
+let burst_lengths ~seed ~bursts ~burst =
+  if burst <= 0. then invalid_arg "Arrival.burst_lengths: burst must be > 0";
+  let _, _, lengths = streams ~seed in
+  List.init bursts (fun _ -> Prng.geometric lengths ~p:(1. /. Float.max 1. burst))
+
+let generate ~seed ~templates ~jobs process =
+  if templates < 1 then invalid_arg "Arrival.generate: templates must be >= 1";
+  if jobs < 0 then invalid_arg "Arrival.generate: jobs must be >= 0";
+  match process with
+  | Trace pairs ->
+      let sorted = List.stable_sort (fun (a, _) (b, _) -> compare a b) pairs in
+      List.filteri (fun i _ -> i < jobs) sorted
+      |> List.map (fun (at, tmpl) ->
+             { at = max 0 at; template = ((tmpl mod templates) + templates) mod templates })
+  | Poisson { rate } ->
+      if rate <= 0. then invalid_arg "Arrival.generate: rate must be > 0";
+      let times, picks, _ = streams ~seed in
+      let per_cycle = rate /. 1e6 in
+      let t = ref 0 in
+      List.init jobs (fun _ ->
+          t := sat_add !t (Prng.exponential times ~rate:per_cycle);
+          { at = !t; template = Prng.next_int picks mod templates })
+  | Bursty { rate; burst; idle } ->
+      if rate <= 0. then invalid_arg "Arrival.generate: rate must be > 0";
+      if burst <= 0. then invalid_arg "Arrival.generate: burst must be > 0";
+      if idle <= 0. then invalid_arg "Arrival.generate: idle must be > 0";
+      let times, picks, lengths = streams ~seed in
+      let per_cycle = rate /. 1e6 in
+      let out = ref [] in
+      let t = ref 0 in
+      let n = ref 0 in
+      while !n < jobs do
+        (* burst of [len] jobs after an idle gap *)
+        let len = Prng.geometric lengths ~p:(1. /. Float.max 1. burst) in
+        t := sat_add !t (Prng.exponential times ~rate:(1. /. idle));
+        let k = ref 0 in
+        while !k < len && !n < jobs do
+          if !k > 0 then t := sat_add !t (Prng.exponential times ~rate:per_cycle);
+          out := { at = !t; template = Prng.next_int picks mod templates } :: !out;
+          incr k;
+          incr n
+        done
+      done;
+      List.rev !out

@@ -1,0 +1,44 @@
+(** Deterministic open-arrival workload generation over virtual time.
+
+    A job stream is generated up front from a seed: each arrival is a
+    (cycle, template) pair, where the template indexes the caller's
+    program pool (both front ends' suites, typically).  Generation draws
+    from {!Uhm_core.Prng} streams split per purpose — arrival times,
+    template picks and burst lengths each get their own stream — so the
+    schedule of one aspect never perturbs another, the same discipline
+    the fault injector uses for its per-class streams. *)
+
+type process =
+  | Poisson of { rate : float }
+      (** memoryless arrivals at [rate] jobs per million cycles:
+          inter-arrival gaps are exponential with mean [1e6 /. rate]
+          cycles (the suite's service times run 50k cycles and up, so
+          per-Mcycle is the natural unit for offered load) *)
+  | Bursty of { rate : float; burst : float; idle : float }
+      (** Markov-modulated bursts: a burst holds a geometric number of
+          jobs (mean [burst], at least 1) with exponential in-burst gaps
+          at [rate] jobs per million cycles; bursts are separated by
+          exponential idle gaps of mean [idle] cycles *)
+  | Trace of (int * int) list
+      (** explicit (cycle, template) pairs, replayed verbatim (sorted by
+          cycle, stable); templates are taken mod the pool size *)
+
+val describe : process -> string
+(** A stable one-line description for journal fingerprints, e.g.
+    ["poisson(rate=2.5)"]. *)
+
+type arrival = { at : int; template : int }
+
+val generate :
+  seed:int -> templates:int -> jobs:int -> process -> arrival list
+(** [generate ~seed ~templates ~jobs process] is the first [jobs]
+    arrivals of the seeded stream, in non-decreasing [at] order, each
+    assigned a template in [0, templates).  For [Trace] the pairs are
+    truncated (or kept short) to [jobs] and [seed] is unused.  Raises
+    [Invalid_argument] on [templates < 1], [jobs < 0], or a
+    non-positive rate/burst/idle parameter. *)
+
+val burst_lengths : seed:int -> bursts:int -> burst:float -> int list
+(** The burst-length sequence a [Bursty] process with mean [burst] draws
+    from [seed] — exposed so tests can pin the distribution without
+    reverse-engineering it from arrival gaps. *)

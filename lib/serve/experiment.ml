@@ -1,0 +1,128 @@
+(* The offered-load experiment grid; see experiment.mli. *)
+
+module Sweep = Uhm_core.Sweep
+module Dtb = Uhm_core.Dtb
+module U = Uhm_core.Uhm
+module Codec = Uhm_encoding.Codec
+module Machine = Uhm_machine.Machine
+module Scheduler = Uhm_sched.Scheduler
+
+type shape = Open_poisson | Open_bursty of { burst : float; idle : float }
+
+let shape_name = function
+  | Open_poisson -> "poisson"
+  | Open_bursty { burst; idle } ->
+      Printf.sprintf "bursty(burst=%g,idle=%g)" burst idle
+
+let process_of shape rate =
+  match shape with
+  | Open_poisson -> Arrival.Poisson { rate }
+  | Open_bursty { burst; idle } -> Arrival.Bursty { rate; burst; idle }
+
+type load_cell = {
+  lc_policy : Dtb.policy;
+  lc_quantum : int;
+  lc_rate : float;
+  lc_config : Dtb.config;
+  lc_result : Serve.result;
+}
+
+let default_rates = [ 4.0; 12.0; 40.0 ]
+
+let load_axes ?(quanta = [ 64 ]) ~rates ~policies () =
+  List.concat_map
+    (fun policy ->
+      List.concat_map
+        (fun quantum -> List.map (fun rate -> (policy, quantum, rate)) rates)
+        quanta)
+    policies
+
+(* a cell's host time scales with the simulated work: every job runs its
+   template to completion, and small quanta under Flush_on_switch
+   retranslate working sets every slice *)
+let load_cost ~mean_steps ~jobs (policy, quantum, _) =
+  let total = mean_steps * jobs in
+  let slices = max 1 (total / max 1 quantum) in
+  total + match policy with Dtb.Flush_on_switch -> slices * 64 | _ -> 0
+
+(* encode the template pool once, in parallel, as in the mix grid *)
+let load_encodeds ?domains ~kind programs =
+  Sweep.map ?domains
+    (fun (name, p) -> (name, Codec.encode kind p, U.dir_steps_memoized p))
+    programs
+
+let load_cell_of ~trace_capacity ?scheduler ?backend ?shape:(sh = Open_poisson)
+    ?admission ?economy ?cell_fuel ~seed ~jobs ~slots ~config templates
+    (policy, quantum, rate) =
+  let arrivals =
+    Arrival.generate ~seed ~templates:(List.length templates) ~jobs
+      (process_of sh rate)
+  in
+  {
+    lc_policy = policy;
+    lc_quantum = quantum;
+    lc_rate = rate;
+    lc_config = config;
+    lc_result =
+      Serve.run ?fuel:cell_fuel ?backend ~trace_capacity ?scheduler ?admission
+        ?economy ~policy ~quantum ~config ~slots ~templates ~arrivals ();
+  }
+
+let load_grid ?domains ?scheduler ?quanta ?(trace_capacity = 4096) ?backend
+    ?shape ?admission ?economy ?cell_fuel ~seed ~jobs ~slots ~kind ~policies
+    ~rates ~config programs =
+  if programs = [] then invalid_arg "Experiment.load_grid: no programs";
+  let encodeds = load_encodeds ?domains ~kind programs in
+  let mean_steps =
+    List.fold_left (fun acc (_, _, s) -> acc + s) 0 encodeds
+    / List.length encodeds
+  in
+  let templates = List.map (fun (n, e, _) -> (n, e)) encodeds in
+  let cells = load_axes ?quanta ~rates ~policies () in
+  Sweep.map ?domains
+    ~cost:(load_cost ~mean_steps ~jobs)
+    (load_cell_of ~trace_capacity ?scheduler ?backend ?shape ?admission
+       ?economy ?cell_fuel ~seed ~jobs ~slots ~config templates)
+    cells
+
+let load_grid_slots ?domains ?scheduler ?quanta ?(trace_capacity = 4096)
+    ?backend ?shape ?admission ?economy ?supervision ?cached ?cell_hook
+    ?cell_fuel ?(poison = []) ~seed ~jobs ~slots ~kind ~policies ~rates
+    ~config programs =
+  if programs = [] then invalid_arg "Experiment.load_grid_slots: no programs";
+  let encodeds = load_encodeds ?domains ~kind programs in
+  let mean_steps =
+    List.fold_left (fun acc (_, _, s) -> acc + s) 0 encodeds
+    / List.length encodeds
+  in
+  let templates = List.map (fun (n, e, _) -> (n, e)) encodeds in
+  let cells =
+    List.mapi (fun i c -> (i, c)) (load_axes ?quanta ~rates ~policies ())
+  in
+  Sweep.map_supervised ?supervision ?cached ?cell_hook ?domains
+    ~cost:(fun (_, c) -> load_cost ~mean_steps ~jobs c)
+    (fun (i, axes) ->
+      if List.mem i poison then
+        failwith (Printf.sprintf "cell %d poisoned (campaign testing aid)" i);
+      let cell =
+        load_cell_of ~trace_capacity ?scheduler ?backend ?shape ?admission
+          ?economy ?cell_fuel ~seed ~jobs ~slots ~config templates axes
+      in
+      (* a retired job that did not halt is a failed cell under
+         supervision; shed jobs are normal service, not failure *)
+      List.iter
+        (fun (j : Serve.job) ->
+          match j.Serve.j_status with
+          | Serve.Shed | Serve.Completed Machine.Halted -> ()
+          | Serve.Completed Machine.Out_of_fuel ->
+              failwith
+                (Printf.sprintf "job %d (%s) ran out of fuel" j.Serve.j_id
+                   j.Serve.j_name)
+          | Serve.Completed (Machine.Trapped m) ->
+              failwith
+                (Printf.sprintf "job %d (%s) trapped: %s" j.Serve.j_id
+                   j.Serve.j_name m)
+          | Serve.Completed Machine.Running -> assert false)
+        cell.lc_result.Serve.sv_jobs;
+      cell)
+    cells

@@ -1,0 +1,107 @@
+(** The saturation-study grid: offered load x policy x quantum, each cell
+    one complete open-arrival serve run, evaluated on the
+    {!Uhm_core.Sweep} pool.
+
+    Cells are independent full simulations (each builds its own DTB,
+    arrival stream and machines), so the grid parallelises like any
+    other sweep and the result list is byte-identical at any domain
+    count; under campaign supervision ({!load_grid_slots}) it gets
+    journaled kill/resume for free.  The output — latency percentiles
+    and throughput per offered load — is the latency-vs-load curve, the
+    system's first saturation study. *)
+
+module Dtb := Uhm_core.Dtb
+module Sweep := Uhm_core.Sweep
+module Scheduler := Uhm_sched.Scheduler
+
+(** The arrival-process shape swept over the rate axis. *)
+type shape =
+  | Open_poisson
+      (** memoryless arrivals at each axis rate *)
+  | Open_bursty of { burst : float; idle : float }
+      (** bursts of mean length [burst] at each axis rate, separated by
+          idle gaps of mean [idle] cycles *)
+
+val shape_name : shape -> string
+(** Stable description for fingerprints: ["poisson"],
+    ["bursty(burst=8,idle=5000)"]. *)
+
+type load_cell = {
+  lc_policy : Dtb.policy;
+  lc_quantum : int;
+  lc_rate : float;       (** offered load, jobs per million cycles *)
+  lc_config : Dtb.config;
+  lc_result : Serve.result;
+}
+
+val default_rates : float list
+(** [4.0; 12.0; 40.0] jobs per million cycles: below, around, and past
+    the knee for a pool of the suite's light templates (service times
+    around 50k–120k cycles, so capacity lands near 10 jobs/Mcycle). *)
+
+val load_axes :
+  ?quanta:int list ->
+  rates:float list ->
+  policies:Dtb.policy list ->
+  unit ->
+  (Dtb.policy * int * float) list
+(** Cell axes in submission order: policies outermost, then quanta
+    (default [[64]]), then rates — so each policy's latency curve is a
+    contiguous run of cells. *)
+
+val load_grid :
+  ?domains:int ->
+  ?scheduler:Scheduler.policy ->
+  ?quanta:int list ->
+  ?trace_capacity:int ->
+  ?backend:Uhm_machine.Machine.backend ->
+  ?shape:shape ->
+  ?admission:Serve.admission ->
+  ?economy:Serve.economy ->
+  ?cell_fuel:int ->
+  seed:int ->
+  jobs:int ->
+  slots:int ->
+  kind:Uhm_encoding.Kind.t ->
+  policies:Dtb.policy list ->
+  rates:float list ->
+  config:Dtb.config ->
+  (string * Uhm_dir.Program.t) list ->
+  load_cell list
+(** One serve run per {!load_axes} cell over the given template pool
+    (encoded once, in parallel, like the mix grid's pre-pass).  [shape]
+    defaults to [Open_poisson]; [trace_capacity] to a small ring (4096)
+    since grids keep every cell's trace alive; [cell_fuel] bounds each
+    job's machine so a wedged guest cannot hang a cell. *)
+
+val load_grid_slots :
+  ?domains:int ->
+  ?scheduler:Scheduler.policy ->
+  ?quanta:int list ->
+  ?trace_capacity:int ->
+  ?backend:Uhm_machine.Machine.backend ->
+  ?shape:shape ->
+  ?admission:Serve.admission ->
+  ?economy:Serve.economy ->
+  ?supervision:Sweep.supervision ->
+  ?cached:(int -> load_cell option) ->
+  ?cell_hook:(index:int -> attempts:int -> load_cell Sweep.slot -> unit) ->
+  ?cell_fuel:int ->
+  ?poison:int list ->
+  seed:int ->
+  jobs:int ->
+  slots:int ->
+  kind:Uhm_encoding.Kind.t ->
+  policies:Dtb.policy list ->
+  rates:float list ->
+  config:Dtb.config ->
+  (string * Uhm_dir.Program.t) list ->
+  load_cell Sweep.slot list
+(** {!load_grid} under campaign supervision: a failing cell is retried
+    and then quarantined instead of aborting the grid, and
+    [cached]/[cell_hook] plug in a {!Uhm_campaign} journal.  Under
+    supervision a cell in which any {e retired} job did not halt fails
+    (and is quarantined) — shed jobs are normal service, not failure.
+    [poison] is the quarantine-path testing aid, as in the mix grid.
+    Completed slots are byte-identical to the corresponding {!load_grid}
+    cells. *)

@@ -1,0 +1,54 @@
+(* Exact nearest-rank order statistics via deterministic quickselect; see
+   percentile.mli. *)
+
+let swap a i j =
+  let t = a.(i) in
+  a.(i) <- a.(j);
+  a.(j) <- t
+
+(* Median-of-three pivot: deterministic, and immune to the sorted and
+   reverse-sorted inputs that sink a fixed-end pivot. *)
+let pivot_index a lo hi =
+  let mid = lo + ((hi - lo) / 2) in
+  let x = a.(lo) and y = a.(mid) and z = a.(hi) in
+  if (x <= y && y <= z) || (z <= y && y <= x) then mid
+  else if (y <= x && x <= z) || (z <= x && x <= y) then lo
+  else hi
+
+(* k-th smallest (0-indexed) of a.(lo..hi), destructively. *)
+let rec select a lo hi k =
+  if lo = hi then a.(lo)
+  else begin
+    let p = pivot_index a lo hi in
+    swap a p hi;
+    let pivot = a.(hi) in
+    let store = ref lo in
+    for i = lo to hi - 1 do
+      if a.(i) < pivot then begin
+        swap a i !store;
+        incr store
+      end
+    done;
+    swap a !store hi;
+    if k = !store then a.(k)
+    else if k < !store then select a lo (!store - 1) k
+    else select a (!store + 1) hi k
+  end
+
+let nearest_rank data ~p =
+  let n = Array.length data in
+  if n = 0 then invalid_arg "Percentile.nearest_rank: empty data";
+  if p <= 0. || p > 100. then
+    invalid_arg "Percentile.nearest_rank: p must be in (0, 100]";
+  let rank = int_of_float (Float.ceil (p /. 100. *. float_of_int n)) in
+  let rank = min n (max 1 rank) in
+  select (Array.copy data) 0 (n - 1) (rank - 1)
+
+let summary samples =
+  match samples with
+  | [] -> (0, 0, 0)
+  | _ ->
+      let a = Array.of_list samples in
+      ( nearest_rank a ~p:50.,
+        nearest_rank a ~p:95.,
+        nearest_rank a ~p:99. )

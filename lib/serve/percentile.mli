@@ -1,0 +1,21 @@
+(** Exact nearest-rank percentiles for latency distributions.
+
+    The load service reports p50/p95/p99 of sojourn times and queueing
+    delays.  These are {e exact} nearest-rank order statistics — the
+    ceil(p/100 * n)-th smallest sample — not interpolated estimates:
+    with deterministic virtual-time simulation there is no reason to
+    approximate, and exactness is what makes the numbers byte-stable
+    across domain counts and journal resumes.
+
+    Selection is in-place quickselect with a median-of-three pivot
+    (deterministic, no randomness), so a full sort is avoided; the
+    QCheck suite checks it against a sort-based oracle. *)
+
+val nearest_rank : int array -> p:float -> int
+(** [nearest_rank data ~p] is the nearest-rank [p]-th percentile of
+    [data]: its ceil([p]/100 * n)-th smallest element (1-indexed).
+    [data] is not modified.  Raises [Invalid_argument] on an empty
+    array or [p] outside (0, 100]. *)
+
+val summary : int list -> int * int * int
+(** [(p50, p95, p99)] of the samples; [(0, 0, 0)] when empty. *)

@@ -16,6 +16,7 @@ let () =
       Test_golden.suite;
       Test_resume.suite;
       Test_sched.suite;
+      Test_serve.suite;
       Test_fault.suite;
       Test_backend.suite;
       Test_workload.suite;
