@@ -6,12 +6,13 @@
    Targets: table1 table2 table3 figure1 figure2 figure3 figure4
             model-vs-sim encodings assoc alloc crossover assist blocks
             languages summary datapath levels mix locality micro perf
-            load all
-   No arguments = everything except micro, perf and load.
+            load resilience all
+   No arguments = everything except micro, perf, load and resilience.
 
    --journal PATH records every completed cell of the campaign-shaped
-   targets (figure2, model-vs-sim, assoc, alloc, summary, mix, faults) to
-   per-target fsync'd JSON-lines journals derived from PATH ("out.jsonl"
+   targets (figure2, model-vs-sim, assoc, alloc, crossover, languages,
+   locality, summary, mix, faults, load, resilience) to per-target
+   fsync'd JSON-lines journals derived from PATH ("out.jsonl"
    -> "out.summary.jsonl", ...); --resume PATH serves already-journaled
    cells instead of recomputing them, so "--journal F --resume F" can be
    re-run after a mid-run kill until the report completes, byte-identical
@@ -36,10 +37,13 @@
 
    The load target records the open-arrival saturation study (lib/serve):
    sojourn percentiles vs offered load under each DTB sharing policy,
-   written to the same BENCH_simulator.json as a schema-v4 "load"
-   section.  perf and load each rewrite only their own section of that
-   file, preserving the other's.  UHM_LOAD_JOBS sets the arrivals per
-   cell (default 400); UHM_PERF_OUT names the file for both. *)
+   written to the same BENCH_simulator.json as a "load" section.  The
+   resilience target records the fault-tolerant serving study: SLO
+   attainment, goodput and p99 degradation vs injected fault rate, a
+   schema-v5 "resilience" section of the same file.  perf, load and
+   resilience each rewrite only their own section, preserving the
+   others'.  UHM_LOAD_JOBS / UHM_RESILIENCE_JOBS set the arrivals per
+   cell (defaults 400 / 150); UHM_PERF_OUT names the file for all. *)
 
 module Table = Uhm_report.Table
 module Kind = Uhm_encoding.Kind
@@ -690,8 +694,25 @@ let crossover () =
           ("dtb c/i", Table.Right); ("speedup", Table.Right) ]
       ()
   in
+  let cells =
+    List.concat_map
+      (fun name ->
+        List.map (fun kind -> (name, kind))
+          [ Kind.Word16; Kind.Packed; Kind.Digram ])
+      [ "fact_iter"; "string_out" ]
+  in
+  let fingerprint =
+    [ "bench crossover";
+      "cells="
+      ^ String.concat ","
+          (List.map (fun (n, k) -> n ^ "/" ^ Kind.name k) cells) ]
+  in
+  let setup =
+    campaign_setup ~target:"crossover" ~fingerprint ~cells:(List.length cells)
+  in
   let rows =
-    sweep_map
+    Sweep.map_supervised ?domains:!jobs ~cached:setup.Campaign.cached
+      ?cell_hook:setup.Campaign.cell_hook
       (fun (name, kind) ->
         let p = compile name in
         let interp = U.run ~strategy:U.Interp ~kind p in
@@ -701,13 +722,19 @@ let crossover () =
           Table.cell_float (U.cycles_per_dir_instruction dtb);
           Table.cell_float
             (float_of_int interp.U.cycles /. float_of_int dtb.U.cycles) ])
-      (List.concat_map
-         (fun name ->
-           List.map (fun kind -> (name, kind))
-             [ Kind.Word16; Kind.Packed; Kind.Digram ])
-         [ "fact_iter"; "string_out" ])
+      cells
   in
-  List.iter (Table.add_row t2) rows;
+  setup.Campaign.close ();
+  List.iter2
+    (fun (name, kind) slot ->
+      match slot with
+      | Sweep.Completed row -> Table.add_row t2 row
+      | Sweep.Quarantined q ->
+          note_quarantine ~target:"crossover" q;
+          Table.add_row t2
+            [ Printf.sprintf "%s/%s" name (Kind.name kind); "(quar)"; "-";
+              "-" ])
+    cells rows;
   Table.print t2
 
 (* ------------------------------------------------------------------ *)
@@ -1102,7 +1129,30 @@ let languages () =
             fun () -> Uhm_ftn.Suite.compile ~fuse:false e ))
         (List.map Uhm_ftn.Suite.find [ "ftn_euclid"; "ftn_sieve"; "ftn_fib" ])
   in
-  List.iter (Table.add_row t) (sweep_map row jobs_list);
+  let fingerprint =
+    [ "bench languages";
+      "cells="
+      ^ String.concat ","
+          (List.map (fun (n, lang, _) -> n ^ "/" ^ lang) jobs_list) ]
+  in
+  let setup =
+    campaign_setup ~target:"languages" ~fingerprint
+      ~cells:(List.length jobs_list)
+  in
+  let rows =
+    Sweep.map_supervised ?domains:!jobs ~cached:setup.Campaign.cached
+      ?cell_hook:setup.Campaign.cell_hook row jobs_list
+  in
+  setup.Campaign.close ();
+  List.iter2
+    (fun (name, lang, _) slot ->
+      match slot with
+      | Sweep.Completed r -> Table.add_row t r
+      | Sweep.Quarantined q ->
+          note_quarantine ~target:"languages" q;
+          Table.add_row t
+            [ name; lang; "(quar)"; "-"; "-"; "-"; "-"; "-" ])
+    jobs_list rows;
   Table.print t;
   print_endline
     "Both front ends bind to the same DIR, semantic routines and DTB; the\n\
@@ -1134,20 +1184,45 @@ let locality () =
   let jobs_list =
     List.map
       (fun name ->
-        fun () -> trace_row name (Locality.trace_of_program (compile name)))
+        ( name,
+          fun () -> trace_row name (Locality.trace_of_program (compile name))
+        ))
       [ "fact_iter"; "fib_rec"; "sieve"; "quicksort"; "dispatch";
         "flat_straightline" ]
     @ List.map
         (fun loc ->
-          fun () ->
-            trace_row
-              (Printf.sprintf "synthetic(locality=%.2f)" loc)
-              (Tracegen.generate
-                 { Tracegen.default with Tracegen.locality = loc;
-                   length = 50_000 }))
+          let label = Printf.sprintf "synthetic(locality=%.2f)" loc in
+          ( label,
+            fun () ->
+              trace_row label
+                (Tracegen.generate
+                   { Tracegen.default with Tracegen.locality = loc;
+                     length = 50_000 }) ))
         [ 0.5; 0.9; 0.99 ]
   in
-  List.iter (Table.add_row t) (sweep_map (fun job -> job ()) jobs_list);
+  let fingerprint =
+    [ "bench locality";
+      "cells=" ^ String.concat "," (List.map fst jobs_list) ]
+  in
+  let setup =
+    campaign_setup ~target:"locality" ~fingerprint
+      ~cells:(List.length jobs_list)
+  in
+  let rows =
+    Sweep.map_supervised ?domains:!jobs ~cached:setup.Campaign.cached
+      ?cell_hook:setup.Campaign.cell_hook
+      (fun (_, job) -> job ())
+      jobs_list
+  in
+  setup.Campaign.close ();
+  List.iter2
+    (fun (label, _) slot ->
+      match slot with
+      | Sweep.Completed r -> Table.add_row t r
+      | Sweep.Quarantined q ->
+          note_quarantine ~target:"locality" q;
+          Table.add_row t [ label; "(quar)"; "-"; "-"; "-"; "-" ])
+    jobs_list rows;
   Table.print t
 
 (* ------------------------------------------------------------------ *)
@@ -1232,10 +1307,12 @@ let perf () =
   let min_runs = getenv_num "UHM_PERF_RUNS" int_of_string_opt 5 in
   let min_seconds = getenv_num "UHM_PERF_SECONDS" float_of_string_opt 0.2 in
   let path = bench_json_path () in
-  (* re-measuring throughput must not clobber the recorded saturation
-     study; carry the existing load section over verbatim *)
-  let load =
-    if Sys.file_exists path then Uhm_core.Perf.read_load ~path else None
+  (* re-measuring throughput must not clobber the recorded saturation or
+     resilience studies; carry their sections over verbatim *)
+  let load, resilience =
+    if Sys.file_exists path then
+      (Uhm_core.Perf.read_load ~path, Uhm_core.Perf.read_resilience ~path)
+    else (None, None)
   in
   let samples =
     Uhm_core.Perf.run_suite ~min_runs ~min_seconds
@@ -1300,7 +1377,7 @@ let perf () =
       Some sw
     end
   in
-  Uhm_core.Perf.write_json ?sweep ?load ~path samples;
+  Uhm_core.Perf.write_json ?sweep ?load ?resilience ~path samples;
   Printf.printf "\nwrote %s (%d samples)\n" path (List.length samples)
 
 (* ------------------------------------------------------------------ *)
@@ -1432,18 +1509,215 @@ let load () =
     incr quarantined_cells (* fail the run: the recorded curve is bad *)
   end;
   let path = bench_json_path () in
-  let samples, sweep =
+  let samples, sweep, resilience =
     if Sys.file_exists path then
       ( Uhm_core.Perf.read_samples ~path,
-        Uhm_core.Perf.read_sweep ~path )
-    else ([], None)
+        Uhm_core.Perf.read_sweep ~path,
+        Uhm_core.Perf.read_resilience ~path )
+    else ([], None, None)
   in
   let load_bench =
     { Uhm_core.Perf.load_seed = seed; load_slots = asid_slots;
       load_points = points }
   in
-  Uhm_core.Perf.write_json ?sweep ~load:load_bench ~path samples;
+  Uhm_core.Perf.write_json ?sweep ~load:load_bench ?resilience ~path samples;
   Printf.printf "\nwrote %s (load section: %d points, %d preserved samples)\n"
+    path (List.length points) (List.length samples)
+
+(* ------------------------------------------------------------------ *)
+(* Fault-tolerant serving                                              *)
+(* ------------------------------------------------------------------ *)
+
+let resilience () =
+  section
+    "X14: fault-tolerant serving -- SLO attainment, goodput and p99 \
+     degradation vs injected fault rate";
+  let module LX = Uhm_serve.Experiment in
+  let module Chaos = Uhm_serve.Chaos in
+  let module Serve = Uhm_serve.Serve in
+  let module Arrival = Uhm_serve.Arrival in
+  let njobs = getenv_num "UHM_RESILIENCE_JOBS" int_of_string_opt 150 in
+  let seed = 1 and fault_seed = 4242 and asid_slots = 8 and quantum = 64 in
+  let slo = 2_000_000 in
+  (* both front ends in one pool, skewed heavy-tailed toward the light
+     Algol template so most jobs are short and a few are long; service
+     times run ~110k (fact_iter) to ~660k (ftn_sieve) cycles, putting
+     pool capacity near 4.6 jobs/Mcycle -- the rates straddle the knee
+     and the SLO bound is reachable by every template when unloaded *)
+  let pool =
+    [ ("fact_iter", compile "fact_iter");
+      ("string_out", compile "string_out");
+      ( "ftn_sieve",
+        Uhm_ftn.Suite.compile ~fuse:false (Uhm_ftn.Suite.find "ftn_sieve") )
+    ]
+  in
+  let weights = Arrival.heavy_tailed ~templates:3 ~heavy:[ (0, 4.0) ] in
+  let policies = [ Dtb.Flush_on_switch; Dtb.Tagged; Dtb.Partitioned ] in
+  let fault_rates = LX.default_fault_rates in
+  let rates = [ 2.0; 6.0 ] in
+  (* corrupted attempts can loop; the fuel bound is far above any
+     template's solo cost, so it only fires on genuinely wedged runs *)
+  let cell_fuel = 4_000_000 in
+  let admission = { Serve.queue_capacity = njobs; shed_above = None } in
+  let axes =
+    LX.resilience_axes ~quanta:[ quantum ] ~rates ~fault_rates ~policies ()
+  in
+  let fingerprint =
+    [ "bench resilience";
+      "programs=" ^ String.concat "," (List.map fst pool);
+      "weights=" ^ Arrival.weights_name (Some weights);
+      "policies=" ^ String.concat "," (List.map Dtb.policy_name policies);
+      "fault_rates="
+      ^ String.concat "," (List.map (Printf.sprintf "%h") fault_rates);
+      "rates=" ^ String.concat "," (List.map (Printf.sprintf "%h") rates);
+      Printf.sprintf "jobs=%d" njobs; Printf.sprintf "seed=%d" seed;
+      Printf.sprintf "fault_seed=%d" fault_seed;
+      Printf.sprintf "slots=%d" asid_slots;
+      Printf.sprintf "quantum=%d" quantum; Printf.sprintf "slo=%d" slo;
+      Printf.sprintf "fuel=%d" cell_fuel;
+      Printf.sprintf "queue=%d" admission.Serve.queue_capacity ]
+  in
+  let setup =
+    campaign_setup ~target:"resilience" ~fingerprint
+      ~cells:(List.length axes)
+  in
+  let grid =
+    LX.resilience_grid_slots ?domains:!jobs ~cached:setup.Campaign.cached
+      ?cell_hook:setup.Campaign.cell_hook ~quanta:[ quantum ] ~admission
+      ~cell_fuel ~weights ~deadline:slo ~fault_seed ~seed ~jobs:njobs
+      ~slots:asid_slots ~kind:Kind.Huffman ~policies ~fault_rates ~rates
+      ~config:Dtb.paper_config pool
+  in
+  setup.Campaign.close ();
+  (* the fault-free control column, keyed by (policy, quantum, rate):
+     the denominator of every p99-degradation ratio *)
+  let baseline_p99 =
+    List.filter_map
+      (fun slot ->
+        match slot with
+        | Sweep.Completed (cell : LX.resilience_cell)
+          when cell.LX.rc_fault_rate = 0.0 ->
+            Some
+              ( (cell.LX.rc_policy, cell.LX.rc_quantum, cell.LX.rc_rate),
+                cell.LX.rc_result.Chaos.cv_serve.Serve.sv_summary.Serve.s_p99
+              )
+        | _ -> None)
+      grid
+  in
+  let t =
+    Table.create
+      ~columns:
+        [ ("policy", Table.Left); ("frate", Table.Right);
+          ("rate/Mcyc", Table.Right); ("jobs", Table.Right);
+          ("done", Table.Right); ("failed", Table.Right);
+          ("shed", Table.Right); ("attain", Table.Right);
+          ("goodput", Table.Right); ("inj", Table.Right);
+          ("det", Table.Right); ("retries", Table.Right);
+          ("p99", Table.Right); ("p99x", Table.Right) ]
+      ()
+  in
+  let prev_policy = ref None in
+  let points = ref [] in
+  List.iter2
+    (fun (policy, _quantum, fault_rate, rate) slot ->
+      (match !prev_policy with
+      | Some p when p <> policy -> Table.add_rule t
+      | _ -> ());
+      prev_policy := Some policy;
+      match slot with
+      | Sweep.Quarantined q ->
+          note_quarantine ~target:"resilience" q;
+          Table.add_row t
+            [ Dtb.policy_name policy; Printf.sprintf "%g" fault_rate;
+              Printf.sprintf "%g" rate; "(quarantined)"; "-"; "-"; "-";
+              "-"; "-"; "-"; "-"; "-"; "-"; "-" ]
+      | Sweep.Completed (cell : LX.resilience_cell) ->
+          let s = cell.LX.rc_result.Chaos.cv_serve.Serve.sv_summary in
+          let cs = cell.LX.rc_result.Chaos.cv_summary in
+          let degradation =
+            match
+              List.assoc_opt
+                (cell.LX.rc_policy, cell.LX.rc_quantum, cell.LX.rc_rate)
+                baseline_p99
+            with
+            | Some base when base > 0 ->
+                float_of_int s.Serve.s_p99 /. float_of_int base
+            | _ -> 1.0
+          in
+          Table.add_row t
+            [ Dtb.policy_name cell.LX.rc_policy;
+              Printf.sprintf "%g" cell.LX.rc_fault_rate;
+              Printf.sprintf "%g" cell.LX.rc_rate;
+              Table.cell_int s.Serve.s_jobs;
+              Table.cell_int s.Serve.s_completed;
+              Table.cell_int s.Serve.s_failed;
+              Table.cell_int s.Serve.s_shed;
+              Printf.sprintf "%.3f" cs.Chaos.cs_attainment;
+              Printf.sprintf "%.3f" cs.Chaos.cs_goodput;
+              Table.cell_int cs.Chaos.cs_injected;
+              Table.cell_int cs.Chaos.cs_detected;
+              Table.cell_int cs.Chaos.cs_job_retries;
+              Table.cell_int s.Serve.s_p99;
+              Printf.sprintf "%.3fx" degradation ];
+          points :=
+            {
+              Uhm_core.Perf.rp_policy = Dtb.policy_name cell.LX.rc_policy;
+              rp_fault_rate = cell.LX.rc_fault_rate;
+              rp_rate = cell.LX.rc_rate;
+              rp_quantum = cell.LX.rc_quantum;
+              rp_jobs = s.Serve.s_jobs;
+              rp_completed = s.Serve.s_completed;
+              rp_failed = s.Serve.s_failed;
+              rp_shed = s.Serve.s_shed;
+              rp_slo_attainment = cs.Chaos.cs_attainment;
+              rp_goodput = cs.Chaos.cs_goodput;
+              rp_injected = cs.Chaos.cs_injected;
+              rp_detected = cs.Chaos.cs_detected;
+              rp_job_retries = cs.Chaos.cs_job_retries;
+              rp_p99 = s.Serve.s_p99;
+              rp_p99_degradation = degradation;
+            }
+            :: !points)
+    axes grid;
+  Table.print t;
+  let points = List.rev !points in
+  (* the control column must be clean: no injections, no failures *)
+  let dirty_control =
+    List.filter
+      (fun p ->
+        p.Uhm_core.Perf.rp_fault_rate = 0.0
+        && (p.Uhm_core.Perf.rp_injected > 0
+           || p.Uhm_core.Perf.rp_failed > 0))
+      points
+  in
+  if dirty_control = [] then
+    print_endline
+      "\nno wrong answers at any campaign point: every accepted completion\n\
+       matched its fault-free solo run (the supervised grid quarantines\n\
+       any cell violating this).  Fault-rate-0 columns are the control --\n\
+       zero injections, zero failures -- and the p99x column prices the\n\
+       tail-latency cost of surviving each fault rate."
+  else begin
+    Printf.eprintf
+      "bench: resilience: %d control cell(s) saw injections or failures\n"
+      (List.length dirty_control);
+    incr quarantined_cells
+  end;
+  let path = bench_json_path () in
+  let samples, sweep, load =
+    if Sys.file_exists path then
+      ( Uhm_core.Perf.read_samples ~path,
+        Uhm_core.Perf.read_sweep ~path,
+        Uhm_core.Perf.read_load ~path )
+    else ([], None, None)
+  in
+  let res_bench =
+    { Uhm_core.Perf.res_seed = seed; res_slots = asid_slots; res_slo = slo;
+      res_points = points }
+  in
+  Uhm_core.Perf.write_json ?sweep ?load ~resilience:res_bench ~path samples;
+  Printf.printf
+    "\nwrote %s (resilience section: %d points, %d preserved samples)\n"
     path (List.length points) (List.length samples)
 
 (* ------------------------------------------------------------------ *)
@@ -1554,7 +1828,7 @@ let targets : (string * (unit -> unit)) list =
     ("languages", languages); ("summary", summary); ("datapath", datapath);
     ("levels", levels); ("mix", mix); ("faults", faults);
     ("locality", locality); ("micro", micro); ("perf", perf);
-    ("load", load);
+    ("load", load); ("resilience", resilience);
   ]
 
 let () =
@@ -1596,7 +1870,9 @@ let () =
     | _ ->
         List.map fst
           (List.filter
-             (fun (n, _) -> n <> "micro" && n <> "perf" && n <> "load")
+             (fun (n, _) ->
+               n <> "micro" && n <> "perf" && n <> "load"
+               && n <> "resilience")
              targets)
   in
   List.iter

@@ -925,10 +925,17 @@ let load_cmd =
                    name and rate are inserted before the extension when \
                    the grid has several cells).")
   in
+  let slo_arg =
+    Arg.(value & opt_all int []
+         & info [ "slo" ] ~docv:"BOUND"
+             ~doc:"Report exact SLO attainment (completions within \
+                   $(docv) cycles of arrival over all completions) as an \
+                   extra column per bound (repeatable).")
+  in
   let action programs policies rates njobs seed slots quantum scheduler kind
       fuse queue_cap shed_above bursty burst idle economy evict_idle
-      evict_watermark sets assoc jobs trace_path journal resume cell_fuel
-      poison =
+      evict_watermark sets assoc jobs trace_path slo_bounds journal resume
+      cell_fuel poison =
     if programs = [] then begin
       prerr_endline "uhmc load: at least one -p NAME is required";
       exit 2
@@ -995,16 +1002,27 @@ let load_cmd =
         ~jobs:njobs ~slots ~kind ~policies ~rates ~config named
     in
     setup.Campaign.close ();
+    let slo_bounds = List.sort_uniq compare slo_bounds in
+    List.iter
+      (fun b ->
+        if b < 1 then begin
+          prerr_endline "uhmc load: --slo bounds must be at least 1";
+          exit 2
+        end)
+      slo_bounds;
     let t =
       Table.create
         ~columns:
-          [ ("policy", Table.Left); ("rate", Table.Right);
-            ("jobs", Table.Right); ("done", Table.Right);
-            ("shed", Table.Right); ("p50", Table.Right);
-            ("p95", Table.Right); ("p99", Table.Right);
-            ("qd p95", Table.Right); ("slowdown", Table.Right);
-            ("thru/Mcyc", Table.Right); ("evict", Table.Right);
-            ("hit ratio", Table.Right) ]
+          ([ ("policy", Table.Left); ("rate", Table.Right);
+             ("jobs", Table.Right); ("done", Table.Right);
+             ("shed", Table.Right); ("p50", Table.Right);
+             ("p95", Table.Right); ("p99", Table.Right);
+             ("qd p95", Table.Right); ("slowdown", Table.Right);
+             ("thru/Mcyc", Table.Right); ("evict", Table.Right);
+             ("hit ratio", Table.Right) ]
+          @ List.map
+              (fun b -> (Printf.sprintf "slo@%d" b, Table.Right))
+              slo_bounds)
         ()
     in
     let quarantined = ref [] in
@@ -1015,24 +1033,32 @@ let load_cmd =
         | Sweep.Quarantined q ->
             quarantined := (policy, rate, q) :: !quarantined;
             Table.add_row t
-              [ Dtb.policy_name policy; Printf.sprintf "%g" rate;
-                "(quarantined)"; "-"; "-"; "-"; "-"; "-"; "-"; "-"; "-"; "-";
-                "-" ]
+              ([ Dtb.policy_name policy; Printf.sprintf "%g" rate;
+                 "(quarantined)"; "-"; "-"; "-"; "-"; "-"; "-"; "-"; "-"; "-";
+                 "-" ]
+              @ List.map (fun _ -> "-") slo_bounds)
         | Sweep.Completed cell ->
             let s = cell.LX.lc_result.Serve.sv_summary in
             Table.add_row t
-              [ Dtb.policy_name policy; Printf.sprintf "%g" rate;
-                Table.cell_int s.Serve.s_jobs;
-                Table.cell_int s.Serve.s_completed;
-                Table.cell_int s.Serve.s_shed;
-                Table.cell_int s.Serve.s_p50;
-                Table.cell_int s.Serve.s_p95;
-                Table.cell_int s.Serve.s_p99;
-                Table.cell_int s.Serve.s_qd_p95;
-                Printf.sprintf "%.3fx" s.Serve.s_mean_slowdown;
-                Printf.sprintf "%.2f" s.Serve.s_throughput;
-                Table.cell_int s.Serve.s_evictions;
-                Printf.sprintf "%.4f" s.Serve.s_hit_ratio ];
+              ([ Dtb.policy_name policy; Printf.sprintf "%g" rate;
+                 Table.cell_int s.Serve.s_jobs;
+                 Table.cell_int s.Serve.s_completed;
+                 Table.cell_int s.Serve.s_shed;
+                 Table.cell_int s.Serve.s_p50;
+                 Table.cell_int s.Serve.s_p95;
+                 Table.cell_int s.Serve.s_p99;
+                 Table.cell_int s.Serve.s_qd_p95;
+                 Printf.sprintf "%.3fx" s.Serve.s_mean_slowdown;
+                 Printf.sprintf "%.2f" s.Serve.s_throughput;
+                 Table.cell_int s.Serve.s_evictions;
+                 Printf.sprintf "%.4f" s.Serve.s_hit_ratio ]
+              @ List.map
+                  (fun bound ->
+                    let _, _, attainment =
+                      Serve.slo ~bound cell.LX.lc_result.Serve.sv_jobs
+                    in
+                    Printf.sprintf "%.3f" attainment)
+                  slo_bounds);
             (match trace_path with
             | None -> ()
             | Some path ->
@@ -1082,7 +1108,296 @@ let load_cmd =
       $ seed_arg $ slots_arg $ quantum_arg $ scheduler_arg $ kind_arg
       $ fuse_arg $ queue_cap_arg $ shed_above_arg $ bursty_arg $ burst_arg
       $ idle_arg $ economy_arg $ evict_idle_arg $ evict_watermark_arg
-      $ sets_arg $ assoc_arg $ jobs_arg $ trace_arg $ journal_arg
+      $ sets_arg $ assoc_arg $ jobs_arg $ trace_arg $ slo_arg $ journal_arg
+      $ resume_arg $ cell_fuel_arg $ poison_arg)
+
+(* -- serve-chaos -------------------------------------------------------------- *)
+
+let serve_chaos_cmd =
+  let module Scheduler = Uhm_sched.Scheduler in
+  let module Trace = Uhm_sched.Trace in
+  let module Serve = Uhm_serve.Serve in
+  let module Chaos = Uhm_serve.Chaos in
+  let module LX = Uhm_serve.Experiment in
+  let programs_arg =
+    Arg.(value & opt_all string [ "fact_iter"; "string_out" ]
+         & info [ "p"; "program" ] ~docv:"NAME"
+             ~doc:"Built-in program for the template pool arrivals draw \
+                   from (repeatable; default fact_iter and string_out; \
+                   Fortran-S names start with ftn_).")
+  in
+  let policy_conv =
+    let parse = function
+      | "flush" -> Ok Dtb.Flush_on_switch
+      | "tagged" -> Ok Dtb.Tagged
+      | "partitioned" -> Ok Dtb.Partitioned
+      | s -> Error (`Msg (Printf.sprintf "unknown policy %s" s))
+    in
+    Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Dtb.policy_name p))
+  in
+  let policies_arg =
+    Arg.(value & opt_all policy_conv [ Dtb.Tagged ]
+         & info [ "policy" ] ~docv:"POLICY"
+             ~doc:"Shared-DTB ownership policy: flush, tagged, partitioned \
+                   (repeatable; default tagged).")
+  in
+  let rates_arg =
+    Arg.(value & opt_all float [ 4.0 ]
+         & info [ "rate" ] ~docv:"R"
+             ~doc:"Offered load in jobs per million simulated cycles \
+                   (repeatable; default 4).")
+  in
+  let fault_rates_arg =
+    Arg.(value & opt_all float []
+         & info [ "fault-rate" ] ~docv:"F"
+             ~doc:"Total per-INTERP-step injection probability, split \
+                   evenly over the four fault classes (repeatable; \
+                   default 0, 1e-5 and 1e-4; 0 is the fault-free \
+                   control).")
+  in
+  let njobs_arg =
+    Arg.(value & opt int 120
+         & info [ "n"; "njobs" ] ~docv:"N" ~doc:"Arrivals offered per cell.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"N" ~doc:"Arrival-stream seed.")
+  in
+  let fault_seed_arg =
+    Arg.(value & opt int 4242
+         & info [ "fault-seed" ] ~docv:"N"
+             ~doc:"Injector seed (the same for every cell, so columns \
+                   differ only in rate).")
+  in
+  let slots_arg =
+    Arg.(value & opt int 4
+         & info [ "slots" ] ~docv:"N"
+             ~doc:"ASID slots (resident-tenant cap; under partitioned at \
+                   most the set count).")
+  in
+  let quantum_arg =
+    Arg.(value & opt int 64
+         & info [ "q"; "quantum" ] ~docv:"N"
+             ~doc:"Scheduling quantum in DIR instructions.")
+  in
+  let scheduler_conv =
+    let parse = function
+      | "rr" -> Ok Scheduler.Round_robin
+      | "srtf" -> Ok Scheduler.Shortest_remaining
+      | s -> Error (`Msg (Printf.sprintf "unknown scheduler %s" s))
+    in
+    Arg.conv
+      (parse, fun fmt s -> Format.pp_print_string fmt (Scheduler.policy_name s))
+  in
+  let scheduler_arg =
+    Arg.(value & opt scheduler_conv Scheduler.Round_robin
+         & info [ "scheduler" ] ~docv:"SCHED"
+             ~doc:"rr (round-robin) or srtf (shortest remaining dir_steps \
+                   first).")
+  in
+  let queue_cap_arg =
+    Arg.(value & opt int 64
+         & info [ "queue-cap" ] ~docv:"N"
+             ~doc:"Admission-queue capacity; arrivals beyond it are shed \
+                   (drop-tail).")
+  in
+  let deadline_arg =
+    Arg.(value & opt (some int) None
+         & info [ "deadline" ] ~docv:"CYCLES"
+             ~doc:"Per-job SLO bound: a job completing more than $(docv) \
+                   cycles after arrival counts as a deadline miss.")
+  in
+  let retry_limit_arg =
+    Arg.(value & opt int 2
+         & info [ "retry-limit" ] ~docv:"N"
+             ~doc:"Voided attempts a job may retry before it retires as \
+                   failed.")
+  in
+  let backoff_arg =
+    Arg.(value & opt int 4096
+         & info [ "backoff" ] ~docv:"CYCLES"
+             ~doc:"Base of the job-level exponential retry backoff.")
+  in
+  let checkpoint_arg =
+    Arg.(value & opt int 1024
+         & info [ "checkpoint-every" ] ~docv:"STEPS"
+             ~doc:"Checkpoint cadence for memory-fault rollback (taken \
+                   only when memory faults are possible).")
+  in
+  let brownout_arg =
+    Arg.(value & flag
+         & info [ "brownout" ]
+             ~doc:"Enable the staged degradation controller (shed harder, \
+                   admit as pure interpretation, quarantine the poisoned \
+                   slot) with its default thresholds.")
+  in
+  let weight_arg =
+    Arg.(value & opt_all float []
+         & info [ "weight" ] ~docv:"W"
+             ~doc:"Template-pick weight, one per -p in order (repeatable); \
+                   omitted, picks are uniform.")
+  in
+  let sets_arg =
+    Arg.(value & opt int Dtb.paper_config.Dtb.sets
+         & info [ "sets" ] ~docv:"N" ~doc:"DTB set count (power of two).")
+  in
+  let assoc_arg =
+    Arg.(value & opt int Dtb.paper_config.Dtb.assoc
+         & info [ "assoc" ] ~docv:"N" ~doc:"DTB ways per set.")
+  in
+  let jobs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Domain count for the sweep pool (default: $(b,UHM_JOBS) \
+                   or the recommended domain count).")
+  in
+  let poison_arg =
+    Arg.(value & opt_all int []
+         & info [ "poison-cell" ] ~docv:"IDX"
+             ~doc:"Testing aid for the quarantine path: make the cell at \
+                   index $(docv) fail on every attempt.")
+  in
+  let action programs policies rates fault_rates njobs seed fault_seed slots
+      quantum scheduler kind fuse queue_cap deadline retry_limit backoff
+      checkpoint_every brownout weights sets assoc jobs journal resume
+      cell_fuel poison =
+    if programs = [] then begin
+      prerr_endline "uhmc serve-chaos: at least one -p NAME is required";
+      exit 2
+    end;
+    let fault_rates =
+      if fault_rates = [] then LX.default_fault_rates else fault_rates
+    in
+    let weights = match weights with [] -> None | ws -> Some ws in
+    (match weights with
+    | Some ws when List.length ws <> List.length programs ->
+        prerr_endline "uhmc serve-chaos: --weight count must match -p count";
+        exit 2
+    | _ -> ());
+    let config = { Dtb.paper_config with Dtb.sets; assoc } in
+    let admission = { Serve.queue_capacity = queue_cap; shed_above = None } in
+    let brownout = if brownout then Some Chaos.default_brownout else None in
+    let named =
+      List.map
+        (fun name ->
+          let fortran =
+            String.length name >= 4 && String.sub name 0 4 = "ftn_"
+          in
+          (name, load_dir ~file:None ~program:(Some name) ~fortran ~fuse))
+        programs
+    in
+    let axes =
+      LX.resilience_axes ~quanta:[ quantum ] ~rates ~fault_rates ~policies ()
+    in
+    let fingerprint =
+      [ "uhmc serve-chaos";
+        "programs=" ^ String.concat "," programs;
+        "policies=" ^ String.concat "," (List.map Dtb.policy_name policies);
+        "rates=" ^ String.concat "," (List.map (Printf.sprintf "%h") rates);
+        "fault_rates="
+        ^ String.concat "," (List.map (Printf.sprintf "%h") fault_rates);
+        "njobs=" ^ string_of_int njobs;
+        "seed=" ^ string_of_int seed;
+        "fault_seed=" ^ string_of_int fault_seed;
+        "slots=" ^ string_of_int slots;
+        "quantum=" ^ string_of_int quantum;
+        "scheduler=" ^ Scheduler.policy_name scheduler;
+        "kind=" ^ Kind.name kind;
+        "fuse=" ^ string_of_bool fuse;
+        "queue_cap=" ^ string_of_int queue_cap;
+        "deadline="
+        ^ (match deadline with None -> "none" | Some d -> string_of_int d);
+        "retry_limit=" ^ string_of_int retry_limit;
+        "backoff=" ^ string_of_int backoff;
+        "checkpoint_every=" ^ string_of_int checkpoint_every;
+        "brownout=" ^ string_of_bool (brownout <> None);
+        "weights=" ^ Uhm_serve.Arrival.weights_name weights;
+        "sets=" ^ string_of_int sets;
+        "assoc=" ^ string_of_int assoc;
+        "cell_fuel="
+        ^ (match cell_fuel with None -> "none" | Some f -> string_of_int f) ]
+    in
+    let setup =
+      prepare_campaign ?journal ?resume ~campaign:"uhmc-serve-chaos"
+        ~fingerprint ~cells:(List.length axes) ()
+    in
+    let slots_out =
+      LX.resilience_grid_slots ?domains:jobs ~scheduler ~quanta:[ quantum ]
+        ~admission ~cached:setup.Campaign.cached
+        ?cell_hook:setup.Campaign.cell_hook ?cell_fuel ?weights ~retry_limit
+        ~backoff ~checkpoint_every ?deadline ?brownout ~fault_seed ~poison
+        ~seed ~jobs:njobs ~slots ~kind ~policies ~fault_rates ~rates ~config
+        named
+    in
+    setup.Campaign.close ();
+    let t =
+      Table.create
+        ~columns:
+          [ ("policy", Table.Left); ("frate", Table.Right);
+            ("rate", Table.Right); ("jobs", Table.Right);
+            ("done", Table.Right); ("failed", Table.Right);
+            ("shed", Table.Right); ("attain", Table.Right);
+            ("goodput", Table.Right); ("inj", Table.Right);
+            ("det", Table.Right); ("retries", Table.Right);
+            ("p99", Table.Right); ("stage", Table.Right) ]
+        ()
+    in
+    let quarantined = ref [] in
+    List.iteri
+      (fun i slot ->
+        let policy, _, frate, rate = List.nth axes i in
+        match slot with
+        | Sweep.Quarantined q ->
+            quarantined := (policy, frate, rate, q) :: !quarantined;
+            Table.add_row t
+              [ Dtb.policy_name policy; Printf.sprintf "%g" frate;
+                Printf.sprintf "%g" rate; "(quarantined)"; "-"; "-"; "-";
+                "-"; "-"; "-"; "-"; "-"; "-"; "-" ]
+        | Sweep.Completed cell ->
+            let s = cell.LX.rc_result.Chaos.cv_serve.Serve.sv_summary in
+            let c = cell.LX.rc_result.Chaos.cv_summary in
+            Table.add_row t
+              [ Dtb.policy_name policy; Printf.sprintf "%g" frate;
+                Printf.sprintf "%g" rate;
+                Table.cell_int s.Serve.s_jobs;
+                Table.cell_int s.Serve.s_completed;
+                Table.cell_int c.Chaos.cs_failed_jobs;
+                Table.cell_int s.Serve.s_shed;
+                Printf.sprintf "%.3f" c.Chaos.cs_attainment;
+                Printf.sprintf "%.2f" c.Chaos.cs_goodput;
+                Table.cell_int c.Chaos.cs_injected;
+                Table.cell_int c.Chaos.cs_detected;
+                Table.cell_int c.Chaos.cs_job_retries;
+                Table.cell_int s.Serve.s_p99;
+                Table.cell_int c.Chaos.cs_max_stage ])
+      slots_out;
+    Table.print t;
+    match List.rev !quarantined with
+    | [] -> ()
+    | qs ->
+        List.iter
+          (fun (policy, frate, rate, (q : Sweep.quarantine)) ->
+            Printf.eprintf
+              "uhmc: cell %d (%s, fault rate %g, rate %g) quarantined after \
+               %d attempt(s): %s\n"
+              q.Sweep.q_index (Dtb.policy_name policy) frate rate
+              q.Sweep.q_attempts q.Sweep.q_reason)
+          qs;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve-chaos"
+       ~doc:"The open-arrival service under seeded fault injection: \
+             deadlines, retry with backoff, brownout degradation.  Exit \
+             codes: 0 all cells clean; 1 a cell was quarantined (a \
+             no-wrong-answers invariant violation is a quarantine); 2 \
+             malformed input or a resume-journal fingerprint mismatch.")
+    Term.(
+      const action $ programs_arg $ policies_arg $ rates_arg $ fault_rates_arg
+      $ njobs_arg $ seed_arg $ fault_seed_arg $ slots_arg $ quantum_arg
+      $ scheduler_arg $ kind_arg $ fuse_arg $ queue_cap_arg $ deadline_arg
+      $ retry_limit_arg $ backoff_arg $ checkpoint_arg $ brownout_arg
+      $ weight_arg $ sets_arg $ assoc_arg $ jobs_arg $ journal_arg
       $ resume_arg $ cell_fuel_arg $ poison_arg)
 
 (* -- faults ------------------------------------------------------------------- *)
@@ -1426,5 +1741,5 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "uhmc" ~doc)
           [ compile_cmd; run_cmd; encode_cmd; trace_cmd; calibrate_cmd;
-            suite_cmd; perf_cmd; mix_cmd; load_cmd; faults_cmd;
+            suite_cmd; perf_cmd; mix_cmd; load_cmd; serve_chaos_cmd; faults_cmd;
             campaign_cmd ]))

@@ -325,23 +325,85 @@ let load_to_json (l : load_bench) =
     l.load_seed l.load_slots
     (String.concat ",\n" (List.map load_point_to_json l.load_points))
 
-let to_json ?sweep ?load samples =
+(* -- The fault-tolerant serving section (schema v5) -------------------------- *)
+
+type resilience_point = {
+  rp_policy : string;          (* "flush" | "tagged" | "partitioned" *)
+  rp_fault_rate : float;       (* total per-step injection probability *)
+  rp_rate : float;             (* offered load, jobs per million cycles *)
+  rp_quantum : int;
+  rp_jobs : int;               (* arrivals offered *)
+  rp_completed : int;          (* verified clean completions *)
+  rp_failed : int;             (* retries exhausted *)
+  rp_shed : int;
+  rp_slo_attainment : float;   (* met / completed, exact *)
+  rp_goodput : float;          (* in-SLO completions per million cycles *)
+  rp_injected : int;
+  rp_detected : int;
+  rp_job_retries : int;
+  rp_p99 : int;                (* sojourn p99, cycles *)
+  rp_p99_degradation : float;  (* p99 / same-column fault-free p99 *)
+}
+
+type resilience_bench = {
+  res_seed : int;
+  res_slots : int;
+  res_slo : int;               (* the deadline bound, cycles *)
+  res_points : resilience_point list;
+}
+
+let resilience_point_to_json p =
+  Printf.sprintf
+    "      {\n\
+    \        \"policy\": \"%s\",\n\
+    \        \"fault_rate\": %g,\n\
+    \        \"rate\": %g,\n\
+    \        \"quantum\": %d,\n\
+    \        \"jobs\": %d,\n\
+    \        \"completed\": %d,\n\
+    \        \"failed\": %d,\n\
+    \        \"shed\": %d,\n\
+    \        \"slo_attainment\": %.4f,\n\
+    \        \"goodput_per_mcycle\": %.3f,\n\
+    \        \"injected\": %d,\n\
+    \        \"detected\": %d,\n\
+    \        \"job_retries\": %d,\n\
+    \        \"sojourn_p99\": %d,\n\
+    \        \"p99_degradation\": %.3f\n\
+    \      }"
+    (json_escape p.rp_policy) p.rp_fault_rate p.rp_rate p.rp_quantum p.rp_jobs
+    p.rp_completed p.rp_failed p.rp_shed p.rp_slo_attainment p.rp_goodput
+    p.rp_injected p.rp_detected p.rp_job_retries p.rp_p99 p.rp_p99_degradation
+
+let resilience_to_json (r : resilience_bench) =
+  Printf.sprintf
+    "  \"resilience\": {\n\
+    \    \"seed\": %d,\n\
+    \    \"slots\": %d,\n\
+    \    \"slo_bound\": %d,\n\
+    \    \"points\": [\n%s\n    ]\n\
+    \  },\n"
+    r.res_seed r.res_slots r.res_slo
+    (String.concat ",\n" (List.map resilience_point_to_json r.res_points))
+
+let to_json ?sweep ?load ?resilience samples =
   Printf.sprintf
     "{\n\
-    \  \"schema\": \"uhm-bench-simulator/4\",\n\
+    \  \"schema\": \"uhm-bench-simulator/5\",\n\
     \  \"generated_by\": \"bench/main.exe perf\",\n\
     \  \"unix_time\": %.0f,\n\
-     %s%s%s\
+     %s%s%s%s\
     \  \"samples\": [\n%s\n  ]\n}\n"
     (Unix.time ())
     (match sweep with None -> "" | Some s -> sweep_to_json s)
     (match load with None -> "" | Some l -> load_to_json l)
+    (match resilience with None -> "" | Some r -> resilience_to_json r)
     (backend_to_json samples)
     (String.concat ",\n" (List.map sample_to_json samples))
 
-let write_json ?sweep ?load ~path samples =
+let write_json ?sweep ?load ?resilience ~path samples =
   let oc = open_out path in
-  output_string oc (to_json ?sweep ?load samples);
+  output_string oc (to_json ?sweep ?load ?resilience samples);
   close_out oc
 
 (* -- Baseline comparison (the CI perf gate) --------------------------------- *)
@@ -615,6 +677,51 @@ let read_load ~path =
               load_seed = Option.value ~default:0 (j_int (member "seed" l));
               load_slots = Option.value ~default:0 (j_int (member "slots" l));
               load_points = List.filter_map load_point_of_json points;
+            }
+      | _ -> None)
+  | _ -> None
+
+let resilience_point_of_json j =
+  match
+    ( j_str (member "policy" j),
+      j_float (member "fault_rate" j),
+      j_float (member "rate" j),
+      j_int (member "quantum" j) )
+  with
+  | Some policy, Some fault_rate, Some rate, Some quantum ->
+      let geti k = Option.value ~default:0 (j_int (member k j)) in
+      let getf k = Option.value ~default:0. (j_float (member k j)) in
+      Some
+        {
+          rp_policy = policy;
+          rp_fault_rate = fault_rate;
+          rp_rate = rate;
+          rp_quantum = quantum;
+          rp_jobs = geti "jobs";
+          rp_completed = geti "completed";
+          rp_failed = geti "failed";
+          rp_shed = geti "shed";
+          rp_slo_attainment = getf "slo_attainment";
+          rp_goodput = getf "goodput_per_mcycle";
+          rp_injected = geti "injected";
+          rp_detected = geti "detected";
+          rp_job_retries = geti "job_retries";
+          rp_p99 = geti "sojourn_p99";
+          rp_p99_degradation = getf "p99_degradation";
+        }
+  | _ -> None
+
+let read_resilience ~path =
+  match member "resilience" (read_document ~path) with
+  | Some (J_obj _ as r) -> (
+      match member "points" r with
+      | Some (J_arr points) ->
+          Some
+            {
+              res_seed = Option.value ~default:0 (j_int (member "seed" r));
+              res_slots = Option.value ~default:0 (j_int (member "slots" r));
+              res_slo = Option.value ~default:0 (j_int (member "slo_bound" r));
+              res_points = List.filter_map resilience_point_of_json points;
             }
       | _ -> None)
   | _ -> None

@@ -106,16 +106,58 @@ type load_bench = {
   load_points : load_point list;
 }
 
-val to_json : ?sweep:sweep_bench -> ?load:load_bench -> sample list -> string
-(** The BENCH_simulator.json document (schema "uhm-bench-simulator/4"):
+(** One cell of the fault-tolerant serving study ([bench resilience]):
+    what one (policy, fault rate, offered rate) chaos run delivered.  The
+    source of the schema-v5 ["resilience"] section. *)
+type resilience_point = {
+  rp_policy : string;          (** ["flush"], ["tagged"] or ["partitioned"] *)
+  rp_fault_rate : float;       (** total per-step injection probability *)
+  rp_rate : float;             (** offered load, jobs per million cycles *)
+  rp_quantum : int;
+  rp_jobs : int;               (** arrivals offered *)
+  rp_completed : int;          (** verified clean completions *)
+  rp_failed : int;             (** jobs that exhausted their retries *)
+  rp_shed : int;
+  rp_slo_attainment : float;   (** in-SLO completions / completions, exact *)
+  rp_goodput : float;          (** in-SLO completions per million cycles *)
+  rp_injected : int;
+  rp_detected : int;
+  rp_job_retries : int;
+  rp_p99 : int;                (** exact nearest-rank sojourn p99, cycles *)
+  rp_p99_degradation : float;
+      (** [rp_p99] over the p99 of the same (policy, offered rate) cell at
+          fault rate 0 — the tail-latency cost of the faults *)
+}
+
+(** The ["resilience"] section: one seeded grid under one SLO bound,
+    points in sweep order. *)
+type resilience_bench = {
+  res_seed : int;
+  res_slots : int;
+  res_slo : int;               (** the deadline bound, cycles *)
+  res_points : resilience_point list;
+}
+
+val to_json :
+  ?sweep:sweep_bench ->
+  ?load:load_bench ->
+  ?resilience:resilience_bench ->
+  sample list ->
+  string
+(** The BENCH_simulator.json document (schema "uhm-bench-simulator/5"):
     an object with [schema], [generated_by], [unix_time], an optional
-    [sweep] object, an optional [load] section, a [backend] section
-    (present when the samples cover both backends: per-pair host speedups
-    and their geometric mean) and a [samples] array, each sample carrying
-    its [backend]. *)
+    [sweep] object, an optional [load] section, an optional [resilience]
+    section, a [backend] section (present when the samples cover both
+    backends: per-pair host speedups and their geometric mean) and a
+    [samples] array, each sample carrying its [backend]. *)
 
 val write_json :
-  ?sweep:sweep_bench -> ?load:load_bench -> path:string -> sample list -> unit
+  ?sweep:sweep_bench ->
+  ?load:load_bench ->
+  ?resilience:resilience_bench ->
+  path:string ->
+  sample list ->
+  unit
 
 (** {2 Minimal JSON}
 
@@ -153,6 +195,10 @@ val read_sweep : path:string -> sweep_bench option
 val read_load : path:string -> load_bench option
 (** The [load] section of a previously written document, if present —
     how [bench perf] preserves the saturation study it does not rerun. *)
+
+val read_resilience : path:string -> resilience_bench option
+(** The [resilience] section of a previously written document, if
+    present — same read-modify-write discipline as {!read_load}. *)
 
 exception Json_error of string
 

@@ -18,6 +18,12 @@ type kind =
   | Job_shed of { job : int; depth : int }
   | Job_admitted of { job : int; asid : int; wait : int; depth : int }
   | Asid_evicted of { asid : int; entries : int; cold : bool }
+  | Deadline_miss of { job : int; asid : int; by : int }
+  | Job_retry of { job : int; asid : int; attempt : int }
+  | Job_failed of { job : int; asid : int; attempts : int }
+  | Interp_admit of { job : int; asid : int }
+  | Brownout of { from_stage : int; to_stage : int }
+  | Slot_quarantined of { asid : int; entries : int; until : int }
 
 type event = { at_cycle : int; kind : kind }
 
@@ -33,6 +39,11 @@ type tally = {
   mutable downgrades : int;
   mutable admits : int;
   mutable evicts : int;
+  mutable deadline_misses : int;
+  mutable job_retries : int;
+  mutable job_failures : int;
+  mutable interp_admits : int;
+  mutable quarantines : int;
 }
 
 type counts = {
@@ -47,6 +58,11 @@ type counts = {
   c_downgrades : int;
   c_admits : int;
   c_evicts : int;
+  c_deadline_misses : int;
+  c_job_retries : int;
+  c_job_failures : int;
+  c_interp_admits : int;
+  c_quarantines : int;
 }
 
 type t = {
@@ -61,6 +77,10 @@ type t = {
      these are global counters, not per-ASID tallies *)
   mutable queued_total : int;
   mutable shed_total : int;
+  (* brownout-controller rollups: stage transitions are global service
+     state, not per-ASID *)
+  mutable brownout_transitions : int;
+  mutable brownout_peak : int;
 }
 
 let dummy = { at_cycle = -1; kind = Quantum_expiry { asid = -1 } }
@@ -76,6 +96,8 @@ let create ?(capacity = 65536) () =
     detected_classes = Hashtbl.create 8;
     queued_total = 0;
     shed_total = 0;
+    brownout_transitions = 0;
+    brownout_peak = 0;
   }
 
 let capacity t = t.capacity
@@ -89,7 +111,9 @@ let tally_for t asid =
       let y =
         { dispatches = 0; flushes = 0; translations = 0; expiries = 0;
           injections = 0; detections = 0; retries = 0; rollbacks = 0;
-          downgrades = 0; admits = 0; evicts = 0 }
+          downgrades = 0; admits = 0; evicts = 0; deadline_misses = 0;
+          job_retries = 0; job_failures = 0; interp_admits = 0;
+          quarantines = 0 }
       in
       Hashtbl.add t.tallies asid y;
       y
@@ -140,6 +164,24 @@ let record t ~at_cycle kind =
   | Asid_evicted { asid; _ } ->
       let y = tally_for t asid in
       y.evicts <- y.evicts + 1
+  | Deadline_miss { asid; _ } ->
+      let y = tally_for t asid in
+      y.deadline_misses <- y.deadline_misses + 1
+  | Job_retry { asid; _ } ->
+      let y = tally_for t asid in
+      y.job_retries <- y.job_retries + 1
+  | Job_failed { asid; _ } ->
+      let y = tally_for t asid in
+      y.job_failures <- y.job_failures + 1
+  | Interp_admit { asid; _ } ->
+      let y = tally_for t asid in
+      y.interp_admits <- y.interp_admits + 1
+  | Brownout { to_stage; _ } ->
+      t.brownout_transitions <- t.brownout_transitions + 1;
+      if to_stage > t.brownout_peak then t.brownout_peak <- to_stage
+  | Slot_quarantined { asid; _ } ->
+      let y = tally_for t asid in
+      y.quarantines <- y.quarantines + 1
 
 (* Buffered events, oldest first. *)
 let events t =
@@ -152,7 +194,9 @@ let counts t asid =
   | None ->
       { c_dispatches = 0; c_flushes = 0; c_translations = 0; c_expiries = 0;
         c_injections = 0; c_detections = 0; c_retries = 0; c_rollbacks = 0;
-        c_downgrades = 0; c_admits = 0; c_evicts = 0 }
+        c_downgrades = 0; c_admits = 0; c_evicts = 0; c_deadline_misses = 0;
+        c_job_retries = 0; c_job_failures = 0; c_interp_admits = 0;
+        c_quarantines = 0 }
   | Some y ->
       {
         c_dispatches = y.dispatches;
@@ -166,10 +210,17 @@ let counts t asid =
         c_downgrades = y.downgrades;
         c_admits = y.admits;
         c_evicts = y.evicts;
+        c_deadline_misses = y.deadline_misses;
+        c_job_retries = y.job_retries;
+        c_job_failures = y.job_failures;
+        c_interp_admits = y.interp_admits;
+        c_quarantines = y.quarantines;
       }
 
 let queued_total t = t.queued_total
 let shed_total t = t.shed_total
+let brownout_transitions t = t.brownout_transitions
+let brownout_peak t = t.brownout_peak
 
 let tallies t =
   Hashtbl.fold (fun asid _ acc -> asid :: acc) t.tallies []
@@ -290,7 +341,34 @@ let to_chrome ?(pid = 1) ~names ~end_cycle t =
           emit
             {|{"name":"%s(%d)","cat":"serve","ph":"i","ts":%d,"pid":%d,"tid":%d,"s":"t"}|}
             (if cold then "evict_cold" else "evict_recycle")
-            entries at_cycle pid asid)
+            entries at_cycle pid asid
+      | Deadline_miss { job; asid; by } ->
+          emit
+            {|{"name":"deadline_miss:j%d(+%d)","cat":"slo","ph":"i","ts":%d,"pid":%d,"tid":%d,"s":"t"}|}
+            job by at_cycle pid asid
+      | Job_retry { job; asid; attempt } ->
+          emit
+            {|{"name":"job_retry:j%d#%d","cat":"chaos","ph":"i","ts":%d,"pid":%d,"tid":%d,"s":"t"}|}
+            job attempt at_cycle pid asid
+      | Job_failed { job; asid; attempts } ->
+          emit
+            {|{"name":"job_failed:j%d(%d)","cat":"chaos","ph":"i","ts":%d,"pid":%d,"tid":%d,"s":"t"}|}
+            job attempts at_cycle pid asid
+      | Interp_admit { job; asid } ->
+          emit
+            {|{"name":"admit_interp:j%d","cat":"chaos","ph":"i","ts":%d,"pid":%d,"tid":%d,"s":"t"}|}
+            job at_cycle pid asid
+      | Brownout { from_stage; to_stage } ->
+          emit
+            {|{"name":"brownout_stage","cat":"chaos","ph":"C","ts":%d,"pid":%d,"args":{"stage":%d}}|}
+            at_cycle pid to_stage;
+          emit
+            {|{"name":"brownout:%d->%d","cat":"chaos","ph":"i","ts":%d,"pid":%d,"tid":0,"s":"g"}|}
+            from_stage to_stage at_cycle pid
+      | Slot_quarantined { asid; entries; until } ->
+          emit
+            {|{"name":"quarantine(%d)until:%d","cat":"chaos","ph":"i","ts":%d,"pid":%d,"tid":%d,"s":"t"}|}
+            entries until at_cycle pid asid)
     (events t);
   (match !open_slice with
   | Some (asid, from_cycle) -> slice ~asid ~from_cycle ~to_cycle:end_cycle

@@ -45,6 +45,27 @@ type kind =
           translations — [cold] for an idle/footprint-scored eviction,
           not-[cold] for the mandatory invalidation when a slot is
           recycled to a new job *)
+  | Deadline_miss of { job : int; asid : int; by : int }
+      (** job [job] completed on slot [asid] but [by] cycles past its
+          SLO latency bound *)
+  | Job_retry of { job : int; asid : int; attempt : int }
+      (** a detected fault voided job [job]'s attempt on slot [asid]; the
+          service will re-run it from scratch as attempt [attempt]
+          (counting from 2) after an exponential-backoff delay *)
+  | Job_failed of { job : int; asid : int; attempts : int }
+      (** job [job] exhausted its per-job retry budget after [attempts]
+          attempts and was retired with the distinct [Failed] outcome —
+          the service never reports a corrupted answer *)
+  | Interp_admit of { job : int; asid : int }
+      (** brownout stage 2: job [job] was admitted in pure-interpretation
+          mode, sidestepping the translation fault surface *)
+  | Brownout of { from_stage : int; to_stage : int }
+      (** the brownout controller moved between degradation stages
+          (0 normal, 1 shed harder, 2 admit as interpretation,
+          3 quarantine the poisoned slot) *)
+  | Slot_quarantined of { asid : int; entries : int; until : int }
+      (** brownout stage 3 took slot [asid] out of service until cycle
+          [until], flushing its [entries] resident translations *)
 
 type event = { at_cycle : int; kind : kind }
 (** [at_cycle] is global virtual time: total cycles executed by all
@@ -67,6 +88,11 @@ type counts = {
   c_downgrades : int;
   c_admits : int;
   c_evicts : int;
+  c_deadline_misses : int;
+  c_job_retries : int;
+  c_job_failures : int;
+  c_interp_admits : int;
+  c_quarantines : int;
 }
 
 type t
@@ -110,6 +136,15 @@ val queued_total : t -> int
 val shed_total : t -> int
 (** Exact count of {!Job_shed} events. *)
 
+val brownout_transitions : t -> int
+(** Exact count of {!Brownout} stage transitions.  Stage is global
+    service state, not a per-ASID property, so like the queue counters it
+    lives beside the tallies. *)
+
+val brownout_peak : t -> int
+(** The highest brownout stage ever entered (0 when the controller never
+    escalated). *)
+
 val to_chrome : ?pid:int -> names:(int -> string) -> end_cycle:int -> t -> string
 (** The Chrome [trace_event] JSON-array document for the buffered window,
     loadable in about://tracing (or ui.perfetto.dev): one timeline row per
@@ -121,7 +156,11 @@ val to_chrome : ?pid:int -> names:(int -> string) -> end_cycle:int -> t -> strin
     separate ["fault"] category) and the load-service lifecycle (queued,
     shed, admitted, ASID evicted, in a ["serve"] category, plus a
     ["C"]-counter [queue_depth] series so the admission queue's breathing
-    is visible as a graph).  When the ring dropped events, a final
+    is visible as a graph).  The fault-tolerant-serving events land in
+    ["slo"]/["chaos"] categories: deadline misses, job retries and
+    failures, interpretation admissions, slot quarantines, and a
+    ["C"]-counter [brownout_stage] series tracking the controller's
+    degradation stage.  When the ring dropped events, a final
     [ring_dropped:N] instant records the truncation in the export
     itself.  Simulated
     cycles are reported as microseconds, so the timeline reads directly

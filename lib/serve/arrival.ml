@@ -27,14 +27,68 @@ let streams ~seed =
   let lengths = Prng.split root in
   (times, picks, lengths)
 
+(* Template selection.  The uniform path is the PR 7 original — one
+   [next_int] draw and a modulus — and must stay byte-identical (the
+   seeded goldens pin it).  The weighted path consumes exactly one draw
+   of the same picks stream per job too ([next_float] and [next_int] both
+   cost one raw draw), so switching a pool between uniform and weighted
+   never perturbs the arrival times. *)
+let make_pick ?weights ~templates () =
+  match weights with
+  | None -> fun picks -> Prng.next_int picks mod templates
+  | Some ws ->
+      if List.length ws <> templates then
+        invalid_arg "Arrival.generate: one weight per template required";
+      List.iter
+        (fun w ->
+          if not (Float.is_finite w) || w < 0. then
+            invalid_arg "Arrival.generate: weights must be finite and >= 0")
+        ws;
+      let cum = Array.make templates 0. in
+      let _ =
+        List.fold_left
+          (fun (i, acc) w ->
+            let acc = acc +. w in
+            cum.(i) <- acc;
+            (i + 1, acc))
+          (0, 0.) ws
+      in
+      let total = cum.(templates - 1) in
+      if total <= 0. then
+        invalid_arg "Arrival.generate: weights must not all be zero";
+      fun picks ->
+        let u = Prng.next_float picks *. total in
+        let rec scan i =
+          if i >= templates - 1 then templates - 1
+          else if u < cum.(i) then i
+          else scan (i + 1)
+        in
+        scan 0
+
+let heavy_tailed ~templates ~heavy =
+  if templates < 1 then
+    invalid_arg "Arrival.heavy_tailed: templates must be >= 1";
+  List.init templates (fun i ->
+      match List.assoc_opt i heavy with
+      | Some w ->
+          if not (Float.is_finite w) || w < 0. then
+            invalid_arg "Arrival.heavy_tailed: weights must be >= 0"
+          else w
+      | None -> 1.)
+
+let weights_name = function
+  | None -> "uniform"
+  | Some ws -> String.concat "," (List.map (Printf.sprintf "%h") ws)
+
 let burst_lengths ~seed ~bursts ~burst =
   if burst <= 0. then invalid_arg "Arrival.burst_lengths: burst must be > 0";
   let _, _, lengths = streams ~seed in
   List.init bursts (fun _ -> Prng.geometric lengths ~p:(1. /. Float.max 1. burst))
 
-let generate ~seed ~templates ~jobs process =
+let generate ?weights ~seed ~templates ~jobs process =
   if templates < 1 then invalid_arg "Arrival.generate: templates must be >= 1";
   if jobs < 0 then invalid_arg "Arrival.generate: jobs must be >= 0";
+  let pick = make_pick ?weights ~templates () in
   match process with
   | Trace pairs ->
       let sorted = List.stable_sort (fun (a, _) (b, _) -> compare a b) pairs in
@@ -48,7 +102,7 @@ let generate ~seed ~templates ~jobs process =
       let t = ref 0 in
       List.init jobs (fun _ ->
           t := sat_add !t (Prng.exponential times ~rate:per_cycle);
-          { at = !t; template = Prng.next_int picks mod templates })
+          { at = !t; template = pick picks })
   | Bursty { rate; burst; idle } ->
       if rate <= 0. then invalid_arg "Arrival.generate: rate must be > 0";
       if burst <= 0. then invalid_arg "Arrival.generate: burst must be > 0";
@@ -65,7 +119,7 @@ let generate ~seed ~templates ~jobs process =
         let k = ref 0 in
         while !k < len && !n < jobs do
           if !k > 0 then t := sat_add !t (Prng.exponential times ~rate:per_cycle);
-          out := { at = !t; template = Prng.next_int picks mod templates } :: !out;
+          out := { at = !t; template = pick picks } :: !out;
           incr k;
           incr n
         done

@@ -30,13 +30,32 @@ val describe : process -> string
 type arrival = { at : int; template : int }
 
 val generate :
+  ?weights:float list ->
   seed:int -> templates:int -> jobs:int -> process -> arrival list
 (** [generate ~seed ~templates ~jobs process] is the first [jobs]
     arrivals of the seeded stream, in non-decreasing [at] order, each
     assigned a template in [0, templates).  For [Trace] the pairs are
-    truncated (or kept short) to [jobs] and [seed] is unused.  Raises
-    [Invalid_argument] on [templates < 1], [jobs < 0], or a
-    non-positive rate/burst/idle parameter. *)
+    truncated (or kept short) to [jobs] and [seed] is unused.
+
+    [weights] (one non-negative float per template, not all zero) skews
+    the template pick toward heavier weights — the heavy-tailed pools
+    where a few expensive templates dominate offered work.  Omitted,
+    picks are uniform and byte-identical to the PR 7 streams.  Either
+    way a pick consumes exactly one draw of the picks stream, so
+    weighting a pool never perturbs the arrival {e times}.
+
+    Raises [Invalid_argument] on [templates < 1], [jobs < 0], a
+    non-positive rate/burst/idle parameter, or malformed [weights]. *)
+
+val heavy_tailed : templates:int -> heavy:(int * float) list -> float list
+(** A weight vector that is [1.0] everywhere except the listed
+    [(index, weight)] overrides — the shorthand for "mostly small
+    templates, a few heavy ones picked rarely (or often)". *)
+
+val weights_name : float list option -> string
+(** Stable fingerprint text for a weight vector: ["uniform"] for [None],
+    else the hex-float ([%h]) weights comma-joined — exact, so a journal
+    resumed under different weights mismatches. *)
 
 val burst_lengths : seed:int -> bursts:int -> burst:float -> int list
 (** The burst-length sequence a [Bursty] process with mean [burst] draws

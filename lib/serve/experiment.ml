@@ -6,6 +6,8 @@ module U = Uhm_core.Uhm
 module Codec = Uhm_encoding.Codec
 module Machine = Uhm_machine.Machine
 module Scheduler = Uhm_sched.Scheduler
+module Injector = Uhm_fault.Injector
+module Resilient = Uhm_fault.Resilient
 
 type shape = Open_poisson | Open_bursty of { burst : float; idle : float }
 
@@ -52,10 +54,10 @@ let load_encodeds ?domains ~kind programs =
     programs
 
 let load_cell_of ~trace_capacity ?scheduler ?backend ?shape:(sh = Open_poisson)
-    ?admission ?economy ?cell_fuel ~seed ~jobs ~slots ~config templates
+    ?admission ?economy ?cell_fuel ?weights ~seed ~jobs ~slots ~config templates
     (policy, quantum, rate) =
   let arrivals =
-    Arrival.generate ~seed ~templates:(List.length templates) ~jobs
+    Arrival.generate ?weights ~seed ~templates:(List.length templates) ~jobs
       (process_of sh rate)
   in
   {
@@ -69,8 +71,8 @@ let load_cell_of ~trace_capacity ?scheduler ?backend ?shape:(sh = Open_poisson)
   }
 
 let load_grid ?domains ?scheduler ?quanta ?(trace_capacity = 4096) ?backend
-    ?shape ?admission ?economy ?cell_fuel ~seed ~jobs ~slots ~kind ~policies
-    ~rates ~config programs =
+    ?shape ?admission ?economy ?cell_fuel ?weights ~seed ~jobs ~slots ~kind
+    ~policies ~rates ~config programs =
   if programs = [] then invalid_arg "Experiment.load_grid: no programs";
   let encodeds = load_encodeds ?domains ~kind programs in
   let mean_steps =
@@ -82,13 +84,13 @@ let load_grid ?domains ?scheduler ?quanta ?(trace_capacity = 4096) ?backend
   Sweep.map ?domains
     ~cost:(load_cost ~mean_steps ~jobs)
     (load_cell_of ~trace_capacity ?scheduler ?backend ?shape ?admission
-       ?economy ?cell_fuel ~seed ~jobs ~slots ~config templates)
+       ?economy ?cell_fuel ?weights ~seed ~jobs ~slots ~config templates)
     cells
 
 let load_grid_slots ?domains ?scheduler ?quanta ?(trace_capacity = 4096)
     ?backend ?shape ?admission ?economy ?supervision ?cached ?cell_hook
-    ?cell_fuel ?(poison = []) ~seed ~jobs ~slots ~kind ~policies ~rates
-    ~config programs =
+    ?cell_fuel ?weights ?(poison = []) ~seed ~jobs ~slots ~kind ~policies
+    ~rates ~config programs =
   if programs = [] then invalid_arg "Experiment.load_grid_slots: no programs";
   let encodeds = load_encodeds ?domains ~kind programs in
   let mean_steps =
@@ -106,7 +108,8 @@ let load_grid_slots ?domains ?scheduler ?quanta ?(trace_capacity = 4096)
         failwith (Printf.sprintf "cell %d poisoned (campaign testing aid)" i);
       let cell =
         load_cell_of ~trace_capacity ?scheduler ?backend ?shape ?admission
-          ?economy ?cell_fuel ~seed ~jobs ~slots ~config templates axes
+          ?economy ?cell_fuel ?weights ~seed ~jobs ~slots ~config templates
+          axes
       in
       (* a retired job that did not halt is a failed cell under
          supervision; shed jobs are normal service, not failure *)
@@ -122,7 +125,161 @@ let load_grid_slots ?domains ?scheduler ?quanta ?(trace_capacity = 4096)
               failwith
                 (Printf.sprintf "job %d (%s) trapped: %s" j.Serve.j_id
                    j.Serve.j_name m)
-          | Serve.Completed Machine.Running -> assert false)
+          | Serve.Completed Machine.Running -> assert false
+          | Serve.Failed n ->
+              (* plain Serve.run never produces Failed; a load cell that
+                 does has a broken invariant and must quarantine *)
+              failwith
+                (Printf.sprintf "job %d (%s) failed after %d attempts"
+                   j.Serve.j_id j.Serve.j_name n))
         cell.lc_result.Serve.sv_jobs;
+      cell)
+    cells
+
+(* -- The resilience grid: fault rate x offered load x policy ---------------- *)
+
+type resilience_cell = {
+  rc_policy : Dtb.policy;
+  rc_quantum : int;
+  rc_fault_rate : float;
+  rc_rate : float;
+  rc_config : Dtb.config;
+  rc_fconfig : Chaos.config;
+  rc_result : Chaos.result;
+}
+
+let default_fault_rates = [ 0.0; 1e-5; 1e-4 ]
+
+let resilience_fconfig ?(retry_limit = 2) ?(backoff = 4096)
+    ?(checkpoint_every = 1024) ?deadline ?brownout ~fault_seed rate =
+  if rate < 0.0 || not (Float.is_finite rate) then
+    invalid_arg "Experiment.resilience_fconfig: fault rate";
+  let c_fault =
+    if rate = 0.0 then Resilient.zero
+    else
+      let per = rate /. float_of_int (List.length Injector.all_classes) in
+      Resilient.protected ~checkpoint_every
+        {
+          Injector.seed = fault_seed;
+          rates = List.map (fun c -> (c, per)) Injector.all_classes;
+          explicit = [];
+        }
+  in
+  {
+    Chaos.c_fault;
+    c_job_retry_limit = retry_limit;
+    c_job_backoff = backoff;
+    c_deadline = deadline;
+    c_brownout = brownout;
+  }
+
+let resilience_axes ?(quanta = [ 64 ]) ~rates ~fault_rates ~policies () =
+  List.concat_map
+    (fun policy ->
+      List.concat_map
+        (fun quantum ->
+          List.concat_map
+            (fun fr -> List.map (fun rate -> (policy, quantum, fr, rate)) rates)
+            fault_rates)
+        quanta)
+    policies
+
+(* faults inflate a cell's work: every detection re-runs a translation,
+   every void re-runs the whole job.  The multiplier is a scheduling
+   hint, not an accounting identity. *)
+let resilience_cost ~mean_steps ~jobs (policy, quantum, fault_rate, rate) =
+  let base = load_cost ~mean_steps ~jobs (policy, quantum, rate) in
+  base + int_of_float (float_of_int base *. 200.0 *. fault_rate)
+
+let resilience_cell_of ~trace_capacity ?scheduler ?backend
+    ?shape:(sh = Open_poisson) ?admission ?economy ?cell_fuel ?weights
+    ?retry_limit ?backoff ?checkpoint_every ?deadline ?brownout ~fault_seed
+    ~seed ~jobs ~slots ~config templates (policy, quantum, fault_rate, rate) =
+  let arrivals =
+    Arrival.generate ?weights ~seed ~templates:(List.length templates) ~jobs
+      (process_of sh rate)
+  in
+  let fconfig =
+    resilience_fconfig ?retry_limit ?backoff ?checkpoint_every ?deadline
+      ?brownout ~fault_seed fault_rate
+  in
+  {
+    rc_policy = policy;
+    rc_quantum = quantum;
+    rc_fault_rate = fault_rate;
+    rc_rate = rate;
+    rc_config = config;
+    rc_fconfig = fconfig;
+    rc_result =
+      Chaos.run ?fuel:cell_fuel ?backend ~trace_capacity ?scheduler ?admission
+        ?economy ~policy ~quantum ~config ~fconfig ~slots ~templates ~arrivals
+        ();
+  }
+
+let resilience_grid ?domains ?scheduler ?quanta ?(trace_capacity = 4096)
+    ?backend ?shape ?admission ?economy ?cell_fuel ?weights ?retry_limit
+    ?backoff ?checkpoint_every ?deadline ?brownout ?(fault_seed = 4242) ~seed
+    ~jobs ~slots ~kind ~policies ~fault_rates ~rates ~config programs =
+  if programs = [] then invalid_arg "Experiment.resilience_grid: no programs";
+  let encodeds = load_encodeds ?domains ~kind programs in
+  let mean_steps =
+    List.fold_left (fun acc (_, _, s) -> acc + s) 0 encodeds
+    / List.length encodeds
+  in
+  let templates = List.map (fun (n, e, _) -> (n, e)) encodeds in
+  let cells = resilience_axes ?quanta ~rates ~fault_rates ~policies () in
+  Sweep.map ?domains
+    ~cost:(resilience_cost ~mean_steps ~jobs)
+    (resilience_cell_of ~trace_capacity ?scheduler ?backend ?shape ?admission
+       ?economy ?cell_fuel ?weights ?retry_limit ?backoff ?checkpoint_every
+       ?deadline ?brownout ~fault_seed ~seed ~jobs ~slots ~config templates)
+    cells
+
+let resilience_grid_slots ?domains ?scheduler ?quanta ?(trace_capacity = 4096)
+    ?backend ?shape ?admission ?economy ?supervision ?cached ?cell_hook
+    ?cell_fuel ?weights ?retry_limit ?backoff ?checkpoint_every ?deadline
+    ?brownout ?(fault_seed = 4242) ?(poison = []) ~seed ~jobs ~slots ~kind
+    ~policies ~fault_rates ~rates ~config programs =
+  if programs = [] then
+    invalid_arg "Experiment.resilience_grid_slots: no programs";
+  let encodeds = load_encodeds ?domains ~kind programs in
+  let mean_steps =
+    List.fold_left (fun acc (_, _, s) -> acc + s) 0 encodeds
+    / List.length encodeds
+  in
+  let templates = List.map (fun (n, e, _) -> (n, e)) encodeds in
+  let cells =
+    List.mapi (fun i c -> (i, c))
+      (resilience_axes ?quanta ~rates ~fault_rates ~policies ())
+  in
+  Sweep.map_supervised ?supervision ?cached ?cell_hook ?domains
+    ~cost:(fun (_, c) -> resilience_cost ~mean_steps ~jobs c)
+    (fun (i, axes) ->
+      if List.mem i poison then
+        failwith (Printf.sprintf "cell %d poisoned (campaign testing aid)" i);
+      let cell =
+        resilience_cell_of ~trace_capacity ?scheduler ?backend ?shape
+          ?admission ?economy ?cell_fuel ?weights ?retry_limit ?backoff
+          ?checkpoint_every ?deadline ?brownout ~fault_seed ~seed ~jobs ~slots
+          ~config templates axes
+      in
+      (* the no-wrong-answers invariant is the supervised failure
+         condition: an accepted completion whose end state does not match
+         its fault-free solo run quarantines the cell.  Failed jobs are
+         the designed outcome of exhausted retries, not a cell failure. *)
+      let reports =
+        Array.of_list cell.rc_result.Chaos.cv_reports
+      in
+      List.iter
+        (fun (j : Serve.job) ->
+          match j.Serve.j_status with
+          | Serve.Shed | Serve.Failed _ -> ()
+          | Serve.Completed _ ->
+              if not (reports.(j.Serve.j_id)).Chaos.cj_state_ok then
+                failwith
+                  (Printf.sprintf
+                     "job %d (%s) accepted with a corrupted end state"
+                     j.Serve.j_id j.Serve.j_name))
+        cell.rc_result.Chaos.cv_serve.Serve.sv_jobs;
       cell)
     cells

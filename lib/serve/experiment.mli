@@ -59,6 +59,7 @@ val load_grid :
   ?admission:Serve.admission ->
   ?economy:Serve.economy ->
   ?cell_fuel:int ->
+  ?weights:float list ->
   seed:int ->
   jobs:int ->
   slots:int ->
@@ -72,7 +73,8 @@ val load_grid :
     (encoded once, in parallel, like the mix grid's pre-pass).  [shape]
     defaults to [Open_poisson]; [trace_capacity] to a small ring (4096)
     since grids keep every cell's trace alive; [cell_fuel] bounds each
-    job's machine so a wedged guest cannot hang a cell. *)
+    job's machine so a wedged guest cannot hang a cell; [weights] skews
+    the template pick per {!Arrival.generate} (heavy-tailed pools). *)
 
 val load_grid_slots :
   ?domains:int ->
@@ -87,6 +89,7 @@ val load_grid_slots :
   ?cached:(int -> load_cell option) ->
   ?cell_hook:(index:int -> attempts:int -> load_cell Sweep.slot -> unit) ->
   ?cell_fuel:int ->
+  ?weights:float list ->
   ?poison:int list ->
   seed:int ->
   jobs:int ->
@@ -105,3 +108,129 @@ val load_grid_slots :
     [poison] is the quarantine-path testing aid, as in the mix grid.
     Completed slots are byte-identical to the corresponding {!load_grid}
     cells. *)
+
+(** {1 The resilience grid}
+
+    Fault rate x offered load x policy, each cell one complete
+    {!Chaos.run}: the same independent-cell discipline as the load grid,
+    so the grid parallelises on the sweep pool, is byte-identical at any
+    domain count, and (in the [_slots] form) gets journaled kill/resume
+    under campaign supervision.  The output is the degradation surface:
+    SLO attainment, goodput and tail latency as functions of the
+    injected fault rate. *)
+
+type resilience_cell = {
+  rc_policy : Dtb.policy;
+  rc_quantum : int;
+  rc_fault_rate : float;
+      (** total per-INTERP-step injection probability, split evenly over
+          all four fault classes; [0.0] is the fault-free control *)
+  rc_rate : float;  (** offered load, jobs per million cycles *)
+  rc_config : Dtb.config;
+  rc_fconfig : Chaos.config;  (** the policy the cell actually ran under *)
+  rc_result : Chaos.result;
+}
+
+val default_fault_rates : float list
+(** [[0.0; 1e-5; 1e-4]]: the control, a rate where most jobs run clean,
+    and one where most attempts see at least one injection. *)
+
+val resilience_fconfig :
+  ?retry_limit:int ->
+  ?backoff:int ->
+  ?checkpoint_every:int ->
+  ?deadline:int ->
+  ?brownout:Chaos.brownout ->
+  fault_seed:int ->
+  float ->
+  Chaos.config
+(** The canonical cell policy for a total fault rate: guards on,
+    checkpoints every 1024 steps (iff memory faults are possible), the
+    rate split evenly over {!Uhm_fault.Injector.all_classes}, job-level
+    retry (default limit 2, backoff 4096) — and no brownout unless
+    given.  Rate [0.0] yields {!Uhm_fault.Resilient.zero} machinery, so
+    the control column pays no guard or checkpoint overhead.  Raises
+    [Invalid_argument] on a negative or non-finite rate. *)
+
+val resilience_axes :
+  ?quanta:int list ->
+  rates:float list ->
+  fault_rates:float list ->
+  policies:Dtb.policy list ->
+  unit ->
+  (Dtb.policy * int * float * float) list
+(** Cell axes in submission order: policies outermost, then quanta
+    (default [[64]]), then fault rates, then offered-load rates — so
+    each (policy, fault-rate) degradation curve is a contiguous run. *)
+
+val resilience_grid :
+  ?domains:int ->
+  ?scheduler:Scheduler.policy ->
+  ?quanta:int list ->
+  ?trace_capacity:int ->
+  ?backend:Uhm_machine.Machine.backend ->
+  ?shape:shape ->
+  ?admission:Serve.admission ->
+  ?economy:Serve.economy ->
+  ?cell_fuel:int ->
+  ?weights:float list ->
+  ?retry_limit:int ->
+  ?backoff:int ->
+  ?checkpoint_every:int ->
+  ?deadline:int ->
+  ?brownout:Chaos.brownout ->
+  ?fault_seed:int ->
+  seed:int ->
+  jobs:int ->
+  slots:int ->
+  kind:Uhm_encoding.Kind.t ->
+  policies:Dtb.policy list ->
+  fault_rates:float list ->
+  rates:float list ->
+  config:Dtb.config ->
+  (string * Uhm_dir.Program.t) list ->
+  resilience_cell list
+(** One {!Chaos.run} per {!resilience_axes} cell, every cell's policy
+    built by {!resilience_fconfig} from the cell's fault rate (same
+    [fault_seed], default 4242, for every cell: columns differ only in
+    rate).  [cell_fuel] matters more here than in the load grid — a
+    corrupted attempt can loop, and must trap out rather than hold its
+    slot indefinitely. *)
+
+val resilience_grid_slots :
+  ?domains:int ->
+  ?scheduler:Scheduler.policy ->
+  ?quanta:int list ->
+  ?trace_capacity:int ->
+  ?backend:Uhm_machine.Machine.backend ->
+  ?shape:shape ->
+  ?admission:Serve.admission ->
+  ?economy:Serve.economy ->
+  ?supervision:Sweep.supervision ->
+  ?cached:(int -> resilience_cell option) ->
+  ?cell_hook:(index:int -> attempts:int -> resilience_cell Sweep.slot -> unit) ->
+  ?cell_fuel:int ->
+  ?weights:float list ->
+  ?retry_limit:int ->
+  ?backoff:int ->
+  ?checkpoint_every:int ->
+  ?deadline:int ->
+  ?brownout:Chaos.brownout ->
+  ?fault_seed:int ->
+  ?poison:int list ->
+  seed:int ->
+  jobs:int ->
+  slots:int ->
+  kind:Uhm_encoding.Kind.t ->
+  policies:Dtb.policy list ->
+  fault_rates:float list ->
+  rates:float list ->
+  config:Dtb.config ->
+  (string * Uhm_dir.Program.t) list ->
+  resilience_cell Sweep.slot list
+(** {!resilience_grid} under campaign supervision.  The supervised
+    failure condition is the no-wrong-answers invariant itself: a cell
+    in which any accepted completion's end state differs from its
+    fault-free solo run is retried and then quarantined.  [Failed] jobs
+    (exhausted retries) are the designed outcome, not a cell failure.
+    [poison] is the quarantine-path testing aid, as in the load grid. *)

@@ -24,7 +24,7 @@ type economy = { evict_min_idle : int; evict_watermark : float }
 
 let default_economy = { evict_min_idle = 256; evict_watermark = 0.75 }
 
-type job_status = Completed of Machine.status | Shed
+type job_status = Completed of Machine.status | Shed | Failed of int
 
 type job = {
   j_id : int;
@@ -74,6 +74,76 @@ type result = {
   sv_summary : summary;
   sv_trace : Trace.t;
 }
+
+(* The summary arithmetic, shared with the chaos driver (Chaos.run builds
+   the same record from its own loop): keeping it in one place is part of
+   the zero-fault identity pin. *)
+let summarize ~njobs ~total_cycles ~max_depth ~evictions ~cold_evictions
+    ~switches ~flushes ~hit_ratio job_list =
+  let retired =
+    List.filter
+      (fun j ->
+        match j.j_status with
+        | Completed _ | Failed _ -> true
+        | Shed -> false)
+      job_list
+  in
+  let completed =
+    List.length
+      (List.filter (fun j -> j.j_status = Completed Machine.Halted) retired)
+  in
+  let shed = List.length job_list - List.length retired in
+  let p50, p95, p99 =
+    Percentile.summary (List.map (fun j -> j.j_sojourn) retired)
+  in
+  let qd_p50, qd_p95, qd_p99 =
+    Percentile.summary (List.map (fun j -> j.j_queue_delay) retired)
+  in
+  let mean_slowdown =
+    match retired with
+    | [] -> 0.
+    | _ ->
+        List.fold_left (fun a j -> a +. j.j_slowdown) 0. retired
+        /. float_of_int (List.length retired)
+  in
+  {
+    s_jobs = njobs;
+    s_completed = completed;
+    s_failed = List.length retired - completed;
+    s_shed = shed;
+    s_total_cycles = total_cycles;
+    s_throughput =
+      (if total_cycles = 0 then 0.
+       else float_of_int completed /. float_of_int total_cycles *. 1e6);
+    s_p50 = p50;
+    s_p95 = p95;
+    s_p99 = p99;
+    s_qd_p50 = qd_p50;
+    s_qd_p95 = qd_p95;
+    s_qd_p99 = qd_p99;
+    s_mean_slowdown = mean_slowdown;
+    s_max_depth = max_depth;
+    s_evictions = evictions;
+    s_cold_evictions = cold_evictions;
+    s_switches = switches;
+    s_flushes = flushes;
+    s_hit_ratio = hit_ratio;
+  }
+
+(* SLO attainment: the exact deadline metric over a finished job list.
+   Only jobs that completed with a clean halt can meet the bound; shed
+   and failed jobs count against attainment's denominator only through
+   their absence from it (they are reported separately). *)
+let slo ~bound jobs =
+  let completed =
+    List.filter (fun j -> j.j_status = Completed Machine.Halted) jobs
+  in
+  let met = List.filter (fun j -> j.j_sojourn <= bound) completed in
+  let n_completed = List.length completed and n_met = List.length met in
+  ( n_met,
+    n_completed,
+    if n_completed = 0 then 0.
+    else float_of_int n_met /. float_of_int n_completed )
 
 (* One admitted job bound to an ASID slot. *)
 type tenant = {
@@ -402,52 +472,12 @@ let run ?timing ?fuel ?(layout = Layout.default) ?backend
     Array.to_list jobs
     |> List.map (function Some j -> j | None -> assert false)
   in
-  let retired =
-    List.filter (fun j -> match j.j_status with Completed _ -> true | Shed -> false)
-      job_list
-  in
-  let completed =
-    List.length
-      (List.filter
-         (fun j -> j.j_status = Completed Machine.Halted)
-         retired)
-  in
-  let shed = List.length job_list - List.length retired in
-  let p50, p95, p99 = Percentile.summary (List.map (fun j -> j.j_sojourn) retired) in
-  let qd_p50, qd_p95, qd_p99 =
-    Percentile.summary (List.map (fun j -> j.j_queue_delay) retired)
-  in
-  let mean_slowdown =
-    match retired with
-    | [] -> 0.
-    | _ ->
-        List.fold_left (fun a j -> a +. j.j_slowdown) 0. retired
-        /. float_of_int (List.length retired)
-  in
   let summary =
-    {
-      s_jobs = njobs;
-      s_completed = completed;
-      s_failed = List.length retired - completed;
-      s_shed = shed;
-      s_total_cycles = !clock;
-      s_throughput =
-        (if !clock = 0 then 0.
-         else float_of_int completed /. float_of_int !clock *. 1e6);
-      s_p50 = p50;
-      s_p95 = p95;
-      s_p99 = p99;
-      s_qd_p50 = qd_p50;
-      s_qd_p95 = qd_p95;
-      s_qd_p99 = qd_p99;
-      s_mean_slowdown = mean_slowdown;
-      s_max_depth = !max_depth;
-      s_evictions = !evictions;
-      s_cold_evictions = !cold_evictions;
-      s_switches = !switches;
-      s_flushes = Dtb.flushes dtb - flushes0;
-      s_hit_ratio = Dtb.hit_ratio dtb;
-    }
+    summarize ~njobs ~total_cycles:!clock ~max_depth:!max_depth
+      ~evictions:!evictions ~cold_evictions:!cold_evictions
+      ~switches:!switches
+      ~flushes:(Dtb.flushes dtb - flushes0)
+      ~hit_ratio:(Dtb.hit_ratio dtb) job_list
   in
   {
     sv_policy = policy;

@@ -57,6 +57,11 @@ val default_economy : economy
 type job_status =
   | Completed of Machine.status  (** ran to retirement (however it ended) *)
   | Shed                         (** refused by admission control *)
+  | Failed of int
+      (** chaos mode only: every attempt (the int) was voided by a
+          detected fault and the per-job retry budget ran out — the
+          service reports the failure rather than a corrupted answer.
+          Plain {!run} never produces this. *)
 
 type job = {
   j_id : int;            (** arrival order, 0-based *)
@@ -77,7 +82,8 @@ type job = {
 type summary = {
   s_jobs : int;            (** arrivals offered *)
   s_completed : int;       (** jobs that retired with [Machine.Halted] *)
-  s_failed : int;          (** jobs that retired any other way *)
+  s_failed : int;          (** jobs that retired any other way
+                               ([Failed] included) *)
   s_shed : int;
   s_total_cycles : int;    (** virtual clock at the end of the run *)
   s_throughput : float;    (** retired jobs per million cycles *)
@@ -135,3 +141,26 @@ val run :
     underlying {!Dtb.create_shared} enforces).  Raises
     [Invalid_argument] on empty [templates], an out-of-range template
     index, or arrivals out of order. *)
+
+val summarize :
+  njobs:int ->
+  total_cycles:int ->
+  max_depth:int ->
+  evictions:int ->
+  cold_evictions:int ->
+  switches:int ->
+  flushes:int ->
+  hit_ratio:float ->
+  job list ->
+  summary
+(** The summary arithmetic over a finished job list — shared with
+    {!Chaos.run} so the zero-fault configuration's summary is the same
+    record by construction, not by parallel reimplementation. *)
+
+val slo : bound:int -> job list -> int * int * float
+(** [slo ~bound jobs] is [(met, completed, attainment)]: of the jobs
+    that retired [Completed Machine.Halted], how many had a sojourn of
+    at most [bound] cycles, and the exact fraction ([0.] when nothing
+    completed).  The deadline metric is pure bookkeeping over the job
+    list, so it applies to fault-free {!run} results and chaos results
+    alike. *)

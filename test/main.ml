@@ -17,6 +17,7 @@ let () =
       Test_resume.suite;
       Test_sched.suite;
       Test_serve.suite;
+      Test_chaos.suite;
       Test_fault.suite;
       Test_backend.suite;
       Test_workload.suite;

@@ -336,7 +336,8 @@ let test_open_run_accounting () =
             j.Serve.j_queue_delay;
           check_int "sojourn" (j.Serve.j_finish - j.Serve.j_arrival)
             j.Serve.j_sojourn;
-          check_bool "slowdown >= 1" true (j.Serve.j_slowdown >= 1.))
+          check_bool "slowdown >= 1" true (j.Serve.j_slowdown >= 1.)
+      | Serve.Failed _ -> Alcotest.fail "plain Serve.run produced Failed")
     r.Serve.sv_jobs;
   (* trace totals agree with the summary *)
   check_int "queued events" (200 - s.Serve.s_shed)
