@@ -735,7 +735,9 @@ let run ?(timing = Timing.paper) ?fuel ?(layout = Layout.default) ?backend
         ( t.out_prefix ^ Machine.output t.machine,
           Resilient.arch_fingerprint ~layout t.machine,
           true )
-      with (Invalid_argument _ | Failure _) when verify -> ("", 0, false)
+      with
+      | (Out_of_memory | Stack_overflow) as e -> raise e
+      | _ when verify -> ("", 0, false)
     in
     js.js_output <- output;
     js.js_arch_hash <- hash;
@@ -1009,8 +1011,15 @@ let run ?(timing = Timing.paper) ?fuel ?(layout = Layout.default) ?backend
               else quantum * interp_cycles_per_dir
             in
             Machine.run_for t.machine ~budget
-      with (Invalid_argument msg | Failure msg) when verify ->
-        Machine.Done (Machine.Trapped ("machine crash: " ^ msg))
+      with
+      | (Out_of_memory | Stack_overflow) as e -> raise e
+      | e when verify ->
+          let msg =
+            match e with
+            | Invalid_argument m | Failure m -> m
+            | e -> Printexc.to_string e
+          in
+          Machine.Done (Machine.Trapped ("machine crash: " ^ msg))
     in
     (match outcome with
     | Machine.Done status -> t.finished <- Some status
@@ -1060,7 +1069,14 @@ let run ?(timing = Timing.paper) ?fuel ?(layout = Layout.default) ?backend
            quarantined slot coming back while work is waiting *)
         let candidates =
           (if !next < njobs then [ arr.(!next).Arrival.at ] else [])
-          @ (match !pending_retries with (at, _) :: _ -> [ at ] | [] -> [])
+          (* a retry already due that [admit] could not place (every
+             slot quarantined) must not pin the clock in place — the
+             quarantine expiries below are the real jump target, and
+             when a due retry is unplaceable all slots are quarantined
+             past the clock, so that list is never empty *)
+          @ (match !pending_retries with
+            | (at, _) :: _ when at > !clock -> [ at ]
+            | _ -> [])
           @
           if Queue.is_empty queue && !pending_retries = [] then []
           else

@@ -31,7 +31,11 @@
       admits new jobs as pure interpretation (sidestepping the
       translation fault surface), stage 3 quarantines the slot with the
       most recent detections — flushing its entries and voiding its
-      current attempt into the retry path.
+      current attempt into the retry path.  A quarantine-voided attempt
+      charges the same [c_job_retry_limit] budget as a fault-voided
+      one: the budget bounds total service work per job, so repeated
+      quarantines can retire a job {!Serve.Failed} even though it never
+      produced a wrong answer.
 
     The headline pins, enforced in [test/test_chaos.ml]: under {!zero}
     (no faults, no deadline, no brownout) a run is {e cycle- and

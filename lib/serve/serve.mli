@@ -58,10 +58,14 @@ type job_status =
   | Completed of Machine.status  (** ran to retirement (however it ended) *)
   | Shed                         (** refused by admission control *)
   | Failed of int
-      (** chaos mode only: every attempt (the int) was voided by a
-          detected fault and the per-job retry budget ran out — the
-          service reports the failure rather than a corrupted answer.
-          Plain {!run} never produces this. *)
+      (** chaos mode only: every attempt (the int) was voided — by a
+          detected fault, or by a stage-3 brownout quarantining the
+          slot out from under it — and the per-job retry budget ran
+          out; the service reports the failure rather than a corrupted
+          answer.  Quarantine-voided attempts consume the same retry
+          budget as fault-voided ones, so a job can retire [Failed]
+          without ever producing a wrong answer itself.  Plain {!run}
+          never produces this. *)
 
 type job = {
   j_id : int;            (** arrival order, 0-based *)

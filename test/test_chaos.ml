@@ -367,6 +367,52 @@ let test_brownout_quarantine () =
       | _ -> ())
     r.Chaos.cv_serve.Serve.sv_jobs
 
+(* Regression: a stage-3 quarantine on the ONLY slot voids the active
+   attempt into a retry whose backoff (64 cycles) expires long before
+   the quarantine (400k cycles) does.  With every slot quarantined and
+   the retry already due, the idle loop must jump the clock to the
+   quarantine expiry rather than spin on the stale retry time — the
+   pre-fix version of this scenario livelocked, so mere termination is
+   the property under test. *)
+let test_quarantine_single_slot_no_livelock () =
+  let templates = algol_templates [ "fact_iter"; "gcd" ] in
+  let arrivals =
+    Arrival.generate ~seed:17 ~templates:2 ~jobs:30
+      (Arrival.Poisson { rate = 2000.0 })
+  in
+  let fconfig =
+    {
+      Chaos.zero with
+      Chaos.c_fault =
+        Resilient.protected
+          {
+            Injector.seed = 99;
+            rates = [ (Injector.Dtb_tag, 0.03) ];
+            explicit = [];
+          };
+      c_job_backoff = 64;
+      c_brownout =
+        Some
+          {
+            Chaos.default_brownout with
+            Chaos.bo_window = 300_000;
+            bo_hi_detections = 3;
+            bo_hi_wait = max_int;
+            bo_hysteresis = 500_000;
+            bo_quarantine = 400_000;
+          };
+    }
+  in
+  let r =
+    Chaos.run ~policy:Dtb.Tagged ~quantum:24 ~config:small_config ~fconfig
+      ~slots:1 ~templates ~arrivals ()
+  in
+  let s = r.Chaos.cv_summary in
+  check_bool "a quarantine fired" true (s.Chaos.cs_quarantines >= 1);
+  check_bool "the voided attempt retried" true (s.Chaos.cs_job_retries >= 1);
+  check_int "all jobs retired (the run terminated)" 30
+    (List.length r.Chaos.cv_serve.Serve.sv_jobs)
+
 (* -- Satellite: the recovery invariant across a seeded fault grid ----------- *)
 
 (* Guards and checkpoints on: at every grid point, every job that
@@ -478,6 +524,8 @@ let suite =
         test_brownout_staging;
       Alcotest.test_case "brownout quarantine (detection-driven)" `Quick
         test_brownout_quarantine;
+      Alcotest.test_case "single-slot quarantine terminates (livelock pin)"
+        `Quick test_quarantine_single_slot_no_livelock;
       Alcotest.test_case "end-state invariant across fault grid" `Quick
         test_end_state_invariant_grid;
       Alcotest.test_case "heavy-tailed weighted pools" `Quick
